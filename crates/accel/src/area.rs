@@ -1,0 +1,162 @@
+//! Die-area estimation, calibrated to the paper's §3.2 numbers.
+//!
+//! The paper reports (90 nm standard cells): the full design point consumes
+//! ~3.8 mm², of which the two double-precision FP units take 2.38 mm²; an
+//! ARM 11 is 4.34 mm²; a Cortex A8 is ~10.2 mm²; a hypothetical 4-issue A8
+//! with larger L2 is ~14.0 mm². Only relative areas matter for the paper's
+//! argument, so the per-component constants below are calibrated to land on
+//! those published sums.
+
+use crate::config::AcceleratorConfig;
+use std::fmt;
+
+/// Die area of the ARM 11-class single-issue baseline CPU (mm², 90 nm).
+pub const ARM11_AREA_MM2: f64 = 4.34;
+/// Die area of the Cortex A8-class dual-issue CPU (mm², 90 nm).
+pub const CORTEX_A8_AREA_MM2: f64 = 10.2;
+/// Die area of the hypothetical quad-issue CPU with larger L2 (mm², 90 nm).
+pub const QUAD_ISSUE_AREA_MM2: f64 = 14.0;
+
+/// Per-component area constants (mm² in a 90 nm process).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AreaModel {
+    /// One double-precision FP unit (2 × 1.19 = the paper's 2.38 mm²).
+    pub fp_unit: f64,
+    /// One integer unit (ALU + shifter + multiplier).
+    pub int_unit: f64,
+    /// One CCA (4-row, 4-in/2-out combinational fabric).
+    pub cca: f64,
+    /// One register (either file).
+    pub register: f64,
+    /// One address generator.
+    pub addr_gen: f64,
+    /// Per-stream state (base, stride, FIFO slice).
+    pub stream: f64,
+    /// Control store, per (II slot × function unit) entry.
+    pub control_entry: f64,
+    /// Fixed bus-interface / glue overhead.
+    pub glue: f64,
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        AreaModel {
+            fp_unit: 1.19,
+            int_unit: 0.14,
+            cca: 0.30,
+            register: 0.004,
+            addr_gen: 0.045,
+            stream: 0.012,
+            control_entry: 0.002,
+            glue: 0.10,
+        }
+    }
+}
+
+impl AreaModel {
+    /// Estimates the area of `config`.
+    #[must_use]
+    pub fn estimate(&self, config: &AcceleratorConfig) -> AreaBreakdown {
+        let fus = config.int_units + config.fp_units + config.cca_units;
+        AreaBreakdown {
+            fp_units: self.fp_unit * config.fp_units as f64,
+            int_units: self.int_unit * config.int_units as f64,
+            ccas: self.cca * config.cca_units as f64,
+            registers: self.register * (config.int_regs + config.fp_regs) as f64,
+            addr_gens: self.addr_gen * (config.load_addr_gens + config.store_addr_gens) as f64,
+            streams: self.stream * (config.load_streams + config.store_streams) as f64,
+            control: self.control_entry * config.max_ii as f64 * fus as f64,
+            glue: self.glue,
+        }
+    }
+}
+
+/// Component-level area estimate for one accelerator configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AreaBreakdown {
+    /// FP units (mm²).
+    pub fp_units: f64,
+    /// Integer units (mm²).
+    pub int_units: f64,
+    /// CCAs (mm²).
+    pub ccas: f64,
+    /// Register files (mm²).
+    pub registers: f64,
+    /// Address generators (mm²).
+    pub addr_gens: f64,
+    /// Stream state and FIFOs (mm²).
+    pub streams: f64,
+    /// Control store (mm²).
+    pub control: f64,
+    /// Fixed glue (mm²).
+    pub glue: f64,
+}
+
+impl AreaBreakdown {
+    /// Total area (mm²).
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.fp_units
+            + self.int_units
+            + self.ccas
+            + self.registers
+            + self.addr_gens
+            + self.streams
+            + self.control
+            + self.glue
+    }
+}
+
+impl fmt::Display for AreaBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "  FP units        {:6.2} mm2", self.fp_units)?;
+        writeln!(f, "  integer units   {:6.2} mm2", self.int_units)?;
+        writeln!(f, "  CCA             {:6.2} mm2", self.ccas)?;
+        writeln!(f, "  register files  {:6.2} mm2", self.registers)?;
+        writeln!(f, "  address gens    {:6.2} mm2", self.addr_gens)?;
+        writeln!(f, "  stream state    {:6.2} mm2", self.streams)?;
+        writeln!(f, "  control store   {:6.2} mm2", self.control)?;
+        writeln!(f, "  glue            {:6.2} mm2", self.glue)?;
+        write!(f, "  total           {:6.2} mm2", self.total())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AcceleratorConfig;
+
+    #[test]
+    fn paper_design_lands_near_published_total() {
+        let area = AcceleratorConfig::paper_design().area();
+        // Paper: ~3.8 mm² total, 2.38 mm² of it in the two FPUs.
+        assert!((area.total() - 3.8).abs() < 0.25, "total {}", area.total());
+        assert!((area.fp_units - 2.38).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fp_units_dominate_design_point() {
+        let area = AcceleratorConfig::paper_design().area();
+        assert!(area.fp_units > area.total() / 2.0);
+    }
+
+    #[test]
+    fn la_plus_arm11_cheaper_than_a8() {
+        let la = AcceleratorConfig::paper_design().area().total();
+        assert!(ARM11_AREA_MM2 + la < CORTEX_A8_AREA_MM2);
+    }
+
+    #[test]
+    fn area_monotone_in_fp_units() {
+        let small = AcceleratorConfig::builder().fp_units(1).build().area();
+        let big = AcceleratorConfig::builder().fp_units(4).build().area();
+        assert!(big.total() > small.total());
+    }
+
+    #[test]
+    fn display_has_total_line() {
+        let s = AcceleratorConfig::paper_design().area().to_string();
+        assert!(s.contains("total"));
+        assert!(s.contains("FP units"));
+    }
+}

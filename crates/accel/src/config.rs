@@ -1,0 +1,428 @@
+//! Accelerator configurations and capability checks.
+
+use crate::area::{AreaBreakdown, AreaModel};
+use crate::latency::LatencyModel;
+use crate::resources::ResourceKind;
+use std::fmt;
+use veal_ir::streams::StreamSummary;
+
+/// A concrete loop-accelerator configuration (paper Figure 1 template).
+///
+/// The paper's proposed design (§3.2) is 1 CCA, 2 integer units, 2
+/// double-precision FP units, 16 integer and 16 FP registers, 16 load
+/// streams time-multiplexed over 4 address generators, 8 store streams over
+/// 2 address generators, and a maximum II of 16.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AcceleratorConfig {
+    /// Number of integer units (also execute shifts and multiplies).
+    pub int_units: usize,
+    /// Number of double-precision floating-point units.
+    pub fp_units: usize,
+    /// Number of CCAs.
+    pub cca_units: usize,
+    /// Integer registers for live-ins/live-outs/constants/temporaries.
+    pub int_regs: usize,
+    /// Floating-point registers.
+    pub fp_regs: usize,
+    /// Maximum number of load streams.
+    pub load_streams: usize,
+    /// Maximum number of store streams.
+    pub store_streams: usize,
+    /// Address generators servicing load streams (time-multiplexed).
+    pub load_addr_gens: usize,
+    /// Address generators servicing store streams (time-multiplexed).
+    pub store_addr_gens: usize,
+    /// Maximum supported initiation interval (control-store depth).
+    pub max_ii: u32,
+    /// Operation latencies inside the accelerator.
+    pub latencies: LatencyModel,
+}
+
+impl AcceleratorConfig {
+    /// The paper's §3.2 design point.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use veal_accel::AcceleratorConfig;
+    /// let la = AcceleratorConfig::paper_design();
+    /// assert_eq!((la.load_streams, la.store_streams), (16, 8));
+    /// ```
+    #[must_use]
+    pub fn paper_design() -> Self {
+        AcceleratorConfig {
+            int_units: 2,
+            fp_units: 2,
+            cca_units: 1,
+            int_regs: 16,
+            fp_regs: 16,
+            load_streams: 16,
+            store_streams: 8,
+            load_addr_gens: 4,
+            store_addr_gens: 2,
+            max_ii: 16,
+            latencies: LatencyModel::default(),
+        }
+    }
+
+    /// The hypothetical infinite-resource accelerator used as the
+    /// design-space-exploration baseline (paper §3.1): "loops are modulo
+    /// scheduled onto a machine with unlimited registers, FUs, memory
+    /// ports, etc."
+    #[must_use]
+    pub fn infinite() -> Self {
+        const MANY: usize = 1 << 16;
+        AcceleratorConfig {
+            int_units: MANY,
+            fp_units: MANY,
+            cca_units: MANY,
+            int_regs: MANY,
+            fp_regs: MANY,
+            load_streams: MANY,
+            store_streams: MANY,
+            load_addr_gens: MANY,
+            store_addr_gens: MANY,
+            max_ii: 4096,
+            latencies: LatencyModel::default(),
+        }
+    }
+
+    /// Starts building a configuration from the paper design point.
+    #[must_use]
+    pub fn builder() -> AcceleratorConfigBuilder {
+        AcceleratorConfigBuilder {
+            config: Self::paper_design(),
+        }
+    }
+
+    /// Number of units backing a scheduling resource.
+    #[must_use]
+    pub fn units(&self, kind: ResourceKind) -> usize {
+        match kind {
+            ResourceKind::Int => self.int_units,
+            ResourceKind::Fp => self.fp_units,
+            ResourceKind::Cca => self.cca_units,
+            ResourceKind::LoadPort => self.load_addr_gens,
+            ResourceKind::StorePort => self.store_addr_gens,
+        }
+    }
+
+    /// Whether the accelerator has a CCA (enables CCA subgraph mapping).
+    #[must_use]
+    pub fn has_cca(&self) -> bool {
+        self.cca_units > 0
+    }
+
+    /// Checks whether a loop's stream requirements fit this accelerator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapabilityError::TooManyLoadStreams`] /
+    /// [`CapabilityError::TooManyStoreStreams`] when the loop needs more
+    /// streams than the hardware stores patterns for.
+    pub fn check_streams(&self, summary: StreamSummary) -> Result<(), CapabilityError> {
+        if summary.loads > self.load_streams {
+            return Err(CapabilityError::TooManyLoadStreams {
+                needed: summary.loads,
+                available: self.load_streams,
+            });
+        }
+        if summary.stores > self.store_streams {
+            return Err(CapabilityError::TooManyStoreStreams {
+                needed: summary.stores,
+                available: self.store_streams,
+            });
+        }
+        Ok(())
+    }
+
+    /// The smallest II at which the time-multiplexed address generators can
+    /// service the given stream counts (each generator produces one address
+    /// per cycle, so a generator can serve at most II streams per kernel
+    /// iteration — paper §3.1).
+    #[must_use]
+    pub fn min_ii_for_streams(&self, summary: StreamSummary) -> u32 {
+        let load_ii = div_ceil(summary.loads, self.load_addr_gens.max(1));
+        let store_ii = div_ceil(summary.stores, self.store_addr_gens.max(1));
+        load_ii.max(store_ii).max(1) as u32
+    }
+
+    /// Estimated die area of this configuration.
+    #[must_use]
+    pub fn area(&self) -> AreaBreakdown {
+        AreaModel::default().estimate(self)
+    }
+}
+
+fn div_ceil(a: usize, b: usize) -> usize {
+    a.div_ceil(b)
+}
+
+impl Default for AcceleratorConfig {
+    fn default() -> Self {
+        Self::paper_design()
+    }
+}
+
+impl fmt::Display for AcceleratorConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "LA[{} CCA, {} int, {} fp, {}i/{}f regs, {} ld / {} st streams ({}+{} agens), max II {}]",
+            self.cca_units,
+            self.int_units,
+            self.fp_units,
+            self.int_regs,
+            self.fp_regs,
+            self.load_streams,
+            self.store_streams,
+            self.load_addr_gens,
+            self.store_addr_gens,
+            self.max_ii
+        )
+    }
+}
+
+/// Builder for [`AcceleratorConfig`], starting from the paper design point.
+///
+/// # Example
+///
+/// ```
+/// use veal_accel::AcceleratorConfig;
+/// let la = AcceleratorConfig::builder().int_units(4).max_ii(32).build();
+/// assert_eq!(la.int_units, 4);
+/// assert_eq!(la.fp_units, 2); // unchanged from the design point
+/// ```
+#[derive(Debug, Clone)]
+pub struct AcceleratorConfigBuilder {
+    config: AcceleratorConfig,
+}
+
+impl AcceleratorConfigBuilder {
+    /// Sets the number of integer units.
+    #[must_use]
+    pub fn int_units(mut self, n: usize) -> Self {
+        self.config.int_units = n;
+        self
+    }
+
+    /// Sets the number of FP units.
+    #[must_use]
+    pub fn fp_units(mut self, n: usize) -> Self {
+        self.config.fp_units = n;
+        self
+    }
+
+    /// Sets the number of CCAs.
+    #[must_use]
+    pub fn cca_units(mut self, n: usize) -> Self {
+        self.config.cca_units = n;
+        self
+    }
+
+    /// Sets the integer register count.
+    #[must_use]
+    pub fn int_regs(mut self, n: usize) -> Self {
+        self.config.int_regs = n;
+        self
+    }
+
+    /// Sets the FP register count.
+    #[must_use]
+    pub fn fp_regs(mut self, n: usize) -> Self {
+        self.config.fp_regs = n;
+        self
+    }
+
+    /// Sets the load-stream budget.
+    #[must_use]
+    pub fn load_streams(mut self, n: usize) -> Self {
+        self.config.load_streams = n;
+        self
+    }
+
+    /// Sets the store-stream budget.
+    #[must_use]
+    pub fn store_streams(mut self, n: usize) -> Self {
+        self.config.store_streams = n;
+        self
+    }
+
+    /// Sets the load address-generator count.
+    #[must_use]
+    pub fn load_addr_gens(mut self, n: usize) -> Self {
+        self.config.load_addr_gens = n;
+        self
+    }
+
+    /// Sets the store address-generator count.
+    #[must_use]
+    pub fn store_addr_gens(mut self, n: usize) -> Self {
+        self.config.store_addr_gens = n;
+        self
+    }
+
+    /// Sets the maximum II.
+    #[must_use]
+    pub fn max_ii(mut self, ii: u32) -> Self {
+        self.config.max_ii = ii;
+        self
+    }
+
+    /// Sets the latency model.
+    #[must_use]
+    pub fn latencies(mut self, model: LatencyModel) -> Self {
+        self.config.latencies = model;
+        self
+    }
+
+    /// Finishes the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate (zero max II or zero
+    /// total function units).
+    #[must_use]
+    pub fn build(self) -> AcceleratorConfig {
+        let c = self.config;
+        assert!(c.max_ii > 0, "max II must be positive");
+        assert!(
+            c.int_units + c.fp_units + c.cca_units > 0,
+            "accelerator needs at least one function unit"
+        );
+        c
+    }
+}
+
+/// Why a loop cannot use a particular accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CapabilityError {
+    /// The loop references more load streams than the hardware supports.
+    TooManyLoadStreams {
+        /// Streams the loop needs.
+        needed: usize,
+        /// Streams the hardware provides.
+        available: usize,
+    },
+    /// The loop references more store streams than the hardware supports.
+    TooManyStoreStreams {
+        /// Streams the loop needs.
+        needed: usize,
+        /// Streams the hardware provides.
+        available: usize,
+    },
+}
+
+impl fmt::Display for CapabilityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CapabilityError::TooManyLoadStreams { needed, available } => {
+                write!(f, "loop needs {needed} load streams, LA has {available}")
+            }
+            CapabilityError::TooManyStoreStreams { needed, available } => {
+                write!(f, "loop needs {needed} store streams, LA has {available}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CapabilityError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_design_matches_section_3_2() {
+        let la = AcceleratorConfig::paper_design();
+        assert_eq!(la.cca_units, 1);
+        assert_eq!(la.int_units, 2);
+        assert_eq!(la.fp_units, 2);
+        assert_eq!(la.load_streams, 16);
+        assert_eq!(la.load_addr_gens, 4);
+        assert_eq!(la.store_streams, 8);
+        assert_eq!(la.store_addr_gens, 2);
+        assert_eq!(la.max_ii, 16);
+    }
+
+    #[test]
+    fn infinite_is_effectively_unbounded() {
+        let inf = AcceleratorConfig::infinite();
+        assert!(inf.int_units >= 1 << 16);
+        assert!(inf.max_ii >= 1024);
+    }
+
+    #[test]
+    fn builder_overrides_single_field() {
+        let la = AcceleratorConfig::builder().fp_units(0).build();
+        assert_eq!(la.fp_units, 0);
+        assert_eq!(la.int_units, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one function unit")]
+    fn builder_rejects_no_fus() {
+        let _ = AcceleratorConfig::builder()
+            .int_units(0)
+            .fp_units(0)
+            .cca_units(0)
+            .build();
+    }
+
+    #[test]
+    fn stream_check_rejects_overflow() {
+        let la = AcceleratorConfig::paper_design();
+        let ok = StreamSummary {
+            loads: 16,
+            stores: 8,
+        };
+        assert!(la.check_streams(ok).is_ok());
+        let too_many = StreamSummary {
+            loads: 17,
+            stores: 0,
+        };
+        assert!(matches!(
+            la.check_streams(too_many),
+            Err(CapabilityError::TooManyLoadStreams { .. })
+        ));
+    }
+
+    #[test]
+    fn min_ii_for_streams_time_multiplexing() {
+        let la = AcceleratorConfig::paper_design();
+        // 16 load streams over 4 generators: each serves 4 streams, so the
+        // kernel must be at least 4 cycles long.
+        assert_eq!
+        (
+            la.min_ii_for_streams(StreamSummary {
+                loads: 16,
+                stores: 0
+            }),
+            4
+        );
+        assert_eq!(
+            la.min_ii_for_streams(StreamSummary { loads: 1, stores: 1 }),
+            1
+        );
+        assert_eq!(
+            la.min_ii_for_streams(StreamSummary { loads: 0, stores: 5 }),
+            3
+        );
+    }
+
+    #[test]
+    fn units_mapping() {
+        let la = AcceleratorConfig::paper_design();
+        assert_eq!(la.units(ResourceKind::Int), 2);
+        assert_eq!(la.units(ResourceKind::Cca), 1);
+        assert_eq!(la.units(ResourceKind::LoadPort), 4);
+        assert_eq!(la.units(ResourceKind::StorePort), 2);
+    }
+
+    #[test]
+    fn display_mentions_key_resources() {
+        let s = AcceleratorConfig::paper_design().to_string();
+        assert!(s.contains("max II 16"));
+        assert!(s.contains("16 ld"));
+    }
+}

@@ -1,0 +1,97 @@
+//! Operation latencies inside the accelerator.
+
+use veal_ir::Opcode;
+
+/// A latency model: per-opcode overrides on top of the IR defaults
+/// ([`Opcode::default_latency`], which already match the paper's Figure 5
+/// assumptions).
+///
+/// # Example
+///
+/// ```
+/// use veal_accel::LatencyModel;
+/// use veal_ir::Opcode;
+///
+/// let mut m = LatencyModel::default();
+/// assert_eq!(m.latency(Opcode::Mul), 3);
+/// m.set(Opcode::Mul, 2); // a faster multiplier in a future LA
+/// assert_eq!(m.latency(Opcode::Mul), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LatencyModel {
+    overrides: Vec<(Opcode, u32)>,
+}
+
+impl LatencyModel {
+    /// Creates a model with no overrides (paper defaults).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Latency of `op` in cycles.
+    #[must_use]
+    pub fn latency(&self, op: Opcode) -> u32 {
+        self.overrides
+            .iter()
+            .rev()
+            .find(|(o, _)| *o == op)
+            .map_or_else(|| op.default_latency(), |&(_, l)| l)
+    }
+
+    /// Overrides the latency of `op`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles` is zero.
+    pub fn set(&mut self, op: Opcode, cycles: u32) {
+        assert!(cycles > 0, "latency must be at least one cycle");
+        self.overrides.push((op, cycles));
+    }
+
+    /// Whether any latency differs from the defaults — statically computed
+    /// recurrence criticalities are only architecture-independent while
+    /// latencies stay consistent (paper footnote 3).
+    #[must_use]
+    pub fn is_default(&self) -> bool {
+        self.overrides
+            .iter()
+            .all(|&(op, l)| l == op.default_latency())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_pass_through() {
+        let m = LatencyModel::new();
+        assert_eq!(m.latency(Opcode::Add), 1);
+        assert_eq!(m.latency(Opcode::FDiv), Opcode::FDiv.default_latency());
+        assert!(m.is_default());
+    }
+
+    #[test]
+    fn later_overrides_win() {
+        let mut m = LatencyModel::new();
+        m.set(Opcode::FAdd, 5);
+        m.set(Opcode::FAdd, 6);
+        assert_eq!(m.latency(Opcode::FAdd), 6);
+        assert!(!m.is_default());
+    }
+
+    #[test]
+    fn redundant_override_still_default() {
+        let mut m = LatencyModel::new();
+        m.set(Opcode::Add, 1);
+        assert!(m.is_default());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cycle")]
+    fn zero_latency_rejected() {
+        let mut m = LatencyModel::new();
+        m.set(Opcode::Add, 0);
+    }
+}

@@ -1,0 +1,36 @@
+//! Loop-accelerator machine descriptions for VEAL.
+//!
+//! This crate models the architecture template of paper Figure 1: function
+//! units (integer, double-precision floating point, and the CCA), a
+//! register file for live-ins/live-outs/constants/temporaries, load and
+//! store memory streams time-multiplexed over address generators, and a
+//! control store whose depth bounds the maximum initiation interval.
+//!
+//! The paper's §3.2 design point is available as
+//! [`AcceleratorConfig::paper_design`], and the hypothetical
+//! infinite-resource machine used as the design-space-exploration baseline
+//! as [`AcceleratorConfig::infinite`]. The [`area`] module reproduces the
+//! die-area budget of §3.2.
+//!
+//! # Example
+//!
+//! ```
+//! use veal_accel::AcceleratorConfig;
+//!
+//! let la = AcceleratorConfig::paper_design();
+//! assert_eq!(la.int_units, 2);
+//! assert_eq!(la.max_ii, 16);
+//! assert!(la.area().total() < 4.0); // ~3.8 mm² in 90 nm
+//! ```
+
+pub mod area;
+pub mod config;
+pub mod presets;
+pub mod latency;
+pub mod resources;
+
+pub use area::{AreaBreakdown, AreaModel, ARM11_AREA_MM2, CORTEX_A8_AREA_MM2, QUAD_ISSUE_AREA_MM2};
+pub use config::{AcceleratorConfig, AcceleratorConfigBuilder, CapabilityError};
+pub use presets::{mathew_davis_like, rsvp_like, scaled_design};
+pub use latency::LatencyModel;
+pub use resources::ResourceKind;

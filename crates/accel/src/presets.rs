@@ -1,0 +1,109 @@
+//! Named accelerator configurations beyond the paper's design point.
+//!
+//! §5 of the paper compares against two previously proposed generalized
+//! loop accelerators; these presets model their headline resource budgets
+//! on our template so the ablation bench can place the paper's design
+//! point against them, plus a few scaled variants used by tests and the
+//! design-explorer example.
+
+use crate::config::AcceleratorConfig;
+
+/// An RSVP-like configuration (Ciricescu et al. \[3\]): vector-style
+/// datapath with few scalar units and a small stream budget — the paper
+/// cites it as supporting 3 load / 1 store streams.
+#[must_use]
+pub fn rsvp_like() -> AcceleratorConfig {
+    AcceleratorConfig::builder()
+        .int_units(4)
+        .fp_units(0)
+        .cca_units(0)
+        .int_regs(16)
+        .fp_regs(0)
+        .load_streams(3)
+        .store_streams(1)
+        .load_addr_gens(3)
+        .store_addr_gens(1)
+        .max_ii(16)
+        .build()
+}
+
+/// A Mathew–Davis-like configuration \[20\]: similar template, 6 total
+/// load/store streams, modest scalar resources, no CCA.
+#[must_use]
+pub fn mathew_davis_like() -> AcceleratorConfig {
+    AcceleratorConfig::builder()
+        .int_units(3)
+        .fp_units(1)
+        .cca_units(0)
+        .int_regs(16)
+        .fp_regs(8)
+        .load_streams(4)
+        .store_streams(2)
+        .load_addr_gens(2)
+        .store_addr_gens(1)
+        .max_ii(16)
+        .build()
+}
+
+/// The paper design point with every per-class resource multiplied by
+/// `factor` (streams, generators, units, registers; max II unchanged).
+/// Useful for over-provisioning studies.
+///
+/// # Panics
+///
+/// Panics if `factor` is zero.
+#[must_use]
+pub fn scaled_design(factor: usize) -> AcceleratorConfig {
+    assert!(factor > 0, "scale factor must be positive");
+    let base = AcceleratorConfig::paper_design();
+    AcceleratorConfig::builder()
+        .int_units(base.int_units * factor)
+        .fp_units(base.fp_units * factor)
+        .cca_units(base.cca_units * factor)
+        .int_regs(base.int_regs * factor)
+        .fp_regs(base.fp_regs * factor)
+        .load_streams(base.load_streams * factor)
+        .store_streams(base.store_streams * factor)
+        .load_addr_gens(base.load_addr_gens * factor)
+        .store_addr_gens(base.store_addr_gens * factor)
+        .max_ii(base.max_ii)
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_build_and_have_sensible_areas() {
+        let rsvp = rsvp_like();
+        let md = mathew_davis_like();
+        let paper = AcceleratorConfig::paper_design();
+        // Both related-work presets are cheaper than the paper design (no
+        // dual FPUs / fewer streams).
+        assert!(rsvp.area().total() < paper.area().total());
+        assert!(md.area().total() < paper.area().total());
+    }
+
+    #[test]
+    fn rsvp_stream_budget_matches_citation() {
+        let rsvp = rsvp_like();
+        assert_eq!((rsvp.load_streams, rsvp.store_streams), (3, 1));
+    }
+
+    #[test]
+    fn scaled_design_scales_everything_but_ii() {
+        let x2 = scaled_design(2);
+        let base = AcceleratorConfig::paper_design();
+        assert_eq!(x2.int_units, 2 * base.int_units);
+        assert_eq!(x2.load_streams, 2 * base.load_streams);
+        assert_eq!(x2.max_ii, base.max_ii);
+        assert!(x2.area().total() > base.area().total());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_scale_rejected() {
+        let _ = scaled_design(0);
+    }
+}

@@ -1,0 +1,103 @@
+//! Scheduling resource classes.
+
+use std::fmt;
+use veal_ir::{FuClass, Opcode};
+
+/// The resource classes a modulo scheduler allocates slots on.
+///
+/// Memory accesses split into load and store ports because the paper's
+/// design time-multiplexes *separate* address-generator pools for loads and
+/// stores (16 load streams over 4 generators, 8 store streams over 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ResourceKind {
+    /// Integer units.
+    Int,
+    /// Floating-point units.
+    Fp,
+    /// CCAs.
+    Cca,
+    /// Load address generators / FIFO fill ports.
+    LoadPort,
+    /// Store address generators / FIFO drain ports.
+    StorePort,
+}
+
+/// All resource kinds, in display order.
+pub const ALL_RESOURCES: &[ResourceKind] = &[
+    ResourceKind::Int,
+    ResourceKind::Fp,
+    ResourceKind::Cca,
+    ResourceKind::LoadPort,
+    ResourceKind::StorePort,
+];
+
+impl ResourceKind {
+    /// The resource an opcode occupies in the accelerator, or `None` for
+    /// ops handled by dedicated control hardware (branches) and pseudo
+    /// nodes.
+    #[must_use]
+    pub fn for_opcode(op: Opcode) -> Option<ResourceKind> {
+        match op.fu_class() {
+            FuClass::Int => Some(ResourceKind::Int),
+            FuClass::Fp => Some(ResourceKind::Fp),
+            FuClass::Cca => Some(ResourceKind::Cca),
+            FuClass::Mem => Some(if op == Opcode::Load {
+                ResourceKind::LoadPort
+            } else {
+                ResourceKind::StorePort
+            }),
+            FuClass::Control => None,
+        }
+    }
+
+    /// Dense index for table lookups.
+    #[must_use]
+    pub fn index(self) -> usize {
+        ALL_RESOURCES
+            .iter()
+            .position(|&k| k == self)
+            .expect("resource in ALL_RESOURCES")
+    }
+}
+
+impl fmt::Display for ResourceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ResourceKind::Int => "Int",
+            ResourceKind::Fp => "Fp",
+            ResourceKind::Cca => "CCA",
+            ResourceKind::LoadPort => "LdPort",
+            ResourceKind::StorePort => "StPort",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opcode_resource_mapping() {
+        assert_eq!(ResourceKind::for_opcode(Opcode::Add), Some(ResourceKind::Int));
+        assert_eq!(ResourceKind::for_opcode(Opcode::FMul), Some(ResourceKind::Fp));
+        assert_eq!(ResourceKind::for_opcode(Opcode::Cca), Some(ResourceKind::Cca));
+        assert_eq!(
+            ResourceKind::for_opcode(Opcode::Load),
+            Some(ResourceKind::LoadPort)
+        );
+        assert_eq!(
+            ResourceKind::for_opcode(Opcode::Store),
+            Some(ResourceKind::StorePort)
+        );
+        assert_eq!(ResourceKind::for_opcode(Opcode::BrCond), None);
+    }
+
+    #[test]
+    fn indices_are_dense_and_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for &k in ALL_RESOURCES {
+            assert!(k.index() < ALL_RESOURCES.len());
+            assert!(seen.insert(k.index()));
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Benchmarks for the binary module codec: the cost of shipping loops (and
+//! their Figure 9 hint sections) through the VEAL binary format.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use veal::{
+    compute_hints, decode_module, encode_module, AcceleratorConfig, BinaryModule, CcaSpec,
+    EncodedLoop,
+};
+use veal_workloads::kernels;
+
+fn module(with_hints: bool) -> BinaryModule {
+    let la = AcceleratorConfig::paper_design();
+    let bodies = vec![
+        kernels::adpcm_step(),
+        kernels::idct_row(),
+        kernels::fir(8),
+        kernels::crypto_round(4),
+        kernels::swim_stencil(),
+        kernels::viterbi_acs(),
+    ];
+    BinaryModule {
+        loops: bodies
+            .into_iter()
+            .map(|body| {
+                let hints = if with_hints {
+                    compute_hints(&body, &la, Some(&CcaSpec::paper()))
+                } else {
+                    veal::StaticHints::none()
+                };
+                EncodedLoop {
+                    body,
+                    priority_hint: hints.priority,
+                    cca_hint: hints.cca_groups,
+                }
+            })
+            .collect(),
+    }
+}
+
+fn bench_codec(c: &mut Criterion) {
+    for (label, with_hints) in [("plain", false), ("hinted", true)] {
+        let m = module(with_hints);
+        let bytes = encode_module(&m);
+        c.bench_function(&format!("encode/{label}"), |b| b.iter(|| encode_module(&m)));
+        c.bench_function(&format!("decode/{label}"), |b| {
+            b.iter(|| decode_module(&bytes).expect("valid module"))
+        });
+    }
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

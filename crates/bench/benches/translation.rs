@@ -1,0 +1,64 @@
+//! Wall-clock analogue of the paper's Figure 8: how long the VM's
+//! translator actually takes per loop, per policy.
+//!
+//! The paper measured translation in x86 instructions via OProfile; here
+//! Criterion measures the real host time of this implementation, so the
+//! *ratios* between policies (fully dynamic vs. hinted) and between loop
+//! sizes are the meaningful output.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use veal::{
+    compute_hints, AcceleratorConfig, CcaSpec, StaticHints, TranslationPolicy, Translator,
+};
+use veal_workloads::kernels;
+
+fn translators() -> (Translator, Translator, Translator) {
+    let la = AcceleratorConfig::paper_design();
+    let cca = CcaSpec::paper();
+    (
+        Translator::new(la.clone(), Some(cca.clone()), TranslationPolicy::fully_dynamic()),
+        Translator::new(
+            la.clone(),
+            Some(cca.clone()),
+            TranslationPolicy::fully_dynamic_height(),
+        ),
+        Translator::new(la, Some(cca), TranslationPolicy::static_hints()),
+    )
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let (dynamic, height, hinted) = translators();
+    let la = AcceleratorConfig::paper_design();
+    let bodies = [
+        ("adpcm_step", kernels::adpcm_step()),
+        ("idct_row", kernels::idct_row()),
+        ("crypto4", kernels::crypto_round(4)),
+        ("swim_stencil", kernels::swim_stencil()),
+    ];
+    let mut g = c.benchmark_group("translate");
+    for (name, body) in &bodies {
+        let hints = compute_hints(body, &la, Some(&CcaSpec::paper()));
+        g.bench_with_input(BenchmarkId::new("fully_dynamic", name), body, |b, body| {
+            b.iter(|| dynamic.translate(body, &StaticHints::none()))
+        });
+        g.bench_with_input(BenchmarkId::new("height", name), body, |b, body| {
+            b.iter(|| height.translate(body, &StaticHints::none()))
+        });
+        g.bench_with_input(BenchmarkId::new("static_hints", name), body, |b, body| {
+            b.iter(|| hinted.translate(body, &hints))
+        });
+    }
+    g.finish();
+}
+
+fn bench_hint_generation(c: &mut Criterion) {
+    // The *static* compiler's side of the bargain.
+    let la = AcceleratorConfig::paper_design();
+    let body = kernels::idct_row();
+    c.bench_function("compute_hints/idct_row", |b| {
+        b.iter(|| compute_hints(&body, &la, Some(&CcaSpec::paper())))
+    });
+}
+
+criterion_group!(benches, bench_policies, bench_hint_generation);
+criterion_main!(benches);

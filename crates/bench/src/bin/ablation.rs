@@ -1,0 +1,4 @@
+//! Ablation studies for the design choices (see DESIGN.md).
+fn main() {
+    veal_bench::figures::ablation::run();
+}

@@ -1,0 +1,22 @@
+//! Regenerates every table and figure of the paper's evaluation in order.
+fn main() {
+    let sections: &[(&str, fn())] = &[
+        ("Figure 2", veal_bench::figures::fig2::run),
+        ("Figure 3", veal_bench::figures::fig3::run),
+        ("Figure 4", veal_bench::figures::fig4::run),
+        ("Design point (Section 3.2)", veal_bench::figures::table_design::run),
+        ("Figure 5", veal_bench::figures::fig5::run),
+        ("Figure 6", veal_bench::figures::fig6::run),
+        ("Figure 7", veal_bench::figures::fig7::run),
+        ("Figure 8", veal_bench::figures::fig8::run),
+        ("Figure 9", veal_bench::figures::fig9::run),
+        ("Figure 10", veal_bench::figures::fig10::run),
+        ("Ablations", veal_bench::figures::ablation::run),
+    ];
+    for (name, f) in sections {
+        println!("\n{}", "=".repeat(72));
+        println!("== {name}");
+        println!("{}", "=".repeat(72));
+        f();
+    }
+}

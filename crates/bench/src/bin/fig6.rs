@@ -1,0 +1,4 @@
+//! Regenerates the paper's Figure 6 (see DESIGN.md's experiment index).
+fn main() {
+    veal_bench::figures::fig6::run();
+}

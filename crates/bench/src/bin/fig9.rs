@@ -1,0 +1,4 @@
+//! Regenerates the paper's Figure 9 static encodings (see DESIGN.md).
+fn main() {
+    veal_bench::figures::fig9::run();
+}

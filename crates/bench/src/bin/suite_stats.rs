@@ -1,0 +1,55 @@
+//! Prints the workload suite's loop-population statistics — the data
+//! behind DESIGN.md's claim that the synthetic suite matches the paper's
+//! benchmark *shapes* (sizes, recurrences, streams, defects).
+
+use veal::ir::streams::separate;
+use veal::{classify_loop, legalize, CostMeter, LoopClass, TransformLimits};
+
+fn main() {
+    println!(
+        "{:<14} {:>5} {:>7} {:>7} {:>8} {:>8} {:>7} {:>8}",
+        "app", "loops", "ops", "max", "streams", "defects", "parts", "iters"
+    );
+    veal_bench::rule(72);
+    let limits = TransformLimits::default();
+    for app in veal::workloads::full_suite() {
+        let mut total_ops = 0usize;
+        let mut max_ops = 0usize;
+        let mut streams = 0usize;
+        let mut defects = 0usize;
+        let mut parts = 0usize;
+        for l in &app.loops {
+            let n = l.raw.body.len();
+            total_ops += n;
+            max_ops = max_ops.max(n);
+            if let Ok(sep) = separate(&l.raw.body.dfg, &mut CostMeter::new()) {
+                let s = sep.summary();
+                streams += s.loads + s.stores;
+                if s.loads > 16 || s.stores > 8 {
+                    defects += 1;
+                }
+            }
+            if l.raw.callee.is_some()
+                || classify_loop(&l.raw.body.dfg) != LoopClass::ModuloSchedulable
+            {
+                defects += 1;
+            }
+            parts += legalize(&l.raw, &limits).len();
+        }
+        println!(
+            "{:<14} {:>5} {:>7} {:>7} {:>8} {:>8} {:>7} {:>8.1e}",
+            app.name,
+            app.loops.len(),
+            total_ops / app.loops.len().max(1),
+            max_ops,
+            streams,
+            defects,
+            parts,
+            app.total_iterations() as f64,
+        );
+    }
+    println!(
+        "\n(ops = mean full-body size; defects = raw loops needing a static\n\
+         transform before the accelerator can take them — Figure 7's input)"
+    );
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Section 3.2 design-point table (see DESIGN.md).
+fn main() {
+    veal_bench::figures::table_design::run();
+}

@@ -1,0 +1,183 @@
+//! Ablation studies for the design choices DESIGN.md calls out: the CCA
+//! mapper's greediness, the code-cache size, the priority function, and
+//! the accelerator template against related-work configurations.
+
+use veal::sim::dse::mean_speedup;
+use veal::{
+    run_application, AccelSetup, AcceleratorConfig, CcaSpec, CostMeter, CpuModel,
+    TranslationPolicy,
+};
+use veal_workloads::kernels;
+
+/// Runs all four ablations and prints their tables.
+pub fn run() {
+    greedy_vs_optimal_cca();
+    cache_size_sweep();
+    priority_quality();
+    related_work_configs();
+}
+
+/// How much coverage does the greedy seed-and-grow mapper give up against
+/// the exhaustive mapper on small kernels? (The paper accepts the greedy
+/// algorithm "to keep runtime overheads low"; this quantifies the cost.)
+fn greedy_vs_optimal_cca() {
+    println!("Ablation A: greedy vs optimal CCA coverage (small kernels)");
+    println!(
+        "{:<16} {:>10} {:>10} {:>10}",
+        "kernel", "candidates", "greedy", "optimal"
+    );
+    crate::rule(50);
+    let spec = CcaSpec::paper();
+    let bodies = [
+        kernels::quantize(),
+        kernels::viterbi_acs(),
+        kernels::stencil3(),
+        kernels::bit_unpack(),
+        kernels::adpcm_step(),
+    ];
+    for body in &bodies {
+        let sep = veal::ir::streams::separate(&body.dfg, &mut CostMeter::new()).unwrap();
+        let dfg = sep.dfg;
+        let candidates = dfg
+            .schedulable_ops()
+            .filter(|&id| dfg.node(id).opcode().is_some_and(|o| o.cca_supported()))
+            .count();
+        let greedy = veal::cca::identify_groups(&dfg, &spec, &mut CostMeter::new());
+        let optimal = veal::cca::optimal_groups(&dfg, &spec, &mut CostMeter::new());
+        match optimal {
+            Some(opt) => println!(
+                "{:<16} {:>10} {:>10} {:>10}",
+                body.name,
+                candidates,
+                veal::cca::coverage(&greedy),
+                veal::cca::coverage(&opt)
+            ),
+            None => println!(
+                "{:<16} {:>10} {:>10} {:>10}",
+                body.name,
+                candidates,
+                veal::cca::coverage(&greedy),
+                "(too big)"
+            ),
+        }
+    }
+    println!();
+}
+
+/// Figure 6's other axis made concrete: drive an interleaved (per-frame)
+/// invocation trace through a VM session and shrink the code cache until
+/// retranslation thrashes. The whole-app engine invokes loops in bursts,
+/// which any cache survives; a frame loop cycles through every hot loop
+/// each frame, which is the case the paper's 16-entry sizing addresses.
+fn cache_size_sweep() {
+    use veal::sim::{FrameTrace, TraceLoop};
+    use veal::vm::{CodeCache, VmSession};
+    use veal::{StaticHints, Translator};
+
+    println!("Ablation B: code-cache capacity (interleaved mpeg2dec frame loop)");
+    println!("{:>8} {:>14} {:>14} {:>10}", "entries", "translations", "trans cycles", "hit rate");
+    crate::rule(52);
+    let app = veal::workloads::application("mpeg2dec").unwrap();
+    let limits = veal::TransformLimits::default();
+    // The distinct hot loops of one frame, in frame order.
+    let trace = FrameTrace {
+        loops: app
+            .loops
+            .iter()
+            .flat_map(|l| veal::legalize(&l.raw, &limits))
+            .enumerate()
+            .map(|(key, p)| TraceLoop {
+                key: key as u64,
+                body: p.body,
+                trips: 16,
+                hints: StaticHints::none(),
+            })
+            .collect(),
+        frames: 40,
+    };
+    let cpu = CpuModel::arm11();
+    for entries in [1usize, 2, 4, 8, 16, 32] {
+        let translator = Translator::new(
+            AcceleratorConfig::paper_design(),
+            Some(CcaSpec::paper()),
+            TranslationPolicy::fully_dynamic(),
+        );
+        let mut session = VmSession::with_cache(translator, CodeCache::new(entries));
+        let run = trace.run(&mut session, &cpu);
+        println!(
+            "{:>8} {:>14} {:>14} {:>9.1}%",
+            entries,
+            run.translations,
+            run.translation_cycles,
+            100.0 * session.cache_stats().hit_rate()
+        );
+    }
+    println!("(paper §4.3: 16 entries ≈ 48 KB sufficed for ~100% hit rates)\n");
+}
+
+/// Schedule quality per priority function, isolated from translation cost
+/// (both run translation-free).
+fn priority_quality() {
+    println!("Ablation C: priority function, translation declared free");
+    println!("{:<14} {:>10} {:>10}", "benchmark", "swing", "height");
+    crate::rule(38);
+    let cpu = CpuModel::arm11();
+    for name in ["gsmencode", "056.ear", "mpeg2dec", "171.swim"] {
+        let app = veal::workloads::application(name).unwrap();
+        let swing = AccelSetup {
+            translation_free: true,
+            ..AccelSetup::paper(TranslationPolicy::fully_dynamic())
+        };
+        let height = AccelSetup {
+            translation_free: true,
+            ..AccelSetup::paper(TranslationPolicy::fully_dynamic_height())
+        };
+        println!(
+            "{:<14} {:>10.2} {:>10.2}",
+            name,
+            run_application(&app, &cpu, &swing).speedup(),
+            run_application(&app, &cpu, &height).speedup()
+        );
+    }
+    println!(
+        "(with cost removed, Swing's lifetime-sensitive schedules win or\n\
+         tie everywhere — height's advantage in Figure 10 is purely its\n\
+         cheaper translation)\n"
+    );
+}
+
+/// The paper's template against its related-work citations, priced.
+fn related_work_configs() {
+    println!("Ablation D: accelerator templates (translation-free means)");
+    println!("{:<26} {:>9} {:>9}", "configuration", "speedup", "mm2");
+    crate::rule(46);
+    let apps = veal::workloads::media_fp_suite();
+    let cpu = CpuModel::arm11();
+    let rows: [(&str, AcceleratorConfig, Option<CcaSpec>); 4] = [
+        (
+            "paper design point",
+            AcceleratorConfig::paper_design(),
+            Some(CcaSpec::paper()),
+        ),
+        ("RSVP-like (3 ld/1 st)", veal::accel::rsvp_like(), None),
+        (
+            "Mathew-Davis-like (6 str)",
+            veal::accel::mathew_davis_like(),
+            None,
+        ),
+        (
+            "2x design point",
+            veal::accel::scaled_design(2),
+            Some(CcaSpec::paper()),
+        ),
+    ];
+    for (name, cfg, cca) in rows {
+        let s = mean_speedup(&apps, &cpu, &cfg, cca.as_ref());
+        println!("{:<26} {:>8.2}x {:>9.2}", name, s, cfg.area().total());
+    }
+    println!(
+        "(the design point dominates the cited templates — mostly via the\n\
+         dual FPUs and the 16-load-stream budget — and doubling it buys\n\
+         little: the paper's §3.2 claim)"
+    );
+}

@@ -1,0 +1,66 @@
+//! Figure 2: percent of execution time spent in various types of code.
+
+use crate::pct;
+use veal::{AccelSetup, CpuModel, TranslationPolicy};
+
+/// Prints the Figure 2 table: per benchmark, the fraction of baseline
+/// execution time in modulo-schedulable loops, loops needing speculation
+/// support, loops with non-inlinable subroutine calls, and acyclic code.
+pub fn run() {
+    println!("Figure 2: percent of execution time by code type");
+    println!(
+        "{:<14} {:>10} {:>12} {:>11} {:>9}",
+        "benchmark", "mod-sched", "speculation", "subroutine", "acyclic"
+    );
+    crate::rule(60);
+    let cpu = CpuModel::arm11();
+    // Classification reflects the statically transformed binary (the form
+    // the paper's compiler emits), with translation declared free.
+    let setup = AccelSetup {
+        translation_free: true,
+        ..AccelSetup::paper(TranslationPolicy::static_hints())
+    };
+    let mut mean = [0.0f64; 4];
+    let mut media_sched = 0.0f64;
+    let mut media_n = 0usize;
+    let apps = veal::workloads::full_suite();
+    for app in &apps {
+        let run = veal::run_application(app, &cpu, &setup);
+        let classes = run.class_cycles();
+        let total: u64 = classes.iter().sum::<u64>().max(1);
+        let frac: Vec<f64> = classes.iter().map(|&c| c as f64 / total as f64).collect();
+        println!(
+            "{:<14} {:>10} {:>12} {:>11} {:>9}",
+            app.name,
+            pct(frac[0]),
+            pct(frac[1]),
+            pct(frac[2]),
+            pct(frac[3])
+        );
+        for (m, f) in mean.iter_mut().zip(&frac) {
+            *m += f;
+        }
+        if app.media_fp {
+            media_sched += frac[0];
+            media_n += 1;
+        }
+    }
+    crate::rule(60);
+    let n = apps.len() as f64;
+    println!(
+        "{:<14} {:>10} {:>12} {:>11} {:>9}",
+        "MEAN",
+        pct(mean[0] / n),
+        pct(mean[1] / n),
+        pct(mean[2] / n),
+        pct(mean[3] / n)
+    );
+    println!(
+        "media/FP subset mean modulo-schedulable time: {}",
+        pct(media_sched / media_n.max(1) as f64)
+    );
+    println!(
+        "(paper: media/FP apps spend the vast majority of time in modulo-\n\
+         schedulable loops; SPECint apps are dominated by speculation/acyclic)"
+    );
+}

@@ -1,0 +1,16 @@
+//! One module per regenerated table/figure of the paper's evaluation.
+//!
+//! Each module exposes a `run()` that prints the figure's rows to stdout;
+//! the `src/bin/fig*` binaries and `src/bin/all_figures` are thin wrappers.
+
+pub mod ablation;
+pub mod fig10;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod table_design;

@@ -1,0 +1,39 @@
+//! The §3.2 design-point table: configuration, area budget, and the
+//! fraction of infinite-resource speedup it attains.
+
+use veal::sim::dse::{fraction_of_infinite, mean_speedup};
+use veal::{AcceleratorConfig, CcaSpec, CpuModel};
+
+/// Prints the design-point summary of paper §3.2.
+pub fn run() {
+    let la = AcceleratorConfig::paper_design();
+    println!("Section 3.2: the generalized loop accelerator design point\n");
+    println!("configuration: {la}");
+
+    println!("\ndie area (90 nm):");
+    println!("{}", la.area());
+    println!(
+        "  (paper: ~3.8 mm2 total, 2.38 mm2 in the two double-precision\n\
+         FPUs; an ARM 11 is {:.2} mm2, a Cortex A8 ~{:.1} mm2 — the LA\n\
+         costs less than a second simple core)",
+        veal::accel::ARM11_AREA_MM2,
+        veal::accel::CORTEX_A8_AREA_MM2
+    );
+
+    let apps = veal::workloads::media_fp_suite();
+    let cpu = CpuModel::arm11();
+    let fraction = fraction_of_infinite(&apps, &cpu, &la, Some(&CcaSpec::paper()));
+    let finite = mean_speedup(&apps, &cpu, &la, Some(&CcaSpec::paper()));
+    let infinite = mean_speedup(
+        &apps,
+        &cpu,
+        &AcceleratorConfig::infinite(),
+        Some(&CcaSpec::paper()),
+    );
+    println!(
+        "\nmean speedup: {finite:.2}x (design point) vs {infinite:.2}x (infinite \
+         resources)\nfraction of infinite-resource speedup attained: {:.1}%",
+        100.0 * fraction
+    );
+    println!("(paper: the design point attains 83% of the infinite-resource speedup)");
+}

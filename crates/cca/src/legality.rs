@@ -1,0 +1,411 @@
+//! Legality checks for candidate CCA subgraphs.
+
+use crate::spec::CcaSpec;
+use std::collections::{HashSet, VecDeque};
+use veal_ir::{Dfg, OpId};
+
+/// The row each member of a legal group occupies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowAssignment {
+    /// `(member, row)` pairs.
+    pub rows: Vec<(OpId, usize)>,
+}
+
+/// External interface requirements of a candidate group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GroupIo {
+    /// Distinct external value producers feeding the group.
+    pub inputs: usize,
+    /// Distinct members whose value leaves the group (external consumers,
+    /// live-outs, or loop-carried feedback).
+    pub outputs: usize,
+}
+
+/// Counts the external inputs and outputs a group would need.
+#[must_use]
+pub fn group_io(dfg: &Dfg, group: &[OpId]) -> GroupIo {
+    let set: HashSet<OpId> = group.iter().copied().collect();
+    let mut producers: HashSet<OpId> = HashSet::new();
+    let mut outputs: HashSet<OpId> = HashSet::new();
+    for &m in group {
+        for e in dfg.pred_edges(m) {
+            // A loop-carried edge from inside the group still needs a
+            // register round-trip, i.e. an input port.
+            if !set.contains(&e.src) || e.distance > 0 {
+                producers.insert(e.src);
+            }
+        }
+        for e in dfg.succ_edges(m) {
+            if !set.contains(&e.dst) || e.distance > 0 {
+                outputs.insert(m);
+            }
+        }
+        if dfg.node(m).live_out {
+            outputs.insert(m);
+        }
+    }
+    GroupIo {
+        inputs: producers.len(),
+        outputs: outputs.len(),
+    }
+}
+
+/// Assigns each member to a CCA row, or `None` if the group is too deep or
+/// too wide.
+///
+/// Members are processed in intra-group topological order; each lands on the
+/// lowest row that is (a) below all its in-group producers and (b) capable
+/// of its op kind (arithmetic ops need an arithmetic row), subject to
+/// per-row capacity.
+#[must_use]
+pub fn assign_rows(dfg: &Dfg, spec: &CcaSpec, group: &[OpId]) -> Option<RowAssignment> {
+    let set: HashSet<OpId> = group.iter().copied().collect();
+    if group.len() > spec.max_ops() {
+        return None;
+    }
+    // Topological order within the group over distance-0 edges.
+    let mut indeg: Vec<usize> = group
+        .iter()
+        .map(|&m| {
+            dfg.pred_edges(m)
+                .filter(|e| e.distance == 0 && set.contains(&e.src))
+                .count()
+        })
+        .collect();
+    let index_of = |id: OpId| group.iter().position(|&g| g == id).expect("member");
+    let mut queue: VecDeque<usize> = (0..group.len()).filter(|&i| indeg[i] == 0).collect();
+    let mut order = Vec::with_capacity(group.len());
+    while let Some(i) = queue.pop_front() {
+        order.push(group[i]);
+        for e in dfg.succ_edges(group[i]) {
+            if e.distance == 0 && set.contains(&e.dst) {
+                let j = index_of(e.dst);
+                indeg[j] -= 1;
+                if indeg[j] == 0 {
+                    queue.push_back(j);
+                }
+            }
+        }
+    }
+    if order.len() != group.len() {
+        return None; // distance-0 cycle inside the group
+    }
+
+    let mut row_of: Vec<Option<usize>> = vec![None; group.len()];
+    let mut row_load = vec![0usize; spec.depth()];
+    for &m in &order {
+        let min_row = dfg
+            .pred_edges(m)
+            .filter(|e| e.distance == 0 && set.contains(&e.src))
+            .map(|e| row_of[index_of(e.src)].expect("producer placed") + 1)
+            .max()
+            .unwrap_or(0);
+        let needs_arith = dfg
+            .node(m)
+            .opcode()
+            .expect("member is an op")
+            .cca_arithmetic();
+        let mut placed = false;
+        for r in min_row..spec.depth() {
+            if needs_arith && !spec.row_supports_arith(r) {
+                continue;
+            }
+            if row_load[r] >= spec.row_caps[r] {
+                continue;
+            }
+            row_of[index_of(m)] = Some(r);
+            row_load[r] += 1;
+            placed = true;
+            break;
+        }
+        if !placed {
+            return None;
+        }
+    }
+    Some(RowAssignment {
+        rows: group
+            .iter()
+            .map(|&m| (m, row_of[index_of(m)].expect("placed")))
+            .collect(),
+    })
+}
+
+/// Whether `group` is convex: no distance-0 path leaves the group and
+/// re-enters it. A non-convex group cannot execute atomically because an
+/// external op would need a group output before the group finishes.
+#[must_use]
+pub fn is_convex(dfg: &Dfg, group: &[OpId]) -> bool {
+    let set: HashSet<OpId> = group.iter().copied().collect();
+    // Forward BFS through *external* nodes only, starting from the group's
+    // external successors; if we can re-enter the group, it is not convex.
+    let mut visited: HashSet<OpId> = HashSet::new();
+    let mut work: VecDeque<OpId> = VecDeque::new();
+    for &m in group {
+        for e in dfg.succ_edges(m) {
+            if e.distance == 0 && !set.contains(&e.dst) && visited.insert(e.dst) {
+                work.push_back(e.dst);
+            }
+        }
+    }
+    while let Some(x) = work.pop_front() {
+        for e in dfg.succ_edges(x) {
+            if e.distance != 0 {
+                continue;
+            }
+            if set.contains(&e.dst) {
+                return false;
+            }
+            if visited.insert(e.dst) {
+                work.push_back(e.dst);
+            }
+        }
+    }
+    true
+}
+
+/// Whether collapsing `group` avoids lengthening any recurrence cycle.
+///
+/// A group's ops execute in [`CcaSpec::latency`] cycles total. If the group
+/// contains exactly one op of some recurrence, that recurrence's path now
+/// pays the full CCA latency instead of one cycle — the paper's op-7/op-10
+/// rejection. Two or more *connected* ops of the same recurrence break
+/// even or win.
+///
+/// `sccs` must be the graph's SCC partition ([`Dfg::sccs`]); only cyclic
+/// SCCs matter.
+#[must_use]
+pub fn recurrences_ok(dfg: &Dfg, spec: &CcaSpec, group: &[OpId], sccs: &[Vec<OpId>]) -> bool {
+    let set: HashSet<OpId> = group.iter().copied().collect();
+    for scc in sccs {
+        let cyclic = scc.len() > 1
+            || dfg
+                .succ_edges(scc[0])
+                .any(|e| e.dst == scc[0]);
+        if !cyclic {
+            continue;
+        }
+        let inside: Vec<OpId> = scc.iter().copied().filter(|m| set.contains(m)).collect();
+        if inside.is_empty() {
+            continue;
+        }
+        // The members on this recurrence must amortize the CCA latency.
+        if (inside.len() as u32) < spec.latency {
+            return false;
+        }
+        // And they must be contiguous (weakly connected via distance-0 edges
+        // within the group ∩ SCC) so the cycle passes through the CCA once.
+        if !weakly_connected(dfg, &inside) {
+            return false;
+        }
+    }
+    true
+}
+
+fn weakly_connected(dfg: &Dfg, nodes: &[OpId]) -> bool {
+    if nodes.len() <= 1 {
+        return true;
+    }
+    let set: HashSet<OpId> = nodes.iter().copied().collect();
+    let mut visited: HashSet<OpId> = HashSet::new();
+    let mut work = vec![nodes[0]];
+    visited.insert(nodes[0]);
+    while let Some(x) = work.pop() {
+        for e in dfg.succ_edges(x) {
+            if e.distance == 0 && set.contains(&e.dst) && visited.insert(e.dst) {
+                work.push(e.dst);
+            }
+        }
+        for e in dfg.pred_edges(x) {
+            if e.distance == 0 && set.contains(&e.src) && visited.insert(e.src) {
+                work.push(e.src);
+            }
+        }
+    }
+    visited.len() == nodes.len()
+}
+
+/// Full legality check for a candidate group: every member CCA-supported,
+/// row-assignable, within the IO budget, convex, and recurrence-safe.
+#[must_use]
+pub fn is_legal_group(dfg: &Dfg, spec: &CcaSpec, group: &[OpId], sccs: &[Vec<OpId>]) -> bool {
+    if group.is_empty() {
+        return false;
+    }
+    for &m in group {
+        let ok = dfg
+            .node(m)
+            .opcode()
+            .is_some_and(|op| op.cca_supported() && !dfg.node(m).is_dead());
+        if !ok {
+            return false;
+        }
+    }
+    let io = group_io(dfg, group);
+    if io.inputs > spec.inputs || io.outputs > spec.outputs {
+        return false;
+    }
+    if assign_rows(dfg, spec, group).is_none() {
+        return false;
+    }
+    if !is_convex(dfg, group) {
+        return false;
+    }
+    recurrences_ok(dfg, spec, group, sccs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use veal_ir::{DfgBuilder, Opcode};
+
+    #[test]
+    fn io_counts_distinct_producers() {
+        let mut b = DfgBuilder::new();
+        let x = b.live_in();
+        let y = b.live_in();
+        let a = b.op(Opcode::And, &[x, y]);
+        let c = b.op(Opcode::Xor, &[a, x]); // x reused: still one producer
+        b.mark_live_out(c);
+        let dfg = b.finish();
+        let io = group_io(&dfg, &[a, c]);
+        assert_eq!(io.inputs, 2);
+        assert_eq!(io.outputs, 1);
+    }
+
+    #[test]
+    fn loop_carried_feedback_counts_as_io() {
+        let mut b = DfgBuilder::new();
+        let a = b.op(Opcode::Add, &[]);
+        let c = b.op(Opcode::Sub, &[a]);
+        b.loop_carried(c, a, 1);
+        let dfg = b.finish();
+        let io = group_io(&dfg, &[a, c]);
+        // The distance-1 edge c->a needs a register round trip: one input
+        // (from c's previous value) and one output (c's value).
+        assert_eq!(io.inputs, 1);
+        assert_eq!(io.outputs, 1);
+    }
+
+    #[test]
+    fn row_assignment_respects_depth() {
+        let spec = CcaSpec::paper();
+        let mut b = DfgBuilder::new();
+        let mut prev = b.op(Opcode::And, &[]);
+        let mut group = vec![prev];
+        for _ in 0..5 {
+            prev = b.op(Opcode::Or, &[prev]);
+            group.push(prev);
+        }
+        let dfg = b.finish();
+        // A 6-deep logic chain cannot fit 4 rows.
+        assert!(assign_rows(&dfg, &spec, &group).is_none());
+        // But a 4-deep chain can.
+        assert!(assign_rows(&dfg, &spec, &group[..4]).is_some());
+    }
+
+    #[test]
+    fn arithmetic_lands_on_arith_rows() {
+        let spec = CcaSpec::paper();
+        let mut b = DfgBuilder::new();
+        let a = b.op(Opcode::And, &[]);
+        let s = b.op(Opcode::Add, &[a]); // arith, min row 1 -> bumped to 2
+        let dfg = b.finish();
+        let rows = assign_rows(&dfg, &spec, &[a, s]).expect("fits");
+        let row_of = |id| {
+            rows.rows
+                .iter()
+                .find(|(m, _)| *m == id)
+                .map(|&(_, r)| r)
+                .unwrap()
+        };
+        assert_eq!(row_of(a), 0);
+        assert_eq!(row_of(s), 2);
+    }
+
+    #[test]
+    fn arith_chain_deeper_than_arith_rows_fails() {
+        let spec = CcaSpec::paper();
+        let mut b = DfgBuilder::new();
+        let a = b.op(Opcode::Add, &[]);
+        let c = b.op(Opcode::Sub, &[a]);
+        let d = b.op(Opcode::Add, &[c]); // needs a third arith row: none
+        let dfg = b.finish();
+        assert!(assign_rows(&dfg, &spec, &[a, c, d]).is_none());
+    }
+
+    #[test]
+    fn non_convex_group_detected() {
+        let mut b = DfgBuilder::new();
+        let a = b.op(Opcode::And, &[]);
+        let x = b.op(Opcode::Shl, &[a]); // external (unsupported)
+        let c = b.op(Opcode::Xor, &[x]);
+        let dfg = b.finish();
+        // Path a -> x -> c leaves {a, c} through x and re-enters.
+        assert!(!is_convex(&dfg, &[a, c]));
+        assert!(is_convex(&dfg, &[a]));
+    }
+
+    #[test]
+    fn singleton_on_recurrence_rejected() {
+        // The paper's op-7/op-10 case: merging an op that sits alone on a
+        // recurrence into a 2-cycle CCA lengthens the cycle.
+        let mut b = DfgBuilder::new();
+        let m = b.op(Opcode::Mul, &[]);
+        let o = b.op(Opcode::Or, &[m]);
+        b.loop_carried(o, m, 1);
+        let acyclic = b.op(Opcode::Add, &[o]);
+        let dfg = b.finish();
+        let sccs = dfg.sccs();
+        assert!(!recurrences_ok(
+            &dfg,
+            &CcaSpec::paper(),
+            &[o, acyclic],
+            &sccs
+        ));
+    }
+
+    #[test]
+    fn two_connected_recurrence_ops_accepted() {
+        let mut b = DfgBuilder::new();
+        let a = b.op(Opcode::And, &[]);
+        let c = b.op(Opcode::Xor, &[a]);
+        b.loop_carried(c, a, 1);
+        let dfg = b.finish();
+        let sccs = dfg.sccs();
+        assert!(recurrences_ok(&dfg, &CcaSpec::paper(), &[a, c], &sccs));
+    }
+
+    #[test]
+    fn legal_group_end_to_end() {
+        let mut b = DfgBuilder::new();
+        let x = b.live_in();
+        let a = b.op(Opcode::And, &[x, x]);
+        let s = b.op(Opcode::Sub, &[a, x]);
+        let o = b.op(Opcode::Xor, &[s, a]);
+        b.mark_live_out(o);
+        let dfg = b.finish();
+        let sccs = dfg.sccs();
+        assert!(is_legal_group(&dfg, &CcaSpec::paper(), &[a, s, o], &sccs));
+        // A group including the live-in pseudo node is not legal.
+        assert!(!is_legal_group(&dfg, &CcaSpec::paper(), &[x, a], &sccs));
+    }
+
+    #[test]
+    fn too_many_inputs_rejected() {
+        let mut b = DfgBuilder::new();
+        let ins: Vec<_> = (0..5).map(|_| b.live_in()).collect();
+        let a = b.op(Opcode::And, &[ins[0], ins[1]]);
+        let c = b.op(Opcode::Or, &[ins[2], ins[3]]);
+        let d = b.op(Opcode::Xor, &[a, c]);
+        let e = b.op(Opcode::Add, &[d, ins[4]]);
+        let dfg = b.finish();
+        let sccs = dfg.sccs();
+        // 5 distinct external producers > 4 CCA inputs.
+        assert!(!is_legal_group(
+            &dfg,
+            &CcaSpec::paper(),
+            &[a, c, d, e],
+            &sccs
+        ));
+    }
+}

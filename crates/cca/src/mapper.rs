@@ -1,0 +1,299 @@
+//! The greedy seed-and-grow CCA subgraph mapper (paper §4.1).
+
+use crate::legality::is_legal_group;
+use crate::spec::CcaSpec;
+use std::collections::HashSet;
+use veal_ir::{CostMeter, Dfg, OpId, Phase};
+
+/// One committed CCA subgraph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CcaGroup {
+    /// The new CCA pseudo-node in the rewritten graph (only set by
+    /// [`map_cca`]; [`identify_groups`] leaves the graph untouched).
+    pub node: Option<OpId>,
+    /// The original member ops, sorted by id.
+    pub members: Vec<OpId>,
+}
+
+/// Identifies CCA subgraphs without mutating the graph.
+///
+/// This is the *static* half of "Static CCA Identification" (paper §4.2):
+/// the compiler runs this offline and encodes each group via procedural
+/// abstraction; the VM either maps a group onto its CCA or executes the
+/// member ops individually.
+///
+/// The algorithm follows §4.1: seeds are examined in numerical order; each
+/// seed is grown recursively along its dataflow edges, admitting the
+/// lowest-numbered legal candidate each step; each operation is selected as
+/// a seed at most once. Groups that end up smaller than two ops are
+/// discarded (a single-op "group" gains nothing).
+#[must_use]
+pub fn identify_groups(dfg: &Dfg, spec: &CcaSpec, meter: &mut CostMeter) -> Vec<CcaGroup> {
+    let sccs = dfg.sccs();
+    meter.charge(Phase::CcaMapping, (dfg.len() as u64) * 10);
+    let mut taken: HashSet<OpId> = HashSet::new();
+    let mut groups = Vec::new();
+
+    let mut seeds: Vec<OpId> = dfg
+        .schedulable_ops()
+        .filter(|&id| dfg.node(id).opcode().is_some_and(|op| op.cca_supported()))
+        .collect();
+    seeds.sort();
+
+    for seed in seeds {
+        if taken.contains(&seed) {
+            continue;
+        }
+        meter.charge(Phase::CcaMapping, 4);
+        let mut group = vec![seed];
+        if !is_legal_group(dfg, spec, &group, &sccs) {
+            // A seed alone can be illegal only through the recurrence rule;
+            // try pairing it with a same-recurrence neighbour below anyway.
+            meter.charge(Phase::CcaMapping, group.len() as u64);
+        }
+        // Grow until no candidate can be admitted.
+        loop {
+            let mut candidates: Vec<OpId> = Vec::new();
+            for &m in &group {
+                for e in dfg.pred_edges(m).chain(dfg.succ_edges(m)) {
+                    let n = if e.src == m { e.dst } else { e.src };
+                    meter.charge(Phase::CcaMapping, 2);
+                    if taken.contains(&n)
+                        || group.contains(&n)
+                        || !dfg.node(n).opcode().is_some_and(|op| op.cca_supported())
+                    {
+                        continue;
+                    }
+                    if !candidates.contains(&n) {
+                        candidates.push(n);
+                    }
+                }
+            }
+            candidates.sort();
+            let mut grew = false;
+            for c in candidates {
+                let mut trial = group.clone();
+                trial.push(c);
+                trial.sort();
+                // A legality trial runs IO counting, row assignment, a
+                // convexity BFS, and the recurrence rule — several dozen
+                // instructions per member.
+                meter.charge(Phase::CcaMapping, 100 + (trial.len() as u64) * 80);
+                if is_legal_group(dfg, spec, &trial, &sccs) || provisional_ok(dfg, spec, &trial, &sccs)
+                {
+                    group = trial;
+                    grew = true;
+                    break;
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+        group.sort();
+        // Commit only groups that are legal as a whole and large enough to
+        // pay off.
+        if group.len() >= 2 && is_legal_group(dfg, spec, &group, &sccs) {
+            for &m in &group {
+                taken.insert(m);
+            }
+            groups.push(CcaGroup {
+                node: None,
+                members: group,
+            });
+        }
+    }
+    groups
+}
+
+/// During growth a group may transiently violate only the recurrence rule
+/// (e.g. the seed itself lies on a recurrence and its partner has not been
+/// admitted yet). Such a group may keep growing; commit re-checks strictly.
+fn provisional_ok(dfg: &Dfg, spec: &CcaSpec, group: &[OpId], sccs: &[Vec<OpId>]) -> bool {
+    use crate::legality::{assign_rows, group_io, is_convex};
+    let io = group_io(dfg, group);
+    if io.inputs > spec.inputs || io.outputs > spec.outputs {
+        return false;
+    }
+    if assign_rows(dfg, spec, group).is_none() || !is_convex(dfg, group) {
+        return false;
+    }
+    // Relaxed recurrence rule: every cyclic SCC present in the group must
+    // still have an admissible ungrouped neighbour that could complete it.
+    let set: HashSet<OpId> = group.iter().copied().collect();
+    for scc in sccs {
+        let cyclic = scc.len() > 1 || dfg.succ_edges(scc[0]).any(|e| e.dst == scc[0]);
+        if !cyclic {
+            continue;
+        }
+        let inside = scc.iter().filter(|m| set.contains(m)).count();
+        if inside == 0 || inside as u32 >= spec.latency {
+            continue;
+        }
+        let completable = scc.iter().any(|&m| {
+            !set.contains(&m) && dfg.node(m).opcode().is_some_and(|op| op.cca_supported())
+        });
+        if !completable {
+            return false;
+        }
+    }
+    true
+}
+
+/// Identifies CCA subgraphs and collapses each into a [`veal_ir::Opcode::Cca`]
+/// pseudo-node, returning the committed groups with their new node ids.
+///
+/// # Example
+///
+/// See the crate-level example.
+pub fn map_cca(dfg: &mut Dfg, spec: &CcaSpec, meter: &mut CostMeter) -> Vec<CcaGroup> {
+    let groups = identify_groups(dfg, spec, meter);
+    let mut committed = Vec::new();
+    for g in groups {
+        meter.charge(Phase::CcaMapping, 20 + (g.members.len() as u64) * 12);
+        // Groups were identified against the original graph; two groups that
+        // feed each other would deadlock as atomic units, so re-validate
+        // each against the evolving graph (earlier collapses are single
+        // nodes now) and skip any that became illegal.
+        let sccs = dfg.sccs();
+        if !is_legal_group(dfg, spec, &g.members, &sccs) {
+            continue;
+        }
+        let node = dfg.collapse(&g.members);
+        committed.push(CcaGroup {
+            node: Some(node),
+            members: g.members,
+        });
+    }
+    committed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use veal_ir::{verify_dfg, DfgBuilder, Opcode};
+
+    #[test]
+    fn maps_simple_logic_chain() {
+        let mut b = DfgBuilder::new();
+        let x = b.load_stream(0);
+        let a = b.op(Opcode::And, &[x, x]);
+        let s = b.op(Opcode::Sub, &[a, x]);
+        let o = b.op(Opcode::Xor, &[s, a]);
+        b.store_stream(1, o);
+        let mut dfg = b.finish();
+        let mut m = CostMeter::new();
+        let groups = map_cca(&mut dfg, &CcaSpec::paper(), &mut m);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].members, vec![a, s, o]);
+        assert!(groups[0].node.is_some());
+        assert!(verify_dfg(&dfg).is_ok());
+        assert!(m.breakdown().get(Phase::CcaMapping) > 0);
+    }
+
+    #[test]
+    fn no_cca_ops_no_groups() {
+        let mut b = DfgBuilder::new();
+        let x = b.load_stream(0);
+        let y = b.op(Opcode::Mul, &[x, x]);
+        let z = b.op(Opcode::Shl, &[y]);
+        b.store_stream(1, z);
+        let mut dfg = b.finish();
+        let mut m = CostMeter::new();
+        assert!(map_cca(&mut dfg, &CcaSpec::paper(), &mut m).is_empty());
+    }
+
+    #[test]
+    fn singleton_groups_not_committed() {
+        // One supported op surrounded by unsupported ops.
+        let mut b = DfgBuilder::new();
+        let x = b.load_stream(0);
+        let m1 = b.op(Opcode::Mul, &[x, x]);
+        let a = b.op(Opcode::Add, &[m1, x]);
+        let m2 = b.op(Opcode::Shl, &[a]);
+        b.store_stream(1, m2);
+        let mut dfg = b.finish();
+        let mut m = CostMeter::new();
+        assert!(map_cca(&mut dfg, &CcaSpec::paper(), &mut m).is_empty());
+        // The graph is untouched.
+        assert!(!dfg.node(a).is_dead());
+    }
+
+    #[test]
+    fn recurrence_singleton_partner_rejected() {
+        // Paper example: op 7 (on a mul recurrence) must not merge with the
+        // acyclic op 10, because that lengthens the 4-7 recurrence.
+        let mut b = DfgBuilder::new();
+        let mpy = b.op(Opcode::Mul, &[]);
+        let or = b.op(Opcode::Or, &[mpy]);
+        b.loop_carried(or, mpy, 1);
+        let shr = b.op(Opcode::Shr, &[]);
+        let add = b.op(Opcode::Add, &[or, shr]);
+        b.mark_live_out(add);
+        let mut dfg = b.finish();
+        let mut m = CostMeter::new();
+        let groups = map_cca(&mut dfg, &CcaSpec::paper(), &mut m);
+        assert!(
+            groups.iter().all(|g| !g.members.contains(&or)),
+            "op on mul-recurrence must stay out of CCA groups"
+        );
+    }
+
+    #[test]
+    fn growth_respects_input_budget() {
+        // A wide fan-in tree: only 4 external inputs allowed.
+        let mut b = DfgBuilder::new();
+        let ins: Vec<_> = (0..8).map(|_| b.live_in()).collect();
+        let l1: Vec<_> = ins
+            .chunks(2)
+            .map(|p| b.op(Opcode::Add, &[p[0], p[1]]))
+            .collect();
+        let l2a = b.op(Opcode::Or, &[l1[0], l1[1]]);
+        let l2b = b.op(Opcode::Or, &[l1[2], l1[3]]);
+        let top = b.op(Opcode::Xor, &[l2a, l2b]);
+        b.mark_live_out(top);
+        let mut dfg = b.finish();
+        let mut m = CostMeter::new();
+        let groups = map_cca(&mut dfg, &CcaSpec::paper(), &mut m);
+        assert!(groups.iter().all(|g| g.members.len() >= 2));
+        // No group may exceed 4 inputs / 2 outputs; the mapper enforced it,
+        // the schedule-level invariant is that the rewritten graph is sane.
+        assert!(verify_dfg(&dfg).is_ok());
+    }
+
+    #[test]
+    fn identify_does_not_mutate() {
+        let mut b = DfgBuilder::new();
+        let x = b.load_stream(0);
+        let a = b.op(Opcode::And, &[x, x]);
+        let o = b.op(Opcode::Xor, &[a, x]);
+        b.store_stream(1, o);
+        let dfg = b.finish();
+        let before = dfg.clone();
+        let mut m = CostMeter::new();
+        let groups = identify_groups(&dfg, &CcaSpec::paper(), &mut m);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].node, None);
+        assert_eq!(dfg, before);
+    }
+
+    #[test]
+    fn narrow_cca_accepts_fewer_ops() {
+        let mut b = DfgBuilder::new();
+        let x = b.live_in();
+        let mut cur = x;
+        let mut chain = Vec::new();
+        for i in 0..4 {
+            let op = if i % 2 == 0 { Opcode::And } else { Opcode::Or };
+            cur = b.op(op, &[cur]);
+            chain.push(cur);
+        }
+        b.mark_live_out(cur);
+        let dfg = b.finish();
+        let mut m = CostMeter::new();
+        let wide = identify_groups(&dfg, &CcaSpec::paper(), &mut m);
+        let narrow = identify_groups(&dfg, &CcaSpec::narrow(), &mut m);
+        assert_eq!(wide[0].members.len(), 4);
+        assert!(narrow.is_empty() || narrow[0].members.len() <= 2);
+    }
+}

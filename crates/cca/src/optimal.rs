@@ -1,0 +1,183 @@
+//! An exhaustive CCA mapper for small graphs.
+//!
+//! The paper notes that optimal CCA utilization is NP-complete \[13\] and
+//! therefore uses a greedy heuristic. This module provides the reference
+//! point: on graphs with few CCA-supported ops it enumerates every legal
+//! partition into groups and maximizes the number of *covered* ops — the
+//! quantity the greedy mapper approximates. The ablation bench
+//! (`veal-bench --bin ablation`) and the property tests use it to bound
+//! the greedy mapper's loss.
+
+use crate::legality::is_legal_group;
+use crate::mapper::CcaGroup;
+use crate::spec::CcaSpec;
+use veal_ir::{CostMeter, Dfg, OpId, Phase};
+
+/// Upper bound on CCA-supported candidate ops before [`optimal_groups`]
+/// refuses to run (the search is exponential).
+pub const MAX_CANDIDATES: usize = 14;
+
+/// Exhaustively finds the grouping that covers the most ops with legal CCA
+/// groups (ties broken toward fewer groups). Returns `None` when the graph
+/// has more than [`MAX_CANDIDATES`] candidate ops.
+///
+/// Groups are returned like [`crate::identify_groups`]'s: member lists
+/// over the unmodified graph.
+#[must_use]
+pub fn optimal_groups(dfg: &Dfg, spec: &CcaSpec, meter: &mut CostMeter) -> Option<Vec<CcaGroup>> {
+    let candidates: Vec<OpId> = dfg
+        .schedulable_ops()
+        .filter(|&id| dfg.node(id).opcode().is_some_and(|op| op.cca_supported()))
+        .collect();
+    if candidates.len() > MAX_CANDIDATES {
+        return None;
+    }
+    let sccs = dfg.sccs();
+
+    // Enumerate all legal groups (subsets of candidates, size >= 2).
+    let n = candidates.len();
+    let mut legal: Vec<(u32, Vec<OpId>)> = Vec::new();
+    for mask in 1u32..(1 << n) {
+        if mask.count_ones() < 2 {
+            continue;
+        }
+        let members: Vec<OpId> = (0..n)
+            .filter(|&i| mask & (1 << i) != 0)
+            .map(|i| candidates[i])
+            .collect();
+        meter.charge(Phase::CcaMapping, members.len() as u64 * 4);
+        if is_legal_group(dfg, spec, &members, &sccs) {
+            legal.push((mask, members));
+        }
+    }
+
+    // Branch-and-bound over disjoint unions of legal groups, maximizing
+    // covered ops.
+    fn search(
+        legal: &[(u32, Vec<OpId>)],
+        start: usize,
+        used: u32,
+        covered: u32,
+        best: &mut (u32, Vec<usize>),
+        chosen: &mut Vec<usize>,
+    ) {
+        if covered.count_ones() > best.0.count_ones()
+            || (covered.count_ones() == best.0.count_ones()
+                && chosen.len() < best.1.len())
+        {
+            *best = (covered, chosen.clone());
+        }
+        for (i, (mask, _)) in legal.iter().enumerate().skip(start) {
+            if mask & used != 0 {
+                continue;
+            }
+            chosen.push(i);
+            search(legal, i + 1, used | mask, covered | mask, best, chosen);
+            chosen.pop();
+        }
+    }
+    let mut best = (0u32, Vec::new());
+    let mut chosen = Vec::new();
+    search(&legal, 0, 0, 0, &mut best, &mut chosen);
+
+    Some(
+        best.1
+            .into_iter()
+            .map(|i| CcaGroup {
+                node: None,
+                members: legal[i].1.clone(),
+            })
+            .collect(),
+    )
+}
+
+/// Ops covered by a set of groups.
+#[must_use]
+pub fn coverage(groups: &[CcaGroup]) -> usize {
+    groups.iter().map(|g| g.members.len()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::identify_groups;
+    use veal_ir::{DfgBuilder, Opcode};
+
+    #[test]
+    fn optimal_matches_greedy_on_simple_chain() {
+        let mut b = DfgBuilder::new();
+        let x = b.live_in();
+        let a = b.op(Opcode::And, &[x, x]);
+        let s = b.op(Opcode::Sub, &[a, x]);
+        let o = b.op(Opcode::Xor, &[s, a]);
+        b.mark_live_out(o);
+        let dfg = b.finish();
+        let spec = CcaSpec::paper();
+        let greedy = identify_groups(&dfg, &spec, &mut CostMeter::new());
+        let optimal = optimal_groups(&dfg, &spec, &mut CostMeter::new()).unwrap();
+        assert_eq!(coverage(&greedy), coverage(&optimal));
+    }
+
+    #[test]
+    fn optimal_never_below_greedy() {
+        // Random-ish small graphs: the exhaustive answer is a true upper
+        // bound for the greedy one.
+        for seed in 0..12u64 {
+            let mut b = DfgBuilder::new();
+            let mut vals = vec![b.live_in()];
+            for i in 0..8 {
+                let ops = [Opcode::And, Opcode::Or, Opcode::Xor, Opcode::Add, Opcode::Shl];
+                let op = ops[((seed + i) % 5) as usize];
+                let a = vals[(seed as usize + i as usize) % vals.len()];
+                let c = vals[(seed as usize * 3 + i as usize) % vals.len()];
+                vals.push(b.op(op, &[a, c]));
+            }
+            let last = *vals.last().unwrap();
+            b.mark_live_out(last);
+            let dfg = b.finish();
+            let spec = CcaSpec::paper();
+            let greedy = identify_groups(&dfg, &spec, &mut CostMeter::new());
+            let optimal = optimal_groups(&dfg, &spec, &mut CostMeter::new()).unwrap();
+            assert!(
+                coverage(&optimal) >= coverage(&greedy),
+                "seed {seed}: optimal {} < greedy {}",
+                coverage(&optimal),
+                coverage(&greedy)
+            );
+        }
+    }
+
+    #[test]
+    fn refuses_large_graphs() {
+        let mut b = DfgBuilder::new();
+        let mut prev = b.op(Opcode::And, &[]);
+        for _ in 0..20 {
+            prev = b.op(Opcode::Or, &[prev]);
+        }
+        let dfg = b.finish();
+        assert!(optimal_groups(&dfg, &CcaSpec::paper(), &mut CostMeter::new()).is_none());
+    }
+
+    #[test]
+    fn optimal_groups_are_disjoint_and_legal() {
+        let mut b = DfgBuilder::new();
+        let x = b.live_in();
+        let a = b.op(Opcode::And, &[x, x]);
+        let c = b.op(Opcode::Or, &[a, x]);
+        let d = b.op(Opcode::Shl, &[c]); // splits the region
+        let e = b.op(Opcode::Xor, &[d, a]);
+        let f = b.op(Opcode::Add, &[e, d]);
+        b.mark_live_out(f);
+        let dfg = b.finish();
+        let spec = CcaSpec::paper();
+        let groups = optimal_groups(&dfg, &spec, &mut CostMeter::new()).unwrap();
+        let sccs = dfg.sccs();
+        let mut seen = std::collections::HashSet::new();
+        for g in &groups {
+            assert!(is_legal_group(&dfg, &spec, &g.members, &sccs));
+            for &m in &g.members {
+                assert!(seen.insert(m), "{m} in two groups");
+            }
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! CCA hardware parameters.
+
+use std::fmt;
+
+/// Parameters of a CCA instance.
+///
+/// The default [`CcaSpec::paper`] matches the paper's §3.1 description:
+/// 4 inputs, 2 outputs, 15 ops across 4 rows (rows 0 and 2 execute simple
+/// arithmetic *and* logic; rows 1 and 3 execute only logic), 2-cycle
+/// latency.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CcaSpec {
+    /// Number of external input operands.
+    pub inputs: usize,
+    /// Number of external result outputs.
+    pub outputs: usize,
+    /// Capacity of each row, top to bottom.
+    pub row_caps: Vec<usize>,
+    /// Whether each row can execute arithmetic (otherwise logic only).
+    pub arith_rows: Vec<bool>,
+    /// Latency of one CCA invocation in cycles.
+    pub latency: u32,
+}
+
+impl CcaSpec {
+    /// The paper's CCA: 4 in, 2 out, 15 ops in 4 rows, 2-cycle latency.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use veal_cca::CcaSpec;
+    /// let spec = CcaSpec::paper();
+    /// assert_eq!(spec.max_ops(), 15);
+    /// assert_eq!(spec.depth(), 4);
+    /// ```
+    #[must_use]
+    pub fn paper() -> Self {
+        CcaSpec {
+            inputs: 4,
+            outputs: 2,
+            row_caps: vec![6, 4, 3, 2],
+            arith_rows: vec![true, false, true, false],
+            latency: 2,
+        }
+    }
+
+    /// A narrower CCA (2 rows, 8 ops) used for forward-compatibility tests:
+    /// statically identified subgraphs that don't fit simply execute as
+    /// individual ops (paper §4.2, "Static CCA Identification").
+    #[must_use]
+    pub fn narrow() -> Self {
+        CcaSpec {
+            inputs: 3,
+            outputs: 1,
+            row_caps: vec![5, 3],
+            arith_rows: vec![true, false],
+            latency: 1,
+        }
+    }
+
+    /// Maximum number of ops a single invocation can contain.
+    #[must_use]
+    pub fn max_ops(&self) -> usize {
+        self.row_caps.iter().sum()
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.row_caps.len()
+    }
+
+    /// Whether row `r` supports arithmetic ops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    #[must_use]
+    pub fn row_supports_arith(&self, r: usize) -> bool {
+        self.arith_rows[r]
+    }
+}
+
+impl Default for CcaSpec {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+impl fmt::Display for CcaSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CCA[{} in, {} out, {} ops / {} rows, {} cy]",
+            self.inputs,
+            self.outputs,
+            self.max_ops(),
+            self.depth(),
+            self.latency
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_spec_matches_section_3_1() {
+        let s = CcaSpec::paper();
+        assert_eq!(s.inputs, 4);
+        assert_eq!(s.outputs, 2);
+        assert_eq!(s.max_ops(), 15);
+        assert_eq!(s.depth(), 4);
+        assert_eq!(s.latency, 2);
+        assert!(s.row_supports_arith(0));
+        assert!(!s.row_supports_arith(1));
+        assert!(s.row_supports_arith(2));
+        assert!(!s.row_supports_arith(3));
+    }
+
+    #[test]
+    fn narrow_spec_is_smaller() {
+        let n = CcaSpec::narrow();
+        assert!(n.max_ops() < CcaSpec::paper().max_ops());
+        assert!(n.depth() < CcaSpec::paper().depth());
+    }
+
+    #[test]
+    fn display_mentions_shape() {
+        assert!(CcaSpec::paper().to_string().contains("4 in"));
+    }
+}

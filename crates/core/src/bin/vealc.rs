@@ -1,0 +1,206 @@
+//! `vealc` — a command-line front end for the VEAL translator.
+//!
+//! ```text
+//! vealc translate <loop.vasm> [--policy dynamic|height|static] [--no-cca]
+//! vealc pack <loop.vasm>... -o <module.veal>     # encode, with hints
+//! vealc dump <module.veal>                       # disassemble a module
+//! vealc suite [--policy ...]                     # run the benchmark suite
+//! ```
+//!
+//! Loop files use the textual assembly format of `veal::ir::asm` (see the
+//! module docs; `vealc translate --example` prints one).
+
+use std::io::Read as _;
+use std::process::ExitCode;
+use veal::ir::asm::{parse_asm, to_asm};
+use veal::sched::render_mrt;
+use veal::{
+    compute_hints, AcceleratorConfig, CcaSpec, StaticHints, System, TranslationPolicy,
+};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("usage: vealc <translate|pack|dump|suite> ...");
+        return ExitCode::FAILURE;
+    };
+    let rest = &args[1..];
+    let result = match cmd.as_str() {
+        "translate" => translate(rest),
+        "pack" => pack(rest),
+        "dump" => dump(rest),
+        "suite" => suite(rest),
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("vealc: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn policy_from(rest: &[String]) -> Result<TranslationPolicy, String> {
+    match rest
+        .iter()
+        .position(|a| a == "--policy")
+        .map(|i| rest.get(i + 1).map(String::as_str))
+    {
+        None => Ok(TranslationPolicy::static_hints()),
+        Some(Some("dynamic")) => Ok(TranslationPolicy::fully_dynamic()),
+        Some(Some("height")) => Ok(TranslationPolicy::fully_dynamic_height()),
+        Some(Some("static")) => Ok(TranslationPolicy::static_hints()),
+        Some(other) => Err(format!(
+            "--policy expects dynamic|height|static, got {other:?}"
+        )),
+    }
+}
+
+fn read_input(path: &str) -> Result<String, String> {
+    if path == "-" {
+        let mut s = String::new();
+        std::io::stdin()
+            .read_to_string(&mut s)
+            .map_err(|e| format!("stdin: {e}"))?;
+        Ok(s)
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+const EXAMPLE: &str = "; dot_product\n%0 = ld.s0\n%1 = ld.s1\n%2 = fmul %0, %1\n%3 = fadd %2, %3@1\nout %3\n";
+
+fn translate(rest: &[String]) -> Result<(), String> {
+    if rest.iter().any(|a| a == "--example") {
+        print!("{EXAMPLE}");
+        return Ok(());
+    }
+    // The first positional argument that is neither a flag nor a flag's
+    // value is the input path.
+    let mut path: Option<&String> = None;
+    let mut skip_next = false;
+    for a in rest {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if a == "--policy" {
+            skip_next = true;
+            continue;
+        }
+        if a.starts_with("--") {
+            continue;
+        }
+        path = Some(a);
+        break;
+    }
+    let path = path.ok_or("translate needs a .vasm file (or `-` for stdin)")?;
+    let body = parse_asm(&read_input(path)?).map_err(|e| e.to_string())?;
+    let policy = policy_from(rest)?;
+    let no_cca = rest.iter().any(|a| a == "--no-cca");
+
+    let mut config = AcceleratorConfig::paper_design();
+    let cca = if no_cca {
+        config.cca_units = 0;
+        None
+    } else {
+        Some(CcaSpec::paper())
+    };
+    let hints = if policy.static_cca || policy.static_priority {
+        compute_hints(&body, &config, cca.as_ref())
+    } else {
+        StaticHints::none()
+    };
+    let mut setup = veal::AccelSetup::paper(policy);
+    setup.config = config.clone();
+    setup.cca = cca;
+    let system = System::new(veal::CpuModel::arm11(), setup);
+
+    println!("; input");
+    print!("{}", to_asm(&body));
+    let out = system.translate_loop(&body, &hints);
+    let cost = out.cost();
+    match out.result {
+        Ok(t) => {
+            println!("\n; mapped: II={} SC={} streams={}+{} cca_groups={}",
+                t.scheduled.schedule.ii,
+                t.scheduled.schedule.stage_count(),
+                t.streams.loads,
+                t.streams.stores,
+                t.cca_groups,
+            );
+            println!("; registers: {}", t.scheduled.registers.pressure);
+            println!("; translation cost: {cost} abstract instructions\n");
+            // Rebuild the accelerator view to label the grid.
+            let sep = veal::ir::streams::separate(&body.dfg, &mut veal::CostMeter::new())
+                .map_err(|e| e.to_string())?;
+            let mut dfg = sep.dfg;
+            if let Some(spec) = &system.setup().cca {
+                veal::cca::map_cca(&mut dfg, spec, &mut veal::CostMeter::new());
+            }
+            print!("{}", render_mrt(&dfg, &t.scheduled.schedule, &config));
+            Ok(())
+        }
+        Err(e) => {
+            println!("\n; not mapped ({e}); the loop runs on the CPU");
+            println!("; translation cost: {cost} abstract instructions");
+            Ok(())
+        }
+    }
+}
+
+fn pack(rest: &[String]) -> Result<(), String> {
+    let out_pos = rest
+        .iter()
+        .position(|a| a == "-o")
+        .ok_or("pack needs `-o <module.veal>`")?;
+    let out_path = rest
+        .get(out_pos + 1)
+        .ok_or("pack needs a path after -o")?;
+    let inputs: Vec<&String> = rest[..out_pos].iter().filter(|a| !a.starts_with("--")).collect();
+    if inputs.is_empty() {
+        return Err("pack needs at least one .vasm input".into());
+    }
+    let config = AcceleratorConfig::paper_design();
+    let with_hints = !rest.iter().any(|a| a == "--no-hints");
+    let mut module = veal::BinaryModule::default();
+    for path in inputs {
+        let body = parse_asm(&read_input(path)?).map_err(|e| format!("{path}: {e}"))?;
+        let hints = if with_hints {
+            compute_hints(&body, &config, Some(&CcaSpec::paper()))
+        } else {
+            StaticHints::none()
+        };
+        module.loops.push(veal::EncodedLoop {
+            body,
+            priority_hint: hints.priority,
+            cca_hint: hints.cca_groups,
+        });
+    }
+    let bytes = veal::encode_module(&module);
+    std::fs::write(out_path, &bytes).map_err(|e| format!("{out_path}: {e}"))?;
+    println!(
+        "packed {} loop(s) into {out_path} ({} bytes{})",
+        module.loops.len(),
+        bytes.len(),
+        if with_hints { ", hinted" } else { "" }
+    );
+    Ok(())
+}
+
+fn dump(rest: &[String]) -> Result<(), String> {
+    let path = rest.first().ok_or("dump needs a .veal module")?;
+    let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    let module = veal::decode_module(&bytes).map_err(|e| e.to_string())?;
+    print!("{}", veal::vm::disassemble(&module));
+    Ok(())
+}
+
+fn suite(rest: &[String]) -> Result<(), String> {
+    let policy = policy_from(rest)?;
+    let system = System::paper(policy);
+    let runs = system.run_suite(&veal::workloads::media_fp_suite());
+    print!("{}", veal::sim::report::speedup_table(&runs));
+    Ok(())
+}

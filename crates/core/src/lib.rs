@@ -1,0 +1,67 @@
+//! # VEAL — Virtualized Execution Accelerator for Loops
+//!
+//! A full reproduction of Clark, Hormati & Mahlke, *"VEAL: Virtualized
+//! Execution Accelerator for Loops"*, ISCA 2008.
+//!
+//! VEAL decouples a processor's instruction set from its loop
+//! accelerators: loops are shipped in the baseline ISA and a co-designed
+//! virtual machine maps them onto whatever accelerator is present, using
+//! modulo scheduling. The expensive translation phases (scheduling
+//! priority, CCA subgraph identification) can be computed statically and
+//! carried in the binary without breaking compatibility.
+//!
+//! This crate is the facade over the workspace:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`ir`] | baseline ISA, CFG/DFG, loop analysis, cost meter |
+//! | [`opt`] | static transforms: inline, if-convert, re-roll, fission |
+//! | [`cca`] | the combinational compute accelerator and its mapper |
+//! | [`accel`] | loop-accelerator machine descriptions and area model |
+//! | [`sched`] | Swing/height modulo scheduling, register assignment |
+//! | [`vm`] | binary format, hints, code cache, dynamic translator |
+//! | [`sim`] | CPU/LA timing models and the speedup engine |
+//! | [`workloads`] | the 27-application benchmark suite |
+//!
+//! # Quickstart
+//!
+//! Translate one loop and run a whole application:
+//!
+//! ```
+//! use veal::{System, TranslationPolicy};
+//!
+//! let system = System::paper(TranslationPolicy::static_hints());
+//! let app = veal::workloads::application("rawcaudio").expect("known app");
+//! let run = system.run(&app);
+//! assert!(run.speedup() > 1.0);
+//! ```
+
+pub use veal_accel as accel;
+pub use veal_cca as cca;
+pub use veal_ir as ir;
+pub use veal_opt as opt;
+pub use veal_sched as sched;
+pub use veal_sim as sim;
+pub use veal_vm as vm;
+pub use veal_workloads as workloads;
+
+pub mod paper_example;
+pub mod system;
+
+pub use paper_example::{figure5_loop, Figure5Ids};
+pub use system::System;
+
+// The names a user reaches for first, re-exported flat.
+pub use veal_accel::{AcceleratorConfig, LatencyModel};
+pub use veal_cca::CcaSpec;
+pub use veal_ir::{
+    classify_loop, CostMeter, Dfg, DfgBuilder, LoopBody, LoopClass, LoopProfile, Opcode, OpId,
+    Phase,
+};
+pub use veal_opt::{legalize, RawLoop, TransformLimits};
+pub use veal_sched::{modulo_schedule, ScheduleOptions, ScheduledLoop};
+pub use veal_sim::{run_application, AccelSetup, AppRun, CpuModel};
+pub use veal_vm::{
+    compute_hints, decode_module, encode_module, BinaryModule, EncodedLoop, StaticHints,
+    TranslationPolicy, Translator, VmSession,
+};

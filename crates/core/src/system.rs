@@ -1,0 +1,166 @@
+//! The top-level system facade.
+
+use veal_sim::{run_application, AccelSetup, AppRun, CpuModel};
+use veal_vm::{StaticHints, TranslationOutcome, TranslationPolicy, Translator};
+use veal_workloads::Application;
+
+/// A complete VEAL system: a baseline CPU plus an (optionally virtualized)
+/// loop accelerator.
+///
+/// # Example
+///
+/// ```
+/// use veal::{System, TranslationPolicy};
+/// let sys = System::paper(TranslationPolicy::fully_dynamic());
+/// let app = veal::workloads::application("cjpeg").unwrap();
+/// let run = sys.run(&app);
+/// println!("{}: {:.2}x", run.name, run.speedup());
+/// ```
+#[derive(Debug, Clone)]
+pub struct System {
+    cpu: CpuModel,
+    setup: AccelSetup,
+}
+
+impl System {
+    /// The paper's evaluation system: ARM 11-class CPU + the §3.2 design
+    /// point, with the given translation policy.
+    #[must_use]
+    pub fn paper(policy: TranslationPolicy) -> Self {
+        System {
+            cpu: CpuModel::arm11(),
+            setup: AccelSetup::paper(policy),
+        }
+    }
+
+    /// The zero-translation-cost upper bound (statically compiled binary).
+    #[must_use]
+    pub fn native() -> Self {
+        System {
+            cpu: CpuModel::arm11(),
+            setup: AccelSetup::native(),
+        }
+    }
+
+    /// A custom system.
+    #[must_use]
+    pub fn new(cpu: CpuModel, setup: AccelSetup) -> Self {
+        System { cpu, setup }
+    }
+
+    /// The baseline CPU.
+    #[must_use]
+    pub fn cpu(&self) -> &CpuModel {
+        &self.cpu
+    }
+
+    /// The accelerator/VM setup.
+    #[must_use]
+    pub fn setup(&self) -> &AccelSetup {
+        &self.setup
+    }
+
+    /// Runs one application end to end (transform → VM translate → time).
+    #[must_use]
+    pub fn run(&self, app: &Application) -> AppRun {
+        run_application(app, &self.cpu, &self.setup)
+    }
+
+    /// Runs a set of applications and returns the per-app results.
+    #[must_use]
+    pub fn run_suite(&self, apps: &[Application]) -> Vec<AppRun> {
+        apps.iter().map(|a| self.run(a)).collect()
+    }
+
+    /// Mean speedup over a set of applications.
+    #[must_use]
+    pub fn mean_speedup(&self, apps: &[Application]) -> f64 {
+        if apps.is_empty() {
+            return 1.0;
+        }
+        self.run_suite(apps)
+            .iter()
+            .map(AppRun::speedup)
+            .sum::<f64>()
+            / apps.len() as f64
+    }
+
+    /// Translates a single loop body through this system's VM (one-shot,
+    /// no cache), returning the outcome and metered cost.
+    #[must_use]
+    pub fn translate_loop(
+        &self,
+        body: &veal_ir::LoopBody,
+        hints: &StaticHints,
+    ) -> TranslationOutcome {
+        let t = Translator::new(
+            self.setup.config.clone(),
+            self.setup.cca.clone(),
+            self.setup.policy,
+        );
+        t.translate(body, hints)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use veal_workloads::application;
+
+    #[test]
+    fn paper_system_accelerates_media_apps() {
+        let sys = System::paper(TranslationPolicy::static_hints());
+        let app = application("rawcaudio").unwrap();
+        assert!(sys.run(&app).speedup() > 1.5);
+    }
+
+    #[test]
+    fn native_bound_dominates_policies() {
+        let app = application("mpeg2dec").unwrap();
+        let native = System::native().run(&app).speedup();
+        for policy in [
+            TranslationPolicy::fully_dynamic(),
+            TranslationPolicy::static_hints(),
+        ] {
+            let s = System::paper(policy).run(&app).speedup();
+            assert!(s <= native + 1e-9, "{policy:?} {s} vs native {native}");
+        }
+    }
+
+    #[test]
+    fn mean_speedup_over_subset() {
+        let apps: Vec<_> = ["rawcaudio", "cjpeg"]
+            .iter()
+            .filter_map(|n| application(n))
+            .collect();
+        let m = System::native().mean_speedup(&apps);
+        assert!(m > 1.0);
+    }
+
+    #[test]
+    fn translate_loop_exposes_meter() {
+        let sys = System::paper(TranslationPolicy::fully_dynamic());
+        let (body, _) = crate::figure5_loop();
+        let out = sys.translate_loop(&body, &StaticHints::none());
+        assert!(out.result.is_ok());
+        assert!(out.cost() > 0);
+    }
+
+    #[test]
+    fn figure5_schedules_at_ii_4_with_op10_in_stage_1() {
+        // The headline assertions of the paper's worked example. The
+        // fully dynamic policy runs CCA identification itself; a
+        // static-hints policy with a hint-less binary would leave the CCA
+        // idle and settle at II 5.
+        let sys = System::paper(TranslationPolicy::fully_dynamic());
+        let (body, ids) = crate::figure5_loop();
+        let out = sys.translate_loop(&body, &StaticHints::none());
+        let t = out.result.expect("figure 5 loop maps");
+        assert_eq!(t.scheduled.schedule.ii, 4);
+        assert_eq!(t.cca_groups, 1);
+        assert!(
+            t.scheduled.schedule.stage(ids.add10).unwrap() >= 1,
+            "op 10 runs in a later stage"
+        );
+    }
+}

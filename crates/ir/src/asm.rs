@@ -1,0 +1,455 @@
+//! A textual assembly format for loop bodies.
+//!
+//! The paper's Figure 9 shows loops as numbered pseudo-assembly listings;
+//! this module provides that surface syntax for the DFG representation —
+//! a printer ([`to_asm`]) and a parser ([`parse_asm`]) that round-trip.
+//!
+//! Syntax, one node per line:
+//!
+//! ```text
+//! ; dot product
+//! %0 = ld.s0                ; streaming load from stream 0
+//! %1 = ld.s1
+//! %2 = mpy %0, %1
+//! %3 = add %2, %3@1         ; @1 = value from one iteration back
+//! %4 = str.s2 %3            ; streaming store to stream 2
+//! %5 = livein
+//! %6 = const 42
+//! out %3                    ; live-out marker
+//! ```
+//!
+//! Node ids must be `%0..%n` in order; `@d` suffixes mark loop-carried
+//! operands; `!` before an operand marks a memory-ordering edge.
+
+use crate::dfg::{Dfg, EdgeKind, NodeKind};
+use crate::loops::LoopBody;
+use crate::opcode::{Opcode, ALL_OPCODES};
+use crate::types::OpId;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Errors produced by [`parse_asm`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A line could not be parsed.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+    /// Node ids must appear densely in order (`%0`, `%1`, …).
+    BadNodeId {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// An operand references a node that does not exist (yet or at all).
+    UnknownOperand {
+        /// 1-based line number.
+        line: usize,
+        /// The referenced id.
+        id: usize,
+    },
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::Syntax { line, reason } => write!(f, "line {line}: {reason}"),
+            AsmError::BadNodeId { line } => {
+                write!(f, "line {line}: node ids must be dense and in order")
+            }
+            AsmError::UnknownOperand { line, id } => {
+                write!(f, "line {line}: operand %{id} not defined")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// Renders a loop body in the textual assembly format.
+///
+/// # Example
+///
+/// ```
+/// use veal_ir::asm::{parse_asm, to_asm};
+/// use veal_ir::{DfgBuilder, LoopBody, Opcode};
+///
+/// # fn main() -> Result<(), veal_ir::asm::AsmError> {
+/// let mut b = DfgBuilder::new();
+/// let x = b.load_stream(0);
+/// let y = b.op(Opcode::Add, &[x, x]);
+/// b.store_stream(1, y);
+/// let body = LoopBody::new("double", b.finish());
+/// let text = to_asm(&body);
+/// let back = parse_asm(&text)?;
+/// assert_eq!(back.dfg.edges(), body.dfg.edges());
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn to_asm(body: &LoopBody) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "; {}", body.name);
+    let dfg = &body.dfg;
+    for i in 0..dfg.len() {
+        let id = OpId::new(i);
+        let node = dfg.node(id);
+        if node.is_dead() {
+            let _ = writeln!(out, "%{i} = dead");
+            continue;
+        }
+        match &node.kind {
+            NodeKind::LiveIn => {
+                let _ = writeln!(out, "%{i} = livein");
+            }
+            NodeKind::Const(v) => {
+                let _ = writeln!(out, "%{i} = const {v}");
+            }
+            NodeKind::Op(op) => {
+                let _ = write!(out, "%{i} = {}", op.mnemonic());
+                if let Some(s) = node.stream {
+                    let _ = write!(out, ".s{s}");
+                }
+                if !node.cca_members.is_empty() {
+                    let members: Vec<String> = node
+                        .cca_members
+                        .iter()
+                        .map(|m| m.index().to_string())
+                        .collect();
+                    let _ = write!(out, " {{{}}}", members.join(" "));
+                }
+                let mut first = true;
+                for e in dfg.pred_edges(id) {
+                    if first {
+                        let _ = write!(out, " ");
+                        first = false;
+                    } else {
+                        let _ = write!(out, ", ");
+                    }
+                    if e.kind == EdgeKind::Mem {
+                        let _ = write!(out, "!");
+                    }
+                    let _ = write!(out, "%{}", e.src.index());
+                    if e.distance > 0 {
+                        let _ = write!(out, "@{}", e.distance);
+                    }
+                }
+                let _ = writeln!(out);
+            }
+        }
+    }
+    for id in dfg.live_out_ids() {
+        let _ = writeln!(out, "out %{}", id.index());
+    }
+    out
+}
+
+fn mnemonic_to_opcode(m: &str) -> Option<Opcode> {
+    ALL_OPCODES.iter().copied().find(|op| op.mnemonic() == m)
+}
+
+/// Parses the textual assembly format back into a loop body.
+///
+/// The loop's name is taken from a leading `; name` comment when present.
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] describing the first offending line.
+pub fn parse_asm(text: &str) -> Result<LoopBody, AsmError> {
+    let mut dfg = Dfg::new();
+    let mut name = String::from("loop");
+    let mut saw_name = false;
+    // Edges are wired after all nodes exist so forward references
+    // (loop-carried uses of later defs) parse naturally.
+    let mut pending_edges: Vec<(usize, usize, u32, EdgeKind, usize)> = Vec::new();
+    let mut live_outs: Vec<(usize, usize)> = Vec::new();
+    let mut next_id = 0usize;
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let code = raw.split(';').next().unwrap_or("").trim();
+        if code.is_empty() {
+            if !saw_name {
+                if let Some(rest) = raw.trim().strip_prefix(';') {
+                    let n = rest.trim();
+                    if !n.is_empty() {
+                        name = n.to_owned();
+                        saw_name = true;
+                    }
+                }
+            }
+            continue;
+        }
+        if let Some(rest) = code.strip_prefix("out ") {
+            let id = parse_ref(rest.trim(), line)?.0;
+            live_outs.push((line, id));
+            continue;
+        }
+        // "%N = <rhs>"
+        let (lhs, rhs) = code
+            .split_once('=')
+            .ok_or_else(|| AsmError::Syntax {
+                line,
+                reason: "expected `%N = ...` or `out %N`".to_owned(),
+            })?;
+        let lhs = lhs.trim();
+        let id: usize = lhs
+            .strip_prefix('%')
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| AsmError::Syntax {
+                line,
+                reason: format!("bad node id `{lhs}`"),
+            })?;
+        if id != next_id {
+            return Err(AsmError::BadNodeId { line });
+        }
+        next_id += 1;
+
+        let rhs = rhs.trim();
+        let (head, operands) = match rhs.split_once(' ') {
+            Some((h, o)) => (h.trim(), o.trim()),
+            None => (rhs, ""),
+        };
+        if head == "livein" {
+            dfg.add_node(NodeKind::LiveIn);
+            continue;
+        }
+        if head == "dead" {
+            // Placeholder slot for a tombstoned node.
+            let nid = dfg.add_node(NodeKind::LiveIn);
+            dfg.remove_nodes(&[nid]);
+            continue;
+        }
+        if head == "const" {
+            let v: i64 = operands.parse().map_err(|_| AsmError::Syntax {
+                line,
+                reason: format!("bad constant `{operands}`"),
+            })?;
+            dfg.add_node(NodeKind::Const(v));
+            continue;
+        }
+        // Opcode with optional ".sN" stream suffix.
+        let (mnemonic, stream) = match head.split_once(".s") {
+            Some((m, s)) => {
+                let stream: u16 = s.parse().map_err(|_| AsmError::Syntax {
+                    line,
+                    reason: format!("bad stream suffix `.s{s}`"),
+                })?;
+                (m, Some(stream))
+            }
+            None => (head, None),
+        };
+        let op = mnemonic_to_opcode(mnemonic).ok_or_else(|| AsmError::Syntax {
+            line,
+            reason: format!("unknown opcode `{mnemonic}`"),
+        })?;
+        let nid = dfg.add_node(NodeKind::Op(op));
+        dfg.node_mut(nid).stream = stream;
+        // Optional CCA member group: `cca {5 6 8} %in0, %in1`.
+        let operands = if let Some(start) = operands.find('{') {
+            let end = operands.find('}').ok_or_else(|| AsmError::Syntax {
+                line,
+                reason: "unterminated `{` member group".to_owned(),
+            })?;
+            let members: Result<Vec<OpId>, _> = operands[start + 1..end]
+                .split_whitespace()
+                .map(|m| m.parse::<usize>().map(OpId::new))
+                .collect();
+            dfg.node_mut(nid).cca_members = members.map_err(|_| AsmError::Syntax {
+                line,
+                reason: "bad member id in `{}` group".to_owned(),
+            })?;
+            format!("{}{}", &operands[..start], &operands[end + 1..])
+                .trim()
+                .to_owned()
+        } else {
+            operands.to_owned()
+        };
+        let operands = operands.as_str();
+        if !operands.is_empty() {
+            for piece in operands.split(',') {
+                let piece = piece.trim();
+                let (mem, piece) = match piece.strip_prefix('!') {
+                    Some(rest) => (true, rest),
+                    None => (false, piece),
+                };
+                let (src, dist) = parse_ref(piece, line)?;
+                pending_edges.push((
+                    src,
+                    id,
+                    dist,
+                    if mem { EdgeKind::Mem } else { EdgeKind::Data },
+                    line,
+                ));
+            }
+        }
+    }
+
+    for (src, dst, dist, kind, line) in pending_edges {
+        if src >= dfg.len() || dst >= dfg.len() {
+            return Err(AsmError::UnknownOperand { line, id: src.max(dst) });
+        }
+        dfg.add_edge(OpId::new(src), OpId::new(dst), dist, kind);
+    }
+    for (line, id) in live_outs {
+        if id >= dfg.len() {
+            return Err(AsmError::UnknownOperand { line, id });
+        }
+        dfg.node_mut(OpId::new(id)).live_out = true;
+    }
+    Ok(LoopBody::new(name, dfg))
+}
+
+/// Parses `%N` or `%N@d`, returning `(id, distance)`.
+fn parse_ref(s: &str, line: usize) -> Result<(usize, u32), AsmError> {
+    let body = s.strip_prefix('%').ok_or_else(|| AsmError::Syntax {
+        line,
+        reason: format!("expected operand `%N`, found `{s}`"),
+    })?;
+    let (ids, dist) = match body.split_once('@') {
+        Some((i, d)) => {
+            let dist: u32 = d.parse().map_err(|_| AsmError::Syntax {
+                line,
+                reason: format!("bad distance `@{d}`"),
+            })?;
+            (i, dist)
+        }
+        None => (body, 0),
+    };
+    let id: usize = ids.parse().map_err(|_| AsmError::Syntax {
+        line,
+        reason: format!("bad operand id `%{ids}`"),
+    })?;
+    Ok((id, dist))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DfgBuilder;
+    use crate::verify::verify_dfg;
+
+    fn round_trip(body: &LoopBody) -> LoopBody {
+        parse_asm(&to_asm(body)).expect("parses")
+    }
+
+    #[test]
+    fn round_trips_loop_with_everything() {
+        let mut b = DfgBuilder::new();
+        let k = b.constant(-7);
+        let li = b.live_in();
+        let x = b.load_stream(0);
+        let m = b.op(Opcode::Mul, &[x, k]);
+        let s = b.op(Opcode::Add, &[m, li]);
+        b.loop_carried(s, s, 2);
+        b.mark_live_out(s);
+        let st = b.store_stream(1, s);
+        b.mem_dep(st, x, 1);
+        let body = LoopBody::new("everything", b.finish());
+        let back = round_trip(&body);
+        assert_eq!(back.name, "everything");
+        assert_eq!(back.dfg.len(), body.dfg.len());
+        let mut a_edges = body.dfg.edges().to_vec();
+        let mut b_edges = back.dfg.edges().to_vec();
+        a_edges.sort_by_key(|e| (e.src, e.dst, e.distance, e.kind as u8));
+        b_edges.sort_by_key(|e| (e.src, e.dst, e.distance, e.kind as u8));
+        assert_eq!(a_edges, b_edges);
+        assert_eq!(
+            back.dfg.live_out_ids().collect::<Vec<_>>(),
+            body.dfg.live_out_ids().collect::<Vec<_>>()
+        );
+        assert!(verify_dfg(&back.dfg).is_ok());
+    }
+
+    #[test]
+    fn parses_handwritten_dot_product() {
+        let text = "\
+; dot
+%0 = ld.s0
+%1 = ld.s1
+%2 = mpy %0, %1
+%3 = add %2, %3@1
+out %3
+";
+        let body = parse_asm(text).expect("parses");
+        assert_eq!(body.name, "dot");
+        assert_eq!(body.len(), 4);
+        assert_eq!(body.dfg.recurrences().len(), 1);
+        assert_eq!(body.dfg.live_out_ids().count(), 1);
+    }
+
+    #[test]
+    fn figure5_round_trips() {
+        // The canonical example must survive the text format.
+        let mut b = DfgBuilder::new();
+        let x = b.load_stream(0);
+        let shl = b.op(Opcode::Shl, &[x]);
+        let and = b.op(Opcode::And, &[shl]);
+        let shr = b.op(Opcode::Shr, &[and]);
+        b.loop_carried(shr, shl, 1);
+        b.store_stream(1, shr);
+        let body = LoopBody::new("figure5ish", b.finish());
+        let back = round_trip(&body);
+        assert_eq!(back.dfg.recurrences().len(), body.dfg.recurrences().len());
+    }
+
+    #[test]
+    fn rejects_bad_opcode() {
+        let err = parse_asm("%0 = frobnicate %0").unwrap_err();
+        assert!(matches!(err, AsmError::Syntax { line: 1, .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_out_of_order_ids() {
+        let err = parse_asm("%1 = add").unwrap_err();
+        assert_eq!(err, AsmError::BadNodeId { line: 1 });
+    }
+
+    #[test]
+    fn rejects_unknown_operand() {
+        let err = parse_asm("%0 = add %9").unwrap_err();
+        assert!(matches!(err, AsmError::UnknownOperand { id: 9, .. }), "{err}");
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "\n; name here\n\n%0 = livein ; trailing comment\n%1 = abs %0\n";
+        let body = parse_asm(text).expect("parses");
+        assert_eq!(body.name, "name here");
+        assert_eq!(body.len(), 1);
+    }
+
+    #[test]
+    fn mem_edges_round_trip() {
+        let mut b = DfgBuilder::new();
+        let x = b.load_stream(0);
+        let st = b.store_stream(1, x);
+        b.mem_dep(st, x, 1);
+        let body = LoopBody::new("mem", b.finish());
+        let back = round_trip(&body);
+        assert!(back
+            .dfg
+            .edges()
+            .iter()
+            .any(|e| e.kind == EdgeKind::Mem && e.distance == 1));
+    }
+
+    #[test]
+    fn dead_slots_round_trip_by_position() {
+        let mut b = DfgBuilder::new();
+        let x = b.op(Opcode::And, &[]);
+        let y = b.op(Opcode::Xor, &[x]);
+        let z = b.op(Opcode::Shl, &[y]);
+        b.mark_live_out(z);
+        let mut dfg = b.finish();
+        dfg.collapse(&[x, y]);
+        let body = LoopBody::new("collapsed", dfg);
+        let back = round_trip(&body);
+        // Positions of dead slots are preserved so later ids still line up.
+        assert_eq!(back.dfg.len(), body.dfg.len());
+        assert!(back.dfg.node(OpId::new(0)).is_dead());
+        assert!(back.dfg.node(OpId::new(1)).is_dead());
+    }
+}

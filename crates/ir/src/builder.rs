@@ -1,0 +1,276 @@
+//! Ergonomic builders for dataflow graphs and CFG functions.
+
+use crate::cfg::{BasicBlock, Function};
+use crate::dfg::{Dfg, EdgeKind, NodeKind};
+use crate::instr::{Instruction, Operand};
+use crate::opcode::Opcode;
+use crate::types::{BlockId, OpId, VReg};
+
+/// Incremental builder for a loop-body [`Dfg`].
+///
+/// Every `op` call adds distance-0 data edges from its inputs; loop-carried
+/// dependences are added explicitly with [`DfgBuilder::loop_carried`].
+///
+/// # Example
+///
+/// A dot-product style accumulation:
+///
+/// ```
+/// use veal_ir::{DfgBuilder, Opcode};
+///
+/// let mut b = DfgBuilder::new();
+/// let x = b.load_stream(0);
+/// let y = b.load_stream(1);
+/// let p = b.op(Opcode::Mul, &[x, y]);
+/// let acc = b.op(Opcode::Add, &[p]);
+/// b.loop_carried(acc, acc, 1); // acc += p
+/// b.mark_live_out(acc);
+/// let dfg = b.finish();
+/// assert_eq!(dfg.recurrences().len(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct DfgBuilder {
+    dfg: Dfg,
+}
+
+impl DfgBuilder {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an operation with distance-0 data edges from `inputs`.
+    pub fn op(&mut self, opcode: Opcode, inputs: &[OpId]) -> OpId {
+        let id = self.dfg.add_node(NodeKind::Op(opcode));
+        for &input in inputs {
+            self.dfg.add_edge(input, id, 0, EdgeKind::Data);
+        }
+        id
+    }
+
+    /// Adds a `Load` from memory stream `stream`.
+    pub fn load_stream(&mut self, stream: u16) -> OpId {
+        let id = self.dfg.add_node(NodeKind::Op(Opcode::Load));
+        self.dfg.node_mut(id).stream = Some(stream);
+        id
+    }
+
+    /// Adds a `Store` of `value` to memory stream `stream`.
+    pub fn store_stream(&mut self, stream: u16, value: OpId) -> OpId {
+        let id = self.dfg.add_node(NodeKind::Op(Opcode::Store));
+        self.dfg.node_mut(id).stream = Some(stream);
+        self.dfg.add_edge(value, id, 0, EdgeKind::Data);
+        id
+    }
+
+    /// Adds a scalar live-in pseudo-node.
+    pub fn live_in(&mut self) -> OpId {
+        self.dfg.add_node(NodeKind::LiveIn)
+    }
+
+    /// Adds a constant pseudo-node.
+    pub fn constant(&mut self, value: i64) -> OpId {
+        self.dfg.add_node(NodeKind::Const(value))
+    }
+
+    /// Adds a loop-carried data edge: the value of `src` is consumed by
+    /// `dst` `distance` iterations later.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `distance` is zero (use [`DfgBuilder::op`] inputs for
+    /// intra-iteration dependences).
+    pub fn loop_carried(&mut self, src: OpId, dst: OpId, distance: u32) {
+        assert!(distance > 0, "loop-carried distance must be positive");
+        self.dfg.add_edge(src, dst, distance, EdgeKind::Data);
+    }
+
+    /// Adds a memory-ordering edge.
+    pub fn mem_dep(&mut self, src: OpId, dst: OpId, distance: u32) {
+        self.dfg.add_edge(src, dst, distance, EdgeKind::Mem);
+    }
+
+    /// Marks a node's value as live after the loop.
+    pub fn mark_live_out(&mut self, id: OpId) {
+        self.dfg.node_mut(id).live_out = true;
+    }
+
+    /// Finishes construction.
+    #[must_use]
+    pub fn finish(self) -> Dfg {
+        self.dfg
+    }
+}
+
+/// Incremental builder for CFG [`Function`]s.
+///
+/// # Example
+///
+/// ```
+/// use veal_ir::{FunctionBuilder, Opcode, VReg};
+///
+/// let mut fb = FunctionBuilder::new("f");
+/// let entry = fb.block();
+/// let body = fb.block();
+/// let exit = fb.block();
+/// fb.set_entry(entry);
+/// fb.branch(entry, body);
+/// let i = fb.fresh_reg();
+/// fb.push(body, Opcode::Add, Some(i), vec![i.into(), 1i64.into()]);
+/// fb.cond_branch(body, i, body, exit); // loop back edge
+/// let f = fb.finish();
+/// assert_eq!(f.natural_loops().len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    name: String,
+    blocks: Vec<BasicBlock>,
+    entry: Option<BlockId>,
+    next_reg: usize,
+}
+
+impl FunctionBuilder {
+    /// Creates a builder for a function named `name`.
+    #[must_use]
+    pub fn new(name: &str) -> Self {
+        FunctionBuilder {
+            name: name.to_owned(),
+            blocks: Vec::new(),
+            entry: None,
+            next_reg: 0,
+        }
+    }
+
+    /// Adds an empty basic block.
+    pub fn block(&mut self) -> BlockId {
+        let id = BlockId::new(self.blocks.len());
+        self.blocks.push(BasicBlock::default());
+        id
+    }
+
+    /// Declares the entry block.
+    pub fn set_entry(&mut self, entry: BlockId) {
+        self.entry = Some(entry);
+    }
+
+    /// Allocates a fresh virtual register.
+    pub fn fresh_reg(&mut self) -> VReg {
+        let r = VReg::new(self.next_reg);
+        self.next_reg += 1;
+        r
+    }
+
+    /// Appends an instruction to `block`.
+    pub fn push(
+        &mut self,
+        block: BlockId,
+        opcode: Opcode,
+        dest: Option<VReg>,
+        srcs: Vec<Operand>,
+    ) {
+        self.blocks[block.index()]
+            .instrs
+            .push(Instruction::new(opcode, dest, srcs));
+    }
+
+    /// Appends a prebuilt instruction (e.g. a call) to `block`.
+    pub fn push_instr(&mut self, block: BlockId, instr: Instruction) {
+        self.blocks[block.index()].instrs.push(instr);
+    }
+
+    /// Terminates `block` with an unconditional branch to `target`.
+    pub fn branch(&mut self, block: BlockId, target: BlockId) {
+        self.blocks[block.index()]
+            .instrs
+            .push(Instruction::new(Opcode::Br, None, Vec::new()));
+        self.blocks[block.index()].succs = vec![target];
+    }
+
+    /// Terminates `block` with a conditional branch on `cond`: taken →
+    /// `taken`, fall-through → `fallthrough`.
+    pub fn cond_branch(
+        &mut self,
+        block: BlockId,
+        cond: VReg,
+        taken: BlockId,
+        fallthrough: BlockId,
+    ) {
+        self.blocks[block.index()]
+            .instrs
+            .push(Instruction::new(Opcode::BrCond, None, vec![cond.into()]));
+        self.blocks[block.index()].succs = vec![taken, fallthrough];
+    }
+
+    /// Terminates `block` with a return of `value`.
+    pub fn ret(&mut self, block: BlockId, value: Option<VReg>) {
+        let srcs = value.map(|v| vec![v.into()]).unwrap_or_default();
+        self.blocks[block.index()]
+            .instrs
+            .push(Instruction::new(Opcode::Ret, None, srcs));
+        self.blocks[block.index()].succs = Vec::new();
+    }
+
+    /// Finishes construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no entry block was declared.
+    #[must_use]
+    pub fn finish(self) -> Function {
+        Function::new(
+            self.name,
+            self.blocks,
+            self.entry.expect("entry block must be set"),
+            self.next_reg,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_creates_edges_in_input_order() {
+        let mut b = DfgBuilder::new();
+        let x = b.live_in();
+        let y = b.constant(2);
+        let s = b.op(Opcode::Add, &[x, y]);
+        let dfg = b.finish();
+        let srcs: Vec<OpId> = dfg.pred_edges(s).map(|e| e.src).collect();
+        assert_eq!(srcs, vec![x, y]);
+    }
+
+    #[test]
+    fn store_has_value_edge() {
+        let mut b = DfgBuilder::new();
+        let v = b.constant(1);
+        let st = b.store_stream(0, v);
+        let dfg = b.finish();
+        assert_eq!(dfg.pred_edges(st).count(), 1);
+        assert_eq!(dfg.node(st).stream, Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "distance must be positive")]
+    fn zero_distance_loop_carried_rejected() {
+        let mut b = DfgBuilder::new();
+        let x = b.op(Opcode::Add, &[]);
+        b.loop_carried(x, x, 0);
+    }
+
+    #[test]
+    fn function_builder_counts_regs() {
+        let mut fb = FunctionBuilder::new("g");
+        let e = fb.block();
+        fb.set_entry(e);
+        let a = fb.fresh_reg();
+        let c = fb.fresh_reg();
+        fb.push(e, Opcode::Add, Some(c), vec![a.into(), a.into()]);
+        fb.ret(e, Some(c));
+        let f = fb.finish();
+        assert_eq!(f.num_vregs(), 2);
+        assert_eq!(f.name(), "g");
+    }
+}

@@ -1,0 +1,121 @@
+//! Loop classification, reproducing the categories of paper Figure 2.
+
+use crate::dfg::Dfg;
+use crate::meter::CostMeter;
+use crate::opcode::Opcode;
+use crate::streams::{separate, SeparationError};
+use std::fmt;
+
+/// The execution-time categories of paper Figure 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LoopClass {
+    /// A loop the accelerator supports: counted induction, single back
+    /// branch, affine memory streams.
+    ModuloSchedulable,
+    /// A while-loop or loop with side exits: would be schedulable with
+    /// speculation support the accelerator does not provide.
+    NeedsSpeculation,
+    /// A loop with a non-inlinable function call.
+    Subroutine,
+}
+
+impl fmt::Display for LoopClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            LoopClass::ModuloSchedulable => "modulo-schedulable",
+            LoopClass::NeedsSpeculation => "needs-speculation",
+            LoopClass::Subroutine => "subroutine",
+        })
+    }
+}
+
+/// Classifies a full loop-body graph into the paper's Figure 2 categories.
+///
+/// A loop that separates cleanly is modulo schedulable; separation failures
+/// map onto the paper's categories: calls → [`LoopClass::Subroutine`],
+/// side exits / data-dependent control → [`LoopClass::NeedsSpeculation`].
+/// Loops whose *memory* patterns are too complex are also binned as
+/// needing speculation (they would require a load-store queue and
+/// speculative reordering the accelerator lacks).
+///
+/// # Example
+///
+/// ```
+/// use veal_ir::{classify_loop, DfgBuilder, LoopClass, Opcode};
+/// let mut b = DfgBuilder::new();
+/// let x = b.load_stream(0);
+/// b.store_stream(1, x);
+/// assert_eq!(classify_loop(&b.finish()), LoopClass::ModuloSchedulable);
+/// ```
+#[must_use]
+pub fn classify_loop(dfg: &Dfg) -> LoopClass {
+    // A call anywhere in the body dominates the classification, matching the
+    // paper's "Subroutine" bars.
+    if dfg
+        .schedulable_ops()
+        .any(|id| dfg.node(id).opcode() == Some(Opcode::Call))
+    {
+        return LoopClass::Subroutine;
+    }
+    let mut meter = CostMeter::new();
+    match separate(dfg, &mut meter) {
+        Ok(_) => LoopClass::ModuloSchedulable,
+        Err(SeparationError::CallInLoop) => LoopClass::Subroutine,
+        Err(
+            SeparationError::MultipleBranches
+            | SeparationError::ComplexControl
+            | SeparationError::ComplexAddress(_)
+            | SeparationError::NoBackBranch,
+        ) => LoopClass::NeedsSpeculation,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DfgBuilder;
+
+    #[test]
+    fn call_loop_is_subroutine() {
+        let mut b = DfgBuilder::new();
+        let x = b.live_in();
+        b.op(Opcode::Call, &[x]);
+        assert_eq!(classify_loop(&b.finish()), LoopClass::Subroutine);
+    }
+
+    #[test]
+    fn side_exit_needs_speculation() {
+        let mut b = DfgBuilder::new();
+        let x = b.live_in();
+        let c1 = b.op(Opcode::CmpLt, &[x, x]);
+        b.op(Opcode::BrCond, &[c1]);
+        let c2 = b.op(Opcode::CmpEq, &[x, x]);
+        b.op(Opcode::BrCond, &[c2]);
+        assert_eq!(classify_loop(&b.finish()), LoopClass::NeedsSpeculation);
+    }
+
+    #[test]
+    fn counted_loop_is_modulo_schedulable() {
+        let mut b = DfgBuilder::new();
+        let one = b.constant(1);
+        let i = b.op(Opcode::Add, &[one]);
+        b.loop_carried(i, i, 1);
+        let n = b.live_in();
+        let c = b.op(Opcode::CmpLt, &[i, n]);
+        b.op(Opcode::BrCond, &[c]);
+        assert_eq!(classify_loop(&b.finish()), LoopClass::ModuloSchedulable);
+    }
+
+    #[test]
+    fn while_loop_needs_speculation() {
+        let mut b = DfgBuilder::new();
+        let four = b.constant(4);
+        let a = b.op(Opcode::Add, &[four]);
+        b.loop_carried(a, a, 1);
+        let x = b.op(Opcode::Load, &[a]);
+        let zero = b.constant(0);
+        let c = b.op(Opcode::CmpNe, &[x, zero]);
+        b.op(Opcode::BrCond, &[c]);
+        assert_eq!(classify_loop(&b.finish()), LoopClass::NeedsSpeculation);
+    }
+}

@@ -1,0 +1,746 @@
+//! The dataflow graph of an innermost loop body.
+//!
+//! A [`Dfg`] is the representation every translation stage of VEAL operates
+//! on: nodes are operations (plus pseudo-nodes for scalar live-ins and
+//! constants, which occupy accelerator registers but are not scheduled), and
+//! edges carry an **iteration distance** — a distance of 0 is an ordinary
+//! intra-iteration dependence, a distance of `d > 0` means the value flows
+//! to the consumer `d` iterations later (a loop-carried dependence).
+//! Recurrences — the cycles that bound the achievable initiation interval —
+//! are exactly the non-trivial strongly connected components of this graph.
+
+use crate::opcode::{FuClass, Opcode};
+use crate::types::OpId;
+use std::fmt;
+
+/// What a [`DfgNode`] represents.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// A real operation of the loop body.
+    Op(Opcode),
+    /// A scalar live-in value, written into the accelerator's memory-mapped
+    /// register file before the loop starts (paper §2.1).
+    LiveIn,
+    /// A compile-time constant, preloaded into a register.
+    Const(i64),
+}
+
+/// The kind of a dependence edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeKind {
+    /// True register dataflow.
+    Data,
+    /// Memory ordering (store→load, store→store) that the hardware memory
+    /// ordering support must honor (paper §4.1, "Separating Control and
+    /// Memory Streams").
+    Mem,
+}
+
+/// A dependence edge between two nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DfgEdge {
+    /// Producer node.
+    pub src: OpId,
+    /// Consumer node.
+    pub dst: OpId,
+    /// Iteration distance: 0 for intra-iteration dependences, `d > 0` when
+    /// the value is consumed `d` iterations after it is produced.
+    pub distance: u32,
+    /// Dependence kind.
+    pub kind: EdgeKind,
+}
+
+/// A node of the dataflow graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DfgNode {
+    /// What this node is.
+    pub kind: NodeKind,
+    /// For `Load`/`Store` ops: the memory stream this access belongs to.
+    pub stream: Option<u16>,
+    /// For [`Opcode::Cca`] pseudo-ops: the original ops collapsed into this
+    /// CCA invocation, in seed order.
+    pub cca_members: Vec<OpId>,
+    /// Whether the value produced by this node is live after the loop
+    /// (read from the memory-mapped register file on completion).
+    pub live_out: bool,
+    /// Tombstone flag set when the node was collapsed into a CCA op.
+    dead: bool,
+}
+
+impl DfgNode {
+    fn new(kind: NodeKind) -> Self {
+        DfgNode {
+            kind,
+            stream: None,
+            cca_members: Vec::new(),
+            live_out: false,
+            dead: false,
+        }
+    }
+
+    /// The opcode, if this node is a real operation.
+    #[must_use]
+    pub fn opcode(&self) -> Option<Opcode> {
+        match self.kind {
+            NodeKind::Op(op) => Some(op),
+            _ => None,
+        }
+    }
+
+    /// Whether this node has been collapsed away.
+    #[must_use]
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    /// Whether this node is an operation that occupies a function-unit slot
+    /// in a modulo schedule (everything except live-ins, constants, and dead
+    /// nodes).
+    #[must_use]
+    pub fn is_schedulable(&self) -> bool {
+        !self.dead && matches!(self.kind, NodeKind::Op(_))
+    }
+}
+
+/// The dataflow graph of one innermost loop body.
+///
+/// Constructed through [`crate::DfgBuilder`]; mutated only by the CCA mapper
+/// (via [`Dfg::collapse`]). Node ids are stable: collapsing tombstones the
+/// member nodes rather than renumbering.
+///
+/// # Example
+///
+/// ```
+/// use veal_ir::{DfgBuilder, Opcode};
+/// let mut b = DfgBuilder::new();
+/// let a = b.load_stream(0);
+/// let c = b.op(Opcode::Mul, &[a, a]);
+/// b.store_stream(1, c);
+/// let dfg = b.finish();
+/// assert_eq!(dfg.schedulable_ops().count(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Dfg {
+    nodes: Vec<DfgNode>,
+    edges: Vec<DfgEdge>,
+    succ: Vec<Vec<u32>>,
+    pred: Vec<Vec<u32>>,
+}
+
+impl Dfg {
+    /// Creates an empty graph.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a node and returns its id.
+    pub fn add_node(&mut self, kind: NodeKind) -> OpId {
+        let id = OpId::new(self.nodes.len());
+        self.nodes.push(DfgNode::new(kind));
+        self.succ.push(Vec::new());
+        self.pred.push(Vec::new());
+        id
+    }
+
+    /// Adds a dependence edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn add_edge(&mut self, src: OpId, dst: OpId, distance: u32, kind: EdgeKind) {
+        assert!(src.index() < self.nodes.len(), "src out of range");
+        assert!(dst.index() < self.nodes.len(), "dst out of range");
+        let idx = self.edges.len() as u32;
+        self.edges.push(DfgEdge {
+            src,
+            dst,
+            distance,
+            kind,
+        });
+        self.succ[src.index()].push(idx);
+        self.pred[dst.index()].push(idx);
+    }
+
+    /// Total number of node slots (including dead nodes).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph has no nodes at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Immutable access to a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn node(&self, id: OpId) -> &DfgNode {
+        &self.nodes[id.index()]
+    }
+
+    /// Mutable access to a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn node_mut(&mut self, id: OpId) -> &mut DfgNode {
+        &mut self.nodes[id.index()]
+    }
+
+    /// Iterates over all live (non-tombstoned) node ids.
+    pub fn live_ids(&self) -> impl Iterator<Item = OpId> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| !n.dead)
+            .map(|(i, _)| OpId::new(i))
+    }
+
+    /// Iterates over the ids of nodes that occupy schedule slots.
+    pub fn schedulable_ops(&self) -> impl Iterator<Item = OpId> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.is_schedulable())
+            .map(|(i, _)| OpId::new(i))
+    }
+
+    /// All edges, including those whose endpoints are dead (callers that
+    /// walk adjacency through [`Dfg::succ_edges`]/[`Dfg::pred_edges`] never
+    /// see dead endpoints because dead nodes keep no adjacency).
+    #[must_use]
+    pub fn edges(&self) -> &[DfgEdge] {
+        &self.edges
+    }
+
+    /// Outgoing edges of `id`.
+    pub fn succ_edges(&self, id: OpId) -> impl Iterator<Item = &DfgEdge> + '_ {
+        self.succ[id.index()].iter().map(|&e| &self.edges[e as usize])
+    }
+
+    /// Incoming edges of `id`.
+    pub fn pred_edges(&self, id: OpId) -> impl Iterator<Item = &DfgEdge> + '_ {
+        self.pred[id.index()].iter().map(|&e| &self.edges[e as usize])
+    }
+
+    /// Number of schedulable ops per function-unit class.
+    #[must_use]
+    pub fn op_counts(&self) -> OpCounts {
+        let mut counts = OpCounts::default();
+        for id in self.schedulable_ops() {
+            let op = self.node(id).opcode().expect("schedulable node is op");
+            match op.fu_class() {
+                FuClass::Int => counts.int += 1,
+                FuClass::Fp => counts.fp += 1,
+                FuClass::Cca => counts.cca += 1,
+                FuClass::Mem => counts.mem += 1,
+                FuClass::Control => counts.control += 1,
+            }
+        }
+        counts
+    }
+
+    /// Strongly connected components over all edges (any distance), in
+    /// reverse topological order of the component DAG. Components containing
+    /// a cycle — `len() > 1`, or a single node with a self edge — are the
+    /// loop's **recurrences**.
+    ///
+    /// Dead nodes are excluded.
+    #[must_use]
+    pub fn sccs(&self) -> Vec<Vec<OpId>> {
+        // Iterative Tarjan to avoid recursion depth limits on large loops.
+        const UNVISITED: u32 = u32::MAX;
+        let n = self.nodes.len();
+        let mut index = vec![UNVISITED; n];
+        let mut low = vec![0u32; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<u32> = Vec::new();
+        let mut next_index = 0u32;
+        let mut sccs = Vec::new();
+
+        // Explicit DFS state machine: (node, next successor position).
+        let mut call_stack: Vec<(u32, usize)> = Vec::new();
+        for start in 0..n {
+            if self.nodes[start].dead || index[start] != UNVISITED {
+                continue;
+            }
+            call_stack.push((start as u32, 0));
+            index[start] = next_index;
+            low[start] = next_index;
+            next_index += 1;
+            stack.push(start as u32);
+            on_stack[start] = true;
+
+            while let Some(&mut (v, ref mut pos)) = call_stack.last_mut() {
+                let v_usize = v as usize;
+                let succs = &self.succ[v_usize];
+                if *pos < succs.len() {
+                    let edge = &self.edges[succs[*pos] as usize];
+                    *pos += 1;
+                    let w = edge.dst.index();
+                    if self.nodes[w].dead {
+                        continue;
+                    }
+                    if index[w] == UNVISITED {
+                        index[w] = next_index;
+                        low[w] = next_index;
+                        next_index += 1;
+                        stack.push(w as u32);
+                        on_stack[w] = true;
+                        call_stack.push((w as u32, 0));
+                    } else if on_stack[w] {
+                        low[v_usize] = low[v_usize].min(index[w]);
+                    }
+                } else {
+                    call_stack.pop();
+                    if let Some(&mut (parent, _)) = call_stack.last_mut() {
+                        let p = parent as usize;
+                        low[p] = low[p].min(low[v_usize]);
+                    }
+                    if low[v_usize] == index[v_usize] {
+                        let mut component = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("tarjan stack underflow");
+                            on_stack[w as usize] = false;
+                            component.push(OpId::new(w as usize));
+                            if w == v {
+                                break;
+                            }
+                        }
+                        component.sort();
+                        sccs.push(component);
+                    }
+                }
+            }
+        }
+        sccs
+    }
+
+    /// The recurrences of the loop: SCCs that actually contain a cycle.
+    #[must_use]
+    pub fn recurrences(&self) -> Vec<Vec<OpId>> {
+        self.sccs()
+            .into_iter()
+            .filter(|scc| {
+                scc.len() > 1
+                    || self
+                        .succ_edges(scc[0])
+                        .any(|e| e.dst == scc[0] && !self.node(e.src).dead)
+            })
+            .collect()
+    }
+
+    /// Topological order of live nodes over distance-0 edges only.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` with the ids stuck in a cycle if the distance-0
+    /// subgraph is cyclic (an ill-formed loop body: an intra-iteration
+    /// dependence cycle cannot execute).
+    pub fn topo_order(&self) -> Result<Vec<OpId>, Vec<OpId>> {
+        let n = self.nodes.len();
+        let mut indeg = vec![0usize; n];
+        let mut live = 0usize;
+        for (i, node) in self.nodes.iter().enumerate() {
+            if node.dead {
+                continue;
+            }
+            live += 1;
+            indeg[i] = self
+                .pred[i]
+                .iter()
+                .filter(|&&e| {
+                    let edge = &self.edges[e as usize];
+                    edge.distance == 0 && !self.nodes[edge.src.index()].dead
+                })
+                .count();
+        }
+        let mut queue: Vec<usize> = (0..n)
+            .filter(|&i| !self.nodes[i].dead && indeg[i] == 0)
+            .collect();
+        let mut order = Vec::with_capacity(live);
+        while let Some(v) = queue.pop() {
+            order.push(OpId::new(v));
+            for &e in &self.succ[v] {
+                let edge = &self.edges[e as usize];
+                if edge.distance != 0 || self.nodes[edge.dst.index()].dead {
+                    continue;
+                }
+                let w = edge.dst.index();
+                indeg[w] -= 1;
+                if indeg[w] == 0 {
+                    queue.push(w);
+                }
+            }
+        }
+        if order.len() == live {
+            Ok(order)
+        } else {
+            let stuck: Vec<OpId> = (0..n)
+                .filter(|&i| !self.nodes[i].dead && indeg[i] > 0)
+                .map(OpId::new)
+                .collect();
+            Err(stuck)
+        }
+    }
+
+    /// Collapses `members` into a single [`Opcode::Cca`] pseudo-node,
+    /// rewiring external edges to the new node and tombstoning the members.
+    ///
+    /// Internal distance-0 edges become the CCA's combinational wiring and
+    /// disappear; internal loop-carried edges (distance > 0) become
+    /// self-edges on the CCA node — the value is routed out to a register
+    /// and back in on a later iteration.
+    ///
+    /// Returns the id of the new CCA node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty or contains a dead or non-CCA-supported
+    /// node.
+    pub fn collapse(&mut self, members: &[OpId]) -> OpId {
+        assert!(!members.is_empty(), "cannot collapse an empty member set");
+        let member_set: std::collections::HashSet<OpId> = members.iter().copied().collect();
+        for &m in members {
+            let node = &self.nodes[m.index()];
+            assert!(!node.dead, "member {m} already dead");
+            assert!(
+                node.opcode().is_some_and(|op| op.cca_supported()),
+                "member {m} is not a CCA-supported op"
+            );
+        }
+        let cca = self.add_node(NodeKind::Op(Opcode::Cca));
+        self.nodes[cca.index()].cca_members = members.to_vec();
+        self.nodes[cca.index()].live_out = members
+            .iter()
+            .any(|&m| self.nodes[m.index()].live_out);
+
+        // Rewire external edges. Collect first to satisfy the borrow checker.
+        let mut new_edges: Vec<DfgEdge> = Vec::new();
+        for e in &self.edges {
+            let src_in = member_set.contains(&e.src);
+            let dst_in = member_set.contains(&e.dst);
+            if src_in && dst_in {
+                if e.distance > 0 {
+                    new_edges.push(DfgEdge {
+                        src: cca,
+                        dst: cca,
+                        distance: e.distance,
+                        kind: e.kind,
+                    });
+                }
+                continue;
+            }
+            if src_in && !self.nodes[e.dst.index()].dead {
+                new_edges.push(DfgEdge {
+                    src: cca,
+                    dst: e.dst,
+                    distance: e.distance,
+                    kind: e.kind,
+                });
+            } else if dst_in && !self.nodes[e.src.index()].dead {
+                new_edges.push(DfgEdge {
+                    src: e.src,
+                    dst: cca,
+                    distance: e.distance,
+                    kind: e.kind,
+                });
+            }
+        }
+        // Tombstone members and drop their adjacency.
+        for &m in members {
+            self.nodes[m.index()].dead = true;
+        }
+        self.rebuild_edges_excluding_dead(new_edges);
+        cca
+    }
+
+    /// Removes the given nodes (and their edges) from the graph by
+    /// tombstoning. Used when separating control and address computations
+    /// from the compute dataflow (paper §4.1).
+    pub fn remove_nodes(&mut self, ids: &[OpId]) {
+        for &id in ids {
+            self.nodes[id.index()].dead = true;
+        }
+        self.rebuild_edges_excluding_dead(Vec::new());
+    }
+
+    fn rebuild_edges_excluding_dead(&mut self, extra: Vec<DfgEdge>) {
+        let mut kept: Vec<DfgEdge> = self
+            .edges
+            .iter()
+            .copied()
+            .filter(|e| !self.nodes[e.src.index()].dead && !self.nodes[e.dst.index()].dead)
+            .collect();
+        kept.extend(
+            extra
+                .into_iter()
+                .filter(|e| !self.nodes[e.src.index()].dead && !self.nodes[e.dst.index()].dead),
+        );
+        // Deduplicate identical edges introduced by rewiring.
+        kept.sort_by_key(|e| (e.src, e.dst, e.distance, e.kind as u8));
+        kept.dedup();
+        self.edges = kept;
+        for s in &mut self.succ {
+            s.clear();
+        }
+        for p in &mut self.pred {
+            p.clear();
+        }
+        for (i, e) in self.edges.iter().enumerate() {
+            self.succ[e.src.index()].push(i as u32);
+            self.pred[e.dst.index()].push(i as u32);
+        }
+    }
+
+    /// The ids of scalar live-in nodes.
+    pub fn live_in_ids(&self) -> impl Iterator<Item = OpId> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| !n.dead && matches!(n.kind, NodeKind::LiveIn))
+            .map(|(i, _)| OpId::new(i))
+    }
+
+    /// The ids of constant nodes.
+    pub fn const_ids(&self) -> impl Iterator<Item = OpId> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| !n.dead && matches!(n.kind, NodeKind::Const(_)))
+            .map(|(i, _)| OpId::new(i))
+    }
+
+    /// The ids of live-out values.
+    pub fn live_out_ids(&self) -> impl Iterator<Item = OpId> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| !n.dead && n.live_out)
+            .map(|(i, _)| OpId::new(i))
+    }
+}
+
+/// Per-function-unit-class operation counts, as used by the ResMII
+/// computation (paper §4.1, "Minimum II Calculation").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpCounts {
+    /// Ops needing an integer unit.
+    pub int: usize,
+    /// Ops needing a floating-point unit.
+    pub fp: usize,
+    /// Collapsed CCA invocations.
+    pub cca: usize,
+    /// Memory (FIFO) accesses.
+    pub mem: usize,
+    /// Control ops (normally stripped before scheduling).
+    pub control: usize,
+}
+
+impl fmt::Display for OpCounts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "int={} fp={} cca={} mem={} ctrl={}",
+            self.int, self.fp, self.cca, self.mem, self.control
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DfgBuilder;
+
+    fn chain3() -> Dfg {
+        let mut b = DfgBuilder::new();
+        let a = b.load_stream(0);
+        let c = b.op(Opcode::Add, &[a, a]);
+        b.store_stream(1, c);
+        b.finish()
+    }
+
+    #[test]
+    fn add_edge_builds_adjacency() {
+        let dfg = chain3();
+        let load = OpId::new(0);
+        // `add` reads the loaded value twice: two edges.
+        assert_eq!(dfg.succ_edges(load).count(), 2);
+        assert_eq!(dfg.pred_edges(load).count(), 0);
+    }
+
+    #[test]
+    fn topo_order_of_chain() {
+        let dfg = chain3();
+        let order = dfg.topo_order().expect("acyclic");
+        let pos: Vec<usize> = (0..3)
+            .map(|i| order.iter().position(|&o| o == OpId::new(i)).unwrap())
+            .collect();
+        assert!(pos[0] < pos[1] && pos[1] < pos[2]);
+    }
+
+    #[test]
+    fn topo_order_detects_distance0_cycle() {
+        let mut dfg = Dfg::new();
+        let a = dfg.add_node(NodeKind::Op(Opcode::Add));
+        let b = dfg.add_node(NodeKind::Op(Opcode::Sub));
+        dfg.add_edge(a, b, 0, EdgeKind::Data);
+        dfg.add_edge(b, a, 0, EdgeKind::Data);
+        assert!(dfg.topo_order().is_err());
+    }
+
+    #[test]
+    fn recurrence_detection_self_edge() {
+        let mut b = DfgBuilder::new();
+        let x = b.op(Opcode::Add, &[]);
+        b.loop_carried(x, x, 1);
+        let dfg = b.finish();
+        let recs = dfg.recurrences();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0], vec![x]);
+    }
+
+    #[test]
+    fn recurrence_detection_two_node_cycle() {
+        let mut b = DfgBuilder::new();
+        let x = b.op(Opcode::Add, &[]);
+        let y = b.op(Opcode::Sub, &[x]);
+        b.loop_carried(y, x, 1);
+        let dfg = b.finish();
+        let recs = dfg.recurrences();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].len(), 2);
+    }
+
+    #[test]
+    fn acyclic_graph_has_no_recurrences() {
+        assert!(chain3().recurrences().is_empty());
+    }
+
+    #[test]
+    fn sccs_cover_all_live_nodes() {
+        let dfg = chain3();
+        let total: usize = dfg.sccs().iter().map(Vec::len).sum();
+        assert_eq!(total, dfg.live_ids().count());
+    }
+
+    #[test]
+    fn collapse_rewires_external_edges() {
+        let mut b = DfgBuilder::new();
+        let input = b.live_in();
+        let x = b.op(Opcode::And, &[input]);
+        let y = b.op(Opcode::Xor, &[x]);
+        let z = b.op(Opcode::Shl, &[y]); // not CCA-supported, stays outside
+        b.store_stream(0, z);
+        let mut dfg = b.finish();
+        let cca = dfg.collapse(&[x, y]);
+        assert!(dfg.node(x).is_dead());
+        assert!(dfg.node(y).is_dead());
+        let preds: Vec<OpId> = dfg.pred_edges(cca).map(|e| e.src).collect();
+        assert_eq!(preds, vec![input]);
+        let succs: Vec<OpId> = dfg.succ_edges(cca).map(|e| e.dst).collect();
+        assert_eq!(succs, vec![z]);
+        assert_eq!(dfg.node(cca).cca_members, vec![x, y]);
+    }
+
+    #[test]
+    fn collapse_preserves_loop_carried_external_edge() {
+        let mut b = DfgBuilder::new();
+        let x = b.op(Opcode::Add, &[]);
+        let y = b.op(Opcode::Sub, &[x]);
+        b.loop_carried(y, x, 1);
+        let mut dfg = b.finish();
+        let cca = dfg.collapse(&[x, y]);
+        // The distance-1 cycle is now a self edge on the CCA node.
+        let self_edges: Vec<&DfgEdge> = dfg.succ_edges(cca).filter(|e| e.dst == cca).collect();
+        assert_eq!(self_edges.len(), 1);
+        assert_eq!(self_edges[0].distance, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a CCA-supported op")]
+    fn collapse_rejects_unsupported_member() {
+        let mut b = DfgBuilder::new();
+        let x = b.op(Opcode::Add, &[]);
+        let y = b.op(Opcode::Shl, &[x]); // shifts are not CCA-supported
+        let mut dfg = b.finish();
+        let _ = dfg.collapse(&[x, y]);
+    }
+
+    #[test]
+    fn op_counts_by_class() {
+        let mut b = DfgBuilder::new();
+        let a = b.load_stream(0);
+        let m = b.op(Opcode::Mul, &[a, a]);
+        let f = b.op(Opcode::ItoF, &[m]);
+        let g = b.op(Opcode::FAdd, &[f, f]);
+        b.store_stream(1, g);
+        let dfg = b.finish();
+        let c = dfg.op_counts();
+        assert_eq!(c.int, 1);
+        assert_eq!(c.fp, 2);
+        assert_eq!(c.mem, 2);
+        assert_eq!(c.cca, 0);
+    }
+
+    #[test]
+    fn remove_nodes_drops_edges() {
+        let mut b = DfgBuilder::new();
+        let a = b.op(Opcode::Add, &[]);
+        let c = b.op(Opcode::Sub, &[a]);
+        let d = b.op(Opcode::Xor, &[c]);
+        let mut dfg = b.finish();
+        dfg.remove_nodes(&[c]);
+        assert!(dfg.node(c).is_dead());
+        assert_eq!(dfg.succ_edges(a).count(), 0);
+        assert_eq!(dfg.pred_edges(d).count(), 0);
+    }
+
+    #[test]
+    fn live_in_and_const_iterators() {
+        let mut b = DfgBuilder::new();
+        let li = b.live_in();
+        let k = b.constant(3);
+        let s = b.op(Opcode::Add, &[li, k]);
+        b.mark_live_out(s);
+        let dfg = b.finish();
+        assert_eq!(dfg.live_in_ids().collect::<Vec<_>>(), vec![li]);
+        assert_eq!(dfg.const_ids().collect::<Vec<_>>(), vec![k]);
+        assert_eq!(dfg.live_out_ids().collect::<Vec<_>>(), vec![s]);
+    }
+
+    #[test]
+    fn collapse_marks_live_out_if_member_was() {
+        let mut b = DfgBuilder::new();
+        let x = b.op(Opcode::Add, &[]);
+        let y = b.op(Opcode::Xor, &[x]);
+        b.mark_live_out(y);
+        let mut dfg = b.finish();
+        let cca = dfg.collapse(&[x, y]);
+        assert!(dfg.node(cca).live_out);
+    }
+
+    #[test]
+    fn large_scc_iterative_tarjan_no_overflow() {
+        // A single cycle through 50_000 nodes would overflow a recursive
+        // Tarjan; the iterative version must handle it.
+        let mut dfg = Dfg::new();
+        let n = 50_000;
+        let ids: Vec<OpId> = (0..n)
+            .map(|_| dfg.add_node(NodeKind::Op(Opcode::Add)))
+            .collect();
+        for i in 0..n - 1 {
+            dfg.add_edge(ids[i], ids[i + 1], 0, EdgeKind::Data);
+        }
+        dfg.add_edge(ids[n - 1], ids[0], 1, EdgeKind::Data);
+        let recs = dfg.recurrences();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].len(), n);
+    }
+}

@@ -1,0 +1,198 @@
+//! Instructions of the baseline ISA.
+
+use crate::opcode::Opcode;
+use crate::types::{FuncId, VReg};
+use std::fmt;
+
+/// A source operand of an [`Instruction`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// A virtual register.
+    Reg(VReg),
+    /// An immediate constant.
+    Imm(i64),
+}
+
+impl Operand {
+    /// Returns the register if this operand is one.
+    #[must_use]
+    pub fn reg(self) -> Option<VReg> {
+        match self {
+            Operand::Reg(r) => Some(r),
+            Operand::Imm(_) => None,
+        }
+    }
+
+    /// Returns the immediate if this operand is one.
+    #[must_use]
+    pub fn imm(self) -> Option<i64> {
+        match self {
+            Operand::Reg(_) => None,
+            Operand::Imm(v) => Some(v),
+        }
+    }
+}
+
+impl From<VReg> for Operand {
+    fn from(r: VReg) -> Self {
+        Operand::Reg(r)
+    }
+}
+
+impl From<i64> for Operand {
+    fn from(v: i64) -> Self {
+        Operand::Imm(v)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(v) => write!(f, "#{v}"),
+        }
+    }
+}
+
+/// One instruction of the baseline instruction set.
+///
+/// Instructions are the unit the CFG stores and the binary module format
+/// encodes; the loop extractor turns the instructions of an innermost loop
+/// into a [`crate::Dfg`].
+///
+/// # Example
+///
+/// ```
+/// use veal_ir::{Instruction, Opcode, Operand, VReg};
+///
+/// let add = Instruction::new(Opcode::Add, Some(VReg::new(2)),
+///                            vec![VReg::new(0).into(), VReg::new(1).into()]);
+/// assert_eq!(add.to_string(), "add v2, v0, v1");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Instruction {
+    /// The operation performed.
+    pub opcode: Opcode,
+    /// The destination register, for opcodes that produce one.
+    pub dest: Option<VReg>,
+    /// Source operands.
+    pub srcs: Vec<Operand>,
+    /// Callee, for `Call` instructions.
+    pub callee: Option<FuncId>,
+}
+
+impl Instruction {
+    /// Creates a new instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dest` is inconsistent with the opcode ([`Opcode::has_dest`]).
+    #[must_use]
+    pub fn new(opcode: Opcode, dest: Option<VReg>, srcs: Vec<Operand>) -> Self {
+        assert_eq!(
+            dest.is_some(),
+            opcode.has_dest(),
+            "dest presence must match opcode {opcode}"
+        );
+        Instruction {
+            opcode,
+            dest,
+            srcs,
+            callee: None,
+        }
+    }
+
+    /// Creates a `Call` instruction to `callee` with the given arguments.
+    #[must_use]
+    pub fn call(dest: VReg, callee: FuncId, srcs: Vec<Operand>) -> Self {
+        Instruction {
+            opcode: Opcode::Call,
+            dest: Some(dest),
+            srcs,
+            callee: Some(callee),
+        }
+    }
+
+    /// Iterates over the register sources of this instruction.
+    pub fn src_regs(&self) -> impl Iterator<Item = VReg> + '_ {
+        self.srcs.iter().filter_map(|o| o.reg())
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.opcode)?;
+        let mut first = true;
+        if let Some(d) = self.dest {
+            write!(f, " {d}")?;
+            first = false;
+        }
+        for s in &self.srcs {
+            if first {
+                write!(f, " {s}")?;
+                first = false;
+            } else {
+                write!(f, ", {s}")?;
+            }
+        }
+        if let Some(c) = self.callee {
+            write!(f, " @{c}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operand_conversions() {
+        let r: Operand = VReg::new(4).into();
+        assert_eq!(r.reg(), Some(VReg::new(4)));
+        assert_eq!(r.imm(), None);
+        let i: Operand = 42i64.into();
+        assert_eq!(i.imm(), Some(42));
+        assert_eq!(i.reg(), None);
+    }
+
+    #[test]
+    fn display_store() {
+        let st = Instruction::new(
+            Opcode::Store,
+            None,
+            vec![VReg::new(1).into(), VReg::new(2).into()],
+        );
+        assert_eq!(st.to_string(), "str v1, v2");
+    }
+
+    #[test]
+    fn display_imm() {
+        let ldi = Instruction::new(Opcode::LoadImm, Some(VReg::new(0)), vec![7i64.into()]);
+        assert_eq!(ldi.to_string(), "ldi v0, #7");
+    }
+
+    #[test]
+    fn call_carries_callee() {
+        let c = Instruction::call(VReg::new(3), FuncId::new(1), vec![VReg::new(0).into()]);
+        assert_eq!(c.callee, Some(FuncId::new(1)));
+        assert_eq!(c.to_string(), "brl v3, v0 @fn1");
+    }
+
+    #[test]
+    #[should_panic(expected = "dest presence")]
+    fn dest_mismatch_panics() {
+        let _ = Instruction::new(Opcode::Add, None, vec![]);
+    }
+
+    #[test]
+    fn src_regs_skips_immediates() {
+        let i = Instruction::new(
+            Opcode::Add,
+            Some(VReg::new(5)),
+            vec![VReg::new(1).into(), 9i64.into()],
+        );
+        let regs: Vec<_> = i.src_regs().collect();
+        assert_eq!(regs, vec![VReg::new(1)]);
+    }
+}

@@ -1,0 +1,423 @@
+//! A functional interpreter for loop-body dataflow graphs.
+//!
+//! Executes the *semantics* of a loop (as opposed to its timing): each
+//! iteration evaluates the compute nodes in dependence order, loop-carried
+//! operands read values produced `distance` iterations earlier, loads pull
+//! from per-stream input vectors and stores push to per-stream output
+//! vectors. The transformation passes use this to prove semantic
+//! equivalence (an inlined/re-rolled/unrolled loop must compute the same
+//! values), and the kernel library uses it for golden-value tests.
+//!
+//! Control ops (`br`, `brc`, `cmp` feeding them) are evaluated like any
+//! other value op but have no side effects; trip counts come from the
+//! caller, exactly as the accelerator's loop-control hardware would drive
+//! them.
+
+use crate::dfg::{Dfg, NodeKind};
+use crate::opcode::Opcode;
+use crate::types::OpId;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A runtime value: integers and doubles, coerced per consuming op.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// A 64-bit integer.
+    Int(i64),
+    /// A double-precision float.
+    Fp(f64),
+}
+
+impl Value {
+    /// The value as an integer (floats truncate).
+    #[must_use]
+    pub fn as_int(self) -> i64 {
+        match self {
+            Value::Int(v) => v,
+            Value::Fp(v) => v as i64,
+        }
+    }
+
+    /// The value as a double (integers convert exactly when possible).
+    #[must_use]
+    pub fn as_fp(self) -> f64 {
+        match self {
+            Value::Int(v) => v as f64,
+            Value::Fp(v) => v,
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Fp(v)
+    }
+}
+
+/// Inputs to an interpretation run.
+#[derive(Debug, Clone, Default)]
+pub struct Inputs {
+    /// Per-stream input data for `Load` ops (indexed by iteration; an
+    /// exhausted or missing stream reads as `Int(0)`).
+    pub streams: BTreeMap<u16, Vec<Value>>,
+    /// Values of `LiveIn` nodes (missing live-ins read as `Int(0)`).
+    pub live_ins: BTreeMap<OpId, Value>,
+    /// Initial values for loop-carried reads that reach before iteration 0
+    /// (missing entries read as `Int(0)`).
+    pub initials: BTreeMap<OpId, Value>,
+}
+
+/// The observable results of a run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExecResult {
+    /// Values written per store stream, in iteration order.
+    pub stores: BTreeMap<u16, Vec<Value>>,
+    /// Final value of every live-out node.
+    pub live_outs: BTreeMap<OpId, Value>,
+}
+
+/// Why interpretation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterpError {
+    /// The distance-0 subgraph is cyclic.
+    CyclicGraph,
+    /// The graph contains an op with no executable semantics here
+    /// (`Call` into an unknown callee, or a collapsed `Cca` whose member
+    /// subgraph no longer exists).
+    Opaque(OpId),
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::CyclicGraph => write!(f, "distance-0 subgraph is cyclic"),
+            InterpError::Opaque(op) => write!(f, "{op} has no interpretable semantics"),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+/// Interprets `dfg` for `iterations` iterations.
+///
+/// # Errors
+///
+/// See [`InterpError`].
+///
+/// # Example
+///
+/// ```
+/// use veal_ir::interp::{interpret, Inputs, Value};
+/// use veal_ir::{DfgBuilder, Opcode};
+///
+/// # fn main() -> Result<(), veal_ir::interp::InterpError> {
+/// // acc += x[i] * 2
+/// let mut b = DfgBuilder::new();
+/// let x = b.load_stream(0);
+/// let two = b.constant(2);
+/// let p = b.op(Opcode::Mul, &[x, two]);
+/// let acc = b.op(Opcode::Add, &[p]);
+/// b.loop_carried(acc, acc, 1);
+/// b.mark_live_out(acc);
+/// let dfg = b.finish();
+///
+/// let mut inputs = Inputs::default();
+/// inputs.streams.insert(0, vec![1i64.into(), 2i64.into(), 3i64.into()]);
+/// let out = interpret(&dfg, 3, &inputs)?;
+/// assert_eq!(out.live_outs[&acc], Value::Int(12)); // 2 + 4 + 6
+/// # Ok(())
+/// # }
+/// ```
+pub fn interpret(dfg: &Dfg, iterations: u64, inputs: &Inputs) -> Result<ExecResult, InterpError> {
+    let order = dfg.topo_order().map_err(|_| InterpError::CyclicGraph)?;
+    // History ring: value of each node for the last `max_distance`
+    // iterations plus the current one.
+    let max_dist = dfg
+        .edges()
+        .iter()
+        .map(|e| e.distance)
+        .max()
+        .unwrap_or(0) as usize;
+    let depth = max_dist + 1;
+    let n = dfg.len();
+    let mut history: Vec<Vec<Value>> = vec![vec![Value::Int(0); n]; depth];
+    // Seed initial values into every pre-loop slot.
+    for slot in &mut history {
+        for (&id, &v) in &inputs.initials {
+            slot[id.index()] = v;
+        }
+    }
+
+    let mut result = ExecResult::default();
+    for iter in 0..iterations {
+        let cur = (iter as usize) % depth;
+        // Start the row from pseudo-node values.
+        for id in dfg.live_ids() {
+            match &dfg.node(id).kind {
+                NodeKind::Const(c) => history[cur][id.index()] = Value::Int(*c),
+                NodeKind::LiveIn => {
+                    history[cur][id.index()] = inputs
+                        .live_ins
+                        .get(&id)
+                        .copied()
+                        .unwrap_or(Value::Int(0));
+                }
+                NodeKind::Op(_) => {}
+            }
+        }
+        for &v in &order {
+            let Some(op) = dfg.node(v).opcode() else {
+                continue;
+            };
+            // Operand values, in edge-insertion order.
+            let mut args: Vec<Value> = Vec::new();
+            for e in dfg.pred_edges(v) {
+                let d = e.distance as usize;
+                if d > iter as usize {
+                    args.push(
+                        inputs
+                            .initials
+                            .get(&e.src)
+                            .copied()
+                            .unwrap_or(Value::Int(0)),
+                    );
+                } else {
+                    let slot = (iter as usize - d) % depth;
+                    args.push(history[slot][e.src.index()]);
+                }
+            }
+            let value = eval(dfg, v, op, &args, iter, inputs, &mut result)?;
+            history[cur][v.index()] = value;
+        }
+        for id in dfg.live_out_ids() {
+            result.live_outs.insert(id, history[cur][id.index()]);
+        }
+    }
+    Ok(result)
+}
+
+fn eval(
+    dfg: &Dfg,
+    v: OpId,
+    op: Opcode,
+    args: &[Value],
+    iter: u64,
+    inputs: &Inputs,
+    result: &mut ExecResult,
+) -> Result<Value, InterpError> {
+    let a = |i: usize| args.get(i).copied().unwrap_or(Value::Int(0));
+    let ai = |i: usize| a(i).as_int();
+    let af = |i: usize| a(i).as_fp();
+    // Shift amounts are masked like real hardware.
+    let sh = |i: usize| (ai(i) & 63) as u32;
+    use Opcode::*;
+    Ok(match op {
+        Add => Value::Int(ai(0).wrapping_add(ai(1))),
+        Sub => Value::Int(ai(0).wrapping_sub(ai(1))),
+        And => Value::Int(ai(0) & ai(1)),
+        Or => Value::Int(ai(0) | ai(1)),
+        Xor => Value::Int(ai(0) ^ ai(1)),
+        Not => Value::Int(!ai(0)),
+        Neg => Value::Int(ai(0).wrapping_neg()),
+        Min => Value::Int(ai(0).min(ai(1))),
+        Max => Value::Int(ai(0).max(ai(1))),
+        Abs => Value::Int(ai(0).wrapping_abs()),
+        CmpEq => Value::Int(i64::from(ai(0) == ai(1))),
+        CmpNe => Value::Int(i64::from(ai(0) != ai(1))),
+        CmpLt => Value::Int(i64::from(ai(0) < ai(1))),
+        CmpLe => Value::Int(i64::from(ai(0) <= ai(1))),
+        Select => {
+            if ai(0) != 0 {
+                a(1)
+            } else {
+                a(2)
+            }
+        }
+        Mov => a(0),
+        LoadImm => Value::Int(0),
+        Shl => Value::Int(ai(0).wrapping_shl(sh(1))),
+        Shr => Value::Int((ai(0) as u64).wrapping_shr(sh(1)) as i64),
+        Sra => Value::Int(ai(0).wrapping_shr(sh(1))),
+        Mul => Value::Int(ai(0).wrapping_mul(ai(1))),
+        Div => Value::Int(ai(0).checked_div(ai(1)).unwrap_or(0)),
+        Rem => Value::Int(ai(0).checked_rem(ai(1)).unwrap_or(0)),
+        FAdd => Value::Fp(af(0) + af(1)),
+        FSub => Value::Fp(af(0) - af(1)),
+        FMul => Value::Fp(af(0) * af(1)),
+        FDiv => Value::Fp(af(0) / af(1)),
+        FNeg => Value::Fp(-af(0)),
+        FAbs => Value::Fp(af(0).abs()),
+        FMin => Value::Fp(af(0).min(af(1))),
+        FMax => Value::Fp(af(0).max(af(1))),
+        FCmpLt => Value::Int(i64::from(af(0) < af(1))),
+        ItoF => Value::Fp(ai(0) as f64),
+        FtoI => Value::Int(af(0) as i64),
+        FMac => Value::Fp(af(0) * af(1) + af(2)),
+        FSqrt => Value::Fp(af(0).abs().sqrt()),
+        Load => {
+            if let Some(s) = dfg.node(v).stream {
+                inputs
+                    .streams
+                    .get(&s)
+                    .and_then(|data| data.get(iter as usize))
+                    .copied()
+                    .unwrap_or(Value::Int(0))
+            } else {
+                // A full-form load addressed by a generator: model a simple
+                // content function of the address *and* the load site, so
+                // distinct arrays hold distinct data even when their
+                // address sequences coincide.
+                Value::Int(
+                    ai(0)
+                        .wrapping_mul(31)
+                        .wrapping_add(7)
+                        .wrapping_add(v.index() as i64 * 17),
+                )
+            }
+        }
+        Store => {
+            let value = a(0);
+            let s = dfg.node(v).stream.unwrap_or(u16::MAX);
+            result.stores.entry(s).or_default().push(value);
+            value
+        }
+        Br | BrCond | Ret => Value::Int(0),
+        Call | Cca => return Err(InterpError::Opaque(v)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DfgBuilder;
+
+    fn ints(vals: &[i64]) -> Vec<Value> {
+        vals.iter().map(|&v| Value::Int(v)).collect()
+    }
+
+    #[test]
+    fn streaming_copy() {
+        let mut b = DfgBuilder::new();
+        let x = b.load_stream(0);
+        b.store_stream(1, x);
+        let dfg = b.finish();
+        let mut inputs = Inputs::default();
+        inputs.streams.insert(0, ints(&[4, 5, 6]));
+        let out = interpret(&dfg, 3, &inputs).unwrap();
+        assert_eq!(out.stores[&1], ints(&[4, 5, 6]));
+    }
+
+    #[test]
+    fn accumulator_with_initial_value() {
+        let mut b = DfgBuilder::new();
+        let x = b.load_stream(0);
+        let acc = b.op(Opcode::Add, &[x]);
+        b.loop_carried(acc, acc, 1);
+        b.mark_live_out(acc);
+        let dfg = b.finish();
+        let mut inputs = Inputs::default();
+        inputs.streams.insert(0, ints(&[1, 2, 3, 4]));
+        inputs.initials.insert(acc, Value::Int(100));
+        let out = interpret(&dfg, 4, &inputs).unwrap();
+        assert_eq!(out.live_outs[&acc], Value::Int(110));
+    }
+
+    #[test]
+    fn distance_two_reads_two_back() {
+        // y_i = x_i + y_{i-2}: two interleaved sums.
+        let mut b = DfgBuilder::new();
+        let x = b.load_stream(0);
+        let y = b.op(Opcode::Add, &[x]);
+        b.loop_carried(y, y, 2);
+        b.store_stream(1, y);
+        let dfg = b.finish();
+        let mut inputs = Inputs::default();
+        inputs.streams.insert(0, ints(&[1, 10, 2, 20]));
+        let out = interpret(&dfg, 4, &inputs).unwrap();
+        assert_eq!(out.stores[&1], ints(&[1, 10, 3, 30]));
+    }
+
+    #[test]
+    fn select_and_clamp_semantics() {
+        let mut b = DfgBuilder::new();
+        let x = b.load_stream(0);
+        let hi = b.constant(10);
+        let c = b.op(Opcode::CmpLt, &[x, hi]);
+        let sel = b.op(Opcode::Select, &[c, x, hi]);
+        b.store_stream(1, sel);
+        let dfg = b.finish();
+        let mut inputs = Inputs::default();
+        inputs.streams.insert(0, ints(&[3, 30, 10]));
+        let out = interpret(&dfg, 3, &inputs).unwrap();
+        assert_eq!(out.stores[&1], ints(&[3, 10, 10]));
+    }
+
+    #[test]
+    fn fp_dot_product_golden() {
+        let mut b = DfgBuilder::new();
+        let x = b.load_stream(0);
+        let y = b.load_stream(1);
+        let p = b.op(Opcode::FMul, &[x, y]);
+        let acc = b.op(Opcode::FAdd, &[p]);
+        b.loop_carried(acc, acc, 1);
+        b.mark_live_out(acc);
+        let dfg = b.finish();
+        let mut inputs = Inputs::default();
+        inputs
+            .streams
+            .insert(0, vec![1.0f64.into(), 2.0f64.into(), 3.0f64.into()]);
+        inputs
+            .streams
+            .insert(1, vec![4.0f64.into(), 5.0f64.into(), 6.0f64.into()]);
+        let out = interpret(&dfg, 3, &inputs).unwrap();
+        assert_eq!(out.live_outs[&acc], Value::Fp(32.0));
+    }
+
+    #[test]
+    fn live_in_values_flow() {
+        let mut b = DfgBuilder::new();
+        let k = b.live_in();
+        let x = b.load_stream(0);
+        let m = b.op(Opcode::Mul, &[x, k]);
+        b.store_stream(1, m);
+        let dfg = b.finish();
+        let mut inputs = Inputs::default();
+        inputs.streams.insert(0, ints(&[1, 2]));
+        inputs.live_ins.insert(k, Value::Int(7));
+        let out = interpret(&dfg, 2, &inputs).unwrap();
+        assert_eq!(out.stores[&1], ints(&[7, 14]));
+    }
+
+    #[test]
+    fn call_is_opaque() {
+        let mut b = DfgBuilder::new();
+        let x = b.live_in();
+        let c = b.op(Opcode::Call, &[x]);
+        b.mark_live_out(c);
+        let dfg = b.finish();
+        assert_eq!(
+            interpret(&dfg, 1, &Inputs::default()).unwrap_err(),
+            InterpError::Opaque(c)
+        );
+    }
+
+    #[test]
+    fn division_by_zero_is_zero() {
+        let mut b = DfgBuilder::new();
+        let x = b.load_stream(0);
+        let z = b.constant(0);
+        let d = b.op(Opcode::Div, &[x, z]);
+        b.mark_live_out(d);
+        let dfg = b.finish();
+        let mut inputs = Inputs::default();
+        inputs.streams.insert(0, ints(&[9]));
+        let out = interpret(&dfg, 1, &inputs).unwrap();
+        assert_eq!(out.live_outs[&d], Value::Int(0));
+    }
+}

@@ -1,0 +1,127 @@
+//! Loop bodies and their execution profiles.
+
+use crate::dfg::Dfg;
+use std::fmt;
+
+/// One innermost loop: its full dataflow graph (compute, memory, address,
+/// and control ops, as encoded in the application binary) plus a name for
+/// reporting.
+///
+/// The *full* graph is what the baseline processor executes and what the
+/// VM's translator receives; [`crate::streams::separate`] derives the
+/// accelerator's compute view from it.
+#[derive(Debug, Clone)]
+pub struct LoopBody {
+    /// Reporting name (e.g. `"fir.inner"`).
+    pub name: String,
+    /// The full loop-body dataflow graph.
+    pub dfg: Dfg,
+}
+
+impl LoopBody {
+    /// Creates a loop body.
+    #[must_use]
+    pub fn new(name: impl Into<String>, dfg: Dfg) -> Self {
+        LoopBody {
+            name: name.into(),
+            dfg,
+        }
+    }
+
+    /// Number of schedulable operations in the full body.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.dfg.schedulable_ops().count()
+    }
+
+    /// Whether the body has no operations.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl fmt::Display for LoopBody {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "loop {} ({} ops)", self.name, self.len())
+    }
+}
+
+/// The dynamic execution profile of one loop within an application: how
+/// often it is invoked and how many iterations each invocation runs.
+///
+/// The product `invocations × trip_count × body size` determines how much
+/// of the application's time the loop accounts for — and therefore how well
+/// a one-time translation cost amortizes (paper Figure 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoopProfile {
+    /// Number of times the loop is entered over the whole run.
+    pub invocations: u64,
+    /// Average iterations per invocation.
+    pub trip_count: u64,
+}
+
+impl LoopProfile {
+    /// Creates a profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either count is zero (a loop that never runs has no
+    /// profile).
+    #[must_use]
+    pub fn new(invocations: u64, trip_count: u64) -> Self {
+        assert!(invocations > 0, "invocations must be positive");
+        assert!(trip_count > 0, "trip count must be positive");
+        LoopProfile {
+            invocations,
+            trip_count,
+        }
+    }
+
+    /// Total iterations across the run.
+    #[must_use]
+    pub fn total_iterations(&self) -> u64 {
+        self.invocations * self.trip_count
+    }
+}
+
+impl fmt::Display for LoopProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} invocations × {} iterations",
+            self.invocations, self.trip_count
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DfgBuilder;
+    use crate::opcode::Opcode;
+
+    #[test]
+    fn loop_body_len_counts_schedulable_ops() {
+        let mut b = DfgBuilder::new();
+        let li = b.live_in(); // not schedulable
+        let x = b.op(Opcode::Add, &[li, li]);
+        let _ = x;
+        let body = LoopBody::new("t", b.finish());
+        assert_eq!(body.len(), 1);
+        assert!(!body.is_empty());
+        assert_eq!(body.to_string(), "loop t (1 ops)");
+    }
+
+    #[test]
+    fn profile_total_iterations() {
+        let p = LoopProfile::new(10, 256);
+        assert_eq!(p.total_iterations(), 2560);
+    }
+
+    #[test]
+    #[should_panic(expected = "trip count")]
+    fn zero_trip_count_rejected() {
+        let _ = LoopProfile::new(1, 0);
+    }
+}

@@ -1,0 +1,248 @@
+//! Abstract translation-cost metering.
+//!
+//! The paper measured "the number of instructions needed to retarget each
+//! loop … using OProfile on an x86 system" (§4.2, Figure 8). We reproduce
+//! that measurement by charging every translation algorithm's elementary
+//! steps to a [`CostMeter`]: each charged unit corresponds to a handful of
+//! host instructions. The per-phase breakdown drives Figure 8, and the
+//! per-loop totals drive the translation-overhead penalties in Figures 6
+//! and 10.
+
+use std::fmt;
+
+/// A phase of loop-accelerator translation (paper §4.1/§4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Phase {
+    /// Detecting the loop in the instruction stream (always dynamic).
+    LoopIdent,
+    /// Separating control and memory streams.
+    StreamSep,
+    /// Greedy CCA subgraph identification.
+    CcaMapping,
+    /// Resource-constrained minimum II.
+    ResMii,
+    /// Recurrence-constrained minimum II.
+    RecMii,
+    /// Scheduling-priority computation (the dominant cost: ~69%).
+    Priority,
+    /// Modulo list scheduling.
+    Scheduling,
+    /// Register assignment and live-value mapping.
+    RegAssign,
+    /// Decoding static hints from the binary (replaces Priority/CcaMapping
+    /// when hints are present).
+    HintDecode,
+}
+
+/// Every phase, in display order.
+pub const ALL_PHASES: &[Phase] = &[
+    Phase::LoopIdent,
+    Phase::StreamSep,
+    Phase::CcaMapping,
+    Phase::ResMii,
+    Phase::RecMii,
+    Phase::Priority,
+    Phase::Scheduling,
+    Phase::RegAssign,
+    Phase::HintDecode,
+];
+
+impl Phase {
+    /// Human-readable name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::LoopIdent => "loop-ident",
+            Phase::StreamSep => "stream-sep",
+            Phase::CcaMapping => "cca-mapping",
+            Phase::ResMii => "res-mii",
+            Phase::RecMii => "rec-mii",
+            Phase::Priority => "priority",
+            Phase::Scheduling => "scheduling",
+            Phase::RegAssign => "reg-assign",
+            Phase::HintDecode => "hint-decode",
+        }
+    }
+
+    fn index(self) -> usize {
+        ALL_PHASES
+            .iter()
+            .position(|&p| p == self)
+            .expect("phase in ALL_PHASES")
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Per-phase abstract instruction counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PhaseBreakdown {
+    counts: [u64; ALL_PHASES.len()],
+}
+
+impl PhaseBreakdown {
+    /// Count charged to one phase.
+    #[must_use]
+    pub fn get(&self, phase: Phase) -> u64 {
+        self.counts[phase.index()]
+    }
+
+    /// Total across all phases.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Fraction of the total charged to `phase` (0.0 when nothing was
+    /// charged at all).
+    #[must_use]
+    pub fn fraction(&self, phase: Phase) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.get(phase) as f64 / total as f64
+        }
+    }
+
+    /// Adds another breakdown into this one.
+    pub fn merge(&mut self, other: &PhaseBreakdown) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+    }
+}
+
+impl fmt::Display for PhaseBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for &p in ALL_PHASES {
+            let c = self.get(p);
+            if c == 0 {
+                continue;
+            }
+            if !first {
+                write!(f, " ")?;
+            }
+            write!(f, "{}={}", p.name(), c)?;
+            first = false;
+        }
+        if first {
+            write!(f, "(empty)")?;
+        }
+        Ok(())
+    }
+}
+
+/// Accumulates abstract instruction counts per translation phase.
+///
+/// One meter instance measures the translation of one loop; the VM keeps a
+/// meter per translation event and aggregates breakdowns per benchmark.
+///
+/// # Example
+///
+/// ```
+/// use veal_ir::{CostMeter, Phase};
+/// let mut m = CostMeter::new();
+/// m.charge(Phase::Priority, 120);
+/// m.charge(Phase::Scheduling, 30);
+/// assert_eq!(m.breakdown().total(), 150);
+/// assert!(m.breakdown().fraction(Phase::Priority) > 0.7);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CostMeter {
+    breakdown: PhaseBreakdown,
+}
+
+impl CostMeter {
+    /// Creates an empty meter.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charges `units` abstract instructions to `phase`.
+    pub fn charge(&mut self, phase: Phase, units: u64) {
+        self.breakdown.counts[phase.index()] += units;
+    }
+
+    /// The accumulated breakdown.
+    #[must_use]
+    pub fn breakdown(&self) -> &PhaseBreakdown {
+        &self.breakdown
+    }
+
+    /// Total abstract instructions charged so far.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.breakdown.total()
+    }
+
+    /// Resets all counts to zero.
+    pub fn reset(&mut self) {
+        self.breakdown = PhaseBreakdown::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate_per_phase() {
+        let mut m = CostMeter::new();
+        m.charge(Phase::CcaMapping, 5);
+        m.charge(Phase::CcaMapping, 7);
+        assert_eq!(m.breakdown().get(Phase::CcaMapping), 12);
+        assert_eq!(m.total(), 12);
+    }
+
+    #[test]
+    fn fraction_of_empty_meter_is_zero() {
+        let m = CostMeter::new();
+        assert_eq!(m.breakdown().fraction(Phase::Priority), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = CostMeter::new();
+        a.charge(Phase::ResMii, 10);
+        let mut b = CostMeter::new();
+        b.charge(Phase::ResMii, 5);
+        b.charge(Phase::RecMii, 3);
+        let mut sum = *a.breakdown();
+        sum.merge(b.breakdown());
+        assert_eq!(sum.get(Phase::ResMii), 15);
+        assert_eq!(sum.get(Phase::RecMii), 3);
+        assert_eq!(sum.total(), 18);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut m = CostMeter::new();
+        m.charge(Phase::RegAssign, 9);
+        m.reset();
+        assert_eq!(m.total(), 0);
+    }
+
+    #[test]
+    fn display_lists_nonzero_phases() {
+        let mut m = CostMeter::new();
+        m.charge(Phase::Priority, 2);
+        let s = m.breakdown().to_string();
+        assert!(s.contains("priority=2"));
+        assert!(!s.contains("scheduling"));
+    }
+
+    #[test]
+    fn all_phases_have_unique_names() {
+        let mut seen = std::collections::HashSet::new();
+        for &p in ALL_PHASES {
+            assert!(seen.insert(p.name()));
+        }
+    }
+}

@@ -1,0 +1,519 @@
+//! The baseline RISC-equivalent operation set.
+//!
+//! The VEAL paper expresses loops "using the baseline instruction set of a
+//! general purpose processor" (§2.3). This module defines that set, the
+//! mapping of each operation onto a function-unit class, and the properties
+//! the CCA mapper needs (which ops the CCA's rows can execute).
+
+use std::fmt;
+
+/// Function-unit classes an operation may execute on.
+///
+/// These mirror the resource classes of the generalized loop accelerator of
+/// paper §3: integer units (which also handle shifts and multiplies, the ops
+/// the CCA cannot), double-precision floating-point units, the CCA itself,
+/// the memory-stream FIFO ports, and the loop-control hardware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FuClass {
+    /// Integer ALU / shifter / multiplier unit.
+    Int,
+    /// Double-precision floating-point unit.
+    Fp,
+    /// The combinational compute accelerator (only `Opcode::Cca` pseudo-ops).
+    Cca,
+    /// Memory-stream FIFO access (loads/stores whose addresses are handled by
+    /// address generators, paper §2.1).
+    Mem,
+    /// Loop-control hardware (induction update, compare, back-branch).
+    Control,
+}
+
+impl fmt::Display for FuClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FuClass::Int => "int",
+            FuClass::Fp => "fp",
+            FuClass::Cca => "cca",
+            FuClass::Mem => "mem",
+            FuClass::Control => "ctrl",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A baseline RISC-equivalent operation.
+///
+/// The set covers the integer, floating-point, memory and control operations
+/// that MediaBench/SPECfp-style innermost loops use, plus the [`Opcode::Cca`]
+/// pseudo-op that represents a subgraph collapsed onto the CCA (paper §4.1,
+/// "CCA Mapping") and [`Opcode::Call`] which marks loops that need inlining.
+///
+/// # Example
+///
+/// ```
+/// use veal_ir::{FuClass, Opcode};
+/// assert_eq!(Opcode::Mul.fu_class(), FuClass::Int);
+/// assert!(Opcode::Add.cca_supported());
+/// assert!(!Opcode::Shl.cca_supported()); // CCA rows have no shifter
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Opcode {
+    // --- Integer ops the CCA rows can execute -----------------------------
+    /// Integer addition.
+    Add,
+    /// Integer subtraction.
+    Sub,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Bitwise NOT.
+    Not,
+    /// Integer negation.
+    Neg,
+    /// Signed minimum.
+    Min,
+    /// Signed maximum.
+    Max,
+    /// Absolute value.
+    Abs,
+    /// Compare equal, producing 0/1.
+    CmpEq,
+    /// Compare not-equal, producing 0/1.
+    CmpNe,
+    /// Compare signed less-than, producing 0/1.
+    CmpLt,
+    /// Compare signed less-or-equal, producing 0/1.
+    CmpLe,
+    /// Conditional select: `dst = src0 != 0 ? src1 : src2` (used by
+    /// if-conversion; paper §2.1 "branches within the loop body are fully
+    /// predicated").
+    Select,
+    /// Register copy.
+    Mov,
+    /// Load an immediate constant.
+    LoadImm,
+
+    // --- Integer ops that require the integer unit ------------------------
+    /// Shift left.
+    Shl,
+    /// Logical shift right.
+    Shr,
+    /// Arithmetic shift right.
+    Sra,
+    /// Integer multiply (3 cycles in the paper's Figure 5 example).
+    Mul,
+    /// Integer divide (long latency, unpipelined).
+    Div,
+    /// Integer remainder.
+    Rem,
+
+    // --- Double-precision floating point ----------------------------------
+    /// FP addition.
+    FAdd,
+    /// FP subtraction.
+    FSub,
+    /// FP multiplication.
+    FMul,
+    /// FP division (long latency, unpipelined).
+    FDiv,
+    /// FP negation.
+    FNeg,
+    /// FP absolute value.
+    FAbs,
+    /// FP minimum.
+    FMin,
+    /// FP maximum.
+    FMax,
+    /// FP compare less-than, producing an integer 0/1.
+    FCmpLt,
+    /// Integer-to-FP conversion.
+    ItoF,
+    /// FP-to-integer conversion.
+    FtoI,
+    /// FP multiply-accumulate (`dst = src0 * src1 + src2`).
+    FMac,
+    /// FP square root (long latency, unpipelined).
+    FSqrt,
+
+    // --- Memory ------------------------------------------------------------
+    /// Load through a memory stream / FIFO.
+    Load,
+    /// Store through a memory stream / FIFO.
+    Store,
+
+    // --- Control -----------------------------------------------------------
+    /// Unconditional branch.
+    Br,
+    /// Conditional branch (loop back-branch or side exit).
+    BrCond,
+    /// Branch-and-link: a function call, also used as the procedural
+    /// abstraction marker for statically identified CCA subgraphs
+    /// (paper Figure 9(b)).
+    Call,
+    /// Return from a function.
+    Ret,
+
+    // --- Pseudo ------------------------------------------------------------
+    /// A subgraph of CCA-supported integer ops collapsed into one CCA
+    /// invocation (2-cycle latency in the paper's design).
+    Cca,
+}
+
+/// All opcodes, in a stable order used by the binary encoder and by
+/// exhaustive tests.
+pub const ALL_OPCODES: &[Opcode] = &[
+    Opcode::Add,
+    Opcode::Sub,
+    Opcode::And,
+    Opcode::Or,
+    Opcode::Xor,
+    Opcode::Not,
+    Opcode::Neg,
+    Opcode::Min,
+    Opcode::Max,
+    Opcode::Abs,
+    Opcode::CmpEq,
+    Opcode::CmpNe,
+    Opcode::CmpLt,
+    Opcode::CmpLe,
+    Opcode::Select,
+    Opcode::Mov,
+    Opcode::LoadImm,
+    Opcode::Shl,
+    Opcode::Shr,
+    Opcode::Sra,
+    Opcode::Mul,
+    Opcode::Div,
+    Opcode::Rem,
+    Opcode::FAdd,
+    Opcode::FSub,
+    Opcode::FMul,
+    Opcode::FDiv,
+    Opcode::FNeg,
+    Opcode::FAbs,
+    Opcode::FMin,
+    Opcode::FMax,
+    Opcode::FCmpLt,
+    Opcode::ItoF,
+    Opcode::FtoI,
+    Opcode::FMac,
+    Opcode::FSqrt,
+    Opcode::Load,
+    Opcode::Store,
+    Opcode::Br,
+    Opcode::BrCond,
+    Opcode::Call,
+    Opcode::Ret,
+    Opcode::Cca,
+];
+
+impl Opcode {
+    /// Returns the function-unit class this operation executes on inside the
+    /// loop accelerator.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use veal_ir::{FuClass, Opcode};
+    /// assert_eq!(Opcode::FAdd.fu_class(), FuClass::Fp);
+    /// assert_eq!(Opcode::Load.fu_class(), FuClass::Mem);
+    /// ```
+    #[must_use]
+    pub fn fu_class(self) -> FuClass {
+        use Opcode::*;
+        match self {
+            Add | Sub | And | Or | Xor | Not | Neg | Min | Max | Abs | CmpEq | CmpNe | CmpLt
+            | CmpLe | Select | Mov | LoadImm | Shl | Shr | Sra | Mul | Div | Rem => FuClass::Int,
+            FAdd | FSub | FMul | FDiv | FNeg | FAbs | FMin | FMax | FCmpLt | ItoF | FtoI
+            | FMac | FSqrt => FuClass::Fp,
+            Load | Store => FuClass::Mem,
+            Br | BrCond | Call | Ret => FuClass::Control,
+            Cca => FuClass::Cca,
+        }
+    }
+
+    /// Whether the CCA's combinational rows can execute this op.
+    ///
+    /// The paper's CCA executes "simple arithmetic (add, subtract,
+    /// comparison) and bitwise logical ops" but no shifts, multiplies,
+    /// floating point, or memory accesses (§3.1).
+    #[must_use]
+    pub fn cca_supported(self) -> bool {
+        use Opcode::*;
+        matches!(
+            self,
+            Add | Sub | And | Or | Xor | Not | Neg | Min | Max | Abs | CmpEq | CmpNe | CmpLt
+                | CmpLe | Select | Mov
+        )
+    }
+
+    /// Whether this op performs "simple arithmetic" in the CCA's terms
+    /// (restricted to the CCA's odd rows), as opposed to purely bitwise
+    /// logic (legal in any row).
+    #[must_use]
+    pub fn cca_arithmetic(self) -> bool {
+        use Opcode::*;
+        matches!(
+            self,
+            Add | Sub | Neg | Min | Max | Abs | CmpEq | CmpNe | CmpLt | CmpLe | Select
+        )
+    }
+
+    /// Whether this op produces a floating-point value.
+    #[must_use]
+    pub fn is_fp(self) -> bool {
+        use Opcode::*;
+        matches!(
+            self,
+            FAdd | FSub | FMul | FDiv | FNeg | FAbs | FMin | FMax | ItoF | FMac | FSqrt
+        )
+    }
+
+    /// Whether this op accesses memory.
+    #[must_use]
+    pub fn is_mem(self) -> bool {
+        matches!(self, Opcode::Load | Opcode::Store)
+    }
+
+    /// Whether this op transfers control.
+    #[must_use]
+    pub fn is_control(self) -> bool {
+        matches!(
+            self,
+            Opcode::Br | Opcode::BrCond | Opcode::Call | Opcode::Ret
+        )
+    }
+
+    /// Whether this op writes a result register.
+    #[must_use]
+    pub fn has_dest(self) -> bool {
+        !matches!(
+            self,
+            Opcode::Store | Opcode::Br | Opcode::BrCond | Opcode::Ret
+        )
+    }
+
+    /// Number of register source operands this op naturally takes.
+    ///
+    /// `Cca` is variadic (its source count is the collapsed subgraph's
+    /// live-in count) and returns `usize::MAX` here.
+    #[must_use]
+    pub fn arity(self) -> usize {
+        use Opcode::*;
+        match self {
+            LoadImm | Br => 0,
+            Not | Neg | Abs | Mov | FNeg | FAbs | ItoF | FtoI | FSqrt | Load | BrCond | Ret
+            | Call => 1,
+            Add | Sub | And | Or | Xor | Min | Max | CmpEq | CmpNe | CmpLt | CmpLe | Shl | Shr
+            | Sra | Mul | Div | Rem | FAdd | FSub | FMul | FDiv | FMin | FMax | FCmpLt | Store => 2,
+            Select | FMac => 3,
+            Cca => usize::MAX,
+        }
+    }
+
+    /// Default execution latency in cycles.
+    ///
+    /// Matches the paper's Figure 5 assumptions: multiplies take 3 cycles,
+    /// the CCA takes 2, ordinary integer ops take 1. Floating point is given
+    /// the long latencies that made few FP units sufficient in the design
+    /// space exploration (§3.1). Accelerator configurations may override
+    /// these via `veal-accel`'s latency model.
+    #[must_use]
+    pub fn default_latency(self) -> u32 {
+        use Opcode::*;
+        match self {
+            Mul => 3,
+            Div | Rem => 12,
+            FAdd | FSub | FCmpLt | FMin | FMax | ItoF | FtoI => 3,
+            FMul | FMac => 4,
+            FDiv => 16,
+            FSqrt => 20,
+            Load => 2,
+            Cca => 2,
+            _ => 1,
+        }
+    }
+
+    /// Whether the unit executing this op is fully pipelined (can accept a
+    /// new op every cycle). Divides and square roots are not.
+    #[must_use]
+    pub fn pipelined(self) -> bool {
+        !matches!(
+            self,
+            Opcode::Div | Opcode::Rem | Opcode::FDiv | Opcode::FSqrt
+        )
+    }
+
+    /// Stable numeric encoding used by the binary module format.
+    #[must_use]
+    pub fn encode(self) -> u8 {
+        ALL_OPCODES
+            .iter()
+            .position(|&op| op == self)
+            .expect("opcode missing from ALL_OPCODES") as u8
+    }
+
+    /// Decodes an opcode from its stable numeric encoding.
+    ///
+    /// Returns `None` for out-of-range codes.
+    #[must_use]
+    pub fn decode(code: u8) -> Option<Self> {
+        ALL_OPCODES.get(code as usize).copied()
+    }
+
+    /// Short mnemonic used by the pretty printers.
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        use Opcode::*;
+        match self {
+            Add => "add",
+            Sub => "sub",
+            And => "and",
+            Or => "or",
+            Xor => "xor",
+            Not => "not",
+            Neg => "neg",
+            Min => "min",
+            Max => "max",
+            Abs => "abs",
+            CmpEq => "cmpeq",
+            CmpNe => "cmpne",
+            CmpLt => "cmplt",
+            CmpLe => "cmple",
+            Select => "sel",
+            Mov => "mov",
+            LoadImm => "ldi",
+            Shl => "shl",
+            Shr => "shr",
+            Sra => "sra",
+            Mul => "mpy",
+            Div => "div",
+            Rem => "rem",
+            FAdd => "fadd",
+            FSub => "fsub",
+            FMul => "fmul",
+            FDiv => "fdiv",
+            FNeg => "fneg",
+            FAbs => "fabs",
+            FMin => "fmin",
+            FMax => "fmax",
+            FCmpLt => "fcmplt",
+            ItoF => "itof",
+            FtoI => "ftoi",
+            FMac => "fmac",
+            FSqrt => "fsqrt",
+            Load => "ld",
+            Store => "str",
+            Br => "br",
+            BrCond => "brc",
+            Call => "brl",
+            Ret => "ret",
+            Cca => "cca",
+        }
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for &op in ALL_OPCODES {
+            assert_eq!(Opcode::decode(op.encode()), Some(op));
+        }
+    }
+
+    #[test]
+    fn decode_rejects_out_of_range() {
+        assert_eq!(Opcode::decode(200), None);
+        assert_eq!(Opcode::decode(ALL_OPCODES.len() as u8), None);
+    }
+
+    #[test]
+    fn all_opcodes_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for &op in ALL_OPCODES {
+            assert!(seen.insert(op), "duplicate opcode {op}");
+        }
+    }
+
+    #[test]
+    fn cca_supported_implies_int_class() {
+        for &op in ALL_OPCODES {
+            if op.cca_supported() {
+                assert_eq!(op.fu_class(), FuClass::Int, "{op} must be an int op");
+            }
+        }
+    }
+
+    #[test]
+    fn cca_arithmetic_is_subset_of_supported() {
+        for &op in ALL_OPCODES {
+            if op.cca_arithmetic() {
+                assert!(op.cca_supported(), "{op} arithmetic but unsupported");
+            }
+        }
+    }
+
+    #[test]
+    fn shifts_and_multiplies_not_on_cca() {
+        for op in [Opcode::Shl, Opcode::Shr, Opcode::Sra, Opcode::Mul] {
+            assert!(!op.cca_supported(), "{op} must need the integer unit");
+        }
+    }
+
+    #[test]
+    fn figure5_latencies() {
+        // Paper Figure 5: "multiplies take 3 cycles, the CCA takes 2, all
+        // other ops take 1".
+        assert_eq!(Opcode::Mul.default_latency(), 3);
+        assert_eq!(Opcode::Cca.default_latency(), 2);
+        assert_eq!(Opcode::Add.default_latency(), 1);
+        assert_eq!(Opcode::Shl.default_latency(), 1);
+    }
+
+    #[test]
+    fn stores_and_branches_have_no_dest() {
+        assert!(!Opcode::Store.has_dest());
+        assert!(!Opcode::BrCond.has_dest());
+        assert!(Opcode::Load.has_dest());
+        assert!(Opcode::Call.has_dest());
+    }
+
+    #[test]
+    fn unpipelined_ops_are_long_latency() {
+        for &op in ALL_OPCODES {
+            if !op.pipelined() {
+                assert!(op.default_latency() >= 8, "{op} unpipelined but short");
+            }
+        }
+    }
+
+    #[test]
+    fn mnemonics_are_unique_and_nonempty() {
+        let mut seen = std::collections::HashSet::new();
+        for &op in ALL_OPCODES {
+            assert!(!op.mnemonic().is_empty());
+            assert!(seen.insert(op.mnemonic()), "duplicate mnemonic {}", op);
+        }
+    }
+
+    #[test]
+    fn fp_classification_matches_fu_class() {
+        for &op in ALL_OPCODES {
+            if op.is_fp() {
+                assert_eq!(op.fu_class(), FuClass::Fp);
+            }
+        }
+    }
+}

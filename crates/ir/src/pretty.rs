@@ -1,0 +1,107 @@
+//! Pretty printers for dataflow graphs.
+
+use crate::dfg::{Dfg, NodeKind};
+use std::fmt::Write as _;
+
+/// Renders a [`Dfg`] as indented text, one node per line with its inputs,
+/// in the style of the paper's Figure 9 listings.
+///
+/// # Example
+///
+/// ```
+/// use veal_ir::{DfgBuilder, Opcode};
+/// use veal_ir::pretty::render_dfg;
+/// let mut b = DfgBuilder::new();
+/// let x = b.load_stream(0);
+/// let y = b.op(Opcode::Add, &[x, x]);
+/// let _ = y;
+/// let text = render_dfg(&b.finish());
+/// assert!(text.contains("ld"));
+/// assert!(text.contains("add"));
+/// ```
+#[must_use]
+pub fn render_dfg(dfg: &Dfg) -> String {
+    let mut out = String::new();
+    for id in dfg.live_ids() {
+        let node = dfg.node(id);
+        match &node.kind {
+            NodeKind::LiveIn => {
+                let _ = writeln!(out, "{id}: live-in");
+            }
+            NodeKind::Const(v) => {
+                let _ = writeln!(out, "{id}: const #{v}");
+            }
+            NodeKind::Op(op) => {
+                let _ = write!(out, "{id}: {op}");
+                if let Some(s) = node.stream {
+                    let _ = write!(out, " [stream {s}]");
+                }
+                let inputs: Vec<String> = dfg
+                    .pred_edges(id)
+                    .map(|e| {
+                        if e.distance == 0 {
+                            format!("{}", e.src)
+                        } else {
+                            format!("{}@{}", e.src, e.distance)
+                        }
+                    })
+                    .collect();
+                if !inputs.is_empty() {
+                    let _ = write!(out, " <- {}", inputs.join(", "));
+                }
+                if !node.cca_members.is_empty() {
+                    let members: Vec<String> =
+                        node.cca_members.iter().map(|m| format!("{m}")).collect();
+                    let _ = write!(out, " {{{}}}", members.join(" "));
+                }
+                if node.live_out {
+                    let _ = write!(out, " (live-out)");
+                }
+                let _ = writeln!(out);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DfgBuilder;
+    use crate::opcode::Opcode;
+
+    #[test]
+    fn renders_live_ins_consts_and_distances() {
+        let mut b = DfgBuilder::new();
+        let li = b.live_in();
+        let k = b.constant(5);
+        let s = b.op(Opcode::Add, &[li, k]);
+        b.loop_carried(s, s, 2);
+        b.mark_live_out(s);
+        let text = render_dfg(&b.finish());
+        assert!(text.contains("live-in"));
+        assert!(text.contains("const #5"));
+        assert!(text.contains("@2"));
+        assert!(text.contains("(live-out)"));
+    }
+
+    #[test]
+    fn renders_cca_members() {
+        let mut b = DfgBuilder::new();
+        let x = b.op(Opcode::And, &[]);
+        let y = b.op(Opcode::Xor, &[x]);
+        let mut dfg = b.finish();
+        dfg.collapse(&[x, y]);
+        let text = render_dfg(&dfg);
+        assert!(text.contains("cca"));
+        assert!(text.contains('{'));
+    }
+
+    #[test]
+    fn renders_stream_annotation() {
+        let mut b = DfgBuilder::new();
+        b.load_stream(3);
+        let text = render_dfg(&b.finish());
+        assert!(text.contains("[stream 3]"));
+    }
+}

@@ -1,0 +1,180 @@
+//! Identifier newtypes used throughout the IR.
+//!
+//! Each graph-like structure in VEAL indexes its elements with a dedicated
+//! newtype so that, e.g., an operation index can never be confused with a
+//! basic-block index (C-NEWTYPE).
+
+use std::fmt;
+
+/// Identifier of an operation (a node) inside a [`crate::Dfg`] or a
+/// [`crate::cfg::Function`].
+///
+/// `OpId`s are dense indices assigned in creation order; the VEAL paper's
+/// Figure 5 numbers its loop ops 1..=15 the same way.
+///
+/// # Example
+///
+/// ```
+/// use veal_ir::OpId;
+/// let id = OpId::new(3);
+/// assert_eq!(id.index(), 3);
+/// assert_eq!(format!("{id}"), "op3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OpId(u32);
+
+impl OpId {
+    /// Creates an operation id from a dense index.
+    #[must_use]
+    pub fn new(index: usize) -> Self {
+        OpId(u32::try_from(index).expect("operation index exceeds u32 range"))
+    }
+
+    /// Returns the dense index backing this id.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op{}", self.0)
+    }
+}
+
+/// Identifier of a basic block inside a [`crate::cfg::Function`].
+///
+/// # Example
+///
+/// ```
+/// use veal_ir::BlockId;
+/// assert_eq!(format!("{}", BlockId::new(2)), "bb2");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(u32);
+
+impl BlockId {
+    /// Creates a block id from a dense index.
+    #[must_use]
+    pub fn new(index: usize) -> Self {
+        BlockId(u32::try_from(index).expect("block index exceeds u32 range"))
+    }
+
+    /// Returns the dense index backing this id.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+/// Identifier of a function within a program (used by call instructions and
+/// the inliner).
+///
+/// # Example
+///
+/// ```
+/// use veal_ir::FuncId;
+/// assert_eq!(format!("{}", FuncId::new(0)), "fn0");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FuncId(u32);
+
+impl FuncId {
+    /// Creates a function id from a dense index.
+    #[must_use]
+    pub fn new(index: usize) -> Self {
+        FuncId(u32::try_from(index).expect("function index exceeds u32 range"))
+    }
+
+    /// Returns the dense index backing this id.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FuncId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fn{}", self.0)
+    }
+}
+
+/// A virtual register in the baseline instruction set.
+///
+/// The baseline ISA is register-rich (virtual registers are unbounded); the
+/// translator later maps live values onto the accelerator's finite register
+/// file and aborts if they do not fit (paper §4.1, "Register Assignment").
+///
+/// # Example
+///
+/// ```
+/// use veal_ir::VReg;
+/// let r = VReg::new(7);
+/// assert_eq!(r.index(), 7);
+/// assert_eq!(format!("{r}"), "v7");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VReg(u32);
+
+impl VReg {
+    /// Creates a virtual register from a dense index.
+    #[must_use]
+    pub fn new(index: usize) -> Self {
+        VReg(u32::try_from(index).expect("register index exceeds u32 range"))
+    }
+
+    /// Returns the dense index backing this register.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_id_round_trips_index() {
+        for i in [0usize, 1, 15, 4096] {
+            assert_eq!(OpId::new(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(OpId::new(1) < OpId::new(2));
+        assert!(BlockId::new(0) < BlockId::new(9));
+        assert!(VReg::new(3) < VReg::new(4));
+    }
+
+    #[test]
+    fn display_formats_are_stable() {
+        assert_eq!(OpId::new(15).to_string(), "op15");
+        assert_eq!(BlockId::new(1).to_string(), "bb1");
+        assert_eq!(FuncId::new(2).to_string(), "fn2");
+        assert_eq!(VReg::new(0).to_string(), "v0");
+    }
+
+    #[test]
+    fn ids_usable_as_map_keys() {
+        use std::collections::HashMap;
+        let mut m = HashMap::new();
+        m.insert(OpId::new(1), "a");
+        m.insert(OpId::new(2), "b");
+        assert_eq!(m[&OpId::new(1)], "a");
+    }
+}

@@ -1,0 +1,147 @@
+//! Structural validation of dataflow graphs.
+//!
+//! Every workload generator and transformation pass runs its output through
+//! [`verify_dfg`]; the property tests fuzz random graphs against it.
+
+use crate::dfg::{Dfg, NodeKind};
+use crate::opcode::Opcode;
+use crate::types::OpId;
+use std::fmt;
+
+/// A structural defect found in a [`Dfg`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// An edge references a dead node.
+    EdgeToDeadNode { src: OpId, dst: OpId },
+    /// The distance-0 subgraph contains a cycle, which cannot execute.
+    IntraIterationCycle(Vec<OpId>),
+    /// A pseudo-node (live-in or constant) has incoming data edges.
+    PseudoNodeHasInputs(OpId),
+    /// A memory op carries no stream annotation *and* has no address input
+    /// (it could never execute anywhere).
+    DanglingMemoryOp(OpId),
+    /// A CCA pseudo-op with no recorded members.
+    EmptyCca(OpId),
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::EdgeToDeadNode { src, dst } => {
+                write!(f, "edge {src}->{dst} touches a dead node")
+            }
+            VerifyError::IntraIterationCycle(ids) => {
+                write!(f, "distance-0 cycle through {} nodes", ids.len())
+            }
+            VerifyError::PseudoNodeHasInputs(id) => {
+                write!(f, "pseudo node {id} has incoming edges")
+            }
+            VerifyError::DanglingMemoryOp(id) => {
+                write!(f, "memory op {id} has neither stream nor address")
+            }
+            VerifyError::EmptyCca(id) => write!(f, "CCA op {id} has no members"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Checks the structural invariants of a graph.
+///
+/// # Errors
+///
+/// Returns the first [`VerifyError`] found, or `Ok(())` for a well-formed
+/// graph.
+///
+/// # Example
+///
+/// ```
+/// use veal_ir::{verify_dfg, DfgBuilder, Opcode};
+/// let mut b = DfgBuilder::new();
+/// let x = b.load_stream(0);
+/// b.store_stream(1, x);
+/// assert!(verify_dfg(&b.finish()).is_ok());
+/// ```
+pub fn verify_dfg(dfg: &Dfg) -> Result<(), VerifyError> {
+    for e in dfg.edges() {
+        if dfg.node(e.src).is_dead() || dfg.node(e.dst).is_dead() {
+            return Err(VerifyError::EdgeToDeadNode {
+                src: e.src,
+                dst: e.dst,
+            });
+        }
+    }
+    for id in dfg.live_ids() {
+        let node = dfg.node(id);
+        match &node.kind {
+            NodeKind::LiveIn | NodeKind::Const(_) => {
+                if dfg.pred_edges(id).next().is_some() {
+                    return Err(VerifyError::PseudoNodeHasInputs(id));
+                }
+            }
+            NodeKind::Op(op) => {
+                if op.is_mem() && node.stream.is_none() && dfg.pred_edges(id).next().is_none() {
+                    return Err(VerifyError::DanglingMemoryOp(id));
+                }
+                if *op == Opcode::Cca && node.cca_members.is_empty() {
+                    return Err(VerifyError::EmptyCca(id));
+                }
+            }
+        }
+    }
+    dfg.topo_order().map_err(VerifyError::IntraIterationCycle)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DfgBuilder;
+    use crate::dfg::EdgeKind;
+
+    #[test]
+    fn well_formed_graph_passes() {
+        let mut b = DfgBuilder::new();
+        let x = b.load_stream(0);
+        let y = b.op(Opcode::Add, &[x, x]);
+        b.store_stream(1, y);
+        assert_eq!(verify_dfg(&b.finish()), Ok(()));
+    }
+
+    #[test]
+    fn intra_iteration_cycle_detected() {
+        let mut dfg = Dfg::new();
+        let a = dfg.add_node(NodeKind::Op(Opcode::Add));
+        let b = dfg.add_node(NodeKind::Op(Opcode::Sub));
+        dfg.add_edge(a, b, 0, EdgeKind::Data);
+        dfg.add_edge(b, a, 0, EdgeKind::Data);
+        assert!(matches!(
+            verify_dfg(&dfg),
+            Err(VerifyError::IntraIterationCycle(_))
+        ));
+    }
+
+    #[test]
+    fn pseudo_node_with_inputs_detected() {
+        let mut dfg = Dfg::new();
+        let a = dfg.add_node(NodeKind::Op(Opcode::Add));
+        let li = dfg.add_node(NodeKind::LiveIn);
+        dfg.add_edge(a, li, 0, EdgeKind::Data);
+        assert_eq!(verify_dfg(&dfg), Err(VerifyError::PseudoNodeHasInputs(li)));
+    }
+
+    #[test]
+    fn dangling_memory_op_detected() {
+        let mut dfg = Dfg::new();
+        let ld = dfg.add_node(NodeKind::Op(Opcode::Load));
+        assert_eq!(verify_dfg(&dfg), Err(VerifyError::DanglingMemoryOp(ld)));
+    }
+
+    #[test]
+    fn loop_carried_cycle_is_fine() {
+        let mut b = DfgBuilder::new();
+        let x = b.op(Opcode::Add, &[]);
+        b.loop_carried(x, x, 1);
+        assert_eq!(verify_dfg(&b.finish()), Ok(()));
+    }
+}

@@ -1,0 +1,164 @@
+//! Property tests for the IR crate: random well-formed graphs round-trip
+//! the assembly format, SCC/topo invariants hold, and the verifier accepts
+//! exactly what the generator produces.
+
+use proptest::prelude::*;
+use veal_ir::asm::{parse_asm, to_asm};
+use veal_ir::dfg::{Dfg, EdgeKind, NodeKind};
+use veal_ir::{verify_dfg, LoopBody, Opcode, OpId};
+
+/// Ops safe for random placement (value-producing, non-control).
+const SAFE_OPS: &[Opcode] = &[
+    Opcode::Add,
+    Opcode::Sub,
+    Opcode::And,
+    Opcode::Or,
+    Opcode::Xor,
+    Opcode::Min,
+    Opcode::Max,
+    Opcode::Shl,
+    Opcode::Shr,
+    Opcode::Mul,
+    Opcode::FAdd,
+    Opcode::FMul,
+];
+
+#[derive(Debug, Clone)]
+struct GraphPlan {
+    ops: Vec<usize>,                 // opcode index per node
+    edges: Vec<(usize, usize, u32)>, // (src_rank, dst, distance) src_rank < dst for d = 0
+    live_outs: Vec<usize>,
+    loads: usize,
+}
+
+fn arb_plan() -> impl Strategy<Value = GraphPlan> {
+    (2usize..24, 1usize..4).prop_flat_map(|(n, loads)| {
+        (
+            proptest::collection::vec(0usize..SAFE_OPS.len(), n),
+            proptest::collection::vec((0usize..n, 0usize..n, 0u32..3), 0..n * 2),
+            proptest::collection::vec(0usize..n, 0..3),
+        )
+            .prop_map(move |(ops, raw_edges, live_outs)| {
+                let edges = raw_edges
+                    .into_iter()
+                    .filter_map(|(a, b, d)| {
+                        // Distance-0 edges must go forward (acyclic);
+                        // loop-carried edges may go anywhere.
+                        if d == 0 {
+                            (a < b).then_some((a, b, 0))
+                        } else {
+                            Some((a, b, d))
+                        }
+                    })
+                    .collect();
+                GraphPlan {
+                    ops,
+                    edges,
+                    live_outs,
+                    loads,
+                }
+            })
+    })
+}
+
+fn build(plan: &GraphPlan) -> LoopBody {
+    let mut dfg = Dfg::new();
+    let mut loads = Vec::new();
+    for i in 0..plan.loads {
+        let id = dfg.add_node(NodeKind::Op(Opcode::Load));
+        dfg.node_mut(id).stream = Some(i as u16);
+        loads.push(id);
+    }
+    let base = plan.loads;
+    let nodes: Vec<OpId> = plan
+        .ops
+        .iter()
+        .map(|&op| dfg.add_node(NodeKind::Op(SAFE_OPS[op])))
+        .collect();
+    // Every op reads some load so nothing dangles weirdly.
+    for (i, &n) in nodes.iter().enumerate() {
+        dfg.add_edge(loads[i % loads.len()], n, 0, EdgeKind::Data);
+    }
+    for &(a, b, d) in &plan.edges {
+        dfg.add_edge(nodes[a], nodes[b], d, EdgeKind::Data);
+    }
+    for &lo in &plan.live_outs {
+        dfg.node_mut(nodes[lo]).live_out = true;
+    }
+    let _ = base;
+    LoopBody::new("prop", dfg)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn generated_graphs_verify(plan in arb_plan()) {
+        let body = build(&plan);
+        prop_assert_eq!(verify_dfg(&body.dfg), Ok(()));
+    }
+
+    #[test]
+    fn asm_round_trips_arbitrary_graphs(plan in arb_plan()) {
+        let body = build(&plan);
+        let text = to_asm(&body);
+        let back = parse_asm(&text).expect("parses its own output");
+        prop_assert_eq!(back.dfg.len(), body.dfg.len());
+        let mut a = body.dfg.edges().to_vec();
+        let mut b = back.dfg.edges().to_vec();
+        a.sort_by_key(|e| (e.src, e.dst, e.distance, e.kind as u8));
+        b.sort_by_key(|e| (e.src, e.dst, e.distance, e.kind as u8));
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(
+            back.dfg.live_out_ids().collect::<Vec<_>>(),
+            body.dfg.live_out_ids().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn sccs_partition_live_nodes(plan in arb_plan()) {
+        let body = build(&plan);
+        let sccs = body.dfg.sccs();
+        let total: usize = sccs.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, body.dfg.live_ids().count());
+        let mut seen = std::collections::HashSet::new();
+        for scc in &sccs {
+            for &v in scc {
+                prop_assert!(seen.insert(v), "{} in two SCCs", v);
+            }
+        }
+    }
+
+    #[test]
+    fn topo_order_respects_distance0_edges(plan in arb_plan()) {
+        let body = build(&plan);
+        let order = body.dfg.topo_order().expect("distance-0 acyclic by construction");
+        let pos: std::collections::HashMap<OpId, usize> =
+            order.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+        for e in body.dfg.edges() {
+            if e.distance == 0 {
+                prop_assert!(pos[&e.src] < pos[&e.dst]);
+            }
+        }
+    }
+
+    #[test]
+    fn collapse_preserves_verification(plan in arb_plan()) {
+        // Collapsing any legal CCA group keeps the graph well formed.
+        let body = build(&plan);
+        let spec = veal_cca::CcaSpec::paper();
+        let mut dfg = body.dfg.clone();
+        let groups = veal_cca::map_cca(&mut dfg, &spec, &mut veal_ir::CostMeter::new());
+        prop_assert_eq!(verify_dfg(&dfg), Ok(()));
+        // Members really are tombstoned and referenced by their group node.
+        for g in &groups {
+            for &m in &g.members {
+                prop_assert!(dfg.node(m).is_dead());
+            }
+            let node = g.node.expect("map_cca sets node");
+            prop_assert_eq!(&dfg.node(node).cca_members, &g.members);
+        }
+        // The collapsed graph still has an intact distance-0 topology.
+        prop_assert!(dfg.topo_order().is_ok());
+    }
+}

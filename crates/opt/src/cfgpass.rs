@@ -1,0 +1,520 @@
+//! CFG-level transformations and loop extraction.
+//!
+//! These passes operate on [`veal_ir::cfg::Function`]s — the form in which
+//! an application exists before loop bodies are isolated: function inlining
+//! over single-block callees, diamond if-conversion, and extraction of a
+//! single-block innermost loop into the dataflow-graph form the rest of
+//! VEAL consumes.
+
+use std::collections::HashMap;
+use veal_ir::cfg::{BasicBlock, Function, Program};
+use veal_ir::dfg::{Dfg, EdgeKind, NodeKind};
+use veal_ir::{BlockId, Instruction, LoopBody, NaturalLoop, Opcode, Operand, OpId, VReg};
+
+/// Inlines every call in `func` whose callee (looked up in `program`) is a
+/// straight-line single-block function ending in `Ret`. Callee parameters
+/// are its lowest-numbered virtual registers, in order. Returns the
+/// rewritten function and the number of call sites inlined.
+#[must_use]
+pub fn inline_calls(program: &Program, func: &Function) -> (Function, usize) {
+    let mut blocks: Vec<BasicBlock> = func.blocks().to_vec();
+    let mut next_reg = func.num_vregs();
+    let mut inlined = 0usize;
+
+    for block in &mut blocks {
+        let mut new_instrs: Vec<Instruction> = Vec::with_capacity(block.instrs.len());
+        for instr in &block.instrs {
+            let Some(callee_id) = instr.callee else {
+                new_instrs.push(instr.clone());
+                continue;
+            };
+            let Some(callee) = program.functions.get(callee_id.index()) else {
+                new_instrs.push(instr.clone());
+                continue;
+            };
+            if callee.blocks().len() != 1 {
+                new_instrs.push(instr.clone()); // not straight-line: keep
+                continue;
+            }
+            let body = &callee.blocks()[0];
+            let Some(ret) = body.instrs.last().filter(|i| i.opcode == Opcode::Ret) else {
+                new_instrs.push(instr.clone());
+                continue;
+            };
+            // Rename callee registers into fresh caller registers; the
+            // first `arity` callee registers are parameters bound to the
+            // call's register arguments.
+            let args: Vec<VReg> = instr.src_regs().collect();
+            let mut rename: HashMap<VReg, VReg> = HashMap::new();
+            for (i, &a) in args.iter().enumerate() {
+                rename.insert(VReg::new(i), a);
+            }
+            let mut fresh = |r: VReg, next_reg: &mut usize| -> VReg {
+                *rename.entry(r).or_insert_with(|| {
+                    let nr = VReg::new(*next_reg);
+                    *next_reg += 1;
+                    nr
+                })
+            };
+            for ci in &body.instrs[..body.instrs.len() - 1] {
+                let srcs: Vec<Operand> = ci
+                    .srcs
+                    .iter()
+                    .map(|&o| match o {
+                        Operand::Reg(r) => Operand::Reg(fresh(r, &mut next_reg)),
+                        imm => imm,
+                    })
+                    .collect();
+                let dest = ci.dest.map(|d| fresh(d, &mut next_reg));
+                let mut copy = ci.clone();
+                copy.srcs = srcs;
+                copy.dest = dest;
+                new_instrs.push(copy);
+            }
+            // Bind the return value to the call's destination.
+            if let (Some(dest), Some(Operand::Reg(rv))) = (instr.dest, ret.srcs.first()) {
+                let mapped = fresh(*rv, &mut next_reg);
+                new_instrs.push(Instruction::new(
+                    Opcode::Mov,
+                    Some(dest),
+                    vec![mapped.into()],
+                ));
+            }
+            inlined += 1;
+        }
+        block.instrs = new_instrs;
+    }
+    (
+        Function::new(
+            func.name().to_owned(),
+            blocks,
+            func.entry(),
+            next_reg,
+        ),
+        inlined,
+    )
+}
+
+/// If-converts one diamond: a block ending in `BrCond` whose two successor
+/// blocks each fall through to a common join. Definitions that occur on
+/// both arms are merged with `Select`; the branch becomes a fall-through.
+/// Repeats until no diamond remains. Returns the rewritten function and
+/// the number of diamonds converted.
+#[must_use]
+pub fn if_convert(func: &Function) -> (Function, usize) {
+    let mut current = func.clone();
+    let mut converted = 0usize;
+    loop {
+        match convert_one_diamond(&current) {
+            Some(next) => {
+                current = next;
+                converted += 1;
+            }
+            None => return (current, converted),
+        }
+    }
+}
+
+fn convert_one_diamond(func: &Function) -> Option<Function> {
+    let preds = func.predecessors();
+    for (i, block) in func.blocks().iter().enumerate() {
+        let x = BlockId::new(i);
+        if block.succs.len() != 2 {
+            continue;
+        }
+        let (t, e) = (block.succs[0], block.succs[1]);
+        if t == e || t == x || e == x {
+            continue;
+        }
+        let tb = func.block(t);
+        let eb = func.block(e);
+        let single = |b: &BasicBlock, id: BlockId| {
+            b.succs.len() == 1 && preds[id.index()].len() == 1
+        };
+        if !single(tb, t) || !single(eb, e) || tb.succs[0] != eb.succs[0] {
+            continue;
+        }
+        let join = tb.succs[0];
+        if join == x {
+            continue;
+        }
+        // Found X -> {T, E} -> J. Build the converted block.
+        let cond = match block.instrs.last() {
+            Some(br) if br.opcode == Opcode::BrCond => br.src_regs().next()?,
+            _ => continue,
+        };
+        let mut blocks = func.blocks().to_vec();
+        let mut next_reg = func.num_vregs();
+        let mut merged: Vec<Instruction> =
+            block.instrs[..block.instrs.len() - 1].to_vec();
+        // Taken arm executes unchanged; else-arm defs are renamed.
+        let mut t_defs: HashMap<VReg, VReg> = HashMap::new();
+        for instr in &tb.instrs {
+            if instr.opcode == Opcode::Br {
+                continue;
+            }
+            merged.push(instr.clone());
+            if let Some(d) = instr.dest {
+                t_defs.insert(d, d);
+            }
+        }
+        let mut e_rename: HashMap<VReg, VReg> = HashMap::new();
+        let mut both_defs: Vec<(VReg, VReg)> = Vec::new(); // (orig, else-copy)
+        for instr in &eb.instrs {
+            if instr.opcode == Opcode::Br {
+                continue;
+            }
+            let mut copy = instr.clone();
+            copy.srcs = copy
+                .srcs
+                .iter()
+                .map(|&o| match o {
+                    Operand::Reg(r) => Operand::Reg(*e_rename.get(&r).unwrap_or(&r)),
+                    imm => imm,
+                })
+                .collect();
+            if let Some(d) = copy.dest {
+                if t_defs.contains_key(&d) {
+                    let fresh = VReg::new(next_reg);
+                    next_reg += 1;
+                    e_rename.insert(d, fresh);
+                    copy.dest = Some(fresh);
+                    both_defs.push((d, fresh));
+                }
+            }
+            merged.push(copy);
+        }
+        for (orig, alt) in both_defs {
+            merged.push(Instruction::new(
+                Opcode::Select,
+                Some(orig),
+                vec![cond.into(), orig.into(), alt.into()],
+            ));
+        }
+        merged.push(Instruction::new(Opcode::Br, None, Vec::new()));
+        blocks[i] = BasicBlock {
+            instrs: merged,
+            succs: vec![join],
+        };
+        // Empty the absorbed arms (unreachable).
+        blocks[t.index()] = BasicBlock::default();
+        blocks[e.index()] = BasicBlock::default();
+        return Some(Function::new(
+            func.name().to_owned(),
+            blocks,
+            func.entry(),
+            next_reg,
+        ));
+    }
+    None
+}
+
+/// Merges straight-line block chains: whenever a block's single successor
+/// has that block as its single predecessor, the two become one (the
+/// unconditional branch between them disappears). Run after
+/// [`if_convert`] so single-block loops emerge for extraction.
+/// Returns the rewritten function and the number of merges.
+#[must_use]
+pub fn merge_straightline(func: &Function) -> (Function, usize) {
+    let mut blocks: Vec<BasicBlock> = func.blocks().to_vec();
+    let mut merges = 0usize;
+    loop {
+        let preds = Function::new(
+            func.name().to_owned(),
+            blocks.clone(),
+            func.entry(),
+            func.num_vregs(),
+        )
+        .predecessors();
+        let mut target: Option<(usize, usize)> = None;
+        for (i, b) in blocks.iter().enumerate() {
+            if b.succs.len() != 1 {
+                continue;
+            }
+            let s = b.succs[0];
+            if s.index() == i || s == func.entry() {
+                continue;
+            }
+            if preds[s.index()].len() == 1 && !blocks[s.index()].instrs.is_empty() {
+                target = Some((i, s.index()));
+                break;
+            }
+        }
+        let Some((x, y)) = target else { break };
+        // Drop X's trailing unconditional branch, splice Y in.
+        let mut merged = blocks[x].instrs.clone();
+        if merged.last().map(|i| i.opcode) == Some(Opcode::Br) {
+            merged.pop();
+        }
+        merged.extend(blocks[y].instrs.iter().cloned());
+        let succs = blocks[y].succs.clone();
+        blocks[x] = BasicBlock {
+            instrs: merged,
+            succs,
+        };
+        blocks[y] = BasicBlock::default();
+        // Redirect any successor references to Y onto X (none should exist
+        // for a single-pred Y, but keep the CFG total).
+        for b in &mut blocks {
+            for s in &mut b.succs {
+                if s.index() == y {
+                    *s = BlockId::new(x);
+                }
+            }
+        }
+        merges += 1;
+    }
+    (
+        Function::new(
+            func.name().to_owned(),
+            blocks,
+            func.entry(),
+            func.num_vregs(),
+        ),
+        merges,
+    )
+}
+
+/// Why a loop could not be extracted to dataflow form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExtractError {
+    /// The loop spans more than one basic block (if-convert it first).
+    MultiBlock,
+    /// The loop block does not end in a conditional branch.
+    NoBackBranch,
+}
+
+impl std::fmt::Display for ExtractError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExtractError::MultiBlock => write!(f, "loop spans multiple blocks"),
+            ExtractError::NoBackBranch => write!(f, "loop block lacks a back branch"),
+        }
+    }
+}
+
+impl std::error::Error for ExtractError {}
+
+/// Extracts a single-block innermost loop into a full loop-body dataflow
+/// graph: intra-block def-use becomes distance-0 edges, uses of registers
+/// defined *later* in the block (or live around the back edge) become
+/// distance-1 loop-carried edges, registers never defined in the block
+/// become live-ins, and immediates become constants. Registers in
+/// `live_outs` are marked live after the loop.
+///
+/// Memory streams are assumed mutually independent (paper §2.1: "input and
+/// output memory streams can optionally be assumed mutually exclusive"),
+/// so no memory-ordering edges are added.
+pub fn extract_loop_dfg(
+    func: &Function,
+    lp: &NaturalLoop,
+    live_outs: &[VReg],
+) -> Result<LoopBody, ExtractError> {
+    if lp.blocks.len() != 1 {
+        return Err(ExtractError::MultiBlock);
+    }
+    let block = func.block(lp.header);
+    if block
+        .instrs
+        .last()
+        .map(|i| i.opcode)
+        .filter(|&op| op == Opcode::BrCond)
+        .is_none()
+    {
+        return Err(ExtractError::NoBackBranch);
+    }
+
+    let mut dfg = Dfg::new();
+    // Final def of each register in the block (for loop-carried edges).
+    let mut final_def: HashMap<VReg, usize> = HashMap::new();
+    for (idx, instr) in block.instrs.iter().enumerate() {
+        if let Some(d) = instr.dest {
+            final_def.insert(d, idx);
+        }
+    }
+    let mut nodes: Vec<OpId> = Vec::with_capacity(block.instrs.len());
+    for instr in &block.instrs {
+        nodes.push(dfg.add_node(NodeKind::Op(instr.opcode)));
+    }
+    let mut live_ins: HashMap<VReg, OpId> = HashMap::new();
+    let mut consts: HashMap<i64, OpId> = HashMap::new();
+    let mut cur_def: HashMap<VReg, usize> = HashMap::new();
+    for (idx, instr) in block.instrs.iter().enumerate() {
+        for src in &instr.srcs {
+            match *src {
+                Operand::Reg(r) => {
+                    if let Some(&d) = cur_def.get(&r) {
+                        dfg.add_edge(nodes[d], nodes[idx], 0, EdgeKind::Data);
+                    } else if let Some(&d) = final_def.get(&r) {
+                        // Defined later in the block: value from the
+                        // previous iteration.
+                        dfg.add_edge(nodes[d], nodes[idx], 1, EdgeKind::Data);
+                    } else {
+                        let li = *live_ins
+                            .entry(r)
+                            .or_insert_with(|| dfg.add_node(NodeKind::LiveIn));
+                        dfg.add_edge(li, nodes[idx], 0, EdgeKind::Data);
+                    }
+                }
+                Operand::Imm(v) => {
+                    let k = *consts
+                        .entry(v)
+                        .or_insert_with(|| dfg.add_node(NodeKind::Const(v)));
+                    dfg.add_edge(k, nodes[idx], 0, EdgeKind::Data);
+                }
+            }
+        }
+        if let Some(d) = instr.dest {
+            cur_def.insert(d, idx);
+        }
+    }
+    for r in live_outs {
+        if let Some(&d) = final_def.get(r) {
+            dfg.node_mut(nodes[d]).live_out = true;
+        }
+    }
+    Ok(LoopBody::new(format!("{}.{}", func.name(), lp.header), dfg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use veal_ir::{classify_loop, FunctionBuilder, LoopClass};
+
+    /// A single-block counted loop: i += 1; a += s*i-ish body.
+    fn counted_loop_fn() -> (Function, NaturalLoop) {
+        let mut fb = FunctionBuilder::new("k");
+        let entry = fb.block();
+        let body = fb.block();
+        let exit = fb.block();
+        fb.set_entry(entry);
+        fb.branch(entry, body);
+        let i = fb.fresh_reg();
+        let n = fb.fresh_reg();
+        let acc = fb.fresh_reg();
+        let c = fb.fresh_reg();
+        fb.push(body, Opcode::Add, Some(i), vec![i.into(), 1i64.into()]);
+        fb.push(body, Opcode::Add, Some(acc), vec![acc.into(), i.into()]);
+        fb.push(body, Opcode::CmpLt, Some(c), vec![i.into(), n.into()]);
+        fb.cond_branch(body, c, body, exit);
+        fb.ret(exit, Some(acc));
+        let f = fb.finish();
+        let lp = f
+            .natural_loops()
+            .into_iter()
+            .next()
+            .expect("loop found");
+        (f, lp)
+    }
+
+    #[test]
+    fn extract_builds_recurrences() {
+        let (f, lp) = counted_loop_fn();
+        let body = extract_loop_dfg(&f, &lp, &[VReg::new(2)]).expect("extracts");
+        // i and acc are both self-recurrences.
+        assert_eq!(body.dfg.recurrences().len(), 2);
+        assert_eq!(body.dfg.live_out_ids().count(), 1);
+        assert_eq!(body.dfg.live_in_ids().count(), 1); // n
+    }
+
+    #[test]
+    fn extracted_counted_loop_is_schedulable() {
+        let (f, lp) = counted_loop_fn();
+        let body = extract_loop_dfg(&f, &lp, &[]).expect("extracts");
+        // The shape matches the separator's counted-loop pattern... the
+        // accumulator also reads i, so i stays in the compute graph.
+        assert_eq!(classify_loop(&body.dfg), LoopClass::ModuloSchedulable);
+    }
+
+    #[test]
+    fn multiblock_loop_rejected() {
+        let mut fb = FunctionBuilder::new("m");
+        let entry = fb.block();
+        let h = fb.block();
+        let b2 = fb.block();
+        let exit = fb.block();
+        fb.set_entry(entry);
+        fb.branch(entry, h);
+        let c = fb.fresh_reg();
+        fb.cond_branch(h, c, b2, exit);
+        fb.branch(b2, h);
+        fb.ret(exit, None);
+        let f = fb.finish();
+        let lp = f.natural_loops().into_iter().next().unwrap();
+        assert_eq!(
+            extract_loop_dfg(&f, &lp, &[]).unwrap_err(),
+            ExtractError::MultiBlock
+        );
+    }
+
+    #[test]
+    fn inline_single_block_callee() {
+        // callee: f(a) = a * 3 (params are v0..)
+        let mut cb = FunctionBuilder::new("times3");
+        let b0 = cb.block();
+        cb.set_entry(b0);
+        let a = cb.fresh_reg(); // v0: parameter
+        let r = cb.fresh_reg();
+        cb.push(b0, Opcode::Mul, Some(r), vec![a.into(), 3i64.into()]);
+        cb.ret(b0, Some(r));
+        let callee = cb.finish();
+
+        let mut fb = FunctionBuilder::new("caller");
+        let e = fb.block();
+        fb.set_entry(e);
+        let x = fb.fresh_reg();
+        let y = fb.fresh_reg();
+        fb.push_instr(
+            e,
+            Instruction::call(y, veal_ir::FuncId::new(1), vec![x.into()]),
+        );
+        fb.ret(e, Some(y));
+        let caller = fb.finish();
+
+        let program = Program {
+            functions: vec![caller.clone(), callee],
+        };
+        let (out, n) = inline_calls(&program, &caller);
+        assert_eq!(n, 1);
+        let ops: Vec<Opcode> = out.blocks()[0].instrs.iter().map(|i| i.opcode).collect();
+        assert!(ops.contains(&Opcode::Mul));
+        assert!(!ops.contains(&Opcode::Call));
+    }
+
+    #[test]
+    fn if_convert_merges_diamond() {
+        // x: c = cmp; brc -> t / e; t: y = add; e: y = sub; join: ret y
+        let mut fb = FunctionBuilder::new("d");
+        let x = fb.block();
+        let t = fb.block();
+        let e = fb.block();
+        let j = fb.block();
+        fb.set_entry(x);
+        let v = fb.fresh_reg();
+        let c = fb.fresh_reg();
+        let y = fb.fresh_reg();
+        fb.push(x, Opcode::CmpLt, Some(c), vec![v.into(), 0i64.into()]);
+        fb.cond_branch(x, c, t, e);
+        fb.push(t, Opcode::Add, Some(y), vec![v.into(), 1i64.into()]);
+        fb.branch(t, j);
+        fb.push(e, Opcode::Sub, Some(y), vec![v.into(), 1i64.into()]);
+        fb.branch(e, j);
+        fb.ret(j, Some(y));
+        let f = fb.finish();
+        let (out, n) = if_convert(&f);
+        assert_eq!(n, 1);
+        let ops: Vec<Opcode> = out.blocks()[0].instrs.iter().map(|i| i.opcode).collect();
+        assert!(ops.contains(&Opcode::Select));
+        assert!(!ops.contains(&Opcode::BrCond));
+        // Straight-line now: one loopless CFG path.
+        assert!(out.natural_loops().is_empty());
+    }
+
+    #[test]
+    fn if_convert_leaves_loops_alone() {
+        let (f, _) = counted_loop_fn();
+        let (out, n) = if_convert(&f);
+        assert_eq!(n, 0);
+        assert_eq!(out.natural_loops().len(), 1);
+    }
+}

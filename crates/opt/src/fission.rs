@@ -1,0 +1,327 @@
+//! Loop fission driven by memory-stream pressure.
+//!
+//! Paper §3.1: "Another potential solution is to break the large loops up
+//! into smaller loops using a technique such as loop fissioning. This would
+//! reduce the required number of streams for each individual loop but
+//! increase memory traffic, as dividing the loop up typically creates
+//! communication streams between the smaller loops."
+//!
+//! The pass operates on the *compute view* (after control/address
+//! separation): the ops are split along a dependence-closed topological
+//! cut, values crossing the cut are stored to a scratch stream by the first
+//! loop and re-loaded by the second, and each half is emitted as a
+//! pre-separated loop body with compacted stream ids.
+
+use std::collections::HashMap;
+use veal_ir::dfg::{Dfg, EdgeKind, NodeKind};
+use veal_ir::streams::separate;
+use veal_ir::{CostMeter, Opcode, OpId};
+
+/// Splits `body` (a full or pre-separated loop) into loops each needing at
+/// most `max_loads` load streams and `max_stores` store streams.
+///
+/// Returns `None` when the loop already fits, cannot be separated, or
+/// cannot be legally cut (a loop-carried dependence would cross the cut
+/// backwards). On success the returned loops are in execution order.
+#[must_use]
+pub fn fission_by_streams(body: &Dfg, max_loads: usize, max_stores: usize) -> Option<Vec<Dfg>> {
+    let mut scratch = CostMeter::new();
+    let sep = separate(body, &mut scratch).ok()?;
+    let summary = sep.summary();
+    if summary.loads <= max_loads && summary.stores <= max_stores {
+        return None;
+    }
+    let mut result = Vec::new();
+    if !fission_rec(sep.dfg, max_loads, max_stores, 6, &mut result) {
+        return None;
+    }
+    (result.len() >= 2).then_some(result)
+}
+
+/// Recursively splits until each part fits, emitting parts in execution
+/// order. Returns `false` when a part cannot be split further.
+fn fission_rec(dfg: Dfg, max_loads: usize, max_stores: usize, depth: u32, out: &mut Vec<Dfg>) -> bool {
+    let (loads, stores) = stream_counts(&dfg);
+    if loads <= max_loads && stores <= max_stores {
+        out.push(compact_streams(&dfg));
+        return true;
+    }
+    if depth == 0 {
+        return false;
+    }
+    let Some((prefix, suffix)) = split_once(&dfg) else {
+        return false;
+    };
+    fission_rec(prefix, max_loads, max_stores, depth - 1, out)
+        && fission_rec(suffix, max_loads, max_stores, depth - 1, out)
+}
+
+fn stream_counts(dfg: &Dfg) -> (usize, usize) {
+    let mut loads = std::collections::HashSet::new();
+    let mut stores = std::collections::HashSet::new();
+    for id in dfg.schedulable_ops() {
+        if let (Some(op), Some(s)) = (dfg.node(id).opcode(), dfg.node(id).stream) {
+            match op {
+                Opcode::Load => {
+                    loads.insert(s);
+                }
+                Opcode::Store => {
+                    stores.insert(s);
+                }
+                _ => {}
+            }
+        }
+    }
+    (loads.len(), stores.len())
+}
+
+/// Splits a compute-view graph at the midpoint of its topological order.
+/// Returns `None` if every candidate cut is crossed backwards by a
+/// loop-carried edge.
+fn split_once(dfg: &Dfg) -> Option<(Dfg, Dfg)> {
+    let order = dfg.topo_order().ok()?;
+    // Sorting by descending height (unit-latency longest path to a sink
+    // over distance-0 edges) is itself a topological order, and it
+    // interleaves each producer right before its consumers — so a prefix
+    // cut crosses few values instead of bridging every input stream.
+    let mut height: HashMap<OpId, u32> = HashMap::new();
+    for &v in order.iter().rev() {
+        let h = dfg
+            .succ_edges(v)
+            .filter(|e| e.distance == 0)
+            .map(|e| height.get(&e.dst).copied().unwrap_or(0) + 1)
+            .max()
+            .unwrap_or(0);
+        height.insert(v, h);
+    }
+    let mut ops: Vec<OpId> = order
+        .into_iter()
+        .filter(|&v| dfg.node(v).is_schedulable())
+        .collect();
+    ops.sort_by_key(|&v| (std::cmp::Reverse(height[&v]), v));
+    if ops.len() < 2 {
+        return None;
+    }
+    let mid = ops.len() / 2;
+    // Try cut points outward from the middle.
+    let mut candidates: Vec<usize> = Vec::new();
+    for delta in 0..ops.len() {
+        if mid + delta < ops.len() {
+            candidates.push(mid + delta);
+        }
+        if delta > 0 && mid >= delta {
+            candidates.push(mid - delta);
+        }
+    }
+    for cut in candidates {
+        if cut == 0 || cut >= ops.len() {
+            continue;
+        }
+        let prefix: std::collections::HashSet<OpId> = ops[..cut].iter().copied().collect();
+        let legal = dfg.edges().iter().all(|e| {
+            let src_in = prefix.contains(&e.src);
+            let dst_in = prefix.contains(&e.dst);
+            // A backward edge (suffix -> prefix) of any distance makes the
+            // cut illegal: the first loop would need the second's values.
+            !(dst_in && !src_in && dfg.node(e.src).is_schedulable())
+        });
+        if legal {
+            return Some(extract_parts(dfg, &prefix));
+        }
+    }
+    None
+}
+
+fn extract_parts(dfg: &Dfg, prefix: &std::collections::HashSet<OpId>) -> (Dfg, Dfg) {
+    let mut a = Dfg::new();
+    let mut b = Dfg::new();
+    let mut map_a: HashMap<OpId, OpId> = HashMap::new();
+    let mut map_b: HashMap<OpId, OpId> = HashMap::new();
+
+    // Copy schedulable ops to their side; pseudo nodes are copied lazily to
+    // whichever side consumes them.
+    for id in dfg.live_ids() {
+        let node = dfg.node(id);
+        match &node.kind {
+            NodeKind::Op(_) if node.is_schedulable() => {
+                let (graph, map) = if prefix.contains(&id) {
+                    (&mut a, &mut map_a)
+                } else {
+                    (&mut b, &mut map_b)
+                };
+                let new = graph.add_node(node.kind.clone());
+                graph.node_mut(new).stream = node.stream;
+                graph.node_mut(new).live_out = node.live_out;
+                map.insert(id, new);
+            }
+            _ => {}
+        }
+    }
+    let copy_pseudo = |id: OpId, into_a: bool, a: &mut Dfg, b: &mut Dfg,
+                           map_a: &mut HashMap<OpId, OpId>,
+                           map_b: &mut HashMap<OpId, OpId>| {
+        let (graph, map) = if into_a { (a, map_a) } else { (b, map_b) };
+        if let Some(&n) = map.get(&id) {
+            return n;
+        }
+        let n = graph.add_node(dfg.node(id).kind.clone());
+        map.insert(id, n);
+        n
+    };
+
+    // Scratch streams for cut values: use fresh high stream ids (compacted
+    // later). Each crossing value gets one store in A and one load in B.
+    let mut next_stream: u16 = dfg
+        .live_ids()
+        .filter_map(|id| dfg.node(id).stream)
+        .max()
+        .map_or(0, |s| s + 1);
+    let mut bridges: HashMap<OpId, OpId> = HashMap::new(); // old src -> load in B
+
+    for e in dfg.edges() {
+        let src_sched = dfg.node(e.src).is_schedulable();
+        let src_in_a = src_sched && prefix.contains(&e.src);
+        let dst_in_a = prefix.contains(&e.dst);
+        if !dfg.node(e.dst).is_schedulable() {
+            continue;
+        }
+        if !src_sched {
+            // Pseudo producer: copy into the consumer's side.
+            let p = copy_pseudo(e.src, dst_in_a, &mut a, &mut b, &mut map_a, &mut map_b);
+            let (graph, map) = if dst_in_a {
+                (&mut a, &map_a)
+            } else {
+                (&mut b, &map_b)
+            };
+            graph.add_edge(p, map[&e.dst], e.distance, e.kind);
+        } else if src_in_a == dst_in_a {
+            let (graph, map) = if src_in_a {
+                (&mut a, &map_a)
+            } else {
+                (&mut b, &map_b)
+            };
+            graph.add_edge(map[&e.src], map[&e.dst], e.distance, e.kind);
+        } else {
+            // Crossing edge A -> B: bridge through a scratch stream.
+            debug_assert!(src_in_a, "backward cuts were rejected");
+            let load = *bridges.entry(e.src).or_insert_with(|| {
+                let stream = next_stream;
+                next_stream += 1;
+                // Store in A.
+                let st = a.add_node(NodeKind::Op(Opcode::Store));
+                a.node_mut(st).stream = Some(stream);
+                a.add_edge(map_a[&e.src], st, 0, EdgeKind::Data);
+                // Load in B.
+                let ld = b.add_node(NodeKind::Op(Opcode::Load));
+                b.node_mut(ld).stream = Some(stream);
+                ld
+            });
+            b.add_edge(load, map_b[&e.dst], e.distance, e.kind);
+        }
+    }
+    (a, b)
+}
+
+/// Renumbers stream annotations densely from 0.
+fn compact_streams(dfg: &Dfg) -> Dfg {
+    let mut out = dfg.clone();
+    let mut map: HashMap<u16, u16> = HashMap::new();
+    let ids: Vec<OpId> = out.schedulable_ops().collect();
+    for id in ids {
+        if let Some(s) = out.node(id).stream {
+            let next = map.len() as u16;
+            let new = *map.entry(s).or_insert(next);
+            out.node_mut(id).stream = Some(new);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use veal_ir::{verify_dfg, DfgBuilder};
+
+    /// A wide reduction: n loads summed pairwise then chained.
+    fn wide_loop(n: u16) -> Dfg {
+        let mut b = DfgBuilder::new();
+        let loads: Vec<OpId> = (0..n).map(|i| b.load_stream(i)).collect();
+        let mut acc = loads[0];
+        for &l in &loads[1..] {
+            acc = b.op(Opcode::Add, &[acc, l]);
+        }
+        b.store_stream(n, acc);
+        b.finish()
+    }
+
+
+    #[test]
+    fn small_loop_not_fissioned() {
+        assert!(fission_by_streams(&wide_loop(3), 16, 8).is_none());
+    }
+
+    #[test]
+    fn wide_loop_fissions_under_budget() {
+        let parts = fission_by_streams(&wide_loop(12), 8, 8).expect("fissions");
+        assert!(parts.len() >= 2);
+        for p in &parts {
+            let (l, s) = stream_counts(&p);
+            assert!(l <= 8, "part uses {l} load streams");
+            assert!(s <= 8, "part uses {s} store streams");
+            assert!(verify_dfg(p).is_ok());
+        }
+    }
+
+    #[test]
+    fn fission_creates_communication_streams() {
+        let total_mem_before: usize = {
+            let d = wide_loop(12);
+            d.schedulable_ops()
+                .filter(|&id| d.node(id).opcode().is_some_and(Opcode::is_mem))
+                .count()
+        };
+        let parts = fission_by_streams(&wide_loop(12), 8, 8).unwrap();
+        let total_mem_after: usize = parts
+            .iter()
+            .map(|p| {
+                p.schedulable_ops()
+                    .filter(|&id| p.node(id).opcode().is_some_and(Opcode::is_mem))
+                    .count()
+            })
+            .sum();
+        // Increased memory traffic, exactly as the paper warns.
+        assert!(total_mem_after > total_mem_before);
+    }
+
+    #[test]
+    fn loop_carried_across_cut_blocks_fission() {
+        // A single recurrence threading through every op: no legal cut.
+        let mut b = DfgBuilder::new();
+        let loads: Vec<OpId> = (0..12).map(|i| b.load_stream(i)).collect();
+        let mut acc = b.op(Opcode::Add, &[loads[0]]);
+        let first = acc;
+        for &l in &loads[1..] {
+            acc = b.op(Opcode::Add, &[acc, l]);
+        }
+        b.loop_carried(acc, first, 1);
+        b.store_stream(12, acc);
+        let dfg = b.finish();
+        assert!(fission_by_streams(&dfg, 8, 8).is_none());
+    }
+
+    #[test]
+    fn compact_streams_renumbers_densely() {
+        let parts = fission_by_streams(&wide_loop(12), 8, 8).unwrap();
+        for p in &parts {
+            let mut seen: Vec<u16> = p
+                .schedulable_ops()
+                .filter_map(|id| p.node(id).stream)
+                .collect();
+            seen.sort_unstable();
+            seen.dedup();
+            for (i, &s) in seen.iter().enumerate() {
+                assert_eq!(s as usize, i, "streams must be dense");
+            }
+        }
+    }
+}

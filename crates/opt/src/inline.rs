@@ -1,0 +1,258 @@
+//! DFG-level function inlining.
+//!
+//! A `Call` node in a loop body keeps the loop off the accelerator
+//! (paper §2.2: loops with function calls cannot be modulo scheduled).
+//! When the callee is visible to the static compiler it is spliced in
+//! place of the call: the call's argument edges feed the fragment's
+//! parameter nodes and the fragment's result node replaces the call's
+//! value.
+
+use veal_ir::dfg::{Dfg, EdgeKind};
+use veal_ir::{Opcode, OpId};
+
+/// A callee body prepared for inlining: a small dataflow fragment with
+/// designated parameter and result nodes.
+///
+/// # Example
+///
+/// ```
+/// use veal_opt::CalleeFragment;
+/// use veal_ir::Opcode;
+///
+/// // abs(x - 1): one parameter, one result.
+/// let frag = CalleeFragment::build(1, |b, params| {
+///     let one = b.constant(1);
+///     let d = b.op(Opcode::Sub, &[params[0], one]);
+///     b.op(Opcode::Abs, &[d])
+/// });
+/// assert_eq!(frag.params.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CalleeFragment {
+    /// The fragment graph.
+    pub dfg: Dfg,
+    /// Parameter placeholder nodes (live-ins of the fragment).
+    pub params: Vec<OpId>,
+    /// The node producing the return value.
+    pub result: OpId,
+}
+
+impl CalleeFragment {
+    /// Builds a fragment with `nparams` parameters using a closure that
+    /// receives the builder and the parameter nodes and returns the result
+    /// node.
+    pub fn build(
+        nparams: usize,
+        f: impl FnOnce(&mut veal_ir::DfgBuilder, &[OpId]) -> OpId,
+    ) -> Self {
+        let mut b = veal_ir::DfgBuilder::new();
+        let params: Vec<OpId> = (0..nparams).map(|_| b.live_in()).collect();
+        let result = f(&mut b, &params);
+        CalleeFragment {
+            dfg: b.finish(),
+            params,
+            result,
+        }
+    }
+}
+
+/// Inlines `fragment` over the `Call` node `call` in `dfg`, returning the
+/// rewritten graph.
+///
+/// The call's i-th register argument edge is rewired to the fragment's
+/// i-th parameter's consumers; edges leaving the call are re-sourced from
+/// the fragment's result.
+///
+/// # Panics
+///
+/// Panics if `call` is not a live `Call` node or the fragment has fewer
+/// parameters than the call has argument edges.
+#[must_use]
+pub fn inline_call(dfg: &Dfg, call: OpId, fragment: &CalleeFragment) -> Dfg {
+    assert_eq!(
+        dfg.node(call).opcode(),
+        Some(Opcode::Call),
+        "inline target must be a call"
+    );
+    let mut out = dfg.clone();
+
+    // Copy fragment nodes (skipping parameter placeholders).
+    let mut map: Vec<Option<OpId>> = vec![None; fragment.dfg.len()];
+    for id in fragment.dfg.live_ids() {
+        if fragment.params.contains(&id) {
+            continue;
+        }
+        let new_id = out.add_node(fragment.dfg.node(id).kind.clone());
+        out.node_mut(new_id).stream = fragment.dfg.node(id).stream;
+        map[id.index()] = Some(new_id);
+    }
+
+    // The call's argument producers, in edge-insertion order.
+    let args: Vec<(OpId, u32)> = dfg
+        .pred_edges(call)
+        .map(|e| (e.src, e.distance))
+        .collect();
+    assert!(
+        args.len() <= fragment.params.len(),
+        "fragment has too few parameters"
+    );
+
+    // Copy fragment-internal edges, routing parameter reads to arguments.
+    for e in fragment.dfg.edges() {
+        let dst = map[e.dst.index()].expect("fragment consumer copied");
+        if let Some(p) = fragment.params.iter().position(|&x| x == e.src) {
+            if let Some(&(arg, dist)) = args.get(p) {
+                out.add_edge(arg, dst, e.distance + dist, e.kind);
+            }
+            continue;
+        }
+        let src = map[e.src.index()].expect("fragment producer copied");
+        out.add_edge(src, dst, e.distance, e.kind);
+    }
+
+    // Re-source the call's outputs from the fragment result.
+    let result = map[fragment.result.index()].expect("result copied");
+    let outs: Vec<(OpId, u32, EdgeKind)> = dfg
+        .succ_edges(call)
+        .map(|e| (e.dst, e.distance, e.kind))
+        .collect();
+    for (dst, dist, kind) in outs {
+        out.add_edge(result, dst, dist, kind);
+    }
+    if dfg.node(call).live_out {
+        out.node_mut(result).live_out = true;
+    }
+    out.remove_nodes(&[call]);
+    out
+}
+
+/// Inlines every `Call` node using `fragment_for`, returning the rewritten
+/// graph and how many calls were inlined. Calls for which `fragment_for`
+/// returns `None` (not visible to the compiler) are left in place.
+#[must_use]
+pub fn inline_all(
+    dfg: &Dfg,
+    mut fragment_for: impl FnMut(OpId) -> Option<CalleeFragment>,
+) -> (Dfg, usize) {
+    let mut out = dfg.clone();
+    let mut inlined = 0;
+    loop {
+        let call = out
+            .schedulable_ops()
+            .find(|&id| out.node(id).opcode() == Some(Opcode::Call));
+        let Some(call) = call else { break };
+        match fragment_for(call) {
+            Some(frag) => {
+                out = inline_call(&out, call, &frag);
+                inlined += 1;
+            }
+            None => break,
+        }
+    }
+    (out, inlined)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use veal_ir::{verify_dfg, DfgBuilder, Instruction};
+
+    fn saturate_fragment() -> CalleeFragment {
+        // min(max(x, 0), 255)
+        CalleeFragment::build(1, |b, p| {
+            let zero = b.constant(0);
+            let hi = b.constant(255);
+            let lo = b.op(Opcode::Max, &[p[0], zero]);
+            b.op(Opcode::Min, &[lo, hi])
+        })
+    }
+
+    #[test]
+    fn inline_replaces_call_with_fragment() {
+        let mut b = DfgBuilder::new();
+        let x = b.load_stream(0);
+        let call = b.op(Opcode::Call, &[x]);
+        let st = b.store_stream(1, call);
+        let _ = st;
+        let dfg = b.finish();
+        let out = inline_call(&dfg, call, &saturate_fragment());
+        assert!(out.node(call).is_dead());
+        assert!(verify_dfg(&out).is_ok());
+        // No calls remain; min/max appear.
+        let ops: Vec<Opcode> = out
+            .schedulable_ops()
+            .map(|id| out.node(id).opcode().unwrap())
+            .collect();
+        assert!(!ops.contains(&Opcode::Call));
+        assert!(ops.contains(&Opcode::Min));
+        assert!(ops.contains(&Opcode::Max));
+    }
+
+    #[test]
+    fn inline_preserves_dataflow() {
+        let mut b = DfgBuilder::new();
+        let x = b.load_stream(0);
+        let call = b.op(Opcode::Call, &[x]);
+        let y = b.op(Opcode::Add, &[call, x]);
+        b.mark_live_out(y);
+        let dfg = b.finish();
+        let out = inline_call(&dfg, call, &saturate_fragment());
+        // y now consumes the fragment's Min result.
+        let y_preds: Vec<Opcode> = out
+            .pred_edges(y)
+            .map(|e| out.node(e.src).opcode().unwrap())
+            .collect();
+        assert!(y_preds.contains(&Opcode::Min));
+        assert!(y_preds.contains(&Opcode::Load));
+    }
+
+    #[test]
+    fn inline_propagates_live_out() {
+        let mut b = DfgBuilder::new();
+        let x = b.live_in();
+        let call = b.op(Opcode::Call, &[x]);
+        b.mark_live_out(call);
+        let dfg = b.finish();
+        let out = inline_call(&dfg, call, &saturate_fragment());
+        assert_eq!(out.live_out_ids().count(), 1);
+    }
+
+    #[test]
+    fn inline_all_handles_multiple_calls() {
+        let mut b = DfgBuilder::new();
+        let x = b.load_stream(0);
+        let c1 = b.op(Opcode::Call, &[x]);
+        let c2 = b.op(Opcode::Call, &[c1]);
+        b.store_stream(1, c2);
+        let dfg = b.finish();
+        let (out, n) = inline_all(&dfg, |_| Some(saturate_fragment()));
+        assert_eq!(n, 2);
+        assert!(out
+            .schedulable_ops()
+            .all(|id| out.node(id).opcode() != Some(Opcode::Call)));
+    }
+
+    #[test]
+    fn invisible_callee_stays() {
+        let mut b = DfgBuilder::new();
+        let x = b.live_in();
+        let c = b.op(Opcode::Call, &[x]);
+        b.mark_live_out(c);
+        let dfg = b.finish();
+        let (out, n) = inline_all(&dfg, |_| None);
+        assert_eq!(n, 0);
+        assert!(out
+            .schedulable_ops()
+            .any(|id| out.node(id).opcode() == Some(Opcode::Call)));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a call")]
+    fn inlining_non_call_panics() {
+        let mut b = DfgBuilder::new();
+        let x = b.op(Opcode::Add, &[]);
+        let dfg = b.finish();
+        let _ = inline_call(&dfg, x, &saturate_fragment());
+        let _ = Instruction::new(Opcode::Add, Some(veal_ir::VReg::new(0)), vec![]);
+    }
+}

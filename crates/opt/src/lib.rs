@@ -1,0 +1,38 @@
+//! Static loop transformations for VEAL.
+//!
+//! Paper §4.2, "Loop Identification and Transformation": "high quality loop
+//! transformations are much too complicated to perform in a
+//! time-constrained environment … not performing loop transformations
+//! reduced speedup attained by the accelerator by 75%" (Figure 7). The
+//! transformations — aggressive inlining, aggressive predication
+//! (if-conversion), re-rolling over-unrolled loops, and loop fission to fit
+//! stream budgets — are therefore performed *statically*; they do not
+//! change program semantics and need no special encoding in the binary.
+//!
+//! This crate implements those passes:
+//!
+//! * [`inline`] — splices a callee fragment over a `Call` node;
+//! * [`predicate`] — if-conversion: removes side-exit guard branches whose
+//!   values are already computed with `Select`s;
+//! * [`reroll()`](reroll::reroll) — collapses an unrolled loop back to one kernel copy;
+//! * [`fission`] — splits a loop with too many memory streams into smaller
+//!   loops communicating through scratch streams;
+//! * [`cfgpass`] — CFG-level counterparts (function inlining and diamond
+//!   if-conversion) plus extraction of innermost single-block loops into
+//!   dataflow graphs;
+//! * [`pipeline`] — [`pipeline::legalize`], the whole static pipeline.
+
+pub mod cfgpass;
+pub mod fission;
+pub mod inline;
+pub mod pipeline;
+pub mod predicate;
+pub mod reroll;
+pub mod unroll;
+
+pub use fission::fission_by_streams;
+pub use inline::{inline_call, CalleeFragment};
+pub use pipeline::{legalize, LegalizedLoop, RawLoop, TransformLimits};
+pub use predicate::if_convert_guards;
+pub use reroll::reroll;
+pub use unroll::unroll;

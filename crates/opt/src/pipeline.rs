@@ -1,0 +1,185 @@
+//! The full static legalization pipeline.
+//!
+//! `legalize` applies, in order: aggressive inlining, aggressive
+//! predication (if-conversion), unroll reduction, and stream-pressure
+//! fission — the transformations paper Figure 7 shows are "critically
+//! important" (75% of accelerator speedup is lost without them).
+
+use crate::fission::fission_by_streams;
+use crate::inline::{inline_all, CalleeFragment};
+use crate::predicate::if_convert_guards;
+use crate::reroll::reroll;
+use veal_ir::LoopBody;
+
+/// A loop as emitted by the front-end, before legalization.
+#[derive(Debug, Clone)]
+pub struct RawLoop {
+    /// The loop body (possibly containing calls, guard branches, unrolled
+    /// copies, or too many streams).
+    pub body: LoopBody,
+    /// The callee body for calls inside the loop, when visible to the
+    /// compiler (`None` models an opaque library call that cannot be
+    /// inlined — the paper's "Subroutine" category).
+    pub callee: Option<CalleeFragment>,
+}
+
+impl RawLoop {
+    /// A raw loop with no calls.
+    #[must_use]
+    pub fn plain(body: LoopBody) -> Self {
+        RawLoop { body, callee: None }
+    }
+}
+
+/// Target limits the static compiler legalizes toward (taken from the
+/// accelerator family it expects; using a *superset* of any future
+/// hardware's limits keeps binaries forward compatible, paper §4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransformLimits {
+    /// Load streams per loop.
+    pub max_load_streams: usize,
+    /// Store streams per loop.
+    pub max_store_streams: usize,
+}
+
+impl Default for TransformLimits {
+    fn default() -> Self {
+        // The paper design point's budgets.
+        TransformLimits {
+            max_load_streams: 16,
+            max_store_streams: 8,
+        }
+    }
+}
+
+/// One legalized output loop.
+#[derive(Debug, Clone)]
+pub struct LegalizedLoop {
+    /// The transformed body.
+    pub body: LoopBody,
+    /// Trip-count multiplier relative to the raw loop (from re-rolling:
+    /// a loop re-rolled by 4 runs 4× the iterations).
+    pub trip_multiplier: u32,
+}
+
+/// Runs the static pipeline on one raw loop. Always returns at least one
+/// loop; when a transformation cannot apply the loop passes through
+/// unchanged (and may later be rejected by the VM, running on the CPU).
+#[must_use]
+pub fn legalize(raw: &RawLoop, limits: &TransformLimits) -> Vec<LegalizedLoop> {
+    // 1. Aggressive inlining.
+    let (mut dfg, _inlined) = match &raw.callee {
+        Some(frag) => inline_all(&raw.body.dfg, |_| Some(frag.clone())),
+        None => (raw.body.dfg.clone(), 0),
+    };
+    // 2. Aggressive predication.
+    let (converted, _guards) = if_convert_guards(&dfg);
+    dfg = converted;
+    // 3. Unroll reduction. Operates on compute views; a full body with
+    //    control ops is a single weakly-connected component through its
+    //    induction pattern only if the copies share control — try both.
+    let mut trip_multiplier = 1u32;
+    if let Some((rolled, k)) = reroll(&dfg) {
+        dfg = rolled;
+        trip_multiplier = k;
+    }
+    // 4. Stream-pressure fission.
+    if let Some(parts) = fission_by_streams(&dfg, limits.max_load_streams, limits.max_store_streams)
+    {
+        return parts
+            .into_iter()
+            .enumerate()
+            .map(|(i, part)| LegalizedLoop {
+                body: LoopBody::new(format!("{}.f{}", raw.body.name, i), part),
+                trip_multiplier,
+            })
+            .collect();
+    }
+    vec![LegalizedLoop {
+        body: LoopBody::new(raw.body.name.clone(), dfg),
+        trip_multiplier,
+    }]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use veal_ir::{classify_loop, DfgBuilder, LoopClass, Opcode};
+
+    #[test]
+    fn plain_supported_loop_passes_through() {
+        let mut b = DfgBuilder::new();
+        let x = b.load_stream(0);
+        let y = b.op(Opcode::Add, &[x, x]);
+        b.store_stream(1, y);
+        let raw = RawLoop::plain(LoopBody::new("p", b.finish()));
+        let out = legalize(&raw, &TransformLimits::default());
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].trip_multiplier, 1);
+        assert_eq!(classify_loop(&out[0].body.dfg), LoopClass::ModuloSchedulable);
+    }
+
+    #[test]
+    fn call_loop_becomes_schedulable_with_visible_callee() {
+        let mut b = DfgBuilder::new();
+        let x = b.load_stream(0);
+        let c = b.op(Opcode::Call, &[x]);
+        b.store_stream(1, c);
+        let raw = RawLoop {
+            body: LoopBody::new("c", b.finish()),
+            callee: Some(CalleeFragment::build(1, |fb, p| {
+                fb.op(Opcode::Abs, &[p[0]])
+            })),
+        };
+        let out = legalize(&raw, &TransformLimits::default());
+        assert_eq!(out.len(), 1);
+        assert_eq!(classify_loop(&out[0].body.dfg), LoopClass::ModuloSchedulable);
+    }
+
+    #[test]
+    fn opaque_call_loop_stays_subroutine() {
+        let mut b = DfgBuilder::new();
+        let x = b.load_stream(0);
+        let c = b.op(Opcode::Call, &[x]);
+        b.store_stream(1, c);
+        let raw = RawLoop::plain(LoopBody::new("c", b.finish()));
+        let out = legalize(&raw, &TransformLimits::default());
+        assert_eq!(classify_loop(&out[0].body.dfg), LoopClass::Subroutine);
+    }
+
+    #[test]
+    fn unrolled_wide_loop_rerolls_and_fissions() {
+        // 24 unrolled copies of a 3-op kernel: reroll to 1 copy (no
+        // fission needed afterwards).
+        let mut b = DfgBuilder::new();
+        for i in 0..24u16 {
+            let x = b.load_stream(i * 2);
+            let y = b.op(Opcode::Mul, &[x, x]);
+            b.store_stream(i * 2 + 1, y);
+        }
+        let raw = RawLoop::plain(LoopBody::new("u", b.finish()));
+        let out = legalize(&raw, &TransformLimits::default());
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].trip_multiplier, 24);
+        assert_eq!(out[0].body.dfg.schedulable_ops().count(), 3);
+    }
+
+    #[test]
+    fn wide_irregular_loop_fissions() {
+        // An irregular (non-rerollable) 24-load reduction.
+        let mut b = DfgBuilder::new();
+        let loads: Vec<_> = (0..24).map(|i| b.load_stream(i)).collect();
+        let mut acc = loads[0];
+        for (j, &l) in loads[1..].iter().enumerate() {
+            let op = if j % 2 == 0 { Opcode::Add } else { Opcode::Xor };
+            acc = b.op(op, &[acc, l]);
+        }
+        b.store_stream(24, acc);
+        let raw = RawLoop::plain(LoopBody::new("w", b.finish()));
+        let out = legalize(&raw, &TransformLimits::default());
+        assert!(out.len() >= 2, "expected fission, got {} loops", out.len());
+        for l in &out {
+            assert_eq!(classify_loop(&l.body.dfg), LoopClass::ModuloSchedulable);
+        }
+    }
+}

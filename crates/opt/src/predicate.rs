@@ -1,0 +1,229 @@
+//! Aggressive predication (if-conversion) at the dataflow level.
+//!
+//! The accelerator fully predicates branches inside the loop body
+//! (paper §2.1); a loop whose binary encoding still contains side-exit
+//! guard branches looks like it "needs speculation" to the dynamic
+//! translator and is rejected. The static compiler if-converts such
+//! guards: the guarded values are computed unconditionally and merged with
+//! `Select`, and the guard branch disappears. Only the loop's back branch
+//! (the counted-induction compare pattern) remains.
+
+use veal_ir::dfg::{Dfg, NodeKind};
+use veal_ir::{Opcode, OpId};
+
+/// Whether `id` matches the induction-pattern address generator (an
+/// `Add`/`Sub` with a distance-1 self edge and const/live-in inputs) —
+/// duplicated from the stream separator's pattern so this pass can identify
+/// the real back branch.
+fn is_induction(dfg: &Dfg, id: OpId) -> bool {
+    let Some(op) = dfg.node(id).opcode() else {
+        return false;
+    };
+    if !matches!(op, Opcode::Add | Opcode::Sub) {
+        return false;
+    }
+    let mut has_self = false;
+    for e in dfg.pred_edges(id) {
+        if e.src == id && e.distance == 1 {
+            has_self = true;
+        } else if e.src == id {
+            return false;
+        } else if !matches!(
+            dfg.node(e.src).kind,
+            NodeKind::Const(_) | NodeKind::LiveIn
+        ) {
+            return false;
+        }
+    }
+    has_self
+}
+
+/// Whether a `BrCond` is the loop's counted back branch: its condition is a
+/// compare of an induction variable against a constant or live-in bound.
+fn is_back_branch(dfg: &Dfg, br: OpId) -> bool {
+    let mut preds = dfg.pred_edges(br);
+    let Some(first) = preds.next() else {
+        return false;
+    };
+    if preds.next().is_some() {
+        return false;
+    }
+    let cmp = first.src;
+    if !matches!(
+        dfg.node(cmp).opcode(),
+        Some(Opcode::CmpEq | Opcode::CmpNe | Opcode::CmpLt | Opcode::CmpLe)
+    ) {
+        return false;
+    }
+    let mut saw_induction = false;
+    for e in dfg.pred_edges(cmp) {
+        match &dfg.node(e.src).kind {
+            NodeKind::Const(_) | NodeKind::LiveIn => {}
+            NodeKind::Op(_) if is_induction(dfg, e.src) => saw_induction = true,
+            NodeKind::Op(_) => return false,
+        }
+    }
+    saw_induction
+}
+
+/// If-converts side-exit guard branches: every `BrCond` that is *not* the
+/// counted back branch is deleted (its condition value remains available to
+/// the `Select`s that consume it). Returns the rewritten graph and the
+/// number of guards removed.
+///
+/// The pass is a no-op when there is nothing to convert; it never removes
+/// the loop's back branch.
+///
+/// # Example
+///
+/// ```
+/// use veal_ir::{classify_loop, DfgBuilder, LoopClass, Opcode};
+/// use veal_opt::if_convert_guards;
+///
+/// let mut b = DfgBuilder::new();
+/// // Guarded update: if (x < k) y = x; else y = k  — encoded with a
+/// // branchy guard *and* redundantly with a select.
+/// let x = b.load_stream(0);
+/// let k = b.live_in();
+/// let c = b.op(Opcode::CmpLt, &[x, k]);
+/// b.op(Opcode::BrCond, &[c]); // the guard (side exit in the binary)
+/// let y = b.op(Opcode::Select, &[c, x, k]);
+/// b.store_stream(1, y);
+/// // Counted control.
+/// let one = b.constant(1);
+/// let i = b.op(Opcode::Add, &[one]);
+/// b.loop_carried(i, i, 1);
+/// let n = b.live_in();
+/// let cc = b.op(Opcode::CmpLt, &[i, n]);
+/// b.op(Opcode::BrCond, &[cc]);
+/// let raw = b.finish();
+///
+/// assert_eq!(classify_loop(&raw), LoopClass::NeedsSpeculation);
+/// let (converted, removed) = if_convert_guards(&raw);
+/// assert_eq!(removed, 1);
+/// assert_eq!(classify_loop(&converted), LoopClass::ModuloSchedulable);
+/// ```
+#[must_use]
+pub fn if_convert_guards(dfg: &Dfg) -> (Dfg, usize) {
+    let branches: Vec<OpId> = dfg
+        .schedulable_ops()
+        .filter(|&id| dfg.node(id).opcode() == Some(Opcode::BrCond))
+        .collect();
+    if branches.len() <= 1 {
+        return (dfg.clone(), 0);
+    }
+    let guards: Vec<OpId> = branches
+        .iter()
+        .copied()
+        .filter(|&br| !is_back_branch(dfg, br))
+        .collect();
+    if guards.is_empty() || guards.len() == branches.len() {
+        // Either nothing to convert or no recognizable back branch (a
+        // while-loop): leave untouched.
+        return (dfg.clone(), 0);
+    }
+    let mut out = dfg.clone();
+    out.remove_nodes(&guards);
+    // Conditions that fed only the removed guards are dead too.
+    let dead_conds: Vec<OpId> = out
+        .schedulable_ops()
+        .filter(|&id| {
+            out.node(id)
+                .opcode()
+                .is_some_and(|op| {
+                    matches!(
+                        op,
+                        Opcode::CmpEq | Opcode::CmpNe | Opcode::CmpLt | Opcode::CmpLe
+                    )
+                })
+                && out.succ_edges(id).next().is_none()
+                && !out.node(id).live_out
+        })
+        .collect();
+    if !dead_conds.is_empty() {
+        out.remove_nodes(&dead_conds);
+    }
+    (out, guards.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use veal_ir::{classify_loop, DfgBuilder, LoopClass};
+
+    fn counted_control(b: &mut veal_ir::DfgBuilder) {
+        let one = b.constant(1);
+        let i = b.op(Opcode::Add, &[one]);
+        b.loop_carried(i, i, 1);
+        let n = b.live_in();
+        let c = b.op(Opcode::CmpLt, &[i, n]);
+        b.op(Opcode::BrCond, &[c]);
+    }
+
+    #[test]
+    fn single_branch_loop_untouched() {
+        let mut b = DfgBuilder::new();
+        counted_control(&mut b);
+        let dfg = b.finish();
+        let (out, n) = if_convert_guards(&dfg);
+        assert_eq!(n, 0);
+        assert_eq!(out.schedulable_ops().count(), dfg.schedulable_ops().count());
+    }
+
+    #[test]
+    fn guard_with_select_converted() {
+        let mut b = DfgBuilder::new();
+        let x = b.load_stream(0);
+        let zero = b.constant(0);
+        let c = b.op(Opcode::CmpLt, &[x, zero]);
+        b.op(Opcode::BrCond, &[c]);
+        let neg = b.op(Opcode::Neg, &[x]);
+        let y = b.op(Opcode::Select, &[c, neg, x]);
+        b.store_stream(1, y);
+        counted_control(&mut b);
+        let dfg = b.finish();
+        assert_eq!(classify_loop(&dfg), LoopClass::NeedsSpeculation);
+        let (out, n) = if_convert_guards(&dfg);
+        assert_eq!(n, 1);
+        assert_eq!(classify_loop(&out), LoopClass::ModuloSchedulable);
+        // The select and its condition survive.
+        assert!(out
+            .schedulable_ops()
+            .any(|id| out.node(id).opcode() == Some(Opcode::Select)));
+    }
+
+    #[test]
+    fn dead_guard_condition_removed() {
+        let mut b = DfgBuilder::new();
+        let x = b.load_stream(0);
+        let zero = b.constant(0);
+        // Condition used only by the guard, no select: after conversion the
+        // compare is dead and disappears.
+        let c = b.op(Opcode::CmpEq, &[x, zero]);
+        b.op(Opcode::BrCond, &[c]);
+        b.store_stream(1, x);
+        counted_control(&mut b);
+        let dfg = b.finish();
+        let (out, n) = if_convert_guards(&dfg);
+        assert_eq!(n, 1);
+        assert!(!out
+            .schedulable_ops()
+            .any(|id| out.node(id).opcode() == Some(Opcode::CmpEq)));
+    }
+
+    #[test]
+    fn while_loop_not_converted() {
+        // Two branches, neither a counted back branch: leave alone.
+        let mut b = DfgBuilder::new();
+        let x = b.load_stream(0);
+        let zero = b.constant(0);
+        let c1 = b.op(Opcode::CmpNe, &[x, zero]);
+        b.op(Opcode::BrCond, &[c1]);
+        let c2 = b.op(Opcode::CmpLt, &[x, zero]);
+        b.op(Opcode::BrCond, &[c2]);
+        let dfg = b.finish();
+        let (out, n) = if_convert_guards(&dfg);
+        assert_eq!(n, 0);
+        assert_eq!(out.schedulable_ops().count(), dfg.schedulable_ops().count());
+    }
+}

@@ -1,0 +1,194 @@
+//! Unroll reduction ("reduced unrolling", paper §4.2).
+//!
+//! Compilers targeting wide CPUs often unroll innermost loops; on the loop
+//! accelerator the unrolled copies inflate the stream count and II for no
+//! benefit — modulo scheduling already overlaps iterations. This pass
+//! detects a body made of `k` disjoint isomorphic copies of one kernel and
+//! keeps a single copy (the caller multiplies the loop's trip count by
+//! `k`).
+
+use std::collections::HashMap;
+use veal_ir::dfg::{Dfg, NodeKind};
+use veal_ir::OpId;
+
+/// Attempts to re-roll `dfg` (a compute-view graph). On success returns the
+/// single-kernel graph and the unroll factor `k ≥ 2`.
+///
+/// Detection is conservative: the schedulable ops must form `k ≥ 2` weakly
+/// connected components with identical opcode multisets and edge counts.
+///
+/// # Example
+///
+/// ```
+/// use veal_ir::{DfgBuilder, Opcode};
+/// use veal_opt::reroll;
+///
+/// let mut b = DfgBuilder::new();
+/// for copy in 0..4u16 {
+///     let x = b.load_stream(copy * 2);
+///     let y = b.op(Opcode::Mul, &[x, x]);
+///     b.store_stream(copy * 2 + 1, y);
+/// }
+/// let (rolled, k) = reroll(&b.finish()).expect("re-rolls");
+/// assert_eq!(k, 4);
+/// assert_eq!(rolled.schedulable_ops().count(), 3);
+/// ```
+#[must_use]
+pub fn reroll(dfg: &Dfg) -> Option<(Dfg, u32)> {
+    let comps = components(dfg);
+    if comps.len() < 2 {
+        return None;
+    }
+    let signature = |c: &Vec<OpId>| -> (Vec<veal_ir::Opcode>, usize) {
+        let mut ops: Vec<veal_ir::Opcode> = c
+            .iter()
+            .map(|&v| dfg.node(v).opcode().expect("component op"))
+            .collect();
+        ops.sort();
+        let set: std::collections::HashSet<OpId> = c.iter().copied().collect();
+        let edges = dfg
+            .edges()
+            .iter()
+            .filter(|e| set.contains(&e.src) && set.contains(&e.dst))
+            .count();
+        (ops, edges)
+    };
+    let sig0 = signature(&comps[0]);
+    if !comps.iter().all(|c| signature(c) == sig0) {
+        return None;
+    }
+
+    // Copy the first component (plus the pseudo nodes it reads) into a
+    // fresh graph with dense stream ids.
+    let keep: std::collections::HashSet<OpId> = comps[0].iter().copied().collect();
+    let mut out = Dfg::new();
+    let mut map: HashMap<OpId, OpId> = HashMap::new();
+    let mut streams: HashMap<u16, u16> = HashMap::new();
+    for &v in &comps[0] {
+        let node = dfg.node(v);
+        let new = out.add_node(node.kind.clone());
+        if let Some(s) = node.stream {
+            let next = streams.len() as u16;
+            out.node_mut(new).stream = Some(*streams.entry(s).or_insert(next));
+        }
+        out.node_mut(new).live_out = node.live_out;
+        map.insert(v, new);
+    }
+    let factor = comps.len() as u32;
+    for e in dfg.edges() {
+        if keep.contains(&e.dst) && keep.contains(&e.src) {
+            // The rolled loop interleaves the copies' lanes round-robin, so
+            // a copy-local dependence of distance d spans factor·d rolled
+            // iterations.
+            out.add_edge(map[&e.src], map[&e.dst], e.distance * factor, e.kind);
+        } else if keep.contains(&e.dst) {
+            // Pseudo input (live-in / constant): copy on demand.
+            if matches!(
+                dfg.node(e.src).kind,
+                NodeKind::LiveIn | NodeKind::Const(_)
+            ) {
+                let p = *map
+                    .entry(e.src)
+                    .or_insert_with(|| out.add_node(dfg.node(e.src).kind.clone()));
+                out.add_edge(p, map[&e.dst], e.distance, e.kind);
+            }
+        }
+    }
+    Some((out, factor))
+}
+
+/// Weakly connected components over the schedulable ops (pseudo nodes do
+/// not connect components: shared constants are expected across copies).
+fn components(dfg: &Dfg) -> Vec<Vec<OpId>> {
+    let ids: Vec<OpId> = dfg.schedulable_ops().collect();
+    let set: std::collections::HashSet<OpId> = ids.iter().copied().collect();
+    let mut seen: std::collections::HashSet<OpId> = std::collections::HashSet::new();
+    let mut comps = Vec::new();
+    for &start in &ids {
+        if seen.contains(&start) {
+            continue;
+        }
+        let mut comp = Vec::new();
+        let mut work = vec![start];
+        seen.insert(start);
+        while let Some(v) = work.pop() {
+            comp.push(v);
+            for e in dfg.succ_edges(v) {
+                if set.contains(&e.dst) && seen.insert(e.dst) {
+                    work.push(e.dst);
+                }
+            }
+            for e in dfg.pred_edges(v) {
+                if set.contains(&e.src) && seen.insert(e.src) {
+                    work.push(e.src);
+                }
+            }
+        }
+        comp.sort();
+        comps.push(comp);
+    }
+    comps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use veal_ir::{verify_dfg, DfgBuilder, Opcode};
+
+    #[test]
+    fn connected_graph_not_rerolled() {
+        let mut b = DfgBuilder::new();
+        let x = b.load_stream(0);
+        let y = b.op(Opcode::Add, &[x, x]);
+        b.store_stream(1, y);
+        assert!(reroll(&b.finish()).is_none());
+    }
+
+    #[test]
+    fn dissimilar_components_not_rerolled() {
+        let mut b = DfgBuilder::new();
+        let x = b.load_stream(0);
+        b.store_stream(1, x);
+        let y = b.load_stream(2);
+        let z = b.op(Opcode::Mul, &[y, y]);
+        b.store_stream(3, z);
+        assert!(reroll(&b.finish()).is_none());
+    }
+
+    #[test]
+    fn two_copies_rerolled_with_shared_constant() {
+        let mut b = DfgBuilder::new();
+        let k = b.constant(3);
+        for copy in 0..2u16 {
+            let x = b.load_stream(copy * 2);
+            let y = b.op(Opcode::Mul, &[x, k]);
+            b.store_stream(copy * 2 + 1, y);
+        }
+        let (rolled, factor) = reroll(&b.finish()).expect("re-rolls");
+        assert_eq!(factor, 2);
+        assert!(verify_dfg(&rolled).is_ok());
+        assert_eq!(rolled.schedulable_ops().count(), 3);
+        assert_eq!(rolled.const_ids().count(), 1);
+        // Streams renumbered densely.
+        let s: Vec<u16> = rolled
+            .schedulable_ops()
+            .filter_map(|id| rolled.node(id).stream)
+            .collect();
+        assert!(s.iter().all(|&x| x < 2));
+    }
+
+    #[test]
+    fn reroll_preserves_recurrences() {
+        let mut b = DfgBuilder::new();
+        for copy in 0..3u16 {
+            let x = b.load_stream(copy);
+            let acc = b.op(Opcode::Add, &[x]);
+            b.loop_carried(acc, acc, 1);
+            b.mark_live_out(acc);
+        }
+        let (rolled, factor) = reroll(&b.finish()).expect("re-rolls");
+        assert_eq!(factor, 3);
+        assert_eq!(rolled.recurrences().len(), 1);
+        assert_eq!(rolled.live_out_ids().count(), 1);
+    }
+}

@@ -1,0 +1,118 @@
+//! Loop unrolling — the inverse of [`crate::reroll::reroll`].
+//!
+//! CPU-oriented compilers unroll inner loops to expose ILP; the workload
+//! generator uses this pass to produce the "over-unrolled raw binary"
+//! inputs of the Figure 7 experiment, and the property tests use the
+//! `reroll(unroll(x, k)) == x` round trip to pin both passes down.
+
+use std::collections::HashMap;
+use veal_ir::dfg::Dfg;
+use veal_ir::OpId;
+
+/// Unrolls a *compute-view* graph (pre-separated: stream-annotated memory
+/// ops, no control pattern) `factor` times: each copy gets fresh nodes and
+/// disjoint stream ids; scalar live-ins and constants are duplicated per
+/// copy (as a real unroller's rematerialization would).
+///
+/// Loop-carried edges stay *within* each copy with their distance
+/// unchanged — modelling an unroller that kept independent accumulator
+/// lanes, the common vectorization-friendly shape.
+///
+/// # Panics
+///
+/// Panics if `factor` is zero.
+#[must_use]
+pub fn unroll(dfg: &Dfg, factor: u16) -> Dfg {
+    assert!(factor > 0, "unroll factor must be positive");
+    let streams_per_copy = dfg
+        .live_ids()
+        .filter_map(|id| dfg.node(id).stream)
+        .max()
+        .map_or(0, |s| s + 1);
+    let mut out = Dfg::new();
+    for copy in 0..factor {
+        let mut map: HashMap<OpId, OpId> = HashMap::new();
+        for id in dfg.live_ids() {
+            let node = dfg.node(id);
+            let new = out.add_node(node.kind.clone());
+            if let Some(s) = node.stream {
+                out.node_mut(new).stream = Some(copy * streams_per_copy + s);
+            }
+            out.node_mut(new).live_out = node.live_out;
+            map.insert(id, new);
+        }
+        for e in dfg.edges() {
+            let (Some(&src), Some(&dst)) = (map.get(&e.src), map.get(&e.dst)) else {
+                continue;
+            };
+            out.add_edge(src, dst, e.distance, e.kind);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reroll::reroll;
+    use veal_ir::{verify_dfg, DfgBuilder, Opcode};
+
+    fn kernel() -> Dfg {
+        let mut b = DfgBuilder::new();
+        let x = b.load_stream(0);
+        let k = b.constant(3);
+        let m = b.op(Opcode::Mul, &[x, k]);
+        let acc = b.op(Opcode::Add, &[m]);
+        b.loop_carried(acc, acc, 1);
+        b.store_stream(1, acc);
+        b.mark_live_out(acc);
+        b.finish()
+    }
+
+    #[test]
+    fn unroll_multiplies_ops_and_streams() {
+        let base = kernel();
+        let u4 = unroll(&base, 4);
+        assert!(verify_dfg(&u4).is_ok());
+        assert_eq!(
+            u4.schedulable_ops().count(),
+            4 * base.schedulable_ops().count()
+        );
+        let streams: std::collections::HashSet<u16> = u4
+            .schedulable_ops()
+            .filter_map(|id| u4.node(id).stream)
+            .collect();
+        assert_eq!(streams.len(), 8); // 2 per copy × 4
+    }
+
+    #[test]
+    fn unroll_by_one_is_isomorphic() {
+        let base = kernel();
+        let u1 = unroll(&base, 1);
+        assert_eq!(u1.schedulable_ops().count(), base.schedulable_ops().count());
+        assert_eq!(u1.edges().len(), base.edges().len());
+    }
+
+    #[test]
+    fn reroll_inverts_unroll() {
+        let base = kernel();
+        for k in [2u16, 3, 6] {
+            let unrolled = unroll(&base, k);
+            let (rolled, factor) = reroll(&unrolled).expect("re-rolls");
+            assert_eq!(factor, u32::from(k));
+            assert_eq!(
+                rolled.schedulable_ops().count(),
+                base.schedulable_ops().count()
+            );
+            assert_eq!(rolled.recurrences().len(), base.recurrences().len());
+        }
+    }
+
+    #[test]
+    fn per_copy_recurrences_preserved() {
+        let base = kernel();
+        let u3 = unroll(&base, 3);
+        // Three independent accumulator lanes.
+        assert_eq!(u3.recurrences().len(), 3);
+    }
+}

@@ -1,0 +1,133 @@
+//! Paper-style rendering of a modulo reservation table.
+//!
+//! Figure 5's right-hand side shows the schedule as a grid: one row per
+//! kernel cycle (0..II), one column per function unit, each cell holding
+//! the op placed there (grayed when it belongs to a later stage).
+//! [`render_mrt`] produces the same view in text, with `*` marking ops
+//! from stages past the first.
+
+use crate::scheduler::ModuloSchedule;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use veal_accel::{AcceleratorConfig, ResourceKind};
+use veal_ir::Dfg;
+
+/// Renders the kernel of `schedule` as a cycle × unit grid.
+///
+/// # Example
+///
+/// ```
+/// use veal_accel::AcceleratorConfig;
+/// use veal_ir::{CostMeter, DfgBuilder, Opcode};
+/// use veal_sched::{modulo_schedule, display::render_mrt, ScheduleOptions};
+///
+/// let mut b = DfgBuilder::new();
+/// for _ in 0..5 {
+///     b.op(Opcode::Shl, &[]);
+/// }
+/// let dfg = b.finish();
+/// let la = AcceleratorConfig::paper_design();
+/// let s = modulo_schedule(&dfg, &la, &ScheduleOptions::default(),
+///                         &mut CostMeter::new()).unwrap();
+/// let grid = render_mrt(&dfg, &s.schedule, &la);
+/// assert!(grid.contains("cycle"));
+/// assert!(grid.contains("Int0"));
+/// ```
+#[must_use]
+pub fn render_mrt(dfg: &Dfg, schedule: &ModuloSchedule, config: &AcceleratorConfig) -> String {
+    // Collect the units actually used, in a stable order.
+    let mut columns: BTreeMap<(ResourceKind, usize), Vec<(u32, String)>> = BTreeMap::new();
+    for v in dfg.schedulable_ops() {
+        let (Some(t), Some((kind, unit))) = (schedule.time(v), schedule.unit(v)) else {
+            continue;
+        };
+        let cycle = t.rem_euclid(i64::from(schedule.ii)) as u32;
+        let stage = (t / i64::from(schedule.ii)) as u32;
+        let marker = if stage > 0 { "*" } else { "" };
+        let label = format!(
+            "{}{marker}",
+            dfg.node(v)
+                .opcode()
+                .map_or_else(|| v.to_string(), |op| format!("{v}:{op}"))
+        );
+        columns.entry((kind, unit)).or_default().push((cycle, label));
+    }
+    let _ = config;
+
+    let col_names: Vec<String> = columns
+        .keys()
+        .map(|&(kind, unit)| format!("{kind}{unit}"))
+        .collect();
+    let width = columns
+        .values()
+        .flatten()
+        .map(|(_, l)| l.len())
+        .chain(col_names.iter().map(String::len))
+        .max()
+        .unwrap_or(6)
+        .max(6);
+
+    let mut out = String::new();
+    let _ = write!(out, "{:>5} |", "cycle");
+    for name in &col_names {
+        let _ = write!(out, " {name:^width$} |");
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(out, "{}", "-".repeat(7 + (width + 3) * col_names.len()));
+    for cycle in 0..schedule.ii {
+        let _ = write!(out, "{cycle:>5} |");
+        for cells in columns.values() {
+            let label = cells
+                .iter()
+                .find(|&&(c, _)| c == cycle)
+                .map_or("", |(_, l)| l.as_str());
+            let _ = write!(out, " {label:^width$} |");
+        }
+        let _ = writeln!(out);
+    }
+    let _ = writeln!(out, "(* = op executes in a later pipeline stage)");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{modulo_schedule, ScheduleOptions};
+    use veal_ir::{CostMeter, DfgBuilder, Opcode};
+
+    #[test]
+    fn grid_has_ii_rows_and_all_ops() {
+        let mut b = DfgBuilder::new();
+        let x = b.op(Opcode::Mul, &[]);
+        let y = b.op(Opcode::Add, &[x]);
+        let z = b.op(Opcode::Shl, &[y]);
+        let _ = z;
+        let dfg = b.finish();
+        let la = AcceleratorConfig::paper_design();
+        let s = modulo_schedule(&dfg, &la, &ScheduleOptions::default(), &mut CostMeter::new())
+            .unwrap();
+        let grid = render_mrt(&dfg, &s.schedule, &la);
+        let rows = grid.lines().count();
+        // header + rule + II rows + legend
+        assert_eq!(rows as u32, 3 + s.schedule.ii);
+        for op in ["mpy", "add", "shl"] {
+            assert!(grid.contains(op), "missing {op} in\n{grid}");
+        }
+    }
+
+    #[test]
+    fn later_stage_ops_are_starred() {
+        // A chain longer than II guarantees a later-stage op.
+        let mut b = DfgBuilder::new();
+        let x = b.op(Opcode::Mul, &[]);
+        let y = b.op(Opcode::Mul, &[x]);
+        let z = b.op(Opcode::Add, &[y]);
+        let _ = z;
+        let dfg = b.finish();
+        let la = AcceleratorConfig::paper_design();
+        let s = modulo_schedule(&dfg, &la, &ScheduleOptions::default(), &mut CostMeter::new())
+            .unwrap();
+        let grid = render_mrt(&dfg, &s.schedule, &la);
+        assert!(grid.contains('*'), "{grid}");
+    }
+}

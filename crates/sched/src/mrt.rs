@@ -1,0 +1,192 @@
+//! The modulo reservation table (paper §4.1, "Scheduling").
+//!
+//! "A modulo reservation table is constructed to store the scheduling
+//! results. The table has II rows and a column for each FU."
+
+use veal_accel::{AcceleratorConfig, ResourceKind};
+
+/// A modulo reservation table: `II` rows × the configured units of each
+/// resource class.
+#[derive(Debug, Clone)]
+pub struct ModuloReservationTable {
+    ii: u32,
+    // busy[kind][unit][row]
+    busy: Vec<Vec<Vec<bool>>>,
+    units: [usize; 5],
+}
+
+impl ModuloReservationTable {
+    /// Creates an empty table for initiation interval `ii` on `config`.
+    ///
+    /// Unit counts are clamped to `ii × units ≥ slots`, capping the
+    /// per-class columns at a practical bound for the infinite machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ii` is zero.
+    #[must_use]
+    pub fn new(ii: u32, config: &AcceleratorConfig) -> Self {
+        Self::with_unit_cap(ii, config, 4096)
+    }
+
+    /// Like [`ModuloReservationTable::new`], with per-class columns capped
+    /// at `cap` — more columns than schedulable ops can never help, so the
+    /// scheduler passes the op count to keep the infinite machine's table
+    /// small.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ii` is zero.
+    #[must_use]
+    pub fn with_unit_cap(ii: u32, config: &AcceleratorConfig, cap: usize) -> Self {
+        assert!(ii > 0, "II must be positive");
+        let cap = cap.max(1);
+        let mut busy = Vec::with_capacity(5);
+        let mut units = [0usize; 5];
+        for &kind in veal_accel::resources::ALL_RESOURCES {
+            let n = config.units(kind).min(cap.min(4096));
+            units[kind.index()] = n;
+            busy.push(vec![vec![false; ii as usize]; n]);
+        }
+        ModuloReservationTable { ii, busy, units }
+    }
+
+    /// The initiation interval.
+    #[must_use]
+    pub fn ii(&self) -> u32 {
+        self.ii
+    }
+
+    /// Number of columns for `kind`.
+    #[must_use]
+    pub fn units(&self, kind: ResourceKind) -> usize {
+        self.units[kind.index()]
+    }
+
+    fn row(&self, time: i64, offset: u32) -> usize {
+        (time + i64::from(offset)).rem_euclid(i64::from(self.ii)) as usize
+    }
+
+    /// Tries to reserve a unit of `kind` at schedule time `time` for `span`
+    /// consecutive cycles (span > 1 models unpipelined units). Returns the
+    /// unit index on success without committing.
+    #[must_use]
+    pub fn find_unit(&self, kind: ResourceKind, time: i64, span: u32) -> Option<usize> {
+        let span = span.min(self.ii); // occupying II rows occupies everything
+        self.busy[kind.index()]
+            .iter()
+            .enumerate()
+            .find(|(_, unit)| (0..span).all(|k| !unit[self.row(time, k)]))
+            .map(|(u, _)| u)
+    }
+
+    /// Reserves `span` rows of `unit` starting at `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any needed slot is already busy (callers must use
+    /// [`ModuloReservationTable::find_unit`] first).
+    pub fn reserve(&mut self, kind: ResourceKind, unit: usize, time: i64, span: u32) {
+        let span = span.min(self.ii);
+        for k in 0..span {
+            let r = self.row(time, k);
+            let slot = &mut self.busy[kind.index()][unit][r];
+            assert!(!*slot, "slot already reserved");
+            *slot = true;
+        }
+    }
+
+    /// Releases a reservation previously made with
+    /// [`ModuloReservationTable::reserve`] (used by the scheduler's
+    /// ejection fallback).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a slot being released is not reserved.
+    pub fn release(&mut self, kind: ResourceKind, unit: usize, time: i64, span: u32) {
+        let span = span.min(self.ii);
+        for k in 0..span {
+            let r = self.row(time, k);
+            let slot = &mut self.busy[kind.index()][unit][r];
+            assert!(*slot, "releasing a free slot");
+            *slot = false;
+        }
+    }
+
+    /// Number of occupied slots for `kind` (for diagnostics and tests).
+    #[must_use]
+    pub fn occupancy(&self, kind: ResourceKind) -> usize {
+        self.busy[kind.index()]
+            .iter()
+            .map(|u| u.iter().filter(|&&b| b).count())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mrt(ii: u32) -> ModuloReservationTable {
+        ModuloReservationTable::new(ii, &AcceleratorConfig::paper_design())
+    }
+
+    #[test]
+    fn reserve_fills_both_units_then_rejects() {
+        let mut t = mrt(1);
+        let u0 = t.find_unit(ResourceKind::Int, 0, 1).unwrap();
+        t.reserve(ResourceKind::Int, u0, 0, 1);
+        let u1 = t.find_unit(ResourceKind::Int, 5, 1).unwrap();
+        assert_ne!(u0, u1);
+        t.reserve(ResourceKind::Int, u1, 5, 1);
+        // II=1: every time maps to row 0; both integer units are full.
+        assert_eq!(t.find_unit(ResourceKind::Int, 9, 1), None);
+    }
+
+    #[test]
+    fn modulo_wraparound() {
+        let mut t = mrt(4);
+        let u = t.find_unit(ResourceKind::Cca, 6, 1).unwrap();
+        t.reserve(ResourceKind::Cca, u, 6, 1);
+        // time 6 maps to row 2; time 2 conflicts on the only CCA.
+        assert_eq!(t.find_unit(ResourceKind::Cca, 2, 1), None);
+        assert!(t.find_unit(ResourceKind::Cca, 3, 1).is_some());
+    }
+
+    #[test]
+    fn negative_times_wrap_correctly() {
+        let mut t = mrt(4);
+        let u = t.find_unit(ResourceKind::Cca, -1, 1).unwrap();
+        t.reserve(ResourceKind::Cca, u, -1, 1);
+        // -1 mod 4 = 3.
+        assert_eq!(t.find_unit(ResourceKind::Cca, 3, 1), None);
+    }
+
+    #[test]
+    fn span_reserves_consecutive_rows() {
+        let mut t = mrt(4);
+        let u = t.find_unit(ResourceKind::Fp, 1, 3).unwrap();
+        t.reserve(ResourceKind::Fp, u, 1, 3);
+        assert_eq!(t.occupancy(ResourceKind::Fp), 3);
+        // Rows 1, 2, 3 of unit u are busy; a 2-span at time 3 would need
+        // rows 3 and 0: row 3 busy on unit u but the second FP unit is free.
+        assert!(t.find_unit(ResourceKind::Fp, 3, 2).is_some());
+    }
+
+    #[test]
+    fn span_clamped_to_ii() {
+        let mut t = mrt(2);
+        let u = t.find_unit(ResourceKind::Int, 0, 16).unwrap();
+        t.reserve(ResourceKind::Int, u, 0, 16);
+        // The unit is fully occupied (span clamped to II=2 rows).
+        assert_eq!(t.occupancy(ResourceKind::Int), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "already reserved")]
+    fn double_reserve_panics() {
+        let mut t = mrt(2);
+        t.reserve(ResourceKind::Int, 0, 0, 1);
+        t.reserve(ResourceKind::Int, 0, 2, 1); // same row 0
+    }
+}

@@ -1,0 +1,332 @@
+//! Scheduling priority functions.
+//!
+//! * [`swing_order`] — the Swing Modulo Scheduling ordering (Llosa et al.
+//!   \[19\]): recurrence sets first, most critical first, each extended with
+//!   the nodes on paths to previously ordered sets, swept alternately
+//!   bottom-up/top-down so every op is scheduled next to an already placed
+//!   neighbour. This is the high-quality, expensive priority (it computes
+//!   the MinDist matrix).
+//! * [`height_order`] — Rau's height-based priority \[24\]: a single
+//!   O(V + E) longest-path-to-sink pass. Much cheaper to compute, but with
+//!   a single-pass list scheduler it "often yielded sub-optimal schedules"
+//!   (paper §4.2) — reproduced here and evaluated in Figure 10.
+
+use crate::mindist::MinDist;
+use std::collections::HashSet;
+use veal_accel::LatencyModel;
+use veal_ir::{CostMeter, Dfg, OpId, Phase};
+
+/// Which priority function the translator uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PriorityKind {
+    /// Swing modulo scheduling order (recurrence-aware, expensive).
+    #[default]
+    Swing,
+    /// Height-based order (cheap, sometimes worse II).
+    Height,
+}
+
+/// Computes per-op height: the longest latency path from the op to any sink
+/// over distance-0 edges.
+#[must_use]
+pub fn heights(dfg: &Dfg, lat: &LatencyModel, meter: &mut CostMeter, phase: Phase) -> Vec<u32> {
+    let n = dfg.len();
+    let mut h = vec![0u32; n];
+    let order = dfg
+        .topo_order()
+        .expect("distance-0 subgraph must be acyclic");
+    for &v in order.iter().rev() {
+        meter.charge(phase, 1);
+        if !dfg.node(v).is_schedulable() {
+            continue;
+        }
+        let l = dfg
+            .node(v)
+            .opcode()
+            .map_or(0, |op| lat.latency(op));
+        let best = dfg
+            .succ_edges(v)
+            .filter(|e| e.distance == 0 && dfg.node(e.dst).is_schedulable())
+            .map(|e| h[e.dst.index()])
+            .max()
+            .unwrap_or(0);
+        h[v.index()] = best + l;
+    }
+    h
+}
+
+/// Computes per-op depth: the longest latency path from any source to the
+/// op over distance-0 edges (excluding the op's own latency).
+#[must_use]
+pub fn depths(dfg: &Dfg, lat: &LatencyModel, meter: &mut CostMeter, phase: Phase) -> Vec<u32> {
+    let n = dfg.len();
+    let mut d = vec![0u32; n];
+    let order = dfg
+        .topo_order()
+        .expect("distance-0 subgraph must be acyclic");
+    for &v in &order {
+        meter.charge(phase, 1);
+        if !dfg.node(v).is_schedulable() {
+            continue;
+        }
+        let best = dfg
+            .pred_edges(v)
+            .filter(|e| e.distance == 0 && dfg.node(e.src).is_schedulable())
+            .map(|e| {
+                let l = dfg
+                    .node(e.src)
+                    .opcode()
+                    .map_or(0, |op| lat.latency(op));
+                d[e.src.index()] + l
+            })
+            .max()
+            .unwrap_or(0);
+        d[v.index()] = best;
+    }
+    d
+}
+
+/// Height-based scheduling order: ops sorted by decreasing height, ties by
+/// increasing id (deterministic).
+///
+/// # Example
+///
+/// ```
+/// use veal_accel::LatencyModel;
+/// use veal_ir::{CostMeter, DfgBuilder, Opcode};
+/// use veal_sched::height_order;
+///
+/// let mut b = DfgBuilder::new();
+/// let x = b.op(Opcode::Mul, &[]);
+/// let y = b.op(Opcode::Add, &[x]);
+/// let order = height_order(&b.finish(), &LatencyModel::default(),
+///                          &mut CostMeter::new());
+/// assert_eq!(order, vec![x, y]);
+/// ```
+#[must_use]
+pub fn height_order(dfg: &Dfg, lat: &LatencyModel, meter: &mut CostMeter) -> Vec<OpId> {
+    let h = heights(dfg, lat, meter, Phase::Priority);
+    let mut ops: Vec<OpId> = dfg.schedulable_ops().collect();
+    meter.charge(
+        Phase::Priority,
+        (ops.len() as u64) * (64 - (ops.len() as u64).leading_zeros() as u64).max(1),
+    );
+    ops.sort_by_key(|&v| (std::cmp::Reverse(h[v.index()]), v));
+    ops
+}
+
+/// The per-SCC criticality used to rank recurrence sets: the SCC's own
+/// RecMII (longest cycle ratio), recomputed cheaply from MinDist self
+/// distances at the loop's RecMII.
+fn scc_criticality(md: &MinDist, scc: &[OpId]) -> i64 {
+    scc.iter()
+        .filter_map(|&v| md.get(v, v))
+        .max()
+        .unwrap_or(i64::MIN)
+}
+
+/// Swing modulo scheduling order.
+///
+/// Recurrence sets are ordered by decreasing criticality; the nodes of each
+/// set (plus, implicitly, path nodes encountered later) are emitted in an
+/// alternating sweep that guarantees every emitted op (except set seeds) is
+/// adjacent to an already emitted op — so the list scheduler always has a
+/// one-sided or two-sided window to place it in.
+///
+/// `ii` is the II the MinDist matrix is computed at (normally the MII).
+#[must_use]
+pub fn swing_order(dfg: &Dfg, lat: &LatencyModel, ii: u32, meter: &mut CostMeter) -> Vec<OpId> {
+    let md = MinDist::compute(dfg, lat, ii.max(1), meter);
+    let d = depths(dfg, lat, meter, Phase::Priority);
+    let h = heights(dfg, lat, meter, Phase::Priority);
+
+    // Partition into recurrence sets and rank them.
+    let sccs = dfg.sccs();
+    meter.charge(Phase::Priority, (dfg.len() as u64) * 2);
+    let mut rec_sets: Vec<&Vec<OpId>> = sccs
+        .iter()
+        .filter(|scc| {
+            scc.iter().all(|&v| dfg.node(v).is_schedulable())
+                && (scc.len() > 1 || dfg.succ_edges(scc[0]).any(|e| e.dst == scc[0]))
+        })
+        .collect();
+    rec_sets.sort_by_key(|scc| {
+        (
+            std::cmp::Reverse(scc_criticality(&md, scc)),
+            std::cmp::Reverse(scc.len()),
+            scc[0],
+        )
+    });
+
+    let mut order: Vec<OpId> = Vec::new();
+    let mut placed: HashSet<OpId> = HashSet::new();
+
+    let mut emit_set = |set: Vec<OpId>, order: &mut Vec<OpId>, placed: &mut HashSet<OpId>| {
+        let pending: Vec<OpId> = set.iter().copied().filter(|v| !placed.contains(v)).collect();
+        if pending.is_empty() {
+            return;
+        }
+        let pend_set: HashSet<OpId> = pending.iter().copied().collect();
+        let mut remaining: HashSet<OpId> = pend_set.clone();
+        while !remaining.is_empty() {
+            meter.charge(Phase::Priority, remaining.len() as u64);
+            // Prefer nodes adjacent to something already ordered (either
+            // direction); among those, minimal mobility-ish key: highest
+            // depth+height sum (most critical), then lowest id.
+            let mut candidates: Vec<OpId> = remaining
+                .iter()
+                .copied()
+                .filter(|&v| {
+                    dfg.pred_edges(v).any(|e| placed.contains(&e.src))
+                        || dfg.succ_edges(v).any(|e| placed.contains(&e.dst))
+                })
+                .collect();
+            if candidates.is_empty() {
+                candidates = remaining.iter().copied().collect();
+            }
+            candidates.sort_by_key(|&v| {
+                (
+                    std::cmp::Reverse(d[v.index()] + h[v.index()]),
+                    d[v.index()], // producers before consumers on ties
+                    v,
+                )
+            });
+            let chosen = candidates[0];
+            remaining.remove(&chosen);
+            placed.insert(chosen);
+            order.push(chosen);
+        }
+    };
+
+    for scc in rec_sets {
+        emit_set(scc.clone(), &mut order, &mut placed);
+    }
+    // Final set: all remaining schedulable ops.
+    let rest: Vec<OpId> = dfg
+        .schedulable_ops()
+        .filter(|v| !placed.contains(v))
+        .collect();
+    emit_set(rest, &mut order, &mut placed);
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use veal_ir::{DfgBuilder, Opcode};
+
+    #[test]
+    fn heights_and_depths_of_chain() {
+        let mut b = DfgBuilder::new();
+        let x = b.op(Opcode::Mul, &[]); // lat 3
+        let y = b.op(Opcode::Add, &[x]); // lat 1
+        let z = b.op(Opcode::Add, &[y]);
+        let dfg = b.finish();
+        let mut m = CostMeter::new();
+        let h = heights(&dfg, &LatencyModel::default(), &mut m, Phase::Priority);
+        let d = depths(&dfg, &LatencyModel::default(), &mut m, Phase::Priority);
+        assert_eq!(h[x.index()], 5);
+        assert_eq!(h[z.index()], 1);
+        assert_eq!(d[x.index()], 0);
+        assert_eq!(d[y.index()], 3);
+        assert_eq!(d[z.index()], 4);
+    }
+
+    #[test]
+    fn height_order_puts_critical_first() {
+        let mut b = DfgBuilder::new();
+        let cheap = b.op(Opcode::Add, &[]);
+        let deep1 = b.op(Opcode::Mul, &[]);
+        let deep2 = b.op(Opcode::Add, &[deep1]);
+        let _ = (cheap, deep2);
+        let dfg = b.finish();
+        let order = height_order(&dfg, &LatencyModel::default(), &mut CostMeter::new());
+        assert_eq!(order[0], deep1);
+    }
+
+    #[test]
+    fn swing_order_recurrence_first() {
+        // An acyclic op plus a critical mul recurrence: the recurrence ops
+        // must come before the acyclic one (paper: "schedule the most
+        // critical recurrence first").
+        let mut b = DfgBuilder::new();
+        let acyclic = b.op(Opcode::Add, &[]);
+        let mpy = b.op(Opcode::Mul, &[]);
+        let or = b.op(Opcode::Or, &[mpy]);
+        b.loop_carried(or, mpy, 1);
+        let consume = b.op(Opcode::Add, &[or, acyclic]);
+        let _ = consume;
+        let dfg = b.finish();
+        let order = swing_order(&dfg, &LatencyModel::default(), 4, &mut CostMeter::new());
+        let pos = |v: OpId| order.iter().position(|&o| o == v).unwrap();
+        assert!(pos(mpy) < pos(acyclic));
+        assert!(pos(or) < pos(acyclic));
+    }
+
+    #[test]
+    fn swing_order_two_recurrences_by_criticality() {
+        // Recurrence A: fdiv (16 cy); recurrence B: add (1 cy). A first.
+        let mut b = DfgBuilder::new();
+        let slow = b.op(Opcode::FDiv, &[]);
+        b.loop_carried(slow, slow, 1);
+        let fast = b.op(Opcode::Add, &[]);
+        b.loop_carried(fast, fast, 1);
+        let dfg = b.finish();
+        let order = swing_order(&dfg, &LatencyModel::default(), 16, &mut CostMeter::new());
+        let pos = |v: OpId| order.iter().position(|&o| o == v).unwrap();
+        assert!(pos(slow) < pos(fast));
+    }
+
+    #[test]
+    fn swing_order_covers_all_ops_once() {
+        let mut b = DfgBuilder::new();
+        let x = b.load_stream(0);
+        let y = b.op(Opcode::Mul, &[x, x]);
+        let z = b.op(Opcode::Add, &[y]);
+        b.loop_carried(z, z, 1);
+        b.store_stream(1, z);
+        let dfg = b.finish();
+        let order = swing_order(&dfg, &LatencyModel::default(), 3, &mut CostMeter::new());
+        let expect: HashSet<OpId> = dfg.schedulable_ops().collect();
+        let got: HashSet<OpId> = order.iter().copied().collect();
+        assert_eq!(order.len(), expect.len());
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn swing_nonseed_ops_adjacent_to_placed() {
+        // Every op after the first in a connected graph must touch an
+        // already ordered neighbour.
+        let mut b = DfgBuilder::new();
+        let a = b.load_stream(0);
+        let c = b.op(Opcode::Add, &[a]);
+        let d2 = b.op(Opcode::Mul, &[c]);
+        let e = b.op(Opcode::Sub, &[d2, a]);
+        b.store_stream(1, e);
+        let dfg = b.finish();
+        let order = swing_order(&dfg, &LatencyModel::default(), 2, &mut CostMeter::new());
+        let mut placed: HashSet<OpId> = HashSet::new();
+        placed.insert(order[0]);
+        for &v in &order[1..] {
+            let adjacent = dfg.pred_edges(v).any(|e| placed.contains(&e.src))
+                || dfg.succ_edges(v).any(|e| placed.contains(&e.dst));
+            assert!(adjacent, "{v} ordered with no placed neighbour");
+            placed.insert(v);
+        }
+    }
+
+    #[test]
+    fn swing_is_more_expensive_than_height() {
+        let mut b = DfgBuilder::new();
+        let mut prev = b.op(Opcode::Add, &[]);
+        for _ in 0..30 {
+            prev = b.op(Opcode::Add, &[prev]);
+        }
+        let dfg = b.finish();
+        let mut ms = CostMeter::new();
+        let _ = swing_order(&dfg, &LatencyModel::default(), 1, &mut ms);
+        let mut mh = CostMeter::new();
+        let _ = height_order(&dfg, &LatencyModel::default(), &mut mh);
+        assert!(ms.total() > 10 * mh.total());
+    }
+}

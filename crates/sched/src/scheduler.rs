@@ -1,0 +1,494 @@
+//! The single-pass modulo list scheduler (paper §4.1, "Scheduling").
+
+use crate::mrt::ModuloReservationTable;
+use crate::priority::depths;
+use std::collections::HashMap;
+use std::fmt;
+use veal_accel::{AcceleratorConfig, CapabilityError, ResourceKind};
+use veal_ir::streams::StreamSummary;
+use veal_ir::{CostMeter, Dfg, OpId, Phase};
+
+/// A completed modulo schedule.
+#[derive(Debug, Clone)]
+pub struct ModuloSchedule {
+    /// The achieved initiation interval.
+    pub ii: u32,
+    /// Absolute schedule time of each op (normalized so the earliest is 0).
+    times: HashMap<OpId, i64>,
+    /// Unit assignment of each op.
+    units: HashMap<OpId, (ResourceKind, usize)>,
+}
+
+impl ModuloSchedule {
+    /// Schedule time of `op`, if it was scheduled.
+    #[must_use]
+    pub fn time(&self, op: OpId) -> Option<i64> {
+        self.times.get(&op).copied()
+    }
+
+    /// Kernel row (`time mod II`) of `op`.
+    #[must_use]
+    pub fn cycle(&self, op: OpId) -> Option<u32> {
+        self.time(op)
+            .map(|t| t.rem_euclid(i64::from(self.ii)) as u32)
+    }
+
+    /// Pipeline stage (`time / II`) of `op`.
+    #[must_use]
+    pub fn stage(&self, op: OpId) -> Option<u32> {
+        self.time(op).map(|t| (t / i64::from(self.ii)) as u32)
+    }
+
+    /// The unit `op` executes on.
+    #[must_use]
+    pub fn unit(&self, op: OpId) -> Option<(ResourceKind, usize)> {
+        self.units.get(&op).copied()
+    }
+
+    /// Number of stages (SC): lower SC means lower iteration latency
+    /// (paper §2.2).
+    #[must_use]
+    pub fn stage_count(&self) -> u32 {
+        self.times
+            .values()
+            .map(|&t| (t / i64::from(self.ii)) as u32 + 1)
+            .max()
+            .unwrap_or(1)
+    }
+
+    /// All scheduled ops with their times, sorted by time then id.
+    #[must_use]
+    pub fn entries(&self) -> Vec<(OpId, i64)> {
+        let mut v: Vec<(OpId, i64)> = self.times.iter().map(|(&k, &t)| (k, t)).collect();
+        v.sort_by_key(|&(k, t)| (t, k));
+        v
+    }
+
+    /// Size of the accelerator control configuration for this schedule, in
+    /// 32-bit words: one instruction slot per (FU × II row) plus stream
+    /// descriptors. Used to size the VM's code cache (paper §4.3 sizes 16
+    /// translated loops at ~48 KB).
+    #[must_use]
+    pub fn control_words(&self, config: &AcceleratorConfig) -> usize {
+        let fus = config.int_units + config.fp_units + config.cca_units;
+        let agens = config.load_addr_gens + config.store_addr_gens;
+        (fus + agens) * self.ii as usize + 2 * (config.load_streams + config.store_streams)
+    }
+}
+
+impl fmt::Display for ModuloSchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "II={} SC={}", self.ii, self.stage_count())?;
+        for (op, t) in self.entries() {
+            let (kind, unit) = self.units[&op];
+            writeln!(
+                f,
+                "  t={t:3} cycle={} stage={} {op} on {kind}{unit}",
+                t.rem_euclid(i64::from(self.ii)),
+                t / i64::from(self.ii),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Why a loop could not be scheduled onto the accelerator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// Stream requirements exceed the hardware.
+    Capability(CapabilityError),
+    /// The minimum II already exceeds the control-store depth.
+    MiiExceedsControlStore {
+        /// Required minimum II.
+        mii: u32,
+        /// Hardware maximum II.
+        max_ii: u32,
+    },
+    /// No II up to the hardware maximum admitted a schedule.
+    NoSchedule {
+        /// The largest II attempted.
+        tried_up_to: u32,
+    },
+    /// Register pressure exceeds the register file.
+    Registers(crate::regalloc::RegisterPressure),
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::Capability(e) => write!(f, "{e}"),
+            ScheduleError::MiiExceedsControlStore { mii, max_ii } => {
+                write!(f, "MII {mii} exceeds control store depth {max_ii}")
+            }
+            ScheduleError::NoSchedule { tried_up_to } => {
+                write!(f, "no feasible schedule up to II {tried_up_to}")
+            }
+            ScheduleError::Registers(p) => write!(f, "register pressure too high: {p}"),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// Schedules `order` onto `config`, trying IIs from `mii` up to the
+/// hardware maximum.
+///
+/// Placement follows the paper's walkthrough: each op's window is derived
+/// from its already placed neighbours (`t(succ) ≥ t(pred) + latency −
+/// II·distance`); the scheduler scans at most II slots in the appropriate
+/// direction and, failing that for any op, retries the whole loop at
+/// II + 1.
+///
+/// # Errors
+///
+/// [`ScheduleError::NoSchedule`] if no II ≤ `config.max_ii` works.
+pub fn list_schedule(
+    dfg: &Dfg,
+    config: &AcceleratorConfig,
+    order: &[OpId],
+    mii: u32,
+    streams: StreamSummary,
+    meter: &mut CostMeter,
+) -> Result<ModuloSchedule, ScheduleError> {
+    let lat = &config.latencies;
+    let d = depths(dfg, lat, meter, Phase::Scheduling);
+    let start_ii = mii.max(config.min_ii_for_streams(streams)).max(1);
+    // Bound the escalation: a loop that fails 64 consecutive IIs is not
+    // going to schedule (keeps the huge-control-store infinite machine from
+    // scanning thousands of IIs).
+    let last_ii = config.max_ii.min(start_ii.saturating_add(63));
+    for ii in start_ii..=last_ii {
+        meter.charge(Phase::Scheduling, 4);
+        if let Some(schedule) = try_schedule(dfg, config, order, ii, &d, meter) {
+            return Ok(schedule);
+        }
+    }
+    Err(ScheduleError::NoSchedule {
+        tried_up_to: last_ii,
+    })
+}
+
+fn try_schedule(
+    dfg: &Dfg,
+    config: &AcceleratorConfig,
+    order: &[OpId],
+    ii: u32,
+    depth: &[u32],
+    meter: &mut CostMeter,
+) -> Option<ModuloSchedule> {
+    let lat = &config.latencies;
+    let mut mrt = ModuloReservationTable::with_unit_cap(ii, config, order.len().max(1));
+    let mut times: HashMap<OpId, i64> = HashMap::with_capacity(order.len());
+    let mut units: HashMap<OpId, (ResourceKind, usize)> = HashMap::with_capacity(order.len());
+
+    // Worklist form of the list scheduler with a bounded ejection fallback
+    // (Rau-style iterative scheduling): when an op's two-sided window is
+    // structurally empty — its placed successors sit too close to its
+    // placed predecessors — the successors are unplaced and rescheduled
+    // after it. This keeps any externally supplied order (static hints,
+    // height priority) feasible instead of failing every II.
+    let mut queue: std::collections::VecDeque<OpId> = order.iter().copied().collect();
+    let mut ejections = 32 * order.len() as u64 + 64;
+
+    while let Some(v) = queue.pop_front() {
+        let op = dfg.node(v).opcode().expect("order contains only ops");
+        let span = if op.pipelined() { 1 } else { lat.latency(op) };
+
+        // Earliest from placed predecessors, latest from placed successors.
+        let mut early: Option<i64> = None;
+        let mut late: Option<i64> = None;
+        for e in dfg.pred_edges(v) {
+            meter.charge(Phase::Scheduling, 1);
+            if e.src == v {
+                continue; // self edge: handled by the II >= RecMII bound
+            }
+            if let Some(&tp) = times.get(&e.src) {
+                let lp = i64::from(dfg.node(e.src).opcode().map_or(0, |o| lat.latency(o)));
+                let bound = tp + lp - i64::from(ii) * i64::from(e.distance);
+                early = Some(early.map_or(bound, |b: i64| b.max(bound)));
+            }
+        }
+        for e in dfg.succ_edges(v) {
+            meter.charge(Phase::Scheduling, 1);
+            if e.dst == v {
+                continue;
+            }
+            if let Some(&ts) = times.get(&e.dst) {
+                let lv = i64::from(lat.latency(op));
+                let bound = ts - lv + i64::from(ii) * i64::from(e.distance);
+                late = Some(late.map_or(bound, |b: i64| b.min(bound)));
+            }
+        }
+
+        // Window and scan direction per the Swing scheme: top-down when
+        // constrained from above, bottom-up when constrained from below. A
+        // two-sided window that is empty (e0 > l0) or fully resource-blocked
+        // triggers the ejection fallback: the placed successors are
+        // unscheduled and retried after this op (Rau-style iterative
+        // scheduling), which keeps any externally supplied order feasible.
+        let slot = match (early, late) {
+            (Some(e0), Some(l0)) if e0 > l0 => None,
+            (Some(e0), Some(l0)) => {
+                scan_up(&mrt, resource(op), e0, l0.min(e0 + i64::from(ii) - 1), span, meter)
+            }
+            (Some(e0), None) => scan_up(
+                &mrt,
+                resource(op),
+                e0,
+                e0 + i64::from(ii) - 1,
+                span,
+                meter,
+            ),
+            (None, Some(l0)) => scan_down(
+                &mrt,
+                resource(op),
+                l0,
+                l0 - i64::from(ii) + 1,
+                span,
+                meter,
+            ),
+            (None, None) => {
+                let e0 = i64::from(depth[v.index()]);
+                scan_up(&mrt, resource(op), e0, e0 + i64::from(ii) - 1, span, meter)
+            }
+        };
+        let slot = match slot {
+            Some(s) => s,
+            None => {
+                if std::env::var_os("VEAL_SCHED_DEBUG").is_some() {
+                    eprintln!("stuck {v} ({op}) early={early:?} late={late:?} ii={ii}");
+                }
+                if late.is_none() || ejections == 0 {
+                    // One-sided failures mean genuine resource shortage at
+                    // this II; ejection cannot help.
+                    return None;
+                }
+                ejections -= 1;
+                meter.charge(Phase::Scheduling, 4);
+                let victims: Vec<OpId> = dfg
+                    .succ_edges(v)
+                    .filter(|e| e.dst != v && times.contains_key(&e.dst))
+                    .map(|e| e.dst)
+                    .collect();
+                if victims.is_empty() {
+                    return None;
+                }
+                for w in victims {
+                    if let Some(tw) = times.remove(&w) {
+                        if let Some((kind, u)) = units.remove(&w) {
+                            let wop = dfg.node(w).opcode().expect("scheduled op");
+                            let wspan = if wop.pipelined() { 1 } else { lat.latency(wop) };
+                            mrt.release(kind, u, tw, wspan);
+                        }
+                        queue.push_back(w);
+                    }
+                }
+                queue.push_front(v);
+                continue;
+            }
+        };
+        let (t, unit_choice) = slot;
+        if let Some((kind, u)) = unit_choice {
+            mrt.reserve(kind, u, t, span);
+            units.insert(v, (kind, u));
+        }
+        times.insert(v, t);
+    }
+
+    // Normalize times so the earliest op is at 0 (keeping rows intact would
+    // also be valid; normalizing keeps stage counts meaningful).
+    let min_t = times.values().copied().min().unwrap_or(0);
+    let shift = min_t.rem_euclid(i64::from(ii)) - min_t;
+    for t in times.values_mut() {
+        *t += shift;
+    }
+    // Units for resource-free ops (none today, but keep the map total).
+    for &v in order {
+        units.entry(v).or_insert((ResourceKind::Int, usize::MAX));
+    }
+    Some(ModuloSchedule { ii, times, units })
+}
+
+fn resource(op: veal_ir::Opcode) -> ResourceKind {
+    ResourceKind::for_opcode(op).unwrap_or(ResourceKind::Int)
+}
+
+type Slot = (i64, Option<(ResourceKind, usize)>);
+
+fn scan_up(
+    mrt: &ModuloReservationTable,
+    kind: ResourceKind,
+    from: i64,
+    to: i64,
+    span: u32,
+    meter: &mut CostMeter,
+) -> Option<Slot> {
+    let mut t = from;
+    while t <= to {
+        meter.charge(Phase::Scheduling, 1);
+        if let Some(u) = mrt.find_unit(kind, t, span) {
+            return Some((t, Some((kind, u))));
+        }
+        t += 1;
+    }
+    None
+}
+
+fn scan_down(
+    mrt: &ModuloReservationTable,
+    kind: ResourceKind,
+    from: i64,
+    to: i64,
+    span: u32,
+    meter: &mut CostMeter,
+) -> Option<Slot> {
+    let mut t = from;
+    while t >= to {
+        meter.charge(Phase::Scheduling, 1);
+        if let Some(u) = mrt.find_unit(kind, t, span) {
+            return Some((t, Some((kind, u))));
+        }
+        t -= 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::priority::swing_order;
+    use veal_accel::LatencyModel;
+    use veal_ir::{DfgBuilder, Opcode};
+
+    fn schedule(dfg: &Dfg, config: &AcceleratorConfig, mii: u32) -> ModuloSchedule {
+        let mut m = CostMeter::new();
+        let order = swing_order(dfg, &LatencyModel::default(), mii, &mut m);
+        list_schedule(dfg, config, &order, mii, StreamSummary::default(), &mut m)
+            .expect("schedulable")
+    }
+
+    #[test]
+    fn chain_scheduled_in_dependence_order() {
+        let mut b = DfgBuilder::new();
+        let x = b.op(Opcode::Mul, &[]);
+        let y = b.op(Opcode::Add, &[x]);
+        let dfg = b.finish();
+        let s = schedule(&dfg, &AcceleratorConfig::paper_design(), 1);
+        assert!(s.time(y).unwrap() >= s.time(x).unwrap() + 3);
+    }
+
+    #[test]
+    fn five_int_ops_two_units_ii3() {
+        // The paper's ResMII example: 5 independent int ops, 2 units.
+        let mut b = DfgBuilder::new();
+        for _ in 0..5 {
+            b.op(Opcode::Shl, &[]);
+        }
+        let dfg = b.finish();
+        let s = schedule(&dfg, &AcceleratorConfig::paper_design(), 3);
+        assert_eq!(s.ii, 3);
+        // No more than 2 ops share a kernel row.
+        let mut per_row = [0; 3];
+        for id in dfg.schedulable_ops() {
+            per_row[s.cycle(id).unwrap() as usize] += 1;
+        }
+        assert!(per_row.iter().all(|&c| c <= 2));
+    }
+
+    #[test]
+    fn recurrence_constrains_but_schedules() {
+        let mut b = DfgBuilder::new();
+        let m1 = b.op(Opcode::Mul, &[]);
+        let o = b.op(Opcode::Or, &[m1]);
+        b.loop_carried(o, m1, 1);
+        let dfg = b.finish();
+        let s = schedule(&dfg, &AcceleratorConfig::paper_design(), 4);
+        assert_eq!(s.ii, 4);
+        let tm = s.time(m1).unwrap();
+        let to = s.time(o).unwrap();
+        assert!(to >= tm + 3);
+        // Loop-carried constraint: tm(next iter) = tm + 4 >= to + 1.
+        assert!(tm + 4 >= to + 1);
+    }
+
+    #[test]
+    fn ii_escalates_when_resources_tight() {
+        // 4 FP ops on a 1-FP-unit machine with long latency chains.
+        let la = AcceleratorConfig::builder().fp_units(1).build();
+        let mut b = DfgBuilder::new();
+        for _ in 0..4 {
+            b.op(Opcode::FAdd, &[]);
+        }
+        let dfg = b.finish();
+        let s = schedule(&dfg, &la, 1);
+        assert!(s.ii >= 4);
+    }
+
+    #[test]
+    fn unpipelined_div_occupies_span() {
+        let la = AcceleratorConfig::builder().int_units(1).build();
+        let mut b = DfgBuilder::new();
+        b.op(Opcode::Div, &[]);
+        b.op(Opcode::Add, &[]);
+        let dfg = b.finish();
+        // Div occupies its unit for 12 cycles; a second op needs II >= 13
+        // on a single int unit.
+        let s = schedule(&dfg, &la, 1);
+        assert!(s.ii >= 13, "ii was {}", s.ii);
+    }
+
+    #[test]
+    fn no_schedule_when_mii_exceeds_max() {
+        let la = AcceleratorConfig::builder().max_ii(2).int_units(1).build();
+        let mut b = DfgBuilder::new();
+        for _ in 0..5 {
+            b.op(Opcode::Add, &[]);
+        }
+        let dfg = b.finish();
+        let mut m = CostMeter::new();
+        let order = swing_order(&dfg, &LatencyModel::default(), 5, &mut m);
+        let r = list_schedule(&dfg, &la, &order, 1, StreamSummary::default(), &mut m);
+        assert!(matches!(r, Err(ScheduleError::NoSchedule { .. })));
+    }
+
+    #[test]
+    fn stage_count_and_cycles() {
+        let mut b = DfgBuilder::new();
+        let x = b.op(Opcode::Mul, &[]);
+        let y = b.op(Opcode::Mul, &[x]);
+        let z = b.op(Opcode::Add, &[y]);
+        let _ = z;
+        let dfg = b.finish();
+        // 3 int ops on 2 units: ResMII = 2.
+        let s = schedule(&dfg, &AcceleratorConfig::paper_design(), 2);
+        assert_eq!(s.ii, 2);
+        // Chain latency 3+3+1 = 7 over II=2: at least 4 stages.
+        assert!(s.stage_count() >= 4);
+    }
+
+    #[test]
+    fn control_words_scale_with_ii() {
+        let la = AcceleratorConfig::paper_design();
+        let mut b = DfgBuilder::new();
+        let x = b.op(Opcode::Add, &[]);
+        b.loop_carried(x, x, 1);
+        for _ in 0..7 {
+            b.op(Opcode::Shl, &[]);
+        }
+        let dfg = b.finish();
+        let s = schedule(&dfg, &la, 4);
+        assert!(s.control_words(&la) > 0);
+        assert!(s.control_words(&la) >= 11 * s.ii as usize);
+    }
+
+    #[test]
+    fn display_lists_all_ops() {
+        let mut b = DfgBuilder::new();
+        let x = b.op(Opcode::Add, &[]);
+        let _ = x;
+        let dfg = b.finish();
+        let s = schedule(&dfg, &AcceleratorConfig::paper_design(), 1);
+        assert!(s.to_string().contains("II=1"));
+        assert!(s.to_string().contains("op0"));
+    }
+}

@@ -1,0 +1,104 @@
+//! Scheduler robustness under arbitrary latency models: whatever the
+//! hardware's latencies, an accepted schedule must verify and respect its
+//! bounds (dynamic translation is what makes latency evolution safe —
+//! paper §4.2, "Static ResMII and RecMII Calculation").
+
+use proptest::prelude::*;
+use veal_accel::{AcceleratorConfig, LatencyModel};
+use veal_ir::streams::separate;
+use veal_ir::{CostMeter, Opcode};
+use veal_sched::{modulo_schedule, verify_schedule, PriorityKind, ScheduleOptions};
+use veal_workloads::{synth_loop, SynthSpec};
+
+fn arb_latencies() -> impl Strategy<Value = LatencyModel> {
+    (1u32..5, 1u32..7, 1u32..7, 1u32..9).prop_map(|(add, mul, sh, fadd)| {
+        let mut m = LatencyModel::default();
+        m.set(Opcode::Add, add);
+        m.set(Opcode::Mul, mul);
+        m.set(Opcode::Shl, sh);
+        m.set(Opcode::Shr, sh);
+        m.set(Opcode::FAdd, fadd);
+        m
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn schedules_verify_under_any_latency_model(
+        seed in any::<u64>(),
+        ops in 6usize..32,
+        lat in arb_latencies(),
+        priority in prop_oneof![Just(PriorityKind::Swing), Just(PriorityKind::Height)],
+    ) {
+        let body = synth_loop(&SynthSpec {
+            seed,
+            compute_ops: ops,
+            fp_frac: if seed % 3 == 0 { 0.4 } else { 0.0 },
+            loads: 2 + (seed as usize % 3),
+            stores: 1,
+            recurrences: (seed % 2) as usize,
+            rec_distance: 2 + (ops as u32 / 6),
+        });
+        let mut config = AcceleratorConfig::paper_design();
+        config.latencies = lat;
+
+        let mut meter = CostMeter::new();
+        let Ok(sep) = separate(&body.dfg, &mut meter) else {
+            return Ok(());
+        };
+        let summary = sep.summary();
+        let mut dfg = sep.dfg;
+        veal_cca::map_cca(&mut dfg, &veal_cca::CcaSpec::paper(), &mut meter);
+
+        let opts = ScheduleOptions {
+            priority,
+            static_order: None,
+            streams: Some(summary),
+        };
+        if let Ok(s) = modulo_schedule(&dfg, &config, &opts, &mut CostMeter::new()) {
+            let defects = verify_schedule(&dfg, &s.schedule, &config);
+            prop_assert!(defects.is_empty(), "{defects:?}");
+            prop_assert!(s.schedule.ii <= config.max_ii);
+            prop_assert!(s.registers.pressure.fits());
+        }
+    }
+
+    #[test]
+    fn longer_latencies_never_shrink_ii(seed in any::<u64>(), ops in 6usize..24) {
+        // Monotonicity: slowing every unit down cannot lower the achieved
+        // II on the same loop and order policy.
+        let body = synth_loop(&SynthSpec {
+            seed,
+            compute_ops: ops,
+            fp_frac: 0.0,
+            loads: 2,
+            stores: 1,
+            recurrences: 1,
+            rec_distance: 2 + ops as u32 / 4,
+        });
+        let mut meter = CostMeter::new();
+        let Ok(sep) = separate(&body.dfg, &mut meter) else { return Ok(()); };
+        let summary = sep.summary();
+        let dfg = sep.dfg;
+
+        let fast = AcceleratorConfig::paper_design();
+        let mut slow = AcceleratorConfig::paper_design();
+        let mut lat = LatencyModel::default();
+        lat.set(Opcode::Mul, 4);
+        lat.set(Opcode::Add, 2);
+        slow.latencies = lat;
+
+        let opts = ScheduleOptions {
+            priority: PriorityKind::Swing,
+            static_order: None,
+            streams: Some(summary),
+        };
+        let a = modulo_schedule(&dfg, &fast, &opts, &mut CostMeter::new());
+        let b = modulo_schedule(&dfg, &slow, &opts, &mut CostMeter::new());
+        if let (Ok(a), Ok(b)) = (a, b) {
+            prop_assert!(b.mii >= a.mii, "slow MII {} < fast MII {}", b.mii, a.mii);
+        }
+    }
+}

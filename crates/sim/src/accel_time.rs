@@ -1,0 +1,75 @@
+//! Accelerator invocation timing.
+
+use veal_vm::TranslatedLoop;
+
+/// System-bus latency between the processor and the accelerator, in cycles
+/// (paper §3: "a 10 cycle system bus", same as the L2 access time).
+pub const BUS_LATENCY: u64 = 10;
+
+/// Per-invocation synchronization overhead: starting the accelerator and
+/// copying scalar live-ins in and live-outs back over the bus. The bulk
+/// data streams directly through the address generators, so this cost is
+/// per *invocation*, not per iteration ("this latency is largely
+/// irrelevant given the streaming nature of the target applications",
+/// §4.3).
+#[must_use]
+pub fn invocation_overhead(translated: &TranslatedLoop) -> u64 {
+    let live_values = (translated.scheduled.registers.pinned_int
+        + translated.scheduled.registers.pinned_fp) as u64;
+    // Start command + live-in writes (pipelined over the bus) + completion
+    // poll + live-out reads.
+    2 * BUS_LATENCY + 2 * live_values
+}
+
+/// Total accelerator cycles for one invocation running `trips` iterations:
+/// software-pipeline fill/drain and kernel time plus the bus overhead.
+#[must_use]
+pub fn accel_invocation_cycles(translated: &TranslatedLoop, trips: u64) -> u64 {
+    translated.kernel_cycles(trips) + invocation_overhead(translated)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use veal_accel::AcceleratorConfig;
+    use veal_ir::{CostMeter, DfgBuilder, LoopBody, Opcode};
+    use veal_vm::{StaticHints, TranslationPolicy, Translator};
+
+    fn translated() -> TranslatedLoop {
+        let mut b = DfgBuilder::new();
+        let x = b.load_stream(0);
+        let k = b.live_in();
+        let y = b.op(Opcode::Mul, &[x, k]);
+        b.store_stream(1, y);
+        let body = LoopBody::new("t", b.finish());
+        let t = Translator::new(
+            AcceleratorConfig::paper_design(),
+            None,
+            TranslationPolicy::fully_dynamic(),
+        );
+        let _ = CostMeter::new();
+        t.translate(&body, &StaticHints::none()).result.unwrap()
+    }
+
+    #[test]
+    fn overhead_includes_bus_round_trip() {
+        let t = translated();
+        assert!(invocation_overhead(&t) >= 2 * BUS_LATENCY);
+    }
+
+    #[test]
+    fn cycles_scale_with_trips_at_ii() {
+        let t = translated();
+        let c1000 = accel_invocation_cycles(&t, 1000);
+        let c2000 = accel_invocation_cycles(&t, 2000);
+        let per_iter = (c2000 - c1000) as f64 / 1000.0;
+        assert!((per_iter - f64::from(t.scheduled.schedule.ii)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn short_trip_invocations_are_overhead_dominated() {
+        let t = translated();
+        let c4 = accel_invocation_cycles(&t, 4);
+        assert!(c4 > t.kernel_cycles(4));
+    }
+}

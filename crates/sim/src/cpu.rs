@@ -1,0 +1,240 @@
+//! In-order CPU timing models.
+
+use std::collections::HashMap;
+use veal_ir::dfg::{Dfg, NodeKind};
+use veal_ir::OpId;
+
+/// An in-order processor model.
+///
+/// Loop bodies are timed with a dependence-accurate scoreboard: ops issue
+/// in program order, up to `issue_width` per cycle, stalling until their
+/// operands are ready; loop-carried operands come from the previous
+/// iteration's completion times. Acyclic code is timed with an
+/// ILP-bounded IPC model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuModel {
+    /// Model name for reports.
+    pub name: &'static str,
+    /// Instructions issued per cycle.
+    pub issue_width: u32,
+    /// Cycles lost on each taken back branch.
+    pub branch_penalty: u32,
+    /// Die area in mm² (90 nm), for the Figure 10 comparison.
+    pub area_mm2: f64,
+    /// Fraction of peak issue attainable on acyclic code (front-end,
+    /// cache, and branch losses).
+    pub issue_efficiency: f64,
+}
+
+impl CpuModel {
+    /// ARM 11-like single-issue baseline (paper §3.2: 4.34 mm²).
+    #[must_use]
+    pub fn arm11() -> Self {
+        CpuModel {
+            name: "ARM11 (1-issue)",
+            issue_width: 1,
+            branch_penalty: 1,
+            area_mm2: veal_accel::ARM11_AREA_MM2,
+            issue_efficiency: 0.85,
+        }
+    }
+
+    /// Cortex A8-like dual-issue CPU (~10.2 mm²).
+    #[must_use]
+    pub fn cortex_a8() -> Self {
+        CpuModel {
+            name: "Cortex A8 (2-issue)",
+            issue_width: 2,
+            branch_penalty: 1,
+            area_mm2: veal_accel::CORTEX_A8_AREA_MM2,
+            issue_efficiency: 0.85,
+        }
+    }
+
+    /// Hypothetical quad-issue CPU with larger L2 (~14.0 mm²).
+    #[must_use]
+    pub fn quad_issue() -> Self {
+        CpuModel {
+            name: "hypothetical 4-issue",
+            issue_width: 4,
+            branch_penalty: 1,
+            area_mm2: veal_accel::QUAD_ISSUE_AREA_MM2,
+            issue_efficiency: 0.85,
+        }
+    }
+
+    /// Steady-state cycles per loop iteration for `dfg` (the full loop
+    /// body, control and address ops included).
+    ///
+    /// Simulates several iterations through the scoreboard and returns the
+    /// converged per-iteration delta.
+    #[must_use]
+    pub fn loop_cycles_per_iter(&self, dfg: &Dfg) -> f64 {
+        const WARMUP: usize = 4;
+        const MEASURE: usize = 4;
+        let ops: Vec<OpId> = dfg.schedulable_ops().collect();
+        if ops.is_empty() {
+            return 1.0;
+        }
+        // Completion time of each node's most recent value.
+        let mut done: HashMap<OpId, u64> = HashMap::new();
+        for id in dfg.live_ids() {
+            if matches!(dfg.node(id).kind, NodeKind::LiveIn | NodeKind::Const(_)) {
+                done.insert(id, 0);
+            }
+        }
+        let mut cycle: u64 = 0;
+        let mut t_after_warmup = 0u64;
+        for iter in 0..WARMUP + MEASURE {
+            let mut issued_this_cycle = 0u32;
+            let mut new_done: Vec<(OpId, u64)> = Vec::with_capacity(ops.len());
+            for &v in &ops {
+                // Operand readiness: values from this iteration for
+                // distance-0 producers already issued this iteration
+                // (their completion recorded in `done` via new_done flush
+                // below — so flush per op), from previous iterations for
+                // loop-carried ones.
+                let ready = dfg
+                    .pred_edges(v)
+                    .map(|e| done.get(&e.src).copied().unwrap_or(0))
+                    .max()
+                    .unwrap_or(0);
+                // In-order issue: stall until operands ready.
+                if ready > cycle {
+                    cycle = ready;
+                    issued_this_cycle = 0;
+                }
+                if issued_this_cycle >= self.issue_width {
+                    cycle += 1;
+                    issued_this_cycle = 0;
+                }
+                issued_this_cycle += 1;
+                let lat = dfg
+                    .node(v)
+                    .opcode()
+                    .map_or(1, veal_ir::Opcode::default_latency);
+                new_done.push((v, cycle + u64::from(lat)));
+                done.insert(v, cycle + u64::from(lat));
+            }
+            // Taken back branch.
+            cycle += u64::from(self.branch_penalty) + 1;
+            issued_this_cycle = 0;
+            let _ = issued_this_cycle;
+            let _ = new_done;
+            if iter + 1 == WARMUP {
+                t_after_warmup = cycle;
+            }
+        }
+        (cycle - t_after_warmup) as f64 / MEASURE as f64
+    }
+
+    /// Total cycles to run a loop for `trips` iterations.
+    #[must_use]
+    pub fn loop_cycles(&self, dfg: &Dfg, trips: u64) -> u64 {
+        (self.loop_cycles_per_iter(dfg) * trips as f64).ceil() as u64
+    }
+
+    /// Cycles for `instrs` dynamic instructions of acyclic code whose
+    /// available ILP is `ilp`.
+    #[must_use]
+    pub fn acyclic_cycles(&self, instrs: u64, ilp: f64) -> u64 {
+        let ipc = (f64::from(self.issue_width) * self.issue_efficiency).min(ilp.max(0.1));
+        (instrs as f64 / ipc).ceil() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use veal_ir::{DfgBuilder, Opcode};
+
+    fn chain(n: usize) -> Dfg {
+        let mut b = DfgBuilder::new();
+        let mut prev = b.op(Opcode::Add, &[]);
+        for _ in 1..n {
+            prev = b.op(Opcode::Add, &[prev]);
+        }
+        b.finish()
+    }
+
+    fn independent(n: usize) -> Dfg {
+        let mut b = DfgBuilder::new();
+        for _ in 0..n {
+            b.op(Opcode::Add, &[]);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn single_issue_chain_costs_n_per_iter() {
+        let cpu = CpuModel::arm11();
+        let per = cpu.loop_cycles_per_iter(&chain(10));
+        // 10 dependent 1-cycle adds + branch overhead ≈ 12.
+        assert!((10.0..=14.0).contains(&per), "per-iter {per}");
+    }
+
+    #[test]
+    fn wider_issue_helps_independent_ops() {
+        let dfg = independent(8);
+        let narrow = CpuModel::arm11().loop_cycles_per_iter(&dfg);
+        let wide = CpuModel::quad_issue().loop_cycles_per_iter(&dfg);
+        assert!(wide < narrow, "wide {wide} narrow {narrow}");
+    }
+
+    #[test]
+    fn wider_issue_cannot_help_chains() {
+        let dfg = chain(12);
+        let narrow = CpuModel::arm11().loop_cycles_per_iter(&dfg);
+        let wide = CpuModel::quad_issue().loop_cycles_per_iter(&dfg);
+        assert!(wide >= narrow - 2.0, "chains are latency bound");
+    }
+
+    #[test]
+    fn multiply_latency_stalls_consumer() {
+        let mut b = DfgBuilder::new();
+        let m = b.op(Opcode::Mul, &[]);
+        let a = b.op(Opcode::Add, &[m]);
+        let _ = a;
+        let dfg = b.finish();
+        let per = CpuModel::arm11().loop_cycles_per_iter(&dfg);
+        // mul issue + 3-cycle latency before the add + branch.
+        assert!(per >= 5.0, "per {per}");
+    }
+
+    #[test]
+    fn loop_carried_recurrence_bounds_per_iter() {
+        // acc = acc * acc (3-cycle mul, self loop): >= 3 cycles/iter even
+        // on a wide machine.
+        let mut b = DfgBuilder::new();
+        let m = b.op(Opcode::Mul, &[]);
+        b.loop_carried(m, m, 1);
+        let dfg = b.finish();
+        let per = CpuModel::quad_issue().loop_cycles_per_iter(&dfg);
+        assert!(per >= 3.0, "per {per}");
+    }
+
+    #[test]
+    fn acyclic_ipc_bounded_by_ilp() {
+        let narrow = CpuModel::arm11().acyclic_cycles(10_000, 1.3);
+        let wide2 = CpuModel::cortex_a8().acyclic_cycles(10_000, 1.3);
+        let wide4 = CpuModel::quad_issue().acyclic_cycles(10_000, 1.3);
+        assert!(wide2 < narrow);
+        // ILP 1.3 caps both wide machines at the same IPC.
+        assert_eq!(wide2, wide4);
+    }
+
+    #[test]
+    fn loop_cycles_scale_with_trips() {
+        let dfg = chain(6);
+        let cpu = CpuModel::arm11();
+        let c100 = cpu.loop_cycles(&dfg, 100);
+        let c200 = cpu.loop_cycles(&dfg, 200);
+        assert!((c200 as f64 / c100 as f64 - 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn models_have_expected_areas() {
+        assert!(CpuModel::arm11().area_mm2 < CpuModel::cortex_a8().area_mm2);
+        assert!(CpuModel::cortex_a8().area_mm2 < CpuModel::quad_issue().area_mm2);
+    }
+}

@@ -1,0 +1,136 @@
+//! Design-space exploration support (paper §3.1, Figures 3 and 4).
+//!
+//! "The baseline architecture in our design space exploration assumes a
+//! hypothetical LA with infinite resources … Architectural parameters were
+//! then individually varied to determine what fraction of the
+//! infinite-resources speedup was attainable using finite resources."
+
+use crate::cpu::CpuModel;
+use crate::speedup::{run_application, AccelSetup};
+use veal_accel::AcceleratorConfig;
+use veal_cca::CcaSpec;
+use veal_vm::TranslationPolicy;
+use veal_workloads::Application;
+
+/// One point of a design-space sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DseResult {
+    /// The swept parameter's value.
+    pub x: usize,
+    /// Mean fraction of infinite-resource speedup attained.
+    pub fraction: f64,
+}
+
+fn dse_setup(config: AcceleratorConfig, cca: Option<CcaSpec>) -> AccelSetup {
+    AccelSetup {
+        config,
+        cca,
+        // Fully dynamic mapping (so the CCA is actually exercised without
+        // needing hint sections), with translation declared free: the DSE
+        // studies hardware, not translation.
+        policy: TranslationPolicy::fully_dynamic(),
+        translation_free: true,
+        hints_in_binary: false,
+        static_transforms: true,
+        cache_entries: 1 << 20,
+    }
+}
+
+/// Mean speedup of `apps` under `config` (translation-free).
+#[must_use]
+pub fn mean_speedup(
+    apps: &[Application],
+    cpu: &CpuModel,
+    config: &AcceleratorConfig,
+    cca: Option<&CcaSpec>,
+) -> f64 {
+    let setup = dse_setup(config.clone(), cca.cloned());
+    let sum: f64 = apps
+        .iter()
+        .map(|a| run_application(a, cpu, &setup).speedup())
+        .sum();
+    sum / apps.len().max(1) as f64
+}
+
+/// Fraction of the infinite-resource speedup attained by `config`.
+///
+/// Both runs are translation-free; the fraction is the ratio of mean
+/// speedups, matching the y-axes of Figures 3 and 4.
+#[must_use]
+pub fn fraction_of_infinite(
+    apps: &[Application],
+    cpu: &CpuModel,
+    config: &AcceleratorConfig,
+    cca: Option<&CcaSpec>,
+) -> f64 {
+    let infinite = mean_speedup(apps, cpu, &AcceleratorConfig::infinite(), Some(&CcaSpec::paper()));
+    let finite = mean_speedup(apps, cpu, config, cca);
+    finite / infinite
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use veal_workloads::application;
+
+    fn small_suite() -> Vec<Application> {
+        ["rawcaudio", "cjpeg", "171.swim"]
+            .iter()
+            .filter_map(|n| application(n))
+            .collect()
+    }
+
+    #[test]
+    fn infinite_fraction_is_one() {
+        let apps = small_suite();
+        let cpu = CpuModel::arm11();
+        let f = fraction_of_infinite(
+            &apps,
+            &cpu,
+            &AcceleratorConfig::infinite(),
+            Some(&CcaSpec::paper()),
+        );
+        assert!((f - 1.0).abs() < 1e-9, "fraction {f}");
+    }
+
+    #[test]
+    fn paper_design_attains_large_fraction() {
+        let apps = small_suite();
+        let cpu = CpuModel::arm11();
+        let f = fraction_of_infinite(
+            &apps,
+            &cpu,
+            &AcceleratorConfig::paper_design(),
+            Some(&CcaSpec::paper()),
+        );
+        assert!(f > 0.5, "fraction {f}");
+        assert!(f <= 1.001, "fraction {f}");
+    }
+
+    #[test]
+    fn starving_resources_lowers_fraction() {
+        let apps = small_suite();
+        let cpu = CpuModel::arm11();
+        let starved = AcceleratorConfig::builder()
+            .int_units(1)
+            .fp_units(1)
+            .cca_units(0)
+            .load_streams(2)
+            .store_streams(1)
+            .load_addr_gens(1)
+            .store_addr_gens(1)
+            .max_ii(4)
+            .build();
+        let f_starved = fraction_of_infinite(&apps, &cpu, &starved, None);
+        let f_paper = fraction_of_infinite(
+            &apps,
+            &cpu,
+            &AcceleratorConfig::paper_design(),
+            Some(&CcaSpec::paper()),
+        );
+        assert!(
+            f_starved < f_paper,
+            "starved {f_starved} paper {f_paper}"
+        );
+    }
+}

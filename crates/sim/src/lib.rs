@@ -1,0 +1,34 @@
+//! Timing simulation and the whole-application speedup engine.
+//!
+//! Reproduces the paper's measurement methodology: "All speedups reported
+//! in this paper are for entire applications, not just loop bodies, and
+//! include synchronization overheads from copying results to and from the
+//! accelerator over a 10 cycle system bus" (§3).
+//!
+//! * [`cpu`] — in-order scalar/superscalar CPU timing models (ARM 11-like
+//!   single issue, Cortex A8-like dual issue, hypothetical quad issue) with
+//!   a dependence-accurate scoreboard for loop bodies;
+//! * [`accel_time`] — accelerator invocation timing:
+//!   `(SC + trips − 1)·II` plus bus synchronization overheads;
+//! * [`speedup`] — runs an [`veal_workloads::Application`] through a VM
+//!   session against a system configuration and reports whole-application
+//!   cycles (the engine behind Figures 2, 6, 7, and 10);
+//! * [`dse`] — the design-space-exploration harness (fraction of
+//!   infinite-resource speedup, Figures 3 and 4);
+//! * [`overhead`] — the translation-overhead sweep (Figure 6).
+
+pub mod accel_time;
+pub mod cpu;
+pub mod dse;
+pub mod overhead;
+pub mod report;
+pub mod speedup;
+pub mod trace;
+
+pub use accel_time::{accel_invocation_cycles, invocation_overhead, BUS_LATENCY};
+pub use cpu::CpuModel;
+pub use dse::{fraction_of_infinite, DseResult};
+pub use overhead::{overhead_sweep, OverheadPoint};
+pub use report::{phase_table, speedup_table};
+pub use speedup::{run_application, AccelSetup, AppRun, LoopRun};
+pub use trace::{FrameTrace, TraceLoop, TraceRun};

@@ -1,0 +1,156 @@
+//! The translation-overhead sweep (paper Figure 6).
+//!
+//! "This graph shows the average speedup across benchmarks when varying
+//! the translation cost per loop … The various lines reflect how
+//! frequently the translation penalty must be paid."
+
+use crate::cpu::CpuModel;
+use crate::speedup::{run_application, AccelSetup};
+use veal_workloads::Application;
+
+/// How often the translation penalty recurs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Recurrence {
+    /// Each loop is translated exactly once per run.
+    Once,
+    /// A fraction of invocations miss the code cache and re-translate.
+    MissRate(f64),
+}
+
+impl Recurrence {
+    /// Number of translations for a loop invoked `invocations` times.
+    #[must_use]
+    pub fn translations(&self, invocations: u64) -> f64 {
+        match *self {
+            Recurrence::Once => 1.0,
+            Recurrence::MissRate(r) => 1.0 + r * invocations.saturating_sub(1) as f64,
+        }
+    }
+
+    /// Label used in the Figure 6 table.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match *self {
+            Recurrence::Once => "translate once".to_owned(),
+            Recurrence::MissRate(r) => format!("{:.1}% miss rate", r * 100.0),
+        }
+    }
+}
+
+/// One point of the Figure 6 surface.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverheadPoint {
+    /// Hypothetical translation cost per loop, in cycles.
+    pub penalty: u64,
+    /// Recurrence model.
+    pub recurrence: Recurrence,
+    /// Mean whole-application speedup across the suite.
+    pub mean_speedup: f64,
+}
+
+/// Sweeps hypothetical per-loop translation penalties × recurrence models
+/// over `apps`, overlaying the cost on a translation-free accelerated run
+/// (exactly how the paper built Figure 6: the execution time is measured
+/// once, the translation penalty is an analytic overlay).
+#[must_use]
+pub fn overhead_sweep(
+    apps: &[Application],
+    cpu: &CpuModel,
+    penalties: &[u64],
+    recurrences: &[Recurrence],
+) -> Vec<OverheadPoint> {
+    // One translation-free run per app gives per-loop system cycles and
+    // invocation counts.
+    let runs: Vec<_> = apps
+        .iter()
+        .map(|a| run_application(a, cpu, &AccelSetup::native()))
+        .collect();
+
+    let mut out = Vec::new();
+    for &rec in recurrences {
+        for &penalty in penalties {
+            let mut sum = 0.0;
+            for run in &runs {
+                let extra: f64 = run
+                    .loops
+                    .iter()
+                    .filter(|l| l.accelerated)
+                    .map(|l| rec.translations(l.invocations) * penalty as f64)
+                    .sum();
+                let total = run.system_cycles as f64 + extra;
+                sum += run.cpu_only_cycles as f64 / total;
+            }
+            out.push(OverheadPoint {
+                penalty,
+                recurrence: rec,
+                mean_speedup: sum / runs.len().max(1) as f64,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use veal_workloads::application;
+
+    fn apps() -> Vec<Application> {
+        ["rawcaudio", "mpeg2dec"]
+            .iter()
+            .filter_map(|n| application(n))
+            .collect()
+    }
+
+    #[test]
+    fn speedup_monotonically_decreases_with_penalty() {
+        let apps = apps();
+        let cpu = CpuModel::arm11();
+        let pts = overhead_sweep(&apps, &cpu, &[0, 20_000, 100_000, 1_000_000], &[Recurrence::Once]);
+        for w in pts.windows(2) {
+            assert!(
+                w[0].mean_speedup >= w[1].mean_speedup,
+                "{:?} then {:?}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn higher_miss_rate_hurts_more() {
+        let apps = apps();
+        let cpu = CpuModel::arm11();
+        let pts = overhead_sweep(
+            &apps,
+            &cpu,
+            &[100_000],
+            &[
+                Recurrence::Once,
+                Recurrence::MissRate(0.01),
+                Recurrence::MissRate(0.10),
+            ],
+        );
+        assert!(pts[0].mean_speedup >= pts[1].mean_speedup);
+        assert!(pts[1].mean_speedup >= pts[2].mean_speedup);
+    }
+
+    #[test]
+    fn zero_penalty_matches_native() {
+        let apps = apps();
+        let cpu = CpuModel::arm11();
+        let pts = overhead_sweep(&apps, &cpu, &[0], &[Recurrence::Once]);
+        let native: f64 = apps
+            .iter()
+            .map(|a| run_application(a, &cpu, &AccelSetup::native()).speedup())
+            .sum::<f64>()
+            / apps.len() as f64;
+        assert!((pts[0].mean_speedup - native).abs() < 1e-9);
+    }
+
+    #[test]
+    fn labels_are_readable() {
+        assert_eq!(Recurrence::Once.label(), "translate once");
+        assert_eq!(Recurrence::MissRate(0.01).label(), "1.0% miss rate");
+    }
+}

@@ -1,0 +1,126 @@
+//! Human-readable summaries of simulation results.
+
+use crate::speedup::AppRun;
+use std::fmt::Write as _;
+use veal_ir::Phase;
+
+/// Formats a set of application runs as an aligned speedup table with a
+/// mean row, mirroring the layout of the paper's Figure 10.
+///
+/// # Example
+///
+/// ```
+/// use veal_sim::{run_application, AccelSetup, CpuModel};
+/// use veal_sim::report::speedup_table;
+/// use veal_vm::TranslationPolicy;
+///
+/// let app = veal_workloads::application("rawcaudio").unwrap();
+/// let run = run_application(&app, &CpuModel::arm11(),
+///                           &AccelSetup::paper(TranslationPolicy::fully_dynamic()));
+/// let table = speedup_table(&[run]);
+/// assert!(table.contains("rawcaudio"));
+/// assert!(table.contains("MEAN"));
+/// ```
+#[must_use]
+pub fn speedup_table(runs: &[AppRun]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<14} {:>8} {:>12} {:>13} {:>9}",
+        "app", "speedup", "translations", "trans cycles", "hit rate"
+    );
+    let mut sum = 0.0;
+    for r in runs {
+        sum += r.speedup();
+        let _ = writeln!(
+            out,
+            "{:<14} {:>7.2}x {:>12} {:>13} {:>8.1}%",
+            r.name,
+            r.speedup(),
+            r.translations,
+            r.translation_cycles,
+            100.0 * r.cache.hit_rate()
+        );
+    }
+    if !runs.is_empty() {
+        let _ = writeln!(out, "{:<14} {:>7.2}x", "MEAN", sum / runs.len() as f64);
+    }
+    out
+}
+
+/// Formats one run's translation-phase breakdown (a per-app slice of
+/// Figure 8).
+#[must_use]
+pub fn phase_table(run: &AppRun) -> String {
+    let mut out = String::new();
+    let total = run.breakdown.total().max(1);
+    let _ = writeln!(
+        out,
+        "{}: {} translations, {} abstract instructions",
+        run.name, run.translations, total
+    );
+    for &p in veal_ir::meter::ALL_PHASES {
+        let c = run.breakdown.get(p);
+        if c == 0 {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "  {:<12} {:>10}  ({:>5.1}%)",
+            p.name(),
+            c,
+            100.0 * run.breakdown.fraction(p)
+        );
+    }
+    let _ = p_dominates(run, &mut out);
+    out
+}
+
+fn p_dominates(run: &AppRun, out: &mut String) -> std::fmt::Result {
+    if run.breakdown.fraction(Phase::Priority) > 0.5 {
+        writeln!(
+            out,
+            "  (priority dominates — the phase VEAL encodes statically)"
+        )?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::speedup::{run_application, AccelSetup};
+    use crate::CpuModel;
+    use veal_vm::TranslationPolicy;
+
+    fn one_run() -> AppRun {
+        let app = veal_workloads::application("cjpeg").unwrap();
+        run_application(
+            &app,
+            &CpuModel::arm11(),
+            &AccelSetup::paper(TranslationPolicy::fully_dynamic()),
+        )
+    }
+
+    #[test]
+    fn speedup_table_has_mean_and_rows() {
+        let run = one_run();
+        let t = speedup_table(&[run.clone(), run]);
+        assert_eq!(t.lines().count(), 4); // header + 2 rows + mean
+        assert!(t.contains("cjpeg"));
+    }
+
+    #[test]
+    fn empty_table_has_header_only() {
+        let t = speedup_table(&[]);
+        assert_eq!(t.lines().count(), 1);
+    }
+
+    #[test]
+    fn phase_table_lists_dominant_phase() {
+        let run = one_run();
+        let t = phase_table(&run);
+        assert!(t.contains("priority"));
+        assert!(t.contains("cjpeg"));
+    }
+}

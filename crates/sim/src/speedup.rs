@@ -1,0 +1,364 @@
+//! The whole-application speedup engine.
+
+use crate::accel_time::accel_invocation_cycles;
+use crate::cpu::CpuModel;
+use std::collections::HashMap;
+use veal_accel::AcceleratorConfig;
+use veal_cca::CcaSpec;
+use veal_ir::{classify_loop, LoopClass, PhaseBreakdown};
+use veal_opt::{legalize, LegalizedLoop, TransformLimits};
+use veal_vm::{
+    compute_hints, CacheStats, CodeCache, StaticHints, TranslationPolicy, Translator, VmSession,
+};
+use veal_workloads::Application;
+
+/// How the accelerator-equipped system is configured for a run.
+#[derive(Debug, Clone)]
+pub struct AccelSetup {
+    /// The accelerator hardware.
+    pub config: AcceleratorConfig,
+    /// Its CCA, if any.
+    pub cca: Option<CcaSpec>,
+    /// The VM's static/dynamic translation policy.
+    pub policy: TranslationPolicy,
+    /// Pretend translation is free — the statically-compiled-binary
+    /// upper bound (Figure 10's left bars).
+    pub translation_free: bool,
+    /// Whether binaries carry the Figure 9 hint sections.
+    pub hints_in_binary: bool,
+    /// Whether the static compiler ran the loop transformations
+    /// (inlining/predication/re-roll/fission); `false` reproduces
+    /// Figure 7's "regular binaries".
+    pub static_transforms: bool,
+    /// Code-cache capacity in translated loops (paper: 16).
+    pub cache_entries: usize,
+}
+
+impl AccelSetup {
+    /// The paper's evaluation system around a given policy: design-point
+    /// LA + CCA, hints present when the policy consumes them, transforms
+    /// on, 16-entry cache.
+    #[must_use]
+    pub fn paper(policy: TranslationPolicy) -> Self {
+        AccelSetup {
+            config: AcceleratorConfig::paper_design(),
+            cca: Some(CcaSpec::paper()),
+            hints_in_binary: policy.static_cca || policy.static_priority,
+            policy,
+            translation_free: false,
+            static_transforms: true,
+            cache_entries: 16,
+        }
+    }
+
+    /// The statically-compiled upper bound (no translation penalty).
+    #[must_use]
+    pub fn native() -> Self {
+        AccelSetup {
+            translation_free: true,
+            ..Self::paper(TranslationPolicy::static_hints())
+        }
+    }
+}
+
+/// Per-loop outcome of a run.
+#[derive(Debug, Clone)]
+pub struct LoopRun {
+    /// Loop name (post-transform part name).
+    pub name: String,
+    /// Whether it ran on the accelerator.
+    pub accelerated: bool,
+    /// Number of invocations over the run.
+    pub invocations: u64,
+    /// Cycles this loop contributes on the baseline CPU (whole run).
+    pub cpu_cycles: u64,
+    /// Cycles it contributes in the accelerated system (execution only).
+    pub system_cycles: u64,
+    /// Translation cycles charged to it over the run.
+    pub translation_cycles: u64,
+    /// Classification of the (possibly transformed) body.
+    pub class: LoopClass,
+}
+
+/// Whole-application result.
+#[derive(Debug, Clone)]
+pub struct AppRun {
+    /// Application name.
+    pub name: String,
+    /// Everything on the baseline CPU.
+    pub cpu_only_cycles: u64,
+    /// Accelerated system total (loops + acyclic + translation).
+    pub system_cycles: u64,
+    /// Total translation cycles paid.
+    pub translation_cycles: u64,
+    /// Number of translations performed.
+    pub translations: u64,
+    /// Aggregated per-phase translation breakdown (Figure 8's data).
+    pub breakdown: PhaseBreakdown,
+    /// Code-cache statistics.
+    pub cache: CacheStats,
+    /// Per-loop details.
+    pub loops: Vec<LoopRun>,
+    /// Baseline cycles in acyclic code.
+    pub acyclic_cycles: u64,
+}
+
+impl AppRun {
+    /// Whole-application speedup over the baseline CPU.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.cpu_only_cycles as f64 / self.system_cycles.max(1) as f64
+    }
+
+    /// Baseline cycle split by loop class (plus acyclic), for Figure 2:
+    /// `[modulo-schedulable, needs-speculation, subroutine, acyclic]`.
+    #[must_use]
+    pub fn class_cycles(&self) -> [u64; 4] {
+        let mut out = [0u64; 4];
+        for l in &self.loops {
+            match l.class {
+                LoopClass::ModuloSchedulable => out[0] += l.cpu_cycles,
+                LoopClass::NeedsSpeculation => out[1] += l.cpu_cycles,
+                LoopClass::Subroutine => out[2] += l.cpu_cycles,
+            }
+        }
+        out[3] = self.acyclic_cycles;
+        out
+    }
+}
+
+/// Runs `app` on `cpu` with the accelerator described by `setup`.
+///
+/// The baseline (`cpu_only_cycles`) is always the *raw* binary on `cpu`;
+/// the accelerated system runs the transformed binary through a
+/// [`VmSession`], charging translation on every code-cache miss.
+#[must_use]
+pub fn run_application(app: &Application, cpu: &CpuModel, setup: &AccelSetup) -> AppRun {
+    let translator = Translator::new(setup.config.clone(), setup.cca.clone(), setup.policy);
+    let mut session = VmSession::with_cache(translator, CodeCache::new(setup.cache_entries));
+    let limits = TransformLimits {
+        max_load_streams: setup.config.load_streams,
+        max_store_streams: setup.config.store_streams,
+    };
+
+    let mut loops = Vec::new();
+    let mut cpu_only = 0u64;
+    let mut system = 0u64;
+    let mut translation_total = 0u64;
+    let mut key_counter = 0u64;
+    let mut hint_cache: HashMap<String, StaticHints> = HashMap::new();
+
+    for app_loop in &app.loops {
+        // Baseline: the raw loop on the CPU.
+        let raw_iter = cpu.loop_cycles_per_iter(&app_loop.raw.body.dfg);
+        let base_cycles = (raw_iter
+            * app_loop.profile.trip_count as f64
+            * app_loop.profile.invocations as f64)
+            .ceil() as u64;
+        cpu_only += base_cycles;
+
+        // Accelerated system: transformed (or raw) parts through the VM.
+        let parts: Vec<LegalizedLoop> = if setup.static_transforms {
+            legalize(&app_loop.raw, &limits)
+        } else {
+            vec![LegalizedLoop {
+                body: app_loop.raw.body.clone(),
+                trip_multiplier: 1,
+            }]
+        };
+        let n_parts = parts.len();
+        for part in parts {
+            let trips = app_loop.profile.trip_count * u64::from(part.trip_multiplier);
+            let invocations = app_loop.profile.invocations;
+            let key = {
+                key_counter += 1;
+                key_counter
+            };
+            let hints = if setup.hints_in_binary {
+                hint_cache
+                    .entry(part.body.name.clone())
+                    .or_insert_with(|| {
+                        compute_hints(&part.body, &setup.config, setup.cca.as_ref())
+                    })
+                    .clone()
+            } else {
+                StaticHints::none()
+            };
+
+            let class = classify_loop(&part.body.dfg);
+            let part_cpu_iter = cpu.loop_cycles_per_iter(&part.body.dfg);
+            let part_cpu_invocation = (part_cpu_iter * trips as f64).ceil() as u64;
+
+            let mut part_system = 0u64;
+            let mut part_translation = 0u64;
+            let mut accelerated = false;
+            for _ in 0..invocations {
+                let inv = session.invoke(key, &part.body, &hints);
+                if !setup.translation_free {
+                    part_translation += inv.translation_cycles;
+                }
+                match inv.translated {
+                    Some(t) => {
+                        accelerated = true;
+                        part_system += accel_invocation_cycles(&t, trips);
+                    }
+                    None => {
+                        part_system += part_cpu_invocation;
+                    }
+                }
+            }
+            system += part_system + part_translation;
+            translation_total += part_translation;
+            loops.push(LoopRun {
+                name: part.body.name.clone(),
+                accelerated,
+                invocations,
+                // Attribute a proportional share of the raw baseline to
+                // each part so per-class splits stay consistent.
+                cpu_cycles: base_cycles / n_parts as u64,
+                system_cycles: part_system,
+                translation_cycles: part_translation,
+                class,
+            });
+        }
+    }
+
+    let acyclic = cpu.acyclic_cycles(app.acyclic_instrs, app.acyclic_ilp);
+    cpu_only += acyclic;
+    system += acyclic;
+
+    let stats = session.stats();
+    AppRun {
+        name: app.name.clone(),
+        cpu_only_cycles: cpu_only,
+        system_cycles: system,
+        translation_cycles: translation_total,
+        translations: stats.translations,
+        breakdown: stats.breakdown,
+        cache: session.cache_stats(),
+        loops,
+        acyclic_cycles: acyclic,
+    }
+}
+
+/// Runs `app` purely on `cpu` (no accelerator) and returns total cycles —
+/// used for the 2-issue / 4-issue bars of Figure 10.
+#[must_use]
+pub fn cpu_only_cycles(app: &Application, cpu: &CpuModel) -> u64 {
+    let mut total = cpu.acyclic_cycles(app.acyclic_instrs, app.acyclic_ilp);
+    for l in &app.loops {
+        let per = cpu.loop_cycles_per_iter(&l.raw.body.dfg);
+        total +=
+            (per * l.profile.trip_count as f64 * l.profile.invocations as f64).ceil() as u64;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use veal_workloads::application;
+
+    fn arm() -> CpuModel {
+        CpuModel::arm11()
+    }
+
+    #[test]
+    fn native_speedup_exceeds_one_on_media_app() {
+        let app = application("rawcaudio").unwrap();
+        let run = run_application(&app, &arm(), &AccelSetup::native());
+        assert!(run.speedup() > 1.3, "speedup {}", run.speedup());
+        assert_eq!(run.translation_cycles, 0);
+    }
+
+    #[test]
+    fn fully_dynamic_is_slower_than_native() {
+        let app = application("mpeg2dec").unwrap();
+        let native = run_application(&app, &arm(), &AccelSetup::native());
+        let dynamic = run_application(
+            &app,
+            &arm(),
+            &AccelSetup::paper(TranslationPolicy::fully_dynamic()),
+        );
+        assert!(dynamic.translation_cycles > 0);
+        assert!(dynamic.speedup() < native.speedup());
+    }
+
+    #[test]
+    fn static_hints_beat_fully_dynamic_on_translation_cost() {
+        let app = application("pegwitenc").unwrap();
+        let dynamic = run_application(
+            &app,
+            &arm(),
+            &AccelSetup::paper(TranslationPolicy::fully_dynamic()),
+        );
+        let hinted = run_application(
+            &app,
+            &arm(),
+            &AccelSetup::paper(TranslationPolicy::static_hints()),
+        );
+        assert!(
+            hinted.translation_cycles * 2 < dynamic.translation_cycles,
+            "hinted {} dynamic {}",
+            hinted.translation_cycles,
+            dynamic.translation_cycles
+        );
+        assert!(hinted.speedup() >= dynamic.speedup());
+    }
+
+    #[test]
+    fn no_transforms_hurts() {
+        let app = application("mpeg2dec").unwrap();
+        let with = run_application(&app, &arm(), &AccelSetup::native());
+        let without = run_application(
+            &app,
+            &arm(),
+            &AccelSetup {
+                static_transforms: false,
+                ..AccelSetup::native()
+            },
+        );
+        assert!(
+            without.speedup() < with.speedup(),
+            "without {} with {}",
+            without.speedup(),
+            with.speedup()
+        );
+    }
+
+    #[test]
+    fn cache_hit_rate_is_high_for_suite_apps() {
+        let app = application("cjpeg").unwrap();
+        let run = run_application(
+            &app,
+            &arm(),
+            &AccelSetup::paper(TranslationPolicy::fully_dynamic()),
+        );
+        assert!(run.cache.hit_rate() > 0.95, "hit rate {}", run.cache.hit_rate());
+    }
+
+    #[test]
+    fn class_cycles_sum_to_baseline() {
+        let app = application("gsmencode").unwrap();
+        let run = run_application(&app, &arm(), &AccelSetup::native());
+        let sum: u64 = run.class_cycles().iter().sum();
+        // Part-level integer division may drop a few cycles per loop.
+        let diff = run.cpu_only_cycles.abs_diff(sum);
+        assert!(
+            (diff as f64) < run.cpu_only_cycles as f64 * 0.01,
+            "diff {diff} of {}",
+            run.cpu_only_cycles
+        );
+    }
+
+    #[test]
+    fn wider_cpu_helps_but_less_than_accelerator() {
+        let app = application("171.swim").unwrap();
+        let base = cpu_only_cycles(&app, &arm());
+        let a8 = cpu_only_cycles(&app, &CpuModel::cortex_a8());
+        let native = run_application(&app, &arm(), &AccelSetup::native());
+        let a8_speedup = base as f64 / a8 as f64;
+        assert!(a8_speedup > 1.0);
+        assert!(native.speedup() > a8_speedup);
+    }
+}

@@ -1,0 +1,142 @@
+//! Interleaved invocation traces.
+//!
+//! The whole-application engine ([`crate::run_application`]) invokes each
+//! loop's calls back to back, which no realistic code cache ever misses.
+//! Real media applications interleave: every *frame* walks the same set of
+//! hot loops in order. [`FrameTrace`] models that pattern and is what the
+//! code-cache ablation drives; the paper's 16-entry sizing (§4.3) is about
+//! exactly this working-set behaviour.
+
+use crate::accel_time::accel_invocation_cycles;
+use crate::cpu::CpuModel;
+use veal_ir::LoopBody;
+use veal_vm::{StaticHints, VmSession};
+
+/// One loop slot within a frame.
+#[derive(Debug, Clone)]
+pub struct TraceLoop {
+    /// Stable identity (the VM's cache key).
+    pub key: u64,
+    /// The loop body.
+    pub body: LoopBody,
+    /// Iterations per invocation.
+    pub trips: u64,
+    /// Static hints carried by the binary, if any.
+    pub hints: StaticHints,
+}
+
+/// Outcome of running a [`FrameTrace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRun {
+    /// Total cycles (execution + translation).
+    pub cycles: u64,
+    /// Cycles spent translating (including retranslation after eviction).
+    pub translation_cycles: u64,
+    /// Translations performed.
+    pub translations: u64,
+}
+
+/// A frame-structured invocation trace: `frames` passes over the loop
+/// list, each invoking every loop once in order.
+#[derive(Debug, Clone, Default)]
+pub struct FrameTrace {
+    /// The loops of one frame, in invocation order.
+    pub loops: Vec<TraceLoop>,
+    /// Number of frames to run.
+    pub frames: u64,
+}
+
+impl FrameTrace {
+    /// Runs the trace through `session`, timing CPU fallbacks on `cpu`.
+    pub fn run(&self, session: &mut VmSession, cpu: &CpuModel) -> TraceRun {
+        let mut cycles = 0u64;
+        let mut translation = 0u64;
+        for _ in 0..self.frames {
+            for l in &self.loops {
+                let inv = session.invoke(l.key, &l.body, &l.hints);
+                translation += inv.translation_cycles;
+                cycles += inv.translation_cycles;
+                match inv.translated {
+                    Some(t) => cycles += accel_invocation_cycles(&t, l.trips),
+                    None => {
+                        cycles += cpu.loop_cycles(&l.body.dfg, l.trips);
+                    }
+                }
+            }
+        }
+        TraceRun {
+            cycles,
+            translation_cycles: translation,
+            translations: session.stats().translations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use veal_accel::AcceleratorConfig;
+    use veal_cca::CcaSpec;
+    use veal_ir::{DfgBuilder, Opcode};
+    use veal_vm::{CodeCache, TranslationPolicy, Translator};
+
+    fn trace(n_loops: usize, frames: u64) -> FrameTrace {
+        let loops = (0..n_loops)
+            .map(|i| {
+                let mut b = DfgBuilder::new();
+                let x = b.load_stream(0);
+                let k = b.constant(i as i64 + 2);
+                let y = b.op(Opcode::Mul, &[x, k]);
+                let z = b.op(Opcode::Add, &[y, x]);
+                b.store_stream(1, z);
+                TraceLoop {
+                    key: i as u64,
+                    body: veal_ir::LoopBody::new(format!("t{i}"), b.finish()),
+                    trips: 64,
+                    hints: StaticHints::none(),
+                }
+            })
+            .collect();
+        FrameTrace { loops, frames }
+    }
+
+    fn session(entries: usize) -> VmSession {
+        VmSession::with_cache(
+            Translator::new(
+                AcceleratorConfig::paper_design(),
+                Some(CcaSpec::paper()),
+                TranslationPolicy::fully_dynamic(),
+            ),
+            CodeCache::new(entries),
+        )
+    }
+
+    #[test]
+    fn big_cache_translates_each_loop_once() {
+        let t = trace(8, 20);
+        let mut s = session(16);
+        let run = t.run(&mut s, &CpuModel::arm11());
+        assert_eq!(run.translations, 8);
+    }
+
+    #[test]
+    fn thrashing_cache_retranslates_every_frame() {
+        let t = trace(8, 20);
+        let mut s = session(4);
+        let run = t.run(&mut s, &CpuModel::arm11());
+        // LRU + round robin over 8 keys with 4 slots: every access misses.
+        assert_eq!(run.translations, 8 * 20);
+    }
+
+    #[test]
+    fn thrashing_costs_real_cycles() {
+        let cpu = CpuModel::arm11();
+        let t = trace(8, 20);
+        let mut big = session(16);
+        let mut small = session(4);
+        let run_big = t.run(&mut big, &cpu);
+        let run_small = t.run(&mut small, &cpu);
+        assert!(run_small.translation_cycles > 10 * run_big.translation_cycles);
+        assert!(run_small.cycles > run_big.cycles);
+    }
+}

@@ -1,0 +1,497 @@
+//! The binary module format.
+//!
+//! Applications are shipped as modules of loop bodies expressed in the
+//! baseline instruction set. Two optional, *advisory* hint sections encode
+//! the statically computed translation results the paper recommends
+//! off-loading (§4.2):
+//!
+//! * **priority** — "placing a single number for each operation in a data
+//!   section before the loop itself" (Figure 9c): here a permutation of the
+//!   loop's op ids;
+//! * **CCA groups** — procedural abstraction (Figure 9b): each statically
+//!   identified subgraph recorded as a member list (standing in for the
+//!   `Brl`-delimited mini-function).
+//!
+//! A decoder that ignores both sections still reconstructs exactly the same
+//! loop — that is the binary-compatibility property the paper's abstraction
+//! relies on, and it is tested below.
+//!
+//! Layout (little endian): magic `VEAL`, version u16, loop count u32, then
+//! per loop: name, node table, edge table, flagged hint sections.
+
+use std::fmt;
+use veal_ir::dfg::{Dfg, EdgeKind, NodeKind};
+use veal_ir::{LoopBody, Opcode, OpId};
+
+/// Format magic bytes.
+pub const MAGIC: &[u8; 4] = b"VEAL";
+/// Format version.
+pub const VERSION: u16 = 1;
+
+/// One loop as it appears in a binary module.
+#[derive(Debug, Clone)]
+pub struct EncodedLoop {
+    /// The loop body (full graph, control ops included).
+    pub body: LoopBody,
+    /// Static priority hint: op ids in scheduling order.
+    pub priority_hint: Option<Vec<OpId>>,
+    /// Static CCA subgraph hint: member lists.
+    pub cca_hint: Option<Vec<Vec<OpId>>>,
+}
+
+/// A decoded binary module.
+#[derive(Debug, Clone, Default)]
+pub struct BinaryModule {
+    /// The loops, in program order.
+    pub loops: Vec<EncodedLoop>,
+}
+
+/// Errors produced by [`decode_module`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The magic bytes are wrong.
+    BadMagic,
+    /// The version is unsupported.
+    BadVersion(u16),
+    /// The byte stream ended early.
+    Truncated,
+    /// An opcode byte is invalid.
+    BadOpcode(u8),
+    /// A node kind tag is invalid.
+    BadNodeKind(u8),
+    /// An edge references a node out of range.
+    BadEdge,
+    /// A hint references a node out of range.
+    BadHint,
+    /// A string is not valid UTF-8.
+    BadString,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "not a VEAL module (bad magic)"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported module version {v}"),
+            DecodeError::Truncated => write!(f, "module truncated"),
+            DecodeError::BadOpcode(b) => write!(f, "invalid opcode byte {b:#x}"),
+            DecodeError::BadNodeKind(b) => write!(f, "invalid node kind {b:#x}"),
+            DecodeError::BadEdge => write!(f, "edge references missing node"),
+            DecodeError::BadHint => write!(f, "hint references missing node"),
+            DecodeError::BadString => write!(f, "invalid UTF-8 string"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.pos + n > self.buf.len() {
+            return Err(DecodeError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, DecodeError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn i64(&mut self) -> Result<i64, DecodeError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn str(&mut self) -> Result<String, DecodeError> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::BadString)
+    }
+}
+
+const KIND_OP: u8 = 0;
+const KIND_LIVE_IN: u8 = 1;
+const KIND_CONST: u8 = 2;
+const KIND_DEAD: u8 = 3;
+
+/// Serializes a module.
+///
+/// # Example
+///
+/// ```
+/// use veal_ir::{DfgBuilder, LoopBody, Opcode};
+/// use veal_vm::{decode_module, encode_module, EncodedLoop};
+///
+/// # fn main() -> Result<(), veal_vm::DecodeError> {
+/// let mut b = DfgBuilder::new();
+/// let x = b.load_stream(0);
+/// b.store_stream(1, x);
+/// let module = veal_vm::BinaryModule {
+///     loops: vec![EncodedLoop {
+///         body: LoopBody::new("copy", b.finish()),
+///         priority_hint: None,
+///         cca_hint: None,
+///     }],
+/// };
+/// let bytes = encode_module(&module);
+/// let back = decode_module(&bytes)?;
+/// assert_eq!(back.loops.len(), 1);
+/// assert_eq!(back.loops[0].body.name, "copy");
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn encode_module(module: &BinaryModule) -> Vec<u8> {
+    let mut w = Writer { buf: Vec::new() };
+    w.buf.extend_from_slice(MAGIC);
+    w.u16(VERSION);
+    w.u32(module.loops.len() as u32);
+    for l in &module.loops {
+        w.str(&l.body.name);
+        let dfg = &l.body.dfg;
+        w.u32(dfg.len() as u32);
+        for i in 0..dfg.len() {
+            let id = OpId::new(i);
+            let node = dfg.node(id);
+            if node.is_dead() {
+                w.u8(KIND_DEAD);
+                continue;
+            }
+            match &node.kind {
+                NodeKind::Op(op) => {
+                    w.u8(KIND_OP);
+                    w.u8(op.encode());
+                    w.u16(node.stream.map_or(u16::MAX, |s| s));
+                    w.u8(u8::from(node.live_out));
+                }
+                NodeKind::LiveIn => w.u8(KIND_LIVE_IN),
+                NodeKind::Const(v) => {
+                    w.u8(KIND_CONST);
+                    w.i64(*v);
+                }
+            }
+        }
+        let edges: Vec<_> = dfg.edges().to_vec();
+        w.u32(edges.len() as u32);
+        for e in &edges {
+            w.u32(e.src.index() as u32);
+            w.u32(e.dst.index() as u32);
+            w.u32(e.distance);
+            w.u8(match e.kind {
+                EdgeKind::Data => 0,
+                EdgeKind::Mem => 1,
+            });
+        }
+        // Hint sections, flagged.
+        match &l.priority_hint {
+            Some(order) => {
+                w.u8(1);
+                w.u32(order.len() as u32);
+                for &op in order {
+                    w.u32(op.index() as u32);
+                }
+            }
+            None => w.u8(0),
+        }
+        match &l.cca_hint {
+            Some(groups) => {
+                w.u8(1);
+                w.u32(groups.len() as u32);
+                for g in groups {
+                    w.u32(g.len() as u32);
+                    for &m in g {
+                        w.u32(m.index() as u32);
+                    }
+                }
+            }
+            None => w.u8(0),
+        }
+    }
+    w.buf
+}
+
+/// Deserializes a module.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] for malformed input.
+pub fn decode_module(bytes: &[u8]) -> Result<BinaryModule, DecodeError> {
+    let mut r = Reader { buf: bytes, pos: 0 };
+    if r.take(4)? != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let version = r.u16()?;
+    if version != VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    let nloops = r.u32()? as usize;
+    let mut loops = Vec::with_capacity(nloops.min(1 << 16));
+    for _ in 0..nloops {
+        let name = r.str()?;
+        let nnodes = r.u32()? as usize;
+        let mut dfg = Dfg::new();
+        let mut dead_nodes = Vec::new();
+        for _ in 0..nnodes {
+            match r.u8()? {
+                KIND_OP => {
+                    let op = Opcode::decode(r.u8()?);
+                    let stream = r.u16()?;
+                    let live_out = r.u8()? != 0;
+                    let op = op.ok_or_else(|| DecodeError::BadOpcode(0))?;
+                    let id = dfg.add_node(NodeKind::Op(op));
+                    if stream != u16::MAX {
+                        dfg.node_mut(id).stream = Some(stream);
+                    }
+                    dfg.node_mut(id).live_out = live_out;
+                }
+                KIND_LIVE_IN => {
+                    dfg.add_node(NodeKind::LiveIn);
+                }
+                KIND_CONST => {
+                    let v = r.i64()?;
+                    dfg.add_node(NodeKind::Const(v));
+                }
+                KIND_DEAD => {
+                    // Preserve the slot so ids stay stable.
+                    let id = dfg.add_node(NodeKind::LiveIn);
+                    dead_nodes.push(id);
+                }
+                b => return Err(DecodeError::BadNodeKind(b)),
+            }
+        }
+        let nedges = r.u32()? as usize;
+        for _ in 0..nedges {
+            let src = r.u32()? as usize;
+            let dst = r.u32()? as usize;
+            let distance = r.u32()?;
+            let kind = match r.u8()? {
+                0 => EdgeKind::Data,
+                1 => EdgeKind::Mem,
+                _ => return Err(DecodeError::BadEdge),
+            };
+            if src >= nnodes || dst >= nnodes {
+                return Err(DecodeError::BadEdge);
+            }
+            dfg.add_edge(OpId::new(src), OpId::new(dst), distance, kind);
+        }
+        if !dead_nodes.is_empty() {
+            dfg.remove_nodes(&dead_nodes);
+        }
+        let priority_hint = if r.u8()? == 1 {
+            let n = r.u32()? as usize;
+            let mut order = Vec::with_capacity(n.min(1 << 20));
+            for _ in 0..n {
+                let idx = r.u32()? as usize;
+                order.push(OpId::new(idx));
+            }
+            Some(order)
+        } else {
+            None
+        };
+        let cca_hint = if r.u8()? == 1 {
+            let g = r.u32()? as usize;
+            let mut groups = Vec::with_capacity(g.min(1 << 16));
+            for _ in 0..g {
+                let n = r.u32()? as usize;
+                let mut members = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    let idx = r.u32()? as usize;
+                    if idx >= nnodes {
+                        return Err(DecodeError::BadHint);
+                    }
+                    members.push(OpId::new(idx));
+                }
+                groups.push(members);
+            }
+            Some(groups)
+        } else {
+            None
+        };
+        // A priority order may reference the pseudo-ops created by
+        // collapsing the CCA hint groups: each group adds exactly one node
+        // beyond the loop body (paper Figure 9's `Brl CCA` entries appear
+        // in the priority data section too).
+        let n_groups = cca_hint.as_ref().map_or(0, Vec::len);
+        if let Some(order) = &priority_hint {
+            if order.iter().any(|o| o.index() >= nnodes + n_groups) {
+                return Err(DecodeError::BadHint);
+            }
+        }
+        loops.push(EncodedLoop {
+            body: LoopBody::new(name, dfg),
+            priority_hint,
+            cca_hint,
+        });
+    }
+    Ok(BinaryModule { loops })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use veal_ir::DfgBuilder;
+
+    fn sample_loop() -> LoopBody {
+        let mut b = DfgBuilder::new();
+        let k = b.constant(7);
+        let li = b.live_in();
+        let x = b.load_stream(0);
+        let y = b.op(Opcode::Mul, &[x, k]);
+        let z = b.op(Opcode::Add, &[y, li]);
+        b.loop_carried(z, z, 1);
+        b.mark_live_out(z);
+        b.store_stream(1, z);
+        LoopBody::new("sample", b.finish())
+    }
+
+    fn round_trip(m: &BinaryModule) -> BinaryModule {
+        decode_module(&encode_module(m)).expect("round trip")
+    }
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let m = BinaryModule {
+            loops: vec![EncodedLoop {
+                body: sample_loop(),
+                priority_hint: None,
+                cca_hint: None,
+            }],
+        };
+        let back = round_trip(&m);
+        let a = &m.loops[0].body.dfg;
+        let b = &back.loops[0].body.dfg;
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.edges(), b.edges());
+        for i in 0..a.len() {
+            let id = OpId::new(i);
+            assert_eq!(a.node(id).kind, b.node(id).kind);
+            assert_eq!(a.node(id).stream, b.node(id).stream);
+            assert_eq!(a.node(id).live_out, b.node(id).live_out);
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_hints() {
+        let body = sample_loop();
+        let m = BinaryModule {
+            loops: vec![EncodedLoop {
+                body,
+                priority_hint: Some(vec![OpId::new(4), OpId::new(3)]),
+                cca_hint: Some(vec![vec![OpId::new(3), OpId::new(4)]]),
+            }],
+        };
+        let back = round_trip(&m);
+        assert_eq!(
+            back.loops[0].priority_hint,
+            Some(vec![OpId::new(4), OpId::new(3)])
+        );
+        assert_eq!(back.loops[0].cca_hint.as_ref().unwrap()[0].len(), 2);
+    }
+
+    #[test]
+    fn hints_are_optional_and_ignorable() {
+        // The same loop with and without hints decodes to the same graph:
+        // binary compatibility of the hint encoding.
+        let with = BinaryModule {
+            loops: vec![EncodedLoop {
+                body: sample_loop(),
+                priority_hint: Some(vec![OpId::new(0)]),
+                cca_hint: None,
+            }],
+        };
+        let without = BinaryModule {
+            loops: vec![EncodedLoop {
+                body: sample_loop(),
+                priority_hint: None,
+                cca_hint: None,
+            }],
+        };
+        let a = round_trip(&with);
+        let b = round_trip(&without);
+        assert_eq!(a.loops[0].body.dfg.edges(), b.loops[0].body.dfg.edges());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert!(matches!(
+            decode_module(b"NOPE"),
+            Err(DecodeError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let m = BinaryModule {
+            loops: vec![EncodedLoop {
+                body: sample_loop(),
+                priority_hint: None,
+                cca_hint: None,
+            }],
+        };
+        let bytes = encode_module(&m);
+        for cut in [5, 10, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode_module(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn bad_hint_index_rejected() {
+        let m = BinaryModule {
+            loops: vec![EncodedLoop {
+                body: sample_loop(),
+                priority_hint: Some(vec![OpId::new(9999)]),
+                cca_hint: None,
+            }],
+        };
+        let bytes = encode_module(&m);
+        assert_eq!(decode_module(&bytes).unwrap_err(), DecodeError::BadHint);
+    }
+
+    #[test]
+    fn empty_module_round_trips() {
+        let back = round_trip(&BinaryModule::default());
+        assert!(back.loops.is_empty());
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut bytes = encode_module(&BinaryModule::default());
+        bytes[4] = 0xFF;
+        bytes[5] = 0xFF;
+        assert_eq!(
+            decode_module(&bytes).unwrap_err(),
+            DecodeError::BadVersion(0xFFFF)
+        );
+    }
+}

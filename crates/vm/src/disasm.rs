@@ -1,0 +1,99 @@
+//! Disassembly of binary modules into the textual assembly format.
+
+use crate::binfmt::BinaryModule;
+use std::fmt::Write as _;
+use veal_ir::asm::to_asm;
+
+/// Renders a decoded module as human-readable assembly, one loop per
+/// section, with the hint sections shown as comments.
+///
+/// # Example
+///
+/// ```
+/// use veal_ir::{DfgBuilder, LoopBody, Opcode};
+/// use veal_vm::{disassemble, BinaryModule, EncodedLoop};
+///
+/// let mut b = DfgBuilder::new();
+/// let x = b.load_stream(0);
+/// b.store_stream(1, x);
+/// let m = BinaryModule {
+///     loops: vec![EncodedLoop {
+///         body: LoopBody::new("copy", b.finish()),
+///         priority_hint: None,
+///         cca_hint: None,
+///     }],
+/// };
+/// let text = disassemble(&m);
+/// assert!(text.contains("ld.s0"));
+/// ```
+#[must_use]
+pub fn disassemble(module: &BinaryModule) -> String {
+    let mut out = String::new();
+    for (i, l) in module.loops.iter().enumerate() {
+        let _ = writeln!(out, ";; loop {i}");
+        if let Some(order) = &l.priority_hint {
+            let ids: Vec<String> = order.iter().map(|o| format!("%{}", o.index())).collect();
+            let _ = writeln!(out, ";; .priority {}", ids.join(" "));
+        }
+        if let Some(groups) = &l.cca_hint {
+            for g in groups {
+                let ids: Vec<String> = g.iter().map(|o| format!("%{}", o.index())).collect();
+                let _ = writeln!(out, ";; .cca {}", ids.join(" "));
+            }
+        }
+        let _ = write!(out, "{}", to_asm(&l.body));
+        let _ = writeln!(out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binfmt::EncodedLoop;
+    use veal_ir::{DfgBuilder, LoopBody, Opcode, OpId};
+
+    #[test]
+    fn disassembly_shows_hints_and_ops() {
+        let mut b = DfgBuilder::new();
+        let x = b.load_stream(0);
+        let y = b.op(Opcode::Add, &[x, x]);
+        b.store_stream(1, y);
+        let m = BinaryModule {
+            loops: vec![EncodedLoop {
+                body: LoopBody::new("l", b.finish()),
+                priority_hint: Some(vec![OpId::new(1), OpId::new(0), OpId::new(2)]),
+                cca_hint: Some(vec![vec![OpId::new(1)]]),
+            }],
+        };
+        let text = disassemble(&m);
+        assert!(text.contains(";; .priority %1 %0 %2"));
+        assert!(text.contains(";; .cca %1"));
+        assert!(text.contains("add"));
+    }
+
+    #[test]
+    fn disassembled_body_reparses() {
+        let mut b = DfgBuilder::new();
+        let x = b.load_stream(0);
+        let m1 = b.op(Opcode::Mul, &[x, x]);
+        b.store_stream(1, m1);
+        let body = LoopBody::new("sq", b.finish());
+        let m = BinaryModule {
+            loops: vec![EncodedLoop {
+                body: body.clone(),
+                priority_hint: None,
+                cca_hint: None,
+            }],
+        };
+        let text = disassemble(&m);
+        // Strip the ';;' header lines; the rest is valid assembly.
+        let asm: String = text
+            .lines()
+            .filter(|l| !l.starts_with(";;"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let back = veal_ir::asm::parse_asm(&asm).expect("reparses");
+        assert_eq!(back.dfg.edges(), body.dfg.edges());
+    }
+}

@@ -1,0 +1,60 @@
+//! The co-designed virtual machine (paper §4.2).
+//!
+//! This crate implements the software side of VEAL's virtualization story:
+//!
+//! * [`binfmt`] — a binary module format for applications expressed in the
+//!   baseline ISA, including the two *binary-compatible* hint encodings of
+//!   Figure 9: scheduling priorities in a data section preceding each loop
+//!   (9c) and CCA subgraphs as branch-and-link procedural abstraction (9b).
+//!   A binary with hints still runs correctly on any system — hints are
+//!   advisory.
+//! * [`hints`] — the static compiler pass that produces those hints.
+//! * [`cache`] — the VM's software code cache for translated accelerator
+//!   control (16-entry LRU in the paper's evaluation, ~48 KB).
+//! * [`translator`] — the dynamic translation pipeline: loop
+//!   identification, stream separation, CCA mapping (dynamic or decoded
+//!   from hints), MII, priority (dynamic Swing, dynamic height-based, or
+//!   decoded), scheduling, and register assignment, each charged to the
+//!   [`veal_ir::CostMeter`].
+//! * [`session`] — a stateful VM session combining translator and cache,
+//!   tracking per-benchmark translation statistics.
+//!
+//! # Example
+//!
+//! ```
+//! use veal_accel::AcceleratorConfig;
+//! use veal_cca::CcaSpec;
+//! use veal_ir::{DfgBuilder, LoopBody, Opcode};
+//! use veal_vm::{StaticHints, TranslationPolicy, Translator};
+//!
+//! let mut b = DfgBuilder::new();
+//! let x = b.load_stream(0);
+//! let y = b.op(Opcode::Add, &[x, x]);
+//! b.store_stream(1, y);
+//! let body = LoopBody::new("double", b.finish());
+//!
+//! let t = Translator::new(
+//!     AcceleratorConfig::paper_design(),
+//!     Some(CcaSpec::paper()),
+//!     TranslationPolicy::fully_dynamic(),
+//! );
+//! let outcome = t.translate(&body, &StaticHints::none());
+//! assert!(outcome.result.is_ok());
+//! assert!(outcome.breakdown.total() > 0);
+//! ```
+
+pub mod binfmt;
+pub mod disasm;
+pub mod cache;
+pub mod hints;
+pub mod session;
+pub mod translator;
+
+pub use binfmt::{decode_module, encode_module, BinaryModule, DecodeError, EncodedLoop};
+pub use disasm::disassemble;
+pub use cache::{CacheStats, CodeCache};
+pub use hints::{compute_hints, StaticHints};
+pub use session::{VmSession, VmStats};
+pub use translator::{
+    TranslatedLoop, TranslationError, TranslationOutcome, TranslationPolicy, Translator,
+};

@@ -1,0 +1,232 @@
+//! A stateful VM session: translator + code cache + statistics.
+
+use crate::cache::{CacheStats, CodeCache};
+use crate::hints::StaticHints;
+use crate::translator::{TranslatedLoop, TranslationOutcome, Translator};
+use std::collections::HashSet;
+use std::sync::Arc;
+use veal_ir::{LoopBody, PhaseBreakdown};
+
+/// Aggregated statistics of a VM session.
+#[derive(Debug, Clone, Default)]
+pub struct VmStats {
+    /// Translation attempts actually performed (cache misses).
+    pub translations: u64,
+    /// Attempts that aborted (loop runs on the CPU).
+    pub failures: u64,
+    /// Total abstract instructions spent translating.
+    pub translation_units: u64,
+    /// Aggregated per-phase breakdown across all translations.
+    pub breakdown: PhaseBreakdown,
+}
+
+impl VmStats {
+    /// Average translation cost per performed translation.
+    #[must_use]
+    pub fn avg_cost(&self) -> f64 {
+        if self.translations == 0 {
+            0.0
+        } else {
+            self.translation_units as f64 / self.translations as f64
+        }
+    }
+}
+
+/// One loop invocation's outcome as seen by the VM.
+#[derive(Debug, Clone)]
+pub struct Invocation {
+    /// The resident translation, if the loop runs on the accelerator.
+    pub translated: Option<Arc<TranslatedLoop>>,
+    /// Host cycles spent translating *on this invocation* (0 on a cache
+    /// hit; one abstract meter unit ≈ one host cycle, matching the paper's
+    /// instruction-count measurement).
+    pub translation_cycles: u64,
+}
+
+/// A running co-designed VM: monitors invocations, translates on miss,
+/// caches accelerator control, and remembers permanently unsupported loops
+/// (the VM patches those call sites back to native code, so they are never
+/// re-attempted).
+#[derive(Debug)]
+pub struct VmSession {
+    translator: Translator,
+    cache: CodeCache<Arc<TranslatedLoop>>,
+    rejected: HashSet<u64>,
+    stats: VmStats,
+}
+
+impl VmSession {
+    /// Creates a session with the paper's 16-entry code cache.
+    #[must_use]
+    pub fn new(translator: Translator) -> Self {
+        Self::with_cache(translator, CodeCache::paper_default())
+    }
+
+    /// Creates a session with a custom code cache.
+    #[must_use]
+    pub fn with_cache(translator: Translator, cache: CodeCache<Arc<TranslatedLoop>>) -> Self {
+        VmSession {
+            translator,
+            cache,
+            rejected: HashSet::new(),
+            stats: VmStats::default(),
+        }
+    }
+
+    /// The translator in use.
+    #[must_use]
+    pub fn translator(&self) -> &Translator {
+        &self.translator
+    }
+
+    /// Handles one invocation of the loop identified by `key`.
+    ///
+    /// On a cache hit the stored translation is returned at zero cost; on a
+    /// miss the loop is translated (and the cost charged); permanently
+    /// rejected loops return a baseline disposition at zero cost after the
+    /// first attempt.
+    pub fn invoke(&mut self, key: u64, body: &LoopBody, hints: &StaticHints) -> Invocation {
+        if self.rejected.contains(&key) {
+            return Invocation {
+                translated: None,
+                translation_cycles: 0,
+            };
+        }
+        if let Some(t) = self.cache.get(key) {
+            return Invocation {
+                translated: Some(Arc::clone(t)),
+                translation_cycles: 0,
+            };
+        }
+        let outcome: TranslationOutcome = self.translator.translate(body, hints);
+        self.stats.translations += 1;
+        self.stats.translation_units += outcome.cost();
+        self.stats.breakdown.merge(&outcome.breakdown);
+        match outcome.result {
+            Ok(t) => {
+                // Control storage: 32-bit words (paper §4.3 sizes 16 loops
+                // at ~48 KB of it).
+                let bytes = t.control_words * 4;
+                let arc = Arc::new(t);
+                self.cache.insert_sized(key, Arc::clone(&arc), bytes);
+                Invocation {
+                    translated: Some(arc),
+                    translation_cycles: outcome.breakdown.total(),
+                }
+            }
+            Err(_) => {
+                self.stats.failures += 1;
+                self.rejected.insert(key);
+                Invocation {
+                    translated: None,
+                    translation_cycles: outcome.breakdown.total(),
+                }
+            }
+        }
+    }
+
+    /// Session statistics.
+    #[must_use]
+    pub fn stats(&self) -> &VmStats {
+        &self.stats
+    }
+
+    /// Code-cache statistics.
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::translator::TranslationPolicy;
+    use veal_accel::AcceleratorConfig;
+    use veal_cca::CcaSpec;
+    use veal_ir::{DfgBuilder, Opcode};
+
+    fn session() -> VmSession {
+        VmSession::new(Translator::new(
+            AcceleratorConfig::paper_design(),
+            Some(CcaSpec::paper()),
+            TranslationPolicy::fully_dynamic(),
+        ))
+    }
+
+    fn simple_loop(name: &str) -> LoopBody {
+        let mut b = DfgBuilder::new();
+        let x = b.load_stream(0);
+        let y = b.op(Opcode::Add, &[x, x]);
+        b.store_stream(1, y);
+        LoopBody::new(name, b.finish())
+    }
+
+    fn call_loop() -> LoopBody {
+        let mut b = DfgBuilder::new();
+        let x = b.live_in();
+        b.op(Opcode::Call, &[x]);
+        LoopBody::new("call", b.finish())
+    }
+
+    #[test]
+    fn first_invocation_pays_then_hits() {
+        let mut s = session();
+        let body = simple_loop("l");
+        let first = s.invoke(1, &body, &StaticHints::none());
+        assert!(first.translated.is_some());
+        assert!(first.translation_cycles > 0);
+        let second = s.invoke(1, &body, &StaticHints::none());
+        assert!(second.translated.is_some());
+        assert_eq!(second.translation_cycles, 0);
+        assert_eq!(s.stats().translations, 1);
+    }
+
+    #[test]
+    fn rejected_loop_charged_once() {
+        let mut s = session();
+        let body = call_loop();
+        let first = s.invoke(7, &body, &StaticHints::none());
+        assert!(first.translated.is_none());
+        assert!(first.translation_cycles > 0);
+        let second = s.invoke(7, &body, &StaticHints::none());
+        assert!(second.translated.is_none());
+        assert_eq!(second.translation_cycles, 0);
+        assert_eq!(s.stats().failures, 1);
+    }
+
+    #[test]
+    fn eviction_forces_retranslation() {
+        let cache = CodeCache::new(2);
+        let mut s = VmSession::with_cache(
+            Translator::new(
+                AcceleratorConfig::paper_design(),
+                None,
+                TranslationPolicy::fully_dynamic(),
+            ),
+            cache,
+        );
+        let bodies: Vec<LoopBody> = (0..3).map(|i| simple_loop(&format!("l{i}"))).collect();
+        for (i, b) in bodies.iter().enumerate() {
+            s.invoke(i as u64, b, &StaticHints::none());
+        }
+        // Loop 0 was evicted; invoking it again re-pays translation.
+        let again = s.invoke(0, &bodies[0], &StaticHints::none());
+        assert!(again.translation_cycles > 0);
+        assert_eq!(s.stats().translations, 4);
+        assert!(s.cache_stats().evictions >= 1);
+    }
+
+    #[test]
+    fn stats_aggregate_breakdowns() {
+        let mut s = session();
+        s.invoke(1, &simple_loop("a"), &StaticHints::none());
+        s.invoke(2, &simple_loop("b"), &StaticHints::none());
+        assert_eq!(s.stats().translations, 2);
+        assert!(s.stats().avg_cost() > 0.0);
+        assert_eq!(
+            s.stats().breakdown.total(),
+            s.stats().translation_units
+        );
+    }
+}

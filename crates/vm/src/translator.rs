@@ -1,0 +1,422 @@
+//! The dynamic translation pipeline (paper §4.1 / §4.2).
+
+use crate::hints::StaticHints;
+use std::fmt;
+use veal_accel::AcceleratorConfig;
+use veal_cca::{is_legal_group, map_cca, CcaSpec};
+use veal_ir::streams::{separate, SeparationError, StreamSummary};
+use veal_ir::{CostMeter, LoopBody, OpId, Phase, PhaseBreakdown};
+use veal_sched::{
+    modulo_schedule, PriorityKind, ScheduleError, ScheduleOptions, ScheduledLoop,
+};
+
+/// Which translation steps use statically encoded results (paper §4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TranslationPolicy {
+    /// Use CCA subgraphs from the binary's procedural-abstraction hints.
+    pub static_cca: bool,
+    /// Use the scheduling order from the binary's priority data section.
+    pub static_priority: bool,
+    /// Priority function when computing dynamically.
+    pub priority: PriorityKind,
+}
+
+impl TranslationPolicy {
+    /// Everything computed at runtime with the Swing priority — the paper's
+    /// "Fully Dynamic" configuration.
+    #[must_use]
+    pub fn fully_dynamic() -> Self {
+        TranslationPolicy {
+            static_cca: false,
+            static_priority: false,
+            priority: PriorityKind::Swing,
+        }
+    }
+
+    /// Fully dynamic with the cheaper height-based priority — the paper's
+    /// "Fully Dynamic Height Priority" configuration.
+    #[must_use]
+    pub fn fully_dynamic_height() -> Self {
+        TranslationPolicy {
+            static_cca: false,
+            static_priority: false,
+            priority: PriorityKind::Height,
+        }
+    }
+
+    /// CCA mapping and priority decoded from the binary — the paper's
+    /// "Static CCA/Priority" configuration.
+    #[must_use]
+    pub fn static_hints() -> Self {
+        TranslationPolicy {
+            static_cca: true,
+            static_priority: true,
+            priority: PriorityKind::Swing,
+        }
+    }
+}
+
+impl Default for TranslationPolicy {
+    fn default() -> Self {
+        Self::fully_dynamic()
+    }
+}
+
+/// A loop successfully mapped onto the accelerator.
+#[derive(Debug, Clone)]
+pub struct TranslatedLoop {
+    /// The schedule and register assignment.
+    pub scheduled: ScheduledLoop,
+    /// Stream requirements.
+    pub streams: StreamSummary,
+    /// Size of the generated accelerator control, in 32-bit words.
+    pub control_words: usize,
+    /// Number of CCA subgraphs in use.
+    pub cca_groups: usize,
+    /// Ops executing on the accelerator (post-collapse).
+    pub accel_ops: usize,
+}
+
+impl TranslatedLoop {
+    /// Accelerator cycles to run `trips` iterations, excluding invocation
+    /// overhead: `(SC + trips − 1) · II`.
+    #[must_use]
+    pub fn kernel_cycles(&self, trips: u64) -> u64 {
+        self.scheduled.cycles(trips)
+    }
+}
+
+/// Why translation aborted (the loop then runs on the baseline CPU).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TranslationError {
+    /// Control/address separation failed.
+    Unsupported(SeparationError),
+    /// Modulo scheduling or register assignment failed.
+    Schedule(ScheduleError),
+}
+
+impl fmt::Display for TranslationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TranslationError::Unsupported(e) => write!(f, "unsupported loop: {e}"),
+            TranslationError::Schedule(e) => write!(f, "scheduling failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TranslationError {}
+
+/// The result of one translation attempt plus its measured cost.
+#[derive(Debug, Clone)]
+pub struct TranslationOutcome {
+    /// Mapped loop or abort reason.
+    pub result: Result<TranslatedLoop, TranslationError>,
+    /// Per-phase abstract instruction counts (Figure 8's measurement).
+    pub breakdown: PhaseBreakdown,
+}
+
+impl TranslationOutcome {
+    /// Total translation cost in abstract instructions (≈ host cycles).
+    #[must_use]
+    pub fn cost(&self) -> u64 {
+        self.breakdown.total()
+    }
+}
+
+/// The VM's loop translator for one accelerator configuration.
+#[derive(Debug, Clone)]
+pub struct Translator {
+    config: AcceleratorConfig,
+    cca: Option<CcaSpec>,
+    policy: TranslationPolicy,
+}
+
+impl Translator {
+    /// Creates a translator targeting `config`, with `cca` describing the
+    /// accelerator's CCA (if any), under `policy`.
+    #[must_use]
+    pub fn new(
+        config: AcceleratorConfig,
+        cca: Option<CcaSpec>,
+        policy: TranslationPolicy,
+    ) -> Self {
+        Translator {
+            config,
+            cca,
+            policy,
+        }
+    }
+
+    /// The target configuration.
+    #[must_use]
+    pub fn config(&self) -> &AcceleratorConfig {
+        &self.config
+    }
+
+    /// The policy in force.
+    #[must_use]
+    pub fn policy(&self) -> TranslationPolicy {
+        self.policy
+    }
+
+    /// Translates one loop body, charging every phase to a fresh meter.
+    ///
+    /// The pipeline mirrors Figure 5's walkthrough: loop identification,
+    /// control/stream separation, CCA mapping (decoded from hints when the
+    /// policy and binary allow, recomputed otherwise), MII, priority
+    /// (likewise), scheduling, register assignment.
+    #[must_use]
+    pub fn translate(&self, body: &LoopBody, hints: &StaticHints) -> TranslationOutcome {
+        let mut meter = CostMeter::new();
+        // Loop identification: linear scan of the loop's instructions
+        // (region formation already found the backward branch).
+        meter.charge(Phase::LoopIdent, body.dfg.len() as u64 + 8);
+
+        let sep = match separate(&body.dfg, &mut meter) {
+            Ok(sep) => sep,
+            Err(e) => {
+                return TranslationOutcome {
+                    result: Err(TranslationError::Unsupported(e)),
+                    breakdown: *meter.breakdown(),
+                }
+            }
+        };
+        let summary = sep.summary();
+        let mut dfg = sep.dfg;
+
+        // --- CCA mapping -------------------------------------------------
+        let mut cca_groups = 0usize;
+        if let Some(spec) = &self.cca {
+            if self.policy.static_cca {
+                if let Some(groups) = &hints.cca_groups {
+                    // Decoding the procedural abstraction is a linear pass.
+                    meter.charge(Phase::HintDecode, dfg.len() as u64 + 4);
+                    for g in groups {
+                        meter.charge(Phase::HintDecode, g.len() as u64);
+                        let alive = g.iter().all(|&m| {
+                            m.index() < dfg.len()
+                                && dfg.node(m).is_schedulable()
+                        });
+                        // A statically identified subgraph that this CCA
+                        // cannot execute as a unit simply runs as individual
+                        // ops (paper §4.2) — no compatibility impact. The
+                        // legality check runs against the evolving graph so
+                        // mutually dependent groups cannot both collapse.
+                        let sccs = dfg.sccs();
+                        if alive && is_legal_group(&dfg, spec, g, &sccs) {
+                            dfg.collapse(g);
+                            cca_groups += 1;
+                        }
+                    }
+                }
+                // No hints in the binary: a legacy binary under a static
+                // policy leaves the CCA idle for this loop.
+            } else {
+                let groups = map_cca(&mut dfg, spec, &mut meter);
+                cca_groups = groups.len();
+            }
+        }
+
+        // --- Priority / scheduling / registers ---------------------------
+        let static_order = if self.policy.static_priority {
+            hints.priority.as_ref().and_then(|order| {
+                // Validate the decoded order against this graph; a mismatch
+                // (different CCA decisions, evolved hardware) falls back to
+                // dynamic priority.
+                meter.charge(Phase::HintDecode, order.len() as u64);
+                let expected: std::collections::HashSet<OpId> =
+                    dfg.schedulable_ops().collect();
+                let got: std::collections::HashSet<OpId> = order.iter().copied().collect();
+                (expected == got).then(|| order.clone())
+            })
+        } else {
+            None
+        };
+
+        let options = ScheduleOptions {
+            priority: self.policy.priority,
+            static_order,
+            streams: Some(summary),
+        };
+        let result = match modulo_schedule(&dfg, &self.config, &options, &mut meter) {
+            Ok(scheduled) => {
+                let control_words = scheduled.schedule.control_words(&self.config);
+                Ok(TranslatedLoop {
+                    accel_ops: dfg.schedulable_ops().count(),
+                    scheduled,
+                    streams: summary,
+                    control_words,
+                    cca_groups,
+                })
+            }
+            Err(e) => Err(TranslationError::Schedule(e)),
+        };
+        TranslationOutcome {
+            result,
+            breakdown: *meter.breakdown(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hints::compute_hints;
+    use veal_ir::{DfgBuilder, Opcode};
+
+    /// A loop with CCA-friendly logic, a mul, and streams.
+    fn media_loop() -> LoopBody {
+        let mut b = DfgBuilder::new();
+        let x = b.load_stream(0);
+        let k = b.live_in();
+        let m = b.op(Opcode::Mul, &[x, k]);
+        let a = b.op(Opcode::And, &[m, k]);
+        let s = b.op(Opcode::Sub, &[a, x]);
+        let o = b.op(Opcode::Xor, &[s, a]);
+        b.store_stream(1, o);
+        LoopBody::new("media", b.finish())
+    }
+
+    #[test]
+    fn fully_dynamic_translates_and_charges_cca_and_priority() {
+        let t = Translator::new(
+            AcceleratorConfig::paper_design(),
+            Some(CcaSpec::paper()),
+            TranslationPolicy::fully_dynamic(),
+        );
+        let out = t.translate(&media_loop(), &StaticHints::none());
+        let tl = out.result.expect("translates");
+        assert_eq!(tl.cca_groups, 1);
+        assert!(out.breakdown.get(Phase::CcaMapping) > 0);
+        assert!(out.breakdown.get(Phase::Priority) > 0);
+        assert_eq!(out.breakdown.get(Phase::HintDecode), 0);
+    }
+
+    #[test]
+    fn static_hints_shift_cost_to_decode() {
+        let la = AcceleratorConfig::paper_design();
+        let spec = CcaSpec::paper();
+        let body = media_loop();
+        let hints = compute_hints(&body, &la, Some(&spec));
+        let t = Translator::new(la, Some(spec), TranslationPolicy::static_hints());
+        let out = t.translate(&body, &hints);
+        let tl = out.result.expect("translates");
+        assert_eq!(tl.cca_groups, 1);
+        assert_eq!(out.breakdown.get(Phase::CcaMapping), 0);
+        assert_eq!(out.breakdown.get(Phase::Priority), 0);
+        assert!(out.breakdown.get(Phase::HintDecode) > 0);
+    }
+
+    #[test]
+    fn static_hints_much_cheaper_than_dynamic() {
+        let la = AcceleratorConfig::paper_design();
+        let spec = CcaSpec::paper();
+        let body = media_loop();
+        let hints = compute_hints(&body, &la, Some(&spec));
+        let dyn_t = Translator::new(
+            la.clone(),
+            Some(spec.clone()),
+            TranslationPolicy::fully_dynamic(),
+        );
+        let sta_t = Translator::new(la, Some(spec), TranslationPolicy::static_hints());
+        let dyn_cost = dyn_t.translate(&body, &StaticHints::none()).cost();
+        let sta_cost = sta_t.translate(&body, &hints).cost();
+        assert!(
+            sta_cost * 2 < dyn_cost,
+            "static {sta_cost} vs dynamic {dyn_cost}"
+        );
+    }
+
+    #[test]
+    fn legacy_binary_without_hints_still_translates_under_static_policy() {
+        let t = Translator::new(
+            AcceleratorConfig::paper_design(),
+            Some(CcaSpec::paper()),
+            TranslationPolicy::static_hints(),
+        );
+        let out = t.translate(&media_loop(), &StaticHints::none());
+        let tl = out.result.expect("translates without hints");
+        assert_eq!(tl.cca_groups, 0); // CCA idle, ops run individually
+    }
+
+    #[test]
+    fn hints_for_wide_cca_degrade_gracefully_on_narrow_cca() {
+        // Hints computed for the paper CCA; hardware has the narrow CCA.
+        let la = AcceleratorConfig::paper_design();
+        let body = media_loop();
+        let hints = compute_hints(&body, &la, Some(&CcaSpec::paper()));
+        let t = Translator::new(la, Some(CcaSpec::narrow()), TranslationPolicy::static_hints());
+        let out = t.translate(&body, &hints);
+        assert!(out.result.is_ok(), "must still run: {:?}", out.result);
+    }
+
+    #[test]
+    fn no_cca_in_system_skips_mapping_cost() {
+        let t = Translator::new(
+            AcceleratorConfig::builder().cca_units(0).build(),
+            None,
+            TranslationPolicy::fully_dynamic(),
+        );
+        let out = t.translate(&media_loop(), &StaticHints::none());
+        assert!(out.result.is_ok());
+        assert_eq!(out.breakdown.get(Phase::CcaMapping), 0);
+    }
+
+    #[test]
+    fn unsupported_loop_reports_unsupported() {
+        let mut b = DfgBuilder::new();
+        let x = b.live_in();
+        b.op(Opcode::Call, &[x]);
+        let body = LoopBody::new("caller", b.finish());
+        let t = Translator::new(
+            AcceleratorConfig::paper_design(),
+            None,
+            TranslationPolicy::fully_dynamic(),
+        );
+        let out = t.translate(&body, &StaticHints::none());
+        assert!(matches!(
+            out.result,
+            Err(TranslationError::Unsupported(SeparationError::CallInLoop))
+        ));
+    }
+
+    #[test]
+    fn too_many_streams_rejected() {
+        let mut b = DfgBuilder::new();
+        let mut acc = b.load_stream(0);
+        for i in 1..20 {
+            let x = b.load_stream(i);
+            acc = b.op(Opcode::Add, &[acc, x]);
+        }
+        b.mark_live_out(acc);
+        let body = LoopBody::new("wide", b.finish());
+        let t = Translator::new(
+            AcceleratorConfig::paper_design(),
+            None,
+            TranslationPolicy::fully_dynamic(),
+        );
+        let out = t.translate(&body, &StaticHints::none());
+        assert!(matches!(
+            out.result,
+            Err(TranslationError::Schedule(ScheduleError::Capability(_)))
+        ));
+    }
+
+    #[test]
+    fn height_priority_cheaper_than_swing() {
+        let body = media_loop();
+        let swing = Translator::new(
+            AcceleratorConfig::paper_design(),
+            None,
+            TranslationPolicy::fully_dynamic(),
+        );
+        let height = Translator::new(
+            AcceleratorConfig::paper_design(),
+            None,
+            TranslationPolicy::fully_dynamic_height(),
+        );
+        let cs = swing.translate(&body, &StaticHints::none()).cost();
+        let ch = height.translate(&body, &StaticHints::none()).cost();
+        assert!(ch < cs, "height {ch} vs swing {cs}");
+    }
+}

@@ -1,0 +1,35 @@
+//! Regenerates the golden semantic checksums in `src/golden.rs`.
+//! Run after an intentional kernel change and paste the output in.
+
+use veal_workloads::{kernels, semantic_checksum};
+
+fn main() {
+    let list: Vec<(&str, veal_ir::LoopBody)> = vec![
+        ("dot_product", kernels::dot_product()),
+        ("daxpy", kernels::daxpy()),
+        ("fir8", kernels::fir(8)),
+        ("adpcm_step", kernels::adpcm_step()),
+        ("idct_row", kernels::idct_row()),
+        ("autocorr", kernels::autocorr()),
+        ("viterbi_acs", kernels::viterbi_acs()),
+        ("quantize", kernels::quantize()),
+        ("stencil3", kernels::stencil3()),
+        ("crypto4", kernels::crypto_round(4)),
+        ("swim_stencil", kernels::swim_stencil()),
+        ("mgrid27", kernels::mgrid_resid(27)),
+        ("color_convert", kernels::color_convert()),
+        ("bit_unpack", kernels::bit_unpack()),
+        ("sobel3", kernels::sobel3()),
+        ("alpha_blend", kernels::alpha_blend()),
+        ("rgb_to_gray", kernels::rgb_to_gray()),
+        ("median3", kernels::median3()),
+        ("matmul_tile", kernels::matmul_tile()),
+        ("lms_adapt", kernels::lms_adapt()),
+    ];
+    for (name, body) in list {
+        match semantic_checksum(&body) {
+            Some(h) => println!("(\"{name}\", {h:#018x}),"),
+            None => println!("// {name}: not interpretable"),
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! The application model: loops + profiles + acyclic remainder.
+
+use veal_ir::dfg::NodeKind;
+use veal_ir::{LoopBody, LoopProfile, Opcode, OpId};
+use veal_opt::{CalleeFragment, RawLoop};
+
+/// One loop of an application, in its raw binary form.
+#[derive(Debug, Clone)]
+pub struct AppLoop {
+    /// The loop as the front-end emitted it (may contain calls, guards,
+    /// unrolled copies, or too many streams).
+    pub raw: RawLoop,
+    /// Dynamic execution profile.
+    pub profile: LoopProfile,
+}
+
+impl AppLoop {
+    /// Convenience constructor for a defect-free loop.
+    #[must_use]
+    pub fn plain(body: LoopBody, invocations: u64, trip_count: u64) -> Self {
+        AppLoop {
+            raw: RawLoop::plain(body),
+            profile: LoopProfile::new(invocations, trip_count),
+        }
+    }
+}
+
+/// A whole application: its loops plus the acyclic remainder.
+#[derive(Debug, Clone)]
+pub struct Application {
+    /// Benchmark name (paper's labels, e.g. `"mpeg2dec"`).
+    pub name: String,
+    /// The loops.
+    pub loops: Vec<AppLoop>,
+    /// Dynamic instructions executed outside any loop.
+    pub acyclic_instrs: u64,
+    /// Instruction-level parallelism available in the acyclic code (bounds
+    /// the IPC a wider in-order CPU can extract from it).
+    pub acyclic_ilp: f64,
+    /// Whether the app belongs to the media/FP subset (left portion of
+    /// Figure 2) used for the acceleration studies.
+    pub media_fp: bool,
+}
+
+impl Application {
+    /// Total dynamic loop iterations across the run.
+    #[must_use]
+    pub fn total_iterations(&self) -> u64 {
+        self.loops.iter().map(|l| l.profile.total_iterations()).sum()
+    }
+}
+
+/// Wraps `body` with a side-exit guard that a static compiler would
+/// if-convert: a compare on a loop value, a guard branch, and a `Select`
+/// that already carries the predicated result. The dynamic translator (no
+/// transforms) sees two branches and rejects the loop; `veal-opt`'s
+/// predication pass removes the guard.
+#[must_use]
+pub fn with_guard(body: &LoopBody) -> LoopBody {
+    let mut dfg = body.dfg.clone();
+    // Find a value op to guard: a schedulable compute op that is not part
+    // of an induction/address pattern (no distance-1 self edge), so the
+    // guard cannot be mistaken for the loop's counted back branch.
+    let v = dfg
+        .schedulable_ops()
+        .find(|&id| {
+            let is_compute = dfg
+                .node(id)
+                .opcode()
+                .is_some_and(|op| op.has_dest() && !op.is_control() && op != Opcode::Load);
+            let self_carried = dfg.succ_edges(id).any(|e| e.dst == id);
+            is_compute && !self_carried
+        })
+        .expect("body has a value op");
+    let zero = dfg.add_node(NodeKind::Const(0));
+    let cmp = dfg.add_node(NodeKind::Op(Opcode::CmpLt));
+    dfg.add_edge(v, cmp, 0, veal_ir::EdgeKind::Data);
+    dfg.add_edge(zero, cmp, 0, veal_ir::EdgeKind::Data);
+    let guard = dfg.add_node(NodeKind::Op(Opcode::BrCond));
+    dfg.add_edge(cmp, guard, 0, veal_ir::EdgeKind::Data);
+    let sel = dfg.add_node(NodeKind::Op(Opcode::Select));
+    dfg.add_edge(cmp, sel, 0, veal_ir::EdgeKind::Data);
+    dfg.add_edge(v, sel, 0, veal_ir::EdgeKind::Data);
+    dfg.add_edge(zero, sel, 0, veal_ir::EdgeKind::Data);
+    dfg.node_mut(sel).live_out = true;
+    LoopBody::new(format!("{}+guard", body.name), dfg)
+}
+
+/// Unrolls the *compute view* of a kernel `factor` times with disjoint
+/// streams — the over-unrolled raw binary a CPU-tuned compiler would emit.
+/// The result is pre-separated (no control pattern); `veal-opt`'s re-roll
+/// pass recovers the single kernel.
+///
+/// `build` constructs one copy's worth of compute ops into the supplied
+/// builder using the given base stream index, returning nothing; copies
+/// must not share values.
+#[must_use]
+pub fn unrolled(
+    name: &str,
+    factor: u16,
+    streams_per_copy: u16,
+    build: impl Fn(&mut veal_ir::DfgBuilder, u16),
+) -> LoopBody {
+    let mut b = veal_ir::DfgBuilder::new();
+    for copy in 0..factor {
+        build(&mut b, copy * streams_per_copy);
+    }
+    LoopBody::new(format!("{name}x{factor}"), b.finish())
+}
+
+/// Wraps `body` so one of its values is produced by an inlinable call to
+/// `fragment` (models a visible math-library helper). The raw loop is a
+/// "Subroutine" until the static inliner runs.
+#[must_use]
+pub fn with_call(body: &LoopBody, fragment: CalleeFragment) -> RawLoop {
+    let mut dfg = body.dfg.clone();
+    let v = dfg
+        .schedulable_ops()
+        .find(|&id| {
+            dfg.node(id)
+                .opcode()
+                .is_some_and(|op| op.has_dest() && !op.is_control() && op != Opcode::Load)
+        })
+        .expect("body has a value op");
+    // Route v through a call before its consumers see it.
+    let call = dfg.add_node(NodeKind::Op(Opcode::Call));
+    let consumers: Vec<(OpId, u32, veal_ir::EdgeKind)> = dfg
+        .succ_edges(v)
+        .map(|e| (e.dst, e.distance, e.kind))
+        .collect();
+    let _ = consumers; // consumers keep their direct edge; the call adds
+                       // an additional user whose result is stored.
+    dfg.add_edge(v, call, 0, veal_ir::EdgeKind::Data);
+    dfg.node_mut(call).live_out = true;
+    RawLoop {
+        body: LoopBody::new(format!("{}+call", body.name), dfg),
+        callee: Some(fragment),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels;
+    use veal_ir::{classify_loop, verify_dfg, LoopClass};
+    use veal_opt::{legalize, TransformLimits};
+
+    #[test]
+    fn guard_defect_round_trips_through_predication() {
+        let raw = with_guard(&kernels::quantize());
+        assert!(verify_dfg(&raw.dfg).is_ok());
+        assert_eq!(classify_loop(&raw.dfg), LoopClass::NeedsSpeculation);
+        let out = legalize(&RawLoop::plain(raw), &TransformLimits::default());
+        assert_eq!(classify_loop(&out[0].body.dfg), LoopClass::ModuloSchedulable);
+    }
+
+    #[test]
+    fn call_defect_round_trips_through_inlining() {
+        let frag = CalleeFragment::build(1, |b, p| b.op(Opcode::Abs, &[p[0]]));
+        let raw = with_call(&kernels::quantize(), frag);
+        assert_eq!(classify_loop(&raw.body.dfg), LoopClass::Subroutine);
+        let out = legalize(&raw, &TransformLimits::default());
+        assert_eq!(classify_loop(&out[0].body.dfg), LoopClass::ModuloSchedulable);
+    }
+
+    #[test]
+    fn unrolled_defect_round_trips_through_reroll() {
+        let raw = unrolled("quant", 12, 3, |b, base| {
+            let x = b.load_stream(base);
+            let q = b.load_stream(base + 1);
+            let m = b.op(Opcode::Mul, &[x, q]);
+            b.store_stream(base + 2, m);
+        });
+        assert!(verify_dfg(&raw.dfg).is_ok());
+        // 24 load streams > 16: unusable raw.
+        let out = legalize(&RawLoop::plain(raw), &TransformLimits::default());
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].trip_multiplier, 12);
+        assert_eq!(out[0].body.dfg.schedulable_ops().count(), 4);
+    }
+
+    #[test]
+    fn application_totals() {
+        let app = Application {
+            name: "t".into(),
+            loops: vec![
+                AppLoop::plain(kernels::dot_product(), 10, 100),
+                AppLoop::plain(kernels::daxpy(), 5, 50),
+            ],
+            acyclic_instrs: 1000,
+            acyclic_ilp: 1.2,
+            media_fp: true,
+        };
+        assert_eq!(app.total_iterations(), 1250);
+    }
+}

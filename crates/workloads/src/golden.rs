@@ -1,0 +1,137 @@
+//! Golden-value pins for the kernel library's semantics.
+//!
+//! Every kernel is executed through [`veal_ir::interp`] on fixed inputs
+//! and its outputs are folded into an FNV checksum. A change to a kernel's
+//! *meaning* (as opposed to its timing) fails these pins — which matters
+//! because the calibration in `EXPERIMENTS.md` is stated per kernel shape.
+
+use veal_ir::interp::{interpret, Inputs, Value};
+use veal_ir::LoopBody;
+
+/// Executes `body` on the standard fixture inputs and folds every store
+/// and live-out into an order-stable FNV-1a checksum. Returns `None` for
+/// uninterpretable bodies (opaque calls).
+#[must_use]
+pub fn semantic_checksum(body: &LoopBody) -> Option<u64> {
+    let mut inputs = Inputs::default();
+    for s in 0..40u16 {
+        inputs.streams.insert(
+            s,
+            (0..24)
+                .map(|i| Value::Int((i as i64 * 7 + i64::from(s) * 13 + 3) % 101 - 50))
+                .collect(),
+        );
+    }
+    for id in body.dfg.live_in_ids() {
+        inputs.live_ins.insert(id, Value::Int(5));
+    }
+    let out = interpret(&body.dfg, 24, &inputs).ok()?;
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: i64| {
+        h ^= v as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for (s, vals) in &out.stores {
+        mix(i64::from(*s));
+        for v in vals {
+            match v {
+                Value::Int(i) => mix(*i),
+                Value::Fp(f) => mix(f.to_bits() as i64),
+            }
+        }
+    }
+    for (id, v) in &out.live_outs {
+        mix(id.index() as i64);
+        match v {
+            Value::Int(i) => mix(*i),
+            Value::Fp(f) => mix(f.to_bits() as i64),
+        }
+    }
+    Some(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels;
+
+    /// Generated once with `examples/gen_checksums.rs`; regenerate when a
+    /// kernel's semantics intentionally change.
+    const GOLDEN: &[(&str, u64)] = &[
+        ("dot_product", 0xcf2f4507f4e2c672),
+        ("daxpy", 0x05c1377859b63bae),
+        ("fir8", 0xed2773a691168eb6),
+        ("adpcm_step", 0x6e80afdf6c9f451c),
+        ("idct_row", 0x34b82f5c8a9767ee),
+        ("autocorr", 0xa90e0608c62c30e8),
+        ("viterbi_acs", 0xd00f6a01559238ae),
+        ("quantize", 0x22863c9027eb93c1),
+        ("stencil3", 0x93863a0e64cbb9ee),
+        ("crypto4", 0x33309c69e8c4779b),
+        ("swim_stencil", 0x242aad4859b63bae),
+        ("mgrid27", 0xc8b34a9459b63bae),
+        ("color_convert", 0x72ff3594a06c5973),
+        ("bit_unpack", 0xa48d6188c4e23df1),
+        ("sobel3", 0x23856072a52a3616),
+        ("alpha_blend", 0xdb351af35ccde906),
+        ("rgb_to_gray", 0x654b46e6b0134ba6),
+        ("median3", 0x4a4d63fa559c0e56),
+        ("matmul_tile", 0xb215143d54e2c672),
+        ("lms_adapt", 0xa844d82aa657161b),
+    ];
+
+    fn kernel_by_name(name: &str) -> LoopBody {
+        match name {
+            "dot_product" => kernels::dot_product(),
+            "daxpy" => kernels::daxpy(),
+            "fir8" => kernels::fir(8),
+            "adpcm_step" => kernels::adpcm_step(),
+            "idct_row" => kernels::idct_row(),
+            "autocorr" => kernels::autocorr(),
+            "viterbi_acs" => kernels::viterbi_acs(),
+            "quantize" => kernels::quantize(),
+            "stencil3" => kernels::stencil3(),
+            "crypto4" => kernels::crypto_round(4),
+            "swim_stencil" => kernels::swim_stencil(),
+            "mgrid27" => kernels::mgrid_resid(27),
+            "color_convert" => kernels::color_convert(),
+            "bit_unpack" => kernels::bit_unpack(),
+            "sobel3" => kernels::sobel3(),
+            "alpha_blend" => kernels::alpha_blend(),
+            "rgb_to_gray" => kernels::rgb_to_gray(),
+            "median3" => kernels::median3(),
+            "matmul_tile" => kernels::matmul_tile(),
+            "lms_adapt" => kernels::lms_adapt(),
+            other => panic!("unknown kernel {other}"),
+        }
+    }
+
+    #[test]
+    fn kernel_semantics_are_pinned() {
+        for &(name, expected) in GOLDEN {
+            let body = kernel_by_name(name);
+            let got = semantic_checksum(&body).unwrap_or_else(|| panic!("{name} interprets"));
+            assert_eq!(
+                got, expected,
+                "{name}: semantics changed (checksum {got:#018x}, pinned {expected:#018x})"
+            );
+        }
+    }
+
+    #[test]
+    fn checksums_are_pairwise_distinct() {
+        let mut seen = std::collections::HashMap::new();
+        for &(name, h) in GOLDEN {
+            if let Some(prev) = seen.insert(h, name) {
+                panic!("{name} and {prev} share a checksum");
+            }
+        }
+    }
+
+    #[test]
+    fn checksum_is_deterministic() {
+        let a = semantic_checksum(&kernels::adpcm_step()).unwrap();
+        let b = semantic_checksum(&kernels::adpcm_step()).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,33 @@
+//! Workloads for the VEAL experiments.
+//!
+//! The paper evaluates on MediaBench and SPEC binaries compiled with a
+//! modified Trimaran; neither the binaries nor Trimaran are available, so
+//! this crate provides the substitution documented in `DESIGN.md`:
+//!
+//! * [`kernels`] — hand-built dataflow graphs of real media/FP inner loops
+//!   (FIR, IDCT, ADPCM, autocorrelation, stencils, crypto rounds, …), each
+//!   in the full binary form (counted control + affine address patterns);
+//! * [`synth`] — a seeded random loop generator for coverage beyond the
+//!   hand-built shapes;
+//! * [`app`] — the application model: loops with execution profiles plus
+//!   an acyclic remainder, and raw-binary defects (calls, guard branches,
+//!   over-unrolling, stream overflow) for the Figure 7 experiment;
+//! * [`suite`] — 27 named applications whose loop populations are
+//!   calibrated to the per-benchmark behaviour the paper reports
+//!   (rawcaudio: one hot loop; mpeg2dec: many mid-size loops; pegwitenc and
+//!   172.mgrid: few huge loops whose dynamic translation cost erases the
+//!   accelerator benefit; SPECint apps: mostly unschedulable time).
+//!
+//! Everything is deterministic: the same suite is generated on every run.
+
+pub mod app;
+pub mod golden;
+pub mod kernels;
+pub mod suite;
+pub mod synth;
+
+pub use app::{AppLoop, Application};
+pub use golden::semantic_checksum;
+pub use kernels::KernelCtx;
+pub use suite::{application, full_suite, media_fp_suite, SUITE_NAMES};
+pub use synth::{synth_loop, SynthSpec};

@@ -1,0 +1,73 @@
+//! A miniature design-space exploration in the style of paper §3.1:
+//! sweep one accelerator resource at a time and report the fraction of
+//! infinite-resource speedup retained, then price each candidate with the
+//! area model.
+//!
+//! Run with `cargo run --release -p veal --example design_explorer`.
+
+use veal::sim::dse::mean_speedup;
+use veal::{AcceleratorConfig, CcaSpec, CpuModel};
+
+fn main() {
+    // A small, fast subset of the media/FP suite keeps this example quick;
+    // `cargo run -p veal-bench --bin fig3` sweeps the whole suite.
+    let apps: Vec<_> = ["rawcaudio", "cjpeg", "171.swim", "g721encode"]
+        .iter()
+        .filter_map(|n| veal::workloads::application(n))
+        .collect();
+    let cpu = CpuModel::arm11();
+    let cca = CcaSpec::paper();
+    let infinite = mean_speedup(&apps, &cpu, &AcceleratorConfig::infinite(), Some(&cca));
+    println!("infinite-resource mean speedup: {infinite:.2}x\n");
+
+    println!(
+        "{:<34} {:>9} {:>9} {:>9}",
+        "candidate", "speedup", "fraction", "mm2"
+    );
+    let candidates = [
+        ("paper design point", AcceleratorConfig::paper_design()),
+        (
+            "half the FUs (1 int, 1 fp)",
+            AcceleratorConfig::builder().int_units(1).fp_units(1).build(),
+        ),
+        (
+            "no CCA",
+            AcceleratorConfig::builder().cca_units(0).build(),
+        ),
+        (
+            "8 load streams / 2 agens",
+            AcceleratorConfig::builder()
+                .load_streams(8)
+                .load_addr_gens(2)
+                .build(),
+        ),
+        (
+            "shallow control store (II<=8)",
+            AcceleratorConfig::builder().max_ii(8).build(),
+        ),
+        (
+            "double FUs (4 int, 4 fp, 2 CCA)",
+            AcceleratorConfig::builder()
+                .int_units(4)
+                .fp_units(4)
+                .cca_units(2)
+                .build(),
+        ),
+    ];
+    for (name, cfg) in candidates {
+        let cca_opt = (cfg.cca_units > 0).then(|| cca.clone());
+        let s = mean_speedup(&apps, &cpu, &cfg, cca_opt.as_ref());
+        println!(
+            "{:<34} {:>8.2}x {:>8.1}% {:>9.2}",
+            name,
+            s,
+            100.0 * s / infinite,
+            cfg.area().total()
+        );
+    }
+    println!(
+        "\nthe paper's point: the §3.2 design point sits at the knee —\n\
+         nearly all of the attainable speedup at a fraction of the area of\n\
+         the alternatives that close the remaining gap"
+    );
+}

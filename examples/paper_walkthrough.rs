@@ -1,0 +1,79 @@
+//! The paper's Figure 5 walkthrough, end to end, with commentary.
+//!
+//! Run with `cargo run -p veal --example paper_walkthrough`.
+
+use veal::ir::pretty::render_dfg;
+use veal::ir::streams::separate;
+use veal::sched::{rec_mii, res_mii};
+use veal::{AcceleratorConfig, CcaSpec, CostMeter, StaticHints, System, TranslationPolicy};
+
+fn main() {
+    let (body, ids) = veal::figure5_loop();
+    println!("== the example loop body (paper Figure 5) ==");
+    println!("(op ids below are the paper's op numbers minus one)\n");
+    print!("{}", render_dfg(&body.dfg));
+
+    // Step 1-2: identify the loop, separate control and memory streams.
+    let mut meter = CostMeter::new();
+    let sep = separate(&body.dfg, &mut meter).expect("separates");
+    let summary = sep.summary();
+    println!("\n== separating control and memory streams ==");
+    println!(
+        "streams: {} load, {} store; stripped control ops {:?} and address \
+         generators {:?}",
+        summary.loads,
+        summary.stores,
+        sep.control_ops,
+        sep.addr_ops
+    );
+
+    // Step 3: CCA mapping.
+    let mut dfg = sep.dfg;
+    let groups = veal::cca::map_cca(&mut dfg, &CcaSpec::paper(), &mut meter);
+    println!("\n== CCA mapping (greedy seed-and-grow) ==");
+    for g in &groups {
+        println!(
+            "collapsed {:?} into a single CCA invocation (the paper's op 16)",
+            g.members
+        );
+    }
+    println!(
+        "op {} (or) stays out: pairing it with op {} (add) would stretch \
+         the mpy-or recurrence past II",
+        ids.or, ids.add10
+    );
+
+    // Step 4: minimum II.
+    let la = AcceleratorConfig::paper_design();
+    let res = res_mii(&dfg, &la, summary, &mut meter);
+    let rec = rec_mii(&dfg, &la.latencies, &mut meter);
+    println!("\n== minimum II ==");
+    println!("ResMII = {res} (five integer ops on two integer units)");
+    println!("RecMII = {rec} (both recurrences are four cycles long)");
+
+    // Steps 5-7: priority, scheduling, register assignment — via the VM.
+    let system = System::paper(TranslationPolicy::fully_dynamic());
+    let out = system.translate_loop(&body, &StaticHints::none());
+    let cost = out.cost();
+    let t = out.result.expect("figure 5 maps");
+    println!("\n== modulo schedule ==");
+    println!("{}", t.scheduled.schedule);
+    println!(
+        "register file usage: {} (live-ins/constants pinned: {} int, {} fp)",
+        t.scheduled.registers.pressure,
+        t.scheduled.registers.pinned_int,
+        t.scheduled.registers.pinned_fp
+    );
+    println!("\ntotal dynamic translation cost: {cost} abstract instructions");
+
+    // The static/dynamic tradeoff on this very loop.
+    let hints = veal::compute_hints(&body, &la, Some(&CcaSpec::paper()));
+    let hinted = System::paper(TranslationPolicy::static_hints());
+    let out2 = hinted.translate_loop(&body, &hints);
+    println!(
+        "with the Figure 9 hint sections in the binary the VM spends only \
+         {} instructions ({}x less)",
+        out2.cost(),
+        cost / out2.cost().max(1)
+    );
+}

@@ -1,0 +1,116 @@
+//! Whole-application binary fidelity: packaging every legalized loop of an
+//! application into the VEAL binary format (with hint sections), decoding
+//! it back, and translating the *decoded* loops must reproduce exactly the
+//! schedules obtained from the in-memory path.
+
+use veal::{
+    compute_hints, decode_module, encode_module, AcceleratorConfig, BinaryModule, CcaSpec,
+    EncodedLoop, StaticHints, TranslationPolicy, Translator, TransformLimits,
+};
+
+fn translator(policy: TranslationPolicy) -> Translator {
+    Translator::new(
+        AcceleratorConfig::paper_design(),
+        Some(CcaSpec::paper()),
+        policy,
+    )
+}
+
+#[test]
+fn decoded_binaries_translate_identically() {
+    let app = veal::workloads::application("cjpeg").unwrap();
+    let limits = TransformLimits::default();
+    let la = AcceleratorConfig::paper_design();
+
+    // Static compiler: legalize, compute hints, pack the binary.
+    let mut module = BinaryModule::default();
+    for l in &app.loops {
+        for part in veal::legalize(&l.raw, &limits) {
+            let hints = compute_hints(&part.body, &la, Some(&CcaSpec::paper()));
+            module.loops.push(EncodedLoop {
+                body: part.body,
+                priority_hint: hints.priority,
+                cca_hint: hints.cca_groups,
+            });
+        }
+    }
+    let bytes = encode_module(&module);
+    let decoded = decode_module(&bytes).expect("module decodes");
+    assert_eq!(decoded.loops.len(), module.loops.len());
+
+    // VM side: translate from the decoded bytes and from memory; results
+    // must match loop by loop.
+    let t = translator(TranslationPolicy::static_hints());
+    for (orig, dec) in module.loops.iter().zip(&decoded.loops) {
+        let orig_hints = StaticHints {
+            priority: orig.priority_hint.clone(),
+            cca_groups: orig.cca_hint.clone(),
+        };
+        let dec_hints = StaticHints {
+            priority: dec.priority_hint.clone(),
+            cca_groups: dec.cca_hint.clone(),
+        };
+        let a = t.translate(&orig.body, &orig_hints);
+        let b = t.translate(&dec.body, &dec_hints);
+        match (&a.result, &b.result) {
+            (Ok(x), Ok(y)) => {
+                assert_eq!(
+                    x.scheduled.schedule.ii, y.scheduled.schedule.ii,
+                    "{}: II diverged through the binary",
+                    orig.body.name
+                );
+                assert_eq!(x.cca_groups, y.cca_groups, "{}", orig.body.name);
+                assert_eq!(
+                    x.scheduled.registers.pressure, y.scheduled.registers.pressure,
+                    "{}",
+                    orig.body.name
+                );
+            }
+            (Err(x), Err(y)) => assert_eq!(
+                format!("{x}"),
+                format!("{y}"),
+                "{}: rejection reason diverged",
+                orig.body.name
+            ),
+            (a, b) => panic!(
+                "{}: outcome diverged through the binary: {:?} vs {:?}",
+                orig.body.name,
+                a.is_ok(),
+                b.is_ok()
+            ),
+        }
+        assert_eq!(a.cost(), b.cost(), "{}: cost diverged", orig.body.name);
+    }
+}
+
+#[test]
+fn hint_stripped_binary_still_runs_everywhere() {
+    // Strip the hint sections from the same module: every loop must still
+    // translate (dynamically) or be rejected for the same capability
+    // reasons — never crash, never change its *accelerability*.
+    let app = veal::workloads::application("gsmdecode").unwrap();
+    let limits = TransformLimits::default();
+    let mut module = BinaryModule::default();
+    for l in &app.loops {
+        for part in veal::legalize(&l.raw, &limits) {
+            module.loops.push(EncodedLoop {
+                body: part.body,
+                priority_hint: None,
+                cca_hint: None,
+            });
+        }
+    }
+    let decoded = decode_module(&encode_module(&module)).expect("decodes");
+    let dynamic = translator(TranslationPolicy::fully_dynamic());
+    let mut accelerated = 0;
+    for l in &decoded.loops {
+        if dynamic.translate(&l.body, &StaticHints::none()).result.is_ok() {
+            accelerated += 1;
+        }
+    }
+    assert!(
+        accelerated * 2 > decoded.loops.len(),
+        "most legalized loops must map: {accelerated}/{}",
+        decoded.loops.len()
+    );
+}

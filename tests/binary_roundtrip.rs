@@ -1,0 +1,118 @@
+//! Property tests for the binary module format: arbitrary well-formed
+//! loops (hand kernels and random synthetics) must round-trip exactly,
+//! with and without hint sections, and truncated or corrupted bytes must
+//! never panic the decoder.
+
+use proptest::prelude::*;
+use veal::{
+    compute_hints, decode_module, encode_module, AcceleratorConfig, BinaryModule, CcaSpec,
+    EncodedLoop, OpId,
+};
+use veal_workloads::{synth_loop, SynthSpec};
+
+fn arb_spec() -> impl Strategy<Value = SynthSpec> {
+    (
+        any::<u64>(),
+        4usize..40,
+        prop_oneof![Just(0.0), Just(0.4), Just(0.8)],
+        1usize..6,
+        1usize..3,
+        0usize..3,
+        1u32..5,
+    )
+        .prop_map(
+            |(seed, compute_ops, fp_frac, loads, stores, recurrences, rec_distance)| SynthSpec {
+                seed,
+                compute_ops,
+                fp_frac,
+                loads,
+                stores,
+                recurrences,
+                rec_distance,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_loops_round_trip(spec in arb_spec()) {
+        let body = synth_loop(&spec);
+        let module = BinaryModule {
+            loops: vec![EncodedLoop { body: body.clone(), priority_hint: None, cca_hint: None }],
+        };
+        let back = decode_module(&encode_module(&module)).expect("round trip");
+        prop_assert_eq!(back.loops[0].body.dfg.edges(), body.dfg.edges());
+        prop_assert_eq!(back.loops[0].body.dfg.len(), body.dfg.len());
+        for i in 0..body.dfg.len() {
+            let id = OpId::new(i);
+            prop_assert_eq!(&back.loops[0].body.dfg.node(id).kind, &body.dfg.node(id).kind);
+            prop_assert_eq!(back.loops[0].body.dfg.node(id).stream, body.dfg.node(id).stream);
+            prop_assert_eq!(back.loops[0].body.dfg.node(id).live_out, body.dfg.node(id).live_out);
+        }
+    }
+
+    #[test]
+    fn hinted_loops_round_trip(spec in arb_spec()) {
+        let body = synth_loop(&spec);
+        let la = AcceleratorConfig::paper_design();
+        let hints = compute_hints(&body, &la, Some(&CcaSpec::paper()));
+        let module = BinaryModule {
+            loops: vec![EncodedLoop {
+                body,
+                priority_hint: hints.priority.clone(),
+                cca_hint: hints.cca_groups.clone(),
+            }],
+        };
+        let back = decode_module(&encode_module(&module)).expect("round trip");
+        prop_assert_eq!(&back.loops[0].priority_hint, &hints.priority);
+        prop_assert_eq!(&back.loops[0].cca_hint, &hints.cca_groups);
+    }
+
+    #[test]
+    fn truncation_never_panics(spec in arb_spec(), cut_frac in 0.0f64..1.0) {
+        let body = synth_loop(&spec);
+        let module = BinaryModule {
+            loops: vec![EncodedLoop { body, priority_hint: None, cca_hint: None }],
+        };
+        let bytes = encode_module(&module);
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        // Must return an error or a module, never panic.
+        let _ = decode_module(&bytes[..cut.min(bytes.len().saturating_sub(1))]);
+    }
+
+    #[test]
+    fn byte_corruption_never_panics(spec in arb_spec(), pos_frac in 0.0f64..1.0, val in any::<u8>()) {
+        let body = synth_loop(&spec);
+        let module = BinaryModule {
+            loops: vec![EncodedLoop { body, priority_hint: None, cca_hint: None }],
+        };
+        let mut bytes = encode_module(&module);
+        if !bytes.is_empty() {
+            let pos = ((bytes.len() - 1) as f64 * pos_frac) as usize;
+            bytes[pos] = val;
+            let _ = decode_module(&bytes);
+        }
+    }
+
+    #[test]
+    fn multi_loop_modules_preserve_order(seeds in proptest::collection::vec(any::<u64>(), 1..6)) {
+        let module = BinaryModule {
+            loops: seeds
+                .iter()
+                .map(|&seed| EncodedLoop {
+                    body: synth_loop(&SynthSpec { seed, ..SynthSpec::default() }),
+                    priority_hint: None,
+                    cca_hint: None,
+                })
+                .collect(),
+        };
+        let back = decode_module(&encode_module(&module)).expect("round trip");
+        prop_assert_eq!(back.loops.len(), module.loops.len());
+        for (a, b) in back.loops.iter().zip(&module.loops) {
+            prop_assert_eq!(&a.body.name, &b.body.name);
+            prop_assert_eq!(a.body.dfg.edges(), b.body.dfg.edges());
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! The full static-compiler story at CFG level: a function whose inner
+//! loop contains a call and a branchy diamond is inlined, if-converted,
+//! extracted to dataflow form, and mapped onto the accelerator.
+
+use veal::ir::cfg::Program;
+use veal::opt::cfgpass::{extract_loop_dfg, if_convert, inline_calls, merge_straightline};
+use veal::{classify_loop, LoopClass, Opcode, StaticHints, System, TranslationPolicy};
+use veal_ir::{FunctionBuilder, Instruction, VReg};
+
+/// Builds:
+///
+/// ```c
+/// int f(int x) { return x * 3; }        // callee, single block
+/// for (i = 0; i < n; i++) {
+///     t = f(a);                          // call to inline
+///     if (t < 0) y = -t; else y = t;    // diamond to if-convert
+///     acc += y;
+/// }
+/// ```
+fn build_program() -> (Program, usize) {
+    // Callee: v0 is the parameter.
+    let mut cb = FunctionBuilder::new("times3");
+    let b0 = cb.block();
+    cb.set_entry(b0);
+    let p = cb.fresh_reg();
+    let r = cb.fresh_reg();
+    cb.push(b0, Opcode::Mul, Some(r), vec![p.into(), 3i64.into()]);
+    cb.ret(b0, Some(r));
+    let callee = cb.finish();
+
+    let mut fb = FunctionBuilder::new("hot");
+    let entry = fb.block();
+    let header = fb.block();
+    let then_b = fb.block();
+    let else_b = fb.block();
+    let join = fb.block();
+    let exit = fb.block();
+    fb.set_entry(entry);
+    let i = fb.fresh_reg();
+    let n = fb.fresh_reg();
+    let a = fb.fresh_reg();
+    let t = fb.fresh_reg();
+    let y = fb.fresh_reg();
+    let acc = fb.fresh_reg();
+    let cneg = fb.fresh_reg();
+    let cback = fb.fresh_reg();
+    fb.branch(entry, header);
+    // header: t = f(a); if (t < 0) ...
+    fb.push_instr(
+        header,
+        Instruction::call(t, veal_ir::FuncId::new(1), vec![a.into()]),
+    );
+    fb.push(header, Opcode::CmpLt, Some(cneg), vec![t.into(), 0i64.into()]);
+    fb.cond_branch(header, cneg, then_b, else_b);
+    fb.push(then_b, Opcode::Neg, Some(y), vec![t.into()]);
+    fb.branch(then_b, join);
+    fb.push(else_b, Opcode::Mov, Some(y), vec![t.into()]);
+    fb.branch(else_b, join);
+    // join: acc += y; i++; loop back
+    fb.push(join, Opcode::Add, Some(acc), vec![acc.into(), y.into()]);
+    fb.push(join, Opcode::Add, Some(i), vec![i.into(), 1i64.into()]);
+    fb.push(join, Opcode::CmpLt, Some(cback), vec![i.into(), n.into()]);
+    fb.cond_branch(join, cback, header, exit);
+    fb.ret(exit, Some(acc));
+    let hot = fb.finish();
+    let acc_idx = acc.index();
+    (
+        Program {
+            functions: vec![hot, callee],
+        },
+        acc_idx,
+    )
+}
+
+#[test]
+fn cfg_pipeline_produces_an_accelerated_loop() {
+    let (program, acc_idx) = build_program();
+    let hot = &program.functions[0];
+    // Raw: one natural loop spanning several blocks (not extractable).
+    let loops = hot.natural_loops();
+    assert_eq!(loops.len(), 1);
+    assert!(loops[0].blocks.len() > 1);
+
+    // 1. Inline the visible callee.
+    let (inlined, n_inlined) = inline_calls(&program, hot);
+    assert_eq!(n_inlined, 1);
+    assert!(inlined
+        .blocks()
+        .iter()
+        .all(|b| b.instrs.iter().all(|i| i.opcode != Opcode::Call)));
+
+    // 2. If-convert the diamond, then merge the straight-line remains.
+    let (converted, n_diamonds) = if_convert(&inlined);
+    assert_eq!(n_diamonds, 1);
+    let (converted, merges) = merge_straightline(&converted);
+    assert!(merges >= 1);
+    let loops = converted.natural_loops();
+    assert_eq!(loops.len(), 1);
+    assert_eq!(loops[0].blocks.len(), 1, "loop is single-block now");
+
+    // 3. Extract the dataflow form.
+    let body = extract_loop_dfg(&converted, &loops[0], &[VReg::new(acc_idx)])
+        .expect("single-block loop extracts");
+    assert_eq!(classify_loop(&body.dfg), LoopClass::ModuloSchedulable);
+    assert!(body.dfg.live_out_ids().count() >= 1);
+
+    // 4. Translate onto the paper accelerator.
+    let sys = System::paper(TranslationPolicy::fully_dynamic());
+    let out = sys.translate_loop(&body, &StaticHints::none());
+    let t = out.result.expect("extracted loop maps");
+    assert!(t.scheduled.schedule.ii >= 1);
+    assert!(t.scheduled.registers.pressure.fits());
+}
+
+#[test]
+fn without_inlining_the_loop_is_a_subroutine() {
+    let (program, _) = build_program();
+    let hot = &program.functions[0];
+    let (converted, _) = if_convert(hot);
+    let (converted, _) = merge_straightline(&converted);
+    // The call is still there; even after predication the loop cannot be
+    // accelerated — Figure 2's "Subroutine" category.
+    let loops = converted.natural_loops();
+    if loops[0].blocks.len() == 1 {
+        let body = extract_loop_dfg(&converted, &loops[0], &[]).unwrap();
+        assert_eq!(classify_loop(&body.dfg), LoopClass::Subroutine);
+    }
+}
+
+#[test]
+fn extraction_is_deterministic() {
+    let (program, acc_idx) = build_program();
+    let hot = &program.functions[0];
+    let (inlined, _) = inline_calls(&program, hot);
+    let (converted, _) = if_convert(&inlined);
+    let (converted, _) = merge_straightline(&converted);
+    let lp = &converted.natural_loops()[0];
+    let a = extract_loop_dfg(&converted, lp, &[VReg::new(acc_idx)]).unwrap();
+    let b = extract_loop_dfg(&converted, lp, &[VReg::new(acc_idx)]).unwrap();
+    assert_eq!(a.dfg, b.dfg);
+}

@@ -1,0 +1,116 @@
+//! Integration tests for the design-space exploration (Figures 3 and 4
+//! and the §3.2 design point).
+
+use veal::sim::dse::{fraction_of_infinite, mean_speedup};
+use veal::{AcceleratorConfig, CcaSpec, CpuModel};
+use veal_workloads::Application;
+
+fn apps() -> Vec<Application> {
+    // A representative subset keeps the test quick; the fig3/fig4 binaries
+    // sweep the full suite.
+    ["rawcaudio", "cjpeg", "171.swim", "g721encode", "epic"]
+        .iter()
+        .filter_map(|n| veal::workloads::application(n))
+        .collect()
+}
+
+#[test]
+fn design_point_attains_most_of_infinite_speedup() {
+    let apps = apps();
+    let cpu = CpuModel::arm11();
+    let f = fraction_of_infinite(
+        &apps,
+        &cpu,
+        &AcceleratorConfig::paper_design(),
+        Some(&CcaSpec::paper()),
+    );
+    // Paper: 83% on their suite; allow a band on ours.
+    assert!((0.6..=1.01).contains(&f), "fraction {f}");
+}
+
+#[test]
+fn speedup_is_monotone_in_integer_units() {
+    let apps = apps();
+    let cpu = CpuModel::arm11();
+    let inf = AcceleratorConfig::infinite();
+    let mut prev = 0.0;
+    for n in [1usize, 2, 4, 8] {
+        let mut cfg = inf.clone();
+        cfg.int_units = n;
+        cfg.cca_units = 0;
+        let s = mean_speedup(&apps, &cpu, &cfg, None);
+        assert!(
+            s + 1e-9 >= prev,
+            "speedup regressed at {n} int units: {s} < {prev}"
+        );
+        prev = s;
+    }
+}
+
+#[test]
+fn one_cca_substitutes_for_many_integer_units() {
+    // The Figure 3(a) headline: with one CCA, few integer units reach what
+    // many units reach without one.
+    let apps = apps();
+    let cpu = CpuModel::arm11();
+    let inf = AcceleratorConfig::infinite();
+
+    let mut two_int_with_cca = inf.clone();
+    two_int_with_cca.int_units = 2;
+    two_int_with_cca.cca_units = 1;
+    let s_cca = mean_speedup(&apps, &cpu, &two_int_with_cca, Some(&CcaSpec::paper()));
+
+    let mut two_int_no_cca = inf.clone();
+    two_int_no_cca.int_units = 2;
+    two_int_no_cca.cca_units = 0;
+    let s_plain = mean_speedup(&apps, &cpu, &two_int_no_cca, None);
+
+    assert!(
+        s_cca > s_plain,
+        "adding a CCA must help at 2 int units: {s_cca} vs {s_plain}"
+    );
+}
+
+#[test]
+fn stream_budget_is_monotone_and_saturates() {
+    let apps = apps();
+    let cpu = CpuModel::arm11();
+    let inf = AcceleratorConfig::infinite();
+    let measure = |streams: usize| {
+        let mut cfg = inf.clone();
+        cfg.load_streams = streams;
+        cfg.load_addr_gens = streams.div_ceil(4).max(1);
+        mean_speedup(&apps, &cpu, &cfg, Some(&CcaSpec::paper()))
+    };
+    let s2 = measure(2);
+    let s8 = measure(8);
+    let s32 = measure(32);
+    assert!(s8 >= s2);
+    assert!(s32 >= s8);
+    // Saturation: going from 8 to 32 gains less than going from 2 to 8.
+    assert!(s32 - s8 <= s8 - s2 + 1e-9);
+}
+
+#[test]
+fn max_ii_sixteen_suffices() {
+    // Figure 4(b): the design point's control store depth is enough.
+    let apps = apps();
+    let cpu = CpuModel::arm11();
+    let inf = AcceleratorConfig::infinite();
+    let mut at16 = inf.clone();
+    at16.max_ii = 16;
+    let mut at64 = inf.clone();
+    at64.max_ii = 64;
+    let s16 = mean_speedup(&apps, &cpu, &at16, Some(&CcaSpec::paper()));
+    let s64 = mean_speedup(&apps, &cpu, &at64, Some(&CcaSpec::paper()));
+    assert!(s16 > 0.95 * s64, "II 16: {s16} vs II 64: {s64}");
+}
+
+#[test]
+fn area_budget_matches_paper() {
+    let area = AcceleratorConfig::paper_design().area();
+    assert!((area.total() - 3.8).abs() < 0.25);
+    assert!((area.fp_units - 2.38).abs() < 1e-9);
+    // ARM11 + LA undercuts the 2-issue CPU (Figure 10's area argument).
+    assert!(CpuModel::arm11().area_mm2 + area.total() < CpuModel::cortex_a8().area_mm2);
+}

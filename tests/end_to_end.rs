@@ -1,0 +1,147 @@
+//! End-to-end integration: whole applications through every policy.
+
+use veal::{run_application, AccelSetup, CpuModel, System, TranslationPolicy};
+
+#[test]
+fn every_media_app_accelerates_natively() {
+    let sys = System::native();
+    for app in veal::workloads::media_fp_suite() {
+        let run = sys.run(&app);
+        assert!(
+            run.speedup() > 1.0,
+            "{} did not accelerate: {:.2}",
+            app.name,
+            run.speedup()
+        );
+        assert_eq!(run.translation_cycles, 0, "{} charged translation", app.name);
+    }
+}
+
+#[test]
+fn policy_ordering_holds_per_app() {
+    // Native (free translation) must dominate every real policy, and the
+    // static-hints policy must never pay more translation than fully
+    // dynamic.
+    let arm = CpuModel::arm11();
+    for name in ["mpeg2dec", "pegwitenc", "rawcaudio", "172.mgrid"] {
+        let app = veal::workloads::application(name).unwrap();
+        let native = run_application(&app, &arm, &AccelSetup::native());
+        let dynamic = run_application(
+            &app,
+            &arm,
+            &AccelSetup::paper(TranslationPolicy::fully_dynamic()),
+        );
+        let hinted = run_application(
+            &app,
+            &arm,
+            &AccelSetup::paper(TranslationPolicy::static_hints()),
+        );
+        assert!(
+            native.speedup() >= dynamic.speedup() - 1e-9,
+            "{name}: native {} < dynamic {}",
+            native.speedup(),
+            dynamic.speedup()
+        );
+        assert!(
+            native.speedup() >= hinted.speedup() - 1e-9,
+            "{name}: native {} < hinted {}",
+            native.speedup(),
+            hinted.speedup()
+        );
+        assert!(
+            hinted.translation_cycles <= dynamic.translation_cycles,
+            "{name}: hints cost more than dynamic"
+        );
+    }
+}
+
+#[test]
+fn translation_sensitive_apps_collapse_dynamically() {
+    // The paper's Figure 10 anchors.
+    let arm = CpuModel::arm11();
+    for name in ["mpeg2dec", "pegwitenc", "172.mgrid"] {
+        let app = veal::workloads::application(name).unwrap();
+        let native = run_application(&app, &arm, &AccelSetup::native()).speedup();
+        let dynamic = run_application(
+            &app,
+            &arm,
+            &AccelSetup::paper(TranslationPolicy::fully_dynamic()),
+        )
+        .speedup();
+        assert!(
+            dynamic < 0.8 * native,
+            "{name}: expected a large dynamic-translation hit ({dynamic:.2} vs {native:.2})"
+        );
+    }
+}
+
+#[test]
+fn rawcaudio_is_translation_insensitive() {
+    // "there is only one critical loop in the application and so the
+    // translation cost is easily amortized"
+    let arm = CpuModel::arm11();
+    let app = veal::workloads::application("rawcaudio").unwrap();
+    let native = run_application(&app, &arm, &AccelSetup::native()).speedup();
+    let dynamic = run_application(
+        &app,
+        &arm,
+        &AccelSetup::paper(TranslationPolicy::fully_dynamic()),
+    )
+    .speedup();
+    assert!(dynamic > 0.98 * native, "{dynamic:.3} vs {native:.3}");
+}
+
+#[test]
+fn code_cache_hit_rates_are_high() {
+    // Paper §4.3: per-app hit rates "very close to 100%".
+    let arm = CpuModel::arm11();
+    for app in veal::workloads::media_fp_suite() {
+        let run = run_application(
+            &app,
+            &arm,
+            &AccelSetup::paper(TranslationPolicy::fully_dynamic()),
+        );
+        assert!(
+            run.cache.hit_rate() > 0.9,
+            "{}: hit rate {:.3}",
+            app.name,
+            run.cache.hit_rate()
+        );
+    }
+}
+
+#[test]
+fn accelerator_beats_wider_cpus_on_media_suite() {
+    let arm = CpuModel::arm11();
+    let apps = veal::workloads::media_fp_suite();
+    let mut hinted_sum = 0.0;
+    let mut wide_sum = 0.0;
+    for app in &apps {
+        let hinted = run_application(
+            app,
+            &arm,
+            &AccelSetup::paper(TranslationPolicy::static_hints()),
+        );
+        hinted_sum += hinted.speedup();
+        let base = veal::sim::speedup::cpu_only_cycles(app, &arm) as f64;
+        wide_sum += base / veal::sim::speedup::cpu_only_cycles(app, &CpuModel::quad_issue()) as f64;
+    }
+    let n = apps.len() as f64;
+    assert!(
+        hinted_sum / n > 1.5 * (wide_sum / n),
+        "LA {:.2} vs 4-issue {:.2}",
+        hinted_sum / n,
+        wide_sum / n
+    );
+}
+
+#[test]
+fn whole_app_cycles_are_reproducible() {
+    let sys = System::paper(TranslationPolicy::fully_dynamic());
+    let app = veal::workloads::application("cjpeg").unwrap();
+    let a = sys.run(&app);
+    let b = sys.run(&app);
+    assert_eq!(a.system_cycles, b.system_cycles);
+    assert_eq!(a.cpu_only_cycles, b.cpu_only_cycles);
+    assert_eq!(a.translation_cycles, b.translation_cycles);
+}

@@ -1,0 +1,123 @@
+//! Integration test pinning the paper's Figure 5 walkthrough, across
+//! crates: separation → CCA mapping → MII → schedule → registers, with the
+//! schedule checked by the independent verifier.
+
+use veal::ir::streams::separate;
+use veal::sched::{rec_mii, res_mii, verify_schedule};
+use veal::{
+    AcceleratorConfig, CcaSpec, CostMeter, Opcode, StaticHints, System, TranslationPolicy,
+};
+
+#[test]
+fn figure5_numbers_match_the_paper() {
+    let (body, ids) = veal::figure5_loop();
+    assert_eq!(body.len(), 15);
+
+    // Separation: ops 13-15 are control, ops 1 and 11 are address
+    // generators, leaving one load and one store stream.
+    let mut meter = CostMeter::new();
+    let sep = separate(&body.dfg, &mut meter).expect("separates");
+    let summary = sep.summary();
+    assert_eq!((summary.loads, summary.stores), (1, 1));
+    assert!(sep.control_ops.contains(&ids.ind));
+    assert!(sep.control_ops.contains(&ids.cmp));
+    assert!(sep.control_ops.contains(&ids.br));
+    assert_eq!(sep.addr_ops, vec![ids.addr_in, ids.addr_out]);
+
+    // CCA mapping: exactly {5, 6, 8}.
+    let mut dfg = sep.dfg;
+    let groups = veal::cca::map_cca(&mut dfg, &CcaSpec::paper(), &mut meter);
+    assert_eq!(groups.len(), 1);
+    assert_eq!(groups[0].members, vec![ids.and, ids.sub, ids.xor]);
+
+    // MII: ResMII 3, RecMII 4.
+    let la = AcceleratorConfig::paper_design();
+    assert_eq!(res_mii(&dfg, &la, summary, &mut meter), 3);
+    assert_eq!(rec_mii(&dfg, &la.latencies, &mut meter), 4);
+
+    // Full translation: II 4, op 10 in a later stage, schedule valid.
+    let sys = System::paper(TranslationPolicy::fully_dynamic());
+    let out = sys.translate_loop(&body, &StaticHints::none());
+    let t = out.result.expect("maps");
+    assert_eq!(t.scheduled.schedule.ii, 4);
+    assert!(t.scheduled.schedule.stage(ids.add10).unwrap() >= 1);
+    assert!(verify_schedule(&dfg, &t.scheduled.schedule, &la).is_empty());
+}
+
+#[test]
+fn figure9_static_encodings_round_trip_for_figure5() {
+    // Figure 9(b)/(c): the hints survive the binary format and cut the
+    // dynamic cost (the paper: 100k -> 31k on average; the exact factor
+    // here depends on loop size).
+    let (body, _) = veal::figure5_loop();
+    let la = AcceleratorConfig::paper_design();
+    let hints = veal::compute_hints(&body, &la, Some(&CcaSpec::paper()));
+    assert!(hints.priority.is_some());
+    assert_eq!(hints.cca_groups.as_ref().map(Vec::len), Some(1));
+
+    let module = veal::BinaryModule {
+        loops: vec![veal::EncodedLoop {
+            body: body.clone(),
+            priority_hint: hints.priority.clone(),
+            cca_hint: hints.cca_groups.clone(),
+        }],
+    };
+    let decoded = veal::decode_module(&veal::encode_module(&module)).expect("decodes");
+    let dec_hints = veal::StaticHints {
+        priority: decoded.loops[0].priority_hint.clone(),
+        cca_groups: decoded.loops[0].cca_hint.clone(),
+    };
+    assert_eq!(dec_hints, hints);
+
+    let dynamic = System::paper(TranslationPolicy::fully_dynamic())
+        .translate_loop(&decoded.loops[0].body, &StaticHints::none());
+    let hinted = System::paper(TranslationPolicy::static_hints())
+        .translate_loop(&decoded.loops[0].body, &dec_hints);
+    assert!(hinted.result.is_ok());
+    assert!(
+        hinted.cost() * 3 < dynamic.cost(),
+        "hints must slash translation cost: {} vs {}",
+        hinted.cost(),
+        dynamic.cost()
+    );
+    // Both paths land on the same II.
+    assert_eq!(
+        hinted.result.unwrap().scheduled.schedule.ii,
+        dynamic.result.unwrap().scheduled.schedule.ii
+    );
+}
+
+#[test]
+fn figure5_op7_op10_merge_is_rejected() {
+    // "Ops 7 and 10 could legally be combined; however, doing so would
+    // lengthen one of the recurrence cycles."
+    let (body, ids) = veal::figure5_loop();
+    let mut meter = CostMeter::new();
+    let sep = separate(&body.dfg, &mut meter).unwrap();
+    let dfg = sep.dfg;
+    let sccs = dfg.sccs();
+    // Structurally combinable: both are CCA-supported and adjacent.
+    assert!(dfg.node(ids.or).opcode().unwrap().cca_supported());
+    assert!(dfg.node(ids.add10).opcode().unwrap().cca_supported());
+    assert!(dfg
+        .succ_edges(ids.or)
+        .any(|e| e.dst == ids.add10 && e.distance == 0));
+    // But the recurrence rule forbids the group.
+    assert!(!veal::cca::is_legal_group(
+        &dfg,
+        &CcaSpec::paper(),
+        &[ids.or, ids.add10],
+        &sccs
+    ));
+}
+
+#[test]
+fn figure5_latency_assumptions() {
+    // "Assume multiplies take 3 cycles, the CCA takes 2 cycles, and all
+    // other ops take 1 cycle."
+    assert_eq!(Opcode::Mul.default_latency(), 3);
+    assert_eq!(Opcode::Cca.default_latency(), 2);
+    for op in [Opcode::Add, Opcode::And, Opcode::Shl, Opcode::Shr, Opcode::Or, Opcode::Xor] {
+        assert_eq!(op.default_latency(), 1, "{op}");
+    }
+}

@@ -1,0 +1,141 @@
+//! Property tests over the workload suite and the scheduler: every loop
+//! the suite ships is well formed; every schedule the system produces
+//! passes the independent verifier; register pressure never exceeds the
+//! file the schedule was accepted for.
+
+use proptest::prelude::*;
+use veal::ir::streams::separate;
+use veal::sched::{modulo_schedule, rec_mii, res_mii, verify_schedule, ScheduleOptions};
+use veal::{
+    classify_loop, legalize, AcceleratorConfig, CcaSpec, CostMeter, LoopClass, RawLoop,
+    TransformLimits,
+};
+use veal_sched::PriorityKind;
+use veal_workloads::{synth_loop, SynthSpec};
+
+#[test]
+fn every_suite_loop_verifies_and_legalizes() {
+    let limits = TransformLimits::default();
+    for app in veal::workloads::full_suite() {
+        for l in &app.loops {
+            assert_eq!(
+                veal::ir::verify_dfg(&l.raw.body.dfg),
+                Ok(()),
+                "{}/{}",
+                app.name,
+                l.raw.body.name
+            );
+            for part in legalize(&l.raw, &limits) {
+                assert_eq!(
+                    veal::ir::verify_dfg(&part.body.dfg),
+                    Ok(()),
+                    "{}/{} (legalized)",
+                    app.name,
+                    part.body.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn every_accepted_schedule_passes_the_verifier() {
+    // Run every legalized, modulo-schedulable suite loop through both
+    // priority functions on the design point and verify each accepted
+    // schedule from scratch.
+    let la = AcceleratorConfig::paper_design();
+    let limits = TransformLimits::default();
+    let mut accepted = 0usize;
+    for app in veal::workloads::media_fp_suite() {
+        for l in &app.loops {
+            for part in legalize(&l.raw, &limits) {
+                if classify_loop(&part.body.dfg) != LoopClass::ModuloSchedulable {
+                    continue;
+                }
+                let mut meter = CostMeter::new();
+                let Ok(sep) = separate(&part.body.dfg, &mut meter) else {
+                    continue;
+                };
+                let summary = sep.summary();
+                let mut dfg = sep.dfg;
+                veal::cca::map_cca(&mut dfg, &CcaSpec::paper(), &mut meter);
+                for priority in [PriorityKind::Swing, PriorityKind::Height] {
+                    let opts = ScheduleOptions {
+                        priority,
+                        static_order: None,
+                        streams: Some(summary),
+                    };
+                    if let Ok(s) = modulo_schedule(&dfg, &la, &opts, &mut CostMeter::new()) {
+                        accepted += 1;
+                        let defects = verify_schedule(&dfg, &s.schedule, &la);
+                        assert!(
+                            defects.is_empty(),
+                            "{}/{} [{priority:?}]: {defects:?}",
+                            app.name,
+                            part.body.name
+                        );
+                        assert!(s.schedule.ii >= s.mii || s.mii > la.max_ii);
+                        assert!(s.registers.pressure.fits());
+                    }
+                }
+            }
+        }
+    }
+    assert!(accepted > 50, "too few schedules exercised: {accepted}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_loops_schedule_correctly_or_reject(
+        seed in any::<u64>(),
+        ops in 4usize..48,
+        loads in 1usize..8,
+        rec in 0usize..2,
+    ) {
+        let body = synth_loop(&SynthSpec {
+            seed,
+            compute_ops: ops,
+            fp_frac: if seed % 2 == 0 { 0.0 } else { 0.5 },
+            loads,
+            stores: 1,
+            recurrences: rec,
+            rec_distance: 1 + ops as u32 / 8,
+        });
+        let la = AcceleratorConfig::paper_design();
+        let mut meter = CostMeter::new();
+        let sep = separate(&body.dfg, &mut meter).expect("synth loops separate");
+        let summary = sep.summary();
+        let mut dfg = sep.dfg;
+        veal::cca::map_cca(&mut dfg, &CcaSpec::paper(), &mut meter);
+        let mii = res_mii(&dfg, &la, summary, &mut meter)
+            .max(rec_mii(&dfg, &la.latencies, &mut meter));
+        let opts = ScheduleOptions { priority: PriorityKind::Swing, static_order: None, streams: Some(summary) };
+        match modulo_schedule(&dfg, &la, &opts, &mut CostMeter::new()) {
+            Ok(s) => {
+                // Accepted schedules are valid and respect the MII bound.
+                prop_assert!(s.schedule.ii >= mii.min(la.max_ii));
+                prop_assert!(s.schedule.ii <= la.max_ii);
+                let defects = verify_schedule(&dfg, &s.schedule, &la);
+                prop_assert!(defects.is_empty(), "{defects:?}");
+                prop_assert!(s.registers.pressure.fits());
+            }
+            Err(_) => {
+                // Rejection is allowed; silent wrong answers are not.
+            }
+        }
+    }
+
+    #[test]
+    fn classification_is_stable_under_legalization(seed in any::<u64>()) {
+        // Once a loop is modulo schedulable, the static pipeline must not
+        // break it.
+        let body = synth_loop(&SynthSpec { seed, ..SynthSpec::default() });
+        prop_assume!(classify_loop(&body.dfg) == LoopClass::ModuloSchedulable);
+        let out = legalize(&RawLoop::plain(body), &TransformLimits::default());
+        for part in out {
+            prop_assert_eq!(classify_loop(&part.body.dfg), LoopClass::ModuloSchedulable);
+        }
+    }
+}

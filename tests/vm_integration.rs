@@ -1,0 +1,194 @@
+//! VM integration: hint compatibility across accelerator generations,
+//! cache behaviour, and the Figure 7 transform dependency.
+
+use veal::{
+    compute_hints, run_application, AccelSetup, AcceleratorConfig, CcaSpec, CpuModel,
+    StaticHints, TranslationPolicy, Translator,
+};
+use veal_vm::VmSession;
+use veal_workloads::kernels;
+
+#[test]
+fn hinted_binary_runs_on_every_cca_generation() {
+    // The core compatibility property of paper §4.2: hints computed for
+    // one CCA must never break execution on different hardware.
+    let la = AcceleratorConfig::paper_design();
+    let bodies = [
+        kernels::adpcm_step(),
+        kernels::viterbi_acs(),
+        kernels::quantize(),
+        kernels::bit_unpack(),
+    ];
+    for body in &bodies {
+        let hints = compute_hints(body, &la, Some(&CcaSpec::paper()));
+        for (label, cca) in [
+            ("paper", Some(CcaSpec::paper())),
+            ("narrow", Some(CcaSpec::narrow())),
+            ("none", None),
+        ] {
+            let mut cfg = la.clone();
+            if cca.is_none() {
+                cfg.cca_units = 0;
+            }
+            let t = Translator::new(cfg, cca, TranslationPolicy::static_hints());
+            let out = t.translate(body, &hints);
+            assert!(
+                out.result.is_ok(),
+                "{} with {label} CCA: {:?}",
+                body.name,
+                out.result.err()
+            );
+        }
+    }
+}
+
+#[test]
+fn stale_priority_hints_fall_back_to_dynamic() {
+    // A priority order that no longer matches the graph (evolved CCA
+    // decisions) must not break translation — the VM recomputes.
+    let body = kernels::adpcm_step();
+    let garbage = StaticHints {
+        priority: Some(vec![veal::OpId::new(0)]), // wrong length
+        cca_groups: None,
+    };
+    let t = Translator::new(
+        AcceleratorConfig::paper_design(),
+        Some(CcaSpec::paper()),
+        TranslationPolicy::static_hints(),
+    );
+    let out = t.translate(&body, &garbage);
+    assert!(out.result.is_ok());
+    // The dynamic priority phase ran (it was charged).
+    assert!(out.breakdown.get(veal::Phase::Priority) > 0);
+}
+
+#[test]
+fn session_translates_once_per_resident_loop() {
+    let t = Translator::new(
+        AcceleratorConfig::paper_design(),
+        Some(CcaSpec::paper()),
+        TranslationPolicy::fully_dynamic(),
+    );
+    let mut session = VmSession::new(t);
+    let body = kernels::quantize();
+    let mut total = 0u64;
+    for _ in 0..100 {
+        total += session
+            .invoke(42, &body, &StaticHints::none())
+            .translation_cycles;
+    }
+    assert_eq!(session.stats().translations, 1);
+    assert!(total > 0);
+    assert!(session.cache_stats().hit_rate() > 0.98);
+}
+
+#[test]
+fn transforms_gate_most_of_the_benefit() {
+    // Figure 7 at integration level: across the media suite, disabling the
+    // static transformations forfeits well over half of the benefit.
+    let cpu = CpuModel::arm11();
+    let with = AccelSetup {
+        translation_free: true,
+        ..AccelSetup::paper(TranslationPolicy::static_hints())
+    };
+    let without = AccelSetup {
+        static_transforms: false,
+        ..with.clone()
+    };
+    let mut kept = 0.0;
+    let apps = veal::workloads::media_fp_suite();
+    for app in &apps {
+        let s_with = run_application(app, &cpu, &with).speedup();
+        let s_without = run_application(app, &cpu, &without).speedup();
+        if s_with > 1.0 {
+            kept += ((s_without - 1.0) / (s_with - 1.0)).clamp(0.0, 1.0);
+        }
+    }
+    let mean_kept = kept / apps.len() as f64;
+    assert!(
+        mean_kept < 0.5,
+        "transforms should gate most benefit; kept {mean_kept:.2}"
+    );
+}
+
+#[test]
+fn mgrid_needs_fission_to_accelerate() {
+    // mgrid's 27-point stencils exceed the 16-load-stream budget; without
+    // static fission nothing accelerates.
+    let cpu = CpuModel::arm11();
+    let app = veal::workloads::application("172.mgrid").unwrap();
+    let without = AccelSetup {
+        static_transforms: false,
+        translation_free: true,
+        ..AccelSetup::paper(TranslationPolicy::static_hints())
+    };
+    let run = run_application(&app, &cpu, &without);
+    let accelerated = run.loops.iter().filter(|l| l.accelerated).count();
+    assert_eq!(
+        accelerated, 0,
+        "raw mgrid loops must be rejected without fission"
+    );
+}
+
+#[test]
+fn small_code_cache_forces_retranslation() {
+    let cpu = CpuModel::arm11();
+    let app = veal::workloads::application("mpeg2dec").unwrap();
+    let big = AccelSetup::paper(TranslationPolicy::fully_dynamic());
+    let tiny = AccelSetup {
+        cache_entries: 2,
+        ..big.clone()
+    };
+    let run_big = run_application(&app, &cpu, &big);
+    let run_tiny = run_application(&app, &cpu, &tiny);
+    // With sequential invocation bursts the tiny cache still mostly hits,
+    // but it can never do better than the big one.
+    assert!(run_tiny.translations >= run_big.translations);
+    assert!(run_tiny.speedup() <= run_big.speedup() + 1e-9);
+}
+
+#[test]
+fn hints_survive_latency_evolution() {
+    // Paper footnote 3: statically encoded recurrence criticality is only
+    // architecture independent while FU latencies stay consistent. When a
+    // future accelerator changes a latency, the hinted binary must still
+    // *work* (translate or fall back), even if the schedule is no longer
+    // ideal.
+    use veal::LatencyModel;
+    let base = AcceleratorConfig::paper_design();
+    let body = kernels::adpcm_step();
+    let hints = compute_hints(&body, &base, Some(&CcaSpec::paper()));
+
+    let mut slow_mul = LatencyModel::default();
+    slow_mul.set(veal::Opcode::Mul, 5);
+    let mut evolved = AcceleratorConfig::paper_design();
+    evolved.latencies = slow_mul;
+
+    let t = Translator::new(evolved, Some(CcaSpec::paper()), TranslationPolicy::static_hints());
+    let out = t.translate(&body, &hints);
+    let mapped = out.result.expect("hinted binary still maps on evolved latencies");
+    // The recurrence through the 5-cycle multiplier now bounds II higher
+    // than the default machine's 9.
+    assert!(mapped.scheduled.schedule.ii >= 11, "II {}", mapped.scheduled.schedule.ii);
+}
+
+#[test]
+fn dynamic_translation_adapts_to_latency_evolution() {
+    use veal::LatencyModel;
+    let body = kernels::fir(8);
+    let mut fast_mul = LatencyModel::default();
+    fast_mul.set(veal::Opcode::Mul, 1);
+    let mut evolved = AcceleratorConfig::paper_design();
+    evolved.latencies = fast_mul.clone();
+
+    let t_default = Translator::new(
+        AcceleratorConfig::paper_design(),
+        Some(CcaSpec::paper()),
+        TranslationPolicy::fully_dynamic(),
+    );
+    let t_evolved = Translator::new(evolved, Some(CcaSpec::paper()), TranslationPolicy::fully_dynamic());
+    let a = t_default.translate(&body, &StaticHints::none()).result.unwrap();
+    let b = t_evolved.translate(&body, &StaticHints::none()).result.unwrap();
+    // A faster multiplier can only help the schedule.
+    assert!(b.scheduled.schedule.ii <= a.scheduled.schedule.ii);
+}
