@@ -152,6 +152,32 @@ impl AcceleratorConfig {
     pub fn area(&self) -> AreaBreakdown {
         AreaModel::default().estimate(self)
     }
+
+    /// Stable fingerprint over every field that affects translation and
+    /// scheduling. Two configurations with equal fingerprints schedule any
+    /// loop identically, so the fingerprint (together with the loop's
+    /// content hash and the CCA/policy fingerprints) keys memoized
+    /// translation results in the design-space-exploration sweep engine.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = veal_ir::rng::Fnv64::new();
+        for n in [
+            self.int_units,
+            self.fp_units,
+            self.cca_units,
+            self.int_regs,
+            self.fp_regs,
+            self.load_streams,
+            self.store_streams,
+            self.load_addr_gens,
+            self.store_addr_gens,
+        ] {
+            h.write_u64(n as u64);
+        }
+        h.write_u64(u64::from(self.max_ii));
+        h.write_u64(self.latencies.fingerprint());
+        h.finish()
+    }
 }
 
 fn div_ceil(a: usize, b: usize) -> usize {
@@ -392,8 +418,7 @@ mod tests {
         let la = AcceleratorConfig::paper_design();
         // 16 load streams over 4 generators: each serves 4 streams, so the
         // kernel must be at least 4 cycles long.
-        assert_eq!
-        (
+        assert_eq!(
             la.min_ii_for_streams(StreamSummary {
                 loads: 16,
                 stores: 0
@@ -401,11 +426,17 @@ mod tests {
             4
         );
         assert_eq!(
-            la.min_ii_for_streams(StreamSummary { loads: 1, stores: 1 }),
+            la.min_ii_for_streams(StreamSummary {
+                loads: 1,
+                stores: 1
+            }),
             1
         );
         assert_eq!(
-            la.min_ii_for_streams(StreamSummary { loads: 0, stores: 5 }),
+            la.min_ii_for_streams(StreamSummary {
+                loads: 0,
+                stores: 5
+            }),
             3
         );
     }
@@ -417,6 +448,30 @@ mod tests {
         assert_eq!(la.units(ResourceKind::Cca), 1);
         assert_eq!(la.units(ResourceKind::LoadPort), 4);
         assert_eq!(la.units(ResourceKind::StorePort), 2);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_configs() {
+        let a = AcceleratorConfig::paper_design();
+        let b = AcceleratorConfig::paper_design();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_ne!(
+            a.fingerprint(),
+            AcceleratorConfig::builder()
+                .int_units(4)
+                .build()
+                .fingerprint()
+        );
+        assert_ne!(a.fingerprint(), AcceleratorConfig::infinite().fingerprint());
+        let mut lat = LatencyModel::new();
+        lat.set(veal_ir::Opcode::Mul, 9);
+        assert_ne!(
+            a.fingerprint(),
+            AcceleratorConfig::builder()
+                .latencies(lat)
+                .build()
+                .fingerprint()
+        );
     }
 
     #[test]

@@ -58,6 +58,21 @@ impl LatencyModel {
             .iter()
             .all(|&(op, l)| l == op.default_latency())
     }
+
+    /// Stable fingerprint of the *effective* latency table.
+    ///
+    /// Hashes `latency(op)` over every opcode, so two models that resolve
+    /// to the same cycle counts fingerprint identically regardless of how
+    /// their override lists were built (redundant or shadowed `set` calls
+    /// don't perturb it). Used to key memoized translation results.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = veal_ir::rng::Fnv64::new();
+        for &op in veal_ir::opcode::ALL_OPCODES {
+            h.write_u64(u64::from(self.latency(op)));
+        }
+        h.finish()
+    }
 }
 
 #[cfg(test)]
@@ -93,5 +108,24 @@ mod tests {
     fn zero_latency_rejected() {
         let mut m = LatencyModel::new();
         m.set(Opcode::Add, 0);
+    }
+
+    #[test]
+    fn fingerprint_tracks_effective_latencies() {
+        let base = LatencyModel::new();
+        let mut redundant = LatencyModel::new();
+        redundant.set(Opcode::Add, Opcode::Add.default_latency());
+        // Same effective table → same fingerprint, however it was built.
+        assert_eq!(base.fingerprint(), redundant.fingerprint());
+
+        let mut changed = LatencyModel::new();
+        changed.set(Opcode::Mul, 7);
+        assert_ne!(base.fingerprint(), changed.fingerprint());
+
+        // Shadowed overrides resolve before hashing.
+        let mut shadowed = LatencyModel::new();
+        shadowed.set(Opcode::Mul, 2);
+        shadowed.set(Opcode::Mul, 7);
+        assert_eq!(changed.fingerprint(), shadowed.fingerprint());
     }
 }

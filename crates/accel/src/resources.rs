@@ -78,9 +78,18 @@ mod tests {
 
     #[test]
     fn opcode_resource_mapping() {
-        assert_eq!(ResourceKind::for_opcode(Opcode::Add), Some(ResourceKind::Int));
-        assert_eq!(ResourceKind::for_opcode(Opcode::FMul), Some(ResourceKind::Fp));
-        assert_eq!(ResourceKind::for_opcode(Opcode::Cca), Some(ResourceKind::Cca));
+        assert_eq!(
+            ResourceKind::for_opcode(Opcode::Add),
+            Some(ResourceKind::Int)
+        );
+        assert_eq!(
+            ResourceKind::for_opcode(Opcode::FMul),
+            Some(ResourceKind::Fp)
+        );
+        assert_eq!(
+            ResourceKind::for_opcode(Opcode::Cca),
+            Some(ResourceKind::Cca)
+        );
         assert_eq!(
             ResourceKind::for_opcode(Opcode::Load),
             Some(ResourceKind::LoadPort)

@@ -1,11 +1,11 @@
 //! Benchmarks for the binary module codec: the cost of shipping loops (and
 //! their Figure 9 hint sections) through the VEAL binary format.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use veal::{
     compute_hints, decode_module, encode_module, AcceleratorConfig, BinaryModule, CcaSpec,
     EncodedLoop,
 };
+use veal_bench::harness::bench;
 use veal_workloads::kernels;
 
 fn module(with_hints: bool) -> BinaryModule {
@@ -37,16 +37,13 @@ fn module(with_hints: bool) -> BinaryModule {
     }
 }
 
-fn bench_codec(c: &mut Criterion) {
+fn main() {
     for (label, with_hints) in [("plain", false), ("hinted", true)] {
         let m = module(with_hints);
         let bytes = encode_module(&m);
-        c.bench_function(&format!("encode/{label}"), |b| b.iter(|| encode_module(&m)));
-        c.bench_function(&format!("decode/{label}"), |b| {
-            b.iter(|| decode_module(&bytes).expect("valid module"))
+        bench(&format!("encode/{label}"), || encode_module(&m));
+        bench(&format!("decode/{label}"), || {
+            decode_module(&bytes).expect("valid module")
         });
     }
 }
-
-criterion_group!(benches, bench_codec);
-criterion_main!(benches);

@@ -2,10 +2,10 @@
 //! priority core), the Swing vs. height orderings, and list scheduling —
 //! the per-phase picture behind Figure 8, in wall-clock terms.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use veal::ir::streams::separate;
 use veal::sched::{height_order, list_schedule, rec_mii, res_mii, swing_order, MinDist};
 use veal::{AcceleratorConfig, CcaSpec, CostMeter, Dfg};
+use veal_bench::harness::bench;
 use veal_ir::streams::StreamSummary;
 use veal_workloads::{synth_loop, SynthSpec};
 
@@ -26,39 +26,43 @@ fn prepared(ops: usize) -> (Dfg, StreamSummary) {
     (dfg, summary)
 }
 
-fn bench_mindist(c: &mut Criterion) {
+fn bench_mindist() {
     let la = AcceleratorConfig::paper_design();
-    let mut g = c.benchmark_group("mindist");
     for ops in [16usize, 32, 64] {
         let (dfg, _) = prepared(ops);
-        g.bench_with_input(BenchmarkId::from_parameter(ops), &dfg, |b, dfg| {
-            b.iter(|| MinDist::compute(dfg, &la.latencies, 4, &mut CostMeter::new()))
+        bench(&format!("mindist/{ops}"), || {
+            MinDist::compute(&dfg, &la.latencies, 4, &mut CostMeter::new())
         });
     }
-    g.finish();
 }
 
-fn bench_orderings(c: &mut Criterion) {
+fn bench_orderings() {
     let la = AcceleratorConfig::paper_design();
     let (dfg, _) = prepared(40);
-    c.bench_function("order/swing", |b| {
-        b.iter(|| swing_order(&dfg, &la.latencies, 4, &mut CostMeter::new()))
+    bench("order/swing", || {
+        swing_order(&dfg, &la.latencies, 4, &mut CostMeter::new())
     });
-    c.bench_function("order/height", |b| {
-        b.iter(|| height_order(&dfg, &la.latencies, &mut CostMeter::new()))
+    bench("order/height", || {
+        height_order(&dfg, &la.latencies, &mut CostMeter::new())
     });
 }
 
-fn bench_list_schedule(c: &mut Criterion) {
+fn bench_list_schedule() {
     let la = AcceleratorConfig::paper_design();
     let (dfg, summary) = prepared(40);
-    let mii = res_mii(&dfg, &la, summary, &mut CostMeter::new())
-        .max(rec_mii(&dfg, &la.latencies, &mut CostMeter::new()));
+    let mii = res_mii(&dfg, &la, summary, &mut CostMeter::new()).max(rec_mii(
+        &dfg,
+        &la.latencies,
+        &mut CostMeter::new(),
+    ));
     let order = swing_order(&dfg, &la.latencies, mii, &mut CostMeter::new());
-    c.bench_function("list_schedule", |b| {
-        b.iter(|| list_schedule(&dfg, &la, &order, mii, summary, &mut CostMeter::new()))
+    bench("list_schedule", || {
+        list_schedule(&dfg, &la, &order, mii, summary, &mut CostMeter::new())
     });
 }
 
-criterion_group!(benches, bench_mindist, bench_orderings, bench_list_schedule);
-criterion_main!(benches);
+fn main() {
+    bench_mindist();
+    bench_orderings();
+    bench_list_schedule();
+}

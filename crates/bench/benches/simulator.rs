@@ -1,50 +1,43 @@
 //! Benchmarks for the timing simulator: per-loop CPU scoreboard timing and
 //! whole-application runs (the machinery every figure binary drives).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use veal::{run_application, AccelSetup, CpuModel, TranslationPolicy};
+use veal_bench::harness::bench;
 use veal_workloads::kernels;
 
-fn bench_loop_timing(c: &mut Criterion) {
+fn bench_loop_timing() {
     let bodies = [
         ("adpcm_step", kernels::adpcm_step()),
         ("idct_row", kernels::idct_row()),
         ("mgrid27", kernels::mgrid_resid(27)),
     ];
-    let mut g = c.benchmark_group("cpu_loop_cycles");
     for cpu in [CpuModel::arm11(), CpuModel::quad_issue()] {
         for (name, body) in &bodies {
-            g.bench_with_input(
-                BenchmarkId::new(cpu.name, name),
-                body,
-                |b, body| b.iter(|| cpu.loop_cycles_per_iter(&body.dfg)),
-            );
+            bench(&format!("cpu_loop_cycles/{}/{name}", cpu.name), || {
+                cpu.loop_cycles_per_iter(&body.dfg)
+            });
         }
     }
-    g.finish();
 }
 
-fn bench_app_run(c: &mut Criterion) {
+fn bench_app_run() {
     let cpu = CpuModel::arm11();
-    let mut g = c.benchmark_group("run_application");
-    g.sample_size(10);
     for name in ["rawcaudio", "mpeg2dec"] {
         let app = veal::workloads::application(name).expect("suite app");
-        g.bench_function(BenchmarkId::new("native", name), |b| {
-            b.iter(|| run_application(&app, &cpu, &AccelSetup::native()))
+        bench(&format!("run_application/native/{name}"), || {
+            run_application(&app, &cpu, &AccelSetup::native())
         });
-        g.bench_function(BenchmarkId::new("fully_dynamic", name), |b| {
-            b.iter(|| {
-                run_application(
-                    &app,
-                    &cpu,
-                    &AccelSetup::paper(TranslationPolicy::fully_dynamic()),
-                )
-            })
+        bench(&format!("run_application/fully_dynamic/{name}"), || {
+            run_application(
+                &app,
+                &cpu,
+                &AccelSetup::paper(TranslationPolicy::fully_dynamic()),
+            )
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_loop_timing, bench_app_run);
-criterion_main!(benches);
+fn main() {
+    bench_loop_timing();
+    bench_app_run();
+}

@@ -2,21 +2,23 @@
 //! translator actually takes per loop, per policy.
 //!
 //! The paper measured translation in x86 instructions via OProfile; here
-//! Criterion measures the real host time of this implementation, so the
-//! *ratios* between policies (fully dynamic vs. hinted) and between loop
-//! sizes are the meaningful output.
+//! we measure the real host time of this implementation, so the *ratios*
+//! between policies (fully dynamic vs. hinted) and between loop sizes are
+//! the meaningful output.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use veal::{
-    compute_hints, AcceleratorConfig, CcaSpec, StaticHints, TranslationPolicy, Translator,
-};
+use veal::{compute_hints, AcceleratorConfig, CcaSpec, StaticHints, TranslationPolicy, Translator};
+use veal_bench::harness::bench;
 use veal_workloads::kernels;
 
 fn translators() -> (Translator, Translator, Translator) {
     let la = AcceleratorConfig::paper_design();
     let cca = CcaSpec::paper();
     (
-        Translator::new(la.clone(), Some(cca.clone()), TranslationPolicy::fully_dynamic()),
+        Translator::new(
+            la.clone(),
+            Some(cca.clone()),
+            TranslationPolicy::fully_dynamic(),
+        ),
         Translator::new(
             la.clone(),
             Some(cca.clone()),
@@ -26,7 +28,7 @@ fn translators() -> (Translator, Translator, Translator) {
     )
 }
 
-fn bench_policies(c: &mut Criterion) {
+fn bench_policies() {
     let (dynamic, height, hinted) = translators();
     let la = AcceleratorConfig::paper_design();
     let bodies = [
@@ -35,30 +37,30 @@ fn bench_policies(c: &mut Criterion) {
         ("crypto4", kernels::crypto_round(4)),
         ("swim_stencil", kernels::swim_stencil()),
     ];
-    let mut g = c.benchmark_group("translate");
     for (name, body) in &bodies {
         let hints = compute_hints(body, &la, Some(&CcaSpec::paper()));
-        g.bench_with_input(BenchmarkId::new("fully_dynamic", name), body, |b, body| {
-            b.iter(|| dynamic.translate(body, &StaticHints::none()))
+        bench(&format!("translate/fully_dynamic/{name}"), || {
+            dynamic.translate(body, &StaticHints::none())
         });
-        g.bench_with_input(BenchmarkId::new("height", name), body, |b, body| {
-            b.iter(|| height.translate(body, &StaticHints::none()))
+        bench(&format!("translate/height/{name}"), || {
+            height.translate(body, &StaticHints::none())
         });
-        g.bench_with_input(BenchmarkId::new("static_hints", name), body, |b, body| {
-            b.iter(|| hinted.translate(body, &hints))
+        bench(&format!("translate/static_hints/{name}"), || {
+            hinted.translate(body, &hints)
         });
     }
-    g.finish();
 }
 
-fn bench_hint_generation(c: &mut Criterion) {
+fn bench_hint_generation() {
     // The *static* compiler's side of the bargain.
     let la = AcceleratorConfig::paper_design();
     let body = kernels::idct_row();
-    c.bench_function("compute_hints/idct_row", |b| {
-        b.iter(|| compute_hints(&body, &la, Some(&CcaSpec::paper())))
+    bench("compute_hints/idct_row", || {
+        compute_hints(&body, &la, Some(&CcaSpec::paper()))
     });
 }
 
-criterion_group!(benches, bench_policies, bench_hint_generation);
-criterion_main!(benches);
+fn main() {
+    bench_policies();
+    bench_hint_generation();
+}

@@ -4,7 +4,10 @@ fn main() {
         ("Figure 2", veal_bench::figures::fig2::run),
         ("Figure 3", veal_bench::figures::fig3::run),
         ("Figure 4", veal_bench::figures::fig4::run),
-        ("Design point (Section 3.2)", veal_bench::figures::table_design::run),
+        (
+            "Design point (Section 3.2)",
+            veal_bench::figures::table_design::run,
+        ),
         ("Figure 5", veal_bench::figures::fig5::run),
         ("Figure 6", veal_bench::figures::fig6::run),
         ("Figure 7", veal_bench::figures::fig7::run),

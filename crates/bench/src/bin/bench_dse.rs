@@ -1,0 +1,135 @@
+//! Benchmarks the design-space-exploration sweep engine: the Figure 3(a)
+//! integer-unit sweep evaluated through the pre-sweep serial API
+//! (`veal::sim::dse::fraction_of_infinite`, which recomputes the
+//! infinite-resource baseline at every point and memoizes nothing) against
+//! [`veal::SweepContext`] (parallel across points, shared translation memo,
+//! baseline computed once), asserting the two produce bit-identical
+//! fractions. A third pass re-runs the sweep on the warm context to show
+//! the memo's steady-state cost (what `all_figures` pays when several
+//! figures share a suite).
+//!
+//! Results are printed and written to `BENCH_dse.json` in the current
+//! directory: wall-clock per arm, the suite's abstract-instruction
+//! translation totals, memo hit/miss counters, and the speedup ratios.
+
+use std::time::Instant;
+use veal::{AcceleratorConfig, CcaSpec, CpuModel, SweepContext};
+
+/// The Figure 3(a) x-axis: integer-unit budgets swept over the suite.
+const UNIT_COUNTS: [usize; 10] = [1, 2, 3, 4, 6, 8, 12, 16, 24, 32];
+
+fn point_config(n: usize) -> AcceleratorConfig {
+    let mut cfg = AcceleratorConfig::infinite();
+    cfg.int_units = n;
+    cfg.cca_units = 1;
+    cfg
+}
+
+/// Abstract translation instructions simulated across one suite evaluation.
+fn abstract_instructions(ctx: &SweepContext, config: &AcceleratorConfig) -> u64 {
+    ctx.run_suite(&ctx.setup(config, Some(&CcaSpec::paper())))
+        .iter()
+        .map(|r| r.breakdown.total())
+        .sum()
+}
+
+fn main() {
+    let apps = veal::workloads::media_fp_suite();
+    let cpu = CpuModel::arm11();
+    let threads = veal_par::thread_count();
+    println!(
+        "bench_dse: Figure 3(a) integer-unit sweep, {} apps x {} points, {} thread(s)",
+        apps.len(),
+        UNIT_COUNTS.len(),
+        threads
+    );
+
+    // Arm 1: the pre-sweep serial API. Every point re-runs the
+    // infinite-resource baseline and re-translates every loop.
+    let t0 = Instant::now();
+    let serial: Vec<f64> = UNIT_COUNTS
+        .iter()
+        .map(|&n| {
+            veal::sim::dse::fraction_of_infinite(
+                &apps,
+                &cpu,
+                &point_config(n),
+                Some(&CcaSpec::paper()),
+            )
+        })
+        .collect();
+    let serial_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // Arm 2: the sweep engine — points fan out across the thread budget,
+    // translations land in the shared memo, the baseline is computed once.
+    let ctx = SweepContext::new(apps.clone(), cpu.clone());
+    let t0 = Instant::now();
+    let _ = ctx.infinite_mean();
+    let swept = ctx.eval_points(&UNIT_COUNTS, |c, &n| {
+        c.fraction_of_infinite(&point_config(n), Some(&CcaSpec::paper()))
+    });
+    let sweep_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let cold = ctx.memo_stats();
+
+    // The whole point: identical numbers, or the speed means nothing.
+    assert_eq!(serial.len(), swept.len());
+    for (i, (a, b)) in serial.iter().zip(&swept).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "point {} diverged: serial {a} vs sweep {b}",
+            UNIT_COUNTS[i]
+        );
+    }
+
+    // Arm 3: the same sweep again on the warm context — every translation
+    // is a memo hit, which is what repeated figures over one suite pay.
+    let t0 = Instant::now();
+    let again = ctx.eval_points(&UNIT_COUNTS, |c, &n| {
+        c.fraction_of_infinite(&point_config(n), Some(&CcaSpec::paper()))
+    });
+    let warm_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let warm = ctx.memo_stats();
+    for (a, b) in swept.iter().zip(&again) {
+        assert_eq!(a.to_bits(), b.to_bits(), "warm re-sweep diverged");
+    }
+
+    // Abstract-instruction totals are a property of the simulated VM, not
+    // the host: the memo replays them, so one point's total characterizes
+    // the per-evaluation translation work the serial arm repeats.
+    let abstract_per_eval = abstract_instructions(&ctx, &point_config(4));
+
+    let speedup = serial_ms / sweep_ms.max(1e-9);
+    let warm_speedup = serial_ms / warm_ms.max(1e-9);
+    println!("serial / no memo : {serial_ms:>10.1} ms  (baseline recomputed per point)");
+    println!("sweep engine     : {sweep_ms:>10.1} ms  ({speedup:.2}x, cold memo)");
+    println!("warm re-sweep    : {warm_ms:>10.1} ms  ({warm_speedup:.2}x, all memo hits)");
+    println!(
+        "memo             : cold {}/{} hit/miss, warm {}/{}; {} entries",
+        cold.hits, cold.misses, warm.hits, warm.misses, warm.entries
+    );
+    println!("abstract instrs  : {abstract_per_eval} per suite evaluation");
+    println!("outputs          : bit-identical across all three arms");
+
+    let json = format!(
+        "{{\n  \"sweep\": \"fig3a_int_units\",\n  \"apps\": {},\n  \"points\": {},\n  \
+         \"threads\": {},\n  \"serial_no_memo_ms\": {:.3},\n  \"sweep_engine_ms\": {:.3},\n  \
+         \"warm_resweep_ms\": {:.3},\n  \"speedup\": {:.3},\n  \"warm_speedup\": {:.3},\n  \
+         \"memo_hits\": {},\n  \"memo_misses\": {},\n  \"memo_entries\": {},\n  \
+         \"abstract_instructions_per_eval\": {},\n  \"bit_identical\": true\n}}\n",
+        apps.len(),
+        UNIT_COUNTS.len(),
+        threads,
+        serial_ms,
+        sweep_ms,
+        warm_ms,
+        speedup,
+        warm_speedup,
+        warm.hits,
+        warm.misses,
+        warm.entries,
+        abstract_per_eval,
+    );
+    std::fs::write("BENCH_dse.json", json).expect("write BENCH_dse.json");
+    println!("wrote BENCH_dse.json");
+}

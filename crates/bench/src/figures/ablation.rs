@@ -2,9 +2,8 @@
 //! mapper's greediness, the code-cache size, the priority function, and
 //! the accelerator template against related-work configurations.
 
-use veal::sim::dse::mean_speedup;
 use veal::{
-    run_application, AccelSetup, AcceleratorConfig, CcaSpec, CostMeter, CpuModel,
+    run_application, AccelSetup, AcceleratorConfig, CcaSpec, CostMeter, CpuModel, SweepContext,
     TranslationPolicy,
 };
 use veal_workloads::kernels;
@@ -75,7 +74,10 @@ fn cache_size_sweep() {
     use veal::{StaticHints, Translator};
 
     println!("Ablation B: code-cache capacity (interleaved mpeg2dec frame loop)");
-    println!("{:>8} {:>14} {:>14} {:>10}", "entries", "translations", "trans cycles", "hit rate");
+    println!(
+        "{:>8} {:>14} {:>14} {:>10}",
+        "entries", "translations", "trans cycles", "hit rate"
+    );
     crate::rule(52);
     let app = veal::workloads::application("mpeg2dec").unwrap();
     let limits = veal::TransformLimits::default();
@@ -122,7 +124,9 @@ fn priority_quality() {
     println!("{:<14} {:>10} {:>10}", "benchmark", "swing", "height");
     crate::rule(38);
     let cpu = CpuModel::arm11();
-    for name in ["gsmencode", "056.ear", "mpeg2dec", "171.swim"] {
+    let names = ["gsmencode", "056.ear", "mpeg2dec", "171.swim"];
+    // Independent (app, priority) runs fan out across the worker threads.
+    let rows = veal_par::par_map(&names, |_, name| {
         let app = veal::workloads::application(name).unwrap();
         let swing = AccelSetup {
             translation_free: true,
@@ -132,12 +136,13 @@ fn priority_quality() {
             translation_free: true,
             ..AccelSetup::paper(TranslationPolicy::fully_dynamic_height())
         };
-        println!(
-            "{:<14} {:>10.2} {:>10.2}",
-            name,
+        (
             run_application(&app, &cpu, &swing).speedup(),
-            run_application(&app, &cpu, &height).speedup()
-        );
+            run_application(&app, &cpu, &height).speedup(),
+        )
+    });
+    for (name, (swing, height)) in names.iter().zip(&rows) {
+        println!("{name:<14} {swing:>10.2} {height:>10.2}");
     }
     println!(
         "(with cost removed, Swing's lifetime-sensitive schedules win or\n\
@@ -151,8 +156,7 @@ fn related_work_configs() {
     println!("Ablation D: accelerator templates (translation-free means)");
     println!("{:<26} {:>9} {:>9}", "configuration", "speedup", "mm2");
     crate::rule(46);
-    let apps = veal::workloads::media_fp_suite();
-    let cpu = CpuModel::arm11();
+    let ctx = SweepContext::new(veal::workloads::media_fp_suite(), CpuModel::arm11());
     let rows: [(&str, AcceleratorConfig, Option<CcaSpec>); 4] = [
         (
             "paper design point",
@@ -171,8 +175,9 @@ fn related_work_configs() {
             Some(CcaSpec::paper()),
         ),
     ];
-    for (name, cfg, cca) in rows {
-        let s = mean_speedup(&apps, &cpu, &cfg, cca.as_ref());
+    // The four templates evaluate in parallel over the shared memo.
+    let speedups = ctx.eval_points(&rows, |c, (_, cfg, cca)| c.mean_speedup(cfg, cca.as_ref()));
+    for ((name, cfg, _), s) in rows.iter().zip(&speedups) {
         println!("{:<26} {:>8.2}x {:>9.2}", name, s, cfg.area().total());
     }
     println!(

@@ -1,49 +1,47 @@
 //! Figure 3: execution-resource needs (function units and registers).
 
-use veal::sim::dse::mean_speedup;
-use veal::{AcceleratorConfig, CcaSpec, CpuModel};
-use veal_workloads::Application;
-
-fn apps() -> Vec<Application> {
-    veal::workloads::media_fp_suite()
-}
-
-fn infinite_mean(apps: &[Application], cpu: &CpuModel) -> f64 {
-    mean_speedup(apps, cpu, &AcceleratorConfig::infinite(), Some(&CcaSpec::paper()))
-}
+use veal::{AcceleratorConfig, CcaSpec, CpuModel, SweepContext};
 
 /// Prints both panels of Figure 3: fraction of infinite-resource speedup
 /// vs. (a) function units and (b) registers.
+///
+/// All rows run on one [`SweepContext`], so the sweep points fan out
+/// across worker threads, the per-loop translations are shared through
+/// the memo, and the infinite-resource denominator is computed once.
 pub fn run() {
-    let apps = apps();
-    let cpu = CpuModel::arm11();
-    let infinite = infinite_mean(&apps, &cpu);
+    let ctx = SweepContext::new(veal::workloads::media_fp_suite(), CpuModel::arm11());
+    let inf = AcceleratorConfig::infinite();
+    // Force the shared denominator with the full thread budget before the
+    // point-level fan-out pins workers to one thread each.
+    let _ = ctx.infinite_mean();
+
     println!("Figure 3(a): fraction of infinite-resource speedup vs #FUs");
     println!(
         "{:>6} {:>12} {:>12} {:>10}",
         "units", "IEx (no CCA)", "IEx + 1 CCA", "FEx"
     );
     crate::rule(46);
-    let inf = AcceleratorConfig::infinite();
-    for &n in &[1usize, 2, 3, 4, 6, 8, 12, 16, 24, 32] {
+    let unit_counts = [1usize, 2, 3, 4, 6, 8, 12, 16, 24, 32];
+    let rows = ctx.eval_points(&unit_counts, |c, &n| {
         // Integer units without a CCA.
         let mut cfg = inf.clone();
         cfg.int_units = n;
         cfg.cca_units = 0;
-        let f_int = mean_speedup(&apps, &cpu, &cfg, None) / infinite;
+        let f_int = c.fraction_of_infinite(&cfg, None);
         // Integer units with one CCA.
         let mut cfg = inf.clone();
         cfg.int_units = n;
         cfg.cca_units = 1;
-        let f_cca = mean_speedup(&apps, &cpu, &cfg, Some(&CcaSpec::paper())) / infinite;
+        let f_cca = c.fraction_of_infinite(&cfg, Some(&CcaSpec::paper()));
         // FP units (CCA present, everything else infinite).
-        let f_fp = if n <= 8 {
+        let f_fp = (n <= 8).then(|| {
             let mut cfg = inf.clone();
             cfg.fp_units = n;
-            Some(mean_speedup(&apps, &cpu, &cfg, Some(&CcaSpec::paper())) / infinite)
-        } else {
-            None
-        };
+            c.fraction_of_infinite(&cfg, Some(&CcaSpec::paper()))
+        });
+        (f_int, f_cca, f_fp)
+    });
+    for (&n, (f_int, f_cca, f_fp)) in unit_counts.iter().zip(&rows) {
         match f_fp {
             Some(f) => println!("{n:>6} {f_int:>12.3} {f_cca:>12.3} {f:>10.3}"),
             None => println!("{n:>6} {f_int:>12.3} {f_cca:>12.3} {:>10}", "-"),
@@ -60,17 +58,21 @@ pub fn run() {
         "regs", "integer", "fp", "int + CCA"
     );
     crate::rule(42);
-    for &n in &[1usize, 2, 4, 8, 12, 16, 24, 32, 64] {
+    let reg_counts = [1usize, 2, 4, 8, 12, 16, 24, 32, 64];
+    let rows = ctx.eval_points(&reg_counts, |c, &n| {
         let mut cfg = inf.clone();
         cfg.int_regs = n;
         cfg.cca_units = 0;
-        let f_int = mean_speedup(&apps, &cpu, &cfg, None) / infinite;
+        let f_int = c.fraction_of_infinite(&cfg, None);
         let mut cfg = inf.clone();
         cfg.fp_regs = n;
-        let f_fp = mean_speedup(&apps, &cpu, &cfg, Some(&CcaSpec::paper())) / infinite;
+        let f_fp = c.fraction_of_infinite(&cfg, Some(&CcaSpec::paper()));
         let mut cfg = inf.clone();
         cfg.int_regs = n;
-        let f_ic = mean_speedup(&apps, &cpu, &cfg, Some(&CcaSpec::paper())) / infinite;
+        let f_ic = c.fraction_of_infinite(&cfg, Some(&CcaSpec::paper()));
+        (f_int, f_fp, f_ic)
+    });
+    for (&n, (f_int, f_fp, f_ic)) in reg_counts.iter().zip(&rows) {
         println!("{n:>6} {f_int:>10.3} {f_fp:>10.3} {f_ic:>12.3}");
     }
     println!(

@@ -1,29 +1,37 @@
 //! Figure 4: memory streams and maximum II requirements.
 
-use veal::sim::dse::mean_speedup;
-use veal::{AcceleratorConfig, CcaSpec, CpuModel};
+use veal::{AcceleratorConfig, CcaSpec, CpuModel, SweepContext};
 
 /// Prints both panels of Figure 4: fraction of infinite-resource speedup
 /// vs. (a) load/store stream budgets and (b) the maximum supported II.
+///
+/// Both panels run on one [`SweepContext`]: points evaluate in parallel,
+/// translations are memoized across rows, and the infinite-resource
+/// denominator is computed once for the whole figure.
 pub fn run() {
-    let apps = veal::workloads::media_fp_suite();
-    let cpu = CpuModel::arm11();
+    let ctx = SweepContext::new(veal::workloads::media_fp_suite(), CpuModel::arm11());
     let inf = AcceleratorConfig::infinite();
-    let infinite = mean_speedup(&apps, &cpu, &inf, Some(&CcaSpec::paper()));
+    // Force the shared denominator with the full thread budget before the
+    // point-level fan-out pins workers to one thread each.
+    let _ = ctx.infinite_mean();
 
     println!("Figure 4(a): fraction of infinite-resource speedup vs #streams");
     println!("{:>8} {:>12} {:>12}", "streams", "load", "store");
     crate::rule(36);
-    for &n in &[1usize, 2, 4, 6, 8, 12, 16, 24, 32] {
+    let stream_counts = [1usize, 2, 4, 6, 8, 12, 16, 24, 32];
+    let rows = ctx.eval_points(&stream_counts, |c, &n| {
         // Address generators keep the paper's 4:1 time multiplexing.
         let mut cfg = inf.clone();
         cfg.load_streams = n;
         cfg.load_addr_gens = n.div_ceil(4).max(1);
-        let f_load = mean_speedup(&apps, &cpu, &cfg, Some(&CcaSpec::paper())) / infinite;
+        let f_load = c.fraction_of_infinite(&cfg, Some(&CcaSpec::paper()));
         let mut cfg = inf.clone();
         cfg.store_streams = n;
         cfg.store_addr_gens = n.div_ceil(4).max(1);
-        let f_store = mean_speedup(&apps, &cpu, &cfg, Some(&CcaSpec::paper())) / infinite;
+        let f_store = c.fraction_of_infinite(&cfg, Some(&CcaSpec::paper()));
+        (f_load, f_store)
+    });
+    for (&n, (f_load, f_store)) in stream_counts.iter().zip(&rows) {
         println!("{n:>8} {f_load:>12.3} {f_store:>12.3}");
     }
     println!(
@@ -35,10 +43,13 @@ pub fn run() {
     println!("Figure 4(b): fraction of infinite-resource speedup vs max II");
     println!("{:>8} {:>12}", "max II", "fraction");
     crate::rule(22);
-    for &ii in &[2u32, 4, 6, 8, 12, 16, 24, 32, 64] {
+    let iis = [2u32, 4, 6, 8, 12, 16, 24, 32, 64];
+    let rows = ctx.eval_points(&iis, |c, &ii| {
         let mut cfg = inf.clone();
         cfg.max_ii = ii;
-        let f = mean_speedup(&apps, &cpu, &cfg, Some(&CcaSpec::paper())) / infinite;
+        c.fraction_of_infinite(&cfg, Some(&CcaSpec::paper()))
+    });
+    for (&ii, f) in iis.iter().zip(&rows) {
         println!("{ii:>8} {f:>12.3}");
     }
     println!(

@@ -33,20 +33,18 @@ pub fn run() {
     for g in &groups {
         println!(
             "CCA group (the paper's op 16): ops {:?}",
-            g.members
-                .iter()
-                .map(|m| m.index() + 1)
-                .collect::<Vec<_>>()
+            g.members.iter().map(|m| m.index() + 1).collect::<Vec<_>>()
         );
     }
-    println!(
-        "ops 7 and 10 stay out: merging op 7 would lengthen the 4-7 recurrence"
-    );
+    println!("ops 7 and 10 stay out: merging op 7 would lengthen the 4-7 recurrence");
 
     let la = AcceleratorConfig::paper_design();
     let res = res_mii(&dfg, &la, summary, &mut meter);
     let rec = rec_mii(&dfg, &la.latencies, &mut meter);
-    println!("\nResMII = {res} (5 integer ops / 2 units), RecMII = {rec} -> MII = {}", res.max(rec));
+    println!(
+        "\nResMII = {res} (5 integer ops / 2 units), RecMII = {rec} -> MII = {}",
+        res.max(rec)
+    );
 
     let sys = System::paper(TranslationPolicy::fully_dynamic());
     let out = sys.translate_loop(&body, &StaticHints::none());

@@ -22,8 +22,8 @@ pub fn run() {
 
     println!("Figure 7: speedup attained without static loop transformations");
     println!(
-        "{:<14} {:>9} {:>9} {:>9}  {}",
-        "benchmark", "with", "without", "fraction", "(benefit retained)"
+        "{:<14} {:>9} {:>9} {:>9}  (benefit retained)",
+        "benchmark", "with", "without", "fraction"
     );
     crate::rule(64);
     let mut sum = 0.0f64;

@@ -23,7 +23,10 @@ pub fn run() {
     if let Some(groups) = &hints.cca_groups {
         for (i, g) in groups.iter().enumerate() {
             let members: Vec<String> = g.iter().map(|m| format!("op{}", m.index() + 1)).collect();
-            println!(".cca{i}: brl-abstracted subgraph {{ {} }}", members.join(" "));
+            println!(
+                ".cca{i}: brl-abstracted subgraph {{ {} }}",
+                members.join(" ")
+            );
         }
     }
 

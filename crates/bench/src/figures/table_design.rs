@@ -1,8 +1,7 @@
 //! The §3.2 design-point table: configuration, area budget, and the
 //! fraction of infinite-resource speedup it attains.
 
-use veal::sim::dse::{fraction_of_infinite, mean_speedup};
-use veal::{AcceleratorConfig, CcaSpec, CpuModel};
+use veal::{AcceleratorConfig, CcaSpec, CpuModel, SweepContext};
 
 /// Prints the design-point summary of paper §3.2.
 pub fn run() {
@@ -20,16 +19,12 @@ pub fn run() {
         veal::accel::CORTEX_A8_AREA_MM2
     );
 
-    let apps = veal::workloads::media_fp_suite();
-    let cpu = CpuModel::arm11();
-    let fraction = fraction_of_infinite(&apps, &cpu, &la, Some(&CcaSpec::paper()));
-    let finite = mean_speedup(&apps, &cpu, &la, Some(&CcaSpec::paper()));
-    let infinite = mean_speedup(
-        &apps,
-        &cpu,
-        &AcceleratorConfig::infinite(),
-        Some(&CcaSpec::paper()),
-    );
+    // One context: both configurations run in parallel across apps, share
+    // translations through the memo, and the infinite mean is computed once.
+    let ctx = SweepContext::new(veal::workloads::media_fp_suite(), CpuModel::arm11());
+    let finite = ctx.mean_speedup(&la, Some(&CcaSpec::paper()));
+    let infinite = ctx.infinite_mean();
+    let fraction = finite / infinite;
     println!(
         "\nmean speedup: {finite:.2}x (design point) vs {infinite:.2}x (infinite \
          resources)\nfraction of infinite-resource speedup attained: {:.1}%",

@@ -106,15 +106,15 @@ pub fn assign_rows(dfg: &Dfg, spec: &CcaSpec, group: &[OpId]) -> Option<RowAssig
             .expect("member is an op")
             .cca_arithmetic();
         let mut placed = false;
-        for r in min_row..spec.depth() {
+        for (r, load) in row_load.iter_mut().enumerate().skip(min_row) {
             if needs_arith && !spec.row_supports_arith(r) {
                 continue;
             }
-            if row_load[r] >= spec.row_caps[r] {
+            if *load >= spec.row_caps[r] {
                 continue;
             }
             row_of[index_of(m)] = Some(r);
-            row_load[r] += 1;
+            *load += 1;
             placed = true;
             break;
         }
@@ -177,10 +177,7 @@ pub fn is_convex(dfg: &Dfg, group: &[OpId]) -> bool {
 pub fn recurrences_ok(dfg: &Dfg, spec: &CcaSpec, group: &[OpId], sccs: &[Vec<OpId>]) -> bool {
     let set: HashSet<OpId> = group.iter().copied().collect();
     for scc in sccs {
-        let cyclic = scc.len() > 1
-            || dfg
-                .succ_edges(scc[0])
-                .any(|e| e.dst == scc[0]);
+        let cyclic = scc.len() > 1 || dfg.succ_edges(scc[0]).any(|e| e.dst == scc[0]);
         if !cyclic {
             continue;
         }

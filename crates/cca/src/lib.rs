@@ -34,8 +34,8 @@
 //! ```
 
 pub mod legality;
-pub mod optimal;
 pub mod mapper;
+pub mod optimal;
 pub mod spec;
 
 pub use legality::{group_io, is_legal_group, GroupIo, RowAssignment};

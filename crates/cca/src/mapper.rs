@@ -79,7 +79,8 @@ pub fn identify_groups(dfg: &Dfg, spec: &CcaSpec, meter: &mut CostMeter) -> Vec<
                 // convexity BFS, and the recurrence rule — several dozen
                 // instructions per member.
                 meter.charge(Phase::CcaMapping, 100 + (trial.len() as u64) * 80);
-                if is_legal_group(dfg, spec, &trial, &sccs) || provisional_ok(dfg, spec, &trial, &sccs)
+                if is_legal_group(dfg, spec, &trial, &sccs)
+                    || provisional_ok(dfg, spec, &trial, &sccs)
                 {
                     group = trial;
                     grew = true;

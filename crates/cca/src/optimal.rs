@@ -62,8 +62,7 @@ pub fn optimal_groups(dfg: &Dfg, spec: &CcaSpec, meter: &mut CostMeter) -> Optio
         chosen: &mut Vec<usize>,
     ) {
         if covered.count_ones() > best.0.count_ones()
-            || (covered.count_ones() == best.0.count_ones()
-                && chosen.len() < best.1.len())
+            || (covered.count_ones() == best.0.count_ones() && chosen.len() < best.1.len())
         {
             *best = (covered, chosen.clone());
         }
@@ -126,7 +125,13 @@ mod tests {
             let mut b = DfgBuilder::new();
             let mut vals = vec![b.live_in()];
             for i in 0..8 {
-                let ops = [Opcode::And, Opcode::Or, Opcode::Xor, Opcode::Add, Opcode::Shl];
+                let ops = [
+                    Opcode::And,
+                    Opcode::Or,
+                    Opcode::Xor,
+                    Opcode::Add,
+                    Opcode::Shl,
+                ];
                 let op = ops[((seed + i) % 5) as usize];
                 let a = vals[(seed as usize + i as usize) % vals.len()];
                 let c = vals[(seed as usize * 3 + i as usize) % vals.len()];

@@ -79,6 +79,23 @@ impl CcaSpec {
     pub fn row_supports_arith(&self, r: usize) -> bool {
         self.arith_rows[r]
     }
+
+    /// Stable fingerprint over the full CCA shape (inputs, outputs, row
+    /// capacities, per-row arithmetic capability, latency). Used to key
+    /// memoized translation results in the sweep engine.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = veal_ir::rng::Fnv64::new();
+        h.write_u64(self.inputs as u64);
+        h.write_u64(self.outputs as u64);
+        h.write_u64(self.row_caps.len() as u64);
+        for (&cap, &arith) in self.row_caps.iter().zip(&self.arith_rows) {
+            h.write_u64(cap as u64);
+            h.write_u8(u8::from(arith));
+        }
+        h.write_u64(u64::from(self.latency));
+        h.finish()
+    }
 }
 
 impl Default for CcaSpec {
@@ -129,5 +146,20 @@ mod tests {
     #[test]
     fn display_mentions_shape() {
         assert!(CcaSpec::paper().to_string().contains("4 in"));
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_shapes() {
+        assert_eq!(
+            CcaSpec::paper().fingerprint(),
+            CcaSpec::paper().fingerprint()
+        );
+        assert_ne!(
+            CcaSpec::paper().fingerprint(),
+            CcaSpec::narrow().fingerprint()
+        );
+        let mut slower = CcaSpec::paper();
+        slower.latency += 1;
+        assert_ne!(CcaSpec::paper().fingerprint(), slower.fingerprint());
     }
 }

@@ -14,9 +14,7 @@ use std::io::Read as _;
 use std::process::ExitCode;
 use veal::ir::asm::{parse_asm, to_asm};
 use veal::sched::render_mrt;
-use veal::{
-    compute_hints, AcceleratorConfig, CcaSpec, StaticHints, System, TranslationPolicy,
-};
+use veal::{compute_hints, AcceleratorConfig, CcaSpec, StaticHints, System, TranslationPolicy};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -69,7 +67,8 @@ fn read_input(path: &str) -> Result<String, String> {
     }
 }
 
-const EXAMPLE: &str = "; dot_product\n%0 = ld.s0\n%1 = ld.s1\n%2 = fmul %0, %1\n%3 = fadd %2, %3@1\nout %3\n";
+const EXAMPLE: &str =
+    "; dot_product\n%0 = ld.s0\n%1 = ld.s1\n%2 = fmul %0, %1\n%3 = fadd %2, %3@1\nout %3\n";
 
 fn translate(rest: &[String]) -> Result<(), String> {
     if rest.iter().any(|a| a == "--example") {
@@ -123,7 +122,8 @@ fn translate(rest: &[String]) -> Result<(), String> {
     let cost = out.cost();
     match out.result {
         Ok(t) => {
-            println!("\n; mapped: II={} SC={} streams={}+{} cca_groups={}",
+            println!(
+                "\n; mapped: II={} SC={} streams={}+{} cca_groups={}",
                 t.scheduled.schedule.ii,
                 t.scheduled.schedule.stage_count(),
                 t.streams.loads,
@@ -155,10 +155,11 @@ fn pack(rest: &[String]) -> Result<(), String> {
         .iter()
         .position(|a| a == "-o")
         .ok_or("pack needs `-o <module.veal>`")?;
-    let out_path = rest
-        .get(out_pos + 1)
-        .ok_or("pack needs a path after -o")?;
-    let inputs: Vec<&String> = rest[..out_pos].iter().filter(|a| !a.starts_with("--")).collect();
+    let out_path = rest.get(out_pos + 1).ok_or("pack needs a path after -o")?;
+    let inputs: Vec<&String> = rest[..out_pos]
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .collect();
     if inputs.is_empty() {
         return Err("pack needs at least one .vasm input".into());
     }

@@ -55,12 +55,12 @@ pub use system::System;
 pub use veal_accel::{AcceleratorConfig, LatencyModel};
 pub use veal_cca::CcaSpec;
 pub use veal_ir::{
-    classify_loop, CostMeter, Dfg, DfgBuilder, LoopBody, LoopClass, LoopProfile, Opcode, OpId,
+    classify_loop, CostMeter, Dfg, DfgBuilder, LoopBody, LoopClass, LoopProfile, OpId, Opcode,
     Phase,
 };
 pub use veal_opt::{legalize, RawLoop, TransformLimits};
 pub use veal_sched::{modulo_schedule, ScheduleOptions, ScheduledLoop};
-pub use veal_sim::{run_application, AccelSetup, AppRun, CpuModel};
+pub use veal_sim::{run_application, AccelSetup, AppRun, CpuModel, SweepContext};
 pub use veal_vm::{
     compute_hints, decode_module, encode_module, BinaryModule, EncodedLoop, StaticHints,
     TranslationPolicy, Translator, VmSession,

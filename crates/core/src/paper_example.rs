@@ -7,7 +7,7 @@
 //! both 4 cycles long; ResMII is ⌈5/2⌉ = 3; the loop schedules at II 4
 //! with op 10 landing in the second stage.
 
-use veal_ir::{DfgBuilder, LoopBody, Opcode, OpId};
+use veal_ir::{DfgBuilder, LoopBody, OpId, Opcode};
 
 /// The op ids of the Figure 5 loop, using the paper's numbering
 /// (`op1`..`op15`; ids here are the paper number minus one).

@@ -188,12 +188,10 @@ pub fn parse_asm(text: &str) -> Result<LoopBody, AsmError> {
             continue;
         }
         // "%N = <rhs>"
-        let (lhs, rhs) = code
-            .split_once('=')
-            .ok_or_else(|| AsmError::Syntax {
-                line,
-                reason: "expected `%N = ...` or `out %N`".to_owned(),
-            })?;
+        let (lhs, rhs) = code.split_once('=').ok_or_else(|| AsmError::Syntax {
+            line,
+            reason: "expected `%N = ...` or `out %N`".to_owned(),
+        })?;
         let lhs = lhs.trim();
         let id: usize = lhs
             .strip_prefix('%')
@@ -289,7 +287,10 @@ pub fn parse_asm(text: &str) -> Result<LoopBody, AsmError> {
 
     for (src, dst, dist, kind, line) in pending_edges {
         if src >= dfg.len() || dst >= dfg.len() {
-            return Err(AsmError::UnknownOperand { line, id: src.max(dst) });
+            return Err(AsmError::UnknownOperand {
+                line,
+                id: src.max(dst),
+            });
         }
         dfg.add_edge(OpId::new(src), OpId::new(dst), dist, kind);
     }
@@ -410,7 +411,10 @@ out %3
     #[test]
     fn rejects_unknown_operand() {
         let err = parse_asm("%0 = add %9").unwrap_err();
-        assert!(matches!(err, AsmError::UnknownOperand { id: 9, .. }), "{err}");
+        assert!(
+            matches!(err, AsmError::UnknownOperand { id: 9, .. }),
+            "{err}"
+        );
     }
 
     #[test]

@@ -162,13 +162,7 @@ impl FunctionBuilder {
     }
 
     /// Appends an instruction to `block`.
-    pub fn push(
-        &mut self,
-        block: BlockId,
-        opcode: Opcode,
-        dest: Option<VReg>,
-        srcs: Vec<Operand>,
-    ) {
+    pub fn push(&mut self, block: BlockId, opcode: Opcode, dest: Option<VReg>, srcs: Vec<Operand>) {
         self.blocks[block.index()]
             .instrs
             .push(Instruction::new(opcode, dest, srcs));
@@ -196,9 +190,11 @@ impl FunctionBuilder {
         taken: BlockId,
         fallthrough: BlockId,
     ) {
-        self.blocks[block.index()]
-            .instrs
-            .push(Instruction::new(Opcode::BrCond, None, vec![cond.into()]));
+        self.blocks[block.index()].instrs.push(Instruction::new(
+            Opcode::BrCond,
+            None,
+            vec![cond.into()],
+        ));
         self.blocks[block.index()].succs = vec![taken, fallthrough];
     }
 

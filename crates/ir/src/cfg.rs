@@ -343,7 +343,6 @@ pub struct Program {
 mod tests {
     use super::*;
     use crate::builder::FunctionBuilder;
-    use crate::opcode::Opcode;
 
     /// entry -> header -> body -> header (loop), header -> exit
     fn diamond_loop() -> Function {

@@ -221,12 +221,16 @@ impl Dfg {
 
     /// Outgoing edges of `id`.
     pub fn succ_edges(&self, id: OpId) -> impl Iterator<Item = &DfgEdge> + '_ {
-        self.succ[id.index()].iter().map(|&e| &self.edges[e as usize])
+        self.succ[id.index()]
+            .iter()
+            .map(|&e| &self.edges[e as usize])
     }
 
     /// Incoming edges of `id`.
     pub fn pred_edges(&self, id: OpId) -> impl Iterator<Item = &DfgEdge> + '_ {
-        self.pred[id.index()].iter().map(|&e| &self.edges[e as usize])
+        self.pred[id.index()]
+            .iter()
+            .map(|&e| &self.edges[e as usize])
     }
 
     /// Number of schedulable ops per function-unit class.
@@ -352,8 +356,7 @@ impl Dfg {
                 continue;
             }
             live += 1;
-            indeg[i] = self
-                .pred[i]
+            indeg[i] = self.pred[i]
                 .iter()
                 .filter(|&&e| {
                     let edge = &self.edges[e as usize];
@@ -417,9 +420,7 @@ impl Dfg {
         }
         let cca = self.add_node(NodeKind::Op(Opcode::Cca));
         self.nodes[cca.index()].cca_members = members.to_vec();
-        self.nodes[cca.index()].live_out = members
-            .iter()
-            .any(|&m| self.nodes[m.index()].live_out);
+        self.nodes[cca.index()].live_out = members.iter().any(|&m| self.nodes[m.index()].live_out);
 
         // Rewire external edges. Collect first to satisfy the borrow checker.
         let mut new_edges: Vec<DfgEdge> = Vec::new();
@@ -524,6 +525,47 @@ impl Dfg {
             .enumerate()
             .filter(|(_, n)| !n.dead && n.live_out)
             .map(|(i, _)| OpId::new(i))
+    }
+
+    /// A stable 64-bit fingerprint of the graph's content: node kinds,
+    /// stream annotations, liveness, collapse state, and every edge. Equal
+    /// graphs hash equal across threads and processes, so the fingerprint
+    /// can key persistent or shared caches (the sweep engine's translation
+    /// memo keys on it).
+    #[must_use]
+    pub fn content_hash(&self) -> u64 {
+        let mut h = crate::rng::Fnv64::new();
+        h.write_u64(self.nodes.len() as u64);
+        for n in &self.nodes {
+            match &n.kind {
+                NodeKind::Op(op) => {
+                    h.write_u8(1);
+                    h.write_u64(*op as u64);
+                }
+                NodeKind::LiveIn => h.write_u8(2),
+                NodeKind::Const(v) => {
+                    h.write_u8(3);
+                    h.write_u64(*v as u64);
+                }
+            }
+            h.write_u64(n.stream.map_or(u64::MAX, u64::from));
+            h.write_u8(u8::from(n.live_out) | (u8::from(n.dead) << 1));
+            h.write_u64(n.cca_members.len() as u64);
+            for m in &n.cca_members {
+                h.write_u64(m.index() as u64);
+            }
+        }
+        h.write_u64(self.edges.len() as u64);
+        for e in &self.edges {
+            h.write_u64(e.src.index() as u64);
+            h.write_u64(e.dst.index() as u64);
+            h.write_u64(u64::from(e.distance));
+            h.write_u8(match e.kind {
+                EdgeKind::Data => 0,
+                EdgeKind::Mem => 1,
+            });
+        }
+        h.finish()
     }
 }
 

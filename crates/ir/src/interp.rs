@@ -138,12 +138,7 @@ pub fn interpret(dfg: &Dfg, iterations: u64, inputs: &Inputs) -> Result<ExecResu
     let order = dfg.topo_order().map_err(|_| InterpError::CyclicGraph)?;
     // History ring: value of each node for the last `max_distance`
     // iterations plus the current one.
-    let max_dist = dfg
-        .edges()
-        .iter()
-        .map(|e| e.distance)
-        .max()
-        .unwrap_or(0) as usize;
+    let max_dist = dfg.edges().iter().map(|e| e.distance).max().unwrap_or(0) as usize;
     let depth = max_dist + 1;
     let n = dfg.len();
     let mut history: Vec<Vec<Value>> = vec![vec![Value::Int(0); n]; depth];
@@ -162,11 +157,8 @@ pub fn interpret(dfg: &Dfg, iterations: u64, inputs: &Inputs) -> Result<ExecResu
             match &dfg.node(id).kind {
                 NodeKind::Const(c) => history[cur][id.index()] = Value::Int(*c),
                 NodeKind::LiveIn => {
-                    history[cur][id.index()] = inputs
-                        .live_ins
-                        .get(&id)
-                        .copied()
-                        .unwrap_or(Value::Int(0));
+                    history[cur][id.index()] =
+                        inputs.live_ins.get(&id).copied().unwrap_or(Value::Int(0));
                 }
                 NodeKind::Op(_) => {}
             }

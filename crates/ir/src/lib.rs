@@ -40,6 +40,7 @@ pub mod loops;
 pub mod meter;
 pub mod opcode;
 pub mod pretty;
+pub mod rng;
 pub mod streams;
 pub mod types;
 pub mod verify;

@@ -39,6 +39,18 @@ impl LoopBody {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Stable content fingerprint: the graph's [`Dfg::content_hash`] mixed
+    /// with the loop name. Two loops with identical bodies but different
+    /// names fingerprint differently (per-part translation is keyed on
+    /// this, and parts keep distinct reporting identities).
+    #[must_use]
+    pub fn content_hash(&self) -> u64 {
+        let mut h = crate::rng::Fnv64::new();
+        h.write_str(&self.name);
+        h.write_u64(self.dfg.content_hash());
+        h.finish()
+    }
 }
 
 impl fmt::Display for LoopBody {

@@ -227,8 +227,8 @@ impl Opcode {
         match self {
             Add | Sub | And | Or | Xor | Not | Neg | Min | Max | Abs | CmpEq | CmpNe | CmpLt
             | CmpLe | Select | Mov | LoadImm | Shl | Shr | Sra | Mul | Div | Rem => FuClass::Int,
-            FAdd | FSub | FMul | FDiv | FNeg | FAbs | FMin | FMax | FCmpLt | ItoF | FtoI
-            | FMac | FSqrt => FuClass::Fp,
+            FAdd | FSub | FMul | FDiv | FNeg | FAbs | FMin | FMax | FCmpLt | ItoF | FtoI | FMac
+            | FSqrt => FuClass::Fp,
             Load | Store => FuClass::Mem,
             Br | BrCond | Call | Ret => FuClass::Control,
             Cca => FuClass::Cca,
@@ -245,8 +245,21 @@ impl Opcode {
         use Opcode::*;
         matches!(
             self,
-            Add | Sub | And | Or | Xor | Not | Neg | Min | Max | Abs | CmpEq | CmpNe | CmpLt
-                | CmpLe | Select | Mov
+            Add | Sub
+                | And
+                | Or
+                | Xor
+                | Not
+                | Neg
+                | Min
+                | Max
+                | Abs
+                | CmpEq
+                | CmpNe
+                | CmpLt
+                | CmpLe
+                | Select
+                | Mov
         )
     }
 

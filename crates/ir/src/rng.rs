@@ -1,0 +1,224 @@
+//! Deterministic pseudo-randomness and stable hashing.
+//!
+//! The workload generator, property-style tests, and the sweep engine's
+//! memo table all need reproducible randomness and stable 64-bit content
+//! fingerprints. Keeping both here (rather than pulling in `rand`) makes
+//! every generated loop and every cache key a pure function of the seed or
+//! content, independent of crate versions and platform.
+
+/// A small, fast, deterministic PRNG (xorshift* family, seeded through
+/// SplitMix64 so that nearby seeds diverge immediately).
+///
+/// # Example
+///
+/// ```
+/// use veal_ir::rng::Rng64;
+/// let mut a = Rng64::new(7);
+/// let mut b = Rng64::new(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Rng64 {
+    state: u64,
+}
+
+impl Rng64 {
+    /// Creates a generator from `seed`; equal seeds yield equal streams.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        // One SplitMix64 step decorrelates small consecutive seeds.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        Rng64 {
+            state: (z ^ (z >> 31)) | 1,
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        // xorshift64* (Vigna): passes the statistical tests this repo needs
+        // (operand selection, opcode mixing), with a 2^64-1 period.
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 high bits → the full double mantissa.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn gen_range(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        let span = (hi - lo) as u64;
+        lo + (self.next_u64() % span) as usize
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p.clamp(0.0, 1.0)
+    }
+}
+
+/// An incremental FNV-1a 64-bit hasher for content fingerprints.
+///
+/// Used for the sweep memo table's keys: loop bodies, accelerator
+/// configurations, and CCA shapes hash through this so that equal content
+/// always produces equal keys, across threads and processes.
+///
+/// # Example
+///
+/// ```
+/// use veal_ir::rng::Fnv64;
+/// let mut h = Fnv64::new();
+/// h.write_u64(42);
+/// let a = h.finish();
+/// let mut h2 = Fnv64::new();
+/// h2.write_u64(42);
+/// assert_eq!(a, h2.finish());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fnv64 {
+    state: u64,
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv64 {
+    /// FNV-1a offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        Fnv64 {
+            state: 0xcbf2_9ce4_8422_2325,
+        }
+    }
+
+    /// Folds one byte.
+    pub fn write_u8(&mut self, b: u8) {
+        self.state ^= u64::from(b);
+        self.state = self.state.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+
+    /// Folds eight bytes, little-endian.
+    pub fn write_u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.write_u8(b);
+        }
+    }
+
+    /// Folds a byte slice.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u8(b);
+        }
+    }
+
+    /// Folds a string (length-prefixed so `("ab","c")` ≠ `("a","bc")`).
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// The current hash value.
+    #[must_use]
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_seeds_equal_streams() {
+        let mut a = Rng64::new(123);
+        let mut b = Rng64::new(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn nearby_seeds_diverge() {
+        let mut a = Rng64::new(1);
+        let mut b = Rng64::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn gen_range_in_bounds() {
+        let mut r = Rng64::new(9);
+        for _ in 0..1000 {
+            let v = r.gen_range(3, 17);
+            assert!((3..17).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_all_values() {
+        let mut r = Rng64::new(5);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[r.gen_range(0, 8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = Rng64::new(77);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((1_800..=3_200).contains(&hits), "{hits}");
+        let mut r = Rng64::new(78);
+        assert!(!(0..100).any(|_| r.gen_bool(0.0)));
+        let mut r = Rng64::new(79);
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut r = Rng64::new(31);
+        for _ in 0..1000 {
+            let f = r.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn fnv_distinguishes_order() {
+        let mut a = Fnv64::new();
+        a.write_u64(1);
+        a.write_u64(2);
+        let mut b = Fnv64::new();
+        b.write_u64(2);
+        b.write_u64(1);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn fnv_string_framing() {
+        let mut a = Fnv64::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = Fnv64::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+}

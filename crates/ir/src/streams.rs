@@ -359,12 +359,7 @@ pub fn separate(dfg: &Dfg, meter: &mut CostMeter) -> Result<SeparatedLoop, Separ
     // control compare; otherwise they are also compute values and must stay.
     addr_ops.retain(|&a| {
         dfg.succ_edges(a).all(|e| {
-            e.dst == a
-                || e.dst == cmp
-                || dfg
-                    .node(e.dst)
-                    .opcode()
-                    .is_some_and(Opcode::is_mem)
+            e.dst == a || e.dst == cmp || dfg.node(e.dst).opcode().is_some_and(Opcode::is_mem)
         })
     });
 
@@ -452,7 +447,13 @@ mod tests {
         let dfg = full_loop();
         let mut m = CostMeter::new();
         let sep = separate(&dfg, &mut m).expect("separates");
-        assert_eq!(sep.summary(), StreamSummary { loads: 1, stores: 1 });
+        assert_eq!(
+            sep.summary(),
+            StreamSummary {
+                loads: 1,
+                stores: 1
+            }
+        );
         // Compute view: load, add, store.
         assert_eq!(sep.dfg.schedulable_ops().count(), 3);
         // Control: brc + cmp + induction (unused by compute).
@@ -558,7 +559,13 @@ mod tests {
         let dfg = b.finish();
         let mut m = CostMeter::new();
         let sep = separate(&dfg, &mut m).expect("pre-separated ok");
-        assert_eq!(sep.summary(), StreamSummary { loads: 1, stores: 1 });
+        assert_eq!(
+            sep.summary(),
+            StreamSummary {
+                loads: 1,
+                stores: 1
+            }
+        );
         assert_eq!(sep.dfg.schedulable_ops().count(), 3);
     }
 

@@ -1,11 +1,14 @@
 //! Property tests for the IR crate: random well-formed graphs round-trip
 //! the assembly format, SCC/topo invariants hold, and the verifier accepts
 //! exactly what the generator produces.
+//!
+//! Randomness comes from the in-repo deterministic [`Rng64`] (seed-swept
+//! loops), so failures reproduce by seed with no external test framework.
 
-use proptest::prelude::*;
 use veal_ir::asm::{parse_asm, to_asm};
 use veal_ir::dfg::{Dfg, EdgeKind, NodeKind};
-use veal_ir::{verify_dfg, LoopBody, Opcode, OpId};
+use veal_ir::rng::Rng64;
+use veal_ir::{verify_dfg, LoopBody, OpId, Opcode};
 
 /// Ops safe for random placement (value-producing, non-control).
 const SAFE_OPS: &[Opcode] = &[
@@ -26,39 +29,40 @@ const SAFE_OPS: &[Opcode] = &[
 #[derive(Debug, Clone)]
 struct GraphPlan {
     ops: Vec<usize>,                 // opcode index per node
-    edges: Vec<(usize, usize, u32)>, // (src_rank, dst, distance) src_rank < dst for d = 0
+    edges: Vec<(usize, usize, u32)>, // (src, dst, distance), src < dst when d = 0
     live_outs: Vec<usize>,
     loads: usize,
 }
 
-fn arb_plan() -> impl Strategy<Value = GraphPlan> {
-    (2usize..24, 1usize..4).prop_flat_map(|(n, loads)| {
-        (
-            proptest::collection::vec(0usize..SAFE_OPS.len(), n),
-            proptest::collection::vec((0usize..n, 0usize..n, 0u32..3), 0..n * 2),
-            proptest::collection::vec(0usize..n, 0..3),
-        )
-            .prop_map(move |(ops, raw_edges, live_outs)| {
-                let edges = raw_edges
-                    .into_iter()
-                    .filter_map(|(a, b, d)| {
-                        // Distance-0 edges must go forward (acyclic);
-                        // loop-carried edges may go anywhere.
-                        if d == 0 {
-                            (a < b).then_some((a, b, 0))
-                        } else {
-                            Some((a, b, d))
-                        }
-                    })
-                    .collect();
-                GraphPlan {
-                    ops,
-                    edges,
-                    live_outs,
-                    loads,
-                }
-            })
-    })
+/// Draws a random plan; the same seed always yields the same plan.
+fn arb_plan(rng: &mut Rng64) -> GraphPlan {
+    let n = rng.gen_range(2, 24);
+    let loads = rng.gen_range(1, 4);
+    let ops = (0..n).map(|_| rng.gen_range(0, SAFE_OPS.len())).collect();
+    let n_edges = rng.gen_range(0, (n * 2).max(1));
+    let edges = (0..n_edges)
+        .filter_map(|_| {
+            let a = rng.gen_range(0, n);
+            let b = rng.gen_range(0, n);
+            let d = rng.gen_range(0, 3) as u32;
+            // Distance-0 edges must go forward (acyclic); loop-carried
+            // edges may go anywhere.
+            if d == 0 {
+                (a < b).then_some((a, b, 0))
+            } else {
+                Some((a, b, d))
+            }
+        })
+        .collect();
+    let live_outs = (0..rng.gen_range(0, 3))
+        .map(|_| rng.gen_range(0, n))
+        .collect();
+    GraphPlan {
+        ops,
+        edges,
+        live_outs,
+        loads,
+    }
 }
 
 fn build(plan: &GraphPlan) -> LoopBody {
@@ -69,7 +73,6 @@ fn build(plan: &GraphPlan) -> LoopBody {
         dfg.node_mut(id).stream = Some(i as u16);
         loads.push(id);
     }
-    let base = plan.loads;
     let nodes: Vec<OpId> = plan
         .ops
         .iter()
@@ -85,80 +88,116 @@ fn build(plan: &GraphPlan) -> LoopBody {
     for &lo in &plan.live_outs {
         dfg.node_mut(nodes[lo]).live_out = true;
     }
-    let _ = base;
     LoopBody::new("prop", dfg)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+const CASES: u64 = 128;
 
-    #[test]
-    fn generated_graphs_verify(plan in arb_plan()) {
-        let body = build(&plan);
-        prop_assert_eq!(verify_dfg(&body.dfg), Ok(()));
+fn for_each_plan(mut check: impl FnMut(u64, &GraphPlan)) {
+    for seed in 0..CASES {
+        let mut rng = Rng64::new(seed.wrapping_mul(0x9E37_79B9) + 17);
+        let plan = arb_plan(&mut rng);
+        check(seed, &plan);
     }
+}
 
-    #[test]
-    fn asm_round_trips_arbitrary_graphs(plan in arb_plan()) {
-        let body = build(&plan);
+#[test]
+fn generated_graphs_verify() {
+    for_each_plan(|seed, plan| {
+        let body = build(plan);
+        assert_eq!(verify_dfg(&body.dfg), Ok(()), "seed {seed}");
+    });
+}
+
+#[test]
+fn asm_round_trips_arbitrary_graphs() {
+    for_each_plan(|seed, plan| {
+        let body = build(plan);
         let text = to_asm(&body);
         let back = parse_asm(&text).expect("parses its own output");
-        prop_assert_eq!(back.dfg.len(), body.dfg.len());
+        assert_eq!(back.dfg.len(), body.dfg.len(), "seed {seed}");
         let mut a = body.dfg.edges().to_vec();
         let mut b = back.dfg.edges().to_vec();
         a.sort_by_key(|e| (e.src, e.dst, e.distance, e.kind as u8));
         b.sort_by_key(|e| (e.src, e.dst, e.distance, e.kind as u8));
-        prop_assert_eq!(a, b);
-        prop_assert_eq!(
+        assert_eq!(a, b, "seed {seed}");
+        assert_eq!(
             back.dfg.live_out_ids().collect::<Vec<_>>(),
-            body.dfg.live_out_ids().collect::<Vec<_>>()
+            body.dfg.live_out_ids().collect::<Vec<_>>(),
+            "seed {seed}"
         );
-    }
+    });
+}
 
-    #[test]
-    fn sccs_partition_live_nodes(plan in arb_plan()) {
-        let body = build(&plan);
+#[test]
+fn sccs_partition_live_nodes() {
+    for_each_plan(|seed, plan| {
+        let body = build(plan);
         let sccs = body.dfg.sccs();
         let total: usize = sccs.iter().map(Vec::len).sum();
-        prop_assert_eq!(total, body.dfg.live_ids().count());
+        assert_eq!(total, body.dfg.live_ids().count(), "seed {seed}");
         let mut seen = std::collections::HashSet::new();
         for scc in &sccs {
             for &v in scc {
-                prop_assert!(seen.insert(v), "{} in two SCCs", v);
+                assert!(seen.insert(v), "seed {seed}: {v} in two SCCs");
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn topo_order_respects_distance0_edges(plan in arb_plan()) {
-        let body = build(&plan);
-        let order = body.dfg.topo_order().expect("distance-0 acyclic by construction");
+#[test]
+fn topo_order_respects_distance0_edges() {
+    for_each_plan(|seed, plan| {
+        let body = build(plan);
+        let order = body
+            .dfg
+            .topo_order()
+            .expect("distance-0 acyclic by construction");
         let pos: std::collections::HashMap<OpId, usize> =
             order.iter().enumerate().map(|(i, &v)| (v, i)).collect();
         for e in body.dfg.edges() {
             if e.distance == 0 {
-                prop_assert!(pos[&e.src] < pos[&e.dst]);
+                assert!(pos[&e.src] < pos[&e.dst], "seed {seed}");
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn collapse_preserves_verification(plan in arb_plan()) {
-        // Collapsing any legal CCA group keeps the graph well formed.
-        let body = build(&plan);
+#[test]
+fn collapse_preserves_verification() {
+    // Collapsing any legal CCA group keeps the graph well formed.
+    for_each_plan(|seed, plan| {
+        let body = build(plan);
         let spec = veal_cca::CcaSpec::paper();
         let mut dfg = body.dfg.clone();
         let groups = veal_cca::map_cca(&mut dfg, &spec, &mut veal_ir::CostMeter::new());
-        prop_assert_eq!(verify_dfg(&dfg), Ok(()));
+        assert_eq!(verify_dfg(&dfg), Ok(()), "seed {seed}");
         // Members really are tombstoned and referenced by their group node.
         for g in &groups {
             for &m in &g.members {
-                prop_assert!(dfg.node(m).is_dead());
+                assert!(dfg.node(m).is_dead(), "seed {seed}");
             }
             let node = g.node.expect("map_cca sets node");
-            prop_assert_eq!(&dfg.node(node).cca_members, &g.members);
+            assert_eq!(&dfg.node(node).cca_members, &g.members, "seed {seed}");
         }
         // The collapsed graph still has an intact distance-0 topology.
-        prop_assert!(dfg.topo_order().is_ok());
-    }
+        assert!(dfg.topo_order().is_ok(), "seed {seed}");
+    });
+}
+
+#[test]
+fn content_hash_stable_and_content_sensitive() {
+    for_each_plan(|seed, plan| {
+        let a = build(plan);
+        let b = build(plan);
+        assert_eq!(a.dfg.content_hash(), b.dfg.content_hash(), "seed {seed}");
+    });
+    // Any structural change moves the hash.
+    let mut rng = Rng64::new(3);
+    let plan = arb_plan(&mut rng);
+    let base = build(&plan);
+    let mut edited = base.dfg.clone();
+    let first = edited.schedulable_ops().next().unwrap();
+    edited.node_mut(first).live_out = !edited.node(first).live_out;
+    assert_ne!(base.dfg.content_hash(), edited.content_hash());
 }

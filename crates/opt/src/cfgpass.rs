@@ -9,7 +9,7 @@
 use std::collections::HashMap;
 use veal_ir::cfg::{BasicBlock, Function, Program};
 use veal_ir::dfg::{Dfg, EdgeKind, NodeKind};
-use veal_ir::{BlockId, Instruction, LoopBody, NaturalLoop, Opcode, Operand, OpId, VReg};
+use veal_ir::{BlockId, Instruction, LoopBody, NaturalLoop, OpId, Opcode, Operand, VReg};
 
 /// Inlines every call in `func` whose callee (looked up in `program`) is a
 /// straight-line single-block function ending in `Ret`. Callee parameters
@@ -85,12 +85,7 @@ pub fn inline_calls(program: &Program, func: &Function) -> (Function, usize) {
         block.instrs = new_instrs;
     }
     (
-        Function::new(
-            func.name().to_owned(),
-            blocks,
-            func.entry(),
-            next_reg,
-        ),
+        Function::new(func.name().to_owned(), blocks, func.entry(), next_reg),
         inlined,
     )
 }
@@ -128,9 +123,8 @@ fn convert_one_diamond(func: &Function) -> Option<Function> {
         }
         let tb = func.block(t);
         let eb = func.block(e);
-        let single = |b: &BasicBlock, id: BlockId| {
-            b.succs.len() == 1 && preds[id.index()].len() == 1
-        };
+        let single =
+            |b: &BasicBlock, id: BlockId| b.succs.len() == 1 && preds[id.index()].len() == 1;
         if !single(tb, t) || !single(eb, e) || tb.succs[0] != eb.succs[0] {
             continue;
         }
@@ -145,8 +139,7 @@ fn convert_one_diamond(func: &Function) -> Option<Function> {
         };
         let mut blocks = func.blocks().to_vec();
         let mut next_reg = func.num_vregs();
-        let mut merged: Vec<Instruction> =
-            block.instrs[..block.instrs.len() - 1].to_vec();
+        let mut merged: Vec<Instruction> = block.instrs[..block.instrs.len() - 1].to_vec();
         // Taken arm executes unchanged; else-arm defs are renamed.
         let mut t_defs: HashMap<VReg, VReg> = HashMap::new();
         for instr in &tb.instrs {
@@ -399,11 +392,7 @@ mod tests {
         fb.cond_branch(body, c, body, exit);
         fb.ret(exit, Some(acc));
         let f = fb.finish();
-        let lp = f
-            .natural_loops()
-            .into_iter()
-            .next()
-            .expect("loop found");
+        let lp = f.natural_loops().into_iter().next().expect("loop found");
         (f, lp)
     }
 

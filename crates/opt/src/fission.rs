@@ -15,7 +15,7 @@
 use std::collections::HashMap;
 use veal_ir::dfg::{Dfg, EdgeKind, NodeKind};
 use veal_ir::streams::separate;
-use veal_ir::{CostMeter, Opcode, OpId};
+use veal_ir::{CostMeter, OpId, Opcode};
 
 /// Splits `body` (a full or pre-separated loop) into loops each needing at
 /// most `max_loads` load streams and `max_stores` store streams.
@@ -40,7 +40,13 @@ pub fn fission_by_streams(body: &Dfg, max_loads: usize, max_stores: usize) -> Op
 
 /// Recursively splits until each part fits, emitting parts in execution
 /// order. Returns `false` when a part cannot be split further.
-fn fission_rec(dfg: Dfg, max_loads: usize, max_stores: usize, depth: u32, out: &mut Vec<Dfg>) -> bool {
+fn fission_rec(
+    dfg: Dfg,
+    max_loads: usize,
+    max_stores: usize,
+    depth: u32,
+    out: &mut Vec<Dfg>,
+) -> bool {
     let (loads, stores) = stream_counts(&dfg);
     if loads <= max_loads && stores <= max_stores {
         out.push(compact_streams(&dfg));
@@ -157,9 +163,12 @@ fn extract_parts(dfg: &Dfg, prefix: &std::collections::HashSet<OpId>) -> (Dfg, D
             _ => {}
         }
     }
-    let copy_pseudo = |id: OpId, into_a: bool, a: &mut Dfg, b: &mut Dfg,
-                           map_a: &mut HashMap<OpId, OpId>,
-                           map_b: &mut HashMap<OpId, OpId>| {
+    let copy_pseudo = |id: OpId,
+                       into_a: bool,
+                       a: &mut Dfg,
+                       b: &mut Dfg,
+                       map_a: &mut HashMap<OpId, OpId>,
+                       map_b: &mut HashMap<OpId, OpId>| {
         let (graph, map) = if into_a { (a, map_a) } else { (b, map_b) };
         if let Some(&n) = map.get(&id) {
             return n;
@@ -254,7 +263,6 @@ mod tests {
         b.finish()
     }
 
-
     #[test]
     fn small_loop_not_fissioned() {
         assert!(fission_by_streams(&wide_loop(3), 16, 8).is_none());
@@ -265,7 +273,7 @@ mod tests {
         let parts = fission_by_streams(&wide_loop(12), 8, 8).expect("fissions");
         assert!(parts.len() >= 2);
         for p in &parts {
-            let (l, s) = stream_counts(&p);
+            let (l, s) = stream_counts(p);
             assert!(l <= 8, "part uses {l} load streams");
             assert!(s <= 8, "part uses {s} store streams");
             assert!(verify_dfg(p).is_ok());

@@ -8,7 +8,7 @@
 //! value.
 
 use veal_ir::dfg::{Dfg, EdgeKind};
-use veal_ir::{Opcode, OpId};
+use veal_ir::{OpId, Opcode};
 
 /// A callee body prepared for inlining: a small dataflow fragment with
 /// designated parameter and result nodes.
@@ -88,10 +88,7 @@ pub fn inline_call(dfg: &Dfg, call: OpId, fragment: &CalleeFragment) -> Dfg {
     }
 
     // The call's argument producers, in edge-insertion order.
-    let args: Vec<(OpId, u32)> = dfg
-        .pred_edges(call)
-        .map(|e| (e.src, e.distance))
-        .collect();
+    let args: Vec<(OpId, u32)> = dfg.pred_edges(call).map(|e| (e.src, e.distance)).collect();
     assert!(
         args.len() <= fragment.params.len(),
         "fragment has too few parameters"

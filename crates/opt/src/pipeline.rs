@@ -116,7 +116,10 @@ mod tests {
         let out = legalize(&raw, &TransformLimits::default());
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].trip_multiplier, 1);
-        assert_eq!(classify_loop(&out[0].body.dfg), LoopClass::ModuloSchedulable);
+        assert_eq!(
+            classify_loop(&out[0].body.dfg),
+            LoopClass::ModuloSchedulable
+        );
     }
 
     #[test]
@@ -133,7 +136,10 @@ mod tests {
         };
         let out = legalize(&raw, &TransformLimits::default());
         assert_eq!(out.len(), 1);
-        assert_eq!(classify_loop(&out[0].body.dfg), LoopClass::ModuloSchedulable);
+        assert_eq!(
+            classify_loop(&out[0].body.dfg),
+            LoopClass::ModuloSchedulable
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! (the counted-induction compare pattern) remains.
 
 use veal_ir::dfg::{Dfg, NodeKind};
-use veal_ir::{Opcode, OpId};
+use veal_ir::{OpId, Opcode};
 
 /// Whether `id` matches the induction-pattern address generator (an
 /// `Add`/`Sub` with a distance-1 self edge and const/live-in inputs) —
@@ -24,14 +24,12 @@ fn is_induction(dfg: &Dfg, id: OpId) -> bool {
     }
     let mut has_self = false;
     for e in dfg.pred_edges(id) {
-        if e.src == id && e.distance == 1 {
+        if e.src == id {
+            if e.distance != 1 {
+                return false;
+            }
             has_self = true;
-        } else if e.src == id {
-            return false;
-        } else if !matches!(
-            dfg.node(e.src).kind,
-            NodeKind::Const(_) | NodeKind::LiveIn
-        ) {
+        } else if !matches!(dfg.node(e.src).kind, NodeKind::Const(_) | NodeKind::LiveIn) {
             return false;
         }
     }
@@ -128,15 +126,12 @@ pub fn if_convert_guards(dfg: &Dfg) -> (Dfg, usize) {
     let dead_conds: Vec<OpId> = out
         .schedulable_ops()
         .filter(|&id| {
-            out.node(id)
-                .opcode()
-                .is_some_and(|op| {
-                    matches!(
-                        op,
-                        Opcode::CmpEq | Opcode::CmpNe | Opcode::CmpLt | Opcode::CmpLe
-                    )
-                })
-                && out.succ_edges(id).next().is_none()
+            out.node(id).opcode().is_some_and(|op| {
+                matches!(
+                    op,
+                    Opcode::CmpEq | Opcode::CmpNe | Opcode::CmpLt | Opcode::CmpLe
+                )
+            }) && out.succ_edges(id).next().is_none()
                 && !out.node(id).live_out
         })
         .collect();

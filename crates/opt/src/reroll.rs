@@ -83,10 +83,7 @@ pub fn reroll(dfg: &Dfg) -> Option<(Dfg, u32)> {
             out.add_edge(map[&e.src], map[&e.dst], e.distance * factor, e.kind);
         } else if keep.contains(&e.dst) {
             // Pseudo input (live-in / constant): copy on demand.
-            if matches!(
-                dfg.node(e.src).kind,
-                NodeKind::LiveIn | NodeKind::Const(_)
-            ) {
+            if matches!(dfg.node(e.src).kind, NodeKind::LiveIn | NodeKind::Const(_)) {
                 let p = *map
                     .entry(e.src)
                     .or_insert_with(|| out.add_node(dfg.node(e.src).kind.clone()));

@@ -40,9 +40,7 @@ fn unroll_then_reroll_preserves_semantics() {
     let mut unrolled_inputs = Inputs::default();
     for (copy, lane) in lanes.iter().enumerate() {
         // unroll() gives copy j streams j*2 + {0, 1}.
-        unrolled_inputs
-            .streams
-            .insert(copy as u16 * 2, ints(lane));
+        unrolled_inputs.streams.insert(copy as u16 * 2, ints(lane));
     }
     let truth = interpret(&unrolled, iters, &unrolled_inputs).expect("runs");
 
@@ -78,10 +76,7 @@ fn unroll_then_reroll_preserves_semantics() {
     // Lane sums differ per lane; the rolled graph exposes one live-out (the
     // last lane executed). Check it equals SOME lane's sum.
     assert!(
-        truth
-            .live_outs
-            .values()
-            .any(|v| v.as_int() == rolled_final),
+        truth.live_outs.values().any(|v| v.as_int() == rolled_final),
         "rolled live-out {rolled_final} not among lane sums ({truth_sum} total)"
     );
 }
@@ -192,9 +187,7 @@ fn fission_parts_compose_to_the_original() {
         let n_orig = loads.len() - n_bridge_in;
         for (j, &s) in loads[..n_orig].iter().enumerate() {
             let orig = i64::from(next_original + j as u16) + 1;
-            inputs
-                .streams
-                .insert(s, ints(&[orig, 2 * orig, 3 * orig]));
+            inputs.streams.insert(s, ints(&[orig, 2 * orig, 3 * orig]));
         }
         next_original += n_orig as u16;
         for (vals, &s) in bridge_values.drain(..).zip(&loads[n_orig..]) {
@@ -203,8 +196,10 @@ fn fission_parts_compose_to_the_original() {
         let out = interpret(part, iters, &inputs).expect("part runs");
         // The last store stream of the final part is the original output;
         // intermediate stores become the next part's bridges.
-        let mut produced: Vec<(u16, Vec<Value>)> =
-            stores.iter().map(|&s| (s, out.stores[&s].clone())).collect();
+        let mut produced: Vec<(u16, Vec<Value>)> = stores
+            .iter()
+            .map(|&s| (s, out.stores[&s].clone()))
+            .collect();
         produced.sort_by_key(|&(s, _)| s);
         final_store = produced.last().map(|(_, v)| v.clone());
         bridge_values = produced.into_iter().map(|(_, v)| v).collect();

@@ -1,0 +1,166 @@
+//! Deterministic data parallelism for the sweep engine.
+//!
+//! The design-space exploration fans out over (application × configuration)
+//! points; each point is pure CPU work with no shared mutable state beyond
+//! the translation memo. This crate provides the minimal rayon-like surface
+//! that workload needs — a parallel indexed map over a slice — built on
+//! `std::thread::scope`, so the workspace carries no external dependency.
+//!
+//! Determinism contract: [`par_map`] returns results in input order, and the
+//! caller performs any floating-point reduction sequentially over that
+//! ordered output. Parallel and serial execution therefore produce
+//! bit-identical results for pure functions.
+//!
+//! Thread-count policy: `VEAL_THREADS` overrides, otherwise
+//! [`std::thread::available_parallelism`]. `VEAL_THREADS=1` forces the
+//! serial path (no threads are spawned at all).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads sweeps should use: the `VEAL_THREADS`
+/// environment variable when set to a positive integer, otherwise the
+/// host's available parallelism (1 if that cannot be determined).
+#[must_use]
+pub fn thread_count() -> usize {
+    match std::env::var("VEAL_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => default_threads(),
+        },
+        Err(_) => default_threads(),
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Maps `f` over `items` on up to `threads` scoped workers, returning
+/// results in input order.
+///
+/// Work distribution is dynamic (an atomic cursor), so uneven item costs —
+/// one huge application next to many small ones — still load-balance; the
+/// output order is fixed by index, so callers that reduce sequentially get
+/// results independent of scheduling.
+///
+/// With `threads <= 1` or fewer than two items the closure runs inline on
+/// the calling thread.
+///
+/// # Panics
+///
+/// Propagates the first panic raised by `f` (remaining items may be
+/// skipped).
+pub fn par_map_with<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if threads <= 1 || items.len() < 2 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let workers = threads.min(items.len());
+    let cursor = AtomicUsize::new(0);
+    let parts: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break local;
+                        }
+                        local.push((i, f(i, &items[i])));
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+            .collect()
+    });
+
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    for (i, r) in parts.into_iter().flatten() {
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|r| r.expect("worker filled every slot"))
+        .collect()
+}
+
+/// [`par_map_with`] at the default [`thread_count`].
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_map_with(items, thread_count(), f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = par_map_with(&items, 8, |i, &x| x * 2 + i as u64);
+        let expect: Vec<u64> = items
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| x * 2 + i as u64)
+            .collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let items: Vec<f64> = (0..57).map(|i| f64::from(i) * 0.37 + 1.0).collect();
+        let serial = par_map_with(&items, 1, |_, &x| x.sqrt().ln());
+        let parallel = par_map_with(&items, 7, |_, &x| x.sqrt().ln());
+        // Bit-identical, not approximately equal.
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.to_bits(), p.to_bits());
+        }
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let none: Vec<u32> = vec![];
+        assert!(par_map_with(&none, 4, |_, &x| x).is_empty());
+        assert_eq!(par_map_with(&[9u32], 4, |_, &x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let out = par_map_with(&[1u32, 2, 3], 64, |_, &x| x * x);
+        assert_eq!(out, vec![1, 4, 9]);
+    }
+
+    #[test]
+    fn thread_count_is_positive() {
+        assert!(thread_count() >= 1);
+    }
+
+    #[test]
+    fn uneven_work_still_ordered() {
+        // Early items cost far more than late ones; order must be unaffected.
+        let items: Vec<u64> = (0..32).collect();
+        let out = par_map_with(&items, 4, |_, &x| {
+            let mut acc = x;
+            for _ in 0..(32 - x) * 1000 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            (x, acc)
+        });
+        for (i, &(x, _)) in out.iter().enumerate() {
+            assert_eq!(x, i as u64);
+        }
+    }
+}

@@ -50,7 +50,10 @@ pub fn render_mrt(dfg: &Dfg, schedule: &ModuloSchedule, config: &AcceleratorConf
                 .opcode()
                 .map_or_else(|| v.to_string(), |op| format!("{v}:{op}"))
         );
-        columns.entry((kind, unit)).or_default().push((cycle, label));
+        columns
+            .entry((kind, unit))
+            .or_default()
+            .push((cycle, label));
     }
     let _ = config;
 
@@ -104,8 +107,13 @@ mod tests {
         let _ = z;
         let dfg = b.finish();
         let la = AcceleratorConfig::paper_design();
-        let s = modulo_schedule(&dfg, &la, &ScheduleOptions::default(), &mut CostMeter::new())
-            .unwrap();
+        let s = modulo_schedule(
+            &dfg,
+            &la,
+            &ScheduleOptions::default(),
+            &mut CostMeter::new(),
+        )
+        .unwrap();
         let grid = render_mrt(&dfg, &s.schedule, &la);
         let rows = grid.lines().count();
         // header + rule + II rows + legend
@@ -125,8 +133,13 @@ mod tests {
         let _ = z;
         let dfg = b.finish();
         let la = AcceleratorConfig::paper_design();
-        let s = modulo_schedule(&dfg, &la, &ScheduleOptions::default(), &mut CostMeter::new())
-            .unwrap();
+        let s = modulo_schedule(
+            &dfg,
+            &la,
+            &ScheduleOptions::default(),
+            &mut CostMeter::new(),
+        )
+        .unwrap();
         let grid = render_mrt(&dfg, &s.schedule, &la);
         assert!(grid.contains('*'), "{grid}");
     }

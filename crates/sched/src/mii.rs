@@ -173,7 +173,10 @@ mod tests {
         let x = b.load_stream(0);
         let y = b.op(Opcode::Add, &[x, x]);
         b.store_stream(1, y);
-        assert_eq!(rec_mii(&b.finish(), &LatencyModel::default(), &mut meter()), 1);
+        assert_eq!(
+            rec_mii(&b.finish(), &LatencyModel::default(), &mut meter()),
+            1
+        );
     }
 
     #[test]
@@ -182,7 +185,10 @@ mod tests {
         let acc = b.op(Opcode::FAdd, &[]);
         b.loop_carried(acc, acc, 1);
         // FAdd latency 3, distance 1 -> RecMII 3.
-        assert_eq!(rec_mii(&b.finish(), &LatencyModel::default(), &mut meter()), 3);
+        assert_eq!(
+            rec_mii(&b.finish(), &LatencyModel::default(), &mut meter()),
+            3
+        );
     }
 
     #[test]
@@ -191,7 +197,10 @@ mod tests {
         let acc = b.op(Opcode::FAdd, &[]);
         b.loop_carried(acc, acc, 2);
         // 3 cycles over distance 2 -> ceil(3/2) = 2.
-        assert_eq!(rec_mii(&b.finish(), &LatencyModel::default(), &mut meter()), 2);
+        assert_eq!(
+            rec_mii(&b.finish(), &LatencyModel::default(), &mut meter()),
+            2
+        );
     }
 
     #[test]
@@ -279,7 +288,10 @@ mod tests {
             res_mii(
                 &b.finish(),
                 &la,
-                StreamSummary { loads: 8, stores: 0 },
+                StreamSummary {
+                    loads: 8,
+                    stores: 0
+                },
                 &mut meter()
             ),
             2
@@ -294,6 +306,9 @@ mod tests {
         let x = b.op(Opcode::Add, &[]);
         let y = b.op(Opcode::Sub, &[x]);
         b.loop_carried(y, x, 3);
-        assert_eq!(rec_mii(&b.finish(), &LatencyModel::default(), &mut meter()), 1);
+        assert_eq!(
+            rec_mii(&b.finish(), &LatencyModel::default(), &mut meter()),
+            1
+        );
     }
 }

@@ -24,6 +24,42 @@ pub struct MinDist {
 
 const NEG_INF: i64 = i64::MIN / 4;
 
+// Dropped matrices park their Θ(n²) buffers here (per thread) and the next
+// `compute` on the thread reclaims them, so sweeps that translate thousands
+// of loops stop round-tripping the allocator for every matrix.
+thread_local! {
+    static DIST_POOL: std::cell::RefCell<Vec<Vec<i64>>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+const DIST_POOL_DEPTH: usize = 8;
+
+fn pooled_matrix(len: usize) -> Vec<i64> {
+    let recycled = DIST_POOL.with(|p| p.borrow_mut().pop());
+    match recycled {
+        Some(mut v) => {
+            v.clear();
+            v.resize(len, NEG_INF);
+            v
+        }
+        None => vec![NEG_INF; len],
+    }
+}
+
+impl Drop for MinDist {
+    fn drop(&mut self) {
+        let v = std::mem::take(&mut self.dist);
+        if v.capacity() > 0 {
+            DIST_POOL.with(|p| {
+                let mut pool = p.borrow_mut();
+                if pool.len() < DIST_POOL_DEPTH {
+                    pool.push(v);
+                }
+            });
+        }
+    }
+}
+
 impl MinDist {
     /// Computes the matrix at initiation interval `ii`.
     ///
@@ -33,7 +69,7 @@ impl MinDist {
     pub fn compute(dfg: &Dfg, lat: &LatencyModel, ii: u32, meter: &mut CostMeter) -> Self {
         let ops: Vec<OpId> = dfg.schedulable_ops().collect();
         let n = ops.len();
-        let mut dist = vec![NEG_INF; n * n];
+        let mut dist = pooled_matrix(n * n);
         let index_of = |id: OpId| ops.binary_search(&id).ok();
 
         for (i, &u) in ops.iter().enumerate() {
@@ -51,7 +87,10 @@ impl MinDist {
         // (two loads, compare, add, conditional store): charge 3 abstract
         // instructions per step, calibrated against the paper's x86
         // instruction counts.
-        meter.charge(Phase::Priority, 3 * (n as u64) * (n as u64) * (n as u64) + 1);
+        meter.charge(
+            Phase::Priority,
+            3 * (n as u64) * (n as u64) * (n as u64) + 1,
+        );
         for k in 0..n {
             for i in 0..n {
                 let dik = dist[i * n + k];

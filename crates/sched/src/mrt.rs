@@ -7,11 +7,18 @@ use veal_accel::{AcceleratorConfig, ResourceKind};
 
 /// A modulo reservation table: `II` rows × the configured units of each
 /// resource class.
+///
+/// Storage is a single flat occupancy bitmap (indexed by resource class,
+/// unit, and kernel row) so the scheduler's II-escalation loop can rebuild
+/// the table for a new II with [`ModuloReservationTable::reset`] instead of
+/// re-allocating a fresh nested structure at every attempt.
 #[derive(Debug, Clone)]
 pub struct ModuloReservationTable {
     ii: u32,
-    // busy[kind][unit][row]
-    busy: Vec<Vec<Vec<bool>>>,
+    // Flat occupancy: for each class, `units × ii` rows starting at
+    // `offsets[kind]`; slot = offsets[kind] + unit·ii + row.
+    busy: Vec<bool>,
+    offsets: [usize; 5],
     units: [usize; 5],
 }
 
@@ -39,16 +46,36 @@ impl ModuloReservationTable {
     /// Panics if `ii` is zero.
     #[must_use]
     pub fn with_unit_cap(ii: u32, config: &AcceleratorConfig, cap: usize) -> Self {
+        let mut table = ModuloReservationTable {
+            ii: 1,
+            busy: Vec::new(),
+            offsets: [0; 5],
+            units: [0; 5],
+        };
+        table.reset(ii, config, cap);
+        table
+    }
+
+    /// Reconfigures the table in place for a new `ii`, clearing every
+    /// reservation but keeping the allocation. The scheduler's II-escalation
+    /// loop calls this between attempts so each retry stops re-allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ii` is zero.
+    pub fn reset(&mut self, ii: u32, config: &AcceleratorConfig, cap: usize) {
         assert!(ii > 0, "II must be positive");
         let cap = cap.max(1);
-        let mut busy = Vec::with_capacity(5);
-        let mut units = [0usize; 5];
+        self.ii = ii;
+        let mut total = 0usize;
         for &kind in veal_accel::resources::ALL_RESOURCES {
             let n = config.units(kind).min(cap.min(4096));
-            units[kind.index()] = n;
-            busy.push(vec![vec![false; ii as usize]; n]);
+            self.units[kind.index()] = n;
+            self.offsets[kind.index()] = total;
+            total += n * ii as usize;
         }
-        ModuloReservationTable { ii, busy, units }
+        self.busy.clear();
+        self.busy.resize(total, false);
     }
 
     /// The initiation interval.
@@ -67,17 +94,18 @@ impl ModuloReservationTable {
         (time + i64::from(offset)).rem_euclid(i64::from(self.ii)) as usize
     }
 
+    fn slot(&self, kind: ResourceKind, unit: usize, row: usize) -> usize {
+        self.offsets[kind.index()] + unit * self.ii as usize + row
+    }
+
     /// Tries to reserve a unit of `kind` at schedule time `time` for `span`
     /// consecutive cycles (span > 1 models unpipelined units). Returns the
     /// unit index on success without committing.
     #[must_use]
     pub fn find_unit(&self, kind: ResourceKind, time: i64, span: u32) -> Option<usize> {
         let span = span.min(self.ii); // occupying II rows occupies everything
-        self.busy[kind.index()]
-            .iter()
-            .enumerate()
-            .find(|(_, unit)| (0..span).all(|k| !unit[self.row(time, k)]))
-            .map(|(u, _)| u)
+        (0..self.units(kind))
+            .find(|&u| (0..span).all(|k| !self.busy[self.slot(kind, u, self.row(time, k))]))
     }
 
     /// Reserves `span` rows of `unit` starting at `time`.
@@ -89,10 +117,9 @@ impl ModuloReservationTable {
     pub fn reserve(&mut self, kind: ResourceKind, unit: usize, time: i64, span: u32) {
         let span = span.min(self.ii);
         for k in 0..span {
-            let r = self.row(time, k);
-            let slot = &mut self.busy[kind.index()][unit][r];
-            assert!(!*slot, "slot already reserved");
-            *slot = true;
+            let s = self.slot(kind, unit, self.row(time, k));
+            assert!(!self.busy[s], "slot already reserved");
+            self.busy[s] = true;
         }
     }
 
@@ -106,20 +133,20 @@ impl ModuloReservationTable {
     pub fn release(&mut self, kind: ResourceKind, unit: usize, time: i64, span: u32) {
         let span = span.min(self.ii);
         for k in 0..span {
-            let r = self.row(time, k);
-            let slot = &mut self.busy[kind.index()][unit][r];
-            assert!(*slot, "releasing a free slot");
-            *slot = false;
+            let s = self.slot(kind, unit, self.row(time, k));
+            assert!(self.busy[s], "releasing a free slot");
+            self.busy[s] = false;
         }
     }
 
     /// Number of occupied slots for `kind` (for diagnostics and tests).
     #[must_use]
     pub fn occupancy(&self, kind: ResourceKind) -> usize {
-        self.busy[kind.index()]
+        let base = self.offsets[kind.index()];
+        self.busy[base..base + self.units(kind) * self.ii as usize]
             .iter()
-            .map(|u| u.iter().filter(|&&b| b).count())
-            .sum()
+            .filter(|&&b| b)
+            .count()
     }
 }
 
@@ -188,5 +215,23 @@ mod tests {
         let mut t = mrt(2);
         t.reserve(ResourceKind::Int, 0, 0, 1);
         t.reserve(ResourceKind::Int, 0, 2, 1); // same row 0
+    }
+
+    #[test]
+    fn reset_reuses_allocation_and_clears() {
+        let mut t = mrt(4);
+        let u = t.find_unit(ResourceKind::Int, 2, 1).unwrap();
+        t.reserve(ResourceKind::Int, u, 2, 1);
+        assert_eq!(t.occupancy(ResourceKind::Int), 1);
+        t.reset(5, &AcceleratorConfig::paper_design(), 4096);
+        assert_eq!(t.ii(), 5);
+        assert_eq!(t.occupancy(ResourceKind::Int), 0);
+        // Behaves exactly like a fresh II=5 table.
+        let fresh = mrt(5);
+        assert_eq!(t.units(ResourceKind::Int), fresh.units(ResourceKind::Int));
+        assert_eq!(
+            t.find_unit(ResourceKind::Int, 7, 2),
+            fresh.find_unit(ResourceKind::Int, 7, 2)
+        );
     }
 }

@@ -40,10 +40,7 @@ pub fn heights(dfg: &Dfg, lat: &LatencyModel, meter: &mut CostMeter, phase: Phas
         if !dfg.node(v).is_schedulable() {
             continue;
         }
-        let l = dfg
-            .node(v)
-            .opcode()
-            .map_or(0, |op| lat.latency(op));
+        let l = dfg.node(v).opcode().map_or(0, |op| lat.latency(op));
         let best = dfg
             .succ_edges(v)
             .filter(|e| e.distance == 0 && dfg.node(e.dst).is_schedulable())
@@ -73,10 +70,7 @@ pub fn depths(dfg: &Dfg, lat: &LatencyModel, meter: &mut CostMeter, phase: Phase
             .pred_edges(v)
             .filter(|e| e.distance == 0 && dfg.node(e.src).is_schedulable())
             .map(|e| {
-                let l = dfg
-                    .node(e.src)
-                    .opcode()
-                    .map_or(0, |op| lat.latency(op));
+                let l = dfg.node(e.src).opcode().map_or(0, |op| lat.latency(op));
                 d[e.src.index()] + l
             })
             .max()
@@ -162,7 +156,11 @@ pub fn swing_order(dfg: &Dfg, lat: &LatencyModel, ii: u32, meter: &mut CostMeter
     let mut placed: HashSet<OpId> = HashSet::new();
 
     let mut emit_set = |set: Vec<OpId>, order: &mut Vec<OpId>, placed: &mut HashSet<OpId>| {
-        let pending: Vec<OpId> = set.iter().copied().filter(|v| !placed.contains(v)).collect();
+        let pending: Vec<OpId> = set
+            .iter()
+            .copied()
+            .filter(|v| !placed.contains(v))
+            .collect();
         if pending.is_empty() {
             return;
         }

@@ -2,7 +2,7 @@
 
 use crate::mrt::ModuloReservationTable;
 use crate::priority::depths;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use veal_accel::{AcceleratorConfig, CapabilityError, ResourceKind};
 use veal_ir::streams::StreamSummary;
@@ -157,9 +157,13 @@ pub fn list_schedule(
     // going to schedule (keeps the huge-control-store infinite machine from
     // scanning thousands of IIs).
     let last_ii = config.max_ii.min(start_ii.saturating_add(63));
+    // The reservation table, time/unit maps, and worklist are hoisted out
+    // of the escalation loop and cleared per attempt, so retrying at II + 1
+    // re-uses the previous attempt's allocations.
+    let mut scratch = SchedScratch::new(start_ii, config, order.len());
     for ii in start_ii..=last_ii {
         meter.charge(Phase::Scheduling, 4);
-        if let Some(schedule) = try_schedule(dfg, config, order, ii, &d, meter) {
+        if let Some(schedule) = try_schedule(dfg, config, order, ii, &d, &mut scratch, meter) {
             return Ok(schedule);
         }
     }
@@ -168,18 +172,52 @@ pub fn list_schedule(
     })
 }
 
+/// Per-attempt working state of [`try_schedule`], reused across the
+/// II-escalation loop so each retry stops re-allocating Θ(units·II) tables
+/// and Θ(ops) maps.
+struct SchedScratch {
+    mrt: ModuloReservationTable,
+    times: HashMap<OpId, i64>,
+    units: HashMap<OpId, (ResourceKind, usize)>,
+    queue: VecDeque<OpId>,
+}
+
+impl SchedScratch {
+    fn new(ii: u32, config: &AcceleratorConfig, ops: usize) -> Self {
+        SchedScratch {
+            mrt: ModuloReservationTable::with_unit_cap(ii, config, ops.max(1)),
+            times: HashMap::with_capacity(ops),
+            units: HashMap::with_capacity(ops),
+            queue: VecDeque::with_capacity(ops),
+        }
+    }
+
+    /// Empties every structure for a fresh attempt at `ii`.
+    fn reset(&mut self, ii: u32, config: &AcceleratorConfig, ops: usize) {
+        self.mrt.reset(ii, config, ops.max(1));
+        self.times.clear();
+        self.units.clear();
+        self.queue.clear();
+    }
+}
+
 fn try_schedule(
     dfg: &Dfg,
     config: &AcceleratorConfig,
     order: &[OpId],
     ii: u32,
     depth: &[u32],
+    scratch: &mut SchedScratch,
     meter: &mut CostMeter,
 ) -> Option<ModuloSchedule> {
     let lat = &config.latencies;
-    let mut mrt = ModuloReservationTable::with_unit_cap(ii, config, order.len().max(1));
-    let mut times: HashMap<OpId, i64> = HashMap::with_capacity(order.len());
-    let mut units: HashMap<OpId, (ResourceKind, usize)> = HashMap::with_capacity(order.len());
+    scratch.reset(ii, config, order.len());
+    let SchedScratch {
+        mrt,
+        times,
+        units,
+        queue,
+    } = scratch;
 
     // Worklist form of the list scheduler with a bounded ejection fallback
     // (Rau-style iterative scheduling): when an op's two-sided window is
@@ -187,7 +225,7 @@ fn try_schedule(
     // placed predecessors — the successors are unplaced and rescheduled
     // after it. This keeps any externally supplied order (static hints,
     // height priority) feasible instead of failing every II.
-    let mut queue: std::collections::VecDeque<OpId> = order.iter().copied().collect();
+    queue.extend(order.iter().copied());
     let mut ejections = 32 * order.len() as u64 + 64;
 
     while let Some(v) = queue.pop_front() {
@@ -228,28 +266,21 @@ fn try_schedule(
         // scheduling), which keeps any externally supplied order feasible.
         let slot = match (early, late) {
             (Some(e0), Some(l0)) if e0 > l0 => None,
-            (Some(e0), Some(l0)) => {
-                scan_up(&mrt, resource(op), e0, l0.min(e0 + i64::from(ii) - 1), span, meter)
-            }
-            (Some(e0), None) => scan_up(
-                &mrt,
+            (Some(e0), Some(l0)) => scan_up(
+                mrt,
                 resource(op),
                 e0,
-                e0 + i64::from(ii) - 1,
+                l0.min(e0 + i64::from(ii) - 1),
                 span,
                 meter,
             ),
-            (None, Some(l0)) => scan_down(
-                &mrt,
-                resource(op),
-                l0,
-                l0 - i64::from(ii) + 1,
-                span,
-                meter,
-            ),
+            (Some(e0), None) => scan_up(mrt, resource(op), e0, e0 + i64::from(ii) - 1, span, meter),
+            (None, Some(l0)) => {
+                scan_down(mrt, resource(op), l0, l0 - i64::from(ii) + 1, span, meter)
+            }
             (None, None) => {
                 let e0 = i64::from(depth[v.index()]);
-                scan_up(&mrt, resource(op), e0, e0 + i64::from(ii) - 1, span, meter)
+                scan_up(mrt, resource(op), e0, e0 + i64::from(ii) - 1, span, meter)
             }
         };
         let slot = match slot {
@@ -306,7 +337,13 @@ fn try_schedule(
     for &v in order {
         units.entry(v).or_insert((ResourceKind::Int, usize::MAX));
     }
-    Some(ModuloSchedule { ii, times, units })
+    // Success ends the escalation loop, so the maps can move straight into
+    // the schedule (the scratch is left empty).
+    Some(ModuloSchedule {
+        ii,
+        times: std::mem::take(times),
+        units: std::mem::take(units),
+    })
 }
 
 fn resource(op: veal_ir::Opcode) -> ResourceKind {
@@ -408,7 +445,7 @@ mod tests {
         let to = s.time(o).unwrap();
         assert!(to >= tm + 3);
         // Loop-carried constraint: tm(next iter) = tm + 4 >= to + 1.
-        assert!(tm + 4 >= to + 1);
+        assert!(tm + 4 > to);
     }
 
     #[test]

@@ -181,8 +181,13 @@ mod tests {
         b.store_stream(2, a);
         let dfg = b.finish();
         let la = AcceleratorConfig::paper_design();
-        let s = modulo_schedule(&dfg, &la, &ScheduleOptions::default(), &mut CostMeter::new())
-            .unwrap();
+        let s = modulo_schedule(
+            &dfg,
+            &la,
+            &ScheduleOptions::default(),
+            &mut CostMeter::new(),
+        )
+        .unwrap();
         assert_eq!(verify_schedule(&dfg, &s.schedule, &la), vec![]);
     }
 
@@ -219,8 +224,13 @@ mod tests {
         }
         let dfg = b.finish();
         let la = AcceleratorConfig::paper_design();
-        let s = modulo_schedule(&dfg, &la, &ScheduleOptions::default(), &mut CostMeter::new())
-            .unwrap();
+        let s = modulo_schedule(
+            &dfg,
+            &la,
+            &ScheduleOptions::default(),
+            &mut CostMeter::new(),
+        )
+        .unwrap();
         assert_eq!(s.schedule.ii, 3);
         let shallow = AcceleratorConfig::builder().max_ii(2).build();
         let defects = verify_schedule(&dfg, &s.schedule, &shallow);
@@ -239,8 +249,13 @@ mod tests {
         }
         let dfg = b.finish();
         let la = AcceleratorConfig::paper_design();
-        let s = modulo_schedule(&dfg, &la, &ScheduleOptions::default(), &mut CostMeter::new())
-            .unwrap();
+        let s = modulo_schedule(
+            &dfg,
+            &la,
+            &ScheduleOptions::default(),
+            &mut CostMeter::new(),
+        )
+        .unwrap();
         let narrow = AcceleratorConfig::builder().int_units(1).build();
         let defects = verify_schedule(&dfg, &s.schedule, &narrow);
         assert!(defects

@@ -3,39 +3,44 @@
 //! bounds (dynamic translation is what makes latency evolution safe —
 //! paper §4.2, "Static ResMII and RecMII Calculation").
 
-use proptest::prelude::*;
 use veal_accel::{AcceleratorConfig, LatencyModel};
+use veal_ir::rng::Rng64;
 use veal_ir::streams::separate;
 use veal_ir::{CostMeter, Opcode};
 use veal_sched::{modulo_schedule, verify_schedule, PriorityKind, ScheduleOptions};
 use veal_workloads::{synth_loop, SynthSpec};
 
-fn arb_latencies() -> impl Strategy<Value = LatencyModel> {
-    (1u32..5, 1u32..7, 1u32..7, 1u32..9).prop_map(|(add, mul, sh, fadd)| {
-        let mut m = LatencyModel::default();
-        m.set(Opcode::Add, add);
-        m.set(Opcode::Mul, mul);
-        m.set(Opcode::Shl, sh);
-        m.set(Opcode::Shr, sh);
-        m.set(Opcode::FAdd, fadd);
-        m
-    })
+fn arb_latencies(rng: &mut Rng64) -> LatencyModel {
+    let add = rng.gen_range(1, 5) as u32;
+    let mul = rng.gen_range(1, 7) as u32;
+    let sh = rng.gen_range(1, 7) as u32;
+    let fadd = rng.gen_range(1, 9) as u32;
+    let mut m = LatencyModel::default();
+    m.set(Opcode::Add, add);
+    m.set(Opcode::Mul, mul);
+    m.set(Opcode::Shl, sh);
+    m.set(Opcode::Shr, sh);
+    m.set(Opcode::FAdd, fadd);
+    m
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+#[test]
+fn schedules_verify_under_any_latency_model() {
+    for case in 0u64..32 {
+        let mut rng = Rng64::new(case.wrapping_mul(0xA24B_AED4) ^ 0x1CE);
+        let seed = rng.next_u64();
+        let ops = rng.gen_range(6, 32);
+        let lat = arb_latencies(&mut rng);
+        let priority = if rng.gen_bool(0.5) {
+            PriorityKind::Swing
+        } else {
+            PriorityKind::Height
+        };
 
-    #[test]
-    fn schedules_verify_under_any_latency_model(
-        seed in any::<u64>(),
-        ops in 6usize..32,
-        lat in arb_latencies(),
-        priority in prop_oneof![Just(PriorityKind::Swing), Just(PriorityKind::Height)],
-    ) {
         let body = synth_loop(&SynthSpec {
             seed,
             compute_ops: ops,
-            fp_frac: if seed % 3 == 0 { 0.4 } else { 0.0 },
+            fp_frac: if seed.is_multiple_of(3) { 0.4 } else { 0.0 },
             loads: 2 + (seed as usize % 3),
             stores: 1,
             recurrences: (seed % 2) as usize,
@@ -46,7 +51,7 @@ proptest! {
 
         let mut meter = CostMeter::new();
         let Ok(sep) = separate(&body.dfg, &mut meter) else {
-            return Ok(());
+            continue;
         };
         let summary = sep.summary();
         let mut dfg = sep.dfg;
@@ -59,16 +64,21 @@ proptest! {
         };
         if let Ok(s) = modulo_schedule(&dfg, &config, &opts, &mut CostMeter::new()) {
             let defects = verify_schedule(&dfg, &s.schedule, &config);
-            prop_assert!(defects.is_empty(), "{defects:?}");
-            prop_assert!(s.schedule.ii <= config.max_ii);
-            prop_assert!(s.registers.pressure.fits());
+            assert!(defects.is_empty(), "case {case}: {defects:?}");
+            assert!(s.schedule.ii <= config.max_ii, "case {case}");
+            assert!(s.registers.pressure.fits(), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn longer_latencies_never_shrink_ii(seed in any::<u64>(), ops in 6usize..24) {
-        // Monotonicity: slowing every unit down cannot lower the achieved
-        // II on the same loop and order policy.
+#[test]
+fn longer_latencies_never_shrink_ii() {
+    // Monotonicity: slowing every unit down cannot lower the achieved
+    // II on the same loop and order policy.
+    for case in 0u64..32 {
+        let mut rng = Rng64::new(case.wrapping_mul(0x9E37_79B9) ^ 0xB0B);
+        let seed = rng.next_u64();
+        let ops = rng.gen_range(6, 24);
         let body = synth_loop(&SynthSpec {
             seed,
             compute_ops: ops,
@@ -79,7 +89,9 @@ proptest! {
             rec_distance: 2 + ops as u32 / 4,
         });
         let mut meter = CostMeter::new();
-        let Ok(sep) = separate(&body.dfg, &mut meter) else { return Ok(()); };
+        let Ok(sep) = separate(&body.dfg, &mut meter) else {
+            continue;
+        };
         let summary = sep.summary();
         let dfg = sep.dfg;
 
@@ -98,7 +110,12 @@ proptest! {
         let a = modulo_schedule(&dfg, &fast, &opts, &mut CostMeter::new());
         let b = modulo_schedule(&dfg, &slow, &opts, &mut CostMeter::new());
         if let (Ok(a), Ok(b)) = (a, b) {
-            prop_assert!(b.mii >= a.mii, "slow MII {} < fast MII {}", b.mii, a.mii);
+            assert!(
+                b.mii >= a.mii,
+                "case {case}: slow MII {} < fast MII {}",
+                b.mii,
+                a.mii
+            );
         }
     }
 }

@@ -4,12 +4,16 @@
 //! hypothetical LA with infinite resources … Architectural parameters were
 //! then individually varied to determine what fraction of the
 //! infinite-resources speedup was attainable using finite resources."
+//!
+//! These free functions are the stable single-point API; sweeps over many
+//! points should use [`crate::sweep::SweepContext`], which adds
+//! parallelism, translation memoization, and a cached infinite-resource
+//! baseline while producing bit-identical numbers.
 
 use crate::cpu::CpuModel;
-use crate::speedup::{run_application, AccelSetup};
+use crate::sweep::SweepContext;
 use veal_accel::AcceleratorConfig;
 use veal_cca::CcaSpec;
-use veal_vm::TranslationPolicy;
 use veal_workloads::Application;
 
 /// One point of a design-space sweep.
@@ -21,21 +25,6 @@ pub struct DseResult {
     pub fraction: f64,
 }
 
-fn dse_setup(config: AcceleratorConfig, cca: Option<CcaSpec>) -> AccelSetup {
-    AccelSetup {
-        config,
-        cca,
-        // Fully dynamic mapping (so the CCA is actually exercised without
-        // needing hint sections), with translation declared free: the DSE
-        // studies hardware, not translation.
-        policy: TranslationPolicy::fully_dynamic(),
-        translation_free: true,
-        hints_in_binary: false,
-        static_transforms: true,
-        cache_entries: 1 << 20,
-    }
-}
-
 /// Mean speedup of `apps` under `config` (translation-free).
 #[must_use]
 pub fn mean_speedup(
@@ -44,18 +33,19 @@ pub fn mean_speedup(
     config: &AcceleratorConfig,
     cca: Option<&CcaSpec>,
 ) -> f64 {
-    let setup = dse_setup(config.clone(), cca.cloned());
-    let sum: f64 = apps
-        .iter()
-        .map(|a| run_application(a, cpu, &setup).speedup())
-        .sum();
-    sum / apps.len().max(1) as f64
+    SweepContext::new(apps.to_vec(), cpu.clone())
+        .without_memo()
+        .with_threads(1)
+        .mean_speedup(config, cca)
 }
 
 /// Fraction of the infinite-resource speedup attained by `config`.
 ///
 /// Both runs are translation-free; the fraction is the ratio of mean
-/// speedups, matching the y-axes of Figures 3 and 4.
+/// speedups, matching the y-axes of Figures 3 and 4. Recomputes the
+/// infinite baseline on every call — inside a sweep, use
+/// [`fraction_of_infinite_with`] or a [`SweepContext`] so the baseline is
+/// computed once.
 #[must_use]
 pub fn fraction_of_infinite(
     apps: &[Application],
@@ -63,9 +53,27 @@ pub fn fraction_of_infinite(
     config: &AcceleratorConfig,
     cca: Option<&CcaSpec>,
 ) -> f64 {
-    let infinite = mean_speedup(apps, cpu, &AcceleratorConfig::infinite(), Some(&CcaSpec::paper()));
-    let finite = mean_speedup(apps, cpu, config, cca);
-    finite / infinite
+    let infinite = mean_speedup(
+        apps,
+        cpu,
+        &AcceleratorConfig::infinite(),
+        Some(&CcaSpec::paper()),
+    );
+    fraction_of_infinite_with(apps, cpu, config, cca, infinite)
+}
+
+/// [`fraction_of_infinite`] against a precomputed infinite-resource mean
+/// speedup (obtained from [`mean_speedup`] of
+/// [`AcceleratorConfig::infinite`], or [`SweepContext::infinite_mean`]).
+#[must_use]
+pub fn fraction_of_infinite_with(
+    apps: &[Application],
+    cpu: &CpuModel,
+    config: &AcceleratorConfig,
+    cca: Option<&CcaSpec>,
+    infinite_mean: f64,
+) -> f64 {
+    mean_speedup(apps, cpu, config, cca) / infinite_mean
 }
 
 #[cfg(test)]
@@ -128,9 +136,22 @@ mod tests {
             &AcceleratorConfig::paper_design(),
             Some(&CcaSpec::paper()),
         );
-        assert!(
-            f_starved < f_paper,
-            "starved {f_starved} paper {f_paper}"
+        assert!(f_starved < f_paper, "starved {f_starved} paper {f_paper}");
+    }
+
+    #[test]
+    fn precomputed_baseline_matches_recomputed() {
+        let apps = small_suite();
+        let cpu = CpuModel::arm11();
+        let infinite = mean_speedup(
+            &apps,
+            &cpu,
+            &AcceleratorConfig::infinite(),
+            Some(&CcaSpec::paper()),
         );
+        let la = AcceleratorConfig::paper_design();
+        let a = fraction_of_infinite(&apps, &cpu, &la, Some(&CcaSpec::paper()));
+        let b = fraction_of_infinite_with(&apps, &cpu, &la, Some(&CcaSpec::paper()), infinite);
+        assert_eq!(a.to_bits(), b.to_bits());
     }
 }

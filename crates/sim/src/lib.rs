@@ -15,6 +15,8 @@
 //!   cycles (the engine behind Figures 2, 6, 7, and 10);
 //! * [`dse`] — the design-space-exploration harness (fraction of
 //!   infinite-resource speedup, Figures 3 and 4);
+//! * [`sweep`] — the parallel, memoized sweep engine the figure drivers
+//!   run on ([`sweep::SweepContext`]);
 //! * [`overhead`] — the translation-overhead sweep (Figure 6).
 
 pub mod accel_time;
@@ -23,12 +25,14 @@ pub mod dse;
 pub mod overhead;
 pub mod report;
 pub mod speedup;
+pub mod sweep;
 pub mod trace;
 
 pub use accel_time::{accel_invocation_cycles, invocation_overhead, BUS_LATENCY};
 pub use cpu::CpuModel;
-pub use dse::{fraction_of_infinite, DseResult};
+pub use dse::{fraction_of_infinite, fraction_of_infinite_with, DseResult};
 pub use overhead::{overhead_sweep, OverheadPoint};
 pub use report::{phase_table, speedup_table};
 pub use speedup::{run_application, AccelSetup, AppRun, LoopRun};
+pub use sweep::{dse_setup, SweepContext};
 pub use trace::{FrameTrace, TraceLoop, TraceRun};

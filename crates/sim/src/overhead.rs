@@ -60,11 +60,11 @@ pub fn overhead_sweep(
     recurrences: &[Recurrence],
 ) -> Vec<OverheadPoint> {
     // One translation-free run per app gives per-loop system cycles and
-    // invocation counts.
-    let runs: Vec<_> = apps
-        .iter()
-        .map(|a| run_application(a, cpu, &AccelSetup::native()))
-        .collect();
+    // invocation counts. The runs are independent, so they fan out across
+    // the worker threads; results come back in app order and the analytic
+    // overlay below reduces sequentially (bit-identical to a serial run).
+    let native = AccelSetup::native();
+    let runs: Vec<_> = veal_par::par_map(apps, |_, a| run_application(a, cpu, &native));
 
     let mut out = Vec::new();
     for &rec in recurrences {
@@ -106,7 +106,12 @@ mod tests {
     fn speedup_monotonically_decreases_with_penalty() {
         let apps = apps();
         let cpu = CpuModel::arm11();
-        let pts = overhead_sweep(&apps, &cpu, &[0, 20_000, 100_000, 1_000_000], &[Recurrence::Once]);
+        let pts = overhead_sweep(
+            &apps,
+            &cpu,
+            &[0, 20_000, 100_000, 1_000_000],
+            &[Recurrence::Once],
+        );
         for w in pts.windows(2) {
             assert!(
                 w[0].mean_speedup >= w[1].mean_speedup,

@@ -3,12 +3,14 @@
 use crate::accel_time::accel_invocation_cycles;
 use crate::cpu::CpuModel;
 use std::collections::HashMap;
+use std::sync::Arc;
 use veal_accel::AcceleratorConfig;
 use veal_cca::CcaSpec;
 use veal_ir::{classify_loop, LoopClass, PhaseBreakdown};
 use veal_opt::{legalize, LegalizedLoop, TransformLimits};
 use veal_vm::{
-    compute_hints, CacheStats, CodeCache, StaticHints, TranslationPolicy, Translator, VmSession,
+    compute_hints, CacheStats, CodeCache, StaticHints, TranslationMemo, TranslationPolicy,
+    Translator, VmSession,
 };
 use veal_workloads::Application;
 
@@ -32,6 +34,11 @@ pub struct AccelSetup {
     pub static_transforms: bool,
     /// Code-cache capacity in translated loops (paper: 16).
     pub cache_entries: usize,
+    /// Optional shared translation memo ([`veal_vm::TranslationMemo`]):
+    /// sweeps attach one so repeated `(loop, config, policy)` combinations
+    /// translate once per process. Simulated numbers are unchanged — memo
+    /// hits replay the original cost (see [`veal_vm::VmSession::with_memo`]).
+    pub memo: Option<Arc<TranslationMemo>>,
 }
 
 impl AccelSetup {
@@ -48,7 +55,15 @@ impl AccelSetup {
             translation_free: false,
             static_transforms: true,
             cache_entries: 16,
+            memo: None,
         }
+    }
+
+    /// Attaches a shared translation memo (see [`AccelSetup::memo`]).
+    #[must_use]
+    pub fn with_memo(mut self, memo: Arc<TranslationMemo>) -> Self {
+        self.memo = Some(memo);
+        self
     }
 
     /// The statically-compiled upper bound (no translation penalty).
@@ -136,6 +151,9 @@ impl AppRun {
 pub fn run_application(app: &Application, cpu: &CpuModel, setup: &AccelSetup) -> AppRun {
     let translator = Translator::new(setup.config.clone(), setup.cca.clone(), setup.policy);
     let mut session = VmSession::with_cache(translator, CodeCache::new(setup.cache_entries));
+    if let Some(memo) = &setup.memo {
+        session = session.with_memo(Arc::clone(memo));
+    }
     let limits = TransformLimits {
         max_load_streams: setup.config.load_streams,
         max_store_streams: setup.config.store_streams,
@@ -151,10 +169,9 @@ pub fn run_application(app: &Application, cpu: &CpuModel, setup: &AccelSetup) ->
     for app_loop in &app.loops {
         // Baseline: the raw loop on the CPU.
         let raw_iter = cpu.loop_cycles_per_iter(&app_loop.raw.body.dfg);
-        let base_cycles = (raw_iter
-            * app_loop.profile.trip_count as f64
-            * app_loop.profile.invocations as f64)
-            .ceil() as u64;
+        let base_cycles =
+            (raw_iter * app_loop.profile.trip_count as f64 * app_loop.profile.invocations as f64)
+                .ceil() as u64;
         cpu_only += base_cycles;
 
         // Accelerated system: transformed (or raw) parts through the VM.
@@ -177,9 +194,7 @@ pub fn run_application(app: &Application, cpu: &CpuModel, setup: &AccelSetup) ->
             let hints = if setup.hints_in_binary {
                 hint_cache
                     .entry(part.body.name.clone())
-                    .or_insert_with(|| {
-                        compute_hints(&part.body, &setup.config, setup.cca.as_ref())
-                    })
+                    .or_insert_with(|| compute_hints(&part.body, &setup.config, setup.cca.as_ref()))
                     .clone()
             } else {
                 StaticHints::none()
@@ -248,8 +263,7 @@ pub fn cpu_only_cycles(app: &Application, cpu: &CpuModel) -> u64 {
     let mut total = cpu.acyclic_cycles(app.acyclic_instrs, app.acyclic_ilp);
     for l in &app.loops {
         let per = cpu.loop_cycles_per_iter(&l.raw.body.dfg);
-        total +=
-            (per * l.profile.trip_count as f64 * l.profile.invocations as f64).ceil() as u64;
+        total += (per * l.profile.trip_count as f64 * l.profile.invocations as f64).ceil() as u64;
     }
     total
 }
@@ -334,7 +348,11 @@ mod tests {
             &arm(),
             &AccelSetup::paper(TranslationPolicy::fully_dynamic()),
         );
-        assert!(run.cache.hit_rate() > 0.95, "hit rate {}", run.cache.hit_rate());
+        assert!(
+            run.cache.hit_rate() > 0.95,
+            "hit rate {}",
+            run.cache.hit_rate()
+        );
     }
 
     #[test]

@@ -1,0 +1,303 @@
+//! Parallel, memoized design-space sweeps.
+//!
+//! The figure drivers evaluate dozens of `(AcceleratorConfig, CcaSpec)`
+//! points over the whole application suite, and every point re-translates
+//! the same loop bodies. [`SweepContext`] packages the three optimizations
+//! that make those sweeps fast without changing a single reported number:
+//!
+//! 1. **Parallelism** — applications (and, via [`SweepContext::eval_points`],
+//!    whole sweep points) are evaluated on worker threads through
+//!    [`veal_par::par_map_with`], which returns results in input order.
+//!    Every reduction then runs sequentially over that ordered output, so
+//!    floating-point sums associate exactly as in the serial code and the
+//!    results are **bit-identical** to a single-threaded run.
+//! 2. **Memoized translation** — a shared [`TranslationMemo`] keyed on
+//!    `(loop content hash, translator fingerprint, hints fingerprint)`
+//!    caches per-loop translation results across apps, points, and figure
+//!    rows. Memo hits replay the original phase breakdown, so simulated
+//!    costs are unchanged (see [`veal_vm::VmSession::with_memo`]).
+//! 3. **A cached infinite-resource baseline** — Figures 3 and 4 divide
+//!    every row by the same infinite-resource mean speedup; the context
+//!    computes it once per suite.
+//!
+//! Thread count comes from [`veal_par::thread_count`] (override with the
+//! `VEAL_THREADS` environment variable; `VEAL_THREADS=1` forces the serial
+//! path).
+
+use crate::cpu::CpuModel;
+use crate::speedup::{run_application, AccelSetup, AppRun};
+use std::sync::{Arc, OnceLock};
+use veal_accel::AcceleratorConfig;
+use veal_cca::CcaSpec;
+use veal_vm::{MemoStats, TranslationMemo, TranslationPolicy};
+use veal_workloads::Application;
+
+/// The translation-free setup the design-space exploration runs under
+/// (paper §3.1: the DSE studies hardware, not translation).
+#[must_use]
+pub fn dse_setup(config: AcceleratorConfig, cca: Option<CcaSpec>) -> AccelSetup {
+    AccelSetup {
+        config,
+        cca,
+        // Fully dynamic mapping (so the CCA is actually exercised without
+        // needing hint sections), with translation declared free.
+        policy: TranslationPolicy::fully_dynamic(),
+        translation_free: true,
+        hints_in_binary: false,
+        static_transforms: true,
+        cache_entries: 1 << 20,
+        memo: None,
+    }
+}
+
+/// Shared state for one design-space sweep: the application suite, the CPU
+/// baseline, a translation memo, the cached infinite-resource baseline,
+/// and the worker-thread budget.
+///
+/// Cloning is cheap and shares the memo and the cached baseline, so a
+/// context can be fanned out across point-level workers.
+///
+/// # Example
+///
+/// ```
+/// use veal_sim::sweep::SweepContext;
+/// use veal_sim::CpuModel;
+/// use veal_accel::AcceleratorConfig;
+/// use veal_cca::CcaSpec;
+///
+/// let apps = veal_workloads::application("rawcaudio").into_iter().collect();
+/// let ctx = SweepContext::new(apps, CpuModel::arm11());
+/// let f = ctx.fraction_of_infinite(&AcceleratorConfig::paper_design(), Some(&CcaSpec::paper()));
+/// assert!(f > 0.0 && f <= 1.001);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SweepContext {
+    apps: Arc<Vec<Application>>,
+    cpu: CpuModel,
+    memo: Option<Arc<TranslationMemo>>,
+    threads: usize,
+    infinite: Arc<OnceLock<f64>>,
+}
+
+impl SweepContext {
+    /// Creates a context over `apps` with a fresh memo and the default
+    /// thread budget ([`veal_par::thread_count`]).
+    #[must_use]
+    pub fn new(apps: Vec<Application>, cpu: CpuModel) -> Self {
+        SweepContext {
+            apps: Arc::new(apps),
+            cpu,
+            memo: Some(Arc::new(TranslationMemo::new())),
+            threads: veal_par::thread_count(),
+            infinite: Arc::new(OnceLock::new()),
+        }
+    }
+
+    /// Overrides the worker-thread budget (`1` forces the serial path).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Detaches the translation memo: every run re-translates from scratch.
+    /// Used by benchmarks to measure the unmemoized baseline.
+    #[must_use]
+    pub fn without_memo(mut self) -> Self {
+        self.memo = None;
+        self
+    }
+
+    /// The application suite under study.
+    #[must_use]
+    pub fn apps(&self) -> &[Application] {
+        &self.apps
+    }
+
+    /// The baseline CPU model.
+    #[must_use]
+    pub fn cpu(&self) -> &CpuModel {
+        &self.cpu
+    }
+
+    /// The worker-thread budget.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Memo hit/miss counters (zeroes when the memo is detached).
+    #[must_use]
+    pub fn memo_stats(&self) -> MemoStats {
+        self.memo.as_ref().map(|m| m.stats()).unwrap_or_default()
+    }
+
+    /// Builds the DSE run setup for one sweep point, attaching the shared
+    /// memo when present.
+    #[must_use]
+    pub fn setup(&self, config: &AcceleratorConfig, cca: Option<&CcaSpec>) -> AccelSetup {
+        let mut setup = dse_setup(config.clone(), cca.cloned());
+        setup.memo = self.memo.clone();
+        setup
+    }
+
+    /// Runs every application under `setup`, in suite order, fanning the
+    /// apps across the thread budget. The returned runs are in the same
+    /// order as [`SweepContext::apps`] regardless of thread count.
+    #[must_use]
+    pub fn run_suite(&self, setup: &AccelSetup) -> Vec<AppRun> {
+        veal_par::par_map_with(&self.apps, self.threads, |_, app| {
+            run_application(app, &self.cpu, setup)
+        })
+    }
+
+    /// Mean whole-application speedup of the suite under `config`
+    /// (translation-free DSE setup). Parallel across apps; the mean is a
+    /// sequential reduction over the ordered runs, so the value is
+    /// bit-identical to the serial computation.
+    #[must_use]
+    pub fn mean_speedup(&self, config: &AcceleratorConfig, cca: Option<&CcaSpec>) -> f64 {
+        let runs = self.run_suite(&self.setup(config, cca));
+        let sum: f64 = runs.iter().map(AppRun::speedup).sum();
+        sum / self.apps.len().max(1) as f64
+    }
+
+    /// Mean speedup of the infinite-resource accelerator (the Figures 3/4
+    /// denominator), computed once per context and cached; clones made
+    /// before the first call share the cached value.
+    #[must_use]
+    pub fn infinite_mean(&self) -> f64 {
+        *self.infinite.get_or_init(|| {
+            self.mean_speedup(&AcceleratorConfig::infinite(), Some(&CcaSpec::paper()))
+        })
+    }
+
+    /// Fraction of the infinite-resource speedup attained by `config`
+    /// (the y-axes of Figures 3 and 4).
+    #[must_use]
+    pub fn fraction_of_infinite(&self, config: &AcceleratorConfig, cca: Option<&CcaSpec>) -> f64 {
+        self.mean_speedup(config, cca) / self.infinite_mean()
+    }
+
+    /// Evaluates many sweep points in parallel, returning results in point
+    /// order.
+    ///
+    /// Each worker receives a clone of this context with a thread budget of
+    /// one (the parallelism lives at the point level; nesting would
+    /// oversubscribe the host), sharing the memo and the cached infinite
+    /// baseline. The baseline cell is a [`OnceLock`], so even when the
+    /// first caller races in from a worker, every point divides by the one
+    /// cached value. Sweeps that divide by [`SweepContext::infinite_mean`]
+    /// can force it before the fan-out to compute it with the full thread
+    /// budget.
+    #[must_use]
+    pub fn eval_points<P, R, F>(&self, points: &[P], f: F) -> Vec<R>
+    where
+        P: Sync,
+        R: Send,
+        F: Fn(&SweepContext, &P) -> R + Sync,
+    {
+        let inner = self.clone().with_threads(1);
+        veal_par::par_map_with(points, self.threads, |_, p| f(&inner, p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use veal_workloads::application;
+
+    fn small_suite() -> Vec<Application> {
+        ["rawcaudio", "cjpeg", "171.swim"]
+            .iter()
+            .filter_map(|n| application(n))
+            .collect()
+    }
+
+    fn configs() -> Vec<AcceleratorConfig> {
+        (1..=4)
+            .map(|n| AcceleratorConfig::builder().int_units(n).build())
+            .collect()
+    }
+
+    #[test]
+    fn parallel_matches_serial_bit_for_bit() {
+        let serial = SweepContext::new(small_suite(), CpuModel::arm11()).with_threads(1);
+        let parallel = SweepContext::new(small_suite(), CpuModel::arm11()).with_threads(4);
+        for config in configs() {
+            let a = serial.fraction_of_infinite(&config, Some(&CcaSpec::paper()));
+            let b = parallel.fraction_of_infinite(&config, Some(&CcaSpec::paper()));
+            assert_eq!(a.to_bits(), b.to_bits(), "config {config}");
+        }
+    }
+
+    #[test]
+    fn memoized_matches_unmemoized_bit_for_bit() {
+        let plain = SweepContext::new(small_suite(), CpuModel::arm11())
+            .with_threads(1)
+            .without_memo();
+        let memoized = SweepContext::new(small_suite(), CpuModel::arm11()).with_threads(1);
+        for config in configs() {
+            let a = plain.mean_speedup(&config, Some(&CcaSpec::paper()));
+            let b = memoized.mean_speedup(&config, Some(&CcaSpec::paper()));
+            assert_eq!(a.to_bits(), b.to_bits(), "config {config}");
+        }
+        // Re-evaluating a config answers every translation from the memo
+        // and still reproduces the exact value.
+        let la = &configs()[0];
+        let before = memoized.memo_stats();
+        let again = memoized.mean_speedup(la, Some(&CcaSpec::paper()));
+        let after = memoized.memo_stats();
+        assert!(after.hits > before.hits, "{before:?} -> {after:?}");
+        assert_eq!(after.entries, before.entries);
+        assert_eq!(
+            again.to_bits(),
+            plain.mean_speedup(la, Some(&CcaSpec::paper())).to_bits()
+        );
+    }
+
+    #[test]
+    fn repeated_evaluation_hits_the_memo() {
+        let ctx = SweepContext::new(small_suite(), CpuModel::arm11()).with_threads(1);
+        let la = AcceleratorConfig::paper_design();
+        let first = ctx.run_suite(&ctx.setup(&la, Some(&CcaSpec::paper())));
+        let before = ctx.memo_stats();
+        let second = ctx.run_suite(&ctx.setup(&la, Some(&CcaSpec::paper())));
+        let after = ctx.memo_stats();
+        // Second pass is answered entirely from the memo...
+        assert!(after.hits > before.hits);
+        assert_eq!(after.entries, before.entries);
+        // ...and replays identical numbers.
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a.system_cycles, b.system_cycles);
+            assert_eq!(a.translation_cycles, b.translation_cycles);
+            assert_eq!(a.translations, b.translations);
+            assert_eq!(a.breakdown, b.breakdown);
+        }
+    }
+
+    #[test]
+    fn eval_points_preserves_order_and_values() {
+        let ctx = SweepContext::new(small_suite(), CpuModel::arm11()).with_threads(4);
+        let points = configs();
+        let fanned = ctx.eval_points(&points, |c, config| {
+            c.fraction_of_infinite(config, Some(&CcaSpec::paper()))
+        });
+        let serial = SweepContext::new(small_suite(), CpuModel::arm11()).with_threads(1);
+        for (config, &got) in points.iter().zip(&fanned) {
+            let want = serial.fraction_of_infinite(config, Some(&CcaSpec::paper()));
+            assert_eq!(want.to_bits(), got.to_bits(), "config {config}");
+        }
+    }
+
+    #[test]
+    fn infinite_mean_cached_once() {
+        let ctx = SweepContext::new(small_suite(), CpuModel::arm11()).with_threads(1);
+        let a = ctx.infinite_mean();
+        let miss_after_first = ctx.memo_stats().misses;
+        let b = ctx.infinite_mean();
+        assert_eq!(a.to_bits(), b.to_bits());
+        // Cached: the second call does not touch the memo at all.
+        assert_eq!(ctx.memo_stats().misses, miss_after_first);
+    }
+}

@@ -21,7 +21,7 @@
 
 use std::fmt;
 use veal_ir::dfg::{Dfg, EdgeKind, NodeKind};
-use veal_ir::{LoopBody, Opcode, OpId};
+use veal_ir::{LoopBody, OpId, Opcode};
 
 /// Format magic bytes.
 pub const MAGIC: &[u8; 4] = b"VEAL";
@@ -268,7 +268,7 @@ pub fn decode_module(bytes: &[u8]) -> Result<BinaryModule, DecodeError> {
                     let op = Opcode::decode(r.u8()?);
                     let stream = r.u16()?;
                     let live_out = r.u8()? != 0;
-                    let op = op.ok_or_else(|| DecodeError::BadOpcode(0))?;
+                    let op = op.ok_or(DecodeError::BadOpcode(0))?;
                     let id = dfg.add_node(NodeKind::Op(op));
                     if stream != u16::MAX {
                         dfg.node_mut(id).stream = Some(stream);
@@ -444,10 +444,7 @@ mod tests {
 
     #[test]
     fn bad_magic_rejected() {
-        assert!(matches!(
-            decode_module(b"NOPE"),
-            Err(DecodeError::BadMagic)
-        ));
+        assert!(matches!(decode_module(b"NOPE"), Err(DecodeError::BadMagic)));
     }
 
     #[test]

@@ -51,7 +51,7 @@ pub fn disassemble(module: &BinaryModule) -> String {
 mod tests {
     use super::*;
     use crate::binfmt::EncodedLoop;
-    use veal_ir::{DfgBuilder, LoopBody, Opcode, OpId};
+    use veal_ir::{DfgBuilder, LoopBody, OpId, Opcode};
 
     #[test]
     fn disassembly_shows_hints_and_ops() {

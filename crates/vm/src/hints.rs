@@ -33,6 +33,38 @@ impl StaticHints {
     pub fn is_empty(&self) -> bool {
         self.priority.is_none() && self.cca_groups.is_none()
     }
+
+    /// Stable fingerprint over the hint payload, part of the memoized
+    /// translation key (the same loop translated with different hints can
+    /// legitimately produce different schedules).
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = veal_ir::rng::Fnv64::new();
+        match &self.priority {
+            None => h.write_u8(0),
+            Some(order) => {
+                h.write_u8(1);
+                h.write_u64(order.len() as u64);
+                for id in order {
+                    h.write_u64(id.index() as u64);
+                }
+            }
+        }
+        match &self.cca_groups {
+            None => h.write_u8(0),
+            Some(groups) => {
+                h.write_u8(1);
+                h.write_u64(groups.len() as u64);
+                for g in groups {
+                    h.write_u64(g.len() as u64);
+                    for id in g {
+                        h.write_u64(id.index() as u64);
+                    }
+                }
+            }
+        }
+        h.finish()
+    }
 }
 
 /// Computes the hints a static compiler would embed for `body`, targeting
@@ -77,8 +109,11 @@ pub fn compute_hints(
         }
         None => None,
     };
-    let mii = res_mii(&dfg, config, summary, &mut scratch)
-        .max(rec_mii(&dfg, &config.latencies, &mut scratch));
+    let mii = res_mii(&dfg, config, summary, &mut scratch).max(rec_mii(
+        &dfg,
+        &config.latencies,
+        &mut scratch,
+    ));
     let order = swing_order(
         &dfg,
         &config.latencies,

@@ -44,16 +44,18 @@
 //! ```
 
 pub mod binfmt;
-pub mod disasm;
 pub mod cache;
+pub mod disasm;
 pub mod hints;
+pub mod memo;
 pub mod session;
 pub mod translator;
 
 pub use binfmt::{decode_module, encode_module, BinaryModule, DecodeError, EncodedLoop};
-pub use disasm::disassemble;
 pub use cache::{CacheStats, CodeCache};
+pub use disasm::disassemble;
 pub use hints::{compute_hints, StaticHints};
+pub use memo::{MemoKey, MemoStats, MemoizedOutcome, TranslationMemo};
 pub use session::{VmSession, VmStats};
 pub use translator::{
     TranslatedLoop, TranslationError, TranslationOutcome, TranslationPolicy, Translator,

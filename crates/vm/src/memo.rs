@@ -1,0 +1,200 @@
+//! A thread-safe translation memo table for the design-space sweep engine.
+//!
+//! Figure sweeps evaluate many `(AcceleratorConfig, CcaSpec, policy)`
+//! points over the same application suite, and many applications share loop
+//! bodies (the suite reuses kernels at different profiles, and legalized
+//! parts repeat). The [`TranslationMemo`] caches per-loop translation
+//! results keyed on the loop's *content* hash plus the translator's
+//! fingerprint, so each distinct `(loop, configuration, policy, hints)`
+//! combination is scheduled exactly once per sweep regardless of how many
+//! apps, figure rows, or repeated runs touch it.
+//!
+//! Replay is exact: a memo hit hands back the original
+//! [`TranslationOutcome`]'s result *and* phase breakdown, and
+//! [`crate::VmSession`] charges its statistics from the stored breakdown
+//! exactly as a fresh translation would — so memoized runs produce
+//! bit-identical simulated numbers.
+
+use crate::translator::{TranslatedLoop, TranslationError};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use veal_ir::PhaseBreakdown;
+
+/// Identity of one memoized translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemoKey {
+    /// [`veal_ir::LoopBody::content_hash`] of the translated body.
+    pub loop_hash: u64,
+    /// [`crate::Translator::fingerprint`]: configuration ⊕ CCA ⊕ policy.
+    pub translator_fp: u64,
+    /// [`crate::StaticHints::fingerprint`] of the hints supplied.
+    pub hints_fp: u64,
+}
+
+/// A stored translation outcome: shared translated loop (or the abort
+/// reason) plus the phase breakdown the original translation charged.
+#[derive(Debug, Clone)]
+pub struct MemoizedOutcome {
+    /// Mapped loop or abort reason, sharable across sessions and threads.
+    pub result: Result<Arc<TranslatedLoop>, TranslationError>,
+    /// The exact per-phase cost of the original translation.
+    pub breakdown: PhaseBreakdown,
+}
+
+/// Hit/miss counters of a memo table, snapshot at a point in time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Lookups answered from the table.
+    pub hits: u64,
+    /// Lookups that missed (and were then translated and inserted).
+    pub misses: u64,
+    /// Entries currently stored.
+    pub entries: usize,
+}
+
+impl MemoStats {
+    /// Fraction of lookups answered from the table.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Thread-safe memo table mapping [`MemoKey`] → [`MemoizedOutcome`].
+///
+/// Shared across sessions (and worker threads) via `Arc`; see
+/// [`crate::VmSession::with_memo`].
+#[derive(Debug, Default)]
+pub struct TranslationMemo {
+    map: Mutex<HashMap<MemoKey, MemoizedOutcome>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl TranslationMemo {
+    /// Creates an empty memo table.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up `key`, recording a hit or miss.
+    #[must_use]
+    pub fn get(&self, key: &MemoKey) -> Option<MemoizedOutcome> {
+        let found = self.map.lock().expect("memo poisoned").get(key).cloned();
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    /// Stores an outcome. First writer wins on a racing key (both computed
+    /// the same deterministic result, so either is correct).
+    pub fn insert(&self, key: MemoKey, outcome: MemoizedOutcome) {
+        self.map
+            .lock()
+            .expect("memo poisoned")
+            .entry(key)
+            .or_insert(outcome);
+    }
+
+    /// Current hit/miss/size counters.
+    #[must_use]
+    pub fn stats(&self) -> MemoStats {
+        MemoStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.map.lock().expect("memo poisoned").len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(n: u64) -> MemoKey {
+        MemoKey {
+            loop_hash: n,
+            translator_fp: 7,
+            hints_fp: 0,
+        }
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let memo = TranslationMemo::new();
+        assert!(memo.get(&key(1)).is_none());
+        memo.insert(
+            key(1),
+            MemoizedOutcome {
+                result: Err(crate::TranslationError::Unsupported(
+                    veal_ir::streams::SeparationError::CallInLoop,
+                )),
+                breakdown: PhaseBreakdown::default(),
+            },
+        );
+        assert!(memo.get(&key(1)).is_some());
+        let s = memo.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distinct_translators_do_not_collide() {
+        let memo = TranslationMemo::new();
+        let a = MemoKey {
+            loop_hash: 1,
+            translator_fp: 1,
+            hints_fp: 0,
+        };
+        memo.insert(
+            a,
+            MemoizedOutcome {
+                result: Err(crate::TranslationError::Unsupported(
+                    veal_ir::streams::SeparationError::CallInLoop,
+                )),
+                breakdown: PhaseBreakdown::default(),
+            },
+        );
+        let b = MemoKey {
+            loop_hash: 1,
+            translator_fp: 2,
+            hints_fp: 0,
+        };
+        assert!(memo.get(&b).is_none());
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let memo = Arc::new(TranslationMemo::new());
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let memo = Arc::clone(&memo);
+                s.spawn(move || {
+                    for i in 0..64u64 {
+                        memo.insert(
+                            key(i % 8 + t),
+                            MemoizedOutcome {
+                                result: Err(crate::TranslationError::Unsupported(
+                                    veal_ir::streams::SeparationError::CallInLoop,
+                                )),
+                                breakdown: PhaseBreakdown::default(),
+                            },
+                        );
+                        let _ = memo.get(&key(i % 8));
+                    }
+                });
+            }
+        });
+        assert!(memo.stats().entries <= 11);
+    }
+}

@@ -2,6 +2,7 @@
 
 use crate::cache::{CacheStats, CodeCache};
 use crate::hints::StaticHints;
+use crate::memo::{MemoKey, MemoizedOutcome, TranslationMemo};
 use crate::translator::{TranslatedLoop, TranslationOutcome, Translator};
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -50,9 +51,15 @@ pub struct Invocation {
 #[derive(Debug)]
 pub struct VmSession {
     translator: Translator,
+    /// Cached [`Translator::fingerprint`] (the translator is immutable for
+    /// the session's lifetime, so this is computed once).
+    translator_fp: u64,
     cache: CodeCache<Arc<TranslatedLoop>>,
     rejected: HashSet<u64>,
     stats: VmStats,
+    /// Optional cross-session translation memo (sweep engine). `None` keeps
+    /// the session fully self-contained.
+    memo: Option<Arc<TranslationMemo>>,
 }
 
 impl VmSession {
@@ -66,11 +73,27 @@ impl VmSession {
     #[must_use]
     pub fn with_cache(translator: Translator, cache: CodeCache<Arc<TranslatedLoop>>) -> Self {
         VmSession {
+            translator_fp: translator.fingerprint(),
             translator,
             cache,
             rejected: HashSet::new(),
             stats: VmStats::default(),
+            memo: None,
         }
+    }
+
+    /// Attaches a shared translation memo: on a code-cache miss the session
+    /// consults `memo` before translating, and publishes fresh translations
+    /// into it.
+    ///
+    /// Statistics stay **bit-identical** with or without a memo: a memo hit
+    /// charges the stored outcome's full phase breakdown exactly as the
+    /// fresh translation would (the simulated machine still pays for the
+    /// translation — only this process's wall clock is spared).
+    #[must_use]
+    pub fn with_memo(mut self, memo: Arc<TranslationMemo>) -> Self {
+        self.memo = Some(memo);
+        self
     }
 
     /// The translator in use.
@@ -98,16 +121,47 @@ impl VmSession {
                 translation_cycles: 0,
             };
         }
-        let outcome: TranslationOutcome = self.translator.translate(body, hints);
+        // Code-cache miss: consult the shared memo when attached, translate
+        // otherwise; fresh results are published back into the memo.
+        let outcome: MemoizedOutcome = match &self.memo {
+            Some(memo) => {
+                let mkey = MemoKey {
+                    loop_hash: body.content_hash(),
+                    translator_fp: self.translator_fp,
+                    hints_fp: hints.fingerprint(),
+                };
+                match memo.get(&mkey) {
+                    Some(hit) => hit,
+                    None => {
+                        let fresh: TranslationOutcome = self.translator.translate(body, hints);
+                        let stored = MemoizedOutcome {
+                            result: fresh.result.map(Arc::new),
+                            breakdown: fresh.breakdown,
+                        };
+                        memo.insert(mkey, stored.clone());
+                        stored
+                    }
+                }
+            }
+            None => {
+                let fresh: TranslationOutcome = self.translator.translate(body, hints);
+                MemoizedOutcome {
+                    result: fresh.result.map(Arc::new),
+                    breakdown: fresh.breakdown,
+                }
+            }
+        };
+        // From here on, memo hits and fresh translations are
+        // indistinguishable: the simulated machine pays the stored breakdown
+        // either way, so memoized sweeps stay bit-identical.
         self.stats.translations += 1;
-        self.stats.translation_units += outcome.cost();
+        self.stats.translation_units += outcome.breakdown.total();
         self.stats.breakdown.merge(&outcome.breakdown);
         match outcome.result {
-            Ok(t) => {
+            Ok(arc) => {
                 // Control storage: 32-bit words (paper §4.3 sizes 16 loops
                 // at ~48 KB of it).
-                let bytes = t.control_words * 4;
-                let arc = Arc::new(t);
+                let bytes = arc.control_words * 4;
                 self.cache.insert_sized(key, Arc::clone(&arc), bytes);
                 Invocation {
                     translated: Some(arc),
@@ -141,6 +195,7 @@ impl VmSession {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::memo::TranslationMemo;
     use crate::translator::TranslationPolicy;
     use veal_accel::AcceleratorConfig;
     use veal_cca::CcaSpec;
@@ -218,15 +273,69 @@ mod tests {
     }
 
     #[test]
+    fn memo_replays_identical_stats() {
+        let body = simple_loop("l");
+        // Reference: two independent sessions, no memo.
+        let mut plain_a = session();
+        plain_a.invoke(1, &body, &StaticHints::none());
+        let mut plain_b = session();
+        plain_b.invoke(1, &body, &StaticHints::none());
+
+        // Memoized: second session replays the first's translation.
+        let memo = Arc::new(TranslationMemo::new());
+        let mut memo_a = session().with_memo(Arc::clone(&memo));
+        memo_a.invoke(1, &body, &StaticHints::none());
+        let mut memo_b = session().with_memo(Arc::clone(&memo));
+        memo_b.invoke(1, &body, &StaticHints::none());
+
+        assert_eq!(memo.stats().hits, 1);
+        assert_eq!(memo.stats().misses, 1);
+        for (plain, memoized) in [(&plain_a, &memo_a), (&plain_b, &memo_b)] {
+            assert_eq!(plain.stats().translations, memoized.stats().translations);
+            assert_eq!(
+                plain.stats().translation_units,
+                memoized.stats().translation_units
+            );
+            assert_eq!(plain.stats().breakdown, memoized.stats().breakdown);
+        }
+    }
+
+    #[test]
+    fn memo_keyed_on_content_not_key() {
+        // Two different invocation keys with byte-identical bodies share one
+        // memoized translation.
+        let memo = Arc::new(TranslationMemo::new());
+        let mut s = session().with_memo(Arc::clone(&memo));
+        s.invoke(1, &simple_loop("l"), &StaticHints::none());
+        s.invoke(2, &simple_loop("l"), &StaticHints::none());
+        assert_eq!(memo.stats().hits, 1);
+        assert_eq!(memo.stats().entries, 1);
+        // Session stats still count both as translations (the simulated
+        // machine translated twice; only host work was shared).
+        assert_eq!(s.stats().translations, 2);
+    }
+
+    #[test]
+    fn memoized_failures_replay() {
+        let memo = Arc::new(TranslationMemo::new());
+        let mut a = session().with_memo(Arc::clone(&memo));
+        let first = a.invoke(7, &call_loop(), &StaticHints::none());
+        assert!(first.translated.is_none());
+        let mut b = session().with_memo(Arc::clone(&memo));
+        let replay = b.invoke(7, &call_loop(), &StaticHints::none());
+        assert!(replay.translated.is_none());
+        assert_eq!(first.translation_cycles, replay.translation_cycles);
+        assert_eq!(b.stats().failures, 1);
+        assert_eq!(memo.stats().hits, 1);
+    }
+
+    #[test]
     fn stats_aggregate_breakdowns() {
         let mut s = session();
         s.invoke(1, &simple_loop("a"), &StaticHints::none());
         s.invoke(2, &simple_loop("b"), &StaticHints::none());
         assert_eq!(s.stats().translations, 2);
         assert!(s.stats().avg_cost() > 0.0);
-        assert_eq!(
-            s.stats().breakdown.total(),
-            s.stats().translation_units
-        );
+        assert_eq!(s.stats().breakdown.total(), s.stats().translation_units);
     }
 }

@@ -6,9 +6,7 @@ use veal_accel::AcceleratorConfig;
 use veal_cca::{is_legal_group, map_cca, CcaSpec};
 use veal_ir::streams::{separate, SeparationError, StreamSummary};
 use veal_ir::{CostMeter, LoopBody, OpId, Phase, PhaseBreakdown};
-use veal_sched::{
-    modulo_schedule, PriorityKind, ScheduleError, ScheduleOptions, ScheduledLoop,
-};
+use veal_sched::{modulo_schedule, PriorityKind, ScheduleError, ScheduleOptions, ScheduledLoop};
 
 /// Which translation steps use statically encoded results (paper §4.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -135,11 +133,7 @@ impl Translator {
     /// Creates a translator targeting `config`, with `cca` describing the
     /// accelerator's CCA (if any), under `policy`.
     #[must_use]
-    pub fn new(
-        config: AcceleratorConfig,
-        cca: Option<CcaSpec>,
-        policy: TranslationPolicy,
-    ) -> Self {
+    pub fn new(config: AcceleratorConfig, cca: Option<CcaSpec>, policy: TranslationPolicy) -> Self {
         Translator {
             config,
             cca,
@@ -157,6 +151,31 @@ impl Translator {
     #[must_use]
     pub fn policy(&self) -> TranslationPolicy {
         self.policy
+    }
+
+    /// Stable fingerprint over everything that determines this translator's
+    /// output for a given `(body, hints)` pair: the accelerator
+    /// configuration, the CCA shape (or its absence), and the policy bits.
+    /// Combined with [`veal_ir::LoopBody::content_hash`] and
+    /// [`crate::StaticHints::fingerprint`], it keys memoized translations.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = veal_ir::rng::Fnv64::new();
+        h.write_u64(self.config.fingerprint());
+        match &self.cca {
+            None => h.write_u8(0),
+            Some(spec) => {
+                h.write_u8(1);
+                h.write_u64(spec.fingerprint());
+            }
+        }
+        h.write_u8(u8::from(self.policy.static_cca));
+        h.write_u8(u8::from(self.policy.static_priority));
+        h.write_u8(match self.policy.priority {
+            PriorityKind::Swing => 0,
+            PriorityKind::Height => 1,
+        });
+        h.finish()
     }
 
     /// Translates one loop body, charging every phase to a fresh meter.
@@ -193,10 +212,9 @@ impl Translator {
                     meter.charge(Phase::HintDecode, dfg.len() as u64 + 4);
                     for g in groups {
                         meter.charge(Phase::HintDecode, g.len() as u64);
-                        let alive = g.iter().all(|&m| {
-                            m.index() < dfg.len()
-                                && dfg.node(m).is_schedulable()
-                        });
+                        let alive = g
+                            .iter()
+                            .all(|&m| m.index() < dfg.len() && dfg.node(m).is_schedulable());
                         // A statically identified subgraph that this CCA
                         // cannot execute as a unit simply runs as individual
                         // ops (paper §4.2) — no compatibility impact. The
@@ -224,8 +242,7 @@ impl Translator {
                 // (different CCA decisions, evolved hardware) falls back to
                 // dynamic priority.
                 meter.charge(Phase::HintDecode, order.len() as u64);
-                let expected: std::collections::HashSet<OpId> =
-                    dfg.schedulable_ops().collect();
+                let expected: std::collections::HashSet<OpId> = dfg.schedulable_ops().collect();
                 let got: std::collections::HashSet<OpId> = order.iter().copied().collect();
                 (expected == got).then(|| order.clone())
             })
@@ -345,7 +362,11 @@ mod tests {
         let la = AcceleratorConfig::paper_design();
         let body = media_loop();
         let hints = compute_hints(&body, &la, Some(&CcaSpec::paper()));
-        let t = Translator::new(la, Some(CcaSpec::narrow()), TranslationPolicy::static_hints());
+        let t = Translator::new(
+            la,
+            Some(CcaSpec::narrow()),
+            TranslationPolicy::static_hints(),
+        );
         let out = t.translate(&body, &hints);
         assert!(out.result.is_ok(), "must still run: {:?}", out.result);
     }

@@ -1,7 +1,7 @@
 //! The application model: loops + profiles + acyclic remainder.
 
 use veal_ir::dfg::NodeKind;
-use veal_ir::{LoopBody, LoopProfile, Opcode, OpId};
+use veal_ir::{LoopBody, LoopProfile, OpId, Opcode};
 use veal_opt::{CalleeFragment, RawLoop};
 
 /// One loop of an application, in its raw binary form.
@@ -46,7 +46,10 @@ impl Application {
     /// Total dynamic loop iterations across the run.
     #[must_use]
     pub fn total_iterations(&self) -> u64 {
-        self.loops.iter().map(|l| l.profile.total_iterations()).sum()
+        self.loops
+            .iter()
+            .map(|l| l.profile.total_iterations())
+            .sum()
     }
 }
 
@@ -151,7 +154,10 @@ mod tests {
         assert!(verify_dfg(&raw.dfg).is_ok());
         assert_eq!(classify_loop(&raw.dfg), LoopClass::NeedsSpeculation);
         let out = legalize(&RawLoop::plain(raw), &TransformLimits::default());
-        assert_eq!(classify_loop(&out[0].body.dfg), LoopClass::ModuloSchedulable);
+        assert_eq!(
+            classify_loop(&out[0].body.dfg),
+            LoopClass::ModuloSchedulable
+        );
     }
 
     #[test]
@@ -160,7 +166,10 @@ mod tests {
         let raw = with_call(&kernels::quantize(), frag);
         assert_eq!(classify_loop(&raw.body.dfg), LoopClass::Subroutine);
         let out = legalize(&raw, &TransformLimits::default());
-        assert_eq!(classify_loop(&out[0].body.dfg), LoopClass::ModuloSchedulable);
+        assert_eq!(
+            classify_loop(&out[0].body.dfg),
+            LoopClass::ModuloSchedulable
+        );
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! expects (paper Figure 5).
 
 use veal_ir::dfg::Dfg;
-use veal_ir::{DfgBuilder, LoopBody, Opcode, OpId};
+use veal_ir::{DfgBuilder, LoopBody, OpId, Opcode};
 
 /// Builder wrapper that adds the stream/control idioms kernels share.
 #[derive(Debug, Default)]
@@ -660,7 +660,10 @@ mod tests {
 
     #[test]
     fn special_kernels_classify_correctly() {
-        assert_eq!(classify_loop(&while_scan().dfg), LoopClass::NeedsSpeculation);
+        assert_eq!(
+            classify_loop(&while_scan().dfg),
+            LoopClass::NeedsSpeculation
+        );
         assert_eq!(classify_loop(&call_loop().dfg), LoopClass::Subroutine);
     }
 

@@ -115,7 +115,15 @@ fn synth_body(seed: u64, ops: usize, fp: f64, loads: usize, stores: usize) -> ve
     synth_loop(&spec)
 }
 
-fn synth(seed: u64, ops: usize, fp: f64, loads: usize, stores: usize, inv: u64, trips: u64) -> AppLoop {
+fn synth(
+    seed: u64,
+    ops: usize,
+    fp: f64,
+    loads: usize,
+    stores: usize,
+    inv: u64,
+    trips: u64,
+) -> AppLoop {
     AppLoop::plain(synth_body(seed, ops, fp, loads, stores), inv, trips)
 }
 
@@ -471,7 +479,14 @@ fn art() -> Application {
 
 // --- SPECint-style applications (Figure 2 classification only) ----------
 
-fn int_app(name: &str, seed: u64, sched_weight: u64, spec_weight: u64, call_weight: u64, acyclic: u64) -> Application {
+fn int_app(
+    name: &str,
+    seed: u64,
+    sched_weight: u64,
+    spec_weight: u64,
+    call_weight: u64,
+    acyclic: u64,
+) -> Application {
     let mut loops = Vec::new();
     if sched_weight > 0 {
         loops.push(synth(seed, 18, 0.0, 3, 1, sched_weight, 60));

@@ -6,9 +6,8 @@
 //! and every output passes [`veal_ir::verify_dfg`] and classifies as
 //! modulo-schedulable.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use veal_ir::{LoopBody, Opcode, OpId};
+use veal_ir::rng::Rng64;
+use veal_ir::{LoopBody, OpId, Opcode};
 
 use crate::kernels::KernelCtx;
 
@@ -90,7 +89,7 @@ const FP_OPS: &[Opcode] = &[
 /// ```
 #[must_use]
 pub fn synth_loop(spec: &SynthSpec) -> LoopBody {
-    let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x5EA1);
+    let mut rng = Rng64::new(spec.seed ^ 0x5EA1);
     let mut k = KernelCtx::new();
 
     let mut int_vals: Vec<OpId> = Vec::new();
@@ -121,14 +120,14 @@ pub fn synth_loop(spec: &SynthSpec) -> LoopBody {
         } else {
             (&mut int_vals, INT_OPS)
         };
-        let op = ops[rng.gen_range(0..ops.len())];
+        let op = ops[rng.gen_range(0, ops.len())];
         // Operand locality: real code consumes recently produced values;
         // a uniformly random choice would create absurdly long lifetimes
         // (and register pressure no machine could hold).
         let window = 6.min(pool.len());
         let lo = pool.len() - window;
-        let a = pool[rng.gen_range(lo..pool.len())];
-        let b = pool[rng.gen_range(lo..pool.len())];
+        let a = pool[rng.gen_range(lo, pool.len())];
+        let b = pool[rng.gen_range(lo, pool.len())];
         let inputs: Vec<OpId> = match op.arity() {
             1 => vec![a],
             _ => vec![a, b],
@@ -170,7 +169,11 @@ pub fn synth_loop(spec: &SynthSpec) -> LoopBody {
         let v = pool[pool.len() - 1 - (s % pool.len().min(3))];
         k.store(4, v);
     }
-    let out_pool = if spec.fp_frac > 0.5 { &fp_vals } else { &int_vals };
+    let out_pool = if spec.fp_frac > 0.5 {
+        &fp_vals
+    } else {
+        &int_vals
+    };
     if let Some(&last) = out_pool.last() {
         k.mark_live_out(last);
     }

@@ -28,12 +28,12 @@ fn main() {
         ("paper design point", AcceleratorConfig::paper_design()),
         (
             "half the FUs (1 int, 1 fp)",
-            AcceleratorConfig::builder().int_units(1).fp_units(1).build(),
+            AcceleratorConfig::builder()
+                .int_units(1)
+                .fp_units(1)
+                .build(),
         ),
-        (
-            "no CCA",
-            AcceleratorConfig::builder().cca_units(0).build(),
-        ),
+        ("no CCA", AcceleratorConfig::builder().cca_units(0).build()),
         (
             "8 load streams / 2 agens",
             AcceleratorConfig::builder()

@@ -21,10 +21,7 @@ fn main() {
     println!(
         "streams: {} load, {} store; stripped control ops {:?} and address \
          generators {:?}",
-        summary.loads,
-        summary.stores,
-        sep.control_ops,
-        sep.addr_ops
+        summary.loads, summary.stores, sep.control_ops, sep.addr_ops
     );
 
     // Step 3: CCA mapping.

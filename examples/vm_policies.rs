@@ -5,9 +5,7 @@
 //!
 //! Run with `cargo run --release -p veal --example vm_policies`.
 
-use veal::{
-    run_application, AccelSetup, CcaSpec, CpuModel, System, TranslationPolicy,
-};
+use veal::{run_application, AccelSetup, CcaSpec, CpuModel, System, TranslationPolicy};
 
 fn main() {
     let app = veal::workloads::application("mpeg2dec").expect("suite app");

@@ -5,7 +5,7 @@
 
 use veal::{
     compute_hints, decode_module, encode_module, AcceleratorConfig, BinaryModule, CcaSpec,
-    EncodedLoop, StaticHints, TranslationPolicy, Translator, TransformLimits,
+    EncodedLoop, StaticHints, TransformLimits, TranslationPolicy, Translator,
 };
 
 fn translator(policy: TranslationPolicy) -> Translator {
@@ -104,7 +104,11 @@ fn hint_stripped_binary_still_runs_everywhere() {
     let dynamic = translator(TranslationPolicy::fully_dynamic());
     let mut accelerated = 0;
     for l in &decoded.loops {
-        if dynamic.translate(&l.body, &StaticHints::none()).result.is_ok() {
+        if dynamic
+            .translate(&l.body, &StaticHints::none())
+            .result
+            .is_ok()
+        {
             accelerated += 1;
         }
     }

@@ -3,58 +3,77 @@
 //! with and without hint sections, and truncated or corrupted bytes must
 //! never panic the decoder.
 
-use proptest::prelude::*;
 use veal::{
     compute_hints, decode_module, encode_module, AcceleratorConfig, BinaryModule, CcaSpec,
     EncodedLoop, OpId,
 };
+use veal_ir::rng::Rng64;
 use veal_workloads::{synth_loop, SynthSpec};
 
-fn arb_spec() -> impl Strategy<Value = SynthSpec> {
-    (
-        any::<u64>(),
-        4usize..40,
-        prop_oneof![Just(0.0), Just(0.4), Just(0.8)],
-        1usize..6,
-        1usize..3,
-        0usize..3,
-        1u32..5,
-    )
-        .prop_map(
-            |(seed, compute_ops, fp_frac, loads, stores, recurrences, rec_distance)| SynthSpec {
-                seed,
-                compute_ops,
-                fp_frac,
-                loads,
-                stores,
-                recurrences,
-                rec_distance,
-            },
-        )
+fn arb_spec(rng: &mut Rng64) -> SynthSpec {
+    SynthSpec {
+        seed: rng.next_u64(),
+        compute_ops: rng.gen_range(4, 40),
+        fp_frac: [0.0, 0.4, 0.8][rng.gen_range(0, 3)],
+        loads: rng.gen_range(1, 6),
+        stores: rng.gen_range(1, 3),
+        recurrences: rng.gen_range(0, 3),
+        rec_distance: rng.gen_range(1, 5) as u32,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: u64 = 64;
 
-    #[test]
-    fn random_loops_round_trip(spec in arb_spec()) {
+fn for_each_spec(mut check: impl FnMut(u64, &mut Rng64, SynthSpec)) {
+    for case in 0..CASES {
+        let mut rng = Rng64::new(case.wrapping_mul(0xD1B5_4A32) ^ 0xB17);
+        let spec = arb_spec(&mut rng);
+        check(case, &mut rng, spec);
+    }
+}
+
+#[test]
+fn random_loops_round_trip() {
+    for_each_spec(|case, _rng, spec| {
         let body = synth_loop(&spec);
         let module = BinaryModule {
-            loops: vec![EncodedLoop { body: body.clone(), priority_hint: None, cca_hint: None }],
+            loops: vec![EncodedLoop {
+                body: body.clone(),
+                priority_hint: None,
+                cca_hint: None,
+            }],
         };
         let back = decode_module(&encode_module(&module)).expect("round trip");
-        prop_assert_eq!(back.loops[0].body.dfg.edges(), body.dfg.edges());
-        prop_assert_eq!(back.loops[0].body.dfg.len(), body.dfg.len());
+        assert_eq!(
+            back.loops[0].body.dfg.edges(),
+            body.dfg.edges(),
+            "case {case}"
+        );
+        assert_eq!(back.loops[0].body.dfg.len(), body.dfg.len(), "case {case}");
         for i in 0..body.dfg.len() {
             let id = OpId::new(i);
-            prop_assert_eq!(&back.loops[0].body.dfg.node(id).kind, &body.dfg.node(id).kind);
-            prop_assert_eq!(back.loops[0].body.dfg.node(id).stream, body.dfg.node(id).stream);
-            prop_assert_eq!(back.loops[0].body.dfg.node(id).live_out, body.dfg.node(id).live_out);
+            assert_eq!(
+                &back.loops[0].body.dfg.node(id).kind,
+                &body.dfg.node(id).kind,
+                "case {case}"
+            );
+            assert_eq!(
+                back.loops[0].body.dfg.node(id).stream,
+                body.dfg.node(id).stream,
+                "case {case}"
+            );
+            assert_eq!(
+                back.loops[0].body.dfg.node(id).live_out,
+                body.dfg.node(id).live_out,
+                "case {case}"
+            );
         }
-    }
+    });
+}
 
-    #[test]
-    fn hinted_loops_round_trip(spec in arb_spec()) {
+#[test]
+fn hinted_loops_round_trip() {
+    for_each_spec(|case, _rng, spec| {
         let body = synth_loop(&spec);
         let la = AcceleratorConfig::paper_design();
         let hints = compute_hints(&body, &la, Some(&CcaSpec::paper()));
@@ -66,53 +85,72 @@ proptest! {
             }],
         };
         let back = decode_module(&encode_module(&module)).expect("round trip");
-        prop_assert_eq!(&back.loops[0].priority_hint, &hints.priority);
-        prop_assert_eq!(&back.loops[0].cca_hint, &hints.cca_groups);
-    }
+        assert_eq!(&back.loops[0].priority_hint, &hints.priority, "case {case}");
+        assert_eq!(&back.loops[0].cca_hint, &hints.cca_groups, "case {case}");
+    });
+}
 
-    #[test]
-    fn truncation_never_panics(spec in arb_spec(), cut_frac in 0.0f64..1.0) {
+#[test]
+fn truncation_never_panics() {
+    for_each_spec(|_case, rng, spec| {
         let body = synth_loop(&spec);
         let module = BinaryModule {
-            loops: vec![EncodedLoop { body, priority_hint: None, cca_hint: None }],
+            loops: vec![EncodedLoop {
+                body,
+                priority_hint: None,
+                cca_hint: None,
+            }],
         };
         let bytes = encode_module(&module);
+        let cut_frac = rng.next_f64();
         let cut = ((bytes.len() as f64) * cut_frac) as usize;
         // Must return an error or a module, never panic.
         let _ = decode_module(&bytes[..cut.min(bytes.len().saturating_sub(1))]);
-    }
+    });
+}
 
-    #[test]
-    fn byte_corruption_never_panics(spec in arb_spec(), pos_frac in 0.0f64..1.0, val in any::<u8>()) {
+#[test]
+fn byte_corruption_never_panics() {
+    for_each_spec(|_case, rng, spec| {
         let body = synth_loop(&spec);
         let module = BinaryModule {
-            loops: vec![EncodedLoop { body, priority_hint: None, cca_hint: None }],
+            loops: vec![EncodedLoop {
+                body,
+                priority_hint: None,
+                cca_hint: None,
+            }],
         };
         let mut bytes = encode_module(&module);
         if !bytes.is_empty() {
-            let pos = ((bytes.len() - 1) as f64 * pos_frac) as usize;
-            bytes[pos] = val;
+            let pos = rng.gen_range(0, bytes.len());
+            bytes[pos] = (rng.next_u64() & 0xFF) as u8;
             let _ = decode_module(&bytes);
         }
-    }
+    });
+}
 
-    #[test]
-    fn multi_loop_modules_preserve_order(seeds in proptest::collection::vec(any::<u64>(), 1..6)) {
+#[test]
+fn multi_loop_modules_preserve_order() {
+    for case in 0u64..16 {
+        let mut rng = Rng64::new(case.wrapping_mul(0xC0FF_EE11) ^ 0x51DE);
+        let n = rng.gen_range(1, 6);
         let module = BinaryModule {
-            loops: seeds
-                .iter()
-                .map(|&seed| EncodedLoop {
-                    body: synth_loop(&SynthSpec { seed, ..SynthSpec::default() }),
+            loops: (0..n)
+                .map(|_| EncodedLoop {
+                    body: synth_loop(&SynthSpec {
+                        seed: rng.next_u64(),
+                        ..SynthSpec::default()
+                    }),
                     priority_hint: None,
                     cca_hint: None,
                 })
                 .collect(),
         };
         let back = decode_module(&encode_module(&module)).expect("round trip");
-        prop_assert_eq!(back.loops.len(), module.loops.len());
+        assert_eq!(back.loops.len(), module.loops.len(), "case {case}");
         for (a, b) in back.loops.iter().zip(&module.loops) {
-            prop_assert_eq!(&a.body.name, &b.body.name);
-            prop_assert_eq!(a.body.dfg.edges(), b.body.dfg.edges());
+            assert_eq!(&a.body.name, &b.body.name, "case {case}");
+            assert_eq!(a.body.dfg.edges(), b.body.dfg.edges(), "case {case}");
         }
     }
 }

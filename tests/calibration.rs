@@ -32,7 +32,10 @@ fn mean(apps: &[veal_workloads::Application], setup: &AccelSetup) -> f64 {
 fn headline_means_stay_in_their_bands() {
     let apps = subset();
     let native = mean(&apps, &AccelSetup::native());
-    let dynamic = mean(&apps, &AccelSetup::paper(TranslationPolicy::fully_dynamic()));
+    let dynamic = mean(
+        &apps,
+        &AccelSetup::paper(TranslationPolicy::fully_dynamic()),
+    );
     let hinted = mean(&apps, &AccelSetup::paper(TranslationPolicy::static_hints()));
 
     // Bands chosen around the current calibration (subset means are lower

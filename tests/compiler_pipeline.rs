@@ -50,7 +50,12 @@ fn build_program() -> (Program, usize) {
         header,
         Instruction::call(t, veal_ir::FuncId::new(1), vec![a.into()]),
     );
-    fb.push(header, Opcode::CmpLt, Some(cneg), vec![t.into(), 0i64.into()]);
+    fb.push(
+        header,
+        Opcode::CmpLt,
+        Some(cneg),
+        vec![t.into(), 0i64.into()],
+    );
     fb.cond_branch(header, cneg, then_b, else_b);
     fb.push(then_b, Opcode::Neg, Some(y), vec![t.into()]);
     fb.branch(then_b, join);

@@ -13,7 +13,11 @@ fn every_media_app_accelerates_natively() {
             app.name,
             run.speedup()
         );
-        assert_eq!(run.translation_cycles, 0, "{} charged translation", app.name);
+        assert_eq!(
+            run.translation_cycles, 0,
+            "{} charged translation",
+            app.name
+        );
     }
 }
 

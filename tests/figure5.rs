@@ -4,9 +4,7 @@
 
 use veal::ir::streams::separate;
 use veal::sched::{rec_mii, res_mii, verify_schedule};
-use veal::{
-    AcceleratorConfig, CcaSpec, CostMeter, Opcode, StaticHints, System, TranslationPolicy,
-};
+use veal::{AcceleratorConfig, CcaSpec, CostMeter, Opcode, StaticHints, System, TranslationPolicy};
 
 #[test]
 fn figure5_numbers_match_the_paper() {
@@ -117,7 +115,14 @@ fn figure5_latency_assumptions() {
     // other ops take 1 cycle."
     assert_eq!(Opcode::Mul.default_latency(), 3);
     assert_eq!(Opcode::Cca.default_latency(), 2);
-    for op in [Opcode::Add, Opcode::And, Opcode::Shl, Opcode::Shr, Opcode::Or, Opcode::Xor] {
+    for op in [
+        Opcode::Add,
+        Opcode::And,
+        Opcode::Shl,
+        Opcode::Shr,
+        Opcode::Or,
+        Opcode::Xor,
+    ] {
         assert_eq!(op.default_latency(), 1, "{op}");
     }
 }

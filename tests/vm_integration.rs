@@ -2,8 +2,8 @@
 //! cache behaviour, and the Figure 7 transform dependency.
 
 use veal::{
-    compute_hints, run_application, AccelSetup, AcceleratorConfig, CcaSpec, CpuModel,
-    StaticHints, TranslationPolicy, Translator,
+    compute_hints, run_application, AccelSetup, AcceleratorConfig, CcaSpec, CpuModel, StaticHints,
+    TranslationPolicy, Translator,
 };
 use veal_vm::VmSession;
 use veal_workloads::kernels;
@@ -164,12 +164,22 @@ fn hints_survive_latency_evolution() {
     let mut evolved = AcceleratorConfig::paper_design();
     evolved.latencies = slow_mul;
 
-    let t = Translator::new(evolved, Some(CcaSpec::paper()), TranslationPolicy::static_hints());
+    let t = Translator::new(
+        evolved,
+        Some(CcaSpec::paper()),
+        TranslationPolicy::static_hints(),
+    );
     let out = t.translate(&body, &hints);
-    let mapped = out.result.expect("hinted binary still maps on evolved latencies");
+    let mapped = out
+        .result
+        .expect("hinted binary still maps on evolved latencies");
     // The recurrence through the 5-cycle multiplier now bounds II higher
     // than the default machine's 9.
-    assert!(mapped.scheduled.schedule.ii >= 11, "II {}", mapped.scheduled.schedule.ii);
+    assert!(
+        mapped.scheduled.schedule.ii >= 11,
+        "II {}",
+        mapped.scheduled.schedule.ii
+    );
 }
 
 #[test]
@@ -186,9 +196,19 @@ fn dynamic_translation_adapts_to_latency_evolution() {
         Some(CcaSpec::paper()),
         TranslationPolicy::fully_dynamic(),
     );
-    let t_evolved = Translator::new(evolved, Some(CcaSpec::paper()), TranslationPolicy::fully_dynamic());
-    let a = t_default.translate(&body, &StaticHints::none()).result.unwrap();
-    let b = t_evolved.translate(&body, &StaticHints::none()).result.unwrap();
+    let t_evolved = Translator::new(
+        evolved,
+        Some(CcaSpec::paper()),
+        TranslationPolicy::fully_dynamic(),
+    );
+    let a = t_default
+        .translate(&body, &StaticHints::none())
+        .result
+        .unwrap();
+    let b = t_evolved
+        .translate(&body, &StaticHints::none())
+        .result
+        .unwrap();
     // A faster multiplier can only help the schedule.
     assert!(b.scheduled.schedule.ii <= a.scheduled.schedule.ii);
 }
