@@ -67,6 +67,17 @@ impl LatencyModel {
     /// don't perturb it). Used to key memoized translation results.
     #[must_use]
     pub fn fingerprint(&self) -> u64 {
+        // Memoized fast path for the (overwhelmingly common) default model:
+        // the fingerprint keys the translation caches, so it runs on every
+        // scheduler invocation.
+        if self.overrides.is_empty() {
+            static DEFAULT: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
+            return *DEFAULT.get_or_init(|| LatencyModel::new().fingerprint_uncached());
+        }
+        self.fingerprint_uncached()
+    }
+
+    fn fingerprint_uncached(&self) -> u64 {
         let mut h = veal_ir::rng::Fnv64::new();
         for &op in veal_ir::opcode::ALL_OPCODES {
             h.write_u64(u64::from(self.latency(op)));

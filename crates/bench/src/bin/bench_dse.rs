@@ -11,6 +11,10 @@
 //! Results are printed and written to `BENCH_dse.json` in the current
 //! directory: wall-clock per arm, the suite's abstract-instruction
 //! translation totals, memo hit/miss counters, and the speedup ratios.
+//!
+//! Knobs for the CI smoke job: `VEAL_BENCH_APPS` truncates the suite and
+//! `VEAL_BENCH_POINTS` truncates the unit-count sweep (both default to the
+//! full set; the committed `BENCH_dse.json` must come from a full run).
 
 use std::time::Instant;
 use veal::{AcceleratorConfig, CcaSpec, CpuModel, SweepContext};
@@ -33,21 +37,31 @@ fn abstract_instructions(ctx: &SweepContext, config: &AcceleratorConfig) -> u64 
         .sum()
 }
 
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
 fn main() {
-    let apps = veal::workloads::media_fp_suite();
+    let mut apps = veal::workloads::media_fp_suite();
+    apps.truncate(env_usize("VEAL_BENCH_APPS", usize::MAX).max(1));
+    let mut unit_counts = UNIT_COUNTS.to_vec();
+    unit_counts.truncate(env_usize("VEAL_BENCH_POINTS", usize::MAX).max(1));
     let cpu = CpuModel::arm11();
     let threads = veal_par::thread_count();
     println!(
         "bench_dse: Figure 3(a) integer-unit sweep, {} apps x {} points, {} thread(s)",
         apps.len(),
-        UNIT_COUNTS.len(),
+        unit_counts.len(),
         threads
     );
 
     // Arm 1: the pre-sweep serial API. Every point re-runs the
     // infinite-resource baseline and re-translates every loop.
     let t0 = Instant::now();
-    let serial: Vec<f64> = UNIT_COUNTS
+    let serial: Vec<f64> = unit_counts
         .iter()
         .map(|&n| {
             veal::sim::dse::fraction_of_infinite(
@@ -65,7 +79,7 @@ fn main() {
     let ctx = SweepContext::new(apps.clone(), cpu.clone());
     let t0 = Instant::now();
     let _ = ctx.infinite_mean();
-    let swept = ctx.eval_points(&UNIT_COUNTS, |c, &n| {
+    let swept = ctx.eval_points(&unit_counts, |c, &n| {
         c.fraction_of_infinite(&point_config(n), Some(&CcaSpec::paper()))
     });
     let sweep_ms = t0.elapsed().as_secs_f64() * 1e3;
@@ -78,14 +92,14 @@ fn main() {
             a.to_bits(),
             b.to_bits(),
             "point {} diverged: serial {a} vs sweep {b}",
-            UNIT_COUNTS[i]
+            unit_counts[i]
         );
     }
 
     // Arm 3: the same sweep again on the warm context — every translation
     // is a memo hit, which is what repeated figures over one suite pay.
     let t0 = Instant::now();
-    let again = ctx.eval_points(&UNIT_COUNTS, |c, &n| {
+    let again = ctx.eval_points(&unit_counts, |c, &n| {
         c.fraction_of_infinite(&point_config(n), Some(&CcaSpec::paper()))
     });
     let warm_ms = t0.elapsed().as_secs_f64() * 1e3;
@@ -118,7 +132,7 @@ fn main() {
          \"memo_hits\": {},\n  \"memo_misses\": {},\n  \"memo_entries\": {},\n  \
          \"abstract_instructions_per_eval\": {},\n  \"bit_identical\": true\n}}\n",
         apps.len(),
-        UNIT_COUNTS.len(),
+        unit_counts.len(),
         threads,
         serial_ms,
         sweep_ms,

@@ -1,0 +1,663 @@
+//! Benchmarks the translation hot kernel, old vs new, over every loop of
+//! the full workload suite.
+//!
+//! The **old kernel** is the pre-optimization implementation, retained
+//! verbatim in the [`reference`] module below: hash-set based Swing
+//! ordering over the naive Θ(n³) Floyd–Warshall MinDist
+//! ([`veal::sched::MinDist::compute_naive`]) and the hash-map based modulo
+//! list scheduler. The **new kernel** is the current pipeline: the
+//! SCC-structured, II-parametric MinDist envelope with its cross-invocation
+//! cache, bitset Swing ordering, and the dense-array list scheduler.
+//!
+//! Two measurements per loop:
+//!
+//! * **priority + scheduling** — `swing_order` followed by
+//!   `list_schedule` on the separated, CCA-mapped body (the paper's 69% +
+//!   9% of translation cost, Figure 8), old kernels vs new kernels. Each
+//!   loop is run at `VEAL_BENCH_IIS` consecutive IIs starting at its MII —
+//!   the pattern the design-space sweep and II escalation actually
+//!   generate (same graph, shifting II), where the old kernel pays a full
+//!   Θ(n³) Floyd–Warshall per point and the new one evaluates the cached
+//!   Pareto frontiers in O(n²·k).
+//! * **end-to-end translate** — the whole `Translator::translate`
+//!   pipeline on the raw loop body, naive-MinDist vs parametric-MinDist
+//!   (the scheduler inside `translate` is always the current one).
+//!
+//! Every order, schedule, and per-phase abstract-instruction breakdown is
+//! asserted identical between the two kernels — the abstract cost model
+//! is the paper's result and must not move.
+//!
+//! Results are printed and written to `BENCH_translate.json`. Environment
+//! knobs for the CI smoke job: `VEAL_BENCH_APPS` truncates the suite,
+//! `VEAL_BENCH_REPS` sets the timed repetitions per loop (default 5).
+
+use std::time::Instant;
+use veal::ir::streams::{separate, StreamSummary};
+use veal::ir::{CostMeter, Dfg, OpId, PhaseBreakdown};
+use veal::sched::{
+    list_schedule, rec_mii, res_mii, set_parametric_enabled, swing_order, ModuloSchedule,
+    ScheduleError,
+};
+use veal::vm::{StaticHints, TranslationPolicy, Translator};
+use veal::{AcceleratorConfig, CcaSpec};
+
+/// The pre-optimization translation kernels, retained verbatim so the
+/// benchmark compares real old code against real new code on the same
+/// build. Every `CostMeter` charge matches the current kernels' charges —
+/// the abstract cost model describes the *algorithmic* work of the paper's
+/// translator, not the host-side data structures — so the phase breakdowns
+/// of both arms are asserted bit-identical in `main`.
+mod reference {
+    use std::collections::{HashMap, HashSet, VecDeque};
+    use veal::accel::ResourceKind;
+    use veal::ir::streams::StreamSummary;
+    use veal::ir::{CostMeter, Dfg, OpId, Phase};
+    use veal::sched::priority::{depths, heights};
+    use veal::sched::{MinDist, ModuloReservationTable, ScheduleError};
+    use veal::{AcceleratorConfig, LatencyModel};
+
+    /// The old per-SCC criticality: the SCC's own RecMII recomputed from
+    /// MinDist self distances.
+    fn scc_criticality(md: &MinDist, scc: &[OpId]) -> i64 {
+        scc.iter()
+            .filter_map(|&v| md.get(v, v))
+            .max()
+            .unwrap_or(i64::MIN)
+    }
+
+    /// The old Swing ordering: a full naive Floyd–Warshall per call, hash
+    /// sets for the pending/placed bookkeeping.
+    #[must_use]
+    pub fn swing_order(dfg: &Dfg, lat: &LatencyModel, ii: u32, meter: &mut CostMeter) -> Vec<OpId> {
+        let md = MinDist::compute_naive(dfg, lat, ii.max(1), meter);
+        let d = depths(dfg, lat, meter, Phase::Priority);
+        let h = heights(dfg, lat, meter, Phase::Priority);
+
+        let sccs = dfg.sccs();
+        meter.charge(Phase::Priority, (dfg.len() as u64) * 2);
+        let mut rec_sets: Vec<&Vec<OpId>> = sccs
+            .iter()
+            .filter(|scc| {
+                scc.iter().all(|&v| dfg.node(v).is_schedulable())
+                    && (scc.len() > 1 || dfg.succ_edges(scc[0]).any(|e| e.dst == scc[0]))
+            })
+            .collect();
+        rec_sets.sort_by_key(|scc| {
+            (
+                std::cmp::Reverse(scc_criticality(&md, scc)),
+                std::cmp::Reverse(scc.len()),
+                scc[0],
+            )
+        });
+
+        let mut order: Vec<OpId> = Vec::new();
+        let mut placed: HashSet<OpId> = HashSet::new();
+
+        let mut emit_set = |set: Vec<OpId>, order: &mut Vec<OpId>, placed: &mut HashSet<OpId>| {
+            let pending: Vec<OpId> = set
+                .iter()
+                .copied()
+                .filter(|v| !placed.contains(v))
+                .collect();
+            if pending.is_empty() {
+                return;
+            }
+            let mut remaining: HashSet<OpId> = pending.iter().copied().collect();
+            while !remaining.is_empty() {
+                meter.charge(Phase::Priority, remaining.len() as u64);
+                let mut candidates: Vec<OpId> = remaining
+                    .iter()
+                    .copied()
+                    .filter(|&v| {
+                        dfg.pred_edges(v).any(|e| placed.contains(&e.src))
+                            || dfg.succ_edges(v).any(|e| placed.contains(&e.dst))
+                    })
+                    .collect();
+                if candidates.is_empty() {
+                    candidates = remaining.iter().copied().collect();
+                }
+                candidates.sort_by_key(|&v| {
+                    (
+                        std::cmp::Reverse(d[v.index()] + h[v.index()]),
+                        d[v.index()],
+                        v,
+                    )
+                });
+                let chosen = candidates[0];
+                remaining.remove(&chosen);
+                placed.insert(chosen);
+                order.push(chosen);
+            }
+        };
+
+        for scc in rec_sets {
+            emit_set(scc.clone(), &mut order, &mut placed);
+        }
+        let rest: Vec<OpId> = dfg
+            .schedulable_ops()
+            .filter(|v| !placed.contains(v))
+            .collect();
+        emit_set(rest, &mut order, &mut placed);
+        order
+    }
+
+    /// The old schedule representation: hash maps keyed by op id.
+    #[derive(Debug, Clone)]
+    pub struct RefSchedule {
+        pub ii: u32,
+        times: HashMap<OpId, i64>,
+        units: HashMap<OpId, (ResourceKind, usize)>,
+    }
+
+    impl RefSchedule {
+        pub fn unit(&self, op: OpId) -> Option<(ResourceKind, usize)> {
+            self.units.get(&op).copied()
+        }
+
+        pub fn entries(&self) -> Vec<(OpId, i64)> {
+            let mut v: Vec<(OpId, i64)> = self.times.iter().map(|(&k, &t)| (k, t)).collect();
+            v.sort_by_key(|&(k, t)| (t, k));
+            v
+        }
+    }
+
+    struct RefScratch {
+        mrt: ModuloReservationTable,
+        times: HashMap<OpId, i64>,
+        units: HashMap<OpId, (ResourceKind, usize)>,
+        queue: VecDeque<OpId>,
+    }
+
+    impl RefScratch {
+        fn new(ii: u32, config: &AcceleratorConfig, ops: usize) -> Self {
+            RefScratch {
+                mrt: ModuloReservationTable::with_unit_cap(ii, config, ops.max(1)),
+                times: HashMap::with_capacity(ops),
+                units: HashMap::with_capacity(ops),
+                queue: VecDeque::with_capacity(ops),
+            }
+        }
+
+        fn reset(&mut self, ii: u32, config: &AcceleratorConfig, ops: usize) {
+            self.mrt.reset(ii, config, ops.max(1));
+            self.times.clear();
+            self.units.clear();
+            self.queue.clear();
+        }
+    }
+
+    /// The old modulo list scheduler: identical window/ejection logic to
+    /// the current one, but all per-op state lives in hash maps.
+    pub fn list_schedule(
+        dfg: &Dfg,
+        config: &AcceleratorConfig,
+        order: &[OpId],
+        mii: u32,
+        streams: StreamSummary,
+        meter: &mut CostMeter,
+    ) -> Result<RefSchedule, ScheduleError> {
+        let lat = &config.latencies;
+        let d = depths(dfg, lat, meter, Phase::Scheduling);
+        let start_ii = mii.max(config.min_ii_for_streams(streams)).max(1);
+        let last_ii = config.max_ii.min(start_ii.saturating_add(63));
+        let mut scratch = RefScratch::new(start_ii, config, order.len());
+        for ii in start_ii..=last_ii {
+            meter.charge(Phase::Scheduling, 4);
+            if let Some(schedule) = try_schedule(dfg, config, order, ii, &d, &mut scratch, meter) {
+                return Ok(schedule);
+            }
+        }
+        Err(ScheduleError::NoSchedule {
+            tried_up_to: last_ii,
+        })
+    }
+
+    fn try_schedule(
+        dfg: &Dfg,
+        config: &AcceleratorConfig,
+        order: &[OpId],
+        ii: u32,
+        depth: &[u32],
+        scratch: &mut RefScratch,
+        meter: &mut CostMeter,
+    ) -> Option<RefSchedule> {
+        let lat = &config.latencies;
+        scratch.reset(ii, config, order.len());
+        let RefScratch {
+            mrt,
+            times,
+            units,
+            queue,
+        } = scratch;
+
+        queue.extend(order.iter().copied());
+        let mut ejections = 32 * order.len() as u64 + 64;
+
+        while let Some(v) = queue.pop_front() {
+            let op = dfg.node(v).opcode().expect("order contains only ops");
+            let span = if op.pipelined() { 1 } else { lat.latency(op) };
+
+            let mut early: Option<i64> = None;
+            let mut late: Option<i64> = None;
+            for e in dfg.pred_edges(v) {
+                meter.charge(Phase::Scheduling, 1);
+                if e.src == v {
+                    continue;
+                }
+                if let Some(&tp) = times.get(&e.src) {
+                    let lp = i64::from(dfg.node(e.src).opcode().map_or(0, |o| lat.latency(o)));
+                    let bound = tp + lp - i64::from(ii) * i64::from(e.distance);
+                    early = Some(early.map_or(bound, |b: i64| b.max(bound)));
+                }
+            }
+            for e in dfg.succ_edges(v) {
+                meter.charge(Phase::Scheduling, 1);
+                if e.dst == v {
+                    continue;
+                }
+                if let Some(&ts) = times.get(&e.dst) {
+                    let lv = i64::from(lat.latency(op));
+                    let bound = ts - lv + i64::from(ii) * i64::from(e.distance);
+                    late = Some(late.map_or(bound, |b: i64| b.min(bound)));
+                }
+            }
+
+            let slot = match (early, late) {
+                (Some(e0), Some(l0)) if e0 > l0 => None,
+                (Some(e0), Some(l0)) => scan_up(
+                    mrt,
+                    resource(op),
+                    e0,
+                    l0.min(e0 + i64::from(ii) - 1),
+                    span,
+                    meter,
+                ),
+                (Some(e0), None) => {
+                    scan_up(mrt, resource(op), e0, e0 + i64::from(ii) - 1, span, meter)
+                }
+                (None, Some(l0)) => {
+                    scan_down(mrt, resource(op), l0, l0 - i64::from(ii) + 1, span, meter)
+                }
+                (None, None) => {
+                    let e0 = i64::from(depth[v.index()]);
+                    scan_up(mrt, resource(op), e0, e0 + i64::from(ii) - 1, span, meter)
+                }
+            };
+            let slot = match slot {
+                Some(s) => s,
+                None => {
+                    if late.is_none() || ejections == 0 {
+                        return None;
+                    }
+                    ejections -= 1;
+                    meter.charge(Phase::Scheduling, 4);
+                    let victims: Vec<OpId> = dfg
+                        .succ_edges(v)
+                        .filter(|e| e.dst != v && times.contains_key(&e.dst))
+                        .map(|e| e.dst)
+                        .collect();
+                    if victims.is_empty() {
+                        return None;
+                    }
+                    for w in victims {
+                        if let Some(tw) = times.remove(&w) {
+                            if let Some((kind, u)) = units.remove(&w) {
+                                let wop = dfg.node(w).opcode().expect("scheduled op");
+                                let wspan = if wop.pipelined() { 1 } else { lat.latency(wop) };
+                                mrt.release(kind, u, tw, wspan);
+                            }
+                            queue.push_back(w);
+                        }
+                    }
+                    queue.push_front(v);
+                    continue;
+                }
+            };
+            let (t, unit_choice) = slot;
+            if let Some((kind, u)) = unit_choice {
+                mrt.reserve(kind, u, t, span);
+                units.insert(v, (kind, u));
+            }
+            times.insert(v, t);
+        }
+
+        let min_t = times.values().copied().min().unwrap_or(0);
+        let shift = min_t.rem_euclid(i64::from(ii)) - min_t;
+        for t in times.values_mut() {
+            *t += shift;
+        }
+        for &v in order {
+            units.entry(v).or_insert((ResourceKind::Int, usize::MAX));
+        }
+        Some(RefSchedule {
+            ii,
+            times: std::mem::take(times),
+            units: std::mem::take(units),
+        })
+    }
+
+    fn resource(op: veal::ir::Opcode) -> ResourceKind {
+        ResourceKind::for_opcode(op).unwrap_or(ResourceKind::Int)
+    }
+
+    type Slot = (i64, Option<(ResourceKind, usize)>);
+
+    fn scan_up(
+        mrt: &ModuloReservationTable,
+        kind: ResourceKind,
+        from: i64,
+        to: i64,
+        span: u32,
+        meter: &mut CostMeter,
+    ) -> Option<Slot> {
+        let mut t = from;
+        while t <= to {
+            meter.charge(Phase::Scheduling, 1);
+            if let Some(u) = mrt.find_unit(kind, t, span) {
+                return Some((t, Some((kind, u))));
+            }
+            t += 1;
+        }
+        None
+    }
+
+    fn scan_down(
+        mrt: &ModuloReservationTable,
+        kind: ResourceKind,
+        from: i64,
+        to: i64,
+        span: u32,
+        meter: &mut CostMeter,
+    ) -> Option<Slot> {
+        let mut t = from;
+        while t >= to {
+            meter.charge(Phase::Scheduling, 1);
+            if let Some(u) = mrt.find_unit(kind, t, span) {
+                return Some((t, Some((kind, u))));
+            }
+            t -= 1;
+        }
+        None
+    }
+}
+
+/// One loop readied for the scheduling kernel: separated, CCA-mapped, MII
+/// computed — exactly the state `modulo_schedule` sees inside `translate`.
+struct Prepped {
+    name: String,
+    dfg: Dfg,
+    summary: StreamSummary,
+    mii: u32,
+}
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn prep_suite(apps: &[veal::workloads::Application], config: &AcceleratorConfig) -> Vec<Prepped> {
+    let spec = CcaSpec::paper();
+    let mut out = Vec::new();
+    for app in apps {
+        for (i, l) in app.loops.iter().enumerate() {
+            let mut meter = CostMeter::new();
+            let Ok(sep) = separate(&l.raw.body.dfg, &mut meter) else {
+                continue;
+            };
+            let summary = sep.summary();
+            if config.check_streams(summary).is_err() {
+                continue;
+            }
+            let mut dfg = sep.dfg;
+            veal::cca::map_cca(&mut dfg, &spec, &mut meter);
+            let mii = res_mii(&dfg, config, summary, &mut meter).max(rec_mii(
+                &dfg,
+                &config.latencies,
+                &mut meter,
+            ));
+            if mii > config.max_ii {
+                continue;
+            }
+            out.push(Prepped {
+                name: format!("{}#{i}", app.name),
+                dfg,
+                summary,
+                mii,
+            });
+        }
+    }
+    out
+}
+
+/// Old kernels: hash-based Swing order over a fresh naive Floyd–Warshall,
+/// then the hash-map list scheduler.
+fn old_prio_and_sched(
+    p: &Prepped,
+    config: &AcceleratorConfig,
+    ii: u32,
+) -> (
+    Vec<OpId>,
+    Result<reference::RefSchedule, ScheduleError>,
+    PhaseBreakdown,
+) {
+    let mut meter = CostMeter::new();
+    let order = reference::swing_order(&p.dfg, &config.latencies, ii, &mut meter);
+    let sched = reference::list_schedule(&p.dfg, config, &order, ii, p.summary, &mut meter);
+    (order, sched, *meter.breakdown())
+}
+
+/// New kernels: bitset Swing order over the II-parametric MinDist
+/// envelope, then the dense-array list scheduler.
+fn new_prio_and_sched(
+    p: &Prepped,
+    config: &AcceleratorConfig,
+    ii: u32,
+) -> (
+    Vec<OpId>,
+    Result<ModuloSchedule, ScheduleError>,
+    PhaseBreakdown,
+) {
+    let mut meter = CostMeter::new();
+    let order = swing_order(&p.dfg, &config.latencies, ii, &mut meter);
+    let sched = list_schedule(&p.dfg, config, &order, ii, p.summary, &mut meter);
+    (order, sched, *meter.breakdown())
+}
+
+/// Asserts the old and new schedulers produced the same schedule (or the
+/// same failure): same II, same op→time map, same op→unit map.
+fn assert_same_schedule(
+    name: &str,
+    old: &Result<reference::RefSchedule, ScheduleError>,
+    new: &Result<ModuloSchedule, ScheduleError>,
+) {
+    match (old, new) {
+        (Err(eo), Err(en)) => assert_eq!(eo, en, "{name}: errors diverged"),
+        (Ok(so), Ok(sn)) => {
+            assert_eq!(so.ii, sn.ii, "{name}: II diverged");
+            assert_eq!(so.entries(), sn.entries(), "{name}: times diverged");
+            for (op, _) in so.entries() {
+                assert_eq!(so.unit(op), sn.unit(op), "{name}: unit of {op} diverged");
+            }
+        }
+        (o, n) => panic!(
+            "{name}: outcome diverged (old ok={}, new ok={})",
+            o.is_ok(),
+            n.is_ok()
+        ),
+    }
+}
+
+fn main() {
+    let mut apps = veal::workloads::full_suite();
+    let max_apps = env_usize("VEAL_BENCH_APPS", usize::MAX);
+    apps.truncate(max_apps);
+    let reps = env_usize("VEAL_BENCH_REPS", 5).max(1) as u32;
+    let config = AcceleratorConfig::paper_design();
+    let prepped = prep_suite(&apps, &config);
+    println!(
+        "bench_translate: {} apps, {} schedulable loops, {} reps/loop",
+        apps.len(),
+        prepped.len(),
+        reps
+    );
+
+    // --- priority + scheduling, old vs new kernel ------------------------
+    // Each loop is visited at a small range of IIs starting at its MII:
+    // exactly what the DSE sweep (one MII per machine configuration) and
+    // the scheduler's own II escalation generate.
+    set_parametric_enabled(true);
+    let iis = env_usize("VEAL_BENCH_IIS", 8).max(1) as u32;
+    let mut points = 0usize;
+    let mut old_prio_ns = 0u128;
+    let mut old_sched_ns = 0u128;
+    let mut new_prio_ns = 0u128;
+    let mut new_sched_ns = 0u128;
+    for p in &prepped {
+        for ii in p.mii..=(p.mii + iis - 1).min(config.max_ii) {
+            points += 1;
+            // Warm both kernels once and assert bit-identity: same order,
+            // same schedule (or same failure), same per-phase charges.
+            let (order_o, sched_o, bd_o) = old_prio_and_sched(p, &config, ii);
+            let (order_n, sched_n, bd_n) = new_prio_and_sched(p, &config, ii);
+            assert_eq!(order_o, order_n, "{}@{ii}: swing order diverged", p.name);
+            assert_same_schedule(&p.name, &sched_o, &sched_n);
+            assert_eq!(bd_o, bd_n, "{}@{ii}: phase breakdown diverged", p.name);
+
+            let t = Instant::now();
+            for _ in 0..reps {
+                let mut meter = CostMeter::new();
+                std::hint::black_box(reference::swing_order(
+                    &p.dfg,
+                    &config.latencies,
+                    ii,
+                    &mut meter,
+                ));
+            }
+            old_prio_ns += t.elapsed().as_nanos();
+            let t = Instant::now();
+            for _ in 0..reps {
+                let mut meter = CostMeter::new();
+                let _ = std::hint::black_box(reference::list_schedule(
+                    &p.dfg, &config, &order_n, ii, p.summary, &mut meter,
+                ));
+            }
+            old_sched_ns += t.elapsed().as_nanos();
+
+            let t = Instant::now();
+            for _ in 0..reps {
+                let mut meter = CostMeter::new();
+                std::hint::black_box(swing_order(&p.dfg, &config.latencies, ii, &mut meter));
+            }
+            new_prio_ns += t.elapsed().as_nanos();
+            let t = Instant::now();
+            for _ in 0..reps {
+                let mut meter = CostMeter::new();
+                let _ = std::hint::black_box(list_schedule(
+                    &p.dfg, &config, &order_n, ii, p.summary, &mut meter,
+                ));
+            }
+            new_sched_ns += t.elapsed().as_nanos();
+        }
+    }
+
+    // --- end-to-end translate, naive vs parametric MinDist ---------------
+    let translator = Translator::new(
+        config.clone(),
+        Some(CcaSpec::paper()),
+        TranslationPolicy::fully_dynamic(),
+    );
+    let hints = StaticHints::none();
+    let bodies: Vec<_> = apps
+        .iter()
+        .flat_map(|a| a.loops.iter().map(|l| &l.raw.body))
+        .collect();
+    let mut naive_e2e_ns = 0u128;
+    let mut param_e2e_ns = 0u128;
+    for body in &bodies {
+        set_parametric_enabled(false);
+        let out_n = translator.translate(body, &hints);
+        set_parametric_enabled(true);
+        let out_p = translator.translate(body, &hints);
+        assert_eq!(
+            out_n.breakdown, out_p.breakdown,
+            "{}: translate breakdown diverged",
+            body.name
+        );
+        let sig = |r: &Result<veal::vm::TranslatedLoop, veal::vm::TranslationError>| match r {
+            Ok(t) => format!(
+                "{}|{}|{}|{}",
+                t.scheduled.schedule, t.control_words, t.cca_groups, t.accel_ops
+            ),
+            Err(e) => format!("ERR {e}"),
+        };
+        assert_eq!(
+            sig(&out_n.result),
+            sig(&out_p.result),
+            "{}: translate result diverged",
+            body.name
+        );
+        for (parametric, e2e_ns) in [(false, &mut naive_e2e_ns), (true, &mut param_e2e_ns)] {
+            set_parametric_enabled(parametric);
+            let t = Instant::now();
+            for _ in 0..reps {
+                std::hint::black_box(translator.translate(body, &hints));
+            }
+            *e2e_ns += t.elapsed().as_nanos();
+        }
+    }
+    set_parametric_enabled(true);
+
+    let ms = |ns: u128| ns as f64 / 1e6;
+    println!("priority+sched measured over {points} (loop, II) points");
+    let old_ps = ms(old_prio_ns + old_sched_ns);
+    let new_ps = ms(new_prio_ns + new_sched_ns);
+    let prio_speedup = ms(old_prio_ns) / ms(new_prio_ns).max(1e-9);
+    let sched_speedup = ms(old_sched_ns) / ms(new_sched_ns).max(1e-9);
+    let ps_speedup = old_ps / new_ps.max(1e-9);
+    let e2e_speedup = ms(naive_e2e_ns) / ms(param_e2e_ns).max(1e-9);
+    println!(
+        "priority         : old {:>9.1} ms  new {:>9.1} ms  ({prio_speedup:.2}x)",
+        ms(old_prio_ns),
+        ms(new_prio_ns)
+    );
+    println!(
+        "scheduling       : old {:>9.1} ms  new {:>9.1} ms  ({sched_speedup:.2}x)",
+        ms(old_sched_ns),
+        ms(new_sched_ns)
+    );
+    println!("priority+sched   : old {old_ps:>9.1} ms  new {new_ps:>9.1} ms  ({ps_speedup:.2}x)");
+    println!(
+        "translate e2e    : naive-mindist {:>9.1} ms  parametric {:>9.1} ms  ({e2e_speedup:.2}x)",
+        ms(naive_e2e_ns),
+        ms(param_e2e_ns)
+    );
+    println!("outputs          : bit-identical across both kernels");
+
+    let json = format!(
+        "{{\n  \"suite\": \"full\",\n  \"apps\": {},\n  \"loops_schedulable\": {},\n  \
+         \"ii_points\": {},\n  \"reps_per_point\": {},\n  \"old_priority_ms\": {:.3},\n  \
+         \"new_priority_ms\": {:.3},\n  \"old_scheduling_ms\": {:.3},\n  \
+         \"new_scheduling_ms\": {:.3},\n  \"priority_speedup\": {:.3},\n  \
+         \"scheduling_speedup\": {:.3},\n  \"priority_scheduling_speedup\": {:.3},\n  \
+         \"naive_translate_ms\": {:.3},\n  \"param_translate_ms\": {:.3},\n  \
+         \"translate_speedup\": {:.3},\n  \"bit_identical\": true\n}}\n",
+        apps.len(),
+        prepped.len(),
+        points,
+        reps,
+        ms(old_prio_ns),
+        ms(new_prio_ns),
+        ms(old_sched_ns),
+        ms(new_sched_ns),
+        prio_speedup,
+        sched_speedup,
+        ps_speedup,
+        ms(naive_e2e_ns),
+        ms(param_e2e_ns),
+        e2e_speedup,
+    );
+    std::fs::write("BENCH_translate.json", json).expect("write BENCH_translate.json");
+    println!("wrote BENCH_translate.json");
+}

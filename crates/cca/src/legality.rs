@@ -1,8 +1,38 @@
 //! Legality checks for candidate CCA subgraphs.
+//!
+//! Every set-membership question here is asked thousands of times per
+//! loop by the seed-and-grow mapper and millions of times by the
+//! exhaustive mapper, so groups are represented as packed `u64` bitmasks
+//! over node slots and convexity reads the graph's cached distance-0
+//! reachability closure ([`Condensation`]) instead of re-running a BFS
+//! per query.
 
 use crate::spec::CcaSpec;
-use std::collections::{HashSet, VecDeque};
-use veal_ir::{Dfg, OpId};
+use std::collections::VecDeque;
+use veal_ir::{Condensation, Dfg, OpId};
+
+/// Packed membership mask over node slots (`words` = `⌈len/64⌉`).
+fn mask_of(group: &[OpId], words: usize) -> Vec<u64> {
+    let mut m = vec![0u64; words];
+    for &g in group {
+        m[g.index() / 64] |= 1u64 << (g.index() % 64);
+    }
+    m
+}
+
+#[inline]
+fn bit(mask: &[u64], i: usize) -> bool {
+    mask[i / 64] >> (i % 64) & 1 != 0
+}
+
+#[inline]
+fn set_bit(mask: &mut [u64], i: usize) {
+    mask[i / 64] |= 1u64 << (i % 64);
+}
+
+fn count_ones(mask: &[u64]) -> usize {
+    mask.iter().map(|w| w.count_ones() as usize).sum()
+}
 
 /// The row each member of a legal group occupies.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -24,29 +54,30 @@ pub struct GroupIo {
 /// Counts the external inputs and outputs a group would need.
 #[must_use]
 pub fn group_io(dfg: &Dfg, group: &[OpId]) -> GroupIo {
-    let set: HashSet<OpId> = group.iter().copied().collect();
-    let mut producers: HashSet<OpId> = HashSet::new();
-    let mut outputs: HashSet<OpId> = HashSet::new();
+    let words = dfg.len().div_ceil(64);
+    let set = mask_of(group, words);
+    let mut producers = vec![0u64; words];
+    let mut outputs = vec![0u64; words];
     for &m in group {
         for e in dfg.pred_edges(m) {
             // A loop-carried edge from inside the group still needs a
             // register round-trip, i.e. an input port.
-            if !set.contains(&e.src) || e.distance > 0 {
-                producers.insert(e.src);
+            if !bit(&set, e.src.index()) || e.distance > 0 {
+                set_bit(&mut producers, e.src.index());
             }
         }
         for e in dfg.succ_edges(m) {
-            if !set.contains(&e.dst) || e.distance > 0 {
-                outputs.insert(m);
+            if !bit(&set, e.dst.index()) || e.distance > 0 {
+                set_bit(&mut outputs, m.index());
             }
         }
         if dfg.node(m).live_out {
-            outputs.insert(m);
+            set_bit(&mut outputs, m.index());
         }
     }
     GroupIo {
-        inputs: producers.len(),
-        outputs: outputs.len(),
+        inputs: count_ones(&producers),
+        outputs: count_ones(&outputs),
     }
 }
 
@@ -59,7 +90,8 @@ pub fn group_io(dfg: &Dfg, group: &[OpId]) -> GroupIo {
 /// per-row capacity.
 #[must_use]
 pub fn assign_rows(dfg: &Dfg, spec: &CcaSpec, group: &[OpId]) -> Option<RowAssignment> {
-    let set: HashSet<OpId> = group.iter().copied().collect();
+    let words = dfg.len().div_ceil(64);
+    let set = mask_of(group, words);
     if group.len() > spec.max_ops() {
         return None;
     }
@@ -68,7 +100,7 @@ pub fn assign_rows(dfg: &Dfg, spec: &CcaSpec, group: &[OpId]) -> Option<RowAssig
         .iter()
         .map(|&m| {
             dfg.pred_edges(m)
-                .filter(|e| e.distance == 0 && set.contains(&e.src))
+                .filter(|e| e.distance == 0 && bit(&set, e.src.index()))
                 .count()
         })
         .collect();
@@ -78,7 +110,7 @@ pub fn assign_rows(dfg: &Dfg, spec: &CcaSpec, group: &[OpId]) -> Option<RowAssig
     while let Some(i) = queue.pop_front() {
         order.push(group[i]);
         for e in dfg.succ_edges(group[i]) {
-            if e.distance == 0 && set.contains(&e.dst) {
+            if e.distance == 0 && bit(&set, e.dst.index()) {
                 let j = index_of(e.dst);
                 indeg[j] -= 1;
                 if indeg[j] == 0 {
@@ -96,7 +128,7 @@ pub fn assign_rows(dfg: &Dfg, spec: &CcaSpec, group: &[OpId]) -> Option<RowAssig
     for &m in &order {
         let min_row = dfg
             .pred_edges(m)
-            .filter(|e| e.distance == 0 && set.contains(&e.src))
+            .filter(|e| e.distance == 0 && bit(&set, e.src.index()))
             .map(|e| row_of[index_of(e.src)].expect("producer placed") + 1)
             .max()
             .unwrap_or(0);
@@ -133,30 +165,37 @@ pub fn assign_rows(dfg: &Dfg, spec: &CcaSpec, group: &[OpId]) -> Option<RowAssig
 /// Whether `group` is convex: no distance-0 path leaves the group and
 /// re-enters it. A non-convex group cannot execute atomically because an
 /// external op would need a group output before the group finishes.
+///
+/// Reads the cached distance-0 reachability closure: the group is
+/// non-convex exactly when some *external* node both is reachable from a
+/// member and reaches a member (split any witnessing path at the last
+/// member before the external node and the first member after it — the
+/// external segments are the escape and the re-entry).
 #[must_use]
-pub fn is_convex(dfg: &Dfg, group: &[OpId]) -> bool {
-    let set: HashSet<OpId> = group.iter().copied().collect();
-    // Forward BFS through *external* nodes only, starting from the group's
-    // external successors; if we can re-enter the group, it is not convex.
-    let mut visited: HashSet<OpId> = HashSet::new();
-    let mut work: VecDeque<OpId> = VecDeque::new();
+pub fn is_convex(cond: &Condensation, group: &[OpId]) -> bool {
+    let words = cond.reach0().words_per_row();
+    if words == 0 {
+        return true;
+    }
+    let member = mask_of(group, words);
+    // Everything reachable from the group (reflexivity contributes only
+    // member bits, masked off below).
+    let mut out = vec![0u64; words];
     for &m in group {
-        for e in dfg.succ_edges(m) {
-            if e.distance == 0 && !set.contains(&e.dst) && visited.insert(e.dst) {
-                work.push_back(e.dst);
-            }
+        for (o, &r) in out.iter_mut().zip(cond.reach0_row(m)) {
+            *o |= r;
         }
     }
-    while let Some(x) = work.pop_front() {
-        for e in dfg.succ_edges(x) {
-            if e.distance != 0 {
-                continue;
-            }
-            if set.contains(&e.dst) {
+    for (o, &m) in out.iter_mut().zip(&member) {
+        *o &= !m;
+    }
+    for (w, &word) in out.iter().enumerate() {
+        let mut word = word;
+        while word != 0 {
+            let x = w * 64 + word.trailing_zeros() as usize;
+            word &= word - 1;
+            if cond.reach0().row_intersects(x, &member) {
                 return false;
-            }
-            if visited.insert(e.dst) {
-                work.push_back(e.dst);
             }
         }
     }
@@ -171,17 +210,21 @@ pub fn is_convex(dfg: &Dfg, group: &[OpId]) -> bool {
 /// rejection. Two or more *connected* ops of the same recurrence break
 /// even or win.
 ///
-/// `sccs` must be the graph's SCC partition ([`Dfg::sccs`]); only cyclic
-/// SCCs matter.
+/// `cond` must be the graph's cached condensation
+/// ([`Dfg::condensation`]); only cyclic components matter.
 #[must_use]
-pub fn recurrences_ok(dfg: &Dfg, spec: &CcaSpec, group: &[OpId], sccs: &[Vec<OpId>]) -> bool {
-    let set: HashSet<OpId> = group.iter().copied().collect();
-    for scc in sccs {
-        let cyclic = scc.len() > 1 || dfg.succ_edges(scc[0]).any(|e| e.dst == scc[0]);
-        if !cyclic {
+pub fn recurrences_ok(dfg: &Dfg, spec: &CcaSpec, group: &[OpId], cond: &Condensation) -> bool {
+    let words = dfg.len().div_ceil(64);
+    let set = mask_of(group, words);
+    for (ci, scc) in cond.comps().iter().enumerate() {
+        if !cond.is_cyclic(ci) {
             continue;
         }
-        let inside: Vec<OpId> = scc.iter().copied().filter(|m| set.contains(m)).collect();
+        let inside: Vec<OpId> = scc
+            .iter()
+            .copied()
+            .filter(|m| bit(&set, m.index()))
+            .collect();
         if inside.is_empty() {
             continue;
         }
@@ -202,29 +245,34 @@ fn weakly_connected(dfg: &Dfg, nodes: &[OpId]) -> bool {
     if nodes.len() <= 1 {
         return true;
     }
-    let set: HashSet<OpId> = nodes.iter().copied().collect();
-    let mut visited: HashSet<OpId> = HashSet::new();
+    let words = dfg.len().div_ceil(64);
+    let set = mask_of(nodes, words);
+    let mut visited = vec![0u64; words];
     let mut work = vec![nodes[0]];
-    visited.insert(nodes[0]);
+    set_bit(&mut visited, nodes[0].index());
     while let Some(x) = work.pop() {
         for e in dfg.succ_edges(x) {
-            if e.distance == 0 && set.contains(&e.dst) && visited.insert(e.dst) {
+            let d = e.dst.index();
+            if e.distance == 0 && bit(&set, d) && !bit(&visited, d) {
+                set_bit(&mut visited, d);
                 work.push(e.dst);
             }
         }
         for e in dfg.pred_edges(x) {
-            if e.distance == 0 && set.contains(&e.src) && visited.insert(e.src) {
+            let s = e.src.index();
+            if e.distance == 0 && bit(&set, s) && !bit(&visited, s) {
+                set_bit(&mut visited, s);
                 work.push(e.src);
             }
         }
     }
-    visited.len() == nodes.len()
+    count_ones(&visited) == nodes.len()
 }
 
 /// Full legality check for a candidate group: every member CCA-supported,
 /// row-assignable, within the IO budget, convex, and recurrence-safe.
 #[must_use]
-pub fn is_legal_group(dfg: &Dfg, spec: &CcaSpec, group: &[OpId], sccs: &[Vec<OpId>]) -> bool {
+pub fn is_legal_group(dfg: &Dfg, spec: &CcaSpec, group: &[OpId], cond: &Condensation) -> bool {
     if group.is_empty() {
         return false;
     }
@@ -244,10 +292,10 @@ pub fn is_legal_group(dfg: &Dfg, spec: &CcaSpec, group: &[OpId], sccs: &[Vec<OpI
     if assign_rows(dfg, spec, group).is_none() {
         return false;
     }
-    if !is_convex(dfg, group) {
+    if !is_convex(cond, group) {
         return false;
     }
-    recurrences_ok(dfg, spec, group, sccs)
+    recurrences_ok(dfg, spec, group, cond)
 }
 
 #[cfg(test)]
@@ -338,8 +386,9 @@ mod tests {
         let c = b.op(Opcode::Xor, &[x]);
         let dfg = b.finish();
         // Path a -> x -> c leaves {a, c} through x and re-enters.
-        assert!(!is_convex(&dfg, &[a, c]));
-        assert!(is_convex(&dfg, &[a]));
+        let cond = dfg.condensation();
+        assert!(!is_convex(&cond, &[a, c]));
+        assert!(is_convex(&cond, &[a]));
     }
 
     #[test]
@@ -352,12 +401,12 @@ mod tests {
         b.loop_carried(o, m, 1);
         let acyclic = b.op(Opcode::Add, &[o]);
         let dfg = b.finish();
-        let sccs = dfg.sccs();
+        let cond = dfg.condensation();
         assert!(!recurrences_ok(
             &dfg,
             &CcaSpec::paper(),
             &[o, acyclic],
-            &sccs
+            &cond
         ));
     }
 
@@ -368,8 +417,8 @@ mod tests {
         let c = b.op(Opcode::Xor, &[a]);
         b.loop_carried(c, a, 1);
         let dfg = b.finish();
-        let sccs = dfg.sccs();
-        assert!(recurrences_ok(&dfg, &CcaSpec::paper(), &[a, c], &sccs));
+        let cond = dfg.condensation();
+        assert!(recurrences_ok(&dfg, &CcaSpec::paper(), &[a, c], &cond));
     }
 
     #[test]
@@ -381,10 +430,10 @@ mod tests {
         let o = b.op(Opcode::Xor, &[s, a]);
         b.mark_live_out(o);
         let dfg = b.finish();
-        let sccs = dfg.sccs();
-        assert!(is_legal_group(&dfg, &CcaSpec::paper(), &[a, s, o], &sccs));
+        let cond = dfg.condensation();
+        assert!(is_legal_group(&dfg, &CcaSpec::paper(), &[a, s, o], &cond));
         // A group including the live-in pseudo node is not legal.
-        assert!(!is_legal_group(&dfg, &CcaSpec::paper(), &[x, a], &sccs));
+        assert!(!is_legal_group(&dfg, &CcaSpec::paper(), &[x, a], &cond));
     }
 
     #[test]
@@ -396,13 +445,13 @@ mod tests {
         let d = b.op(Opcode::Xor, &[a, c]);
         let e = b.op(Opcode::Add, &[d, ins[4]]);
         let dfg = b.finish();
-        let sccs = dfg.sccs();
+        let cond = dfg.condensation();
         // 5 distinct external producers > 4 CCA inputs.
         assert!(!is_legal_group(
             &dfg,
             &CcaSpec::paper(),
             &[a, c, d, e],
-            &sccs
+            &cond
         ));
     }
 }

@@ -29,7 +29,7 @@ pub struct CcaGroup {
 /// discarded (a single-op "group" gains nothing).
 #[must_use]
 pub fn identify_groups(dfg: &Dfg, spec: &CcaSpec, meter: &mut CostMeter) -> Vec<CcaGroup> {
-    let sccs = dfg.sccs();
+    let cond = dfg.condensation();
     meter.charge(Phase::CcaMapping, (dfg.len() as u64) * 10);
     let mut taken: HashSet<OpId> = HashSet::new();
     let mut groups = Vec::new();
@@ -46,7 +46,7 @@ pub fn identify_groups(dfg: &Dfg, spec: &CcaSpec, meter: &mut CostMeter) -> Vec<
         }
         meter.charge(Phase::CcaMapping, 4);
         let mut group = vec![seed];
-        if !is_legal_group(dfg, spec, &group, &sccs) {
+        if !is_legal_group(dfg, spec, &group, &cond) {
             // A seed alone can be illegal only through the recurrence rule;
             // try pairing it with a same-recurrence neighbour below anyway.
             meter.charge(Phase::CcaMapping, group.len() as u64);
@@ -79,8 +79,8 @@ pub fn identify_groups(dfg: &Dfg, spec: &CcaSpec, meter: &mut CostMeter) -> Vec<
                 // convexity BFS, and the recurrence rule — several dozen
                 // instructions per member.
                 meter.charge(Phase::CcaMapping, 100 + (trial.len() as u64) * 80);
-                if is_legal_group(dfg, spec, &trial, &sccs)
-                    || provisional_ok(dfg, spec, &trial, &sccs)
+                if is_legal_group(dfg, spec, &trial, &cond)
+                    || provisional_ok(dfg, spec, &trial, &cond)
                 {
                     group = trial;
                     grew = true;
@@ -94,7 +94,7 @@ pub fn identify_groups(dfg: &Dfg, spec: &CcaSpec, meter: &mut CostMeter) -> Vec<
         group.sort();
         // Commit only groups that are legal as a whole and large enough to
         // pay off.
-        if group.len() >= 2 && is_legal_group(dfg, spec, &group, &sccs) {
+        if group.len() >= 2 && is_legal_group(dfg, spec, &group, &cond) {
             for &m in &group {
                 taken.insert(m);
             }
@@ -110,21 +110,20 @@ pub fn identify_groups(dfg: &Dfg, spec: &CcaSpec, meter: &mut CostMeter) -> Vec<
 /// During growth a group may transiently violate only the recurrence rule
 /// (e.g. the seed itself lies on a recurrence and its partner has not been
 /// admitted yet). Such a group may keep growing; commit re-checks strictly.
-fn provisional_ok(dfg: &Dfg, spec: &CcaSpec, group: &[OpId], sccs: &[Vec<OpId>]) -> bool {
+fn provisional_ok(dfg: &Dfg, spec: &CcaSpec, group: &[OpId], cond: &veal_ir::Condensation) -> bool {
     use crate::legality::{assign_rows, group_io, is_convex};
     let io = group_io(dfg, group);
     if io.inputs > spec.inputs || io.outputs > spec.outputs {
         return false;
     }
-    if assign_rows(dfg, spec, group).is_none() || !is_convex(dfg, group) {
+    if assign_rows(dfg, spec, group).is_none() || !is_convex(cond, group) {
         return false;
     }
     // Relaxed recurrence rule: every cyclic SCC present in the group must
     // still have an admissible ungrouped neighbour that could complete it.
     let set: HashSet<OpId> = group.iter().copied().collect();
-    for scc in sccs {
-        let cyclic = scc.len() > 1 || dfg.succ_edges(scc[0]).any(|e| e.dst == scc[0]);
-        if !cyclic {
+    for (ci, scc) in cond.comps().iter().enumerate() {
+        if !cond.is_cyclic(ci) {
             continue;
         }
         let inside = scc.iter().filter(|m| set.contains(m)).count();
@@ -156,8 +155,8 @@ pub fn map_cca(dfg: &mut Dfg, spec: &CcaSpec, meter: &mut CostMeter) -> Vec<CcaG
         // feed each other would deadlock as atomic units, so re-validate
         // each against the evolving graph (earlier collapses are single
         // nodes now) and skip any that became illegal.
-        let sccs = dfg.sccs();
-        if !is_legal_group(dfg, spec, &g.members, &sccs) {
+        let cond = dfg.condensation();
+        if !is_legal_group(dfg, spec, &g.members, &cond) {
             continue;
         }
         let node = dfg.collapse(&g.members);

@@ -9,9 +9,11 @@
 //! Recurrences — the cycles that bound the achievable initiation interval —
 //! are exactly the non-trivial strongly connected components of this graph.
 
+use crate::condense::Condensation;
 use crate::opcode::{FuClass, Opcode};
 use crate::types::OpId;
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
 /// What a [`DfgNode`] represents.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -119,13 +121,32 @@ impl DfgNode {
 /// let dfg = b.finish();
 /// assert_eq!(dfg.schedulable_ops().count(), 3);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Dfg {
     nodes: Vec<DfgNode>,
     edges: Vec<DfgEdge>,
     succ: Vec<Vec<u32>>,
     pred: Vec<Vec<u32>>,
+    /// Lazily built SCC condensation + reachability (see
+    /// [`Dfg::condensation`]). Cloning a graph shares the cached value;
+    /// structural mutation clears it. Not part of the graph's identity:
+    /// `PartialEq` and `content_hash` ignore it.
+    cond: OnceLock<Arc<Condensation>>,
+    /// Lazily computed [`Dfg::content_hash`]. Cleared by every mutator,
+    /// including [`Dfg::node_mut`] (stream/live-out annotations are part
+    /// of the hashed identity even though they don't affect `cond`).
+    hash: OnceLock<u64>,
 }
+
+impl PartialEq for Dfg {
+    fn eq(&self, other: &Self) -> bool {
+        // succ/pred are derived from `edges`; the cached condensation is
+        // derived from both and deliberately excluded.
+        self.nodes == other.nodes && self.edges == other.edges
+    }
+}
+
+impl Eq for Dfg {}
 
 impl Dfg {
     /// Creates an empty graph.
@@ -136,6 +157,8 @@ impl Dfg {
 
     /// Adds a node and returns its id.
     pub fn add_node(&mut self, kind: NodeKind) -> OpId {
+        self.cond = OnceLock::new();
+        self.hash = OnceLock::new();
         let id = OpId::new(self.nodes.len());
         self.nodes.push(DfgNode::new(kind));
         self.succ.push(Vec::new());
@@ -149,6 +172,8 @@ impl Dfg {
     ///
     /// Panics if either endpoint is out of range.
     pub fn add_edge(&mut self, src: OpId, dst: OpId, distance: u32, kind: EdgeKind) {
+        self.cond = OnceLock::new();
+        self.hash = OnceLock::new();
         assert!(src.index() < self.nodes.len(), "src out of range");
         assert!(dst.index() < self.nodes.len(), "dst out of range");
         let idx = self.edges.len() as u32;
@@ -190,6 +215,9 @@ impl Dfg {
     ///
     /// Panics if `id` is out of range.
     pub fn node_mut(&mut self, id: OpId) -> &mut DfgNode {
+        // The caller may rewrite hashed annotations (stream, live_out)
+        // through the returned reference.
+        self.hash = OnceLock::new();
         &mut self.nodes[id.index()]
     }
 
@@ -256,74 +284,25 @@ impl Dfg {
     /// loop's **recurrences**.
     ///
     /// Dead nodes are excluded.
+    ///
+    /// Delegates to the cached [`Dfg::condensation`]; the list (content
+    /// and order) is identical to the original per-call Tarjan.
     #[must_use]
     pub fn sccs(&self) -> Vec<Vec<OpId>> {
-        // Iterative Tarjan to avoid recursion depth limits on large loops.
-        const UNVISITED: u32 = u32::MAX;
-        let n = self.nodes.len();
-        let mut index = vec![UNVISITED; n];
-        let mut low = vec![0u32; n];
-        let mut on_stack = vec![false; n];
-        let mut stack: Vec<u32> = Vec::new();
-        let mut next_index = 0u32;
-        let mut sccs = Vec::new();
+        self.condensation().comps().to_vec()
+    }
 
-        // Explicit DFS state machine: (node, next successor position).
-        let mut call_stack: Vec<(u32, usize)> = Vec::new();
-        for start in 0..n {
-            if self.nodes[start].dead || index[start] != UNVISITED {
-                continue;
-            }
-            call_stack.push((start as u32, 0));
-            index[start] = next_index;
-            low[start] = next_index;
-            next_index += 1;
-            stack.push(start as u32);
-            on_stack[start] = true;
-
-            while let Some(&mut (v, ref mut pos)) = call_stack.last_mut() {
-                let v_usize = v as usize;
-                let succs = &self.succ[v_usize];
-                if *pos < succs.len() {
-                    let edge = &self.edges[succs[*pos] as usize];
-                    *pos += 1;
-                    let w = edge.dst.index();
-                    if self.nodes[w].dead {
-                        continue;
-                    }
-                    if index[w] == UNVISITED {
-                        index[w] = next_index;
-                        low[w] = next_index;
-                        next_index += 1;
-                        stack.push(w as u32);
-                        on_stack[w] = true;
-                        call_stack.push((w as u32, 0));
-                    } else if on_stack[w] {
-                        low[v_usize] = low[v_usize].min(index[w]);
-                    }
-                } else {
-                    call_stack.pop();
-                    if let Some(&mut (parent, _)) = call_stack.last_mut() {
-                        let p = parent as usize;
-                        low[p] = low[p].min(low[v_usize]);
-                    }
-                    if low[v_usize] == index[v_usize] {
-                        let mut component = Vec::new();
-                        loop {
-                            let w = stack.pop().expect("tarjan stack underflow");
-                            on_stack[w as usize] = false;
-                            component.push(OpId::new(w as usize));
-                            if w == v {
-                                break;
-                            }
-                        }
-                        component.sort();
-                        sccs.push(component);
-                    }
-                }
-            }
-        }
-        sccs
+    /// The cached SCC condensation + distance-0 reachability closure of
+    /// the graph (see [`Condensation`]). Built on first use, shared by
+    /// clones, and invalidated by any structural mutation (`add_node`,
+    /// `add_edge`, `collapse`, `remove_nodes`). The returned [`Arc`] stays
+    /// valid even if the graph is mutated afterwards.
+    #[must_use]
+    pub fn condensation(&self) -> Arc<Condensation> {
+        Arc::clone(
+            self.cond
+                .get_or_init(|| Arc::new(Condensation::build(self))),
+        )
     }
 
     /// The recurrences of the loop: SCCs that actually contain a cycle.
@@ -473,6 +452,8 @@ impl Dfg {
     }
 
     fn rebuild_edges_excluding_dead(&mut self, extra: Vec<DfgEdge>) {
+        self.cond = OnceLock::new();
+        self.hash = OnceLock::new();
         let mut kept: Vec<DfgEdge> = self
             .edges
             .iter()
@@ -531,9 +512,15 @@ impl Dfg {
     /// stream annotations, liveness, collapse state, and every edge. Equal
     /// graphs hash equal across threads and processes, so the fingerprint
     /// can key persistent or shared caches (the sweep engine's translation
-    /// memo keys on it).
+    /// memo keys on it). Cached after the first call (the parametric
+    /// MinDist cache and the sweep memo both key on it per translation);
+    /// every mutator, including [`Dfg::node_mut`], clears the cache.
     #[must_use]
     pub fn content_hash(&self) -> u64 {
+        *self.hash.get_or_init(|| self.content_hash_uncached())
+    }
+
+    fn content_hash_uncached(&self) -> u64 {
         let mut h = crate::rng::Fnv64::new();
         h.write_u64(self.nodes.len() as u64);
         for n in &self.nodes {

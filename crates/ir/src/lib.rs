@@ -33,6 +33,7 @@ pub mod asm;
 pub mod builder;
 pub mod cfg;
 pub mod classify;
+pub mod condense;
 pub mod dfg;
 pub mod instr;
 pub mod interp;
@@ -48,6 +49,7 @@ pub mod verify;
 pub use builder::{DfgBuilder, FunctionBuilder};
 pub use cfg::{BasicBlock, Function, NaturalLoop};
 pub use classify::{classify_loop, LoopClass};
+pub use condense::{BitMatrix, Condensation};
 pub use dfg::{Dfg, DfgEdge, DfgNode, EdgeKind};
 pub use instr::{Instruction, Operand};
 pub use interp::{interpret, ExecResult, Inputs, Value};

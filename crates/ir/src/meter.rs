@@ -64,11 +64,13 @@ impl Phase {
         }
     }
 
+    /// Dense index of the phase. `ALL_PHASES` lists variants in
+    /// declaration order, so the discriminant *is* the position (asserted
+    /// by a unit test below) — the previous linear search sat on the
+    /// meter's hot path, under every single `charge`.
+    #[inline]
     fn index(self) -> usize {
-        ALL_PHASES
-            .iter()
-            .position(|&p| p == self)
-            .expect("phase in ALL_PHASES")
+        self as usize
     }
 }
 
@@ -166,6 +168,11 @@ impl CostMeter {
     }
 
     /// Charges `units` abstract instructions to `phase`.
+    ///
+    /// Inlined across crates: the scheduler charges per edge and per slot
+    /// probe, so in a hot translation loop this runs tens of thousands of
+    /// times per loop body and must compile down to a single add.
+    #[inline]
     pub fn charge(&mut self, phase: Phase, units: u64) {
         self.breakdown.counts[phase.index()] += units;
     }
@@ -191,6 +198,13 @@ impl CostMeter {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn phase_discriminant_matches_all_phases_position() {
+        for (i, &p) in ALL_PHASES.iter().enumerate() {
+            assert_eq!(p.index(), i, "{p} out of order vs ALL_PHASES");
+        }
+    }
 
     #[test]
     fn charges_accumulate_per_phase() {

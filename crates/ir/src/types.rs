@@ -32,6 +32,7 @@ impl OpId {
 
     /// Returns the dense index backing this id.
     #[must_use]
+    #[inline]
     pub fn index(self) -> usize {
         self.0 as usize
     }
@@ -63,6 +64,7 @@ impl BlockId {
 
     /// Returns the dense index backing this id.
     #[must_use]
+    #[inline]
     pub fn index(self) -> usize {
         self.0 as usize
     }
@@ -95,6 +97,7 @@ impl FuncId {
 
     /// Returns the dense index backing this id.
     #[must_use]
+    #[inline]
     pub fn index(self) -> usize {
         self.0 as usize
     }
@@ -132,6 +135,7 @@ impl VReg {
 
     /// Returns the dense index backing this register.
     #[must_use]
+    #[inline]
     pub fn index(self) -> usize {
         self.0 as usize
     }

@@ -45,15 +45,17 @@ pub mod display;
 pub mod mii;
 pub mod mindist;
 pub mod mrt;
+pub mod param;
 pub mod priority;
 pub mod regalloc;
 pub mod scheduler;
 pub mod verify;
 
 pub use display::render_mrt;
-pub use mii::{rec_mii, res_mii};
-pub use mindist::MinDist;
+pub use mii::{rec_mii, rec_mii_from_frontier, res_mii};
+pub use mindist::{parametric_enabled, set_parametric_enabled, MinDist};
 pub use mrt::ModuloReservationTable;
+pub use param::MinDistParam;
 pub use priority::{height_order, swing_order, PriorityKind};
 pub use regalloc::{assign_registers, RegisterAssignment, RegisterPressure};
 pub use scheduler::{list_schedule, ModuloSchedule, ScheduleError};

@@ -91,12 +91,15 @@ pub fn res_mii(
 /// ```
 #[must_use]
 pub fn rec_mii(dfg: &Dfg, lat: &LatencyModel, meter: &mut CostMeter) -> u32 {
-    let sccs = dfg.sccs();
+    // The metered algorithm is unchanged (the VM pays for an SCC pass plus
+    // the per-SCC binary search + Bellman–Ford below — the paper's ~1.25k
+    // instructions); the host merely reads the SCC list and cyclic flags
+    // off the graph's cached condensation instead of re-running Tarjan.
+    let cond = dfg.condensation();
     meter.charge(Phase::RecMii, dfg.len() as u64);
     let mut mii = 1u32;
-    for scc in &sccs {
-        let cyclic = scc.len() > 1 || dfg.succ_edges(scc[0]).any(|e| e.dst == scc[0]);
-        if !cyclic {
+    for (ci, scc) in cond.comps().iter().enumerate() {
+        if !cond.is_cyclic(ci) {
             continue;
         }
         // Upper bound: the sum of latencies around the component.
@@ -119,6 +122,20 @@ pub fn rec_mii(dfg: &Dfg, lat: &LatencyModel, meter: &mut CostMeter) -> u32 {
         mii = mii.max(lo);
     }
     mii
+}
+
+/// RecMII read directly off the cached II-parametric MinDist structure
+/// ([`crate::MinDistParam`]): the smallest II at which no frontier
+/// diagonal entry is positive. **Unmetered** — the VM's cost model still
+/// runs (and charges for) the Bellman–Ford in [`rec_mii`]; this accessor
+/// serves host-side fast paths and cross-checks.
+///
+/// Equals [`rec_mii`] for every well-formed body (recurrence cycles pass
+/// only through schedulable ops); property tests assert the equality over
+/// a randomized corpus.
+#[must_use]
+pub fn rec_mii_from_frontier(dfg: &Dfg, lat: &LatencyModel) -> u32 {
+    crate::param::cached(dfg, lat).rec_mii()
 }
 
 /// Bellman–Ford style positive-cycle detection on the SCC subgraph with

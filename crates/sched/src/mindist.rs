@@ -35,7 +35,18 @@ thread_local! {
 const DIST_POOL_DEPTH: usize = 8;
 
 fn pooled_matrix(len: usize) -> Vec<i64> {
-    let recycled = DIST_POOL.with(|p| p.borrow_mut().pop());
+    let recycled = DIST_POOL.with(|p| {
+        let mut pool = p.borrow_mut();
+        // Evict buffers grossly oversized for this request instead of
+        // resurrecting them: a thread that once scheduled a huge DFG must
+        // not park Θ(n_max²) memory forever.
+        while let Some(v) = pool.pop() {
+            if v.capacity() <= 4 * len.max(1) {
+                return Some(v);
+            }
+        }
+        None
+    });
     match recycled {
         Some(mut v) => {
             v.clear();
@@ -44,6 +55,25 @@ fn pooled_matrix(len: usize) -> Vec<i64> {
         }
         None => vec![NEG_INF; len],
     }
+}
+
+thread_local! {
+    static PARAMETRIC: std::cell::Cell<bool> = const { std::cell::Cell::new(true) };
+}
+
+/// Whether [`MinDist::compute`] may answer from the cached II-parametric
+/// structure (the default). Per thread.
+#[must_use]
+pub fn parametric_enabled() -> bool {
+    PARAMETRIC.with(std::cell::Cell::get)
+}
+
+/// Enables/disables the parametric fast path on this thread, returning
+/// the previous setting. Benchmarks and property tests use this to pit
+/// the naive and parametric kernels against each other; results are
+/// bit-identical either way.
+pub fn set_parametric_enabled(on: bool) -> bool {
+    PARAMETRIC.with(|c| c.replace(on))
 }
 
 impl Drop for MinDist {
@@ -64,9 +94,41 @@ impl MinDist {
     /// Computes the matrix at initiation interval `ii`.
     ///
     /// Costs are charged to [`Phase::Priority`] because VEAL computes this
-    /// matrix as part of priority calculation.
+    /// matrix as part of priority calculation. The charge models the VM's
+    /// Floyd–Warshall (`3n³ + 1`) regardless of how the host arrives at
+    /// the values: when `ii` is at or above the graph's RecMII (always
+    /// true inside the scheduling pipeline, where `II ≥ max(ResMII,
+    /// RecMII)`), the matrix is evaluated in O(n²·k) from the cached
+    /// II-parametric structure ([`crate::MinDistParam`]); otherwise — and
+    /// whenever [`set_parametric_enabled`]`(false)` is in effect — the
+    /// naive kernel runs. Both paths produce bit-identical matrices and
+    /// charges.
     #[must_use]
     pub fn compute(dfg: &Dfg, lat: &LatencyModel, ii: u32, meter: &mut CostMeter) -> Self {
+        if parametric_enabled() {
+            let param = crate::param::cached(dfg, lat);
+            if param.valid_at(ii) {
+                let ops = param.ops().to_vec();
+                let n = ops.len();
+                meter.charge(
+                    Phase::Priority,
+                    3 * (n as u64) * (n as u64) * (n as u64) + 1,
+                );
+                // Unreachable pairs keep the pool's NEG_INF prefill.
+                let mut dist = pooled_matrix(n * n);
+                param.eval_into(ii, &mut dist);
+                return MinDist { ops, dist, n };
+            }
+        }
+        Self::compute_naive(dfg, lat, ii, meter)
+    }
+
+    /// The original Θ(n³) Floyd–Warshall kernel, retained as the reference
+    /// implementation (property tests and `bench_translate` compare the
+    /// parametric path against it) and as the fallback for `ii` below the
+    /// graph's RecMII.
+    #[must_use]
+    pub fn compute_naive(dfg: &Dfg, lat: &LatencyModel, ii: u32, meter: &mut CostMeter) -> Self {
         let ops: Vec<OpId> = dfg.schedulable_ops().collect();
         let n = ops.len();
         let mut dist = pooled_matrix(n * n);

@@ -8,18 +8,25 @@ use veal_accel::{AcceleratorConfig, ResourceKind};
 /// A modulo reservation table: `II` rows × the configured units of each
 /// resource class.
 ///
-/// Storage is a single flat occupancy bitmap (indexed by resource class,
-/// unit, and kernel row) so the scheduler's II-escalation loop can rebuild
-/// the table for a new II with [`ModuloReservationTable::reset`] instead of
-/// re-allocating a fresh nested structure at every attempt.
+/// Storage is a flat per-row *unit bitmask*: each kernel row of a class is
+/// `⌈units/64⌉` words whose bit `u` marks unit `u` busy. A free-unit query
+/// is then one OR across the span's rows and a `trailing_zeros`, instead of
+/// a per-unit slot scan — the scheduler's window scans probe the table once
+/// per candidate cycle, so this is its hottest query. The flat layout also
+/// lets the II-escalation loop rebuild the table for a new II with
+/// [`ModuloReservationTable::reset`] instead of re-allocating a fresh
+/// nested structure at every attempt.
 #[derive(Debug, Clone)]
 pub struct ModuloReservationTable {
     ii: u32,
-    // Flat occupancy: for each class, `units × ii` rows starting at
-    // `offsets[kind]`; slot = offsets[kind] + unit·ii + row.
-    busy: Vec<bool>,
+    // Row-major occupancy words: for each class, `ii` rows of
+    // `words[kind]` words starting at word `offsets[kind]`; the word
+    // holding (unit, row) is `offsets[kind] + row·words[kind] + unit/64`,
+    // at bit `unit % 64`.
+    busy: Vec<u64>,
     offsets: [usize; 5],
     units: [usize; 5],
+    words: [usize; 5],
 }
 
 impl ModuloReservationTable {
@@ -51,6 +58,7 @@ impl ModuloReservationTable {
             busy: Vec::new(),
             offsets: [0; 5],
             units: [0; 5],
+            words: [0; 5],
         };
         table.reset(ii, config, cap);
         table
@@ -70,12 +78,14 @@ impl ModuloReservationTable {
         let mut total = 0usize;
         for &kind in veal_accel::resources::ALL_RESOURCES {
             let n = config.units(kind).min(cap.min(4096));
+            let w = n.div_ceil(64);
             self.units[kind.index()] = n;
+            self.words[kind.index()] = w;
             self.offsets[kind.index()] = total;
-            total += n * ii as usize;
+            total += w * ii as usize;
         }
         self.busy.clear();
-        self.busy.resize(total, false);
+        self.busy.resize(total, 0);
     }
 
     /// The initiation interval.
@@ -90,22 +100,47 @@ impl ModuloReservationTable {
         self.units[kind.index()]
     }
 
-    fn row(&self, time: i64, offset: u32) -> usize {
-        (time + i64::from(offset)).rem_euclid(i64::from(self.ii)) as usize
-    }
-
-    fn slot(&self, kind: ResourceKind, unit: usize, row: usize) -> usize {
-        self.offsets[kind.index()] + unit * self.ii as usize + row
+    /// Kernel row of `time`, computed once per operation; consecutive span
+    /// rows then advance by increment-and-wrap (the scheduler's slot scans
+    /// probe thousands of cells, and a `rem_euclid` division per cell is
+    /// measurable at that rate).
+    fn base_row(&self, time: i64) -> usize {
+        time.rem_euclid(i64::from(self.ii)) as usize
     }
 
     /// Tries to reserve a unit of `kind` at schedule time `time` for `span`
     /// consecutive cycles (span > 1 models unpipelined units). Returns the
-    /// unit index on success without committing.
+    /// lowest free unit index on success without committing.
     #[must_use]
     pub fn find_unit(&self, kind: ResourceKind, time: i64, span: u32) -> Option<usize> {
-        let span = span.min(self.ii); // occupying II rows occupies everything
-        (0..self.units(kind))
-            .find(|&u| (0..span).all(|k| !self.busy[self.slot(kind, u, self.row(time, k))]))
+        let ii = self.ii as usize;
+        let span = span.min(self.ii) as usize; // II rows occupy everything
+        let r0 = self.base_row(time);
+        let k = kind.index();
+        let (off, wpr, n) = (self.offsets[k], self.words[k], self.units[k]);
+        for wi in 0..wpr {
+            // A unit is free iff its bit is clear in every spanned row.
+            let mut occ = 0u64;
+            let mut r = r0;
+            for _ in 0..span {
+                occ |= self.busy[off + r * wpr + wi];
+                r += 1;
+                if r == ii {
+                    r = 0;
+                }
+            }
+            let remaining = n - wi * 64;
+            let valid = if remaining >= 64 {
+                !0u64
+            } else {
+                (1u64 << remaining) - 1
+            };
+            let free = !occ & valid;
+            if free != 0 {
+                return Some(wi * 64 + free.trailing_zeros() as usize);
+            }
+        }
+        None
     }
 
     /// Reserves `span` rows of `unit` starting at `time`.
@@ -115,11 +150,20 @@ impl ModuloReservationTable {
     /// Panics if any needed slot is already busy (callers must use
     /// [`ModuloReservationTable::find_unit`] first).
     pub fn reserve(&mut self, kind: ResourceKind, unit: usize, time: i64, span: u32) {
-        let span = span.min(self.ii);
-        for k in 0..span {
-            let s = self.slot(kind, unit, self.row(time, k));
-            assert!(!self.busy[s], "slot already reserved");
-            self.busy[s] = true;
+        let ii = self.ii as usize;
+        let span = span.min(self.ii) as usize;
+        let k = kind.index();
+        let (off, wpr) = (self.offsets[k], self.words[k]);
+        let (wi, bit) = (unit / 64, 1u64 << (unit % 64));
+        let mut r = self.base_row(time);
+        for _ in 0..span {
+            let s = off + r * wpr + wi;
+            assert!(self.busy[s] & bit == 0, "slot already reserved");
+            self.busy[s] |= bit;
+            r += 1;
+            if r == ii {
+                r = 0;
+            }
         }
     }
 
@@ -131,22 +175,32 @@ impl ModuloReservationTable {
     ///
     /// Panics if a slot being released is not reserved.
     pub fn release(&mut self, kind: ResourceKind, unit: usize, time: i64, span: u32) {
-        let span = span.min(self.ii);
-        for k in 0..span {
-            let s = self.slot(kind, unit, self.row(time, k));
-            assert!(self.busy[s], "releasing a free slot");
-            self.busy[s] = false;
+        let ii = self.ii as usize;
+        let span = span.min(self.ii) as usize;
+        let k = kind.index();
+        let (off, wpr) = (self.offsets[k], self.words[k]);
+        let (wi, bit) = (unit / 64, 1u64 << (unit % 64));
+        let mut r = self.base_row(time);
+        for _ in 0..span {
+            let s = off + r * wpr + wi;
+            assert!(self.busy[s] & bit != 0, "releasing a free slot");
+            self.busy[s] &= !bit;
+            r += 1;
+            if r == ii {
+                r = 0;
+            }
         }
     }
 
     /// Number of occupied slots for `kind` (for diagnostics and tests).
     #[must_use]
     pub fn occupancy(&self, kind: ResourceKind) -> usize {
-        let base = self.offsets[kind.index()];
-        self.busy[base..base + self.units(kind) * self.ii as usize]
+        let k = kind.index();
+        let base = self.offsets[k];
+        self.busy[base..base + self.words[k] * self.ii as usize]
             .iter()
-            .filter(|&&b| b)
-            .count()
+            .map(|w| w.count_ones() as usize)
+            .sum()
     }
 }
 

@@ -12,7 +12,6 @@
 //!   (paper §4.2) — reproduced here and evaluated in Figure 10.
 
 use crate::mindist::MinDist;
-use std::collections::HashSet;
 use veal_accel::LatencyModel;
 use veal_ir::{CostMeter, Dfg, OpId, Phase};
 
@@ -32,9 +31,8 @@ pub enum PriorityKind {
 pub fn heights(dfg: &Dfg, lat: &LatencyModel, meter: &mut CostMeter, phase: Phase) -> Vec<u32> {
     let n = dfg.len();
     let mut h = vec![0u32; n];
-    let order = dfg
-        .topo_order()
-        .expect("distance-0 subgraph must be acyclic");
+    let cond = dfg.condensation();
+    let order = cond.topo0().expect("distance-0 subgraph must be acyclic");
     for &v in order.iter().rev() {
         meter.charge(phase, 1);
         if !dfg.node(v).is_schedulable() {
@@ -58,10 +56,9 @@ pub fn heights(dfg: &Dfg, lat: &LatencyModel, meter: &mut CostMeter, phase: Phas
 pub fn depths(dfg: &Dfg, lat: &LatencyModel, meter: &mut CostMeter, phase: Phase) -> Vec<u32> {
     let n = dfg.len();
     let mut d = vec![0u32; n];
-    let order = dfg
-        .topo_order()
-        .expect("distance-0 subgraph must be acyclic");
-    for &v in &order {
+    let cond = dfg.condensation();
+    let order = cond.topo0().expect("distance-0 subgraph must be acyclic");
+    for &v in order {
         meter.charge(phase, 1);
         if !dfg.node(v).is_schedulable() {
             continue;
@@ -109,12 +106,50 @@ pub fn height_order(dfg: &Dfg, lat: &LatencyModel, meter: &mut CostMeter) -> Vec
     ops
 }
 
+#[inline]
+fn bit_get(words: &[u64], i: usize) -> bool {
+    words[i / 64] >> (i % 64) & 1 != 0
+}
+
+#[inline]
+fn bit_set(words: &mut [u64], i: usize) {
+    words[i / 64] |= 1 << (i % 64);
+}
+
+#[inline]
+fn bit_clear(words: &mut [u64], i: usize) {
+    words[i / 64] &= !(1 << (i % 64));
+}
+
+/// MinDist self-distance source for [`swing_order`]'s recurrence ranking.
+///
+/// The Swing ordering reads only the matrix *diagonal* (per-SCC
+/// criticality), so when the II-parametric structure is valid the full
+/// n² matrix is never materialized — each needed `(v, v)` cell is
+/// evaluated from its Pareto frontier on demand. The naive fallback keeps
+/// the dense matrix. Both sources yield identical values, and the caller
+/// charges the same `3n³ + 1` either way (the VM's cost model describes
+/// its Floyd–Warshall, not the host shortcut).
+enum SelfDist {
+    Param(std::sync::Arc<crate::param::MinDistParam>, u32),
+    Naive(MinDist),
+}
+
+impl SelfDist {
+    fn get(&self, v: OpId) -> Option<i64> {
+        match self {
+            SelfDist::Param(p, ii) => p.eval_pair(v, v, *ii),
+            SelfDist::Naive(md) => md.get(v, v),
+        }
+    }
+}
+
 /// The per-SCC criticality used to rank recurrence sets: the SCC's own
 /// RecMII (longest cycle ratio), recomputed cheaply from MinDist self
 /// distances at the loop's RecMII.
-fn scc_criticality(md: &MinDist, scc: &[OpId]) -> i64 {
+fn scc_criticality(md: &SelfDist, scc: &[OpId]) -> i64 {
     scc.iter()
-        .filter_map(|&v| md.get(v, v))
+        .filter_map(|&v| md.get(v))
         .max()
         .unwrap_or(i64::MIN)
 }
@@ -130,14 +165,51 @@ fn scc_criticality(md: &MinDist, scc: &[OpId]) -> i64 {
 /// `ii` is the II the MinDist matrix is computed at (normally the MII).
 #[must_use]
 pub fn swing_order(dfg: &Dfg, lat: &LatencyModel, ii: u32, meter: &mut CostMeter) -> Vec<OpId> {
-    let md = MinDist::compute(dfg, lat, ii.max(1), meter);
-    let d = depths(dfg, lat, meter, Phase::Priority);
-    let h = heights(dfg, lat, meter, Phase::Priority);
+    // Same dispatch as `MinDist::compute`, but via the diagonal-only
+    // `SelfDist` view (the ordering never reads off-diagonal cells).
+    let ii = ii.max(1);
+    let md = 'md: {
+        if crate::mindist::parametric_enabled() {
+            let param = crate::param::cached(dfg, lat);
+            if param.valid_at(ii) {
+                let n = param.ops().len() as u64;
+                meter.charge(Phase::Priority, 3 * n * n * n + 1);
+                break 'md SelfDist::Param(param, ii);
+            }
+        }
+        SelfDist::Naive(MinDist::compute_naive(dfg, lat, ii, meter))
+    };
+    // Depth/height profiles depend only on (dfg, lat), never on II, so the
+    // parametric path reuses the copies memoized in the cached
+    // `MinDistParam` — charging exactly what the two passes would have
+    // charged (one unit per topo node per pass). The fallback recomputes
+    // (and, for ill-formed bodies, panics) exactly as before.
+    let dh = match &md {
+        SelfDist::Param(p, _) => p.profiles().map(|(pd, ph, topo_len)| {
+            meter.charge(Phase::Priority, 2 * topo_len as u64);
+            (pd, ph)
+        }),
+        SelfDist::Naive(_) => None,
+    };
+    let owned;
+    let (d, h): (&[u32], &[u32]) = match dh {
+        Some(dh) => dh,
+        None => {
+            owned = (
+                depths(dfg, lat, meter, Phase::Priority),
+                heights(dfg, lat, meter, Phase::Priority),
+            );
+            (&owned.0, &owned.1)
+        }
+    };
 
-    // Partition into recurrence sets and rank them.
-    let sccs = dfg.sccs();
+    // Partition into recurrence sets and rank them. The cached
+    // condensation is borrowed directly — no per-call deep clone of the
+    // component lists.
+    let cond = dfg.condensation();
     meter.charge(Phase::Priority, (dfg.len() as u64) * 2);
-    let mut rec_sets: Vec<&Vec<OpId>> = sccs
+    let mut rec_sets: Vec<&Vec<OpId>> = cond
+        .comps()
         .iter()
         .filter(|scc| {
             scc.iter().all(|&v| dfg.node(v).is_schedulable())
@@ -152,35 +224,47 @@ pub fn swing_order(dfg: &Dfg, lat: &LatencyModel, ii: u32, meter: &mut CostMeter
         )
     });
 
+    // Membership sets as u64 bitmask words over node slots. The emission
+    // loop (and its per-iteration charge of `remaining.len()`) is
+    // unchanged; the selection key is a total order (it ends in the op
+    // id), so the produced order is identical to the HashSet version.
+    let words = dfg.len().div_ceil(64);
     let mut order: Vec<OpId> = Vec::new();
-    let mut placed: HashSet<OpId> = HashSet::new();
+    let mut placed = vec![0u64; words];
+    let mut candidates: Vec<OpId> = Vec::new();
 
-    let mut emit_set = |set: Vec<OpId>, order: &mut Vec<OpId>, placed: &mut HashSet<OpId>| {
+    let mut emit_set = |set: &[OpId], order: &mut Vec<OpId>, placed: &mut Vec<u64>| {
         let pending: Vec<OpId> = set
             .iter()
             .copied()
-            .filter(|v| !placed.contains(v))
+            .filter(|v| !bit_get(placed, v.index()))
             .collect();
         if pending.is_empty() {
             return;
         }
-        let pend_set: HashSet<OpId> = pending.iter().copied().collect();
-        let mut remaining: HashSet<OpId> = pend_set.clone();
-        while !remaining.is_empty() {
-            meter.charge(Phase::Priority, remaining.len() as u64);
+        let mut remaining = vec![0u64; words];
+        for &v in &pending {
+            bit_set(&mut remaining, v.index());
+        }
+        let mut remaining_count = pending.len();
+        while remaining_count > 0 {
+            meter.charge(Phase::Priority, remaining_count as u64);
             // Prefer nodes adjacent to something already ordered (either
             // direction); among those, minimal mobility-ish key: highest
             // depth+height sum (most critical), then lowest id.
-            let mut candidates: Vec<OpId> = remaining
-                .iter()
-                .copied()
-                .filter(|&v| {
-                    dfg.pred_edges(v).any(|e| placed.contains(&e.src))
-                        || dfg.succ_edges(v).any(|e| placed.contains(&e.dst))
-                })
-                .collect();
+            candidates.clear();
+            candidates.extend(pending.iter().copied().filter(|&v| {
+                bit_get(&remaining, v.index())
+                    && (dfg.pred_edges(v).any(|e| bit_get(placed, e.src.index()))
+                        || dfg.succ_edges(v).any(|e| bit_get(placed, e.dst.index())))
+            }));
             if candidates.is_empty() {
-                candidates = remaining.iter().copied().collect();
+                candidates.extend(
+                    pending
+                        .iter()
+                        .copied()
+                        .filter(|v| bit_get(&remaining, v.index())),
+                );
             }
             candidates.sort_by_key(|&v| {
                 (
@@ -190,27 +274,29 @@ pub fn swing_order(dfg: &Dfg, lat: &LatencyModel, ii: u32, meter: &mut CostMeter
                 )
             });
             let chosen = candidates[0];
-            remaining.remove(&chosen);
-            placed.insert(chosen);
+            bit_clear(&mut remaining, chosen.index());
+            remaining_count -= 1;
+            bit_set(placed, chosen.index());
             order.push(chosen);
         }
     };
 
     for scc in rec_sets {
-        emit_set(scc.clone(), &mut order, &mut placed);
+        emit_set(scc, &mut order, &mut placed);
     }
     // Final set: all remaining schedulable ops.
     let rest: Vec<OpId> = dfg
         .schedulable_ops()
-        .filter(|v| !placed.contains(v))
+        .filter(|v| !bit_get(&placed, v.index()))
         .collect();
-    emit_set(rest, &mut order, &mut placed);
+    emit_set(&rest, &mut order, &mut placed);
     order
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashSet;
     use veal_ir::{DfgBuilder, Opcode};
 
     #[test]

@@ -2,28 +2,37 @@
 
 use crate::mrt::ModuloReservationTable;
 use crate::priority::depths;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::fmt;
 use veal_accel::{AcceleratorConfig, CapabilityError, ResourceKind};
 use veal_ir::streams::StreamSummary;
 use veal_ir::{CostMeter, Dfg, OpId, Phase};
+
+/// Sentinel in the dense time table for ops without a scheduled time
+/// (non-schedulable nodes, or slots of another attempt).
+const UNSCHEDULED: i64 = i64::MIN;
 
 /// A completed modulo schedule.
 #[derive(Debug, Clone)]
 pub struct ModuloSchedule {
     /// The achieved initiation interval.
     pub ii: u32,
-    /// Absolute schedule time of each op (normalized so the earliest is 0).
-    times: HashMap<OpId, i64>,
-    /// Unit assignment of each op.
-    units: HashMap<OpId, (ResourceKind, usize)>,
+    /// Absolute schedule time per node slot (indexed by `OpId::index()`,
+    /// normalized so the earliest is 0); `UNSCHEDULED` where no op was
+    /// placed.
+    times: Vec<i64>,
+    /// Unit assignment per node slot; meaningful only where `times` is set.
+    units: Vec<(ResourceKind, usize)>,
 }
 
 impl ModuloSchedule {
     /// Schedule time of `op`, if it was scheduled.
     #[must_use]
     pub fn time(&self, op: OpId) -> Option<i64> {
-        self.times.get(&op).copied()
+        self.times
+            .get(op.index())
+            .copied()
+            .filter(|&t| t != UNSCHEDULED)
     }
 
     /// Kernel row (`time mod II`) of `op`.
@@ -42,7 +51,8 @@ impl ModuloSchedule {
     /// The unit `op` executes on.
     #[must_use]
     pub fn unit(&self, op: OpId) -> Option<(ResourceKind, usize)> {
-        self.units.get(&op).copied()
+        self.time(op)?;
+        self.units.get(op.index()).copied()
     }
 
     /// Number of stages (SC): lower SC means lower iteration latency
@@ -50,7 +60,8 @@ impl ModuloSchedule {
     #[must_use]
     pub fn stage_count(&self) -> u32 {
         self.times
-            .values()
+            .iter()
+            .filter(|&&t| t != UNSCHEDULED)
             .map(|&t| (t / i64::from(self.ii)) as u32 + 1)
             .max()
             .unwrap_or(1)
@@ -59,7 +70,13 @@ impl ModuloSchedule {
     /// All scheduled ops with their times, sorted by time then id.
     #[must_use]
     pub fn entries(&self) -> Vec<(OpId, i64)> {
-        let mut v: Vec<(OpId, i64)> = self.times.iter().map(|(&k, &t)| (k, t)).collect();
+        let mut v: Vec<(OpId, i64)> = self
+            .times
+            .iter()
+            .enumerate()
+            .filter(|&(_, &t)| t != UNSCHEDULED)
+            .map(|(i, &t)| (OpId::new(i), t))
+            .collect();
         v.sort_by_key(|&(k, t)| (t, k));
         v
     }
@@ -80,7 +97,7 @@ impl fmt::Display for ModuloSchedule {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "II={} SC={}", self.ii, self.stage_count())?;
         for (op, t) in self.entries() {
-            let (kind, unit) = self.units[&op];
+            let (kind, unit) = self.unit(op).expect("entries are scheduled");
             writeln!(
                 f,
                 "  t={t:3} cycle={} stage={} {op} on {kind}{unit}",
@@ -151,7 +168,27 @@ pub fn list_schedule(
     meter: &mut CostMeter,
 ) -> Result<ModuloSchedule, ScheduleError> {
     let lat = &config.latencies;
-    let d = depths(dfg, lat, meter, Phase::Scheduling);
+    // Depths depend only on (dfg, lat); when the parametric MinDist is
+    // enabled its cache already memoizes them (the translator warms it
+    // during RecMII/priority), so this pass reuses the cached copy and
+    // charges the bulk equivalent (one unit per topo node). The fallback
+    // recomputes — and, for ill-formed bodies, panics — exactly as before.
+    let cached = if crate::mindist::parametric_enabled() {
+        Some(crate::param::cached(dfg, lat))
+    } else {
+        None
+    };
+    let owned;
+    let d: &[u32] = match cached.as_ref().and_then(|p| p.profiles()) {
+        Some((pd, _, topo_len)) => {
+            meter.charge(Phase::Scheduling, topo_len as u64);
+            pd
+        }
+        None => {
+            owned = depths(dfg, lat, meter, Phase::Scheduling);
+            &owned
+        }
+    };
     let start_ii = mii.max(config.min_ii_for_streams(streams)).max(1);
     // Bound the escalation: a loop that fails 64 consecutive IIs is not
     // going to schedule (keeps the huge-control-store infinite machine from
@@ -159,44 +196,70 @@ pub fn list_schedule(
     let last_ii = config.max_ii.min(start_ii.saturating_add(63));
     // The reservation table, time/unit maps, and worklist are hoisted out
     // of the escalation loop and cleared per attempt, so retrying at II + 1
-    // re-uses the previous attempt's allocations.
-    let mut scratch = SchedScratch::new(start_ii, config, order.len());
+    // re-uses the previous attempt's allocations. The scratch itself is
+    // parked in a thread-local between calls: the VM schedules hundreds of
+    // small loops back to back (translation, DSE sweeps), and re-allocating
+    // the Θ(units·II) reservation table per loop shows up at that scale.
+    // No reset here: `try_schedule` resets (and re-sizes) the scratch at
+    // the top of every attempt.
+    let mut scratch = SCRATCH_POOL
+        .with(|p| p.borrow_mut().take())
+        .unwrap_or_else(|| SchedScratch::new(start_ii, config, order.len(), dfg.len()));
+    let mut result = Err(ScheduleError::NoSchedule {
+        tried_up_to: last_ii,
+    });
     for ii in start_ii..=last_ii {
         meter.charge(Phase::Scheduling, 4);
-        if let Some(schedule) = try_schedule(dfg, config, order, ii, &d, &mut scratch, meter) {
-            return Ok(schedule);
+        if let Some(schedule) = try_schedule(dfg, config, order, ii, d, &mut scratch, meter) {
+            result = Ok(schedule);
+            break;
         }
     }
-    Err(ScheduleError::NoSchedule {
-        tried_up_to: last_ii,
-    })
+    SCRATCH_POOL.with(|p| *p.borrow_mut() = Some(scratch));
+    result
+}
+
+thread_local! {
+    /// Parked [`SchedScratch`] reused across `list_schedule` calls on this
+    /// thread (the reservation table and worklist keep their allocations;
+    /// the dense time/unit tables move into each successful schedule).
+    static SCRATCH_POOL: std::cell::RefCell<Option<SchedScratch>> =
+        const { std::cell::RefCell::new(None) };
 }
 
 /// Per-attempt working state of [`try_schedule`], reused across the
 /// II-escalation loop so each retry stops re-allocating Θ(units·II) tables
-/// and Θ(ops) maps.
+/// and Θ(nodes) tables. Times and units are dense over node slots —
+/// lookups in the scheduler's inner loop are direct indexing instead of
+/// hashing.
 struct SchedScratch {
     mrt: ModuloReservationTable,
-    times: HashMap<OpId, i64>,
-    units: HashMap<OpId, (ResourceKind, usize)>,
+    times: Vec<i64>,
+    units: Vec<(ResourceKind, usize)>,
     queue: VecDeque<OpId>,
 }
 
+/// Dense-unit sentinel for slots with no reservation (and the default for
+/// resource-free ops, matching `unit()`'s historical answer for them).
+const NO_UNIT: (ResourceKind, usize) = (ResourceKind::Int, usize::MAX);
+
 impl SchedScratch {
-    fn new(ii: u32, config: &AcceleratorConfig, ops: usize) -> Self {
+    fn new(ii: u32, config: &AcceleratorConfig, ops: usize, nodes: usize) -> Self {
         SchedScratch {
             mrt: ModuloReservationTable::with_unit_cap(ii, config, ops.max(1)),
-            times: HashMap::with_capacity(ops),
-            units: HashMap::with_capacity(ops),
+            times: vec![UNSCHEDULED; nodes],
+            units: vec![NO_UNIT; nodes],
             queue: VecDeque::with_capacity(ops),
         }
     }
 
     /// Empties every structure for a fresh attempt at `ii`.
-    fn reset(&mut self, ii: u32, config: &AcceleratorConfig, ops: usize) {
+    fn reset(&mut self, ii: u32, config: &AcceleratorConfig, ops: usize, nodes: usize) {
         self.mrt.reset(ii, config, ops.max(1));
         self.times.clear();
+        self.times.resize(nodes, UNSCHEDULED);
         self.units.clear();
+        self.units.resize(nodes, NO_UNIT);
         self.queue.clear();
     }
 }
@@ -211,7 +274,7 @@ fn try_schedule(
     meter: &mut CostMeter,
 ) -> Option<ModuloSchedule> {
     let lat = &config.latencies;
-    scratch.reset(ii, config, order.len());
+    scratch.reset(ii, config, order.len(), dfg.len());
     let SchedScratch {
         mrt,
         times,
@@ -233,30 +296,37 @@ fn try_schedule(
         let span = if op.pipelined() { 1 } else { lat.latency(op) };
 
         // Earliest from placed predecessors, latest from placed successors.
+        // The cost model charges one unit per adjacent edge; the count is
+        // accumulated in a register and charged in bulk after the loops
+        // (identical totals, no memory read-modify-write per edge).
+        let mut edge_charges = 0u64;
         let mut early: Option<i64> = None;
         let mut late: Option<i64> = None;
         for e in dfg.pred_edges(v) {
-            meter.charge(Phase::Scheduling, 1);
+            edge_charges += 1;
             if e.src == v {
                 continue; // self edge: handled by the II >= RecMII bound
             }
-            if let Some(&tp) = times.get(&e.src) {
+            let tp = times[e.src.index()];
+            if tp != UNSCHEDULED {
                 let lp = i64::from(dfg.node(e.src).opcode().map_or(0, |o| lat.latency(o)));
                 let bound = tp + lp - i64::from(ii) * i64::from(e.distance);
                 early = Some(early.map_or(bound, |b: i64| b.max(bound)));
             }
         }
         for e in dfg.succ_edges(v) {
-            meter.charge(Phase::Scheduling, 1);
+            edge_charges += 1;
             if e.dst == v {
                 continue;
             }
-            if let Some(&ts) = times.get(&e.dst) {
+            let ts = times[e.dst.index()];
+            if ts != UNSCHEDULED {
                 let lv = i64::from(lat.latency(op));
                 let bound = ts - lv + i64::from(ii) * i64::from(e.distance);
                 late = Some(late.map_or(bound, |b: i64| b.min(bound)));
             }
         }
+        meter.charge(Phase::Scheduling, edge_charges);
 
         // Window and scan direction per the Swing scheme: top-down when
         // constrained from above, bottom-up when constrained from below. A
@@ -298,15 +368,17 @@ fn try_schedule(
                 meter.charge(Phase::Scheduling, 4);
                 let victims: Vec<OpId> = dfg
                     .succ_edges(v)
-                    .filter(|e| e.dst != v && times.contains_key(&e.dst))
+                    .filter(|e| e.dst != v && times[e.dst.index()] != UNSCHEDULED)
                     .map(|e| e.dst)
                     .collect();
                 if victims.is_empty() {
                     return None;
                 }
                 for w in victims {
-                    if let Some(tw) = times.remove(&w) {
-                        if let Some((kind, u)) = units.remove(&w) {
+                    let tw = std::mem::replace(&mut times[w.index()], UNSCHEDULED);
+                    if tw != UNSCHEDULED {
+                        let (kind, u) = std::mem::replace(&mut units[w.index()], NO_UNIT);
+                        if u != usize::MAX {
                             let wop = dfg.node(w).opcode().expect("scheduled op");
                             let wspan = if wop.pipelined() { 1 } else { lat.latency(wop) };
                             mrt.release(kind, u, tw, wspan);
@@ -321,23 +393,28 @@ fn try_schedule(
         let (t, unit_choice) = slot;
         if let Some((kind, u)) = unit_choice {
             mrt.reserve(kind, u, t, span);
-            units.insert(v, (kind, u));
+            units[v.index()] = (kind, u);
         }
-        times.insert(v, t);
+        times[v.index()] = t;
     }
 
     // Normalize times so the earliest op is at 0 (keeping rows intact would
     // also be valid; normalizing keeps stage counts meaningful).
-    let min_t = times.values().copied().min().unwrap_or(0);
+    let min_t = times
+        .iter()
+        .copied()
+        .filter(|&t| t != UNSCHEDULED)
+        .min()
+        .unwrap_or(0);
     let shift = min_t.rem_euclid(i64::from(ii)) - min_t;
-    for t in times.values_mut() {
-        *t += shift;
+    for t in times.iter_mut() {
+        if *t != UNSCHEDULED {
+            *t += shift;
+        }
     }
-    // Units for resource-free ops (none today, but keep the map total).
-    for &v in order {
-        units.entry(v).or_insert((ResourceKind::Int, usize::MAX));
-    }
-    // Success ends the escalation loop, so the maps can move straight into
+    // Resource-free ops (none today) keep the dense NO_UNIT default, which
+    // is exactly what `unit()` has always answered for them.
+    // Success ends the escalation loop, so the tables can move straight into
     // the schedule (the scratch is left empty).
     Some(ModuloSchedule {
         ii,
@@ -352,6 +429,9 @@ fn resource(op: veal_ir::Opcode) -> ResourceKind {
 
 type Slot = (i64, Option<(ResourceKind, usize)>);
 
+// Both scans charge one unit per probed slot; the probe count is kept in a
+// register and charged in bulk on exit (identical totals to the historical
+// per-probe charge).
 fn scan_up(
     mrt: &ModuloReservationTable,
     kind: ResourceKind,
@@ -360,14 +440,17 @@ fn scan_up(
     span: u32,
     meter: &mut CostMeter,
 ) -> Option<Slot> {
+    let mut probes = 0u64;
     let mut t = from;
     while t <= to {
-        meter.charge(Phase::Scheduling, 1);
+        probes += 1;
         if let Some(u) = mrt.find_unit(kind, t, span) {
+            meter.charge(Phase::Scheduling, probes);
             return Some((t, Some((kind, u))));
         }
         t += 1;
     }
+    meter.charge(Phase::Scheduling, probes);
     None
 }
 
@@ -379,14 +462,17 @@ fn scan_down(
     span: u32,
     meter: &mut CostMeter,
 ) -> Option<Slot> {
+    let mut probes = 0u64;
     let mut t = from;
     while t >= to {
-        meter.charge(Phase::Scheduling, 1);
+        probes += 1;
         if let Some(u) = mrt.find_unit(kind, t, span) {
+            meter.charge(Phase::Scheduling, probes);
             return Some((t, Some((kind, u))));
         }
         t -= 1;
     }
+    meter.charge(Phase::Scheduling, probes);
     None
 }
 

@@ -99,8 +99,8 @@ pub fn compute_hints(
                 // Drop groups that became illegal once earlier groups
                 // collapsed (mutually dependent groups cannot both execute
                 // atomically) — the VM applies the same sequential check.
-                let sccs = dfg.sccs();
-                if veal_cca::is_legal_group(&dfg, spec, &g.members, &sccs) {
+                let cond = dfg.condensation();
+                if veal_cca::is_legal_group(&dfg, spec, &g.members, &cond) {
                     dfg.collapse(&g.members);
                     members.push(g.members);
                 }

@@ -220,8 +220,8 @@ impl Translator {
                         // ops (paper §4.2) — no compatibility impact. The
                         // legality check runs against the evolving graph so
                         // mutually dependent groups cannot both collapse.
-                        let sccs = dfg.sccs();
-                        if alive && is_legal_group(&dfg, spec, g, &sccs) {
+                        let cond = dfg.condensation();
+                        if alive && is_legal_group(&dfg, spec, g, &cond) {
                             dfg.collapse(g);
                             cca_groups += 1;
                         }

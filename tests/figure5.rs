@@ -93,7 +93,7 @@ fn figure5_op7_op10_merge_is_rejected() {
     let mut meter = CostMeter::new();
     let sep = separate(&body.dfg, &mut meter).unwrap();
     let dfg = sep.dfg;
-    let sccs = dfg.sccs();
+    let cond = dfg.condensation();
     // Structurally combinable: both are CCA-supported and adjacent.
     assert!(dfg.node(ids.or).opcode().unwrap().cca_supported());
     assert!(dfg.node(ids.add10).opcode().unwrap().cca_supported());
@@ -105,7 +105,7 @@ fn figure5_op7_op10_merge_is_rejected() {
         &dfg,
         &CcaSpec::paper(),
         &[ids.or, ids.add10],
-        &sccs
+        &cond
     ));
 }
 
