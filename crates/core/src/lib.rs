@@ -62,6 +62,7 @@ pub use veal_opt::{legalize, RawLoop, TransformLimits};
 pub use veal_sched::{modulo_schedule, ScheduleOptions, ScheduledLoop};
 pub use veal_sim::{run_application, AccelSetup, AppRun, CpuModel, SweepContext};
 pub use veal_vm::{
-    compute_hints, decode_module, encode_module, BinaryModule, EncodedLoop, StaticHints,
-    TranslationPolicy, Translator, VmSession,
+    check_degradation, compute_hints, decode_module, encode_module, exposed_translator,
+    section_ranges, BinaryModule, DecodeError, DegradeReason, EncodedLoop, FaultVerdict, HintError,
+    HintFuzzer, HintVerdict, StaticHints, TranslationPolicy, Translator, VmSession, VmStats,
 };

@@ -16,17 +16,48 @@
 //! loop — that is the binary-compatibility property the paper's abstraction
 //! relies on, and it is tested below.
 //!
+//! # Trust boundary
+//!
+//! The bytes of a module are **untrusted**: they may come from a stale
+//! binary, a different compiler, a truncated download, or an adversary
+//! (DESIGN.md §9). The decoder therefore
+//!
+//! * frames every per-loop payload as a *tagged section* carrying its own
+//!   FNV-1a checksum, so silent corruption is caught before any structure
+//!   is built;
+//! * skips unknown section tags (forward compatibility: a newer compiler
+//!   can ship new hint kinds without breaking old VMs);
+//! * rejects duplicate known sections, out-of-range op references, and
+//!   counts that cannot fit in their section;
+//! * never panics on malformed input — every failure is a typed
+//!   [`DecodeError`].
+//!
 //! Layout (little endian): magic `VEAL`, version u16, loop count u32, then
-//! per loop: name, node table, edge table, flagged hint sections.
+//! per loop: name, and a section stream `tag u8, len u32, checksum u64,
+//! payload` terminated by [`SEC_END`]. Known tags are [`SEC_NODES`],
+//! [`SEC_EDGES`], [`SEC_PRIORITY`], [`SEC_CCA`].
 
 use std::fmt;
+use std::ops::Range;
 use veal_ir::dfg::{Dfg, EdgeKind, NodeKind};
+use veal_ir::rng::Fnv64;
 use veal_ir::{LoopBody, OpId, Opcode};
 
 /// Format magic bytes.
 pub const MAGIC: &[u8; 4] = b"VEAL";
-/// Format version.
-pub const VERSION: u16 = 1;
+/// Format version (2: checksummed tagged sections).
+pub const VERSION: u16 = 2;
+
+/// Section-stream terminator.
+pub const SEC_END: u8 = 0;
+/// Node table section (required).
+pub const SEC_NODES: u8 = 1;
+/// Edge table section (required).
+pub const SEC_EDGES: u8 = 2;
+/// Priority hint section (Figure 9c, optional).
+pub const SEC_PRIORITY: u8 = 3;
+/// CCA subgraph hint section (Figure 9b, optional).
+pub const SEC_CCA: u8 = 4;
 
 /// One loop as it appears in a binary module.
 #[derive(Debug, Clone)]
@@ -37,6 +68,17 @@ pub struct EncodedLoop {
     pub priority_hint: Option<Vec<OpId>>,
     /// Static CCA subgraph hint: member lists.
     pub cca_hint: Option<Vec<Vec<OpId>>>,
+}
+
+impl EncodedLoop {
+    /// The loop's hint sections as the translator consumes them.
+    #[must_use]
+    pub fn hints(&self) -> crate::hints::StaticHints {
+        crate::hints::StaticHints {
+            priority: self.priority_hint.clone(),
+            cca_groups: self.cca_hint.clone(),
+        }
+    }
 }
 
 /// A decoded binary module.
@@ -59,12 +101,27 @@ pub enum DecodeError {
     BadOpcode(u8),
     /// A node kind tag is invalid.
     BadNodeKind(u8),
-    /// An edge references a node out of range.
+    /// An edge references a node out of range, or its kind byte is invalid.
     BadEdge,
     /// A hint references a node out of range.
     BadHint,
     /// A string is not valid UTF-8.
     BadString,
+    /// A section's payload does not match its stored checksum.
+    SectionChecksum(u8),
+    /// A known section tag appears twice in one loop.
+    DuplicateSection(u8),
+    /// A required section (nodes or edges) is absent.
+    MissingSection(u8),
+    /// A section payload has bytes left over after its declared contents.
+    SectionTrailing(u8),
+    /// A declared element count cannot fit in its section.
+    BadCount,
+    /// The decoded graph violates structural invariants (distance-0 cycle,
+    /// edge to a dead node, …) — bytes that frame correctly can still
+    /// describe a program that cannot execute, and the scheduler must
+    /// never see one.
+    BadGraph(veal_ir::VerifyError),
 }
 
 impl fmt::Display for DecodeError {
@@ -78,17 +135,38 @@ impl fmt::Display for DecodeError {
             DecodeError::BadEdge => write!(f, "edge references missing node"),
             DecodeError::BadHint => write!(f, "hint references missing node"),
             DecodeError::BadString => write!(f, "invalid UTF-8 string"),
+            DecodeError::SectionChecksum(t) => {
+                write!(f, "section {t:#x} payload fails its checksum")
+            }
+            DecodeError::DuplicateSection(t) => write!(f, "duplicate section {t:#x}"),
+            DecodeError::MissingSection(t) => write!(f, "required section {t:#x} missing"),
+            DecodeError::SectionTrailing(t) => {
+                write!(f, "section {t:#x} has trailing bytes")
+            }
+            DecodeError::BadCount => write!(f, "declared count exceeds section size"),
+            DecodeError::BadGraph(e) => write!(f, "decoded graph is malformed: {e}"),
         }
     }
 }
 
 impl std::error::Error for DecodeError {}
 
+/// FNV-1a checksum of one section payload, as stored in the section header.
+#[must_use]
+pub fn section_checksum(payload: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_bytes(payload);
+    h.finish()
+}
+
 struct Writer {
     buf: Vec<u8>,
 }
 
 impl Writer {
+    fn new() -> Self {
+        Writer { buf: Vec::new() }
+    }
     fn u8(&mut self, v: u8) {
         self.buf.push(v);
     }
@@ -98,12 +176,22 @@ impl Writer {
     fn u32(&mut self, v: u32) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
     fn i64(&mut self, v: i64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
     fn str(&mut self, s: &str) {
         self.u32(s.len() as u32);
         self.buf.extend_from_slice(s.as_bytes());
+    }
+    /// Appends a checksummed section frame.
+    fn section(&mut self, tag: u8, payload: &[u8]) {
+        self.u8(tag);
+        self.u32(payload.len() as u32);
+        self.u64(section_checksum(payload));
+        self.buf.extend_from_slice(payload);
     }
 }
 
@@ -113,25 +201,43 @@ struct Reader<'a> {
 }
 
 impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+    fn is_done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
     fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
-        if self.pos + n > self.buf.len() {
+        let end = self.pos.checked_add(n).ok_or(DecodeError::Truncated)?;
+        if end > self.buf.len() {
             return Err(DecodeError::Truncated);
         }
-        let s = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
         Ok(s)
     }
     fn u8(&mut self) -> Result<u8, DecodeError> {
         Ok(self.take(1)?[0])
     }
     fn u16(&mut self) -> Result<u16, DecodeError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
     }
     fn u32(&mut self) -> Result<u32, DecodeError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
     }
     fn i64(&mut self) -> Result<i64, DecodeError> {
-        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(self.u64()? as i64)
     }
     fn str(&mut self) -> Result<String, DecodeError> {
         let n = self.u32()? as usize;
@@ -144,6 +250,52 @@ const KIND_OP: u8 = 0;
 const KIND_LIVE_IN: u8 = 1;
 const KIND_CONST: u8 = 2;
 const KIND_DEAD: u8 = 3;
+
+/// Bytes one encoded edge occupies (src, dst, distance u32s + kind byte).
+const EDGE_BYTES: usize = 13;
+
+fn encode_nodes(dfg: &Dfg) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u32(dfg.len() as u32);
+    for i in 0..dfg.len() {
+        let id = OpId::new(i);
+        let node = dfg.node(id);
+        if node.is_dead() {
+            w.u8(KIND_DEAD);
+            continue;
+        }
+        match &node.kind {
+            NodeKind::Op(op) => {
+                w.u8(KIND_OP);
+                w.u8(op.encode());
+                w.u16(node.stream.map_or(u16::MAX, |s| s));
+                w.u8(u8::from(node.live_out));
+            }
+            NodeKind::LiveIn => w.u8(KIND_LIVE_IN),
+            NodeKind::Const(v) => {
+                w.u8(KIND_CONST);
+                w.i64(*v);
+            }
+        }
+    }
+    w.buf
+}
+
+fn encode_edges(dfg: &Dfg) -> Vec<u8> {
+    let mut w = Writer::new();
+    let edges = dfg.edges();
+    w.u32(edges.len() as u32);
+    for e in edges {
+        w.u32(e.src.index() as u32);
+        w.u32(e.dst.index() as u32);
+        w.u32(e.distance);
+        w.u8(match e.kind {
+            EdgeKind::Data => 0,
+            EdgeKind::Mem => 1,
+        });
+    }
+    w.buf
+}
 
 /// Serializes a module.
 ///
@@ -173,81 +325,160 @@ const KIND_DEAD: u8 = 3;
 /// ```
 #[must_use]
 pub fn encode_module(module: &BinaryModule) -> Vec<u8> {
-    let mut w = Writer { buf: Vec::new() };
+    let mut w = Writer::new();
     w.buf.extend_from_slice(MAGIC);
     w.u16(VERSION);
     w.u32(module.loops.len() as u32);
     for l in &module.loops {
         w.str(&l.body.name);
         let dfg = &l.body.dfg;
-        w.u32(dfg.len() as u32);
-        for i in 0..dfg.len() {
-            let id = OpId::new(i);
-            let node = dfg.node(id);
-            if node.is_dead() {
-                w.u8(KIND_DEAD);
-                continue;
+        w.section(SEC_NODES, &encode_nodes(dfg));
+        w.section(SEC_EDGES, &encode_edges(dfg));
+        if let Some(order) = &l.priority_hint {
+            let mut p = Writer::new();
+            p.u32(order.len() as u32);
+            for &op in order {
+                p.u32(op.index() as u32);
             }
-            match &node.kind {
-                NodeKind::Op(op) => {
-                    w.u8(KIND_OP);
-                    w.u8(op.encode());
-                    w.u16(node.stream.map_or(u16::MAX, |s| s));
-                    w.u8(u8::from(node.live_out));
-                }
-                NodeKind::LiveIn => w.u8(KIND_LIVE_IN),
-                NodeKind::Const(v) => {
-                    w.u8(KIND_CONST);
-                    w.i64(*v);
+            w.section(SEC_PRIORITY, &p.buf);
+        }
+        if let Some(groups) = &l.cca_hint {
+            let mut p = Writer::new();
+            p.u32(groups.len() as u32);
+            for g in groups {
+                p.u32(g.len() as u32);
+                for &m in g {
+                    p.u32(m.index() as u32);
                 }
             }
+            w.section(SEC_CCA, &p.buf);
         }
-        let edges: Vec<_> = dfg.edges().to_vec();
-        w.u32(edges.len() as u32);
-        for e in &edges {
-            w.u32(e.src.index() as u32);
-            w.u32(e.dst.index() as u32);
-            w.u32(e.distance);
-            w.u8(match e.kind {
-                EdgeKind::Data => 0,
-                EdgeKind::Mem => 1,
-            });
-        }
-        // Hint sections, flagged.
-        match &l.priority_hint {
-            Some(order) => {
-                w.u8(1);
-                w.u32(order.len() as u32);
-                for &op in order {
-                    w.u32(op.index() as u32);
-                }
-            }
-            None => w.u8(0),
-        }
-        match &l.cca_hint {
-            Some(groups) => {
-                w.u8(1);
-                w.u32(groups.len() as u32);
-                for g in groups {
-                    w.u32(g.len() as u32);
-                    for &m in g {
-                        w.u32(m.index() as u32);
-                    }
-                }
-            }
-            None => w.u8(0),
-        }
+        w.u8(SEC_END);
     }
     w.buf
+}
+
+fn decode_nodes(payload: &[u8]) -> Result<(Dfg, usize, Vec<OpId>), DecodeError> {
+    let mut r = Reader::new(payload);
+    let nnodes = r.u32()? as usize;
+    // Every node occupies at least one byte; a count beyond that is lying.
+    if nnodes > r.remaining() {
+        return Err(DecodeError::BadCount);
+    }
+    let mut dfg = Dfg::new();
+    let mut dead_nodes = Vec::new();
+    for _ in 0..nnodes {
+        match r.u8()? {
+            KIND_OP => {
+                let op_byte = r.u8()?;
+                let stream = r.u16()?;
+                let live_out = r.u8()? != 0;
+                let op = Opcode::decode(op_byte).ok_or(DecodeError::BadOpcode(op_byte))?;
+                let id = dfg.add_node(NodeKind::Op(op));
+                if stream != u16::MAX {
+                    dfg.node_mut(id).stream = Some(stream);
+                }
+                dfg.node_mut(id).live_out = live_out;
+            }
+            KIND_LIVE_IN => {
+                dfg.add_node(NodeKind::LiveIn);
+            }
+            KIND_CONST => {
+                let v = r.i64()?;
+                dfg.add_node(NodeKind::Const(v));
+            }
+            KIND_DEAD => {
+                // Preserve the slot so ids stay stable.
+                let id = dfg.add_node(NodeKind::LiveIn);
+                dead_nodes.push(id);
+            }
+            b => return Err(DecodeError::BadNodeKind(b)),
+        }
+    }
+    if !r.is_done() {
+        return Err(DecodeError::SectionTrailing(SEC_NODES));
+    }
+    Ok((dfg, nnodes, dead_nodes))
+}
+
+fn decode_edges(payload: &[u8], dfg: &mut Dfg, nnodes: usize) -> Result<(), DecodeError> {
+    let mut r = Reader::new(payload);
+    let nedges = r.u32()? as usize;
+    if nedges > r.remaining() / EDGE_BYTES {
+        return Err(DecodeError::BadCount);
+    }
+    for _ in 0..nedges {
+        let src = r.u32()? as usize;
+        let dst = r.u32()? as usize;
+        let distance = r.u32()?;
+        let kind = match r.u8()? {
+            0 => EdgeKind::Data,
+            1 => EdgeKind::Mem,
+            _ => return Err(DecodeError::BadEdge),
+        };
+        if src >= nnodes || dst >= nnodes {
+            return Err(DecodeError::BadEdge);
+        }
+        dfg.add_edge(OpId::new(src), OpId::new(dst), distance, kind);
+    }
+    if !r.is_done() {
+        return Err(DecodeError::SectionTrailing(SEC_EDGES));
+    }
+    Ok(())
+}
+
+fn decode_priority(payload: &[u8]) -> Result<Vec<OpId>, DecodeError> {
+    let mut r = Reader::new(payload);
+    let n = r.u32()? as usize;
+    if n > r.remaining() / 4 {
+        return Err(DecodeError::BadCount);
+    }
+    let mut order = Vec::with_capacity(n);
+    for _ in 0..n {
+        order.push(OpId::new(r.u32()? as usize));
+    }
+    if !r.is_done() {
+        return Err(DecodeError::SectionTrailing(SEC_PRIORITY));
+    }
+    Ok(order)
+}
+
+fn decode_cca(payload: &[u8], nnodes: usize) -> Result<Vec<Vec<OpId>>, DecodeError> {
+    let mut r = Reader::new(payload);
+    let g = r.u32()? as usize;
+    if g > r.remaining() / 4 {
+        return Err(DecodeError::BadCount);
+    }
+    let mut groups = Vec::with_capacity(g);
+    for _ in 0..g {
+        let n = r.u32()? as usize;
+        if n > r.remaining() / 4 {
+            return Err(DecodeError::BadCount);
+        }
+        let mut members = Vec::with_capacity(n);
+        for _ in 0..n {
+            let idx = r.u32()? as usize;
+            if idx >= nnodes {
+                return Err(DecodeError::BadHint);
+            }
+            members.push(OpId::new(idx));
+        }
+        groups.push(members);
+    }
+    if !r.is_done() {
+        return Err(DecodeError::SectionTrailing(SEC_CCA));
+    }
+    Ok(groups)
 }
 
 /// Deserializes a module.
 ///
 /// # Errors
 ///
-/// Returns a [`DecodeError`] for malformed input.
+/// Returns a [`DecodeError`] for malformed input — never panics, whatever
+/// the bytes.
 pub fn decode_module(bytes: &[u8]) -> Result<BinaryModule, DecodeError> {
-    let mut r = Reader { buf: bytes, pos: 0 };
+    let mut r = Reader::new(bytes);
     if r.take(4)? != MAGIC {
         return Err(DecodeError::BadMagic);
     }
@@ -256,88 +487,51 @@ pub fn decode_module(bytes: &[u8]) -> Result<BinaryModule, DecodeError> {
         return Err(DecodeError::BadVersion(version));
     }
     let nloops = r.u32()? as usize;
+    // Each loop needs at least a name length, two section frames, and an
+    // end tag; one byte per loop is a safe lower bound.
+    if nloops > r.remaining() {
+        return Err(DecodeError::BadCount);
+    }
     let mut loops = Vec::with_capacity(nloops.min(1 << 16));
     for _ in 0..nloops {
         let name = r.str()?;
-        let nnodes = r.u32()? as usize;
-        let mut dfg = Dfg::new();
-        let mut dead_nodes = Vec::new();
-        for _ in 0..nnodes {
-            match r.u8()? {
-                KIND_OP => {
-                    let op = Opcode::decode(r.u8()?);
-                    let stream = r.u16()?;
-                    let live_out = r.u8()? != 0;
-                    let op = op.ok_or(DecodeError::BadOpcode(0))?;
-                    let id = dfg.add_node(NodeKind::Op(op));
-                    if stream != u16::MAX {
-                        dfg.node_mut(id).stream = Some(stream);
-                    }
-                    dfg.node_mut(id).live_out = live_out;
+        // Scan the section stream: verify checksums, slot the known tags,
+        // skip unknown ones (forward compatibility).
+        let mut slots: [Option<&[u8]>; 4] = [None; 4];
+        loop {
+            let tag = r.u8()?;
+            if tag == SEC_END {
+                break;
+            }
+            let len = r.u32()? as usize;
+            let checksum = r.u64()?;
+            let payload = r.take(len)?;
+            if section_checksum(payload) != checksum {
+                return Err(DecodeError::SectionChecksum(tag));
+            }
+            if (SEC_NODES..=SEC_CCA).contains(&tag) {
+                let slot = &mut slots[(tag - 1) as usize];
+                if slot.is_some() {
+                    return Err(DecodeError::DuplicateSection(tag));
                 }
-                KIND_LIVE_IN => {
-                    dfg.add_node(NodeKind::LiveIn);
-                }
-                KIND_CONST => {
-                    let v = r.i64()?;
-                    dfg.add_node(NodeKind::Const(v));
-                }
-                KIND_DEAD => {
-                    // Preserve the slot so ids stay stable.
-                    let id = dfg.add_node(NodeKind::LiveIn);
-                    dead_nodes.push(id);
-                }
-                b => return Err(DecodeError::BadNodeKind(b)),
+                *slot = Some(payload);
             }
         }
-        let nedges = r.u32()? as usize;
-        for _ in 0..nedges {
-            let src = r.u32()? as usize;
-            let dst = r.u32()? as usize;
-            let distance = r.u32()?;
-            let kind = match r.u8()? {
-                0 => EdgeKind::Data,
-                1 => EdgeKind::Mem,
-                _ => return Err(DecodeError::BadEdge),
-            };
-            if src >= nnodes || dst >= nnodes {
-                return Err(DecodeError::BadEdge);
-            }
-            dfg.add_edge(OpId::new(src), OpId::new(dst), distance, kind);
-        }
+        let nodes_payload = slots[0].ok_or(DecodeError::MissingSection(SEC_NODES))?;
+        let edges_payload = slots[1].ok_or(DecodeError::MissingSection(SEC_EDGES))?;
+
+        let (mut dfg, nnodes, dead_nodes) = decode_nodes(nodes_payload)?;
+        decode_edges(edges_payload, &mut dfg, nnodes)?;
         if !dead_nodes.is_empty() {
             dfg.remove_nodes(&dead_nodes);
         }
-        let priority_hint = if r.u8()? == 1 {
-            let n = r.u32()? as usize;
-            let mut order = Vec::with_capacity(n.min(1 << 20));
-            for _ in 0..n {
-                let idx = r.u32()? as usize;
-                order.push(OpId::new(idx));
-            }
-            Some(order)
-        } else {
-            None
-        };
-        let cca_hint = if r.u8()? == 1 {
-            let g = r.u32()? as usize;
-            let mut groups = Vec::with_capacity(g.min(1 << 16));
-            for _ in 0..g {
-                let n = r.u32()? as usize;
-                let mut members = Vec::with_capacity(n.min(1 << 16));
-                for _ in 0..n {
-                    let idx = r.u32()? as usize;
-                    if idx >= nnodes {
-                        return Err(DecodeError::BadHint);
-                    }
-                    members.push(OpId::new(idx));
-                }
-                groups.push(members);
-            }
-            Some(groups)
-        } else {
-            None
-        };
+        // Structural invariants: a byte stream can frame correctly yet
+        // describe an unexecutable graph (a distance-0 cycle would hang
+        // RecMII). Reject it here, before the translator can touch it.
+        veal_ir::verify_dfg(&dfg).map_err(DecodeError::BadGraph)?;
+        let priority_hint = slots[2].map(decode_priority).transpose()?;
+        let cca_hint = slots[3].map(|p| decode_cca(p, nnodes)).transpose()?;
+
         // A priority order may reference the pseudo-ops created by
         // collapsing the CCA hint groups: each group adds exactly one node
         // beyond the loop body (paper Figure 9's `Brl CCA` entries appear
@@ -357,6 +551,76 @@ pub fn decode_module(bytes: &[u8]) -> Result<BinaryModule, DecodeError> {
     Ok(BinaryModule { loops })
 }
 
+/// Location of one section within an encoded module, as byte ranges.
+///
+/// Used by the fault-injection harness ([`crate::faults`]) to corrupt
+/// specific sections and by tooling that patches modules in place.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SectionRange {
+    /// Index of the loop this section belongs to.
+    pub loop_index: usize,
+    /// The section tag.
+    pub tag: u8,
+    /// The whole frame: tag byte through the end of the payload.
+    pub frame: Range<usize>,
+    /// The 8 stored checksum bytes (little endian).
+    pub checksum: Range<usize>,
+    /// The payload bytes.
+    pub payload: Range<usize>,
+}
+
+/// Walks an encoded module's framing and returns every section's location
+/// without building any loop structure. Checksums are *not* verified here —
+/// this is the map a patcher uses before resealing.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] if the framing itself is malformed.
+pub fn section_ranges(bytes: &[u8]) -> Result<Vec<SectionRange>, DecodeError> {
+    let mut r = Reader::new(bytes);
+    if r.take(4)? != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let version = r.u16()?;
+    if version != VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    let nloops = r.u32()? as usize;
+    let mut out = Vec::new();
+    for loop_index in 0..nloops {
+        let _name = r.str()?;
+        loop {
+            let start = r.pos;
+            let tag = r.u8()?;
+            if tag == SEC_END {
+                break;
+            }
+            let len = r.u32()? as usize;
+            let checksum = r.pos..r.pos + 8;
+            r.u64()?;
+            let payload_start = r.pos;
+            r.take(len)?;
+            out.push(SectionRange {
+                loop_index,
+                tag,
+                frame: start..r.pos,
+                checksum,
+                payload: payload_start..r.pos,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Recomputes and stores the checksum of `section` over its (possibly
+/// edited) payload bytes, so a patched module decodes again. This is the
+/// adversary's tool: the fault harness uses it to prove the *validator*
+/// holds even when the transport checksum has been forged.
+pub fn reseal_section(bytes: &mut [u8], section: &SectionRange) {
+    let sum = section_checksum(&bytes[section.payload.clone()]);
+    bytes[section.checksum.clone()].copy_from_slice(&sum.to_le_bytes());
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -373,6 +637,16 @@ mod tests {
         b.mark_live_out(z);
         b.store_stream(1, z);
         LoopBody::new("sample", b.finish())
+    }
+
+    fn hinted_module() -> BinaryModule {
+        BinaryModule {
+            loops: vec![EncodedLoop {
+                body: sample_loop(),
+                priority_hint: Some(vec![OpId::new(4), OpId::new(3)]),
+                cca_hint: Some(vec![vec![OpId::new(3), OpId::new(4)]]),
+            }],
+        }
     }
 
     fn round_trip(m: &BinaryModule) -> BinaryModule {
@@ -403,15 +677,7 @@ mod tests {
 
     #[test]
     fn round_trip_preserves_hints() {
-        let body = sample_loop();
-        let m = BinaryModule {
-            loops: vec![EncodedLoop {
-                body,
-                priority_hint: Some(vec![OpId::new(4), OpId::new(3)]),
-                cca_hint: Some(vec![vec![OpId::new(3), OpId::new(4)]]),
-            }],
-        };
-        let back = round_trip(&m);
+        let back = round_trip(&hinted_module());
         assert_eq!(
             back.loops[0].priority_hint,
             Some(vec![OpId::new(4), OpId::new(3)])
@@ -449,16 +715,20 @@ mod tests {
 
     #[test]
     fn truncation_rejected() {
-        let m = BinaryModule {
-            loops: vec![EncodedLoop {
-                body: sample_loop(),
-                priority_hint: None,
-                cca_hint: None,
-            }],
-        };
-        let bytes = encode_module(&m);
+        let bytes = encode_module(&hinted_module());
         for cut in [5, 10, bytes.len() / 2, bytes.len() - 1] {
             assert!(decode_module(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn every_truncation_prefix_yields_a_clean_error() {
+        let bytes = encode_module(&hinted_module());
+        for k in 0..bytes.len() {
+            let err = decode_module(&bytes[..k]).expect_err("prefix must not decode");
+            // The error is a typed DecodeError by construction; the common
+            // case for a clean cut is Truncated.
+            let _ = err.to_string();
         }
     }
 
@@ -469,6 +739,19 @@ mod tests {
                 body: sample_loop(),
                 priority_hint: Some(vec![OpId::new(9999)]),
                 cca_hint: None,
+            }],
+        };
+        let bytes = encode_module(&m);
+        assert_eq!(decode_module(&bytes).unwrap_err(), DecodeError::BadHint);
+    }
+
+    #[test]
+    fn cca_member_out_of_range_rejected() {
+        let m = BinaryModule {
+            loops: vec![EncodedLoop {
+                body: sample_loop(),
+                priority_hint: None,
+                cca_hint: Some(vec![vec![OpId::new(9999)]]),
             }],
         };
         let bytes = encode_module(&m);
@@ -489,6 +772,202 @@ mod tests {
         assert_eq!(
             decode_module(&bytes).unwrap_err(),
             DecodeError::BadVersion(0xFFFF)
+        );
+    }
+
+    #[test]
+    fn checksum_catches_payload_corruption() {
+        let mut bytes = encode_module(&hinted_module());
+        let sections = section_ranges(&bytes).expect("framing walks");
+        let prio = sections
+            .iter()
+            .find(|s| s.tag == SEC_PRIORITY)
+            .expect("priority section present");
+        bytes[prio.payload.start + 4] ^= 0x40;
+        assert_eq!(
+            decode_module(&bytes).unwrap_err(),
+            DecodeError::SectionChecksum(SEC_PRIORITY)
+        );
+    }
+
+    #[test]
+    fn resealed_corruption_passes_transport_and_reaches_the_validator() {
+        // Forge: corrupt a priority id inside bounds, then recompute the
+        // checksum. The *decoder* must accept it (transport integrity says
+        // nothing about semantic validity) — catching it is vm::verify's
+        // job, tested there and in the fault harness.
+        let mut bytes = encode_module(&hinted_module());
+        let sections = section_ranges(&bytes).expect("framing walks");
+        let prio = sections
+            .iter()
+            .find(|s| s.tag == SEC_PRIORITY)
+            .expect("priority section present")
+            .clone();
+        // First entry (offset 4 skips the count): point it at op 0.
+        bytes[prio.payload.start + 4..prio.payload.start + 8].copy_from_slice(&0u32.to_le_bytes());
+        reseal_section(&mut bytes, &prio);
+        let back = decode_module(&bytes).expect("forged module decodes");
+        assert_eq!(
+            back.loops[0].priority_hint,
+            Some(vec![OpId::new(0), OpId::new(3)])
+        );
+    }
+
+    #[test]
+    fn duplicate_hint_section_rejected() {
+        let mut bytes = encode_module(&hinted_module());
+        let sections = section_ranges(&bytes).expect("framing walks");
+        let prio = sections
+            .iter()
+            .find(|s| s.tag == SEC_PRIORITY)
+            .expect("priority section present")
+            .clone();
+        // Splice a second copy of the whole priority frame right after the
+        // first one.
+        let frame: Vec<u8> = bytes[prio.frame.clone()].to_vec();
+        bytes.splice(prio.frame.end..prio.frame.end, frame);
+        assert_eq!(
+            decode_module(&bytes).unwrap_err(),
+            DecodeError::DuplicateSection(SEC_PRIORITY)
+        );
+    }
+
+    #[test]
+    fn unknown_section_skipped_for_forward_compat() {
+        let mut bytes = encode_module(&hinted_module());
+        let sections = section_ranges(&bytes).expect("framing walks");
+        let last = sections.last().expect("sections present").clone();
+        // A future compiler appends a section this VM has never heard of.
+        let payload = b"future hint kind";
+        let mut frame = vec![0xEEu8];
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&section_checksum(payload).to_le_bytes());
+        frame.extend_from_slice(payload);
+        bytes.splice(last.frame.end..last.frame.end, frame);
+        let back = decode_module(&bytes).expect("unknown section is skipped");
+        assert_eq!(
+            back.loops[0].priority_hint,
+            Some(vec![OpId::new(4), OpId::new(3)])
+        );
+        assert!(back.loops[0].cca_hint.is_some());
+    }
+
+    #[test]
+    fn unknown_section_corruption_still_detected() {
+        let mut bytes = encode_module(&hinted_module());
+        let sections = section_ranges(&bytes).expect("framing walks");
+        let last = sections.last().expect("sections present").clone();
+        let payload = b"future hint kind";
+        let mut frame = vec![0xEEu8];
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&section_checksum(payload).to_le_bytes());
+        frame.extend_from_slice(b"corrupted bytes!");
+        bytes.splice(last.frame.end..last.frame.end, frame);
+        assert_eq!(
+            decode_module(&bytes).unwrap_err(),
+            DecodeError::SectionChecksum(0xEE)
+        );
+    }
+
+    #[test]
+    fn missing_required_section_rejected() {
+        let mut bytes = encode_module(&hinted_module());
+        let sections = section_ranges(&bytes).expect("framing walks");
+        let edges = sections
+            .iter()
+            .find(|s| s.tag == SEC_EDGES)
+            .expect("edges present")
+            .clone();
+        bytes.drain(edges.frame);
+        assert_eq!(
+            decode_module(&bytes).unwrap_err(),
+            DecodeError::MissingSection(SEC_EDGES)
+        );
+    }
+
+    #[test]
+    fn lying_count_rejected_without_allocation() {
+        // A node count of u32::MAX in a tiny payload must fail fast with
+        // BadCount, not attempt a huge decode.
+        let mut bytes = encode_module(&hinted_module());
+        let sections = section_ranges(&bytes).expect("framing walks");
+        let nodes = sections
+            .iter()
+            .find(|s| s.tag == SEC_NODES)
+            .expect("nodes present")
+            .clone();
+        bytes[nodes.payload.start..nodes.payload.start + 4]
+            .copy_from_slice(&u32::MAX.to_le_bytes());
+        reseal_section(&mut bytes, &nodes);
+        assert_eq!(decode_module(&bytes).unwrap_err(), DecodeError::BadCount);
+    }
+
+    #[test]
+    fn trailing_section_bytes_rejected() {
+        let mut bytes = encode_module(&hinted_module());
+        let sections = section_ranges(&bytes).expect("framing walks");
+        let prio = sections
+            .iter()
+            .find(|s| s.tag == SEC_PRIORITY)
+            .expect("priority present")
+            .clone();
+        // Shrink the declared entry count by one: the last id becomes a
+        // trailing byte the sub-decoder must refuse.
+        let count_at = prio.payload.start;
+        let old = u32::from_le_bytes([
+            bytes[count_at],
+            bytes[count_at + 1],
+            bytes[count_at + 2],
+            bytes[count_at + 3],
+        ]);
+        bytes[count_at..count_at + 4].copy_from_slice(&(old - 1).to_le_bytes());
+        reseal_section(&mut bytes, &prio);
+        assert_eq!(
+            decode_module(&bytes).unwrap_err(),
+            DecodeError::SectionTrailing(SEC_PRIORITY)
+        );
+    }
+
+    #[test]
+    fn unexecutable_graph_rejected_at_decode() {
+        // Frame-valid bytes describing a distance-0 cycle: the scheduler
+        // must never see this graph.
+        let mut dfg = Dfg::new();
+        let a = dfg.add_node(NodeKind::Op(Opcode::Add));
+        let b = dfg.add_node(NodeKind::Op(Opcode::Sub));
+        dfg.add_edge(a, b, 0, EdgeKind::Data);
+        dfg.add_edge(b, a, 0, EdgeKind::Data);
+        let m = BinaryModule {
+            loops: vec![EncodedLoop {
+                body: LoopBody::new("cyclic", dfg),
+                priority_hint: None,
+                cca_hint: None,
+            }],
+        };
+        let bytes = encode_module(&m);
+        assert!(matches!(
+            decode_module(&bytes).unwrap_err(),
+            DecodeError::BadGraph(veal_ir::VerifyError::IntraIterationCycle(_))
+        ));
+    }
+
+    #[test]
+    fn bad_opcode_reports_the_byte() {
+        let mut bytes = encode_module(&hinted_module());
+        let sections = section_ranges(&bytes).expect("framing walks");
+        let nodes = sections
+            .iter()
+            .find(|s| s.tag == SEC_NODES)
+            .expect("nodes present")
+            .clone();
+        // Node 0 of sample_loop is a Const; node payload starts with the
+        // u32 count, then kind bytes. Overwrite the first kind byte with an
+        // invalid kind tag.
+        bytes[nodes.payload.start + 4] = 0x7F;
+        reseal_section(&mut bytes, &nodes);
+        assert_eq!(
+            decode_module(&bytes).unwrap_err(),
+            DecodeError::BadNodeKind(0x7F)
         );
     }
 }

@@ -73,14 +73,14 @@ pub struct CodeCache<T> {
 impl<T> CodeCache<T> {
     /// Creates a cache holding up to `capacity` translated loops.
     ///
-    /// # Panics
-    ///
-    /// Panics if `capacity` is zero.
+    /// A zero capacity saturates to one entry: sweep configurations are
+    /// data (often swept right down to the degenerate point), and a cache
+    /// that cannot hold its own current loop would make `insert` diverge —
+    /// so the smallest cache is a single-entry one, not a panic.
     #[must_use]
     pub fn new(capacity: usize) -> Self {
-        assert!(capacity > 0, "cache capacity must be positive");
         CodeCache {
-            capacity,
+            capacity: capacity.max(1),
             byte_budget: None,
             entries: HashMap::new(),
             bytes_resident: 0,
@@ -92,16 +92,13 @@ impl<T> CodeCache<T> {
     /// Creates a cache additionally bounded by a byte budget: entries are
     /// inserted with a size ([`CodeCache::insert_sized`]) and LRU eviction
     /// also runs until the resident bytes fit. The paper sizes its 16-entry
-    /// cache at ~48 KB of accelerator control (§4.3).
-    ///
-    /// # Panics
-    ///
-    /// Panics if either bound is zero.
+    /// cache at ~48 KB of accelerator control (§4.3). Zero bounds saturate
+    /// like [`CodeCache::new`]: at least one entry, at least one byte
+    /// (an oversized sole entry still inserts — see the tests).
     #[must_use]
     pub fn with_byte_budget(capacity: usize, bytes: usize) -> Self {
-        assert!(bytes > 0, "byte budget must be positive");
         let mut c = Self::new(capacity);
-        c.byte_budget = Some(bytes);
+        c.byte_budget = Some(bytes.max(1));
         c
     }
 
@@ -293,8 +290,21 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "capacity must be positive")]
-    fn zero_capacity_rejected() {
-        let _: CodeCache<()> = CodeCache::new(0);
+    fn zero_capacity_clamps_to_one_entry() {
+        let mut c: CodeCache<u32> = CodeCache::new(0);
+        c.insert(1, 10);
+        assert_eq!(c.len(), 1);
+        c.insert(2, 20);
+        assert_eq!(c.len(), 1, "single-entry cache evicts on the second key");
+        assert!(c.contains(2));
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn zero_byte_budget_clamps_and_still_inserts() {
+        let mut c: CodeCache<u8> = CodeCache::with_byte_budget(0, 0);
+        c.insert_sized(1, 0, 50);
+        assert!(c.contains(1));
+        assert_eq!(c.len(), 1);
     }
 }

@@ -1,0 +1,444 @@
+//! Seeded fault injection for the hint trust boundary (DESIGN.md §9).
+//!
+//! The hardening claim is behavioral: *no* byte-level corruption of a
+//! module and *no* structural mutation of its hints may panic the VM,
+//! mis-schedule a loop, or change what a correct translation computes.
+//! This module supplies the two halves of that proof:
+//!
+//! * [`HintFuzzer`] — a deterministic ([`Rng64`]-seeded) corruption engine
+//!   operating at three levels: raw bytes (transport faults: bit flips,
+//!   truncation, duplication, splices), *resealed* hint payloads (semantic
+//!   faults that forge the section checksum, so they pass transport
+//!   integrity and must be caught by [`crate::verify`]), and decoded
+//!   [`StaticHints`] structures (the mutations a hostile or stale compiler
+//!   could emit: permute, truncate, duplicate, cross-loop splice,
+//!   out-of-range injection);
+//! * [`check_degradation`] — a differential oracle: whatever a translation
+//!   under suspect hints produces must be *exactly* what the same
+//!   translator produces with every rejected hint replaced by its dynamic
+//!   fallback, and any surviving schedule must pass the independent
+//!   checker [`veal_sched::verify_schedule`]. End-to-end execution
+//!   fidelity (the [`veal_ir::interp`] golden checksums) is asserted by
+//!   the integration harness in `tests/fault_injection.rs`, which owns the
+//!   workload fixtures.
+
+use crate::binfmt::{section_ranges, SectionRange, SEC_CCA, SEC_PRIORITY};
+use crate::hints::StaticHints;
+use crate::translator::{TranslationError, TranslationPolicy, Translator};
+use crate::verify::HintVerdict;
+use veal_ir::rng::Rng64;
+use veal_ir::{LoopBody, OpId};
+use veal_sched::verify_schedule;
+
+/// How a corrupted module's loop was ultimately disposed of. Every fuzz
+/// case must land in one of these — anything else (a panic, a schedule
+/// differing from the dynamic fallback's) is a harness failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultVerdict {
+    /// The loop translated and passed the differential and schedule
+    /// checks; `degradations` hints were rejected along the way.
+    Accelerated {
+        /// How many hint kinds degraded to their dynamic fallback.
+        degradations: u64,
+    },
+    /// Translation aborted (same abort the dynamic fallback produces);
+    /// the loop runs on the baseline CPU.
+    CpuFallback(TranslationError),
+}
+
+/// Deterministic corruption engine for encoded modules and decoded hints.
+///
+/// Same seed, same corruption sequence — a failing fuzz case is
+/// reproducible from its (seed, case index) pair alone.
+#[derive(Debug)]
+pub struct HintFuzzer {
+    rng: Rng64,
+}
+
+impl HintFuzzer {
+    /// Creates a fuzzer from a seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        HintFuzzer {
+            rng: Rng64::new(seed),
+        }
+    }
+
+    /// Byte-level transport fault: returns a corrupted copy of `bytes`.
+    /// One of: single-bit flip, byte overwrite, range zeroing, truncation,
+    /// range duplication, or a splice of one random range over another.
+    pub fn corrupt_bytes(&mut self, bytes: &[u8]) -> Vec<u8> {
+        let mut out = bytes.to_vec();
+        if out.is_empty() {
+            return out;
+        }
+        match self.rng.gen_range(0, 6) {
+            0 => {
+                let i = self.rng.gen_range(0, out.len());
+                out[i] ^= 1 << self.rng.gen_range(0, 8);
+            }
+            1 => {
+                let i = self.rng.gen_range(0, out.len());
+                out[i] = (self.rng.next_u64() & 0xFF) as u8;
+            }
+            2 => {
+                let start = self.rng.gen_range(0, out.len());
+                let end = (start + self.rng.gen_range(1, 9)).min(out.len());
+                out[start..end].fill(0);
+            }
+            3 => {
+                out.truncate(self.rng.gen_range(0, out.len()));
+            }
+            4 => {
+                let start = self.rng.gen_range(0, out.len());
+                let end = (start + self.rng.gen_range(1, 17)).min(out.len());
+                let dup: Vec<u8> = out[start..end].to_vec();
+                out.splice(end..end, dup);
+            }
+            _ => {
+                let a = self.rng.gen_range(0, out.len());
+                let b = self.rng.gen_range(0, out.len());
+                let n = self.rng.gen_range(1, 9).min(out.len() - a.max(b));
+                let src: Vec<u8> = out[b..b + n].to_vec();
+                out[a..a + n].copy_from_slice(&src);
+            }
+        }
+        out
+    }
+
+    /// Semantic fault that forges transport integrity: corrupts bytes
+    /// inside a hint section's payload, then reseals that section's
+    /// checksum so the module still *decodes*. Returns `None` when the
+    /// module's framing is unwalkable or it carries no hint section.
+    pub fn corrupt_hint_payload(&mut self, bytes: &[u8]) -> Option<Vec<u8>> {
+        let sections: Vec<SectionRange> = section_ranges(bytes)
+            .ok()?
+            .into_iter()
+            .filter(|s| (s.tag == SEC_PRIORITY || s.tag == SEC_CCA) && s.payload.len() > 4)
+            .collect();
+        if sections.is_empty() {
+            return None;
+        }
+        let target = sections[self.rng.gen_range(0, sections.len())].clone();
+        let mut out = bytes.to_vec();
+        // Id words start past the leading count word.
+        let ids = target.payload.start + 4;
+        let nwords = (target.payload.end - ids) / 4;
+        match self.rng.gen_range(0, 5) {
+            // Id-level splice: copy one 4-byte id word over another. The
+            // result stays in the decoder's accepted range, so it *must*
+            // travel all the way to the semantic validator (a duplicated
+            // priority entry breaks the permutation; a duplicated CCA
+            // member breaks group disjointness).
+            0 | 1 if nwords >= 2 => {
+                let src = ids + 4 * self.rng.gen_range(0, nwords);
+                let dst = ids + 4 * self.rng.gen_range(0, nwords);
+                out.copy_within(src..src + 4, dst);
+            }
+            // Byte-level faults: corrupt past the count word 75% of the
+            // time so the mutation lands on ids more often than on framing
+            // (both are valid targets; ids exercise the decoder's range
+            // checks, counts its sub-decoders).
+            m => {
+                let lo = target.payload.start + usize::from(self.rng.gen_bool(0.75)) * 4;
+                let i = lo + self.rng.gen_range(0, target.payload.end - lo);
+                match m {
+                    0..=2 => out[i] ^= 1 << self.rng.gen_range(0, 8),
+                    3 => out[i] = (self.rng.next_u64() & 0xFF) as u8,
+                    _ => {
+                        let end = (i + self.rng.gen_range(1, 5)).min(target.payload.end);
+                        out[i..end].fill(0xFF);
+                    }
+                }
+            }
+        }
+        crate::binfmt::reseal_section(&mut out, &target);
+        Some(out)
+    }
+
+    /// Structural mutation of decoded hints: the faults a stale or hostile
+    /// *compiler* produces. `donor` supplies foreign material for the
+    /// cross-loop splice (hints that were valid — for a different loop).
+    pub fn mutate_hints(
+        &mut self,
+        hints: &StaticHints,
+        donor: Option<&StaticHints>,
+    ) -> StaticHints {
+        let mut out = hints.clone();
+        match self.rng.gen_range(0, 8) {
+            // Permute the priority order (stays a permutation — must pass
+            // validation; the scheduler just gets a worse order).
+            0 => {
+                if let Some(order) = &mut out.priority {
+                    for i in (1..order.len()).rev() {
+                        order.swap(i, self.rng.gen_range(0, i + 1));
+                    }
+                }
+            }
+            // Truncate the priority order.
+            1 => {
+                if let Some(order) = &mut out.priority {
+                    let keep = self.rng.gen_range(0, order.len().max(1));
+                    order.truncate(keep);
+                }
+            }
+            // Duplicate one priority entry over another.
+            2 => {
+                if let Some(order) = &mut out.priority {
+                    if order.len() >= 2 {
+                        let src = self.rng.gen_range(0, order.len());
+                        let dst = self.rng.gen_range(0, order.len());
+                        order[dst] = order[src];
+                    }
+                }
+            }
+            // Inject an out-of-range op id.
+            3 => {
+                if let Some(order) = &mut out.priority {
+                    if !order.is_empty() {
+                        let i = self.rng.gen_range(0, order.len());
+                        order[i] = OpId::new(1000 + self.rng.gen_range(0, 9000));
+                    }
+                }
+            }
+            // Cross-loop splice: replace a hint kind wholesale with the
+            // donor loop's.
+            4 => {
+                if let Some(d) = donor {
+                    if self.rng.gen_bool(0.5) {
+                        out.priority = d.priority.clone();
+                    } else {
+                        out.cca_groups = d.cca_groups.clone();
+                    }
+                }
+            }
+            // Duplicate a CCA group, or a member within one.
+            5 => {
+                if let Some(groups) = &mut out.cca_groups {
+                    if !groups.is_empty() {
+                        let g = self.rng.gen_range(0, groups.len());
+                        if self.rng.gen_bool(0.5) {
+                            let dup = groups[g].clone();
+                            groups.push(dup);
+                        } else if !groups[g].is_empty() {
+                            let m = groups[g][self.rng.gen_range(0, groups[g].len())];
+                            groups[g].push(m);
+                        }
+                    }
+                }
+            }
+            // Corrupt a CCA member id (out of range or collided).
+            6 => {
+                if let Some(groups) = &mut out.cca_groups {
+                    if let Some(g) = groups.iter_mut().find(|g| !g.is_empty()) {
+                        let i = self.rng.gen_range(0, g.len());
+                        g[i] = OpId::new(self.rng.gen_range(0, 2000));
+                    }
+                }
+            }
+            // Drop a hint kind entirely (the legacy-binary path).
+            _ => {
+                if self.rng.gen_bool(0.5) {
+                    out.priority = None;
+                } else {
+                    out.cca_groups = None;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The reference translation a degraded one must match: same translator,
+/// with each *rejected* hint kind replaced by its dynamic fallback (CCA
+/// re-identification, dynamic priority) and each accepted hint kept.
+fn reference_translator(t: &Translator, verdict: &HintVerdict) -> Translator {
+    let mut policy = t.policy();
+    if matches!(verdict.cca, Some(Err(_))) {
+        policy.static_cca = false;
+    }
+    if matches!(verdict.priority, Some(Err(_))) {
+        policy.static_priority = false;
+    }
+    Translator::new(t.config().clone(), t.cca().cloned(), policy)
+}
+
+/// Differential oracle for one `(body, hints)` fuzz case.
+///
+/// Translates under the suspect hints, then re-translates with every
+/// rejected hint step switched to its dynamic fallback, and demands the
+/// two agree exactly: same abort, or same II / op times / unit
+/// assignments / CCA group count. A surviving schedule must additionally
+/// pass the independent constraint checker. When *both* hint kinds
+/// degrade, the reference is precisely the fully-dynamic policy — the
+/// paper's compatibility baseline.
+///
+/// # Errors
+///
+/// A human-readable description of the first divergence — any `Err` is a
+/// bug in the trust boundary, and fuzz harnesses treat it as fatal.
+pub fn check_degradation(
+    t: &Translator,
+    body: &LoopBody,
+    hints: &StaticHints,
+) -> Result<FaultVerdict, String> {
+    let out = t.translate(body, hints);
+    if !out.verdict.is_degraded() {
+        // Nothing was rejected: either the hints validated (mutations like
+        // a pure permutation are *supposed* to pass) or none were
+        // consumed. The schedule check below still applies.
+        return match out.result {
+            Ok(tl) => {
+                let defects = verify_schedule(&tl.dfg, &tl.scheduled.schedule, t.config());
+                if defects.is_empty() {
+                    Ok(FaultVerdict::Accelerated { degradations: 0 })
+                } else {
+                    Err(format!("accepted-hint schedule has defects: {defects:?}"))
+                }
+            }
+            Err(e) => Ok(FaultVerdict::CpuFallback(e)),
+        };
+    }
+
+    let degradations = out.verdict.degradations().len() as u64;
+    let reference = reference_translator(t, &out.verdict);
+    let ref_out = reference.translate(body, hints);
+    match (out.result, ref_out.result) {
+        (Err(a), Err(b)) => {
+            if a == b {
+                Ok(FaultVerdict::CpuFallback(a))
+            } else {
+                Err(format!("degraded abort {a:?} != dynamic abort {b:?}"))
+            }
+        }
+        (Ok(a), Ok(b)) => {
+            if a.scheduled.schedule.ii != b.scheduled.schedule.ii {
+                return Err(format!(
+                    "degraded II {} != dynamic II {}",
+                    a.scheduled.schedule.ii, b.scheduled.schedule.ii
+                ));
+            }
+            if a.scheduled.schedule.entries() != b.scheduled.schedule.entries() {
+                return Err("degraded op times differ from dynamic fallback".into());
+            }
+            if a.cca_groups != b.cca_groups {
+                return Err(format!(
+                    "degraded CCA groups {} != dynamic {}",
+                    a.cca_groups, b.cca_groups
+                ));
+            }
+            let defects = verify_schedule(&a.dfg, &a.scheduled.schedule, t.config());
+            if !defects.is_empty() {
+                return Err(format!("degraded schedule has defects: {defects:?}"));
+            }
+            Ok(FaultVerdict::Accelerated { degradations })
+        }
+        (a, b) => Err(format!(
+            "degraded result {:?} disagrees with dynamic fallback {:?}",
+            a.map(|t| t.scheduled.schedule.ii),
+            b.map(|t| t.scheduled.schedule.ii),
+        )),
+    }
+}
+
+/// Convenience: the translator most exposed to hints (static CCA and
+/// priority, paper CCA) — what the fuzz harness drives by default.
+#[must_use]
+pub fn exposed_translator() -> Translator {
+    Translator::new(
+        veal_accel::AcceleratorConfig::paper_design(),
+        Some(veal_cca::CcaSpec::paper()),
+        TranslationPolicy::static_hints(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binfmt::{decode_module, encode_module, BinaryModule, EncodedLoop};
+    use crate::hints::compute_hints;
+    use veal_ir::{DfgBuilder, Opcode};
+
+    fn media_loop(name: &str) -> LoopBody {
+        let mut b = DfgBuilder::new();
+        let x = b.load_stream(0);
+        let k = b.live_in();
+        let m = b.op(Opcode::Mul, &[x, k]);
+        let a = b.op(Opcode::And, &[m, k]);
+        let s = b.op(Opcode::Sub, &[a, x]);
+        let o = b.op(Opcode::Xor, &[s, a]);
+        b.store_stream(1, o);
+        LoopBody::new(name, b.finish())
+    }
+
+    fn hinted_bytes() -> Vec<u8> {
+        let body = media_loop("m");
+        let hints = compute_hints(
+            &body,
+            &veal_accel::AcceleratorConfig::paper_design(),
+            Some(&veal_cca::CcaSpec::paper()),
+        );
+        encode_module(&BinaryModule {
+            loops: vec![EncodedLoop {
+                priority_hint: hints.priority,
+                cca_hint: hints.cca_groups,
+                body,
+            }],
+        })
+    }
+
+    #[test]
+    fn fuzzer_is_deterministic() {
+        let bytes = hinted_bytes();
+        let a: Vec<Vec<u8>> = {
+            let mut f = HintFuzzer::new(42);
+            (0..16).map(|_| f.corrupt_bytes(&bytes)).collect()
+        };
+        let b: Vec<Vec<u8>> = {
+            let mut f = HintFuzzer::new(42);
+            (0..16).map(|_| f.corrupt_bytes(&bytes)).collect()
+        };
+        assert_eq!(a, b);
+        assert!(a.iter().any(|c| c != &bytes), "some corruption happened");
+    }
+
+    #[test]
+    fn resealed_corruptions_decode() {
+        let bytes = hinted_bytes();
+        let mut f = HintFuzzer::new(7);
+        let mut decoded = 0;
+        for _ in 0..64 {
+            if let Some(forged) = f.corrupt_hint_payload(&bytes) {
+                // Transport accepts a resealed module unless the mutation
+                // hit framing inside the payload (counts, lengths).
+                if decode_module(&forged).is_ok() {
+                    decoded += 1;
+                }
+            }
+        }
+        assert!(decoded > 0, "some forged modules must reach the validator");
+    }
+
+    #[test]
+    fn oracle_accepts_valid_hints_and_rejects_nothing() {
+        let body = media_loop("m");
+        let t = exposed_translator();
+        let hints = compute_hints(&body, t.config(), t.cca());
+        let v = check_degradation(&t, &body, &hints).expect("oracle holds");
+        assert_eq!(v, FaultVerdict::Accelerated { degradations: 0 });
+    }
+
+    #[test]
+    fn oracle_matches_dynamic_fallback_for_mutated_hints() {
+        let body = media_loop("m");
+        let donor_body = media_loop("d");
+        let t = exposed_translator();
+        let hints = compute_hints(&body, t.config(), t.cca());
+        let donor = compute_hints(&donor_body, t.config(), t.cca());
+        let mut f = HintFuzzer::new(3);
+        for i in 0..200 {
+            let mutated = f.mutate_hints(&hints, Some(&donor));
+            check_degradation(&t, &body, &mutated).unwrap_or_else(|e| panic!("case {i}: {e}"));
+        }
+    }
+}

@@ -16,8 +16,14 @@
 //!   from hints), MII, priority (dynamic Swing, dynamic height-based, or
 //!   decoded), scheduling, and register assignment, each charged to the
 //!   [`veal_ir::CostMeter`].
+//! * [`verify`] — the semantic trust boundary for hints: permutation and
+//!   legality validation, metered, with per-step degradation verdicts.
 //! * [`session`] — a stateful VM session combining translator and cache,
-//!   tracking per-benchmark translation statistics.
+//!   tracking per-benchmark translation statistics, hint quarantine, and a
+//!   translation-budget watchdog.
+//! * [`faults`] — a seeded fault-injection harness (byte corruption,
+//!   structural hint mutation) with a differential oracle against the
+//!   [`veal_ir::interp`] reference semantics.
 //!
 //! # Example
 //!
@@ -46,17 +52,24 @@
 pub mod binfmt;
 pub mod cache;
 pub mod disasm;
+pub mod faults;
 pub mod hints;
 pub mod memo;
 pub mod session;
 pub mod translator;
+pub mod verify;
 
-pub use binfmt::{decode_module, encode_module, BinaryModule, DecodeError, EncodedLoop};
+pub use binfmt::{
+    decode_module, encode_module, reseal_section, section_checksum, section_ranges, BinaryModule,
+    DecodeError, EncodedLoop, SectionRange,
+};
 pub use cache::{CacheStats, CodeCache};
 pub use disasm::disassemble;
+pub use faults::{check_degradation, exposed_translator, FaultVerdict, HintFuzzer};
 pub use hints::{compute_hints, StaticHints};
 pub use memo::{MemoKey, MemoStats, MemoizedOutcome, TranslationMemo};
 pub use session::{VmSession, VmStats};
 pub use translator::{
     TranslatedLoop, TranslationError, TranslationOutcome, TranslationPolicy, Translator,
 };
+pub use verify::{DegradeReason, HintError, HintVerdict};

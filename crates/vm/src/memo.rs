@@ -16,9 +16,10 @@
 //! bit-identical simulated numbers.
 
 use crate::translator::{TranslatedLoop, TranslationError};
+use crate::verify::HintVerdict;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use veal_ir::PhaseBreakdown;
 
 /// Identity of one memoized translation.
@@ -40,6 +41,9 @@ pub struct MemoizedOutcome {
     pub result: Result<Arc<TranslatedLoop>, TranslationError>,
     /// The exact per-phase cost of the original translation.
     pub breakdown: PhaseBreakdown,
+    /// The original translation's hint verdict, so replayed invocations
+    /// count validations and degradations bit-identically to fresh ones.
+    pub verdict: HintVerdict,
 }
 
 /// Hit/miss counters of a memo table, snapshot at a point in time.
@@ -85,9 +89,19 @@ impl TranslationMemo {
     }
 
     /// Looks up `key`, recording a hit or miss.
+    ///
+    /// A poisoned lock is recovered, not propagated: every entry is written
+    /// atomically under the lock (insert-or-keep of an immutable value), so
+    /// a sweep worker that panicked mid-translation can never have left the
+    /// map half-updated — the surviving threads keep the memo.
     #[must_use]
     pub fn get(&self, key: &MemoKey) -> Option<MemoizedOutcome> {
-        let found = self.map.lock().expect("memo poisoned").get(key).cloned();
+        let found = self
+            .map
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(key)
+            .cloned();
         if found.is_some() {
             self.hits.fetch_add(1, Ordering::Relaxed);
         } else {
@@ -101,7 +115,7 @@ impl TranslationMemo {
     pub fn insert(&self, key: MemoKey, outcome: MemoizedOutcome) {
         self.map
             .lock()
-            .expect("memo poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .entry(key)
             .or_insert(outcome);
     }
@@ -112,7 +126,11 @@ impl TranslationMemo {
         MemoStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self.map.lock().expect("memo poisoned").len(),
+            entries: self
+                .map
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .len(),
         }
     }
 }
@@ -129,19 +147,21 @@ mod tests {
         }
     }
 
+    fn failed_outcome() -> MemoizedOutcome {
+        MemoizedOutcome {
+            result: Err(crate::TranslationError::Unsupported(
+                veal_ir::streams::SeparationError::CallInLoop,
+            )),
+            breakdown: PhaseBreakdown::default(),
+            verdict: HintVerdict::default(),
+        }
+    }
+
     #[test]
     fn miss_then_hit() {
         let memo = TranslationMemo::new();
         assert!(memo.get(&key(1)).is_none());
-        memo.insert(
-            key(1),
-            MemoizedOutcome {
-                result: Err(crate::TranslationError::Unsupported(
-                    veal_ir::streams::SeparationError::CallInLoop,
-                )),
-                breakdown: PhaseBreakdown::default(),
-            },
-        );
+        memo.insert(key(1), failed_outcome());
         assert!(memo.get(&key(1)).is_some());
         let s = memo.stats();
         assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
@@ -156,15 +176,7 @@ mod tests {
             translator_fp: 1,
             hints_fp: 0,
         };
-        memo.insert(
-            a,
-            MemoizedOutcome {
-                result: Err(crate::TranslationError::Unsupported(
-                    veal_ir::streams::SeparationError::CallInLoop,
-                )),
-                breakdown: PhaseBreakdown::default(),
-            },
-        );
+        memo.insert(a, failed_outcome());
         let b = MemoKey {
             loop_hash: 1,
             translator_fp: 2,
@@ -181,20 +193,29 @@ mod tests {
                 let memo = Arc::clone(&memo);
                 s.spawn(move || {
                     for i in 0..64u64 {
-                        memo.insert(
-                            key(i % 8 + t),
-                            MemoizedOutcome {
-                                result: Err(crate::TranslationError::Unsupported(
-                                    veal_ir::streams::SeparationError::CallInLoop,
-                                )),
-                                breakdown: PhaseBreakdown::default(),
-                            },
-                        );
+                        memo.insert(key(i % 8 + t), failed_outcome());
                         let _ = memo.get(&key(i % 8));
                     }
                 });
             }
         });
         assert!(memo.stats().entries <= 11);
+    }
+
+    #[test]
+    fn poisoned_lock_recovers_instead_of_wedging_the_sweep() {
+        let memo = Arc::new(TranslationMemo::new());
+        memo.insert(key(1), failed_outcome());
+        // A worker thread panics while holding the lock.
+        let poisoner = Arc::clone(&memo);
+        let worker = std::thread::spawn(move || {
+            let _guard = poisoner.map.lock().unwrap_or_else(PoisonError::into_inner);
+            panic!("simulated sweep-worker crash");
+        });
+        assert!(worker.join().is_err(), "worker must have panicked");
+        // Surviving threads keep full use of the memo.
+        assert!(memo.get(&key(1)).is_some());
+        memo.insert(key(2), failed_outcome());
+        assert_eq!(memo.stats().entries, 2);
     }
 }

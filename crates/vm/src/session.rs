@@ -4,9 +4,16 @@ use crate::cache::{CacheStats, CodeCache};
 use crate::hints::StaticHints;
 use crate::memo::{MemoKey, MemoizedOutcome, TranslationMemo};
 use crate::translator::{TranslatedLoop, TranslationOutcome, Translator};
-use std::collections::HashSet;
+use crate::verify::DegradeReason;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
-use veal_ir::{LoopBody, PhaseBreakdown};
+use veal_ir::meter::ALL_PHASES;
+use veal_ir::{CostMeter, LoopBody, PhaseBreakdown};
+
+/// Consecutive hint-validation failures before a loop's hints are
+/// quarantined (the session stops consuming them and translates the loop
+/// hint-less, sparing the per-invocation validation cost).
+pub const QUARANTINE_THRESHOLD: u32 = 3;
 
 /// Aggregated statistics of a VM session.
 #[derive(Debug, Clone, Default)]
@@ -19,6 +26,18 @@ pub struct VmStats {
     pub translation_units: u64,
     /// Aggregated per-phase breakdown across all translations.
     pub breakdown: PhaseBreakdown,
+    /// Hint validations performed (one per hint kind per translation).
+    pub hint_validations: u64,
+    /// Translations where at least one hint was rejected.
+    pub degraded_translations: u64,
+    /// Priority hints rejected (degraded to dynamic Swing/Height).
+    pub priority_degradations: u64,
+    /// CCA hints rejected (degraded to dynamic identification).
+    pub cca_degradations: u64,
+    /// Loops whose hints were quarantined after repeated failures.
+    pub quarantined_loops: u64,
+    /// Translations aborted by the budget watchdog (loop runs on the CPU).
+    pub watchdog_aborts: u64,
 }
 
 impl VmStats {
@@ -60,6 +79,16 @@ pub struct VmSession {
     /// Optional cross-session translation memo (sweep engine). `None` keeps
     /// the session fully self-contained.
     memo: Option<Arc<TranslationMemo>>,
+    /// Optional translation budget: a translation whose total cost exceeds
+    /// this many abstract units is abandoned and the loop pinned to the CPU
+    /// (watchdog against adversarial hints that inflate validation or
+    /// scheduling work).
+    budget: Option<u64>,
+    /// Consecutive hint-validation failures per loop key.
+    hint_failures: HashMap<u64, u32>,
+    /// Loops whose hints are no longer consulted (see
+    /// [`QUARANTINE_THRESHOLD`]).
+    quarantined: HashSet<u64>,
 }
 
 impl VmSession {
@@ -79,7 +108,19 @@ impl VmSession {
             rejected: HashSet::new(),
             stats: VmStats::default(),
             memo: None,
+            budget: None,
+            hint_failures: HashMap::new(),
+            quarantined: HashSet::new(),
         }
+    }
+
+    /// Caps any single translation at `units` abstract instructions. Past
+    /// the cap the watchdog abandons the translation, pins the loop to the
+    /// CPU, and the session charges only the work done up to the cap.
+    #[must_use]
+    pub fn with_translation_budget(mut self, units: u64) -> Self {
+        self.budget = Some(units);
+        self
     }
 
     /// Attaches a shared translation memo: on a code-cache miss the session
@@ -121,6 +162,15 @@ impl VmSession {
                 translation_cycles: 0,
             };
         }
+        // Quarantined hints are not consulted (nor re-validated): the loop
+        // translates as a hint-less binary would. The substitution happens
+        // before the memo key is formed, so replays stay consistent.
+        let hintless = StaticHints::none();
+        let hints = if self.quarantined.contains(&key) {
+            &hintless
+        } else {
+            hints
+        };
         // Code-cache miss: consult the shared memo when attached, translate
         // otherwise; fresh results are published back into the memo.
         let outcome: MemoizedOutcome = match &self.memo {
@@ -137,6 +187,7 @@ impl VmSession {
                         let stored = MemoizedOutcome {
                             result: fresh.result.map(Arc::new),
                             breakdown: fresh.breakdown,
+                            verdict: fresh.verdict,
                         };
                         memo.insert(mkey, stored.clone());
                         stored
@@ -148,12 +199,49 @@ impl VmSession {
                 MemoizedOutcome {
                     result: fresh.result.map(Arc::new),
                     breakdown: fresh.breakdown,
+                    verdict: fresh.verdict,
                 }
             }
         };
         // From here on, memo hits and fresh translations are
         // indistinguishable: the simulated machine pays the stored breakdown
         // either way, so memoized sweeps stay bit-identical.
+        self.stats.hint_validations += outcome.verdict.checks();
+        if outcome.verdict.is_degraded() {
+            self.stats.degraded_translations += 1;
+            for reason in outcome.verdict.degradations() {
+                match reason {
+                    DegradeReason::PriorityHint(_) => self.stats.priority_degradations += 1,
+                    DegradeReason::CcaHint(_) => self.stats.cca_degradations += 1,
+                }
+            }
+            let failures = self.hint_failures.entry(key).or_insert(0);
+            *failures += 1;
+            if *failures >= QUARANTINE_THRESHOLD && self.quarantined.insert(key) {
+                self.stats.quarantined_loops += 1;
+            }
+        } else if outcome.verdict.checks() > 0 {
+            // A clean validation resets the failure streak.
+            self.hint_failures.remove(&key);
+        }
+        // Watchdog: a translation that blows the budget is abandoned — the
+        // machine stops at the cap, charges only the work done so far, and
+        // the loop is pinned to the CPU like any other rejection.
+        if let Some(cap) = self.budget {
+            if outcome.breakdown.total() > cap {
+                let paid = truncate_breakdown(&outcome.breakdown, cap);
+                self.stats.translations += 1;
+                self.stats.failures += 1;
+                self.stats.watchdog_aborts += 1;
+                self.stats.translation_units += paid.total();
+                self.stats.breakdown.merge(&paid);
+                self.rejected.insert(key);
+                return Invocation {
+                    translated: None,
+                    translation_cycles: paid.total(),
+                };
+            }
+        }
         self.stats.translations += 1;
         self.stats.translation_units += outcome.breakdown.total();
         self.stats.breakdown.merge(&outcome.breakdown);
@@ -179,6 +267,12 @@ impl VmSession {
         }
     }
 
+    /// Whether `key`'s hints are quarantined (no longer consulted).
+    #[must_use]
+    pub fn is_quarantined(&self, key: u64) -> bool {
+        self.quarantined.contains(&key)
+    }
+
     /// Session statistics.
     #[must_use]
     pub fn stats(&self) -> &VmStats {
@@ -190,6 +284,24 @@ impl VmSession {
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
     }
+}
+
+/// The prefix of `full` the watchdog lets the machine pay for: phases in
+/// pipeline order, accumulated until `cap` units, the interrupting phase
+/// charged partially. Keeps `translation_units == breakdown.total()`
+/// coherent for aborted translations.
+fn truncate_breakdown(full: &PhaseBreakdown, cap: u64) -> PhaseBreakdown {
+    let mut meter = CostMeter::new();
+    let mut remaining = cap;
+    for &p in ALL_PHASES {
+        let c = full.get(p).min(remaining);
+        meter.charge(p, c);
+        remaining -= c;
+        if remaining == 0 {
+            break;
+        }
+    }
+    *meter.breakdown()
 }
 
 #[cfg(test)]
@@ -337,5 +449,141 @@ mod tests {
         assert_eq!(s.stats().translations, 2);
         assert!(s.stats().avg_cost() > 0.0);
         assert_eq!(s.stats().breakdown.total(), s.stats().translation_units);
+    }
+
+    /// A hint that can never validate: wrong length for any non-trivial
+    /// loop.
+    fn bad_hints() -> StaticHints {
+        StaticHints {
+            priority: Some(vec![veal_ir::OpId::new(0)]),
+            cca_groups: None,
+        }
+    }
+
+    fn static_session_with_cache(capacity: usize) -> VmSession {
+        VmSession::with_cache(
+            Translator::new(
+                AcceleratorConfig::paper_design(),
+                None,
+                TranslationPolicy::static_hints(),
+            ),
+            CodeCache::new(capacity),
+        )
+    }
+
+    #[test]
+    fn degradations_are_counted_per_reason() {
+        let mut s = static_session_with_cache(16);
+        let inv = s.invoke(1, &simple_loop("l"), &bad_hints());
+        assert!(inv.translated.is_some(), "degraded, not failed");
+        let st = s.stats();
+        assert_eq!(st.hint_validations, 1);
+        assert_eq!(st.degraded_translations, 1);
+        assert_eq!(st.priority_degradations, 1);
+        assert_eq!(st.cca_degradations, 0);
+        assert_eq!(st.quarantined_loops, 0);
+    }
+
+    #[test]
+    fn repeated_hint_failures_quarantine_the_loop() {
+        // Capacity-1 cache with two alternating loops: every invocation is
+        // a cache miss, so the bad hints are re-validated each time until
+        // the quarantine trips.
+        let mut s = static_session_with_cache(1);
+        let a = simple_loop("a");
+        let b = simple_loop("b");
+        for _ in 0..QUARANTINE_THRESHOLD {
+            s.invoke(1, &a, &bad_hints());
+            s.invoke(2, &b, &bad_hints());
+        }
+        assert!(s.is_quarantined(1));
+        assert!(s.is_quarantined(2));
+        let st = s.stats().clone();
+        assert_eq!(st.quarantined_loops, 2);
+        assert_eq!(
+            st.degraded_translations,
+            2 * u64::from(QUARANTINE_THRESHOLD)
+        );
+        // Post-quarantine invocations skip validation entirely.
+        s.invoke(1, &a, &bad_hints());
+        assert_eq!(s.stats().hint_validations, st.hint_validations);
+        assert!(
+            s.invoke(1, &a, &bad_hints()).translated.is_some()
+                || s.invoke(1, &a, &bad_hints()).translation_cycles > 0,
+            "quarantined loop still translates hint-less"
+        );
+    }
+
+    #[test]
+    fn clean_validation_resets_the_failure_streak() {
+        let la = AcceleratorConfig::paper_design();
+        let t = Translator::new(la.clone(), None, TranslationPolicy::static_hints());
+        let body = simple_loop("l");
+        let good = crate::hints::compute_hints(&body, &la, None);
+        let mut s = VmSession::with_cache(t, CodeCache::new(1));
+        let other = simple_loop("other");
+        for _ in 0..QUARANTINE_THRESHOLD {
+            // One failure, then a clean validation: the streak never
+            // reaches the threshold.
+            s.invoke(1, &body, &bad_hints());
+            s.invoke(2, &other, &StaticHints::none()); // evict key 1
+            s.invoke(1, &body, &good);
+            s.invoke(2, &other, &StaticHints::none());
+        }
+        assert!(!s.is_quarantined(1));
+        assert_eq!(s.stats().quarantined_loops, 0);
+    }
+
+    #[test]
+    fn watchdog_aborts_past_the_budget_and_charges_the_prefix() {
+        let mut s = session().with_translation_budget(5);
+        let inv = s.invoke(1, &simple_loop("l"), &StaticHints::none());
+        assert!(inv.translated.is_none(), "aborted to CPU");
+        assert_eq!(inv.translation_cycles, 5, "pays exactly the cap");
+        let st = s.stats();
+        assert_eq!(st.watchdog_aborts, 1);
+        assert_eq!(st.failures, 1);
+        assert_eq!(st.breakdown.total(), st.translation_units);
+        // The abort pins the loop to the CPU: no re-attempt, no new cost.
+        let again = s.invoke(1, &simple_loop("l"), &StaticHints::none());
+        assert!(again.translated.is_none());
+        assert_eq!(again.translation_cycles, 0);
+        assert_eq!(s.stats().watchdog_aborts, 1);
+    }
+
+    #[test]
+    fn generous_budget_changes_nothing() {
+        let body = simple_loop("l");
+        let mut plain = session();
+        let a = plain.invoke(1, &body, &StaticHints::none());
+        let mut capped = session().with_translation_budget(u64::MAX);
+        let b = capped.invoke(1, &body, &StaticHints::none());
+        assert_eq!(a.translation_cycles, b.translation_cycles);
+        assert_eq!(plain.stats().breakdown, capped.stats().breakdown);
+        assert_eq!(capped.stats().watchdog_aborts, 0);
+    }
+
+    #[test]
+    fn memo_replays_degradation_counters_identically() {
+        let memo = Arc::new(TranslationMemo::new());
+        let body = simple_loop("l");
+        let mk = || {
+            VmSession::new(Translator::new(
+                AcceleratorConfig::paper_design(),
+                Some(CcaSpec::paper()),
+                TranslationPolicy::static_hints(),
+            ))
+        };
+        let mut fresh = mk().with_memo(Arc::clone(&memo));
+        fresh.invoke(1, &body, &bad_hints());
+        let mut replay = mk().with_memo(Arc::clone(&memo));
+        replay.invoke(1, &body, &bad_hints());
+        assert_eq!(memo.stats().hits, 1);
+        let (a, b) = (fresh.stats(), replay.stats());
+        assert_eq!(a.hint_validations, b.hint_validations);
+        assert_eq!(a.degraded_translations, b.degraded_translations);
+        assert_eq!(a.priority_degradations, b.priority_degradations);
+        assert_eq!(a.cca_degradations, b.cca_degradations);
+        assert_eq!(a.breakdown, b.breakdown);
     }
 }

@@ -1,11 +1,13 @@
 //! The dynamic translation pipeline (paper §4.1 / §4.2).
 
 use crate::hints::StaticHints;
+use crate::verify::{verify_and_apply_cca, verify_priority, HintVerdict};
 use std::fmt;
 use veal_accel::AcceleratorConfig;
-use veal_cca::{is_legal_group, map_cca, CcaSpec};
+use veal_cca::{map_cca, CcaSpec};
+use veal_ir::dfg::Dfg;
 use veal_ir::streams::{separate, SeparationError, StreamSummary};
-use veal_ir::{CostMeter, LoopBody, OpId, Phase, PhaseBreakdown};
+use veal_ir::{CostMeter, LoopBody, Phase, PhaseBreakdown};
 use veal_sched::{modulo_schedule, PriorityKind, ScheduleError, ScheduleOptions, ScheduledLoop};
 
 /// Which translation steps use statically encoded results (paper §4.2).
@@ -63,6 +65,10 @@ impl Default for TranslationPolicy {
 /// A loop successfully mapped onto the accelerator.
 #[derive(Debug, Clone)]
 pub struct TranslatedLoop {
+    /// The separated (and possibly CCA-collapsed) graph the schedule was
+    /// built over — what an independent checker or differential oracle
+    /// needs to audit the mapping.
+    pub dfg: Dfg,
     /// The schedule and register assignment.
     pub scheduled: ScheduledLoop,
     /// Stream requirements.
@@ -111,6 +117,8 @@ pub struct TranslationOutcome {
     pub result: Result<TranslatedLoop, TranslationError>,
     /// Per-phase abstract instruction counts (Figure 8's measurement).
     pub breakdown: PhaseBreakdown,
+    /// What hint validation concluded (see [`crate::verify`]).
+    pub verdict: HintVerdict,
 }
 
 impl TranslationOutcome {
@@ -145,6 +153,12 @@ impl Translator {
     #[must_use]
     pub fn config(&self) -> &AcceleratorConfig {
         &self.config
+    }
+
+    /// The accelerator's CCA spec, if it has one.
+    #[must_use]
+    pub fn cca(&self) -> Option<&CcaSpec> {
+        self.cca.as_ref()
     }
 
     /// The policy in force.
@@ -197,33 +211,34 @@ impl Translator {
                 return TranslationOutcome {
                     result: Err(TranslationError::Unsupported(e)),
                     breakdown: *meter.breakdown(),
+                    verdict: HintVerdict::default(),
                 }
             }
         };
         let summary = sep.summary();
         let mut dfg = sep.dfg;
+        let mut verdict = HintVerdict::default();
 
         // --- CCA mapping -------------------------------------------------
         let mut cca_groups = 0usize;
         if let Some(spec) = &self.cca {
             if self.policy.static_cca {
                 if let Some(groups) = &hints.cca_groups {
-                    // Decoding the procedural abstraction is a linear pass.
-                    meter.charge(Phase::HintDecode, dfg.len() as u64 + 4);
-                    for g in groups {
-                        meter.charge(Phase::HintDecode, g.len() as u64);
-                        let alive = g
-                            .iter()
-                            .all(|&m| m.index() < dfg.len() && dfg.node(m).is_schedulable());
-                        // A statically identified subgraph that this CCA
-                        // cannot execute as a unit simply runs as individual
-                        // ops (paper §4.2) — no compatibility impact. The
-                        // legality check runs against the evolving graph so
-                        // mutually dependent groups cannot both collapse.
-                        let cond = dfg.condensation();
-                        if alive && is_legal_group(&dfg, spec, g, &cond) {
-                            dfg.collapse(g);
-                            cca_groups += 1;
+                    // Untrusted procedural abstraction: validate every group
+                    // on the current spec before any of them collapses
+                    // (vm::verify). A hint that fails — stale, corrupted,
+                    // hostile — degrades this step to the dynamic
+                    // identifier, exactly the fully-dynamic path (paper
+                    // §4.2's compatibility story), and is recorded in the
+                    // verdict.
+                    match verify_and_apply_cca(&mut dfg, spec, groups, &mut meter) {
+                        Ok(n) => {
+                            cca_groups = n;
+                            verdict.cca = Some(Ok(()));
+                        }
+                        Err(e) => {
+                            verdict.cca = Some(Err(e));
+                            cca_groups = map_cca(&mut dfg, spec, &mut meter).len();
                         }
                     }
                 }
@@ -237,15 +252,22 @@ impl Translator {
 
         // --- Priority / scheduling / registers ---------------------------
         let static_order = if self.policy.static_priority {
-            hints.priority.as_ref().and_then(|order| {
-                // Validate the decoded order against this graph; a mismatch
-                // (different CCA decisions, evolved hardware) falls back to
-                // dynamic priority.
-                meter.charge(Phase::HintDecode, order.len() as u64);
-                let expected: std::collections::HashSet<OpId> = dfg.schedulable_ops().collect();
-                let got: std::collections::HashSet<OpId> = order.iter().copied().collect();
-                (expected == got).then(|| order.clone())
-            })
+            match &hints.priority {
+                Some(order) => match verify_priority(&dfg, order, &mut meter) {
+                    Ok(()) => {
+                        verdict.priority = Some(Ok(()));
+                        Some(order.clone())
+                    }
+                    Err(e) => {
+                        // Not a permutation of this graph's ops (different
+                        // CCA decisions, evolved hardware, corruption):
+                        // degrade to dynamic priority.
+                        verdict.priority = Some(Err(e));
+                        None
+                    }
+                },
+                None => None,
+            }
         } else {
             None
         };
@@ -264,6 +286,7 @@ impl Translator {
                     streams: summary,
                     control_words,
                     cca_groups,
+                    dfg,
                 })
             }
             Err(e) => Err(TranslationError::Schedule(e)),
@@ -271,6 +294,7 @@ impl Translator {
         TranslationOutcome {
             result,
             breakdown: *meter.breakdown(),
+            verdict,
         }
     }
 }
@@ -363,12 +387,76 @@ mod tests {
         let body = media_loop();
         let hints = compute_hints(&body, &la, Some(&CcaSpec::paper()));
         let t = Translator::new(
-            la,
+            la.clone(),
             Some(CcaSpec::narrow()),
             TranslationPolicy::static_hints(),
         );
         let out = t.translate(&body, &hints);
         assert!(out.result.is_ok(), "must still run: {:?}", out.result);
+        // The cross-spec CCA hint is rejected as a whole and the step
+        // degrades to dynamic identification; the schedule must equal what
+        // the dynamic identifier produces on this hardware.
+        assert!(matches!(out.verdict.cca, Some(Err(_))));
+        let dynamic = Translator::new(
+            la,
+            Some(CcaSpec::narrow()),
+            TranslationPolicy::fully_dynamic(),
+        )
+        .translate(&body, &StaticHints::none());
+        let a = out.result.unwrap();
+        let b = dynamic.result.unwrap();
+        assert_eq!(a.cca_groups, b.cca_groups);
+        assert_eq!(a.scheduled.schedule.ii, b.scheduled.schedule.ii);
+    }
+
+    #[test]
+    fn bad_priority_hint_degrades_and_matches_dynamic_schedule() {
+        let la = AcceleratorConfig::paper_design();
+        let body = media_loop();
+        let t = Translator::new(la, None, TranslationPolicy::static_hints());
+        // Duplicate entry: covers every op id yet is not a permutation —
+        // the scheduler would visit one op twice.
+        let mut order: Vec<veal_ir::OpId> = {
+            let mut meter = CostMeter::new();
+            separate(&body.dfg, &mut meter)
+                .expect("separable")
+                .dfg
+                .schedulable_ops()
+                .collect()
+        };
+        let n = order.len();
+        order[n - 1] = order[0];
+        let bad = StaticHints {
+            priority: Some(order),
+            cca_groups: None,
+        };
+        let degraded = t.translate(&body, &bad);
+        assert!(matches!(degraded.verdict.priority, Some(Err(_))));
+        let dynamic = t.translate(&body, &StaticHints::none());
+        assert!(!dynamic.verdict.is_degraded());
+        let a = degraded.result.expect("degraded path translates");
+        let b = dynamic.result.expect("dynamic path translates");
+        assert_eq!(
+            a.scheduled.schedule.entries(),
+            b.scheduled.schedule.entries(),
+            "degraded schedule must equal the fully dynamic one"
+        );
+        // Degradation costs: the failed validation is on the meter, plus
+        // the dynamic priority it fell back to.
+        assert!(degraded.breakdown.get(Phase::HintDecode) > 0);
+        assert!(degraded.breakdown.get(Phase::Priority) > 0);
+    }
+
+    #[test]
+    fn valid_hint_verdict_records_two_clean_checks() {
+        let la = AcceleratorConfig::paper_design();
+        let spec = CcaSpec::paper();
+        let body = media_loop();
+        let hints = compute_hints(&body, &la, Some(&spec));
+        let t = Translator::new(la, Some(spec), TranslationPolicy::static_hints());
+        let out = t.translate(&body, &hints);
+        assert_eq!(out.verdict.checks(), 2);
+        assert!(!out.verdict.is_degraded());
     }
 
     #[test]

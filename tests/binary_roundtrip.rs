@@ -130,6 +130,34 @@ fn byte_corruption_never_panics() {
 }
 
 #[test]
+fn every_prefix_of_every_module_yields_a_clean_decode_error() {
+    // The exhaustive truncation sweep: for EVERY cut point k, decoding
+    // bytes[..k] must return a typed DecodeError — never panic, never
+    // succeed on a strict prefix (a well-formed module consumes all its
+    // bytes, so any prefix is missing at least the final section
+    // terminator).
+    for_each_spec(|case, _rng, spec| {
+        let body = synth_loop(&spec);
+        let la = AcceleratorConfig::paper_design();
+        let hints = compute_hints(&body, &la, Some(&CcaSpec::paper()));
+        let module = BinaryModule {
+            loops: vec![EncodedLoop {
+                body,
+                priority_hint: hints.priority,
+                cca_hint: hints.cca_groups,
+            }],
+        };
+        let bytes = encode_module(&module);
+        for k in 0..bytes.len() {
+            let err = decode_module(&bytes[..k])
+                .expect_err("case {case}: prefix of length {k} must not decode");
+            // Exercise Display on the typed error as well.
+            assert!(!err.to_string().is_empty(), "case {case} cut {k}");
+        }
+    });
+}
+
+#[test]
 fn multi_loop_modules_preserve_order() {
     for case in 0u64..16 {
         let mut rng = Rng64::new(case.wrapping_mul(0xC0FF_EE11) ^ 0x51DE);

@@ -1,0 +1,201 @@
+//! The fault-injection property harness for the hint trust boundary
+//! (DESIGN.md §9, EXPERIMENTS.md "Fault injection").
+//!
+//! Three corruption prongs, each seeded and reproducible:
+//!
+//! 1. **byte** — arbitrary transport faults on encoded modules; every
+//!    case must end in a typed `DecodeError` or a translation that the
+//!    differential oracle accepts;
+//! 2. **forge** — hint payloads corrupted *and resealed* (checksum forged)
+//!    so they pass transport integrity; the semantic validator must catch
+//!    or cleanly absorb every one, and survivors must execute bit-identical
+//!    to the original golden checksum;
+//! 3. **mutate** — structural mutations of decoded hints (permute,
+//!    truncate, duplicate, cross-loop splice, out-of-range), checked by the
+//!    oracle and driven through a budget-capped `VmSession`.
+//!
+//! `VEAL_FUZZ_CASES` scales each prong's corpus (default 600; CI smoke
+//! runs 200; the acceptance sweep runs 3500+ for a ≥ 10k total).
+
+use veal::{
+    check_degradation, compute_hints, decode_module, encode_module, exposed_translator,
+    BinaryModule, EncodedLoop, FaultVerdict, HintFuzzer, VmSession,
+};
+use veal_ir::rng::Rng64;
+use veal_workloads::{semantic_checksum, synth_loop, SynthSpec};
+
+fn fuzz_cases() -> u64 {
+    std::env::var("VEAL_FUZZ_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(600)
+}
+
+fn arb_spec(rng: &mut Rng64) -> SynthSpec {
+    SynthSpec {
+        seed: rng.next_u64(),
+        compute_ops: rng.gen_range(4, 40),
+        fp_frac: [0.0, 0.4, 0.8][rng.gen_range(0, 3)],
+        loads: rng.gen_range(1, 6),
+        stores: rng.gen_range(1, 3),
+        recurrences: rng.gen_range(0, 3),
+        rec_distance: rng.gen_range(1, 5) as u32,
+    }
+}
+
+/// One synth loop with its statically computed (valid) hints, encoded.
+fn hinted_case(case: u64, salt: u64) -> (veal_ir::LoopBody, veal_vm::StaticHints, Vec<u8>) {
+    let mut rng = Rng64::new(case.wrapping_mul(0x9E37_79B9) ^ salt);
+    let body = synth_loop(&arb_spec(&mut rng));
+    let t = exposed_translator();
+    let hints = compute_hints(&body, t.config(), t.cca());
+    let bytes = encode_module(&BinaryModule {
+        loops: vec![EncodedLoop {
+            priority_hint: hints.priority.clone(),
+            cca_hint: hints.cca_groups.clone(),
+            body: body.clone(),
+        }],
+    });
+    (body, hints, bytes)
+}
+
+#[test]
+fn byte_corruption_ends_in_typed_error_or_clean_degradation() {
+    let cases = fuzz_cases();
+    let t = exposed_translator();
+    let mut fuzzer = HintFuzzer::new(0xBAD_B17E5);
+    let (mut rejected, mut survived) = (0u64, 0u64);
+    for case in 0..cases {
+        let (_, _, bytes) = hinted_case(case, 0xB17E);
+        let corrupted = fuzzer.corrupt_bytes(&bytes);
+        match decode_module(&corrupted) {
+            Err(e) => {
+                // Typed error with a working Display — the decoder's whole
+                // contract for garbage input.
+                assert!(!e.to_string().is_empty(), "case {case}");
+                rejected += 1;
+            }
+            Ok(m) => {
+                // The corruption was harmless (padding, a hint the decoder
+                // skips) or produced a *different but well-formed* module.
+                // Either way: translation must satisfy the differential
+                // oracle, and the decoded program must be interpretable
+                // without panicking.
+                for l in &m.loops {
+                    check_degradation(&t, &l.body, &l.hints())
+                        .unwrap_or_else(|e| panic!("case {case}: {e}"));
+                    let _ = semantic_checksum(&l.body);
+                    survived += 1;
+                }
+            }
+        }
+    }
+    assert!(rejected > 0, "corpus never tripped the decoder");
+    assert!(survived > 0, "corpus never produced a decodable module");
+}
+
+#[test]
+fn forged_hint_sections_degrade_cleanly_and_preserve_semantics() {
+    let cases = fuzz_cases();
+    let t = exposed_translator();
+    let mut fuzzer = HintFuzzer::new(0x5EA1);
+    let (mut forged_total, mut reached_validator, mut degraded) = (0u64, 0u64, 0u64);
+    for case in 0..cases {
+        let (body, _, bytes) = hinted_case(case, 0xF0F0);
+        let Some(forged) = fuzzer.corrupt_hint_payload(&bytes) else {
+            continue; // loop produced no hint sections
+        };
+        forged_total += 1;
+        let golden = semantic_checksum(&body);
+        match decode_module(&forged) {
+            // The forged checksum is valid by construction, but the
+            // mutation can still break section framing (counts, ranges) —
+            // a typed error is a clean ending.
+            Err(e) => assert!(!e.to_string().is_empty(), "case {case}"),
+            Ok(m) => {
+                let l = &m.loops[0];
+                // Only hint payloads were touched: the decoded *body* is
+                // bit-identical, so any surviving translation runs the
+                // same program — the golden checksum must match.
+                assert_eq!(
+                    l.body.content_hash(),
+                    body.content_hash(),
+                    "case {case}: forge leaked outside the hint section"
+                );
+                assert_eq!(semantic_checksum(&l.body), golden, "case {case}");
+                reached_validator += 1;
+                let v = check_degradation(&t, &l.body, &l.hints())
+                    .unwrap_or_else(|e| panic!("case {case}: {e}"));
+                if matches!(v, FaultVerdict::Accelerated { degradations } if degradations > 0) {
+                    degraded += 1;
+                }
+            }
+        }
+    }
+    assert!(forged_total > 0, "corpus never forged a hint section");
+    assert!(
+        reached_validator > 0,
+        "no forged module passed transport integrity"
+    );
+    assert!(
+        degraded > 0,
+        "validator never had to reject a forged hint ({reached_validator} reached it)"
+    );
+}
+
+#[test]
+fn structural_hint_mutations_match_the_dynamic_fallback() {
+    let cases = fuzz_cases();
+    let t = exposed_translator();
+    let mut fuzzer = HintFuzzer::new(0x0DDC0DE);
+    let mut degraded = 0u64;
+    for case in 0..cases {
+        let (body, hints, _) = hinted_case(case, 0x517E);
+        let (donor_body, ..) = hinted_case(case.wrapping_add(1), 0x517E);
+        let donor = compute_hints(&donor_body, t.config(), t.cca());
+        let mutated = fuzzer.mutate_hints(&hints, Some(&donor));
+        let v =
+            check_degradation(&t, &body, &mutated).unwrap_or_else(|e| panic!("case {case}: {e}"));
+        if matches!(v, FaultVerdict::Accelerated { degradations } if degradations > 0) {
+            degraded += 1;
+        }
+    }
+    assert!(degraded > 0, "mutation corpus never degraded a hint");
+}
+
+#[test]
+fn budgeted_session_absorbs_mutations_with_coherent_stats() {
+    let cases = fuzz_cases();
+    let mut fuzzer = HintFuzzer::new(0xCAB);
+    // A budget low enough that some translations trip the watchdog but
+    // most complete (synth loops cost roughly hundreds to tens of
+    // thousands of units).
+    let mut session = VmSession::new(exposed_translator()).with_translation_budget(6_000);
+    let (mut accelerated, mut cpu) = (0u64, 0u64);
+    for case in 0..cases {
+        let (body, hints, _) = hinted_case(case, 0xCAB5);
+        let mutated = fuzzer.mutate_hints(&hints, None);
+        let inv = session.invoke(case, &body, &mutated);
+        if inv.translated.is_some() {
+            accelerated += 1;
+        } else {
+            cpu += 1;
+        }
+    }
+    let st = session.stats();
+    assert_eq!(accelerated + cpu, cases);
+    assert_eq!(
+        st.breakdown.total(),
+        st.translation_units,
+        "watchdog-truncated charges must stay coherent"
+    );
+    assert!(
+        st.watchdog_aborts > 0,
+        "budget never tripped — corpus too cheap for the cap"
+    );
+    assert!(st.hint_validations > 0);
+    assert!(
+        st.watchdog_aborts <= st.failures,
+        "aborts are a subset of failures"
+    );
+}
