@@ -15,9 +15,15 @@
 //! Knobs for the CI smoke job: `VEAL_BENCH_APPS` truncates the suite and
 //! `VEAL_BENCH_POINTS` truncates the unit-count sweep (both default to the
 //! full set; the committed `BENCH_dse.json` must come from a full run).
+//!
+//! `--trace-out <path>` attaches a [`veal::JsonlSink`] to the sweep-engine
+//! arms and writes the structured event stream (validated by `vealc
+//! stats`). Tracing never changes the reported numbers; the bit-identity
+//! asserts below run either way.
 
+use std::sync::Arc;
 use std::time::Instant;
-use veal::{AcceleratorConfig, CcaSpec, CpuModel, SweepContext};
+use veal::{AcceleratorConfig, CcaSpec, CpuModel, JsonlSink, SweepContext, Trace};
 
 /// The Figure 3(a) x-axis: integer-unit budgets swept over the suite.
 const UNIT_COUNTS: [usize; 10] = [1, 2, 3, 4, 6, 8, 12, 16, 24, 32];
@@ -44,7 +50,37 @@ fn env_usize(key: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
+/// Parses `--trace-out <path>` from argv; `None` when absent.
+fn trace_out_arg() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--trace-out" {
+            match args.next() {
+                Some(p) => return Some(p.into()),
+                None => {
+                    eprintln!("bench_dse: --trace-out requires a path");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    None
+}
+
 fn main() {
+    let trace = match trace_out_arg() {
+        Some(path) => match JsonlSink::create(&path) {
+            Ok(sink) => {
+                println!("tracing to {}", path.display());
+                Trace::new(Arc::new(sink))
+            }
+            Err(e) => {
+                eprintln!("bench_dse: cannot create {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        },
+        None => Trace::null(),
+    };
     let mut apps = veal::workloads::media_fp_suite();
     apps.truncate(env_usize("VEAL_BENCH_APPS", usize::MAX).max(1));
     let mut unit_counts = UNIT_COUNTS.to_vec();
@@ -76,7 +112,7 @@ fn main() {
 
     // Arm 2: the sweep engine — points fan out across the thread budget,
     // translations land in the shared memo, the baseline is computed once.
-    let ctx = SweepContext::new(apps.clone(), cpu.clone());
+    let ctx = SweepContext::new(apps.clone(), cpu.clone()).with_trace(trace.clone());
     let t0 = Instant::now();
     let _ = ctx.infinite_mean();
     let swept = ctx.eval_points(&unit_counts, |c, &n| {
@@ -144,6 +180,13 @@ fn main() {
         warm.entries,
         abstract_per_eval,
     );
-    std::fs::write("BENCH_dse.json", json).expect("write BENCH_dse.json");
+    if let Err(e) = std::fs::write("BENCH_dse.json", json) {
+        eprintln!("bench_dse: failed to write BENCH_dse.json: {e}");
+        std::process::exit(1);
+    }
     println!("wrote BENCH_dse.json");
+    if let Err(e) = trace.flush() {
+        eprintln!("bench_dse: failed to flush trace: {e}");
+        std::process::exit(1);
+    }
 }

@@ -30,16 +30,24 @@
 //! Results are printed and written to `BENCH_translate.json`. Environment
 //! knobs for the CI smoke job: `VEAL_BENCH_APPS` truncates the suite,
 //! `VEAL_BENCH_REPS` sets the timed repetitions per loop (default 5).
+//!
+//! `--trace-out <path>` records one `translate_start`/`translate_end`
+//! event pair per suite loop from the end-to-end validation pass (this
+//! bin drives the `Translator` directly, so the events are constructed
+//! here rather than by a `VmSession`). Tracing never changes the timed
+//! numbers or the bit-identity asserts.
 
+use std::sync::Arc;
 use std::time::Instant;
 use veal::ir::streams::{separate, StreamSummary};
 use veal::ir::{CostMeter, Dfg, OpId, PhaseBreakdown};
+use veal::obs::TranslateStatus;
 use veal::sched::{
     list_schedule, rec_mii, res_mii, set_parametric_enabled, swing_order, ModuloSchedule,
     ScheduleError,
 };
 use veal::vm::{StaticHints, TranslationPolicy, Translator};
-use veal::{AcceleratorConfig, CcaSpec};
+use veal::{AcceleratorConfig, CcaSpec, Event, JsonlSink, Trace};
 
 /// The pre-optimization translation kernels, retained verbatim so the
 /// benchmark compares real old code against real new code on the same
@@ -397,6 +405,23 @@ fn env_usize(key: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
+/// Parses `--trace-out <path>` from argv; `None` when absent.
+fn trace_out_arg() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--trace-out" {
+            match args.next() {
+                Some(p) => return Some(p.into()),
+                None => {
+                    eprintln!("bench_translate: --trace-out requires a path");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    None
+}
+
 fn prep_suite(apps: &[veal::workloads::Application], config: &AcceleratorConfig) -> Vec<Prepped> {
     let spec = CcaSpec::paper();
     let mut out = Vec::new();
@@ -490,6 +515,19 @@ fn assert_same_schedule(
 }
 
 fn main() {
+    let trace = match trace_out_arg() {
+        Some(path) => match JsonlSink::create(&path) {
+            Ok(sink) => {
+                println!("tracing to {}", path.display());
+                Trace::new(Arc::new(sink))
+            }
+            Err(e) => {
+                eprintln!("bench_translate: cannot create {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        },
+        None => Trace::null(),
+    };
     let mut apps = veal::workloads::full_suite();
     let max_apps = env_usize("VEAL_BENCH_APPS", usize::MAX);
     apps.truncate(max_apps);
@@ -575,11 +613,28 @@ fn main() {
         .collect();
     let mut naive_e2e_ns = 0u128;
     let mut param_e2e_ns = 0u128;
-    for body in &bodies {
+    for (key, body) in bodies.iter().enumerate() {
+        let key = key as u64;
         set_parametric_enabled(false);
         let out_n = translator.translate(body, &hints);
         set_parametric_enabled(true);
+        trace.emit(|| Event::TranslateStart {
+            key,
+            loop_hash: body.content_hash(),
+        });
         let out_p = translator.translate(body, &hints);
+        trace.emit(|| Event::TranslateEnd {
+            key,
+            status: if out_p.result.is_ok() {
+                TranslateStatus::Mapped
+            } else {
+                TranslateStatus::Failed
+            },
+            units: out_p.breakdown.total(),
+            checks: 0,
+            degraded: false,
+            breakdown: out_p.breakdown,
+        });
         assert_eq!(
             out_n.breakdown, out_p.breakdown,
             "{}: translate breakdown diverged",
@@ -658,6 +713,13 @@ fn main() {
         ms(param_e2e_ns),
         e2e_speedup,
     );
-    std::fs::write("BENCH_translate.json", json).expect("write BENCH_translate.json");
+    if let Err(e) = std::fs::write("BENCH_translate.json", json) {
+        eprintln!("bench_translate: failed to write BENCH_translate.json: {e}");
+        std::process::exit(1);
+    }
     println!("wrote BENCH_translate.json");
+    if let Err(e) = trace.flush() {
+        eprintln!("bench_translate: failed to flush trace: {e}");
+        std::process::exit(1);
+    }
 }

@@ -5,6 +5,7 @@
 //! vealc pack <loop.vasm>... -o <module.veal>     # encode, with hints
 //! vealc dump <module.veal>                       # disassemble a module
 //! vealc suite [--policy ...]                     # run the benchmark suite
+//! vealc stats <trace.jsonl>                      # summarize a --trace-out file
 //! ```
 //!
 //! Loop files use the textual assembly format of `veal::ir::asm` (see the
@@ -19,7 +20,7 @@ use veal::{compute_hints, AcceleratorConfig, CcaSpec, StaticHints, System, Trans
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
-        eprintln!("usage: vealc <translate|pack|dump|suite> ...");
+        eprintln!("usage: vealc <translate|pack|dump|suite|stats> ...");
         return ExitCode::FAILURE;
     };
     let rest = &args[1..];
@@ -28,6 +29,7 @@ fn main() -> ExitCode {
         "pack" => pack(rest),
         "dump" => dump(rest),
         "suite" => suite(rest),
+        "stats" => stats(rest),
         other => Err(format!("unknown command `{other}`")),
     };
     match result {
@@ -203,5 +205,60 @@ fn suite(rest: &[String]) -> Result<(), String> {
     let system = System::paper(policy);
     let runs = system.run_suite(&veal::workloads::media_fp_suite());
     print!("{}", veal::sim::report::speedup_table(&runs));
+    Ok(())
+}
+
+/// Summarizes a `--trace-out` JSONL file: strict validation of every line,
+/// event counts by type, and the folded [`veal::VmStats`] view of the
+/// translation events. A malformed or truncated trace is an error — this
+/// doubles as the CI trace validator.
+fn stats(rest: &[String]) -> Result<(), String> {
+    let path = rest.first().ok_or("stats needs a .jsonl trace file")?;
+    let text = read_input(path)?;
+    let events = veal::parse_jsonl(&text).map_err(|e| format!("{path}: {e}"))?;
+    println!("{path}: {} events, all lines valid", events.len());
+
+    let mut counts: std::collections::BTreeMap<&'static str, u64> =
+        std::collections::BTreeMap::new();
+    for e in &events {
+        *counts.entry(e.name()).or_insert(0) += 1;
+    }
+    for (name, n) in &counts {
+        println!("  {name:<16} {n:>8}");
+    }
+
+    let folded = veal::fold_vm_stats(&events);
+    if folded.translations == 0 {
+        println!("no translation events in this trace");
+        return Ok(());
+    }
+    println!(
+        "translations: {} ({} failed, {} watchdog-aborted, {} degraded)",
+        folded.translations, folded.failures, folded.watchdog_aborts, folded.degraded_translations
+    );
+    println!(
+        "hints: {} validated, {} priority / {} cca rejected, {} loops quarantined",
+        folded.hint_validations,
+        folded.priority_degradations,
+        folded.cca_degradations,
+        folded.quarantined_loops
+    );
+    println!(
+        "abstract instructions: {} total, {:.1} avg/translation",
+        folded.translation_units,
+        folded.avg_cost()
+    );
+    for &p in veal::ir::meter::ALL_PHASES {
+        let c = folded.breakdown.get(p);
+        if c == 0 {
+            continue;
+        }
+        println!(
+            "  {:<12} {:>12}  ({:>5.1}%)",
+            p.name(),
+            c,
+            100.0 * folded.breakdown.fraction(p)
+        );
+    }
     Ok(())
 }

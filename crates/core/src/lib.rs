@@ -22,6 +22,7 @@
 //! | [`vm`] | binary format, hints, code cache, dynamic translator |
 //! | [`sim`] | CPU/LA timing models and the speedup engine |
 //! | [`workloads`] | the 27-application benchmark suite |
+//! | [`obs`] | structured tracing, metrics registry, phase profiling |
 //!
 //! # Quickstart
 //!
@@ -39,6 +40,7 @@
 pub use veal_accel as accel;
 pub use veal_cca as cca;
 pub use veal_ir as ir;
+pub use veal_obs as obs;
 pub use veal_opt as opt;
 pub use veal_sched as sched;
 pub use veal_sim as sim;
@@ -58,11 +60,13 @@ pub use veal_ir::{
     classify_loop, CostMeter, Dfg, DfgBuilder, LoopBody, LoopClass, LoopProfile, OpId, Opcode,
     Phase,
 };
+pub use veal_obs::{parse_jsonl, Event, JsonlSink, NullSink, RingSink, Trace, TraceSink};
 pub use veal_opt::{legalize, RawLoop, TransformLimits};
 pub use veal_sched::{modulo_schedule, ScheduleOptions, ScheduledLoop};
 pub use veal_sim::{run_application, AccelSetup, AppRun, CpuModel, SweepContext};
 pub use veal_vm::{
     check_degradation, compute_hints, decode_module, encode_module, exposed_translator,
-    section_ranges, BinaryModule, DecodeError, DegradeReason, EncodedLoop, FaultVerdict, HintError,
-    HintFuzzer, HintVerdict, StaticHints, TranslationPolicy, Translator, VmSession, VmStats,
+    fold_vm_stats, section_ranges, BinaryModule, DecodeError, DegradeReason, EncodedLoop,
+    FaultVerdict, HintError, HintFuzzer, HintVerdict, StaticHints, TranslationPolicy, Translator,
+    VmSession, VmStats,
 };

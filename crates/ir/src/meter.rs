@@ -64,6 +64,13 @@ impl Phase {
         }
     }
 
+    /// Inverse of [`Phase::name`]: resolves a wire/display name back to
+    /// the phase. Returns `None` for unknown names.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Phase> {
+        ALL_PHASES.iter().copied().find(|p| p.name() == name)
+    }
+
     /// Dense index of the phase. `ALL_PHASES` lists variants in
     /// declaration order, so the discriminant *is* the position (asserted
     /// by a unit test below) — the previous linear search sat on the
@@ -111,11 +118,32 @@ impl PhaseBreakdown {
         }
     }
 
-    /// Adds another breakdown into this one.
+    /// Sets the count of one phase outright (deserialization; tests).
+    pub fn set(&mut self, phase: Phase, units: u64) {
+        self.counts[phase.index()] = units;
+    }
+
+    /// Adds another breakdown into this one, saturating at `u64::MAX`.
+    ///
+    /// Aggregates merged across a long memoized sweep can exceed any
+    /// single translation's range; a wrap here would silently corrupt the
+    /// Figure 8 fractions (and panic in debug builds), so saturate.
     pub fn merge(&mut self, other: &PhaseBreakdown) {
         for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
-            *a += b;
+            *a = a.saturating_add(*b);
         }
+    }
+
+    /// The counts charged since `earlier` was captured, assuming this
+    /// breakdown only grew from it (counts are monotonic under
+    /// [`CostMeter::charge`]). Saturates at zero if `earlier` is ahead.
+    #[must_use]
+    pub fn delta_since(&self, earlier: &PhaseBreakdown) -> PhaseBreakdown {
+        let mut out = PhaseBreakdown::default();
+        for (i, (a, b)) in self.counts.iter().zip(earlier.counts.iter()).enumerate() {
+            out.counts[i] = a.saturating_sub(*b);
+        }
+        out
     }
 }
 
@@ -183,6 +211,14 @@ impl CostMeter {
         &self.breakdown
     }
 
+    /// A copy of the current breakdown, for later [`PhaseBreakdown::delta_since`]
+    /// comparison. Observability code uses this to attribute charges to a
+    /// region without ever writing to the meter.
+    #[must_use]
+    pub fn snapshot(&self) -> PhaseBreakdown {
+        self.breakdown
+    }
+
     /// Total abstract instructions charged so far.
     #[must_use]
     pub fn total(&self) -> u64 {
@@ -233,6 +269,43 @@ mod tests {
         assert_eq!(sum.get(Phase::ResMii), 15);
         assert_eq!(sum.get(Phase::RecMii), 3);
         assert_eq!(sum.total(), 18);
+    }
+
+    #[test]
+    fn merge_saturates_instead_of_overflowing() {
+        // Regression: merge used unchecked `+=`, so aggregating near-full
+        // counters panicked in debug builds and wrapped in release.
+        let mut a = PhaseBreakdown::default();
+        a.set(Phase::Priority, u64::MAX - 1);
+        let mut b = PhaseBreakdown::default();
+        b.set(Phase::Priority, 2);
+        b.set(Phase::Scheduling, 3);
+        a.merge(&b);
+        assert_eq!(a.get(Phase::Priority), u64::MAX);
+        assert_eq!(a.get(Phase::Scheduling), 3);
+    }
+
+    #[test]
+    fn snapshot_delta_attributes_a_region() {
+        let mut m = CostMeter::new();
+        m.charge(Phase::CcaMapping, 4);
+        let before = m.snapshot();
+        m.charge(Phase::CcaMapping, 6);
+        m.charge(Phase::Priority, 9);
+        let delta = m.breakdown().delta_since(&before);
+        assert_eq!(delta.get(Phase::CcaMapping), 6);
+        assert_eq!(delta.get(Phase::Priority), 9);
+        assert_eq!(delta.total(), 15);
+        // Backwards delta saturates at zero rather than wrapping.
+        assert_eq!(before.delta_since(m.breakdown()).total(), 0);
+    }
+
+    #[test]
+    fn phase_names_round_trip() {
+        for &p in ALL_PHASES {
+            assert_eq!(Phase::from_name(p.name()), Some(p));
+        }
+        assert_eq!(Phase::from_name("warp"), None);
     }
 
     #[test]

@@ -1,0 +1,528 @@
+//! The structured trace vocabulary.
+//!
+//! Every observable step of the VM and the sweep engine is one typed
+//! [`Event`]. Events are **deterministic**: they carry abstract costs,
+//! verdicts, and identities — never wall-clock time, thread ids, or
+//! addresses — so two runs over the same inputs (same seed, one worker
+//! thread) serialize to byte-identical JSONL. Wall-clock profiling lives in
+//! the [`crate::metrics`] registry instead.
+//!
+//! The JSONL encoding is hand-written with a fixed field order per
+//! variant, and [`Event::parse_line`] reads exactly that dialect back,
+//! strictly — unknown event names, missing fields, or mistyped fields are
+//! errors, which makes the parser double as the schema validator used by
+//! `vealc stats` and the CI obs-smoke job.
+
+use crate::json::{self, JsonValue};
+use std::fmt;
+use veal_ir::meter::ALL_PHASES;
+use veal_ir::{Phase, PhaseBreakdown};
+
+/// How a charged translation ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TranslateStatus {
+    /// The loop mapped onto the accelerator.
+    Mapped,
+    /// Translation aborted; the loop runs on the CPU.
+    Failed,
+    /// The budget watchdog abandoned the translation mid-flight.
+    WatchdogAbort,
+}
+
+impl TranslateStatus {
+    /// Wire name of the status.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            TranslateStatus::Mapped => "mapped",
+            TranslateStatus::Failed => "failed",
+            TranslateStatus::WatchdogAbort => "watchdog-abort",
+        }
+    }
+
+    fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "mapped" => Some(TranslateStatus::Mapped),
+            "failed" => Some(TranslateStatus::Failed),
+            "watchdog-abort" => Some(TranslateStatus::WatchdogAbort),
+            _ => None,
+        }
+    }
+}
+
+/// Which hint kind degraded to its dynamic path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HintKind {
+    /// The scheduling-priority hint.
+    Priority,
+    /// The CCA-subgraph hint.
+    Cca,
+}
+
+impl HintKind {
+    /// Wire name of the kind.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            HintKind::Priority => "priority",
+            HintKind::Cca => "cca",
+        }
+    }
+
+    fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "priority" => Some(HintKind::Priority),
+            "cca" => Some(HintKind::Cca),
+            _ => None,
+        }
+    }
+}
+
+/// One structured trace event.
+///
+/// `key` is the VM session's invocation key for the loop; `loop_hash` is
+/// the loop body's content hash (stable across sessions and processes).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A code-cache miss began a (possibly memoized) translation.
+    TranslateStart {
+        /// Invocation key.
+        key: u64,
+        /// [`veal_ir::LoopBody::content_hash`] of the body.
+        loop_hash: u64,
+    },
+    /// A translation was charged to the session (fresh or memo replay).
+    TranslateEnd {
+        /// Invocation key.
+        key: u64,
+        /// How it ended.
+        status: TranslateStatus,
+        /// Abstract units charged (equals `breakdown` total).
+        units: u64,
+        /// Hint validations performed.
+        checks: u64,
+        /// Whether at least one hint was rejected.
+        degraded: bool,
+        /// Per-phase abstract instruction counts charged.
+        breakdown: PhaseBreakdown,
+    },
+    /// A hint failed validation and the step degraded to its dynamic path.
+    HintDegrade {
+        /// Invocation key.
+        key: u64,
+        /// Which hint kind failed.
+        kind: HintKind,
+        /// Human-readable validator verdict.
+        reason: String,
+    },
+    /// Repeated hint failures quarantined the loop's hints.
+    Quarantine {
+        /// Invocation key.
+        key: u64,
+    },
+    /// The translation budget watchdog abandoned a translation.
+    WatchdogAbort {
+        /// Invocation key.
+        key: u64,
+        /// The budget, in abstract units.
+        cap: u64,
+        /// Units actually charged (the phase-ordered prefix).
+        paid: u64,
+    },
+    /// The code cache answered an invocation.
+    CacheHit {
+        /// Invocation key.
+        key: u64,
+    },
+    /// A permanently rejected loop was skipped at zero cost.
+    PinnedSkip {
+        /// Invocation key.
+        key: u64,
+    },
+    /// The shared translation memo answered a code-cache miss.
+    MemoHit {
+        /// Invocation key.
+        key: u64,
+    },
+    /// The memo missed; a fresh translation was performed and published.
+    MemoMiss {
+        /// Invocation key.
+        key: u64,
+    },
+    /// A sweep point began evaluating.
+    PointStart {
+        /// Index of the point in the sweep's input order.
+        index: u64,
+    },
+    /// A sweep point finished evaluating.
+    PointEnd {
+        /// Index of the point in the sweep's input order.
+        index: u64,
+    },
+}
+
+impl Event {
+    /// The event's wire name (the `"ev"` field).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Event::TranslateStart { .. } => "translate_start",
+            Event::TranslateEnd { .. } => "translate_end",
+            Event::HintDegrade { .. } => "hint_degrade",
+            Event::Quarantine { .. } => "quarantine",
+            Event::WatchdogAbort { .. } => "watchdog_abort",
+            Event::CacheHit { .. } => "cache_hit",
+            Event::PinnedSkip { .. } => "pinned_skip",
+            Event::MemoHit { .. } => "memo_hit",
+            Event::MemoMiss { .. } => "memo_miss",
+            Event::PointStart { .. } => "point_start",
+            Event::PointEnd { .. } => "point_end",
+        }
+    }
+
+    /// Serializes the event as one JSON line (no trailing newline).
+    ///
+    /// Field order is fixed per variant and breakdowns list non-zero
+    /// phases in [`ALL_PHASES`] order, so serialization is deterministic.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64);
+        out.push_str("{\"ev\":\"");
+        out.push_str(self.name());
+        out.push('"');
+        match self {
+            Event::TranslateStart { key, loop_hash } => {
+                push_num(&mut out, "key", *key);
+                push_hash(&mut out, "loop_hash", *loop_hash);
+            }
+            Event::TranslateEnd {
+                key,
+                status,
+                units,
+                checks,
+                degraded,
+                breakdown,
+            } => {
+                push_num(&mut out, "key", *key);
+                push_str(&mut out, "status", status.name());
+                push_num(&mut out, "units", *units);
+                push_num(&mut out, "checks", *checks);
+                push_bool(&mut out, "degraded", *degraded);
+                push_breakdown(&mut out, breakdown);
+            }
+            Event::HintDegrade { key, kind, reason } => {
+                push_num(&mut out, "key", *key);
+                push_str(&mut out, "kind", kind.name());
+                push_str(&mut out, "reason", reason);
+            }
+            Event::Quarantine { key }
+            | Event::CacheHit { key }
+            | Event::PinnedSkip { key }
+            | Event::MemoHit { key }
+            | Event::MemoMiss { key } => {
+                push_num(&mut out, "key", *key);
+            }
+            Event::WatchdogAbort { key, cap, paid } => {
+                push_num(&mut out, "key", *key);
+                push_num(&mut out, "cap", *cap);
+                push_num(&mut out, "paid", *paid);
+            }
+            Event::PointStart { index } | Event::PointEnd { index } => {
+                push_num(&mut out, "index", *index);
+            }
+        }
+        out.push('}');
+        out
+    }
+
+    /// Parses one JSONL line back into an event, strictly validating the
+    /// schema: the event name must be known and every required field must
+    /// be present with the right type.
+    pub fn parse_line(line: &str) -> Result<Event, String> {
+        let v = json::parse(line).map_err(|e| e.to_string())?;
+        let ev = v
+            .field("ev")
+            .and_then(JsonValue::as_str)
+            .ok_or("missing \"ev\" field")?;
+        let key = || -> Result<u64, String> { num_field(&v, "key") };
+        match ev {
+            "translate_start" => Ok(Event::TranslateStart {
+                key: key()?,
+                loop_hash: hash_field(&v, "loop_hash")?,
+            }),
+            "translate_end" => {
+                let status_name = str_field(&v, "status")?;
+                let status = TranslateStatus::from_name(status_name)
+                    .ok_or_else(|| format!("unknown status {status_name:?}"))?;
+                let breakdown = breakdown_field(&v)?;
+                let units = num_field(&v, "units")?;
+                if units != breakdown.total() {
+                    return Err(format!(
+                        "units {units} disagree with breakdown total {}",
+                        breakdown.total()
+                    ));
+                }
+                Ok(Event::TranslateEnd {
+                    key: key()?,
+                    status,
+                    units,
+                    checks: num_field(&v, "checks")?,
+                    degraded: bool_field(&v, "degraded")?,
+                    breakdown,
+                })
+            }
+            "hint_degrade" => {
+                let kind_name = str_field(&v, "kind")?;
+                Ok(Event::HintDegrade {
+                    key: key()?,
+                    kind: HintKind::from_name(kind_name)
+                        .ok_or_else(|| format!("unknown hint kind {kind_name:?}"))?,
+                    reason: str_field(&v, "reason")?.to_string(),
+                })
+            }
+            "quarantine" => Ok(Event::Quarantine { key: key()? }),
+            "watchdog_abort" => Ok(Event::WatchdogAbort {
+                key: key()?,
+                cap: num_field(&v, "cap")?,
+                paid: num_field(&v, "paid")?,
+            }),
+            "cache_hit" => Ok(Event::CacheHit { key: key()? }),
+            "pinned_skip" => Ok(Event::PinnedSkip { key: key()? }),
+            "memo_hit" => Ok(Event::MemoHit { key: key()? }),
+            "memo_miss" => Ok(Event::MemoMiss { key: key()? }),
+            "point_start" => Ok(Event::PointStart {
+                index: num_field(&v, "index")?,
+            }),
+            "point_end" => Ok(Event::PointEnd {
+                index: num_field(&v, "index")?,
+            }),
+            other => Err(format!("unknown event {other:?}")),
+        }
+    }
+}
+
+fn push_num(out: &mut String, name: &str, value: u64) {
+    out.push_str(",\"");
+    out.push_str(name);
+    out.push_str("\":");
+    out.push_str(&value.to_string());
+}
+
+fn push_hash(out: &mut String, name: &str, value: u64) {
+    // Hashes are full-width u64s; emit them as hex strings so consumers
+    // that read JSON numbers as f64 cannot silently lose precision.
+    out.push_str(",\"");
+    out.push_str(name);
+    out.push_str("\":\"");
+    out.push_str(&format!("{value:#018x}"));
+    out.push('"');
+}
+
+fn push_str(out: &mut String, name: &str, value: &str) {
+    out.push_str(",\"");
+    out.push_str(name);
+    out.push_str("\":");
+    json::write_escaped(out, value);
+}
+
+fn push_bool(out: &mut String, name: &str, value: bool) {
+    out.push_str(",\"");
+    out.push_str(name);
+    out.push_str("\":");
+    out.push_str(if value { "true" } else { "false" });
+}
+
+fn push_breakdown(out: &mut String, breakdown: &PhaseBreakdown) {
+    out.push_str(",\"breakdown\":{");
+    let mut first = true;
+    for &p in ALL_PHASES {
+        let c = breakdown.get(p);
+        if c == 0 {
+            continue;
+        }
+        if !first {
+            out.push(',');
+        }
+        out.push('"');
+        out.push_str(p.name());
+        out.push_str("\":");
+        out.push_str(&c.to_string());
+        first = false;
+    }
+    out.push('}');
+}
+
+fn num_field(v: &JsonValue, name: &str) -> Result<u64, String> {
+    v.field(name)
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| format!("missing or mistyped field {name:?}"))
+}
+
+fn str_field<'a>(v: &'a JsonValue, name: &str) -> Result<&'a str, String> {
+    v.field(name)
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| format!("missing or mistyped field {name:?}"))
+}
+
+fn bool_field(v: &JsonValue, name: &str) -> Result<bool, String> {
+    v.field(name)
+        .and_then(JsonValue::as_bool)
+        .ok_or_else(|| format!("missing or mistyped field {name:?}"))
+}
+
+fn hash_field(v: &JsonValue, name: &str) -> Result<u64, String> {
+    let s = str_field(v, name)?;
+    let hex = s
+        .strip_prefix("0x")
+        .ok_or_else(|| format!("field {name:?} is not a 0x-prefixed hash"))?;
+    u64::from_str_radix(hex, 16).map_err(|_| format!("field {name:?} is not a valid hash"))
+}
+
+fn breakdown_field(v: &JsonValue) -> Result<PhaseBreakdown, String> {
+    let Some(JsonValue::Object(fields)) = v.field("breakdown") else {
+        return Err("missing or mistyped field \"breakdown\"".into());
+    };
+    let mut out = PhaseBreakdown::default();
+    for (name, count) in fields {
+        let phase = Phase::from_name(name).ok_or_else(|| format!("unknown phase {name:?}"))?;
+        let count = count
+            .as_u64()
+            .ok_or_else(|| format!("phase {name:?} count is not a number"))?;
+        if out.get(phase) != 0 {
+            return Err(format!("phase {name:?} listed twice"));
+        }
+        out.set(phase, count);
+    }
+    Ok(out)
+}
+
+/// A schema violation in a JSONL trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What was wrong with it.
+    pub msg: String,
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Parses a whole JSONL trace, validating every line against the event
+/// schema. Empty lines are rejected — a truncated write should not pass
+/// validation silently.
+pub fn parse_jsonl(text: &str) -> Result<Vec<Event>, TraceError> {
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let event = Event::parse_line(line).map_err(|msg| TraceError { line: i + 1, msg })?;
+        events.push(event);
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use veal_ir::CostMeter;
+
+    fn sample_breakdown() -> PhaseBreakdown {
+        let mut m = CostMeter::new();
+        m.charge(Phase::Priority, 120);
+        m.charge(Phase::Scheduling, 30);
+        m.charge(Phase::HintDecode, 7);
+        *m.breakdown()
+    }
+
+    #[test]
+    fn every_variant_round_trips() {
+        let events = vec![
+            Event::TranslateStart {
+                key: 3,
+                loop_hash: u64::MAX,
+            },
+            Event::TranslateEnd {
+                key: 3,
+                status: TranslateStatus::Mapped,
+                units: 157,
+                checks: 2,
+                degraded: false,
+                breakdown: sample_breakdown(),
+            },
+            Event::HintDegrade {
+                key: 3,
+                kind: HintKind::Priority,
+                reason: "priority order has 3 entries, graph has 5 ops".into(),
+            },
+            Event::Quarantine { key: 3 },
+            Event::WatchdogAbort {
+                key: 4,
+                cap: 100,
+                paid: 100,
+            },
+            Event::CacheHit { key: 3 },
+            Event::PinnedSkip { key: 4 },
+            Event::MemoHit { key: 3 },
+            Event::MemoMiss { key: 5 },
+            Event::PointStart { index: 0 },
+            Event::PointEnd { index: 0 },
+        ];
+        for e in &events {
+            let line = e.to_json();
+            let back = Event::parse_line(&line).unwrap_or_else(|m| panic!("{line}: {m}"));
+            assert_eq!(&back, e, "{line}");
+        }
+        let text: String = events.iter().map(|e| e.to_json() + "\n").collect();
+        assert_eq!(parse_jsonl(&text).unwrap(), events);
+    }
+
+    #[test]
+    fn serialization_is_deterministic() {
+        let e = Event::TranslateEnd {
+            key: 1,
+            status: TranslateStatus::Failed,
+            units: 157,
+            checks: 0,
+            degraded: false,
+            breakdown: sample_breakdown(),
+        };
+        assert_eq!(e.to_json(), e.to_json());
+        assert_eq!(
+            e.to_json(),
+            "{\"ev\":\"translate_end\",\"key\":1,\"status\":\"failed\",\"units\":157,\
+             \"checks\":0,\"degraded\":false,\"breakdown\":{\"priority\":120,\
+             \"scheduling\":30,\"hint-decode\":7}}"
+        );
+    }
+
+    #[test]
+    fn validator_rejects_schema_violations() {
+        // Unknown event.
+        assert!(Event::parse_line("{\"ev\":\"nope\",\"key\":1}").is_err());
+        // Missing field.
+        assert!(Event::parse_line("{\"ev\":\"cache_hit\"}").is_err());
+        // Mistyped field.
+        assert!(Event::parse_line("{\"ev\":\"cache_hit\",\"key\":\"x\"}").is_err());
+        // Unknown phase name.
+        assert!(Event::parse_line(
+            "{\"ev\":\"translate_end\",\"key\":1,\"status\":\"mapped\",\"units\":1,\
+             \"checks\":0,\"degraded\":false,\"breakdown\":{\"warp\":1}}"
+        )
+        .is_err());
+        // Units inconsistent with the breakdown.
+        assert!(Event::parse_line(
+            "{\"ev\":\"translate_end\",\"key\":1,\"status\":\"mapped\",\"units\":2,\
+             \"checks\":0,\"degraded\":false,\"breakdown\":{\"priority\":1}}"
+        )
+        .is_err());
+        // Bad line number reporting.
+        let err = parse_jsonl("{\"ev\":\"cache_hit\",\"key\":1}\nnot json\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        // Empty line counts as a violation, not a separator.
+        assert!(parse_jsonl("{\"ev\":\"cache_hit\",\"key\":1}\n\n").is_err());
+    }
+}

@@ -1,0 +1,344 @@
+//! A minimal, zero-dependency JSON reader for the trace vocabulary.
+//!
+//! The sinks in this crate *write* JSON by hand (fixed field order, no
+//! floats, no escapes beyond the JSON-mandatory set), and this module reads
+//! that same dialect back: objects, arrays, strings, unsigned integers, and
+//! booleans. It is deliberately strict — anything outside the dialect is an
+//! error, which is exactly what the schema validator wants.
+
+use std::fmt;
+
+/// A parsed JSON value (the subset the trace format uses).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JsonValue {
+    /// An object, with fields in source order.
+    Object(Vec<(String, JsonValue)>),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// A string.
+    Str(String),
+    /// An unsigned integer (the trace emits no floats or negatives).
+    Num(u64),
+    /// A boolean.
+    Bool(bool),
+}
+
+impl JsonValue {
+    /// Looks up a field of an object.
+    #[must_use]
+    pub fn field(&self, name: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(fields) => fields.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a u64, if it is a number.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Why a JSON text failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the failure.
+    pub at: usize,
+    /// What went wrong.
+    pub msg: &'static str,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.msg, self.at)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parses one complete JSON value; trailing non-whitespace is an error.
+pub fn parse(text: &str) -> Result<JsonValue, JsonError> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(JsonError {
+            at: pos,
+            msg: "trailing characters",
+        });
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, b: u8, msg: &'static str) -> Result<(), JsonError> {
+    if *pos < bytes.len() && bytes[*pos] == b {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(JsonError { at: *pos, msg })
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, JsonError> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(JsonValue::Str(parse_string(bytes, pos)?)),
+        Some(b'0'..=b'9') => parse_number(bytes, pos),
+        Some(b't') => parse_keyword(bytes, pos, b"true", JsonValue::Bool(true)),
+        Some(b'f') => parse_keyword(bytes, pos, b"false", JsonValue::Bool(false)),
+        _ => Err(JsonError {
+            at: *pos,
+            msg: "expected a value",
+        }),
+    }
+}
+
+fn parse_keyword(
+    bytes: &[u8],
+    pos: &mut usize,
+    word: &[u8],
+    value: JsonValue,
+) -> Result<JsonValue, JsonError> {
+    if bytes.len() >= *pos + word.len() && &bytes[*pos..*pos + word.len()] == word {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(JsonError {
+            at: *pos,
+            msg: "unknown keyword",
+        })
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, JsonError> {
+    expect(bytes, pos, b'{', "expected '{'")?;
+    let mut fields = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(JsonValue::Object(fields));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':', "expected ':'")?;
+        let value = parse_value(bytes, pos)?;
+        fields.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(JsonValue::Object(fields));
+            }
+            _ => {
+                return Err(JsonError {
+                    at: *pos,
+                    msg: "expected ',' or '}'",
+                })
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, JsonError> {
+    expect(bytes, pos, b'[', "expected '['")?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(JsonValue::Array(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(JsonValue::Array(items));
+            }
+            _ => {
+                return Err(JsonError {
+                    at: *pos,
+                    msg: "expected ',' or ']'",
+                })
+            }
+        }
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    expect(bytes, pos, b'"', "expected '\"'")?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => {
+                return Err(JsonError {
+                    at: *pos,
+                    msg: "unterminated string",
+                })
+            }
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    _ => {
+                        return Err(JsonError {
+                            at: *pos,
+                            msg: "unsupported escape",
+                        })
+                    }
+                }
+                *pos += 1;
+            }
+            Some(&b) if b < 0x20 => {
+                return Err(JsonError {
+                    at: *pos,
+                    msg: "raw control character in string",
+                })
+            }
+            Some(_) => {
+                // Multi-byte UTF-8 sequences pass through unchanged; the
+                // input is a &str so boundaries are already valid.
+                let start = *pos;
+                *pos += 1;
+                while *pos < bytes.len() && bytes[*pos] & 0xC0 == 0x80 {
+                    *pos += 1;
+                }
+                out.push_str(
+                    std::str::from_utf8(&bytes[start..*pos]).map_err(|_| JsonError {
+                        at: start,
+                        msg: "invalid utf-8",
+                    })?,
+                );
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, JsonError> {
+    let start = *pos;
+    while *pos < bytes.len() && bytes[*pos].is_ascii_digit() {
+        *pos += 1;
+    }
+    if *pos < bytes.len() && matches!(bytes[*pos], b'.' | b'e' | b'E' | b'-' | b'+') {
+        return Err(JsonError {
+            at: *pos,
+            msg: "only unsigned integers are supported",
+        });
+    }
+    std::str::from_utf8(&bytes[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .map(JsonValue::Num)
+        .ok_or(JsonError {
+            at: start,
+            msg: "number out of range",
+        })
+}
+
+/// Escapes `s` into `out` as a JSON string literal (with quotes).
+pub fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                // The writer never emits other control characters, but be
+                // total: drop to the escape the reader understands.
+                out.push_str("\\n");
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_trace_dialect() {
+        let v = parse(r#"{"ev":"x","key":3,"ok":true,"xs":[1,2],"s":"a\"b"}"#).unwrap();
+        assert_eq!(v.field("ev").unwrap().as_str(), Some("x"));
+        assert_eq!(v.field("key").unwrap().as_u64(), Some(3));
+        assert_eq!(v.field("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(
+            v.field("xs"),
+            Some(&JsonValue::Array(vec![
+                JsonValue::Num(1),
+                JsonValue::Num(2)
+            ]))
+        );
+        assert_eq!(v.field("s").unwrap().as_str(), Some("a\"b"));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage_floats_and_negatives() {
+        assert!(parse("{} x").is_err());
+        assert!(parse(r#"{"a":1.5}"#).is_err());
+        assert!(parse(r#"{"a":-1}"#).is_err());
+        assert!(parse("{").is_err());
+    }
+
+    #[test]
+    fn escape_round_trips() {
+        let mut out = String::new();
+        write_escaped(&mut out, "a\"b\\c\nd");
+        let back = parse(&out).unwrap();
+        assert_eq!(back.as_str(), Some("a\"b\\c\nd"));
+    }
+
+    #[test]
+    fn u64_extremes_round_trip() {
+        let v = parse(&format!("{{\"a\":{}}}", u64::MAX)).unwrap();
+        assert_eq!(v.field("a").unwrap().as_u64(), Some(u64::MAX));
+    }
+}

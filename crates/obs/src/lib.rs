@@ -1,0 +1,31 @@
+//! Zero-dependency observability for the VEAL stack.
+//!
+//! Three layers, strictly read-only with respect to the abstract cost
+//! model (observability reads the [`veal_ir::CostMeter`], never feeds it):
+//!
+//! 1. **Structured events** ([`event`]) — a typed, deterministic trace
+//!    vocabulary covering translations (with per-phase
+//!    [`veal_ir::PhaseBreakdown`] deltas), hint verdicts, quarantine,
+//!    watchdog aborts, cache/memo hits and misses, and sweep points.
+//! 2. **Sinks** ([`sink`]) — [`NullSink`] (the free default), [`RingSink`]
+//!    (bounded in-memory), and [`JsonlSink`] (JSON Lines writer), behind
+//!    the cheap [`Trace`] handle instrumented code carries.
+//! 3. **Metrics** ([`metrics`]) — process-global named counters and
+//!    log2-bucketed histograms (wall-clock lives here, never in events),
+//!    snapshotable as sorted, deterministic JSON.
+//!
+//! Determinism rules: events carry only abstract, input-derived fields;
+//! with one worker thread, same-seed runs serialize to byte-identical
+//! JSONL. [`event::parse_jsonl`] is the schema validator.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod json;
+pub mod metrics;
+pub mod sink;
+
+pub use event::{parse_jsonl, Event, HintKind, TraceError, TranslateStatus};
+pub use metrics::{counter, histogram, snapshot_json, Counter, Histogram};
+pub use sink::{JsonlSink, NullSink, RingSink, ScopedTimer, SharedBuf, Trace, TraceSink};

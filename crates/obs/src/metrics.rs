@@ -1,0 +1,221 @@
+//! A process-global registry of named monotonic counters and log2
+//! histograms.
+//!
+//! Metrics answer "how much / how long" questions that are allowed to be
+//! nondeterministic (wall-clock durations, cache hit rates under parallel
+//! sweeps), so they live *outside* the deterministic event stream. The
+//! snapshot is still reproducibility-friendly: names are sorted and
+//! histogram bins are fixed, so two snapshots of identical activity are
+//! identical JSON.
+//!
+//! Handles are `&'static` and lock-free to touch: a counter bump is one
+//! relaxed atomic add, cheap enough to stay on even when tracing is off.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds `n` to the counter (saturating).
+    pub fn add(&self, n: u64) {
+        // fetch_update is a CAS loop, but saturation only matters at
+        // u64::MAX which no real workload reaches; a plain wrapping add
+        // would be indistinguishable in practice. Keep it simple:
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increments the counter by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// The current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: bucket 0 holds zeros, bucket `b` (1..31)
+/// holds values with `b = 64 - leading_zeros(v)` clamped to [`BUCKETS`]−1,
+/// i.e. values in `[2^(b-1), 2^b)`.
+pub const BUCKETS: usize = 32;
+
+/// A fixed-bin log2 histogram of `u64` samples.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The bucket index a value lands in.
+#[must_use]
+pub fn bucket_of(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        ((64 - value.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples (wrapping at u64).
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// The per-bucket counts.
+    #[must_use]
+    pub fn buckets(&self) -> [u64; BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Default)]
+struct Registry {
+    counters: BTreeMap<&'static str, &'static Counter>,
+    histograms: BTreeMap<&'static str, &'static Histogram>,
+}
+
+fn registry() -> &'static Mutex<Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Registry::default()))
+}
+
+/// Returns the process-global counter named `name`, creating it on first
+/// use. The handle is `'static`; cache it in a `OnceLock` at hot call
+/// sites to skip the registry lock.
+pub fn counter(name: &'static str) -> &'static Counter {
+    let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    reg.counters
+        .entry(name)
+        .or_insert_with(|| Box::leak(Box::new(Counter::default())))
+}
+
+/// Returns the process-global histogram named `name`, creating it on
+/// first use.
+pub fn histogram(name: &'static str) -> &'static Histogram {
+    let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    reg.histograms
+        .entry(name)
+        .or_insert_with(|| Box::leak(Box::new(Histogram::default())))
+}
+
+/// Serializes every registered metric as deterministic JSON: names
+/// sorted, histogram buckets in index order, non-zero buckets only.
+#[must_use]
+pub fn snapshot_json() -> String {
+    let reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    let mut out = String::from("{\"counters\":{");
+    for (i, (name, c)) in reg.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        out.push_str(name);
+        out.push_str("\":");
+        out.push_str(&c.get().to_string());
+    }
+    out.push_str("},\"histograms\":{");
+    for (i, (name, h)) in reg.histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        out.push_str(name);
+        out.push_str("\":{\"count\":");
+        out.push_str(&h.count().to_string());
+        out.push_str(",\"sum\":");
+        out.push_str(&h.sum().to_string());
+        out.push_str(",\"buckets\":{");
+        let mut first = true;
+        for (b, n) in h.buckets().iter().enumerate() {
+            if *n == 0 {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            out.push('"');
+            out.push_str(&b.to_string());
+            out.push_str("\":");
+            out.push_str(&n.to_string());
+            first = false;
+        }
+        out.push_str("}}");
+    }
+    out.push_str("}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn bucket_edges() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_of(1 << 40), BUCKETS - 1);
+    }
+
+    #[test]
+    fn registry_returns_stable_handles_and_valid_json() {
+        let c = counter("test.registry.counter");
+        c.add(41);
+        c.inc();
+        assert_eq!(counter("test.registry.counter").get(), 42);
+
+        let h = histogram("test.registry.hist");
+        h.record(0);
+        h.record(5);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 5);
+        assert_eq!(h.buckets()[0], 1);
+        assert_eq!(h.buckets()[bucket_of(5)], 1);
+
+        let snap = snapshot_json();
+        let v = json::parse(&snap).expect("snapshot must be valid trace-dialect JSON");
+        assert_eq!(
+            v.field("counters")
+                .and_then(|c| c.field("test.registry.counter"))
+                .and_then(json::JsonValue::as_u64),
+            Some(42)
+        );
+        assert!(snap.contains("\"test.registry.hist\":{\"count\":2,\"sum\":5"));
+    }
+}

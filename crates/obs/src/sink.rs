@@ -1,0 +1,262 @@
+//! Trace sinks and the cheap handle the instrumented code holds.
+//!
+//! The hot path carries a [`Trace`] handle. When tracing is disabled the
+//! handle is a `None` — [`Trace::emit`] never runs its closure, and
+//! [`Trace::timer`] never reads the clock — so instrumentation with the
+//! default [`NullSink`] compiles down to a branch on an `Option`.
+
+use crate::event::Event;
+use crate::metrics::Histogram;
+use std::collections::VecDeque;
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// A consumer of trace events.
+///
+/// Implementations must be `Send + Sync`: the sweep engine shares one sink
+/// across worker threads. Emission order across threads is unspecified;
+/// byte-identical traces are only guaranteed single-threaded
+/// (`VEAL_THREADS=1`).
+pub trait TraceSink: Send + Sync {
+    /// Consumes one event.
+    fn emit(&self, event: &Event);
+    /// Flushes any buffered output.
+    fn flush(&self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// The no-op sink. [`Trace::null`] never even constructs events, so this
+/// type only exists for call sites that want an explicit `Arc<dyn
+/// TraceSink>` that discards everything.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn emit(&self, _event: &Event) {}
+}
+
+/// A bounded in-memory buffer keeping the most recent events.
+#[derive(Debug)]
+pub struct RingSink {
+    cap: usize,
+    buf: Mutex<VecDeque<Event>>,
+}
+
+impl RingSink {
+    /// Creates a ring keeping at most `cap` events (`cap` ≥ 1).
+    #[must_use]
+    pub fn new(cap: usize) -> Self {
+        RingSink {
+            cap: cap.max(1),
+            buf: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// The buffered events, oldest first.
+    #[must_use]
+    pub fn events(&self) -> Vec<Event> {
+        let buf = self.buf.lock().unwrap_or_else(|e| e.into_inner());
+        buf.iter().cloned().collect()
+    }
+}
+
+impl TraceSink for RingSink {
+    fn emit(&self, event: &Event) {
+        let mut buf = self.buf.lock().unwrap_or_else(|e| e.into_inner());
+        if buf.len() == self.cap {
+            buf.pop_front();
+        }
+        buf.push_back(event.clone());
+    }
+}
+
+/// Serializes events as JSON Lines to any writer.
+pub struct JsonlSink<W: Write + Send> {
+    out: Mutex<W>,
+}
+
+impl JsonlSink<BufWriter<File>> {
+    /// Creates (truncating) a JSONL trace file.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        Ok(JsonlSink::to_writer(BufWriter::new(File::create(path)?)))
+    }
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wraps an arbitrary writer.
+    pub fn to_writer(out: W) -> Self {
+        JsonlSink {
+            out: Mutex::new(out),
+        }
+    }
+}
+
+impl<W: Write + Send> TraceSink for JsonlSink<W> {
+    fn emit(&self, event: &Event) {
+        let line = event.to_json();
+        let mut out = self.out.lock().unwrap_or_else(|e| e.into_inner());
+        // A full disk mid-trace must not abort the run being observed;
+        // the final flush() reports the failure.
+        let _ = out.write_all(line.as_bytes());
+        let _ = out.write_all(b"\n");
+    }
+
+    fn flush(&self) -> io::Result<()> {
+        self.out.lock().unwrap_or_else(|e| e.into_inner()).flush()
+    }
+}
+
+/// A `Write` target backed by a shared byte buffer, for capturing a
+/// [`JsonlSink`]'s output in memory (tests, `vealc stats` round-trips).
+#[derive(Debug, Default, Clone)]
+pub struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl SharedBuf {
+    /// Creates an empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        SharedBuf::default()
+    }
+
+    /// Copies the bytes written so far.
+    #[must_use]
+    pub fn contents(&self) -> Vec<u8> {
+        self.0.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+}
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.0
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// The handle instrumented code carries.
+///
+/// Cloning is cheap (an `Option<Arc>`); the disabled handle is the
+/// default and costs one branch per instrumentation point.
+#[derive(Clone, Default)]
+pub struct Trace {
+    sink: Option<Arc<dyn TraceSink>>,
+}
+
+impl Trace {
+    /// The disabled handle: no events are constructed, no clocks read.
+    #[must_use]
+    pub fn null() -> Self {
+        Trace { sink: None }
+    }
+
+    /// A handle feeding `sink`.
+    #[must_use]
+    pub fn new(sink: Arc<dyn TraceSink>) -> Self {
+        Trace { sink: Some(sink) }
+    }
+
+    /// Whether events will actually be consumed.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Emits an event. The closure only runs when a sink is installed, so
+    /// callers may allocate freely inside it.
+    pub fn emit(&self, event: impl FnOnce() -> Event) {
+        if let Some(sink) = &self.sink {
+            sink.emit(&event());
+        }
+    }
+
+    /// Starts a scoped wall-clock timer that records into `hist` (in
+    /// nanoseconds) when dropped. With the null handle the clock is never
+    /// read.
+    pub fn timer(&self, hist: &'static Histogram) -> ScopedTimer {
+        ScopedTimer {
+            start: self.sink.is_some().then(|| (Instant::now(), hist)),
+        }
+    }
+
+    /// Flushes the underlying sink, if any.
+    pub fn flush(&self) -> io::Result<()> {
+        match &self.sink {
+            Some(sink) => sink.flush(),
+            None => Ok(()),
+        }
+    }
+}
+
+impl fmt::Debug for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Trace")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+/// A scoped wall-clock timer; see [`Trace::timer`].
+#[must_use = "the timer records on drop; binding it to _ stops it immediately"]
+pub struct ScopedTimer {
+    start: Option<(Instant, &'static Histogram)>,
+}
+
+impl Drop for ScopedTimer {
+    fn drop(&mut self) {
+        if let Some((start, hist)) = self.start.take() {
+            let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            hist.record(nanos);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::parse_jsonl;
+
+    #[test]
+    fn ring_keeps_the_most_recent_events() {
+        let ring = RingSink::new(2);
+        for key in 0..4 {
+            ring.emit(&Event::CacheHit { key });
+        }
+        assert_eq!(
+            ring.events(),
+            vec![Event::CacheHit { key: 2 }, Event::CacheHit { key: 3 }]
+        );
+    }
+
+    #[test]
+    fn jsonl_round_trips_through_a_shared_buffer() {
+        let buf = SharedBuf::new();
+        let trace = Trace::new(Arc::new(JsonlSink::to_writer(buf.clone())));
+        trace.emit(|| Event::MemoMiss { key: 7 });
+        trace.emit(|| Event::PointEnd { index: 1 });
+        trace.flush().unwrap();
+        let text = String::from_utf8(buf.contents()).unwrap();
+        assert_eq!(
+            parse_jsonl(&text).unwrap(),
+            vec![Event::MemoMiss { key: 7 }, Event::PointEnd { index: 1 }]
+        );
+    }
+
+    #[test]
+    fn null_trace_never_constructs_events() {
+        let trace = Trace::null();
+        assert!(!trace.is_enabled());
+        trace.emit(|| unreachable!("closure must not run with the null handle"));
+        trace.flush().unwrap();
+    }
+}

@@ -34,6 +34,18 @@ thread_local! {
 
 const DIST_POOL_DEPTH: usize = 8;
 
+/// `(reuses, allocs)` of pooled matrix buffers, summed across threads.
+fn dist_pool_counters() -> (&'static veal_obs::Counter, &'static veal_obs::Counter) {
+    static C: std::sync::OnceLock<(&'static veal_obs::Counter, &'static veal_obs::Counter)> =
+        std::sync::OnceLock::new();
+    *C.get_or_init(|| {
+        (
+            veal_obs::counter("sched.dist_pool.reuses"),
+            veal_obs::counter("sched.dist_pool.allocs"),
+        )
+    })
+}
+
 fn pooled_matrix(len: usize) -> Vec<i64> {
     let recycled = DIST_POOL.with(|p| {
         let mut pool = p.borrow_mut();
@@ -49,11 +61,15 @@ fn pooled_matrix(len: usize) -> Vec<i64> {
     });
     match recycled {
         Some(mut v) => {
+            dist_pool_counters().0.inc();
             v.clear();
             v.resize(len, NEG_INF);
             v
         }
-        None => vec![NEG_INF; len],
+        None => {
+            dist_pool_counters().1.inc();
+            vec![NEG_INF; len]
+        }
     }
 }
 

@@ -434,6 +434,19 @@ impl MinDistParam {
 
 const PARAM_CACHE_CAP: usize = 64;
 
+/// `(hits, misses)` of the frontier-structure cache, summed across all
+/// threads. Handles cached so the hot path skips the registry lock.
+fn param_cache_counters() -> (&'static veal_obs::Counter, &'static veal_obs::Counter) {
+    static C: std::sync::OnceLock<(&'static veal_obs::Counter, &'static veal_obs::Counter)> =
+        std::sync::OnceLock::new();
+    *C.get_or_init(|| {
+        (
+            veal_obs::counter("sched.param_cache.hits"),
+            veal_obs::counter("sched.param_cache.misses"),
+        )
+    })
+}
+
 thread_local! {
     // Small move-to-front LRU keyed on (graph content hash, latency-model
     // fingerprint) — the same identity the sweep engine's translation memo
@@ -455,8 +468,10 @@ pub fn cached(dfg: &Dfg, lat: &LatencyModel) -> Arc<MinDistParam> {
             let entry = cache.remove(pos);
             let param = Arc::clone(&entry.2);
             cache.insert(0, entry);
+            param_cache_counters().0.inc();
             return param;
         }
+        param_cache_counters().1.inc();
         let param = Arc::new(MinDistParam::compute(dfg, lat));
         cache.insert(0, (key.0, key.1, Arc::clone(&param)));
         cache.truncate(PARAM_CACHE_CAP);

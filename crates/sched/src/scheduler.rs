@@ -210,6 +210,16 @@ pub fn list_schedule(
     });
     for ii in start_ii..=last_ii {
         meter.charge(Phase::Scheduling, 4);
+        if ii > start_ii {
+            // Escalations past the MII are the scheduler retrying; their
+            // count (per attempted II step) is the headline "how often does
+            // modulo scheduling fail first try" metric.
+            static ESCALATIONS: std::sync::OnceLock<&'static veal_obs::Counter> =
+                std::sync::OnceLock::new();
+            ESCALATIONS
+                .get_or_init(|| veal_obs::counter("sched.ii_escalations"))
+                .inc();
+        }
         if let Some(schedule) = try_schedule(dfg, config, order, ii, d, &mut scratch, meter) {
             result = Ok(schedule);
             break;

@@ -1,6 +1,6 @@
 //! Accelerator invocation timing.
 
-use veal_vm::TranslatedLoop;
+use veal_vm::{TranslatedLoop, TranslationOutcome};
 
 /// System-bus latency between the processor and the accelerator, in cycles
 /// (paper §3: "a 10 cycle system bus", same as the L2 access time).
@@ -28,6 +28,19 @@ pub fn accel_invocation_cycles(translated: &TranslatedLoop, trips: u64) -> u64 {
     translated.kernel_cycles(trips) + invocation_overhead(translated)
 }
 
+/// Total accelerator cycles for one invocation, or `None` when the
+/// translation failed (RecMII past the II cap, unsupported loop shape,
+/// …) — the caller then takes the CPU path. Total over any outcome, so
+/// sweep code never has to unwrap a `result` it did not match on.
+#[must_use]
+pub fn try_invocation_cycles(outcome: &TranslationOutcome, trips: u64) -> Option<u64> {
+    outcome
+        .result
+        .as_ref()
+        .ok()
+        .map(|t| accel_invocation_cycles(t, trips))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -48,6 +61,8 @@ mod tests {
             TranslationPolicy::fully_dynamic(),
         );
         let _ = CostMeter::new();
+        // Test-only unwrap: this fixture loop is known to translate on the
+        // paper design; library code goes through `try_invocation_cycles`.
         t.translate(&body, &StaticHints::none()).result.unwrap()
     }
 
@@ -71,5 +86,66 @@ mod tests {
         let t = translated();
         let c4 = accel_invocation_cycles(&t, 4);
         assert!(c4 > t.kernel_cycles(4));
+    }
+
+    /// A tight multiply recurrence whose RecMII exceeds the configured II
+    /// cap: scheduling must fail at every II the escalation tries.
+    fn recmii_over_cap() -> (LoopBody, AcceleratorConfig) {
+        let mut b = DfgBuilder::new();
+        let x = b.load_stream(0);
+        let mut v = b.op(Opcode::Mul, &[x, x]);
+        let first = v;
+        for _ in 0..4 {
+            v = b.op(Opcode::Mul, &[v, v]);
+        }
+        b.loop_carried(v, first, 1);
+        b.store_stream(1, v);
+        let body = LoopBody::new("recmii-bomb", b.finish());
+        let la = AcceleratorConfig::builder().max_ii(1).build();
+        (body, la)
+    }
+
+    #[test]
+    fn untranslatable_loop_yields_none_not_panic() {
+        // Regression: the sweep path used to unwrap `translate().result`,
+        // so a loop whose RecMII exceeds `max_ii` panicked the whole sweep
+        // instead of falling back to the CPU.
+        let (body, la) = recmii_over_cap();
+        let t = Translator::new(la, None, TranslationPolicy::fully_dynamic());
+        let outcome = t.translate(&body, &StaticHints::none());
+        assert!(outcome.result.is_err(), "RecMII must exceed the II cap");
+        assert_eq!(try_invocation_cycles(&outcome, 1000), None);
+        // And the translatable fixture still reports a total.
+        let ok = Translator::new(
+            AcceleratorConfig::paper_design(),
+            None,
+            TranslationPolicy::fully_dynamic(),
+        )
+        .translate(
+            &{
+                let mut b = DfgBuilder::new();
+                let x = b.load_stream(0);
+                let y = b.op(Opcode::Add, &[x, x]);
+                b.store_stream(1, y);
+                LoopBody::new("ok", b.finish())
+            },
+            &StaticHints::none(),
+        );
+        assert!(try_invocation_cycles(&ok, 1000).is_some());
+    }
+
+    #[test]
+    fn session_falls_back_to_cpu_on_recmii_overflow() {
+        use veal_vm::VmSession;
+        let (body, la) = recmii_over_cap();
+        let mut s = VmSession::new(Translator::new(
+            la,
+            None,
+            TranslationPolicy::fully_dynamic(),
+        ));
+        let inv = s.invoke(1, &body, &StaticHints::none());
+        assert!(inv.translated.is_none(), "loop must run on the CPU");
+        assert!(inv.translation_cycles > 0, "the failed attempt is charged");
+        assert_eq!(s.stats().failures, 1);
     }
 }

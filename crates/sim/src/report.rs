@@ -14,6 +14,7 @@ use veal_ir::Phase;
 /// use veal_sim::report::speedup_table;
 /// use veal_vm::TranslationPolicy;
 ///
+/// // Doc-example unwrap: "rawcaudio" is a suite app that always exists.
 /// let app = veal_workloads::application("rawcaudio").unwrap();
 /// let run = run_application(&app, &CpuModel::arm11(),
 ///                           &AccelSetup::paper(TranslationPolicy::fully_dynamic()));

@@ -7,6 +7,7 @@ use std::sync::Arc;
 use veal_accel::AcceleratorConfig;
 use veal_cca::CcaSpec;
 use veal_ir::{classify_loop, LoopClass, PhaseBreakdown};
+use veal_obs::Trace;
 use veal_opt::{legalize, LegalizedLoop, TransformLimits};
 use veal_vm::{
     compute_hints, CacheStats, CodeCache, StaticHints, TranslationMemo, TranslationPolicy,
@@ -39,6 +40,9 @@ pub struct AccelSetup {
     /// translate once per process. Simulated numbers are unchanged — memo
     /// hits replay the original cost (see [`veal_vm::VmSession::with_memo`]).
     pub memo: Option<Arc<TranslationMemo>>,
+    /// Observability handle passed to every [`VmSession`] this setup
+    /// creates. Disabled by default; never alters simulated numbers.
+    pub trace: Trace,
 }
 
 impl AccelSetup {
@@ -56,6 +60,7 @@ impl AccelSetup {
             static_transforms: true,
             cache_entries: 16,
             memo: None,
+            trace: Trace::null(),
         }
     }
 
@@ -63,6 +68,13 @@ impl AccelSetup {
     #[must_use]
     pub fn with_memo(mut self, memo: Arc<TranslationMemo>) -> Self {
         self.memo = Some(memo);
+        self
+    }
+
+    /// Attaches a trace handle (see [`AccelSetup::trace`]).
+    #[must_use]
+    pub fn with_trace(mut self, trace: Trace) -> Self {
+        self.trace = trace;
         self
     }
 
@@ -150,7 +162,8 @@ impl AppRun {
 #[must_use]
 pub fn run_application(app: &Application, cpu: &CpuModel, setup: &AccelSetup) -> AppRun {
     let translator = Translator::new(setup.config.clone(), setup.cca.clone(), setup.policy);
-    let mut session = VmSession::with_cache(translator, CodeCache::new(setup.cache_entries));
+    let mut session = VmSession::with_cache(translator, CodeCache::new(setup.cache_entries))
+        .with_trace(setup.trace.clone());
     if let Some(memo) = &setup.memo {
         session = session.with_memo(Arc::clone(memo));
     }

@@ -29,8 +29,14 @@ use crate::speedup::{run_application, AccelSetup, AppRun};
 use std::sync::{Arc, OnceLock};
 use veal_accel::AcceleratorConfig;
 use veal_cca::CcaSpec;
+use veal_obs::{metrics, Event, Histogram, Trace};
 use veal_vm::{MemoStats, TranslationMemo, TranslationPolicy};
 use veal_workloads::Application;
+
+fn point_wall_ns() -> &'static Histogram {
+    static H: OnceLock<&'static Histogram> = OnceLock::new();
+    H.get_or_init(|| metrics::histogram("sim.sweep.point_wall_ns"))
+}
 
 /// The translation-free setup the design-space exploration runs under
 /// (paper §3.1: the DSE studies hardware, not translation).
@@ -47,6 +53,7 @@ pub fn dse_setup(config: AcceleratorConfig, cca: Option<CcaSpec>) -> AccelSetup 
         static_transforms: true,
         cache_entries: 1 << 20,
         memo: None,
+        trace: Trace::null(),
     }
 }
 
@@ -77,6 +84,7 @@ pub struct SweepContext {
     memo: Option<Arc<TranslationMemo>>,
     threads: usize,
     infinite: Arc<OnceLock<f64>>,
+    trace: Trace,
 }
 
 impl SweepContext {
@@ -90,7 +98,19 @@ impl SweepContext {
             memo: Some(Arc::new(TranslationMemo::new())),
             threads: veal_par::thread_count(),
             infinite: Arc::new(OnceLock::new()),
+            trace: Trace::null(),
         }
+    }
+
+    /// Attaches a trace handle. Every [`AccelSetup`] the context builds —
+    /// and therefore every VM session under it — shares the handle's sink,
+    /// and [`SweepContext::eval_points`] brackets each point with
+    /// `point_start`/`point_end` events. Event order across points is only
+    /// deterministic with a thread budget of one (`VEAL_THREADS=1`).
+    #[must_use]
+    pub fn with_trace(mut self, trace: Trace) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// Overrides the worker-thread budget (`1` forces the serial path).
@@ -138,6 +158,7 @@ impl SweepContext {
     pub fn setup(&self, config: &AcceleratorConfig, cca: Option<&CcaSpec>) -> AccelSetup {
         let mut setup = dse_setup(config.clone(), cca.cloned());
         setup.memo = self.memo.clone();
+        setup.trace = self.trace.clone();
         setup
     }
 
@@ -198,7 +219,13 @@ impl SweepContext {
         F: Fn(&SweepContext, &P) -> R + Sync,
     {
         let inner = self.clone().with_threads(1);
-        veal_par::par_map_with(points, self.threads, |_, p| f(&inner, p))
+        veal_par::par_map_with(points, self.threads, |i, p| {
+            inner.trace.emit(|| Event::PointStart { index: i as u64 });
+            let _wall = inner.trace.timer(point_wall_ns());
+            let r = f(&inner, p);
+            inner.trace.emit(|| Event::PointEnd { index: i as u64 });
+            r
+        })
     }
 }
 

@@ -68,7 +68,7 @@ pub use disasm::disassemble;
 pub use faults::{check_degradation, exposed_translator, FaultVerdict, HintFuzzer};
 pub use hints::{compute_hints, StaticHints};
 pub use memo::{MemoKey, MemoStats, MemoizedOutcome, TranslationMemo};
-pub use session::{VmSession, VmStats};
+pub use session::{fold_vm_stats, VmSession, VmStats};
 pub use translator::{
     TranslatedLoop, TranslationError, TranslationOutcome, TranslationPolicy, Translator,
 };

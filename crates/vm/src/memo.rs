@@ -19,8 +19,22 @@ use crate::translator::{TranslatedLoop, TranslationError};
 use crate::verify::HintVerdict;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 use veal_ir::PhaseBreakdown;
+use veal_obs::{metrics, Counter};
+
+/// Process-global hit/miss counters across *all* memo tables, so a sweep's
+/// aggregate memo efficiency shows up in one metrics snapshot. Per-table
+/// numbers stay in [`MemoStats`].
+fn global_counters() -> (&'static Counter, &'static Counter) {
+    static C: OnceLock<(&'static Counter, &'static Counter)> = OnceLock::new();
+    *C.get_or_init(|| {
+        (
+            metrics::counter("vm.memo.hits"),
+            metrics::counter("vm.memo.misses"),
+        )
+    })
+}
 
 /// Identity of one memoized translation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -102,10 +116,13 @@ impl TranslationMemo {
             .unwrap_or_else(PoisonError::into_inner)
             .get(key)
             .cloned();
+        let (hits, misses) = global_counters();
         if found.is_some() {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            hits.inc();
         } else {
             self.misses.fetch_add(1, Ordering::Relaxed);
+            misses.inc();
         }
         found
     }

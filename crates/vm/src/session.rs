@@ -6,9 +6,15 @@ use crate::memo::{MemoKey, MemoizedOutcome, TranslationMemo};
 use crate::translator::{TranslatedLoop, TranslationOutcome, Translator};
 use crate::verify::DegradeReason;
 use std::collections::{HashMap, HashSet};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use veal_ir::meter::ALL_PHASES;
 use veal_ir::{CostMeter, LoopBody, PhaseBreakdown};
+use veal_obs::{metrics, Event, HintKind, Histogram, Trace, TranslateStatus};
+
+fn invoke_wall_ns() -> &'static Histogram {
+    static H: OnceLock<&'static Histogram> = OnceLock::new();
+    H.get_or_init(|| metrics::histogram("vm.invoke.wall_ns"))
+}
 
 /// Consecutive hint-validation failures before a loop's hints are
 /// quarantined (the session stops consuming them and translates the loop
@@ -16,7 +22,7 @@ use veal_ir::{CostMeter, LoopBody, PhaseBreakdown};
 pub const QUARANTINE_THRESHOLD: u32 = 3;
 
 /// Aggregated statistics of a VM session.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct VmStats {
     /// Translation attempts actually performed (cache misses).
     pub translations: u64,
@@ -89,6 +95,9 @@ pub struct VmSession {
     /// Loops whose hints are no longer consulted (see
     /// [`QUARANTINE_THRESHOLD`]).
     quarantined: HashSet<u64>,
+    /// Observability handle; disabled by default. Events mirror the stat
+    /// updates exactly (see [`fold_vm_stats`]) and never alter them.
+    trace: Trace,
 }
 
 impl VmSession {
@@ -111,7 +120,19 @@ impl VmSession {
             budget: None,
             hint_failures: HashMap::new(),
             quarantined: HashSet::new(),
+            trace: Trace::null(),
         }
+    }
+
+    /// Attaches a trace handle: the session emits the structured events
+    /// documented in [`veal_obs::event`], and the translator gains its
+    /// wall-clock profile. Statistics and all abstract-cost numbers are
+    /// bit-identical with and without a trace.
+    #[must_use]
+    pub fn with_trace(mut self, trace: Trace) -> Self {
+        self.translator.set_trace(trace.clone());
+        self.trace = trace;
+        self
     }
 
     /// Caps any single translation at `units` abstract instructions. Past
@@ -150,17 +171,21 @@ impl VmSession {
     /// rejected loops return a baseline disposition at zero cost after the
     /// first attempt.
     pub fn invoke(&mut self, key: u64, body: &LoopBody, hints: &StaticHints) -> Invocation {
+        let _wall = self.trace.timer(invoke_wall_ns());
         if self.rejected.contains(&key) {
+            self.trace.emit(|| Event::PinnedSkip { key });
             return Invocation {
                 translated: None,
                 translation_cycles: 0,
             };
         }
         if let Some(t) = self.cache.get(key) {
-            return Invocation {
+            let hit = Invocation {
                 translated: Some(Arc::clone(t)),
                 translation_cycles: 0,
             };
+            self.trace.emit(|| Event::CacheHit { key });
+            return hit;
         }
         // Quarantined hints are not consulted (nor re-validated): the loop
         // translates as a hint-less binary would. The substitution happens
@@ -171,6 +196,10 @@ impl VmSession {
         } else {
             hints
         };
+        self.trace.emit(|| Event::TranslateStart {
+            key,
+            loop_hash: body.content_hash(),
+        });
         // Code-cache miss: consult the shared memo when attached, translate
         // otherwise; fresh results are published back into the memo.
         let outcome: MemoizedOutcome = match &self.memo {
@@ -181,8 +210,12 @@ impl VmSession {
                     hints_fp: hints.fingerprint(),
                 };
                 match memo.get(&mkey) {
-                    Some(hit) => hit,
+                    Some(hit) => {
+                        self.trace.emit(|| Event::MemoHit { key });
+                        hit
+                    }
                     None => {
+                        self.trace.emit(|| Event::MemoMiss { key });
                         let fresh: TranslationOutcome = self.translator.translate(body, hints);
                         let stored = MemoizedOutcome {
                             result: fresh.result.map(Arc::new),
@@ -210,15 +243,27 @@ impl VmSession {
         if outcome.verdict.is_degraded() {
             self.stats.degraded_translations += 1;
             for reason in outcome.verdict.degradations() {
-                match reason {
-                    DegradeReason::PriorityHint(_) => self.stats.priority_degradations += 1,
-                    DegradeReason::CcaHint(_) => self.stats.cca_degradations += 1,
-                }
+                let kind = match &reason {
+                    DegradeReason::PriorityHint(_) => {
+                        self.stats.priority_degradations += 1;
+                        HintKind::Priority
+                    }
+                    DegradeReason::CcaHint(_) => {
+                        self.stats.cca_degradations += 1;
+                        HintKind::Cca
+                    }
+                };
+                self.trace.emit(|| Event::HintDegrade {
+                    key,
+                    kind,
+                    reason: reason.to_string(),
+                });
             }
             let failures = self.hint_failures.entry(key).or_insert(0);
             *failures += 1;
             if *failures >= QUARANTINE_THRESHOLD && self.quarantined.insert(key) {
                 self.stats.quarantined_loops += 1;
+                self.trace.emit(|| Event::Quarantine { key });
             }
         } else if outcome.verdict.checks() > 0 {
             // A clean validation resets the failure streak.
@@ -236,6 +281,19 @@ impl VmSession {
                 self.stats.translation_units += paid.total();
                 self.stats.breakdown.merge(&paid);
                 self.rejected.insert(key);
+                self.trace.emit(|| Event::WatchdogAbort {
+                    key,
+                    cap,
+                    paid: paid.total(),
+                });
+                self.trace.emit(|| Event::TranslateEnd {
+                    key,
+                    status: TranslateStatus::WatchdogAbort,
+                    units: paid.total(),
+                    checks: outcome.verdict.checks(),
+                    degraded: outcome.verdict.is_degraded(),
+                    breakdown: paid,
+                });
                 return Invocation {
                     translated: None,
                     translation_cycles: paid.total(),
@@ -245,6 +303,18 @@ impl VmSession {
         self.stats.translations += 1;
         self.stats.translation_units += outcome.breakdown.total();
         self.stats.breakdown.merge(&outcome.breakdown);
+        self.trace.emit(|| Event::TranslateEnd {
+            key,
+            status: if outcome.result.is_ok() {
+                TranslateStatus::Mapped
+            } else {
+                TranslateStatus::Failed
+            },
+            units: outcome.breakdown.total(),
+            checks: outcome.verdict.checks(),
+            degraded: outcome.verdict.is_degraded(),
+            breakdown: outcome.breakdown,
+        });
         match outcome.result {
             Ok(arc) => {
                 // Control storage: 32-bit words (paper §4.3 sizes 16 loops
@@ -284,6 +354,50 @@ impl VmSession {
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
     }
+}
+
+/// Reconstructs a [`VmStats`] by folding a session's event stream.
+///
+/// This is the coherence contract between the trace and the counters: for
+/// any sequence of invocations, folding the events a session emitted must
+/// equal the [`VmSession::stats`] it reports directly. The obs-coherence
+/// tests drive both over a fuzz corpus and assert equality.
+#[must_use]
+pub fn fold_vm_stats(events: &[Event]) -> VmStats {
+    let mut stats = VmStats::default();
+    for e in events {
+        match e {
+            Event::TranslateEnd {
+                status,
+                units,
+                checks,
+                degraded,
+                breakdown,
+                ..
+            } => {
+                stats.translations += 1;
+                stats.translation_units += units;
+                stats.breakdown.merge(breakdown);
+                stats.hint_validations += checks;
+                stats.degraded_translations += u64::from(*degraded);
+                match status {
+                    TranslateStatus::Mapped => {}
+                    TranslateStatus::Failed => stats.failures += 1,
+                    TranslateStatus::WatchdogAbort => {
+                        stats.failures += 1;
+                        stats.watchdog_aborts += 1;
+                    }
+                }
+            }
+            Event::HintDegrade { kind, .. } => match kind {
+                HintKind::Priority => stats.priority_degradations += 1,
+                HintKind::Cca => stats.cca_degradations += 1,
+            },
+            Event::Quarantine { .. } => stats.quarantined_loops += 1,
+            _ => {}
+        }
+    }
+    stats
 }
 
 /// The prefix of `full` the watchdog lets the machine pay for: phases in

@@ -3,12 +3,61 @@
 use crate::hints::StaticHints;
 use crate::verify::{verify_and_apply_cca, verify_priority, HintVerdict};
 use std::fmt;
+use std::sync::OnceLock;
 use veal_accel::AcceleratorConfig;
 use veal_cca::{map_cca, CcaSpec};
 use veal_ir::dfg::Dfg;
+use veal_ir::meter::ALL_PHASES;
 use veal_ir::streams::{separate, SeparationError, StreamSummary};
 use veal_ir::{CostMeter, LoopBody, Phase, PhaseBreakdown};
+use veal_obs::{metrics, Counter, Histogram, Trace};
 use veal_sched::{modulo_schedule, PriorityKind, ScheduleError, ScheduleOptions, ScheduledLoop};
+
+/// Wall-clock per [`Translator::translate`] call. Wall time lives only in
+/// the metrics registry — never in trace events — and is only measured
+/// when a sink is installed.
+fn translate_wall_ns() -> &'static Histogram {
+    static H: OnceLock<&'static Histogram> = OnceLock::new();
+    H.get_or_init(|| metrics::histogram("vm.translate.wall_ns"))
+}
+
+/// Abstract units per translation (total across phases).
+fn translate_units_hist() -> &'static Histogram {
+    static H: OnceLock<&'static Histogram> = OnceLock::new();
+    H.get_or_init(|| metrics::histogram("vm.translate.units"))
+}
+
+/// Cumulative abstract units per phase, in [`ALL_PHASES`] order. These are
+/// always on (one relaxed add per non-zero phase per translation); they
+/// read the finished meter and never feed it.
+fn phase_unit_counters() -> &'static [&'static Counter; 9] {
+    static C: OnceLock<[&'static Counter; 9]> = OnceLock::new();
+    C.get_or_init(|| {
+        [
+            metrics::counter("vm.translate.units.loop-ident"),
+            metrics::counter("vm.translate.units.stream-sep"),
+            metrics::counter("vm.translate.units.cca-mapping"),
+            metrics::counter("vm.translate.units.res-mii"),
+            metrics::counter("vm.translate.units.rec-mii"),
+            metrics::counter("vm.translate.units.priority"),
+            metrics::counter("vm.translate.units.scheduling"),
+            metrics::counter("vm.translate.units.reg-assign"),
+            metrics::counter("vm.translate.units.hint-decode"),
+        ]
+    })
+}
+
+fn record_phase_units(breakdown: &PhaseBreakdown) {
+    let counters = phase_unit_counters();
+    debug_assert_eq!(counters.len(), ALL_PHASES.len());
+    for (i, &p) in ALL_PHASES.iter().enumerate() {
+        let units = breakdown.get(p);
+        if units != 0 {
+            counters[i].add(units);
+        }
+    }
+    translate_units_hist().record(breakdown.total());
+}
 
 /// Which translation steps use statically encoded results (paper §4.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -135,6 +184,10 @@ pub struct Translator {
     config: AcceleratorConfig,
     cca: Option<CcaSpec>,
     policy: TranslationPolicy,
+    /// Observability handle; disabled by default. Deliberately excluded
+    /// from [`Translator::fingerprint`] — tracing can never change what a
+    /// translator produces, so it must not split memo keys.
+    trace: Trace,
 }
 
 impl Translator {
@@ -146,7 +199,19 @@ impl Translator {
             config,
             cca,
             policy,
+            trace: Trace::null(),
         }
+    }
+
+    /// Attaches a trace handle (wall-clock profiling of `translate`).
+    #[must_use]
+    pub fn with_trace(mut self, trace: Trace) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    pub(crate) fn set_trace(&mut self, trace: Trace) {
+        self.trace = trace;
     }
 
     /// The target configuration.
@@ -200,6 +265,7 @@ impl Translator {
     /// (likewise), scheduling, register assignment.
     #[must_use]
     pub fn translate(&self, body: &LoopBody, hints: &StaticHints) -> TranslationOutcome {
+        let _wall = self.trace.timer(translate_wall_ns());
         let mut meter = CostMeter::new();
         // Loop identification: linear scan of the loop's instructions
         // (region formation already found the backward branch).
@@ -208,11 +274,12 @@ impl Translator {
         let sep = match separate(&body.dfg, &mut meter) {
             Ok(sep) => sep,
             Err(e) => {
+                record_phase_units(meter.breakdown());
                 return TranslationOutcome {
                     result: Err(TranslationError::Unsupported(e)),
                     breakdown: *meter.breakdown(),
                     verdict: HintVerdict::default(),
-                }
+                };
             }
         };
         let summary = sep.summary();
@@ -291,6 +358,7 @@ impl Translator {
             }
             Err(e) => Err(TranslationError::Schedule(e)),
         };
+        record_phase_units(meter.breakdown());
         TranslationOutcome {
             result,
             breakdown: *meter.breakdown(),

@@ -1,0 +1,154 @@
+//! Coherence tests for the observability layer (DESIGN.md §10).
+//!
+//! Two contracts are enforced over a seeded synth-loop corpus:
+//!
+//! 1. **fold coherence** — folding the event stream a `VmSession` emits
+//!    ([`veal::fold_vm_stats`]) reproduces the session's directly-counted
+//!    [`veal::VmStats`] exactly, for every stats path the session has
+//!    (clean translations, cache hits, hint degradation, quarantine,
+//!    watchdog aborts, pinned skips, failures);
+//! 2. **determinism** — two runs from the same seed produce byte-identical
+//!    JSONL, and attaching a sink never changes the counted statistics.
+
+use std::sync::Arc;
+use veal::obs::SharedBuf;
+use veal::{
+    compute_hints, exposed_translator, fold_vm_stats, parse_jsonl, JsonlSink, RingSink, Trace,
+    VmSession,
+};
+use veal_ir::rng::Rng64;
+use veal_ir::LoopBody;
+use veal_vm::StaticHints;
+use veal_workloads::{synth_loop, SynthSpec};
+
+const CASES: usize = 20;
+
+fn arb_spec(rng: &mut Rng64) -> SynthSpec {
+    SynthSpec {
+        seed: rng.next_u64(),
+        compute_ops: rng.gen_range(4, 32),
+        fp_frac: [0.0, 0.4, 0.8][rng.gen_range(0, 3)],
+        loads: rng.gen_range(1, 6),
+        stores: rng.gen_range(1, 3),
+        recurrences: rng.gen_range(0, 3),
+        rec_distance: rng.gen_range(1, 5) as u32,
+    }
+}
+
+/// A seeded corpus: synth loops paired with their *valid* static hints.
+fn corpus(seed: u64) -> Vec<(LoopBody, StaticHints)> {
+    let t = exposed_translator();
+    let mut rng = Rng64::new(seed);
+    (0..CASES)
+        .map(|_| {
+            let body = synth_loop(&arb_spec(&mut rng));
+            let hints = compute_hints(&body, t.config(), t.cca());
+            (body, hints)
+        })
+        .collect()
+}
+
+/// Drives a deterministic invocation schedule exercising every stats path.
+///
+/// The corpus (20 keys) overflows the paper's 16-entry code cache, so
+/// rounds re-translate evicted loops. Every third loop is invoked with
+/// hints computed for a *different* loop — the validator rejects those, the
+/// failure streak builds across rounds, and the loop is quarantined. The
+/// occasional immediate re-invoke lands a code-cache hit, and later rounds
+/// hit pinned (rejected) keys.
+fn drive(session: &mut VmSession, corpus: &[(LoopBody, StaticHints)]) {
+    for round in 0..4 {
+        for (i, (body, hints)) in corpus.iter().enumerate() {
+            let donor = &corpus[(i + 1) % corpus.len()].1;
+            let spliced = i % 3 == 0;
+            let h = if spliced { donor } else { hints };
+            let _ = session.invoke(i as u64, body, h);
+            if round == 0 && i % 5 == 0 {
+                let _ = session.invoke(i as u64, body, h);
+            }
+        }
+    }
+}
+
+#[test]
+fn folding_the_event_stream_equals_the_direct_counters() {
+    let ring = Arc::new(RingSink::new(1 << 16));
+    let mut session = VmSession::new(exposed_translator()).with_trace(Trace::new(ring.clone()));
+    let corpus = corpus(0xC0FFEE);
+    drive(&mut session, &corpus);
+
+    let events = ring.events();
+    assert_eq!(fold_vm_stats(&events), *session.stats());
+
+    // The schedule must actually have exercised the interesting paths, or
+    // the equality above proves less than it claims.
+    let stats = session.stats();
+    assert!(stats.translations > 0, "no translations happened");
+    assert!(stats.hint_validations > 0, "no hints were validated");
+    assert!(
+        stats.degraded_translations > 0,
+        "spliced hints were never rejected"
+    );
+    assert!(
+        stats.quarantined_loops > 0,
+        "no streak reached the quarantine threshold"
+    );
+}
+
+#[test]
+fn folding_covers_the_watchdog_abort_path() {
+    let ring = Arc::new(RingSink::new(1 << 16));
+    // A 40-unit budget is far below any synth loop's translation cost, so
+    // every attempt aborts at the cap and the key is pinned to the CPU.
+    let mut session = VmSession::new(exposed_translator())
+        .with_translation_budget(40)
+        .with_trace(Trace::new(ring.clone()));
+    let corpus = corpus(0xAB047);
+    for (i, (body, hints)) in corpus.iter().enumerate() {
+        let _ = session.invoke(i as u64, body, hints);
+        // Second invoke of a pinned key: a `pinned_skip`, no new counts.
+        let _ = session.invoke(i as u64, body, hints);
+    }
+
+    assert_eq!(fold_vm_stats(&ring.events()), *session.stats());
+    assert!(session.stats().watchdog_aborts > 0, "budget never tripped");
+    assert_eq!(session.stats().watchdog_aborts, session.stats().failures);
+}
+
+/// One full traced run from `seed`, returning the raw JSONL bytes.
+fn traced_run(seed: u64) -> Vec<u8> {
+    let buf = SharedBuf::new();
+    let trace = Trace::new(Arc::new(JsonlSink::to_writer(buf.clone())));
+    let mut session = VmSession::new(exposed_translator()).with_trace(trace.clone());
+    let corpus = corpus(seed);
+    drive(&mut session, &corpus);
+    trace.flush().expect("in-memory flush cannot fail");
+    buf.contents()
+}
+
+#[test]
+fn same_seed_runs_emit_byte_identical_jsonl() {
+    let a = traced_run(0x5EED);
+    let b = traced_run(0x5EED);
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "same-seed traces diverged");
+
+    // And the bytes are valid, strictly-parsed JSONL end to end.
+    let text = std::str::from_utf8(&a).expect("trace is UTF-8");
+    let events = parse_jsonl(text).expect("trace parses");
+    assert!(!events.is_empty());
+}
+
+#[test]
+fn attaching_a_sink_never_changes_the_counted_stats() {
+    let corpus = corpus(0xD15AB1ED);
+    let mut plain = VmSession::new(exposed_translator());
+    drive(&mut plain, &corpus);
+
+    let ring = Arc::new(RingSink::new(1 << 16));
+    let mut traced = VmSession::new(exposed_translator()).with_trace(Trace::new(ring.clone()));
+    drive(&mut traced, &corpus);
+
+    assert_eq!(plain.stats(), traced.stats());
+    assert!(!ring.events().is_empty());
+}
