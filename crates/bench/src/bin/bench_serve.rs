@@ -1,0 +1,266 @@
+//! Benchmarks the multi-tenant translation service (`veal::serve`): one
+//! seeded request stream served at 1/2/4/8 worker threads, cold and warm,
+//! asserting the serving invariant along the way — per-tenant statistics
+//! are **bit-identical** at every thread count (concurrency reorders work
+//! across tenants, never results within one).
+//!
+//! Two kinds of numbers, deliberately separated:
+//!
+//! * **wall-clock** — honest host measurements, tagged with `host_cores`;
+//!   on a one-core CI box these do not scale and are not expected to;
+//! * **lane model** — the deterministic abstract-cycle simulation of the
+//!   same dispatch policy ([`veal::serve::simulate_lanes`]), which is the
+//!   paper-style figure: identical on any machine. The `sim_speedup_4l`
+//!   field (4 lanes vs 1) is the scaling claim CI checks.
+//!
+//! Results go to `BENCH_serve.json`. Knobs for the CI smoke job:
+//! `VEAL_SERVE_REQUESTS`, `VEAL_SERVE_TENANTS`, `VEAL_SERVE_MAX_THREADS`.
+//! `--trace-out <path>` attaches a [`veal::JsonlSink`] to every tenant
+//! session (the file is validated by `vealc stats`).
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+use veal::serve::{generate, percentile, LaneReport, LoadSpec};
+use veal::{JsonlSink, ServeConfig, ServeReport, Trace, TranslationService, VmStats};
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Parses `--trace-out <path>` from argv; `None` when absent.
+fn trace_out_arg() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--trace-out" {
+            match args.next() {
+                Some(p) => return Some(p.into()),
+                None => {
+                    eprintln!("bench_serve: --trace-out requires a path");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// One thread count's wall-clock arm.
+struct WallArm {
+    threads: usize,
+    cold_ms: f64,
+    warm_ms: f64,
+    cold_rps: f64,
+    warm_rps: f64,
+    p50_ns: u64,
+    p99_ns: u64,
+}
+
+fn throughput_rps(completed: u64, wall_ns: u64) -> f64 {
+    completed as f64 / (wall_ns.max(1) as f64 / 1e9)
+}
+
+fn main() {
+    let trace = match trace_out_arg() {
+        Some(path) => match JsonlSink::create(&path) {
+            Ok(sink) => {
+                println!("tracing to {}", path.display());
+                Trace::new(Arc::new(sink))
+            }
+            Err(e) => {
+                eprintln!("bench_serve: cannot create {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        },
+        None => Trace::null(),
+    };
+
+    let spec = LoadSpec {
+        requests: env_usize("VEAL_SERVE_REQUESTS", 600),
+        tenants: env_usize("VEAL_SERVE_TENANTS", 4).max(1),
+        ..LoadSpec::default()
+    };
+    let max_threads = env_usize("VEAL_SERVE_MAX_THREADS", 8).max(1);
+    let thread_counts: Vec<usize> = [1usize, 2, 4, 8]
+        .into_iter()
+        .filter(|&t| t <= max_threads)
+        .collect();
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let base = ServeConfig::paper();
+    let stream = generate(&spec, &base.config, base.cca.as_ref());
+    println!(
+        "bench_serve: {} requests, {} tenants, threads {:?}, {} host core(s)",
+        stream.len(),
+        spec.tenants,
+        thread_counts,
+        host_cores
+    );
+
+    // Reference run: one thread, cold memo. Everything else is compared
+    // against these per-tenant stats, and its per-request simulated costs
+    // feed the lane model.
+    let mut reference: Option<Vec<VmStats>> = None;
+    let mut lane_costs: Vec<Vec<u64>> = Vec::new();
+    let mut arms: Vec<WallArm> = Vec::new();
+    let mut last_report: Option<ServeReport> = None;
+
+    for &threads in &thread_counts {
+        let cfg = ServeConfig {
+            threads,
+            ..base.clone()
+        };
+        // Closed loop: admit a queue-bound's worth per window so the
+        // bench measures serving, not shedding.
+        let window = spec.tenants * base.queue_capacity;
+        let service = TranslationService::new(cfg).with_trace(trace.clone());
+        let t0 = Instant::now();
+        let cold = service.run_windowed(&stream, window);
+        let cold_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let t0 = Instant::now();
+        let warm = service.run_windowed(&stream, window);
+        let warm_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        assert_eq!(cold.stats.shed, 0, "bench stream must not shed");
+        assert_eq!(
+            warm.stats.computes, 0,
+            "warm run recomputed a memoized translation"
+        );
+        assert_eq!(
+            cold.stats.duplicate_translations, 0,
+            "single-flight admitted duplicate work at {threads} thread(s)"
+        );
+
+        let stats: Vec<VmStats> = cold.tenants.iter().map(|t| t.stats.clone()).collect();
+        match &reference {
+            None => {
+                lane_costs = cold
+                    .tenants
+                    .iter()
+                    .map(|t| t.outcomes.iter().map(|o| o.translation_cycles).collect())
+                    .collect();
+                reference = Some(stats);
+            }
+            Some(reference) => {
+                // The serving invariant: thread count must be invisible in
+                // every tenant's stats, or the concurrency is unsound.
+                assert_eq!(
+                    reference, &stats,
+                    "per-tenant stats diverged at {threads} thread(s)"
+                );
+            }
+        }
+
+        let lat = cold.sorted_latencies_ns();
+        arms.push(WallArm {
+            threads,
+            cold_ms,
+            warm_ms,
+            cold_rps: throughput_rps(cold.stats.completed, cold.stats.wall_ns),
+            warm_rps: throughput_rps(warm.stats.completed, warm.stats.wall_ns),
+            p50_ns: percentile(&lat, 0.50),
+            p99_ns: percentile(&lat, 0.99),
+        });
+        last_report = Some(cold);
+    }
+
+    let report = last_report.expect("at least one thread count");
+    let duplicates = report.stats.duplicate_translations;
+
+    // The paper-style figure: the same dispatch policy in abstract
+    // cycles. Simulated lanes cost nothing, so the sweep is fixed —
+    // shrinking the wall-clock arms for CI never hides the 4-lane check.
+    let sims: Vec<LaneReport> = [1usize, 2, 4, 8]
+        .iter()
+        .map(|&l| veal::serve::simulate_lanes(&lane_costs, l, base.batch_size))
+        .collect();
+    let sim_1l = sims.first().expect("one lane point");
+    let sim_speedup_4l = sims
+        .iter()
+        .find(|s| s.lanes == 4)
+        .map(|s| s.throughput_rpmc / sim_1l.throughput_rpmc);
+    if let Some(speedup) = sim_speedup_4l {
+        assert!(
+            speedup >= 2.0,
+            "lane model must scale ≥2x at 4 lanes, got {speedup:.2}x"
+        );
+    }
+
+    let cache_hits: u64 = report.tenants.iter().map(|t| t.cache.hits).sum();
+    let cache_misses: u64 = report.tenants.iter().map(|t| t.cache.misses).sum();
+    for a in &arms {
+        println!(
+            "{} thread(s): cold {:>8.1} ms ({:>9.0} req/s), warm {:>8.1} ms ({:>9.0} req/s), p50 {} ns, p99 {} ns",
+            a.threads, a.cold_ms, a.cold_rps, a.warm_ms, a.warm_rps, a.p50_ns, a.p99_ns
+        );
+    }
+    for s in &sims {
+        println!(
+            "lane model {}: makespan {} cycles, {:.2} req/Mcycle, p50 {} p99 {}",
+            s.lanes, s.makespan_cycles, s.throughput_rpmc, s.p50_cycles, s.p99_cycles
+        );
+    }
+    println!(
+        "memo: {} hits / {} misses, {} entries; {} computes, {} coalesced, {} duplicates",
+        report.stats.memo.hits,
+        report.stats.memo.misses,
+        report.stats.memo.entries,
+        report.stats.computes,
+        report.stats.coalesced,
+        duplicates
+    );
+    println!("code caches: {cache_hits} hits / {cache_misses} misses");
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"serve\",");
+    let _ = writeln!(json, "  \"requests\": {},", stream.len());
+    let _ = writeln!(json, "  \"tenants\": {},", spec.tenants);
+    let _ = writeln!(json, "  \"host_cores\": {host_cores},");
+    json.push_str("  \"wall\": [\n");
+    for (i, a) in arms.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"threads\": {}, \"cold_ms\": {:.3}, \"warm_ms\": {:.3}, \
+             \"cold_rps\": {:.1}, \"warm_rps\": {:.1}, \"p50_ns\": {}, \"p99_ns\": {}}}",
+            a.threads, a.cold_ms, a.warm_ms, a.cold_rps, a.warm_rps, a.p50_ns, a.p99_ns
+        );
+        json.push_str(if i + 1 < arms.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n  \"sim\": [\n");
+    for (i, s) in sims.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"lanes\": {}, \"makespan_cycles\": {}, \"throughput_rpmc\": {:.3}, \
+             \"p50_cycles\": {}, \"p99_cycles\": {}}}",
+            s.lanes, s.makespan_cycles, s.throughput_rpmc, s.p50_cycles, s.p99_cycles
+        );
+        json.push_str(if i + 1 < sims.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    if let Some(speedup) = sim_speedup_4l {
+        let _ = writeln!(json, "  \"sim_speedup_4l\": {speedup:.3},");
+    }
+    let _ = writeln!(json, "  \"memo_hits\": {},", report.stats.memo.hits);
+    let _ = writeln!(json, "  \"memo_misses\": {},", report.stats.memo.misses);
+    let _ = writeln!(json, "  \"memo_entries\": {},", report.stats.memo.entries);
+    let _ = writeln!(json, "  \"computes\": {},", report.stats.computes);
+    let _ = writeln!(json, "  \"coalesced\": {},", report.stats.coalesced);
+    let _ = writeln!(json, "  \"duplicate_translations\": {duplicates},");
+    let _ = writeln!(json, "  \"cache_hits\": {cache_hits},");
+    let _ = writeln!(json, "  \"cache_misses\": {cache_misses},");
+    let _ = writeln!(json, "  \"shed\": {},", report.stats.shed);
+    json.push_str("  \"bit_identical\": true\n}\n");
+
+    if let Err(e) = std::fs::write("BENCH_serve.json", json) {
+        eprintln!("bench_serve: failed to write BENCH_serve.json: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote BENCH_serve.json");
+    if let Err(e) = trace.flush() {
+        eprintln!("bench_serve: failed to flush trace: {e}");
+        std::process::exit(1);
+    }
+}

@@ -6,6 +6,7 @@
 //! vealc dump <module.veal>                       # disassemble a module
 //! vealc suite [--policy ...]                     # run the benchmark suite
 //! vealc stats <trace.jsonl>                      # summarize a --trace-out file
+//! vealc serve [--requests N] [--tenants T] [--threads K] [--trace-out F]
 //! ```
 //!
 //! Loop files use the textual assembly format of `veal::ir::asm` (see the
@@ -20,7 +21,7 @@ use veal::{compute_hints, AcceleratorConfig, CcaSpec, StaticHints, System, Trans
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
-        eprintln!("usage: vealc <translate|pack|dump|suite|stats> ...");
+        eprintln!("usage: vealc <translate|pack|dump|suite|stats|serve> ...");
         return ExitCode::FAILURE;
     };
     let rest = &args[1..];
@@ -30,6 +31,7 @@ fn main() -> ExitCode {
         "dump" => dump(rest),
         "suite" => suite(rest),
         "stats" => stats(rest),
+        "serve" => serve(rest),
         other => Err(format!("unknown command `{other}`")),
     };
     match result {
@@ -205,6 +207,77 @@ fn suite(rest: &[String]) -> Result<(), String> {
     let system = System::paper(policy);
     let runs = system.run_suite(&veal::workloads::media_fp_suite());
     print!("{}", veal::sim::report::speedup_table(&runs));
+    Ok(())
+}
+
+/// Serves a seeded multi-tenant request stream through the in-process
+/// translation service (`veal::serve`) and prints the run's counters —
+/// the command-line face of the serving subsystem, and a quick way to
+/// watch the shared memo absorb cross-tenant duplication.
+fn serve(rest: &[String]) -> Result<(), String> {
+    let flag = |name: &str| -> Result<Option<usize>, String> {
+        match rest.iter().position(|a| a == name) {
+            None => Ok(None),
+            Some(i) => rest
+                .get(i + 1)
+                .and_then(|v| v.parse().ok())
+                .map(Some)
+                .ok_or_else(|| format!("{name} expects a number")),
+        }
+    };
+    let spec = veal::LoadSpec {
+        requests: flag("--requests")?.unwrap_or(256),
+        tenants: flag("--tenants")?.unwrap_or(4).max(1),
+        ..veal::LoadSpec::default()
+    };
+    let mut config = veal::ServeConfig::paper();
+    if let Some(threads) = flag("--threads")? {
+        config.threads = threads.max(1);
+    }
+
+    let trace = match rest.iter().position(|a| a == "--trace-out") {
+        None => veal::Trace::null(),
+        Some(i) => {
+            let path = rest.get(i + 1).ok_or("--trace-out expects a path")?;
+            let sink = veal::JsonlSink::create(std::path::Path::new(path))
+                .map_err(|e| format!("{path}: {e}"))?;
+            veal::Trace::new(std::sync::Arc::new(sink))
+        }
+    };
+
+    let stream = veal::serve::generate(&spec, &config.config, config.cca.as_ref());
+    let threads = config.threads;
+    let service = veal::TranslationService::new(config).with_trace(trace.clone());
+    let report = service.run(&stream);
+    let s = &report.stats;
+    println!(
+        "served {} of {} request(s) across {} tenant(s) on {} thread(s) ({} shed)",
+        s.completed,
+        s.offered,
+        report.tenants.len(),
+        threads,
+        s.shed
+    );
+    println!(
+        "memo: {} hits / {} misses, {} entries; {} computed, {} coalesced, {} duplicate(s)",
+        s.memo.hits,
+        s.memo.misses,
+        s.memo.entries,
+        s.computes,
+        s.coalesced,
+        s.duplicate_translations
+    );
+    for t in &report.tenants {
+        println!(
+            "  tenant {}: {} request(s), {} translation(s), cache {} hit / {} miss",
+            t.tenant,
+            t.outcomes.len(),
+            t.stats.translations,
+            t.cache.hits,
+            t.cache.misses
+        );
+    }
+    trace.flush().map_err(|e| format!("trace: {e}"))?;
     Ok(())
 }
 

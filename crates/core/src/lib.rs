@@ -23,6 +23,7 @@
 //! | [`sim`] | CPU/LA timing models and the speedup engine |
 //! | [`workloads`] | the 27-application benchmark suite |
 //! | [`obs`] | structured tracing, metrics registry, phase profiling |
+//! | [`serve`] | multi-tenant translation service: sharded memo, single-flight, admission control |
 //!
 //! # Quickstart
 //!
@@ -43,6 +44,7 @@ pub use veal_ir as ir;
 pub use veal_obs as obs;
 pub use veal_opt as opt;
 pub use veal_sched as sched;
+pub use veal_serve as serve;
 pub use veal_sim as sim;
 pub use veal_vm as vm;
 pub use veal_workloads as workloads;
@@ -63,6 +65,7 @@ pub use veal_ir::{
 pub use veal_obs::{parse_jsonl, Event, JsonlSink, NullSink, RingSink, Trace, TraceSink};
 pub use veal_opt::{legalize, RawLoop, TransformLimits};
 pub use veal_sched::{modulo_schedule, ScheduleOptions, ScheduledLoop};
+pub use veal_serve::{LoadSpec, ServeConfig, ServeReport, TranslationService};
 pub use veal_sim::{run_application, AccelSetup, AppRun, CpuModel, SweepContext};
 pub use veal_vm::{
     check_degradation, compute_hints, decode_module, encode_module, exposed_translator,

@@ -120,6 +120,11 @@ pub enum Event {
         /// Invocation key.
         key: u64,
     },
+    /// New hints (a different fingerprint) lifted a loop's quarantine.
+    QuarantineLift {
+        /// Invocation key.
+        key: u64,
+    },
     /// The translation budget watchdog abandoned a translation.
     WatchdogAbort {
         /// Invocation key.
@@ -170,6 +175,7 @@ impl Event {
             Event::TranslateEnd { .. } => "translate_end",
             Event::HintDegrade { .. } => "hint_degrade",
             Event::Quarantine { .. } => "quarantine",
+            Event::QuarantineLift { .. } => "quarantine_lift",
             Event::WatchdogAbort { .. } => "watchdog_abort",
             Event::CacheHit { .. } => "cache_hit",
             Event::PinnedSkip { .. } => "pinned_skip",
@@ -216,6 +222,7 @@ impl Event {
                 push_str(&mut out, "reason", reason);
             }
             Event::Quarantine { key }
+            | Event::QuarantineLift { key }
             | Event::CacheHit { key }
             | Event::PinnedSkip { key }
             | Event::MemoHit { key }
@@ -281,6 +288,7 @@ impl Event {
                 })
             }
             "quarantine" => Ok(Event::Quarantine { key: key()? }),
+            "quarantine_lift" => Ok(Event::QuarantineLift { key: key()? }),
             "watchdog_abort" => Ok(Event::WatchdogAbort {
                 key: key()?,
                 cap: num_field(&v, "cap")?,
@@ -459,6 +467,7 @@ mod tests {
                 reason: "priority order has 3 entries, graph has 5 ops".into(),
             },
             Event::Quarantine { key: 3 },
+            Event::QuarantineLift { key: 3 },
             Event::WatchdogAbort {
                 key: 4,
                 cap: 100,

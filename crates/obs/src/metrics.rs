@@ -98,6 +98,37 @@ impl Histogram {
     pub fn buckets(&self) -> [u64; BUCKETS] {
         std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
     }
+
+    /// An upper bound on the `q`-quantile sample (`q` in `[0, 1]`),
+    /// resolved to the log2 bucket boundary: the returned value is the
+    /// inclusive upper edge (`2^b − 1`) of the first bucket whose
+    /// cumulative count reaches rank `ceil(q × count)`. Returns 0 when no
+    /// samples were recorded. Bucket resolution means the bound can
+    /// overshoot the true quantile by at most 2×.
+    #[must_use]
+    pub fn value_at_quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (b, n) in self.buckets().iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // Bucket b holds values in [2^(b-1), 2^b); bucket 0 holds
+                // zeros, and the last bucket is open-ended.
+                return if b == 0 {
+                    0
+                } else if b == BUCKETS - 1 {
+                    u64::MAX
+                } else {
+                    (1u64 << b) - 1
+                };
+            }
+        }
+        u64::MAX
+    }
 }
 
 #[derive(Default)]
@@ -209,6 +240,9 @@ mod tests {
         assert_eq!(h.buckets()[bucket_of(5)], 1);
 
         let snap = snapshot_json();
+        assert_eq!(h.value_at_quantile(0.0), 0, "rank 1 is the zero sample");
+        assert_eq!(h.value_at_quantile(1.0), (1 << bucket_of(5)) - 1);
+
         let v = json::parse(&snap).expect("snapshot must be valid trace-dialect JSON");
         assert_eq!(
             v.field("counters")
@@ -217,5 +251,22 @@ mod tests {
             Some(42)
         );
         assert!(snap.contains("\"test.registry.hist\":{\"count\":2,\"sum\":5"));
+    }
+
+    #[test]
+    fn quantiles_resolve_to_bucket_upper_edges() {
+        let h = Histogram::default();
+        assert_eq!(h.value_at_quantile(0.5), 0, "empty histogram");
+        for v in [3u64, 3, 3, 3, 3, 3, 3, 3, 3, 1000] {
+            h.record(v);
+        }
+        // Ranks 1..=9 land in bucket 2 (values in [2, 4)) → edge 3; the
+        // p99/p100 rank is the 1000 sample → its bucket edge 1023.
+        assert_eq!(h.value_at_quantile(0.50), 3);
+        assert_eq!(h.value_at_quantile(0.90), 3);
+        assert_eq!(h.value_at_quantile(0.99), 1023);
+        assert_eq!(h.value_at_quantile(1.0), 1023);
+        h.record(u64::MAX);
+        assert_eq!(h.value_at_quantile(1.0), u64::MAX, "open-ended top bucket");
     }
 }

@@ -15,7 +15,7 @@
 //! [`std::thread::available_parallelism`]. `VEAL_THREADS=1` forces the
 //! serial path (no threads are spawned at all).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// Number of worker threads sweeps should use: the `VEAL_THREADS`
 /// environment variable when set to a positive integer, otherwise the
@@ -48,8 +48,10 @@ fn default_threads() -> usize {
 ///
 /// # Panics
 ///
-/// Propagates the first panic raised by `f` (remaining items may be
-/// skipped).
+/// Propagates the first panic raised by `f`. A panicking worker raises a
+/// shared abort flag before unwinding, so the surviving workers stop
+/// pulling items instead of burning through the rest of the sweep —
+/// remaining items are skipped, not evaluated.
 pub fn par_map_with<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
 where
     T: Sync,
@@ -61,18 +63,36 @@ where
     }
     let workers = threads.min(items.len());
     let cursor = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
     let parts: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(|| {
+                    // Armed until the pull loop exits normally: if `f`
+                    // panics, the drop runs during unwinding and raises the
+                    // abort flag for the other workers.
+                    struct AbortOnPanic<'a>(&'a AtomicBool, bool);
+                    impl Drop for AbortOnPanic<'_> {
+                        fn drop(&mut self) {
+                            if self.1 {
+                                self.0.store(true, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                    let mut sentinel = AbortOnPanic(&abort, true);
                     let mut local: Vec<(usize, R)> = Vec::new();
                     loop {
+                        if abort.load(Ordering::Relaxed) {
+                            break;
+                        }
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         if i >= items.len() {
-                            break local;
+                            break;
                         }
                         local.push((i, f(i, &items[i])));
                     }
+                    sentinel.1 = false;
+                    local
                 })
             })
             .collect();
@@ -146,6 +166,35 @@ mod tests {
     #[test]
     fn thread_count_is_positive() {
         assert!(thread_count() >= 1);
+    }
+
+    #[test]
+    fn a_panicking_worker_aborts_the_sweep() {
+        // One poisoned item panics immediately; the others spin briefly so
+        // the sweep takes long enough for the abort flag to be observed.
+        // Without the flag the surviving workers burn all 10k items before
+        // the panic propagates.
+        let items: Vec<u64> = (0..10_000).collect();
+        let processed = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            par_map_with(&items, 4, |i, &x| {
+                if i == 0 {
+                    panic!("poisoned item");
+                }
+                processed.fetch_add(1, Ordering::Relaxed);
+                let mut acc = x;
+                for _ in 0..2_000 {
+                    acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+                }
+                acc
+            })
+        }));
+        assert!(result.is_err(), "the panic must still propagate");
+        assert!(
+            processed.load(Ordering::Relaxed) < items.len() - 1,
+            "all {} surviving items were processed despite the abort flag",
+            items.len() - 1
+        );
     }
 
     #[test]

@@ -1,0 +1,210 @@
+//! Seeded deterministic load generation.
+//!
+//! A [`LoadSpec`] fully determines a request stream: same seed, same
+//! stream, byte for byte. Tenants draw from two pools — a **shared** pool
+//! of loops every tenant embeds (the same library kernel linked into many
+//! binaries, which is what the cross-tenant memo exists to absorb) and a
+//! **private** per-tenant pool nobody else requests. `shared_permille`
+//! sets the mix.
+
+use crate::service::Request;
+use std::sync::Arc;
+use veal_accel::AcceleratorConfig;
+use veal_cca::CcaSpec;
+use veal_ir::rng::Rng64;
+use veal_ir::LoopBody;
+use veal_vm::{compute_hints, StaticHints};
+use veal_workloads::{synth_loop, SynthSpec};
+
+/// A deterministic description of an offered load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadSpec {
+    /// Seed for the whole stream (pools, mix, ordering).
+    pub seed: u64,
+    /// Number of tenants; requests round-robin across them.
+    pub tenants: usize,
+    /// Total requests in the stream.
+    pub requests: usize,
+    /// Size of the shared loop pool.
+    pub shared_loops: usize,
+    /// Size of each tenant's private loop pool.
+    pub private_loops: usize,
+    /// Probability (in permille) that a request draws from the shared pool.
+    pub shared_permille: u32,
+    /// Whether requests ship statically computed hints.
+    pub hinted: bool,
+}
+
+impl Default for LoadSpec {
+    fn default() -> Self {
+        LoadSpec {
+            seed: 0x5EED_5E12,
+            tenants: 4,
+            requests: 256,
+            shared_loops: 6,
+            private_loops: 3,
+            shared_permille: 700,
+            hinted: true,
+        }
+    }
+}
+
+/// One pool entry: the body, its hints, and the invocation key tenants
+/// use for it.
+struct PoolLoop {
+    key: u64,
+    body: Arc<LoopBody>,
+    hints: Arc<StaticHints>,
+}
+
+fn pool_loop(
+    rng: &mut Rng64,
+    key: u64,
+    config: &AcceleratorConfig,
+    cca: Option<&CcaSpec>,
+    hinted: bool,
+) -> PoolLoop {
+    let spec = SynthSpec {
+        seed: rng.next_u64(),
+        compute_ops: rng.gen_range(4, 24),
+        fp_frac: [0.0, 0.4, 0.8][rng.gen_range(0, 3)],
+        loads: rng.gen_range(1, 5),
+        stores: rng.gen_range(1, 3),
+        recurrences: rng.gen_range(0, 3),
+        rec_distance: rng.gen_range(1, 4) as u32,
+    };
+    let body = synth_loop(&spec);
+    let hints = if hinted {
+        compute_hints(&body, config, cca)
+    } else {
+        StaticHints::none()
+    };
+    PoolLoop {
+        key,
+        body: Arc::new(body),
+        hints: Arc::new(hints),
+    }
+}
+
+/// Generates the request stream described by `spec`, translating for
+/// `config` (and `cca`, when the design has one).
+///
+/// Shared-pool loops carry the same `Arc<LoopBody>` across tenants (keys
+/// `0..shared_loops`); private loops get per-tenant bodies keyed from
+/// `shared_loops` upward. Tenancy is round-robin, so every tenant sees a
+/// deterministic FIFO slice of the stream.
+#[must_use]
+pub fn generate(
+    spec: &LoadSpec,
+    config: &AcceleratorConfig,
+    cca: Option<&CcaSpec>,
+) -> Vec<Request> {
+    let tenants = spec.tenants.max(1);
+    let mut rng = Rng64::new(spec.seed);
+    let shared: Vec<PoolLoop> = (0..spec.shared_loops.max(1))
+        .map(|k| pool_loop(&mut rng, k as u64, config, cca, spec.hinted))
+        .collect();
+    let private: Vec<Vec<PoolLoop>> = (0..tenants)
+        .map(|_| {
+            (0..spec.private_loops.max(1))
+                .map(|j| {
+                    let key = (spec.shared_loops.max(1) + j) as u64;
+                    pool_loop(&mut rng, key, config, cca, spec.hinted)
+                })
+                .collect()
+        })
+        .collect();
+
+    (0..spec.requests)
+        .map(|i| {
+            let tenant = i % tenants;
+            let pool = if rng.gen_range(0, 1000) < spec.shared_permille as usize {
+                &shared
+            } else {
+                &private[tenant]
+            };
+            let l = &pool[rng.gen_range(0, pool.len())];
+            Request {
+                tenant,
+                key: l.key,
+                body: Arc::clone(&l.body),
+                hints: Arc::clone(&l.hints),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arms() -> (AcceleratorConfig, CcaSpec) {
+        (AcceleratorConfig::paper_design(), CcaSpec::paper())
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let (config, cca) = arms();
+        let spec = LoadSpec::default();
+        let a = generate(&spec, &config, Some(&cca));
+        let b = generate(&spec, &config, Some(&cca));
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.tenant, y.tenant);
+            assert_eq!(x.key, y.key);
+            assert_eq!(x.body.content_hash(), y.body.content_hash());
+            assert_eq!(x.hints.fingerprint(), y.hints.fingerprint());
+        }
+    }
+
+    #[test]
+    fn shared_loops_are_the_same_body_across_tenants() {
+        let (config, cca) = arms();
+        let spec = LoadSpec {
+            shared_permille: 1000,
+            ..LoadSpec::default()
+        };
+        let stream = generate(&spec, &config, Some(&cca));
+        for r in &stream {
+            assert!((r.key as usize) < spec.shared_loops);
+        }
+        // The same key always maps to the same allocation, whatever the
+        // tenant — that sharing is what drives cross-tenant memo hits.
+        for r in &stream {
+            let twin = stream
+                .iter()
+                .find(|o| o.key == r.key && o.tenant != r.tenant);
+            if let Some(twin) = twin {
+                assert!(Arc::ptr_eq(&r.body, &twin.body));
+            }
+        }
+    }
+
+    #[test]
+    fn tenancy_is_round_robin_and_mix_respects_the_knob() {
+        let (config, cca) = arms();
+        let spec = LoadSpec {
+            requests: 1000,
+            shared_permille: 0,
+            ..LoadSpec::default()
+        };
+        let stream = generate(&spec, &config, Some(&cca));
+        for (i, r) in stream.iter().enumerate() {
+            assert_eq!(r.tenant, i % spec.tenants);
+            assert!((r.key as usize) >= spec.shared_loops, "private-only mix");
+        }
+    }
+
+    #[test]
+    fn unhinted_streams_ship_empty_hints() {
+        let (config, _) = arms();
+        let spec = LoadSpec {
+            hinted: false,
+            requests: 16,
+            ..LoadSpec::default()
+        };
+        for r in generate(&spec, &config, None) {
+            assert_eq!(r.hints.fingerprint(), StaticHints::none().fingerprint());
+        }
+    }
+}

@@ -1,0 +1,590 @@
+//! The multi-tenant translation service.
+//!
+//! One [`TranslationService`] owns the shared [`ShardedMemo`] and a
+//! configuration; each [`TranslationService::run`] call serves one request
+//! stream on fresh per-tenant sessions (the memo persists across runs, so
+//! a second run over the same corpus is the warm-memo arm).
+//!
+//! Dispatch: a tenant index sits in the ready queue exactly when it has
+//! admitted work and no worker is currently draining it. Workers pop a
+//! tenant, drain up to `batch_size` requests in FIFO order under the
+//! tenant's lock, then requeue it if work remains. One worker per tenant
+//! at a time ⇒ every tenant observes a strictly sequential invocation
+//! order ⇒ the solo-replay bit-identity invariant holds by construction.
+
+use crate::lanes::{simulate_lanes, LaneReport};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, PoisonError};
+use std::time::Instant;
+use veal_accel::AcceleratorConfig;
+use veal_cca::CcaSpec;
+use veal_ir::LoopBody;
+use veal_obs::{metrics, Counter, Histogram, Trace};
+use veal_vm::{
+    CacheStats, CodeCache, MemoBackend, MemoStats, ShardedMemo, StaticHints, TranslatedLoop,
+    TranslationPolicy, Translator, VmSession, VmStats,
+};
+
+/// Process-global serve-path meters (PR 4 rule: the service increments,
+/// reporting reads; local counters stay the source of truth for reports).
+struct ServeMeters {
+    offered: &'static Counter,
+    shed: &'static Counter,
+    completed: &'static Counter,
+    batches: &'static Counter,
+    latency_ns: &'static Histogram,
+}
+
+fn meters() -> &'static ServeMeters {
+    static M: OnceLock<ServeMeters> = OnceLock::new();
+    M.get_or_init(|| ServeMeters {
+        offered: metrics::counter("serve.requests.offered"),
+        shed: metrics::counter("serve.requests.shed"),
+        completed: metrics::counter("serve.requests.completed"),
+        batches: metrics::counter("serve.batches"),
+        latency_ns: metrics::histogram("serve.request.wall_ns"),
+    })
+}
+
+/// One translation request in the stream.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Which tenant issued it (dense indices from 0).
+    pub tenant: usize,
+    /// The tenant's invocation key for the loop.
+    pub key: u64,
+    /// The loop to translate. Shared bodies (`Arc`) model binaries that
+    /// embed the same kernel — the cross-tenant duplication the memo and
+    /// single-flight exist to absorb.
+    pub body: Arc<LoopBody>,
+    /// Static hints shipped with the binary.
+    pub hints: Arc<StaticHints>,
+}
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads draining the ready queue.
+    pub threads: usize,
+    /// Max requests drained per tenant per dispatch turn. Larger batches
+    /// amortize dispatch overhead; smaller ones interleave tenants more
+    /// fairly.
+    pub batch_size: usize,
+    /// Per-tenant admission-queue bound; the oldest queued request is shed
+    /// when a tenant's queue is full.
+    pub queue_capacity: usize,
+    /// Shards of the shared memo (rounded up to a power of two).
+    pub shards: usize,
+    /// Whether concurrent misses on one key coalesce onto one translation.
+    pub single_flight: bool,
+    /// Per-tenant code-cache entries.
+    pub cache_entries: usize,
+    /// Optional per-tenant code-cache byte budget (oversized translations
+    /// are rejected, never overcommitted).
+    pub cache_byte_budget: Option<usize>,
+    /// Optional per-translation watchdog budget, in abstract units.
+    pub translation_budget: Option<u64>,
+    /// Accelerator design point every tenant translates for.
+    pub config: AcceleratorConfig,
+    /// CCA specification, when the design has a CCA.
+    pub cca: Option<CcaSpec>,
+    /// Translation policy (hint consumption vs. fully dynamic).
+    pub policy: TranslationPolicy,
+}
+
+impl ServeConfig {
+    /// The paper design point with serving defaults: 8 memo shards,
+    /// single-flight on, 16-entry caches, batch of 8, 64-deep queues.
+    #[must_use]
+    pub fn paper() -> Self {
+        ServeConfig {
+            threads: veal_par::thread_count(),
+            batch_size: 8,
+            queue_capacity: 64,
+            shards: 8,
+            single_flight: true,
+            cache_entries: 16,
+            cache_byte_budget: None,
+            translation_budget: None,
+            config: AcceleratorConfig::paper_design(),
+            cca: Some(CcaSpec::paper()),
+            policy: TranslationPolicy::static_hints(),
+        }
+    }
+
+    /// A solo session configured exactly like the service's per-tenant
+    /// sessions, minus the shared memo: the reference for the differential
+    /// determinism tests.
+    #[must_use]
+    pub fn solo_session(&self) -> VmSession {
+        let mut session = VmSession::with_cache(self.translator(), self.cache());
+        if let Some(units) = self.translation_budget {
+            session = session.with_translation_budget(units);
+        }
+        session
+    }
+
+    fn translator(&self) -> Translator {
+        Translator::new(self.config.clone(), self.cca.clone(), self.policy)
+    }
+
+    fn cache(&self) -> CodeCache<Arc<TranslatedLoop>> {
+        match self.cache_byte_budget {
+            Some(bytes) => CodeCache::with_byte_budget(self.cache_entries, bytes),
+            None => CodeCache::new(self.cache_entries),
+        }
+    }
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Counters of one [`TranslationService::run`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Requests in the stream.
+    pub offered: u64,
+    /// Requests dropped by shed-oldest backpressure.
+    pub shed: u64,
+    /// Requests processed to completion (`offered - shed`).
+    pub completed: u64,
+    /// Dispatch turns taken (tenant drains of up to `batch_size`).
+    pub batches: u64,
+    /// Translations actually computed through the memo this run.
+    pub computes: u64,
+    /// Lookups coalesced onto another thread's in-flight translation.
+    pub coalesced: u64,
+    /// Redundant translations this run (`computes` minus new memo
+    /// entries); 0 under single-flight.
+    pub duplicate_translations: u64,
+    /// Shared-memo counters at the end of the run (cumulative across runs
+    /// on the same service).
+    pub memo: MemoStats,
+    /// Host wall time of the run.
+    pub wall_ns: u64,
+}
+
+/// One completed request, in the tenant's processing (= admission) order.
+#[derive(Debug, Clone)]
+pub struct RequestOutcome {
+    /// Index of the request in the offered stream.
+    pub seq: usize,
+    /// The tenant's invocation key.
+    pub key: u64,
+    /// The resident translation, when the loop mapped.
+    pub translated: Option<Arc<TranslatedLoop>>,
+    /// Simulated cycles this invocation charged (0 on a code-cache hit).
+    pub translation_cycles: u64,
+    /// Host wall time from admission to completion.
+    pub latency_ns: u64,
+}
+
+/// Everything one tenant's session produced.
+#[derive(Debug)]
+pub struct TenantReport {
+    /// Tenant index.
+    pub tenant: usize,
+    /// The session's statistics — bit-identical to a solo replay.
+    pub stats: VmStats,
+    /// The session's code-cache statistics.
+    pub cache: CacheStats,
+    /// Completed requests in processing order.
+    pub outcomes: Vec<RequestOutcome>,
+}
+
+/// The result of serving one request stream.
+#[derive(Debug)]
+pub struct ServeReport {
+    /// Run-level counters.
+    pub stats: ServeStats,
+    /// Per-tenant sessions, indexed by tenant.
+    pub tenants: Vec<TenantReport>,
+}
+
+impl ServeReport {
+    /// All completion latencies, ascending.
+    #[must_use]
+    pub fn sorted_latencies_ns(&self) -> Vec<u64> {
+        let mut all: Vec<u64> = self
+            .tenants
+            .iter()
+            .flat_map(|t| t.outcomes.iter().map(|o| o.latency_ns))
+            .collect();
+        all.sort_unstable();
+        all
+    }
+
+    /// Replays this run's per-request simulated costs through the
+    /// deterministic lane model (same dispatch policy, abstract cycles) —
+    /// the host-independent throughput/latency figures.
+    #[must_use]
+    pub fn lane_model(&self, lanes: usize, batch_size: usize) -> LaneReport {
+        let costs: Vec<Vec<u64>> = self
+            .tenants
+            .iter()
+            .map(|t| t.outcomes.iter().map(|o| o.translation_cycles).collect())
+            .collect();
+        simulate_lanes(&costs, lanes, batch_size)
+    }
+}
+
+/// A queued request awaiting dispatch.
+struct Admitted {
+    seq: usize,
+    key: u64,
+    body: Arc<LoopBody>,
+    hints: Arc<StaticHints>,
+    admitted_at: Instant,
+}
+
+/// One tenant's serving state; locked as a unit, so exactly one worker
+/// drains a tenant at any moment.
+struct TenantState {
+    session: VmSession,
+    queue: VecDeque<Admitted>,
+    outcomes: Vec<RequestOutcome>,
+}
+
+impl TenantState {
+    fn process(&mut self, req: Admitted) {
+        let inv = self.session.invoke(req.key, &req.body, &req.hints);
+        let latency_ns = u64::try_from(req.admitted_at.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        meters().latency_ns.record(latency_ns);
+        meters().completed.inc();
+        self.outcomes.push(RequestOutcome {
+            seq: req.seq,
+            key: req.key,
+            translated: inv.translated,
+            translation_cycles: inv.translation_cycles,
+            latency_ns,
+        });
+    }
+}
+
+/// Worker coordination for one drain phase.
+struct Dispatch {
+    /// Tenant indices with queued work and no worker attached.
+    ready: Mutex<VecDeque<usize>>,
+    wake: Condvar,
+    /// Admitted requests not yet completed this phase.
+    remaining: AtomicUsize,
+    done: AtomicBool,
+}
+
+/// The multi-tenant translation service. See the crate docs for the
+/// architecture and the determinism invariant.
+#[derive(Debug)]
+pub struct TranslationService {
+    config: ServeConfig,
+    memo: Arc<ShardedMemo>,
+    trace: Trace,
+}
+
+impl TranslationService {
+    /// Creates a service; the shared memo lives as long as the service, so
+    /// successive runs reuse translations (warm arms).
+    #[must_use]
+    pub fn new(config: ServeConfig) -> Self {
+        let memo =
+            Arc::new(ShardedMemo::new(config.shards).with_single_flight(config.single_flight));
+        TranslationService {
+            config,
+            memo,
+            trace: Trace::null(),
+        }
+    }
+
+    /// Attaches a trace handle cloned into every tenant session. Sinks are
+    /// line-atomic ([`veal_obs::JsonlSink`]), so concurrent tenants produce
+    /// a valid (interleaved) JSONL stream.
+    #[must_use]
+    pub fn with_trace(mut self, trace: Trace) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// The service configuration.
+    #[must_use]
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// The shared memo (for duplicate-translation accounting in tests and
+    /// benchmarks).
+    #[must_use]
+    pub fn memo(&self) -> &Arc<ShardedMemo> {
+        &self.memo
+    }
+
+    /// Serves the whole stream open-loop: every request is admitted up
+    /// front (shedding under the queue bound), then drained to completion.
+    #[must_use]
+    pub fn run(&self, requests: &[Request]) -> ServeReport {
+        self.run_windowed(requests, usize::MAX)
+    }
+
+    /// Closed-loop serving: admit `window` requests, drain them, repeat.
+    /// Shedding only occurs when a single window overruns a tenant's queue
+    /// bound, so the window size is the offered-load knob.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is 0.
+    #[must_use]
+    pub fn run_windowed(&self, requests: &[Request], window: usize) -> ServeReport {
+        assert!(window > 0, "window must be positive");
+        let t0 = Instant::now();
+        let computes_before = self.memo.computes();
+        let coalesced_before = self.memo.coalesced();
+        let entries_before = MemoBackend::stats(&*self.memo).entries as u64;
+
+        let tenant_count = requests.iter().map(|r| r.tenant + 1).max().unwrap_or(0);
+        let tenants: Vec<Mutex<TenantState>> = (0..tenant_count)
+            .map(|_| {
+                let mut session = self.config.solo_session();
+                session = session
+                    .with_memo_backend(Arc::clone(&self.memo) as Arc<dyn MemoBackend>)
+                    .with_trace(self.trace.clone());
+                Mutex::new(TenantState {
+                    session,
+                    queue: VecDeque::new(),
+                    outcomes: Vec::new(),
+                })
+            })
+            .collect();
+
+        let mut stats = ServeStats {
+            offered: requests.len() as u64,
+            ..ServeStats::default()
+        };
+        let mut base = 0usize;
+        for chunk in requests.chunks(window.min(requests.len().max(1))) {
+            // Admission is single-threaded and precedes the drain, so which
+            // requests survive the queue bound is a pure function of the
+            // stream — shedding is deterministic regardless of threads.
+            for (offset, r) in chunk.iter().enumerate() {
+                meters().offered.inc();
+                let seq = base + offset;
+                let mut tenant = tenants[r.tenant]
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
+                if tenant.queue.len() == self.config.queue_capacity.max(1) {
+                    tenant.queue.pop_front();
+                    stats.shed += 1;
+                    meters().shed.inc();
+                }
+                tenant.queue.push_back(Admitted {
+                    seq,
+                    key: r.key,
+                    body: Arc::clone(&r.body),
+                    hints: Arc::clone(&r.hints),
+                    admitted_at: Instant::now(),
+                });
+            }
+            base += chunk.len();
+            stats.batches += self.drain(&tenants);
+        }
+
+        stats.completed = stats.offered - stats.shed;
+        stats.computes = self.memo.computes() - computes_before;
+        stats.coalesced = self.memo.coalesced() - coalesced_before;
+        let new_entries = MemoBackend::stats(&*self.memo).entries as u64 - entries_before;
+        stats.duplicate_translations = stats.computes.saturating_sub(new_entries);
+        stats.memo = MemoBackend::stats(&*self.memo);
+        stats.wall_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+
+        let tenants = tenants
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let t = t.into_inner().unwrap_or_else(PoisonError::into_inner);
+                debug_assert!(t.queue.is_empty(), "drain left queued work");
+                TenantReport {
+                    tenant: i,
+                    stats: t.session.stats().clone(),
+                    cache: t.session.cache_stats(),
+                    outcomes: t.outcomes,
+                }
+            })
+            .collect();
+        ServeReport { stats, tenants }
+    }
+
+    /// Drains every queued request; returns the number of dispatch turns.
+    fn drain(&self, tenants: &[Mutex<TenantState>]) -> u64 {
+        let mut ready = VecDeque::new();
+        let mut total = 0usize;
+        for (i, t) in tenants.iter().enumerate() {
+            let n = t.lock().unwrap_or_else(PoisonError::into_inner).queue.len();
+            if n > 0 {
+                ready.push_back(i);
+                total += n;
+            }
+        }
+        if total == 0 {
+            return 0;
+        }
+        let dispatch = Dispatch {
+            ready: Mutex::new(ready),
+            wake: Condvar::new(),
+            remaining: AtomicUsize::new(total),
+            done: AtomicBool::new(false),
+        };
+        let batches = AtomicU64::new(0);
+        let batch_size = self.config.batch_size.max(1);
+        let workers = self.config.threads.max(1).min(tenants.len());
+        if workers == 1 {
+            Self::worker(&dispatch, tenants, batch_size, &batches);
+        } else {
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| Self::worker(&dispatch, tenants, batch_size, &batches));
+                }
+            });
+        }
+        batches.load(Ordering::Relaxed)
+    }
+
+    fn worker(
+        dispatch: &Dispatch,
+        tenants: &[Mutex<TenantState>],
+        batch_size: usize,
+        batches: &AtomicU64,
+    ) {
+        loop {
+            let idx = {
+                let mut ready = dispatch
+                    .ready
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
+                loop {
+                    if let Some(i) = ready.pop_front() {
+                        break i;
+                    }
+                    if dispatch.done.load(Ordering::Acquire) {
+                        return;
+                    }
+                    ready = dispatch
+                        .wake
+                        .wait(ready)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+            };
+            let mut tenant = tenants[idx].lock().unwrap_or_else(PoisonError::into_inner);
+            let drained = batch_size.min(tenant.queue.len());
+            for _ in 0..drained {
+                let req = tenant.queue.pop_front().expect("counted above");
+                tenant.process(req);
+            }
+            let more = !tenant.queue.is_empty();
+            drop(tenant);
+            batches.fetch_add(1, Ordering::Relaxed);
+            meters().batches.inc();
+            if more {
+                let mut ready = dispatch
+                    .ready
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
+                ready.push_back(idx);
+                dispatch.wake.notify_one();
+            }
+            if dispatch.remaining.fetch_sub(drained, Ordering::AcqRel) == drained {
+                dispatch.done.store(true, Ordering::Release);
+                dispatch.wake.notify_all();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loadgen::{generate, LoadSpec};
+
+    fn small_stream(requests: usize) -> (ServeConfig, Vec<Request>) {
+        let cfg = ServeConfig::paper();
+        let spec = LoadSpec {
+            requests,
+            tenants: 3,
+            ..LoadSpec::default()
+        };
+        let stream = generate(&spec, &cfg.config, cfg.cca.as_ref());
+        (cfg, stream)
+    }
+
+    #[test]
+    fn a_run_completes_every_admitted_request() {
+        let (cfg, stream) = small_stream(60);
+        let service = TranslationService::new(cfg);
+        let report = service.run(&stream);
+        assert_eq!(report.stats.offered, 60);
+        assert_eq!(report.stats.shed, 0, "default queues are deep enough");
+        assert_eq!(report.stats.completed, 60);
+        let outcomes: usize = report.tenants.iter().map(|t| t.outcomes.len()).sum();
+        assert_eq!(outcomes, 60);
+        assert!(report.stats.computes > 0, "a cold memo must compute");
+        assert_eq!(report.stats.duplicate_translations, 0);
+        // Each tenant saw its slice of the stream, in stream order.
+        for t in &report.tenants {
+            for (a, b) in t.outcomes.iter().zip(t.outcomes.iter().skip(1)) {
+                assert!(a.seq < b.seq, "tenant {} processed out of order", t.tenant);
+            }
+        }
+    }
+
+    #[test]
+    fn overload_sheds_the_oldest_requests() {
+        let (mut cfg, stream) = small_stream(90);
+        cfg.queue_capacity = 4;
+        let service = TranslationService::new(cfg);
+        let report = service.run(&stream);
+        assert_eq!(report.stats.offered, 90);
+        assert_eq!(report.stats.shed, 90 - 3 * 4);
+        assert_eq!(report.stats.completed, 12);
+        // Shed-oldest: the survivors are each tenant's *newest* requests.
+        for t in &report.tenants {
+            assert_eq!(t.outcomes.len(), 4);
+            let mut newest: Vec<usize> = stream
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.tenant == t.tenant)
+                .map(|(i, _)| i)
+                .collect();
+            newest.drain(..newest.len() - 4);
+            let got: Vec<usize> = t.outcomes.iter().map(|o| o.seq).collect();
+            assert_eq!(got, newest, "tenant {}", t.tenant);
+        }
+    }
+
+    #[test]
+    fn windowed_runs_shed_nothing_the_open_loop_run_would_keep() {
+        let (mut cfg, stream) = small_stream(90);
+        cfg.queue_capacity = 4;
+        let service = TranslationService::new(cfg);
+        // Windows no larger than tenants × capacity never overrun a queue.
+        let report = service.run_windowed(&stream, 12);
+        assert_eq!(report.stats.shed, 0);
+        assert_eq!(report.stats.completed, 90);
+    }
+
+    #[test]
+    fn a_warm_memo_computes_nothing_new() {
+        let (cfg, stream) = small_stream(60);
+        let service = TranslationService::new(cfg);
+        let cold = service.run(&stream);
+        let warm = service.run(&stream);
+        assert!(cold.stats.computes > 0);
+        assert_eq!(warm.stats.computes, 0, "second run must be all memo hits");
+        assert_eq!(warm.stats.duplicate_translations, 0);
+        // The memo cannot change what a tenant observes: the warm run's
+        // per-tenant stats are bit-identical to the cold run's.
+        for (c, w) in cold.tenants.iter().zip(&warm.tenants) {
+            assert_eq!(c.stats, w.stats);
+            assert_eq!(c.outcomes.len(), w.outcomes.len());
+        }
+    }
+}

@@ -18,6 +18,9 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries evicted by LRU pressure.
     pub evictions: u64,
+    /// Inserts rejected because the entry alone exceeds the byte budget
+    /// (the control store physically cannot hold it).
+    pub oversized_rejections: u64,
 }
 
 impl CacheStats {
@@ -37,11 +40,12 @@ impl fmt::Display for CacheStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} hits, {} misses ({:.1}%), {} evictions",
+            "{} hits, {} misses ({:.1}%), {} evictions, {} oversized rejections",
             self.hits,
             self.misses,
             100.0 * self.hit_rate(),
-            self.evictions
+            self.evictions,
+            self.oversized_rejections
         )
     }
 }
@@ -93,8 +97,10 @@ impl<T> CodeCache<T> {
     /// inserted with a size ([`CodeCache::insert_sized`]) and LRU eviction
     /// also runs until the resident bytes fit. The paper sizes its 16-entry
     /// cache at ~48 KB of accelerator control (§4.3). Zero bounds saturate
-    /// like [`CodeCache::new`]: at least one entry, at least one byte
-    /// (an oversized sole entry still inserts — see the tests).
+    /// like [`CodeCache::new`]: at least one entry, at least one byte. An
+    /// entry larger than the whole budget can never fit and is rejected
+    /// (counted in [`CacheStats::oversized_rejections`]) — the control
+    /// store's resident bytes never exceed the budget.
     #[must_use]
     pub fn with_byte_budget(capacity: usize, bytes: usize) -> Self {
         let mut c = Self::new(capacity);
@@ -138,11 +144,18 @@ impl<T> CodeCache<T> {
 
     /// Inserts a translation occupying `bytes` of code-cache storage,
     /// evicting LRU entries until both the entry count and the byte budget
-    /// (when configured) fit.
+    /// (when configured) fit. An entry larger than the entire byte budget
+    /// is rejected outright — evicting everything else still could not
+    /// make it fit, and silently overcommitting the control store would
+    /// leave `bytes_resident` above the budget.
     pub fn insert_sized(&mut self, key: u64, value: T, bytes: usize) {
         self.clock += 1;
         if let Some((_, _, old)) = self.entries.remove(&key) {
             self.bytes_resident -= old;
+        }
+        if self.byte_budget.is_some_and(|b| bytes > b) {
+            self.stats.oversized_rejections += 1;
+            return;
         }
         let over = |c: &Self| {
             c.entries.len() >= c.capacity
@@ -274,11 +287,47 @@ mod tests {
     }
 
     #[test]
-    fn oversized_entry_still_inserts_alone() {
+    fn oversized_entry_is_rejected_not_overcommitted() {
         let mut c: CodeCache<u8> = CodeCache::with_byte_budget(4, 10);
         c.insert_sized(1, 0, 50); // bigger than the whole budget
-        assert!(c.contains(1));
-        assert_eq!(c.len(), 1);
+        assert!(!c.contains(1), "an entry that can never fit is rejected");
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.bytes_resident(), 0);
+        assert_eq!(c.stats().oversized_rejections, 1);
+        // The regression this guards: the old code evicted the whole cache
+        // and inserted anyway, leaving bytes_resident > byte_budget.
+        c.insert_sized(2, 0, 8);
+        c.insert_sized(3, 0, 11);
+        assert!(c.contains(2), "resident entries survive a rejected insert");
+        assert!(c.bytes_resident() <= 10);
+        assert_eq!(c.stats().evictions, 0, "rejection does not evict");
+        assert_eq!(c.stats().oversized_rejections, 2);
+    }
+
+    #[test]
+    fn oversized_reinsert_of_a_resident_key_drops_the_old_entry() {
+        // The new translation logically replaces the old one; if it cannot
+        // be stored, the stale version must not linger either.
+        let mut c: CodeCache<u8> = CodeCache::with_byte_budget(4, 10);
+        c.insert_sized(1, 0, 5);
+        c.insert_sized(1, 1, 50);
+        assert!(!c.contains(1));
+        assert_eq!(c.bytes_resident(), 0);
+        assert_eq!(c.stats().oversized_rejections, 1);
+    }
+
+    #[test]
+    fn budget_is_never_exceeded_under_mixed_inserts() {
+        let mut c: CodeCache<u8> = CodeCache::with_byte_budget(8, 64);
+        for k in 0..200u64 {
+            c.insert_sized(k, 0, (k as usize * 13) % 90);
+            assert!(
+                c.bytes_resident() <= 64,
+                "key {k}: {} bytes resident over the 64-byte budget",
+                c.bytes_resident()
+            );
+        }
+        assert!(c.stats().oversized_rejections > 0);
     }
 
     #[test]
@@ -301,10 +350,14 @@ mod tests {
     }
 
     #[test]
-    fn zero_byte_budget_clamps_and_still_inserts() {
+    fn zero_byte_budget_clamps_to_one_byte() {
         let mut c: CodeCache<u8> = CodeCache::with_byte_budget(0, 0);
         c.insert_sized(1, 0, 50);
-        assert!(c.contains(1));
+        assert!(!c.contains(1), "50 bytes cannot fit the 1-byte floor");
+        assert_eq!(c.stats().oversized_rejections, 1);
+        // Entries within the clamped budget still insert.
+        c.insert_sized(2, 0, 1);
+        assert!(c.contains(2));
         assert_eq!(c.len(), 1);
     }
 }

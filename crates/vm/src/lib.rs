@@ -67,7 +67,7 @@ pub use cache::{CacheStats, CodeCache};
 pub use disasm::disassemble;
 pub use faults::{check_degradation, exposed_translator, FaultVerdict, HintFuzzer};
 pub use hints::{compute_hints, StaticHints};
-pub use memo::{MemoKey, MemoStats, MemoizedOutcome, TranslationMemo};
+pub use memo::{MemoBackend, MemoKey, MemoStats, MemoizedOutcome, ShardedMemo, TranslationMemo};
 pub use session::{fold_vm_stats, VmSession, VmStats};
 pub use translator::{
     TranslatedLoop, TranslationError, TranslationOutcome, TranslationPolicy, Translator,

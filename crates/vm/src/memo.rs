@@ -18,8 +18,10 @@
 use crate::translator::{TranslatedLoop, TranslationError};
 use crate::verify::HintVerdict;
 use std::collections::HashMap;
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, PoisonError};
+use veal_ir::rng::Fnv64;
 use veal_ir::PhaseBreakdown;
 use veal_obs::{metrics, Counter};
 
@@ -127,6 +129,18 @@ impl TranslationMemo {
         found
     }
 
+    /// Looks up `key` **without** touching the hit/miss counters. Used by
+    /// the single-flight layer to re-check the table after the counted
+    /// lookup already missed, so one logical lookup is counted exactly once.
+    #[must_use]
+    pub fn peek(&self, key: &MemoKey) -> Option<MemoizedOutcome> {
+        self.map
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(key)
+            .cloned()
+    }
+
     /// Stores an outcome. First writer wins on a racing key (both computed
     /// the same deterministic result, so either is correct).
     pub fn insert(&self, key: MemoKey, outcome: MemoizedOutcome) {
@@ -148,6 +162,334 @@ impl TranslationMemo {
                 .lock()
                 .unwrap_or_else(PoisonError::into_inner)
                 .len(),
+        }
+    }
+}
+
+/// Storage abstraction behind [`crate::VmSession`]'s memo slot.
+///
+/// [`TranslationMemo`] is the single-table backend the sweep engine uses;
+/// [`ShardedMemo`] adds lock striping and single-flight for the serving
+/// path. The session only calls [`MemoBackend::get_or_insert_with`], whose
+/// default body reproduces the historical get → translate → insert sequence
+/// exactly (including the order counters are bumped in), so swapping
+/// backends never changes a session's statistics.
+pub trait MemoBackend: fmt::Debug + Send + Sync {
+    /// Looks up `key`, counting a hit or miss.
+    fn get(&self, key: &MemoKey) -> Option<MemoizedOutcome>;
+
+    /// Stores an outcome; first writer wins on a racing key.
+    fn insert(&self, key: MemoKey, outcome: MemoizedOutcome);
+
+    /// Aggregate hit/miss/size counters.
+    fn stats(&self) -> MemoStats;
+
+    /// Returns the outcome for `key`, running `compute` on a miss and
+    /// publishing its result. The flag is `true` when the table answered
+    /// the (counted) lookup directly. Backends with a coalescing layer may
+    /// return outcomes computed concurrently by another thread; callers
+    /// must treat the outcome as authoritative either way.
+    fn get_or_insert_with(
+        &self,
+        key: &MemoKey,
+        compute: &mut dyn FnMut() -> MemoizedOutcome,
+    ) -> (MemoizedOutcome, bool) {
+        if let Some(hit) = self.get(key) {
+            return (hit, true);
+        }
+        let outcome = compute();
+        self.insert(*key, outcome.clone());
+        (outcome, false)
+    }
+}
+
+impl MemoBackend for TranslationMemo {
+    fn get(&self, key: &MemoKey) -> Option<MemoizedOutcome> {
+        TranslationMemo::get(self, key)
+    }
+
+    fn insert(&self, key: MemoKey, outcome: MemoizedOutcome) {
+        TranslationMemo::insert(self, key, outcome);
+    }
+
+    fn stats(&self) -> MemoStats {
+        TranslationMemo::stats(self)
+    }
+}
+
+/// Process-global counters for the single-flight layer: translations the
+/// leaders actually ran, and lookups that waited on (or arrived just
+/// behind) another thread's in-flight translation.
+fn flight_counters() -> (&'static Counter, &'static Counter) {
+    static C: OnceLock<(&'static Counter, &'static Counter)> = OnceLock::new();
+    *C.get_or_init(|| {
+        (
+            metrics::counter("vm.memo.computes"),
+            metrics::counter("vm.memo.coalesced"),
+        )
+    })
+}
+
+/// The published state of one in-flight translation.
+#[derive(Debug)]
+enum FlightState {
+    /// The leader is still computing.
+    Pending,
+    /// The leader finished; waiters take the stored outcome.
+    Ready(MemoizedOutcome),
+    /// The leader panicked before publishing; waiters re-elect.
+    Abandoned,
+}
+
+#[derive(Debug)]
+struct InFlight {
+    state: Mutex<FlightState>,
+    done: Condvar,
+}
+
+#[derive(Debug)]
+struct Shard {
+    memo: TranslationMemo,
+    /// Translations currently being computed for keys hashing here. An
+    /// entry exists exactly while one leader runs the translator.
+    inflight: Mutex<HashMap<MemoKey, Arc<InFlight>>>,
+}
+
+/// A lock-striped [`TranslationMemo`] with a single-flight layer, for the
+/// multi-tenant serving path.
+///
+/// Lookups hash the [`MemoKey`] to one of N independent shards (N rounded
+/// up to a power of two), so concurrent tenants contend only when their
+/// keys collide, not on one global mutex. With single-flight enabled
+/// (the default), K concurrent requests for the same untranslated key run
+/// exactly one translation: the first becomes the *leader*, the other K−1
+/// block on a [`Condvar`] and receive the leader's outcome. A leader that
+/// panics publishes `Abandoned` from its drop guard and the waiters
+/// re-elect, so a crashed worker can never wedge a key.
+///
+/// Single-threaded, the per-shard counters fold to exactly what one
+/// [`TranslationMemo`] would have recorded on the same request sequence —
+/// the stress tests assert this bit-for-bit.
+#[derive(Debug)]
+pub struct ShardedMemo {
+    shards: Box<[Shard]>,
+    mask: u64,
+    single_flight: bool,
+    computes: AtomicU64,
+    coalesced: AtomicU64,
+}
+
+impl ShardedMemo {
+    /// Creates a memo striped over `shards` locks (rounded up to a power of
+    /// two, at least one), with single-flight enabled.
+    #[must_use]
+    pub fn new(shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        ShardedMemo {
+            shards: (0..n)
+                .map(|_| Shard {
+                    memo: TranslationMemo::new(),
+                    inflight: Mutex::new(HashMap::new()),
+                })
+                .collect(),
+            mask: (n - 1) as u64,
+            single_flight: true,
+            computes: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+        }
+    }
+
+    /// Enables or disables the single-flight layer. Disabling it lets
+    /// concurrent requests for one key translate redundantly (every racer
+    /// computes; first insert wins) — the serving benchmark uses this to
+    /// measure the duplicate work single-flight removes.
+    #[must_use]
+    pub fn with_single_flight(mut self, on: bool) -> Self {
+        self.single_flight = on;
+        self
+    }
+
+    /// Number of shards (a power of two).
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Translations actually computed through this memo (leaders plus
+    /// redundant racers when single-flight is off). With single-flight on
+    /// and no panics this equals [`MemoStats::entries`]; the difference is
+    /// the duplicate-translation count.
+    #[must_use]
+    pub fn computes(&self) -> u64 {
+        self.computes.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that received another thread's in-flight (or just-published)
+    /// outcome instead of computing their own.
+    #[must_use]
+    pub fn coalesced(&self) -> u64 {
+        self.coalesced.load(Ordering::Relaxed)
+    }
+
+    /// Translations computed redundantly: computes minus distinct keys
+    /// stored. Zero under single-flight.
+    #[must_use]
+    pub fn duplicate_translations(&self) -> u64 {
+        self.computes().saturating_sub(self.stats().entries as u64)
+    }
+
+    fn shard(&self, key: &MemoKey) -> &Shard {
+        let mut h = Fnv64::new();
+        h.write_u64(key.loop_hash);
+        h.write_u64(key.translator_fp);
+        h.write_u64(key.hints_fp);
+        &self.shards[(h.finish() & self.mask) as usize]
+    }
+
+    fn record_compute(&self) {
+        self.computes.fetch_add(1, Ordering::Relaxed);
+        flight_counters().0.inc();
+    }
+
+    fn record_coalesced(&self) {
+        self.coalesced.fetch_add(1, Ordering::Relaxed);
+        flight_counters().1.inc();
+    }
+}
+
+/// Publishes the leader's result (or `Abandoned`, if the leader panicked
+/// before setting one) and removes the in-flight marker. Runs from `Drop`
+/// so a panicking translator can never leave waiters blocked forever.
+struct LeaderGuard<'a> {
+    shard: &'a Shard,
+    key: MemoKey,
+    flight: Arc<InFlight>,
+    outcome: Option<MemoizedOutcome>,
+}
+
+impl Drop for LeaderGuard<'_> {
+    fn drop(&mut self) {
+        // Remove the marker first: a retrying waiter that wakes to
+        // `Abandoned` must find the slot free so it can become the next
+        // leader (and must never remove a successor's marker).
+        self.shard
+            .inflight
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(&self.key);
+        let mut state = self
+            .flight
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        *state = match self.outcome.take() {
+            Some(outcome) => FlightState::Ready(outcome),
+            None => FlightState::Abandoned,
+        };
+        self.flight.done.notify_all();
+    }
+}
+
+impl MemoBackend for ShardedMemo {
+    fn get(&self, key: &MemoKey) -> Option<MemoizedOutcome> {
+        self.shard(key).memo.get(key)
+    }
+
+    fn insert(&self, key: MemoKey, outcome: MemoizedOutcome) {
+        self.shard(&key).memo.insert(key, outcome);
+    }
+
+    /// Folds the per-shard counters. Single-threaded this matches the
+    /// single-table [`TranslationMemo`] bit-for-bit on the same corpus.
+    fn stats(&self) -> MemoStats {
+        let mut folded = MemoStats::default();
+        for s in &self.shards {
+            let st = s.memo.stats();
+            folded.hits += st.hits;
+            folded.misses += st.misses;
+            folded.entries += st.entries;
+        }
+        folded
+    }
+
+    fn get_or_insert_with(
+        &self,
+        key: &MemoKey,
+        compute: &mut dyn FnMut() -> MemoizedOutcome,
+    ) -> (MemoizedOutcome, bool) {
+        let shard = self.shard(key);
+        // Counted lookup, identical to the unsharded fast path.
+        if let Some(hit) = shard.memo.get(key) {
+            return (hit, true);
+        }
+        if !self.single_flight {
+            let outcome = compute();
+            self.record_compute();
+            shard.memo.insert(*key, outcome.clone());
+            return (outcome, false);
+        }
+        loop {
+            enum Role {
+                Leader(Arc<InFlight>),
+                Follower(Arc<InFlight>),
+            }
+            let role = {
+                let mut inflight = shard
+                    .inflight
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
+                // Re-check the table under the in-flight lock: a leader that
+                // finished between our miss above and here has already
+                // published. Non-counting — the miss was counted once.
+                if let Some(done) = shard.memo.peek(key) {
+                    self.record_coalesced();
+                    return (done, false);
+                }
+                match inflight.get(key) {
+                    Some(f) => Role::Follower(Arc::clone(f)),
+                    None => {
+                        let f = Arc::new(InFlight {
+                            state: Mutex::new(FlightState::Pending),
+                            done: Condvar::new(),
+                        });
+                        inflight.insert(*key, Arc::clone(&f));
+                        Role::Leader(f)
+                    }
+                }
+            };
+            match role {
+                Role::Leader(flight) => {
+                    let mut guard = LeaderGuard {
+                        shard,
+                        key: *key,
+                        flight,
+                        outcome: None,
+                    };
+                    let outcome = compute(); // may panic → guard abandons
+                    self.record_compute();
+                    shard.memo.insert(*key, outcome.clone());
+                    guard.outcome = Some(outcome.clone());
+                    drop(guard);
+                    return (outcome, false);
+                }
+                Role::Follower(flight) => {
+                    self.record_coalesced();
+                    let mut state = flight.state.lock().unwrap_or_else(PoisonError::into_inner);
+                    loop {
+                        match &*state {
+                            FlightState::Pending => {
+                                state = flight
+                                    .done
+                                    .wait(state)
+                                    .unwrap_or_else(PoisonError::into_inner);
+                            }
+                            FlightState::Ready(outcome) => return (outcome.clone(), false),
+                            FlightState::Abandoned => break,
+                        }
+                    }
+                    // The leader died without publishing; re-elect.
+                }
+            }
         }
     }
 }
@@ -217,6 +559,100 @@ mod tests {
             }
         });
         assert!(memo.stats().entries <= 11);
+    }
+
+    #[test]
+    fn default_get_or_insert_with_counts_like_the_session_did() {
+        let memo = TranslationMemo::new();
+        let backend: &dyn MemoBackend = &memo;
+        let mut computed = 0;
+        let (_, hit) = backend.get_or_insert_with(&key(1), &mut || {
+            computed += 1;
+            failed_outcome()
+        });
+        assert!(!hit);
+        let (_, hit) = backend.get_or_insert_with(&key(1), &mut || {
+            computed += 1;
+            failed_outcome()
+        });
+        assert!(hit);
+        assert_eq!(computed, 1);
+        let s = memo.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn peek_does_not_count() {
+        let memo = TranslationMemo::new();
+        assert!(memo.peek(&key(1)).is_none());
+        memo.insert(key(1), failed_outcome());
+        assert!(memo.peek(&key(1)).is_some());
+        let s = memo.stats();
+        assert_eq!((s.hits, s.misses), (0, 0));
+    }
+
+    #[test]
+    fn sharded_counters_fold_like_one_table() {
+        let single = TranslationMemo::new();
+        let sharded = ShardedMemo::new(8);
+        for i in 0..32u64 {
+            let k = key(i % 10);
+            let a = MemoBackend::get(&single, &k).is_some();
+            let b = MemoBackend::get(&sharded, &k).is_some();
+            assert_eq!(a, b);
+            if !a {
+                single.insert(k, failed_outcome());
+                MemoBackend::insert(&sharded, k, failed_outcome());
+            }
+        }
+        assert_eq!(
+            TranslationMemo::stats(&single),
+            MemoBackend::stats(&sharded)
+        );
+    }
+
+    #[test]
+    fn shard_count_rounds_up_to_a_power_of_two() {
+        assert_eq!(ShardedMemo::new(0).shard_count(), 1);
+        assert_eq!(ShardedMemo::new(5).shard_count(), 8);
+        assert_eq!(ShardedMemo::new(16).shard_count(), 16);
+    }
+
+    #[test]
+    fn single_flight_runs_one_compute_for_concurrent_misses() {
+        let memo = Arc::new(ShardedMemo::new(4));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let memo = Arc::clone(&memo);
+                s.spawn(move || {
+                    let (out, _) = memo.get_or_insert_with(&key(1), &mut || {
+                        // Hold the flight open long enough for the other
+                        // threads to arrive as followers.
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                        failed_outcome()
+                    });
+                    assert!(out.result.is_err());
+                });
+            }
+        });
+        assert_eq!(memo.computes(), 1, "exactly one leader translated");
+        assert_eq!(memo.duplicate_translations(), 0);
+        assert_eq!(MemoBackend::stats(&*memo).entries, 1);
+    }
+
+    #[test]
+    fn abandoned_leader_lets_the_next_caller_take_over() {
+        let memo = ShardedMemo::new(1);
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            memo.get_or_insert_with(&key(3), &mut || panic!("translator crash"))
+        }));
+        assert!(panicked.is_err());
+        // The key is not wedged: the next caller becomes the leader.
+        let (out, hit) = memo.get_or_insert_with(&key(3), &mut failed_outcome);
+        assert!(!hit);
+        assert!(out.result.is_err());
+        assert_eq!(memo.computes(), 1);
+        assert_eq!(MemoBackend::stats(&memo).entries, 1);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use crate::cache::{CacheStats, CodeCache};
 use crate::hints::StaticHints;
-use crate::memo::{MemoKey, MemoizedOutcome, TranslationMemo};
+use crate::memo::{MemoBackend, MemoKey, MemoizedOutcome, TranslationMemo};
 use crate::translator::{TranslatedLoop, TranslationOutcome, Translator};
 use crate::verify::DegradeReason;
 use std::collections::{HashMap, HashSet};
@@ -42,6 +42,9 @@ pub struct VmStats {
     pub cca_degradations: u64,
     /// Loops whose hints were quarantined after repeated failures.
     pub quarantined_loops: u64,
+    /// Quarantines lifted because the caller supplied new hints (a fixed
+    /// binary changes the hints fingerprint).
+    pub quarantine_lifts: u64,
     /// Translations aborted by the budget watchdog (loop runs on the CPU).
     pub watchdog_aborts: u64,
 }
@@ -82,19 +85,23 @@ pub struct VmSession {
     cache: CodeCache<Arc<TranslatedLoop>>,
     rejected: HashSet<u64>,
     stats: VmStats,
-    /// Optional cross-session translation memo (sweep engine). `None` keeps
-    /// the session fully self-contained.
-    memo: Option<Arc<TranslationMemo>>,
+    /// Optional cross-session translation memo (sweep engine, serving
+    /// path). `None` keeps the session fully self-contained.
+    memo: Option<Arc<dyn MemoBackend>>,
     /// Optional translation budget: a translation whose total cost exceeds
     /// this many abstract units is abandoned and the loop pinned to the CPU
     /// (watchdog against adversarial hints that inflate validation or
     /// scheduling work).
     budget: Option<u64>,
-    /// Consecutive hint-validation failures per loop key.
-    hint_failures: HashMap<u64, u32>,
+    /// Consecutive hint-validation failures per loop key, together with the
+    /// fingerprint of the hints the streak was built on — different hints
+    /// start a fresh streak.
+    hint_failures: HashMap<u64, (u64, u32)>,
     /// Loops whose hints are no longer consulted (see
-    /// [`QUARANTINE_THRESHOLD`]).
-    quarantined: HashSet<u64>,
+    /// [`QUARANTINE_THRESHOLD`]), mapped to the fingerprint of the hints
+    /// that were quarantined. A caller supplying *different* hints (a fixed
+    /// binary) lifts the quarantine.
+    quarantined: HashMap<u64, u64>,
     /// Observability handle; disabled by default. Events mirror the stat
     /// updates exactly (see [`fold_vm_stats`]) and never alter them.
     trace: Trace,
@@ -119,7 +126,7 @@ impl VmSession {
             memo: None,
             budget: None,
             hint_failures: HashMap::new(),
-            quarantined: HashSet::new(),
+            quarantined: HashMap::new(),
             trace: Trace::null(),
         }
     }
@@ -153,7 +160,16 @@ impl VmSession {
     /// fresh translation would (the simulated machine still pays for the
     /// translation — only this process's wall clock is spared).
     #[must_use]
-    pub fn with_memo(mut self, memo: Arc<TranslationMemo>) -> Self {
+    pub fn with_memo(self, memo: Arc<TranslationMemo>) -> Self {
+        self.with_memo_backend(memo)
+    }
+
+    /// Like [`VmSession::with_memo`], for any [`MemoBackend`] — the serving
+    /// path attaches a [`crate::ShardedMemo`] here. The bit-identity
+    /// guarantee is the backend's responsibility: stored outcomes replay
+    /// their full breakdown regardless of which thread computed them.
+    #[must_use]
+    pub fn with_memo_backend(mut self, memo: Arc<dyn MemoBackend>) -> Self {
         self.memo = Some(memo);
         self
     }
@@ -187,48 +203,69 @@ impl VmSession {
             self.trace.emit(|| Event::CacheHit { key });
             return hit;
         }
+        // A quarantined loop whose caller now supplies *different* hints —
+        // a rebuilt binary with the hints fixed — gets a fresh chance: the
+        // quarantine and its failure streak reset. Keying the streak on the
+        // caller's u64 key alone would leave the corrected hints ignored
+        // forever.
+        let supplied_fp = hints.fingerprint();
+        if let Some(&quarantined_fp) = self.quarantined.get(&key) {
+            if quarantined_fp != supplied_fp {
+                self.quarantined.remove(&key);
+                self.hint_failures.remove(&key);
+                self.stats.quarantine_lifts += 1;
+                self.trace.emit(|| Event::QuarantineLift { key });
+            }
+        }
         // Quarantined hints are not consulted (nor re-validated): the loop
         // translates as a hint-less binary would. The substitution happens
         // before the memo key is formed, so replays stay consistent.
         let hintless = StaticHints::none();
-        let hints = if self.quarantined.contains(&key) {
-            &hintless
+        let (hints, hints_fp) = if self.quarantined.contains_key(&key) {
+            let fp = hintless.fingerprint();
+            (&hintless, fp)
         } else {
-            hints
+            (hints, supplied_fp)
         };
         self.trace.emit(|| Event::TranslateStart {
             key,
             loop_hash: body.content_hash(),
         });
         // Code-cache miss: consult the shared memo when attached, translate
-        // otherwise; fresh results are published back into the memo.
+        // otherwise; fresh results are published back into the memo. The
+        // backend may coalesce concurrent misses onto one translation
+        // (single-flight); the stored outcome replays identically either
+        // way.
+        let translator = &self.translator;
         let outcome: MemoizedOutcome = match &self.memo {
             Some(memo) => {
                 let mkey = MemoKey {
                     loop_hash: body.content_hash(),
                     translator_fp: self.translator_fp,
-                    hints_fp: hints.fingerprint(),
+                    hints_fp,
                 };
-                match memo.get(&mkey) {
-                    Some(hit) => {
-                        self.trace.emit(|| Event::MemoHit { key });
-                        hit
+                let mut computed_here = false;
+                let (outcome, hit) = memo.get_or_insert_with(&mkey, &mut || {
+                    computed_here = true;
+                    let fresh: TranslationOutcome = translator.translate(body, hints);
+                    MemoizedOutcome {
+                        result: fresh.result.map(Arc::new),
+                        breakdown: fresh.breakdown,
+                        verdict: fresh.verdict,
                     }
-                    None => {
-                        self.trace.emit(|| Event::MemoMiss { key });
-                        let fresh: TranslationOutcome = self.translator.translate(body, hints);
-                        let stored = MemoizedOutcome {
-                            result: fresh.result.map(Arc::new),
-                            breakdown: fresh.breakdown,
-                            verdict: fresh.verdict,
-                        };
-                        memo.insert(mkey, stored.clone());
-                        stored
-                    }
+                });
+                // `hit` answers "did the table answer directly"; a coalesced
+                // outcome computed by another thread also arrives without a
+                // local translation and traces as a hit.
+                if hit || !computed_here {
+                    self.trace.emit(|| Event::MemoHit { key });
+                } else {
+                    self.trace.emit(|| Event::MemoMiss { key });
                 }
+                outcome
             }
             None => {
-                let fresh: TranslationOutcome = self.translator.translate(body, hints);
+                let fresh: TranslationOutcome = translator.translate(body, hints);
                 MemoizedOutcome {
                     result: fresh.result.map(Arc::new),
                     breakdown: fresh.breakdown,
@@ -259,9 +296,15 @@ impl VmSession {
                     reason: reason.to_string(),
                 });
             }
-            let failures = self.hint_failures.entry(key).or_insert(0);
-            *failures += 1;
-            if *failures >= QUARANTINE_THRESHOLD && self.quarantined.insert(key) {
+            let streak = self.hint_failures.entry(key).or_insert((hints_fp, 0));
+            if streak.0 != hints_fp {
+                // Different hints than the streak was built on: the old
+                // failures say nothing about these, so start over.
+                *streak = (hints_fp, 0);
+            }
+            streak.1 += 1;
+            if streak.1 >= QUARANTINE_THRESHOLD && self.quarantined.insert(key, hints_fp).is_none()
+            {
                 self.stats.quarantined_loops += 1;
                 self.trace.emit(|| Event::Quarantine { key });
             }
@@ -340,7 +383,7 @@ impl VmSession {
     /// Whether `key`'s hints are quarantined (no longer consulted).
     #[must_use]
     pub fn is_quarantined(&self, key: u64) -> bool {
-        self.quarantined.contains(&key)
+        self.quarantined.contains_key(&key)
     }
 
     /// Session statistics.
@@ -394,6 +437,7 @@ pub fn fold_vm_stats(events: &[Event]) -> VmStats {
                 HintKind::Cca => stats.cca_degradations += 1,
             },
             Event::Quarantine { .. } => stats.quarantined_loops += 1,
+            Event::QuarantineLift { .. } => stats.quarantine_lifts += 1,
             _ => {}
         }
     }
@@ -626,6 +670,88 @@ mod tests {
                 || s.invoke(1, &a, &bad_hints()).translation_cycles > 0,
             "quarantined loop still translates hint-less"
         );
+    }
+
+    #[test]
+    fn corrected_hints_lift_the_quarantine() {
+        // Quarantine a loop under bad hints, then supply corrected hints
+        // (a different fingerprint, as a fixed binary would): the session
+        // must lift the quarantine and consult them again.
+        let config = AcceleratorConfig::paper_design();
+        let mut s = VmSession::with_cache(
+            Translator::new(config.clone(), None, TranslationPolicy::static_hints()),
+            CodeCache::new(1),
+        );
+        let a = simple_loop("a");
+        let other = simple_loop("other");
+        for _ in 0..QUARANTINE_THRESHOLD {
+            s.invoke(1, &a, &bad_hints());
+            s.invoke(2, &other, &StaticHints::none()); // evict key 1
+        }
+        assert!(s.is_quarantined(1));
+        let validations_before = s.stats().hint_validations;
+
+        let good = crate::hints::compute_hints(&a, &config, None);
+        assert_ne!(good.fingerprint(), bad_hints().fingerprint());
+        s.invoke(1, &a, &good);
+        assert!(
+            !s.is_quarantined(1),
+            "new hints fingerprint lifts quarantine"
+        );
+        assert_eq!(s.stats().quarantine_lifts, 1);
+        assert!(
+            s.stats().hint_validations > validations_before,
+            "corrected hints are validated again"
+        );
+        assert_eq!(s.stats().quarantined_loops, 1);
+    }
+
+    #[test]
+    fn resupplying_the_quarantined_hints_does_not_lift() {
+        let mut s = static_session_with_cache(1);
+        let a = simple_loop("a");
+        let other = simple_loop("other");
+        for _ in 0..QUARANTINE_THRESHOLD {
+            s.invoke(1, &a, &bad_hints());
+            s.invoke(2, &other, &StaticHints::none());
+        }
+        assert!(s.is_quarantined(1));
+        let validations = s.stats().hint_validations;
+        s.invoke(1, &a, &bad_hints());
+        assert!(s.is_quarantined(1));
+        assert_eq!(s.stats().quarantine_lifts, 0);
+        assert_eq!(s.stats().hint_validations, validations);
+    }
+
+    #[test]
+    fn relapsed_hints_requarantine_after_a_fresh_streak() {
+        // After a lift, the *new* hints must fail QUARANTINE_THRESHOLD
+        // times on their own before quarantining again — the old streak is
+        // gone.
+        let mut s = static_session_with_cache(1);
+        let a = simple_loop("a");
+        let other = simple_loop("other");
+        for _ in 0..QUARANTINE_THRESHOLD {
+            s.invoke(1, &a, &bad_hints());
+            s.invoke(2, &other, &StaticHints::none());
+        }
+        assert!(s.is_quarantined(1));
+        // "Fixed" binary still ships bad hints, just different ones.
+        let still_bad = StaticHints {
+            priority: Some(vec![veal_ir::OpId::new(0), veal_ir::OpId::new(0)]),
+            cca_groups: None,
+        };
+        for round in 0..QUARANTINE_THRESHOLD {
+            s.invoke(1, &a, &still_bad);
+            assert_eq!(
+                s.is_quarantined(1),
+                round + 1 == QUARANTINE_THRESHOLD,
+                "quarantine only after a full fresh streak"
+            );
+            s.invoke(2, &other, &StaticHints::none());
+        }
+        assert_eq!(s.stats().quarantine_lifts, 1);
+        assert_eq!(s.stats().quarantined_loops, 2);
     }
 
     #[test]

@@ -163,6 +163,52 @@ fn structural_hint_mutations_match_the_dynamic_fallback() {
     assert!(degraded > 0, "mutation corpus never degraded a hint");
 }
 
+/// Regression: quarantine streaks used to be keyed on the caller's `u64`
+/// key alone, so a binary whose hints were *fixed* (new hints fingerprint)
+/// stayed quarantined from its corrected hints forever. Drive mutated
+/// hints to quarantine, then ship the corrected hints and require the
+/// session to lift the quarantine and consult them again.
+#[test]
+fn corrected_binaries_escape_quarantine() {
+    use veal_vm::session::QUARANTINE_THRESHOLD;
+    let cases = (fuzz_cases() / 4).max(50);
+    let mut fuzzer = HintFuzzer::new(0x0F1CE);
+    let mut lifted = 0u64;
+    for case in 0..cases {
+        let (body, hints, _) = hinted_case(case, 0x11F7);
+        let mutated = fuzzer.mutate_hints(&hints, None);
+        if mutated.fingerprint() == hints.fingerprint() {
+            continue; // mutation was a no-op; nothing to fix later
+        }
+        // Capacity-1 cache with an alternating second loop: every
+        // invocation of key 1 misses the cache and revalidates the hints,
+        // so a consistently failing mutation reaches the threshold.
+        let mut session = VmSession::with_cache(exposed_translator(), veal_vm::CodeCache::new(1));
+        let (other_body, ..) = hinted_case(case.wrapping_add(7), 0x11F7);
+        for _ in 0..QUARANTINE_THRESHOLD {
+            session.invoke(1, &body, &mutated);
+            session.invoke(2, &other_body, &veal_vm::StaticHints::none());
+        }
+        if !session.is_quarantined(1) {
+            continue; // the mutation happened to validate (or never degraded)
+        }
+        let validations = session.stats().hint_validations;
+        // The fixed binary: statically correct hints, new fingerprint.
+        session.invoke(1, &body, &hints);
+        assert!(
+            !session.is_quarantined(1),
+            "case {case}: corrected hints stayed quarantined"
+        );
+        assert_eq!(session.stats().quarantine_lifts, 1, "case {case}");
+        assert!(
+            session.stats().hint_validations > validations,
+            "case {case}: corrected hints were not consulted"
+        );
+        lifted += 1;
+    }
+    assert!(lifted > 0, "corpus never quarantined a mutated hint");
+}
+
 #[test]
 fn budgeted_session_absorbs_mutations_with_coherent_stats() {
     let cases = fuzz_cases();

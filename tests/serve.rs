@@ -1,0 +1,214 @@
+//! Integration tests for the multi-tenant translation service
+//! (DESIGN.md §11, `veal::serve`).
+//!
+//! The load-bearing property is the serving invariant: sharing a memo
+//! across tenants and spreading work over threads must be *invisible* to
+//! every individual tenant. Each test here attacks that from a different
+//! side — solo-replay bit-identity, single-flight under contention,
+//! sharded-vs-global memo equivalence, and deterministic shedding.
+
+use std::sync::Arc;
+use veal::serve::{generate, LoadSpec, ServeConfig, ServeReport, TranslationService};
+use veal::VmStats;
+use veal_vm::{MemoBackend, ShardedMemo, TranslationMemo};
+
+fn spec(seed: u64, requests: usize, tenants: usize) -> LoadSpec {
+    LoadSpec {
+        seed,
+        requests,
+        tenants,
+        ..LoadSpec::default()
+    }
+}
+
+/// One request's observable result: stream position, charged translation
+/// cycles, and the schedule (II and per-op placement) or a CPU-fallback
+/// marker.
+type Signature = Vec<(usize, u64, String)>;
+
+/// A compact bit-accurate signature of one tenant's observable results.
+fn tenant_signature(report: &ServeReport, tenant: usize) -> Signature {
+    report.tenants[tenant]
+        .outcomes
+        .iter()
+        .map(|o| {
+            let sched = match &o.translated {
+                None => "cpu".to_string(),
+                Some(t) => format!(
+                    "ii={} ops={:?}",
+                    t.scheduled.schedule.ii,
+                    t.scheduled.schedule.entries()
+                ),
+            };
+            (o.seq, o.translation_cycles, sched)
+        })
+        .collect()
+}
+
+/// The differential determinism test the tentpole hangs on: per-tenant
+/// stats and every translated schedule must be bit-identical to replaying
+/// that tenant's requests on a solo session with no memo at all.
+#[test]
+fn served_tenants_are_bit_identical_to_solo_replay() {
+    let cfg = ServeConfig {
+        threads: 4,
+        ..ServeConfig::paper()
+    };
+    let stream = generate(&spec(0xD1FF, 240, 5), &cfg.config, cfg.cca.as_ref());
+    let service = TranslationService::new(cfg.clone());
+    let report = service.run(&stream);
+    assert_eq!(report.stats.shed, 0, "queues must be deep enough here");
+
+    for t in 0..report.tenants.len() {
+        // Replay this tenant's slice of the stream, alone, memo-less.
+        let mut solo = cfg.solo_session();
+        let mut solo_sig: Signature = Vec::new();
+        for (seq, r) in stream.iter().enumerate().filter(|(_, r)| r.tenant == t) {
+            let inv = solo.invoke(r.key, &r.body, &r.hints);
+            let sched = match &inv.translated {
+                None => "cpu".to_string(),
+                Some(tl) => format!(
+                    "ii={} ops={:?}",
+                    tl.scheduled.schedule.ii,
+                    tl.scheduled.schedule.entries()
+                ),
+            };
+            solo_sig.push((seq, inv.translation_cycles, sched));
+        }
+        assert_eq!(
+            solo.stats(),
+            &report.tenants[t].stats,
+            "tenant {t}: VmStats diverged from solo replay"
+        );
+        assert_eq!(
+            solo_sig,
+            tenant_signature(&report, t),
+            "tenant {t}: schedules diverged from solo replay"
+        );
+    }
+}
+
+/// Thread count must be invisible: 1, 2 and 8 workers over the same
+/// stream produce identical per-tenant results.
+#[test]
+fn thread_count_is_invisible_to_tenants() {
+    let stream = {
+        let cfg = ServeConfig::paper();
+        generate(&spec(0x7EAD, 180, 4), &cfg.config, cfg.cca.as_ref())
+    };
+    let mut baseline: Option<(Vec<VmStats>, Vec<Signature>)> = None;
+    for threads in [1usize, 2, 8] {
+        let cfg = ServeConfig {
+            threads,
+            ..ServeConfig::paper()
+        };
+        let report = TranslationService::new(cfg).run(&stream);
+        let stats: Vec<VmStats> = report.tenants.iter().map(|t| t.stats.clone()).collect();
+        let sigs: Vec<_> = (0..report.tenants.len())
+            .map(|t| tenant_signature(&report, t))
+            .collect();
+        match &baseline {
+            None => baseline = Some((stats, sigs)),
+            Some((s0, g0)) => {
+                assert_eq!(s0, &stats, "{threads} threads changed tenant stats");
+                assert_eq!(g0, &sigs, "{threads} threads changed tenant results");
+            }
+        }
+    }
+}
+
+/// The contention stress the single-flight layer exists for: many threads
+/// hammering a small shared pool must compute each distinct translation
+/// exactly once — zero duplicate translations, and exactly one compute per
+/// distinct (loop, hints) pair.
+#[test]
+fn contention_on_shared_loops_never_duplicates_work() {
+    let cfg = ServeConfig {
+        threads: 8,
+        batch_size: 2, // small batches maximize cross-thread interleaving
+        ..ServeConfig::paper()
+    };
+    let load = LoadSpec {
+        shared_permille: 1000, // every request draws from the shared pool
+        shared_loops: 4,
+        ..spec(0xC047E57, 400, 8)
+    };
+    let stream = generate(&load, &cfg.config, cfg.cca.as_ref());
+    let service = TranslationService::new(cfg);
+    let report = service.run(&stream);
+
+    let distinct: std::collections::BTreeSet<(u64, u64)> = stream
+        .iter()
+        .map(|r| (r.body.content_hash(), r.hints.fingerprint()))
+        .collect();
+    assert_eq!(report.stats.shed, 0);
+    assert_eq!(
+        report.stats.computes,
+        distinct.len() as u64,
+        "each distinct loop must be translated exactly once"
+    );
+    assert_eq!(service.memo().duplicate_translations(), 0);
+    assert_eq!(report.stats.duplicate_translations, 0);
+    // The memo absorbed the cross-tenant duplication: far more lookups
+    // than computes.
+    assert!(report.stats.memo.hits > report.stats.computes);
+}
+
+/// A sharded memo is observationally a single table: driving the same
+/// invocation sequence through a `ShardedMemo` and a global
+/// `TranslationMemo` yields bit-identical session stats and memo stats.
+#[test]
+fn sharded_memo_matches_the_global_table_bit_for_bit() {
+    let cfg = ServeConfig::paper();
+    let stream = generate(&spec(0x5AA2DED, 150, 1), &cfg.config, cfg.cca.as_ref());
+
+    let global = Arc::new(TranslationMemo::new());
+    let mut with_global = cfg
+        .solo_session()
+        .with_memo_backend(Arc::clone(&global) as Arc<dyn MemoBackend>);
+    let sharded = Arc::new(ShardedMemo::new(8));
+    let mut with_sharded = cfg
+        .solo_session()
+        .with_memo_backend(Arc::clone(&sharded) as Arc<dyn MemoBackend>);
+
+    for r in &stream {
+        with_global.invoke(r.key, &r.body, &r.hints);
+        with_sharded.invoke(r.key, &r.body, &r.hints);
+    }
+    assert_eq!(with_global.stats(), with_sharded.stats());
+    assert_eq!(
+        MemoBackend::stats(&*global),
+        MemoBackend::stats(&*sharded),
+        "memo counters diverged between layouts"
+    );
+}
+
+/// Shedding is part of the deterministic contract: which requests survive
+/// a bounded queue is a pure function of the stream, never of the thread
+/// count that later drains it.
+#[test]
+fn shedding_is_deterministic_across_thread_counts() {
+    let stream = {
+        let cfg = ServeConfig::paper();
+        generate(&spec(0x5AED, 300, 3), &cfg.config, cfg.cca.as_ref())
+    };
+    let mut survivors: Option<Vec<Vec<usize>>> = None;
+    for threads in [1usize, 4] {
+        let cfg = ServeConfig {
+            threads,
+            queue_capacity: 8,
+            ..ServeConfig::paper()
+        };
+        let report = TranslationService::new(cfg).run(&stream);
+        assert_eq!(report.stats.shed, 300 - 3 * 8);
+        let got: Vec<Vec<usize>> = report
+            .tenants
+            .iter()
+            .map(|t| t.outcomes.iter().map(|o| o.seq).collect())
+            .collect();
+        match &survivors {
+            None => survivors = Some(got),
+            Some(expect) => assert_eq!(expect, &got, "{threads} threads changed shedding"),
+        }
+    }
+}
