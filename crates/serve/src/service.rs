@@ -493,6 +493,14 @@ impl TranslationService {
                 dispatch.wake.notify_one();
             }
             if dispatch.remaining.fetch_sub(drained, Ordering::AcqRel) == drained {
+                // Publish `done` under the ready mutex: idle workers check
+                // the flag between locking and wait(), so an unlocked
+                // store+notify could land inside that window, the wakeup
+                // would be lost, and the waiter would park forever.
+                let _ready = dispatch
+                    .ready
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
                 dispatch.done.store(true, Ordering::Release);
                 dispatch.wake.notify_all();
             }
@@ -557,6 +565,30 @@ mod tests {
             newest.drain(..newest.len() - 4);
             let got: Vec<usize> = t.outcomes.iter().map(|o| o.seq).collect();
             assert_eq!(got, newest, "tenant {}", t.tenant);
+        }
+    }
+
+    #[test]
+    fn many_workers_with_scarce_work_always_terminate() {
+        // Regression: `done` was published without holding the ready
+        // mutex, so the final notify_all could land between an idle
+        // worker's done-check and its wait(), get lost, and park that
+        // worker forever. Many workers racing over little work maximizes
+        // the window; repeated drains make a reintroduced lost wakeup
+        // hang here rather than nondeterministically in CI at large.
+        let mut cfg = ServeConfig::paper();
+        cfg.threads = 8;
+        cfg.batch_size = 1;
+        let spec = LoadSpec {
+            requests: 16,
+            tenants: 8,
+            ..LoadSpec::default()
+        };
+        let stream = generate(&spec, &cfg.config, cfg.cca.as_ref());
+        let service = TranslationService::new(cfg);
+        for _ in 0..200 {
+            let report = service.run(&stream);
+            assert_eq!(report.stats.completed, 16);
         }
     }
 

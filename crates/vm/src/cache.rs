@@ -175,6 +175,16 @@ impl<T> CodeCache<T> {
         self.entries.insert(key, (value, self.clock, bytes));
     }
 
+    /// Removes `key`, returning the resident translation, if any. This is
+    /// an explicit invalidation (the session drops a translation it knows
+    /// is stale, e.g. on a quarantine lift), not LRU pressure — statistics
+    /// are untouched; resident bytes shrink by the entry's size.
+    pub fn remove(&mut self, key: u64) -> Option<T> {
+        let (v, _, bytes) = self.entries.remove(&key)?;
+        self.bytes_resident -= bytes;
+        Some(v)
+    }
+
     /// Bytes currently resident (0 unless sized inserts are used).
     #[must_use]
     pub fn bytes_resident(&self) -> usize {
@@ -336,6 +346,17 @@ mod tests {
         c.insert_sized(1, 0, 40);
         c.insert_sized(1, 0, 10);
         assert_eq!(c.bytes_resident(), 10);
+    }
+
+    #[test]
+    fn remove_releases_residency_without_counting_an_eviction() {
+        let mut c: CodeCache<u8> = CodeCache::with_byte_budget(4, 100);
+        c.insert_sized(1, 7, 40);
+        assert_eq!(c.remove(1), Some(7));
+        assert!(!c.contains(1));
+        assert_eq!(c.bytes_resident(), 0);
+        assert_eq!(c.stats().evictions, 0, "an invalidation is not an eviction");
+        assert_eq!(c.remove(1), None);
     }
 
     #[test]

@@ -473,7 +473,6 @@ impl MemoBackend for ShardedMemo {
                     return (outcome, false);
                 }
                 Role::Follower(flight) => {
-                    self.record_coalesced();
                     let mut state = flight.state.lock().unwrap_or_else(PoisonError::into_inner);
                     loop {
                         match &*state {
@@ -483,7 +482,15 @@ impl MemoBackend for ShardedMemo {
                                     .wait(state)
                                     .unwrap_or_else(PoisonError::into_inner);
                             }
-                            FlightState::Ready(outcome) => return (outcome.clone(), false),
+                            FlightState::Ready(outcome) => {
+                                // Counted only on a received outcome: a
+                                // follower that wakes to `Abandoned`
+                                // re-elects and records a compute instead,
+                                // so counting on entry would overcount the
+                                // panic path by one.
+                                self.record_coalesced();
+                                return (outcome.clone(), false);
+                            }
                             FlightState::Abandoned => break,
                         }
                     }
@@ -653,6 +660,40 @@ mod tests {
         assert!(out.result.is_err());
         assert_eq!(memo.computes(), 1);
         assert_eq!(MemoBackend::stats(&memo).entries, 1);
+    }
+
+    #[test]
+    fn a_reelected_follower_counts_a_compute_not_a_coalesce() {
+        // Regression: followers recorded `coalesced` before waiting, so a
+        // follower whose leader panicked (Abandoned) was counted both as
+        // coalesced and, after re-electing itself leader, as computing —
+        // overcounting the panic path by one per re-elected follower.
+        let memo = Arc::new(ShardedMemo::new(1));
+        let barrier = std::sync::Barrier::new(2);
+        std::thread::scope(|s| {
+            let m = Arc::clone(&memo);
+            let b = &barrier;
+            s.spawn(move || {
+                let crashed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    m.get_or_insert_with(&key(9), &mut || {
+                        // The leader is registered in-flight by now; let
+                        // the follower in, give it time to start waiting,
+                        // then crash.
+                        b.wait();
+                        std::thread::sleep(std::time::Duration::from_millis(50));
+                        panic!("translator crash")
+                    })
+                }));
+                assert!(crashed.is_err());
+            });
+            barrier.wait();
+            let (out, hit) = memo.get_or_insert_with(&key(9), &mut failed_outcome);
+            assert!(!hit);
+            assert!(out.result.is_err());
+        });
+        assert_eq!(memo.computes(), 1, "the re-elected follower computed");
+        assert_eq!(memo.coalesced(), 0, "no outcome was ever received");
+        assert_eq!(memo.duplicate_translations(), 0);
     }
 
     #[test]

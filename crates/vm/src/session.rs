@@ -195,6 +195,24 @@ impl VmSession {
                 translation_cycles: 0,
             };
         }
+        // A quarantined loop whose caller now supplies *different* hints —
+        // a rebuilt binary with the hints fixed — gets a fresh chance: the
+        // quarantine and its failure streak reset, and the resident
+        // hint-less translation is dropped. This runs *before* the cache
+        // lookup: while quarantined, the translation cached under this key
+        // was produced hint-less, so a cache hit would keep serving it and
+        // the corrected hints would only take effect once the entry
+        // happened to be evicted. Only quarantined keys pay the
+        // fingerprint hash here, keeping the hot hit path untouched.
+        if let Some(&quarantined_fp) = self.quarantined.get(&key) {
+            if quarantined_fp != hints.fingerprint() {
+                self.quarantined.remove(&key);
+                self.hint_failures.remove(&key);
+                self.cache.remove(key);
+                self.stats.quarantine_lifts += 1;
+                self.trace.emit(|| Event::QuarantineLift { key });
+            }
+        }
         if let Some(t) = self.cache.get(key) {
             let hit = Invocation {
                 translated: Some(Arc::clone(t)),
@@ -203,20 +221,7 @@ impl VmSession {
             self.trace.emit(|| Event::CacheHit { key });
             return hit;
         }
-        // A quarantined loop whose caller now supplies *different* hints —
-        // a rebuilt binary with the hints fixed — gets a fresh chance: the
-        // quarantine and its failure streak reset. Keying the streak on the
-        // caller's u64 key alone would leave the corrected hints ignored
-        // forever.
         let supplied_fp = hints.fingerprint();
-        if let Some(&quarantined_fp) = self.quarantined.get(&key) {
-            if quarantined_fp != supplied_fp {
-                self.quarantined.remove(&key);
-                self.hint_failures.remove(&key);
-                self.stats.quarantine_lifts += 1;
-                self.trace.emit(|| Event::QuarantineLift { key });
-            }
-        }
         // Quarantined hints are not consulted (nor re-validated): the loop
         // translates as a hint-less binary would. The substitution happens
         // before the memo key is formed, so replays stay consistent.
@@ -704,6 +709,50 @@ mod tests {
             "corrected hints are validated again"
         );
         assert_eq!(s.stats().quarantined_loops, 1);
+    }
+
+    #[test]
+    fn corrected_hints_lift_even_while_the_stale_translation_is_resident() {
+        // Regression: the lift check used to run after the code-cache
+        // early return, so while the quarantined loop's hint-less
+        // translation sat in the cache, corrected hints hit the cache and
+        // were ignored until the entry happened to be evicted (the other
+        // lift tests mask this by forcing eviction with a 1-entry cache).
+        let config = AcceleratorConfig::paper_design();
+        let mut s = VmSession::with_cache(
+            Translator::new(config.clone(), None, TranslationPolicy::static_hints()),
+            CodeCache::new(1),
+        );
+        let a = simple_loop("a");
+        let other = simple_loop("other");
+        for _ in 0..QUARANTINE_THRESHOLD {
+            s.invoke(1, &a, &bad_hints());
+            s.invoke(2, &other, &StaticHints::none()); // evict key 1
+        }
+        assert!(s.is_quarantined(1));
+        // Make the hint-less translation resident under key 1; nothing
+        // evicts it between here and the corrected hints.
+        s.invoke(1, &a, &bad_hints());
+        let validations_before = s.stats().hint_validations;
+        let translations_before = s.stats().translations;
+
+        let good = crate::hints::compute_hints(&a, &config, None);
+        assert_ne!(good.fingerprint(), bad_hints().fingerprint());
+        s.invoke(1, &a, &good);
+        assert!(
+            !s.is_quarantined(1),
+            "the lift must not wait for an eviction"
+        );
+        assert_eq!(s.stats().quarantine_lifts, 1);
+        assert_eq!(
+            s.stats().translations,
+            translations_before + 1,
+            "the stale hint-less translation was dropped and replaced"
+        );
+        assert!(
+            s.stats().hint_validations > validations_before,
+            "corrected hints are validated, not served from the stale cache"
+        );
     }
 
     #[test]
