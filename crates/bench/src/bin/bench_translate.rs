@@ -2,14 +2,14 @@
 //! the full workload suite.
 //!
 //! The **old kernel** is the pre-optimization implementation, retained
-//! verbatim in the [`reference`] module below: hash-set based Swing
+//! verbatim in `veal::sched::reference`: hash-set based Swing
 //! ordering over the naive Θ(n³) Floyd–Warshall MinDist
 //! ([`veal::sched::MinDist::compute_naive`]) and the hash-map based modulo
 //! list scheduler. The **new kernel** is the current pipeline: the
 //! SCC-structured, II-parametric MinDist envelope with its cross-invocation
 //! cache, bitset Swing ordering, and the dense-array list scheduler.
 //!
-//! Two measurements per loop:
+//! Three measurements per loop:
 //!
 //! * **priority + scheduling** — `swing_order` followed by
 //!   `list_schedule` on the separated, CCA-mapped body (the paper's 69% +
@@ -19,9 +19,19 @@
 //!   generate (same graph, shifting II), where the old kernel pays a full
 //!   Θ(n³) Floyd–Warshall per point and the new one evaluates the cached
 //!   Pareto frontiers in O(n²·k).
+//! * **per-phase breakdown** — one old-vs-new wall-clock entry for each
+//!   of the nine [`veal::ir::Phase`]s, timing that phase's kernel in
+//!   isolation: DFG analyses (`RefDfg` push-adjacency vs CSR), stream
+//!   separation, CCA mapping, MIIs, priority/scheduling (from the section
+//!   above), register assignment, and hint decoding. Phases whose
+//!   implementation did not change in the data-oriented sweep time the
+//!   same code under both arms and report ≈1.0x.
 //! * **end-to-end translate** — the whole `Translator::translate`
-//!   pipeline on the raw loop body, naive-MinDist vs parametric-MinDist
-//!   (the scheduler inside `translate` is always the current one).
+//!   pipeline on the raw loop body. The old arm disables *both* runtime
+//!   toggles (`set_parametric_enabled(false)` +
+//!   `veal::ir::set_data_oriented(false)`): naive Floyd–Warshall MinDist
+//!   over the retained reference analysis kernels. The new arm enables
+//!   both: parametric MinDist over the struct-of-arrays kernels.
 //!
 //! Every order, schedule, and per-phase abstract-instruction breakdown is
 //! asserted identical between the two kernels — the abstract cost model
@@ -29,7 +39,9 @@
 //!
 //! Results are printed and written to `BENCH_translate.json`. Environment
 //! knobs for the CI smoke job: `VEAL_BENCH_APPS` truncates the suite,
-//! `VEAL_BENCH_REPS` sets the timed repetitions per loop (default 5).
+//! `VEAL_BENCH_REPS` sets the timed repetitions per loop (default 5),
+//! and `VEAL_BENCH_MIN_SPEEDUP` (a float) makes the run exit non-zero
+//! when `translate_speedup` lands below the floor.
 //!
 //! `--trace-out <path>` records one `translate_start`/`translate_end`
 //! event pair per suite loop from the end-to-end validation pass (this
@@ -39,360 +51,35 @@
 
 use std::sync::Arc;
 use std::time::Instant;
+use veal::ir::meter::ALL_PHASES;
 use veal::ir::streams::{separate, StreamSummary};
-use veal::ir::{CostMeter, Dfg, OpId, PhaseBreakdown};
+use veal::ir::{set_data_oriented, CostMeter, Dfg, OpId, Phase, PhaseBreakdown, RefDfg};
 use veal::obs::TranslateStatus;
 use veal::sched::{
-    list_schedule, rec_mii, res_mii, set_parametric_enabled, swing_order, ModuloSchedule,
-    ScheduleError,
+    assign_registers, list_schedule, rec_mii, res_mii, set_parametric_enabled, swing_order,
+    ModuloSchedule, ScheduleError,
 };
+use veal::vm::verify::verify_and_apply_cca;
 use veal::vm::{StaticHints, TranslationPolicy, Translator};
 use veal::{AcceleratorConfig, CcaSpec, Event, JsonlSink, Trace};
 
-/// The pre-optimization translation kernels, retained verbatim so the
-/// benchmark compares real old code against real new code on the same
-/// build. Every `CostMeter` charge matches the current kernels' charges —
-/// the abstract cost model describes the *algorithmic* work of the paper's
-/// translator, not the host-side data structures — so the phase breakdowns
-/// of both arms are asserted bit-identical in `main`.
-mod reference {
-    use std::collections::{HashMap, HashSet, VecDeque};
-    use veal::accel::ResourceKind;
-    use veal::ir::streams::StreamSummary;
-    use veal::ir::{CostMeter, Dfg, OpId, Phase};
-    use veal::sched::priority::{depths, heights};
-    use veal::sched::{MinDist, ModuloReservationTable, ScheduleError};
-    use veal::{AcceleratorConfig, LatencyModel};
-
-    /// The old per-SCC criticality: the SCC's own RecMII recomputed from
-    /// MinDist self distances.
-    fn scc_criticality(md: &MinDist, scc: &[OpId]) -> i64 {
-        scc.iter()
-            .filter_map(|&v| md.get(v, v))
-            .max()
-            .unwrap_or(i64::MIN)
-    }
-
-    /// The old Swing ordering: a full naive Floyd–Warshall per call, hash
-    /// sets for the pending/placed bookkeeping.
-    #[must_use]
-    pub fn swing_order(dfg: &Dfg, lat: &LatencyModel, ii: u32, meter: &mut CostMeter) -> Vec<OpId> {
-        let md = MinDist::compute_naive(dfg, lat, ii.max(1), meter);
-        let d = depths(dfg, lat, meter, Phase::Priority);
-        let h = heights(dfg, lat, meter, Phase::Priority);
-
-        let sccs = dfg.sccs();
-        meter.charge(Phase::Priority, (dfg.len() as u64) * 2);
-        let mut rec_sets: Vec<&Vec<OpId>> = sccs
-            .iter()
-            .filter(|scc| {
-                scc.iter().all(|&v| dfg.node(v).is_schedulable())
-                    && (scc.len() > 1 || dfg.succ_edges(scc[0]).any(|e| e.dst == scc[0]))
-            })
-            .collect();
-        rec_sets.sort_by_key(|scc| {
-            (
-                std::cmp::Reverse(scc_criticality(&md, scc)),
-                std::cmp::Reverse(scc.len()),
-                scc[0],
-            )
-        });
-
-        let mut order: Vec<OpId> = Vec::new();
-        let mut placed: HashSet<OpId> = HashSet::new();
-
-        let mut emit_set = |set: Vec<OpId>, order: &mut Vec<OpId>, placed: &mut HashSet<OpId>| {
-            let pending: Vec<OpId> = set
-                .iter()
-                .copied()
-                .filter(|v| !placed.contains(v))
-                .collect();
-            if pending.is_empty() {
-                return;
-            }
-            let mut remaining: HashSet<OpId> = pending.iter().copied().collect();
-            while !remaining.is_empty() {
-                meter.charge(Phase::Priority, remaining.len() as u64);
-                let mut candidates: Vec<OpId> = remaining
-                    .iter()
-                    .copied()
-                    .filter(|&v| {
-                        dfg.pred_edges(v).any(|e| placed.contains(&e.src))
-                            || dfg.succ_edges(v).any(|e| placed.contains(&e.dst))
-                    })
-                    .collect();
-                if candidates.is_empty() {
-                    candidates = remaining.iter().copied().collect();
-                }
-                candidates.sort_by_key(|&v| {
-                    (
-                        std::cmp::Reverse(d[v.index()] + h[v.index()]),
-                        d[v.index()],
-                        v,
-                    )
-                });
-                let chosen = candidates[0];
-                remaining.remove(&chosen);
-                placed.insert(chosen);
-                order.push(chosen);
-            }
-        };
-
-        for scc in rec_sets {
-            emit_set(scc.clone(), &mut order, &mut placed);
-        }
-        let rest: Vec<OpId> = dfg
-            .schedulable_ops()
-            .filter(|v| !placed.contains(v))
-            .collect();
-        emit_set(rest, &mut order, &mut placed);
-        order
-    }
-
-    /// The old schedule representation: hash maps keyed by op id.
-    #[derive(Debug, Clone)]
-    pub struct RefSchedule {
-        pub ii: u32,
-        times: HashMap<OpId, i64>,
-        units: HashMap<OpId, (ResourceKind, usize)>,
-    }
-
-    impl RefSchedule {
-        pub fn unit(&self, op: OpId) -> Option<(ResourceKind, usize)> {
-            self.units.get(&op).copied()
-        }
-
-        pub fn entries(&self) -> Vec<(OpId, i64)> {
-            let mut v: Vec<(OpId, i64)> = self.times.iter().map(|(&k, &t)| (k, t)).collect();
-            v.sort_by_key(|&(k, t)| (t, k));
-            v
-        }
-    }
-
-    struct RefScratch {
-        mrt: ModuloReservationTable,
-        times: HashMap<OpId, i64>,
-        units: HashMap<OpId, (ResourceKind, usize)>,
-        queue: VecDeque<OpId>,
-    }
-
-    impl RefScratch {
-        fn new(ii: u32, config: &AcceleratorConfig, ops: usize) -> Self {
-            RefScratch {
-                mrt: ModuloReservationTable::with_unit_cap(ii, config, ops.max(1)),
-                times: HashMap::with_capacity(ops),
-                units: HashMap::with_capacity(ops),
-                queue: VecDeque::with_capacity(ops),
-            }
-        }
-
-        fn reset(&mut self, ii: u32, config: &AcceleratorConfig, ops: usize) {
-            self.mrt.reset(ii, config, ops.max(1));
-            self.times.clear();
-            self.units.clear();
-            self.queue.clear();
-        }
-    }
-
-    /// The old modulo list scheduler: identical window/ejection logic to
-    /// the current one, but all per-op state lives in hash maps.
-    pub fn list_schedule(
-        dfg: &Dfg,
-        config: &AcceleratorConfig,
-        order: &[OpId],
-        mii: u32,
-        streams: StreamSummary,
-        meter: &mut CostMeter,
-    ) -> Result<RefSchedule, ScheduleError> {
-        let lat = &config.latencies;
-        let d = depths(dfg, lat, meter, Phase::Scheduling);
-        let start_ii = mii.max(config.min_ii_for_streams(streams)).max(1);
-        let last_ii = config.max_ii.min(start_ii.saturating_add(63));
-        let mut scratch = RefScratch::new(start_ii, config, order.len());
-        for ii in start_ii..=last_ii {
-            meter.charge(Phase::Scheduling, 4);
-            if let Some(schedule) = try_schedule(dfg, config, order, ii, &d, &mut scratch, meter) {
-                return Ok(schedule);
-            }
-        }
-        Err(ScheduleError::NoSchedule {
-            tried_up_to: last_ii,
-        })
-    }
-
-    fn try_schedule(
-        dfg: &Dfg,
-        config: &AcceleratorConfig,
-        order: &[OpId],
-        ii: u32,
-        depth: &[u32],
-        scratch: &mut RefScratch,
-        meter: &mut CostMeter,
-    ) -> Option<RefSchedule> {
-        let lat = &config.latencies;
-        scratch.reset(ii, config, order.len());
-        let RefScratch {
-            mrt,
-            times,
-            units,
-            queue,
-        } = scratch;
-
-        queue.extend(order.iter().copied());
-        let mut ejections = 32 * order.len() as u64 + 64;
-
-        while let Some(v) = queue.pop_front() {
-            let op = dfg.node(v).opcode().expect("order contains only ops");
-            let span = if op.pipelined() { 1 } else { lat.latency(op) };
-
-            let mut early: Option<i64> = None;
-            let mut late: Option<i64> = None;
-            for e in dfg.pred_edges(v) {
-                meter.charge(Phase::Scheduling, 1);
-                if e.src == v {
-                    continue;
-                }
-                if let Some(&tp) = times.get(&e.src) {
-                    let lp = i64::from(dfg.node(e.src).opcode().map_or(0, |o| lat.latency(o)));
-                    let bound = tp + lp - i64::from(ii) * i64::from(e.distance);
-                    early = Some(early.map_or(bound, |b: i64| b.max(bound)));
-                }
-            }
-            for e in dfg.succ_edges(v) {
-                meter.charge(Phase::Scheduling, 1);
-                if e.dst == v {
-                    continue;
-                }
-                if let Some(&ts) = times.get(&e.dst) {
-                    let lv = i64::from(lat.latency(op));
-                    let bound = ts - lv + i64::from(ii) * i64::from(e.distance);
-                    late = Some(late.map_or(bound, |b: i64| b.min(bound)));
-                }
-            }
-
-            let slot = match (early, late) {
-                (Some(e0), Some(l0)) if e0 > l0 => None,
-                (Some(e0), Some(l0)) => scan_up(
-                    mrt,
-                    resource(op),
-                    e0,
-                    l0.min(e0 + i64::from(ii) - 1),
-                    span,
-                    meter,
-                ),
-                (Some(e0), None) => {
-                    scan_up(mrt, resource(op), e0, e0 + i64::from(ii) - 1, span, meter)
-                }
-                (None, Some(l0)) => {
-                    scan_down(mrt, resource(op), l0, l0 - i64::from(ii) + 1, span, meter)
-                }
-                (None, None) => {
-                    let e0 = i64::from(depth[v.index()]);
-                    scan_up(mrt, resource(op), e0, e0 + i64::from(ii) - 1, span, meter)
-                }
-            };
-            let slot = match slot {
-                Some(s) => s,
-                None => {
-                    if late.is_none() || ejections == 0 {
-                        return None;
-                    }
-                    ejections -= 1;
-                    meter.charge(Phase::Scheduling, 4);
-                    let victims: Vec<OpId> = dfg
-                        .succ_edges(v)
-                        .filter(|e| e.dst != v && times.contains_key(&e.dst))
-                        .map(|e| e.dst)
-                        .collect();
-                    if victims.is_empty() {
-                        return None;
-                    }
-                    for w in victims {
-                        if let Some(tw) = times.remove(&w) {
-                            if let Some((kind, u)) = units.remove(&w) {
-                                let wop = dfg.node(w).opcode().expect("scheduled op");
-                                let wspan = if wop.pipelined() { 1 } else { lat.latency(wop) };
-                                mrt.release(kind, u, tw, wspan);
-                            }
-                            queue.push_back(w);
-                        }
-                    }
-                    queue.push_front(v);
-                    continue;
-                }
-            };
-            let (t, unit_choice) = slot;
-            if let Some((kind, u)) = unit_choice {
-                mrt.reserve(kind, u, t, span);
-                units.insert(v, (kind, u));
-            }
-            times.insert(v, t);
-        }
-
-        let min_t = times.values().copied().min().unwrap_or(0);
-        let shift = min_t.rem_euclid(i64::from(ii)) - min_t;
-        for t in times.values_mut() {
-            *t += shift;
-        }
-        for &v in order {
-            units.entry(v).or_insert((ResourceKind::Int, usize::MAX));
-        }
-        Some(RefSchedule {
-            ii,
-            times: std::mem::take(times),
-            units: std::mem::take(units),
-        })
-    }
-
-    fn resource(op: veal::ir::Opcode) -> ResourceKind {
-        ResourceKind::for_opcode(op).unwrap_or(ResourceKind::Int)
-    }
-
-    type Slot = (i64, Option<(ResourceKind, usize)>);
-
-    fn scan_up(
-        mrt: &ModuloReservationTable,
-        kind: ResourceKind,
-        from: i64,
-        to: i64,
-        span: u32,
-        meter: &mut CostMeter,
-    ) -> Option<Slot> {
-        let mut t = from;
-        while t <= to {
-            meter.charge(Phase::Scheduling, 1);
-            if let Some(u) = mrt.find_unit(kind, t, span) {
-                return Some((t, Some((kind, u))));
-            }
-            t += 1;
-        }
-        None
-    }
-
-    fn scan_down(
-        mrt: &ModuloReservationTable,
-        kind: ResourceKind,
-        from: i64,
-        to: i64,
-        span: u32,
-        meter: &mut CostMeter,
-    ) -> Option<Slot> {
-        let mut t = from;
-        while t >= to {
-            meter.charge(Phase::Scheduling, 1);
-            if let Some(u) = mrt.find_unit(kind, t, span) {
-                return Some((t, Some((kind, u))));
-            }
-            t -= 1;
-        }
-        None
-    }
-}
+/// The pre-optimization translation kernels (hash-set Swing ordering over
+/// a fresh naive Floyd–Warshall, hash-map list scheduler), retained
+/// verbatim in `veal::sched::reference` so the benchmark compares real old
+/// code against real new code on the same build — and so the end-to-end
+/// old arm (`set_data_oriented(false)`) routes `translate` through them.
+use veal::sched::reference;
 
 /// One loop readied for the scheduling kernel: separated, CCA-mapped, MII
 /// computed — exactly the state `modulo_schedule` sees inside `translate`.
 struct Prepped {
     name: String,
+    /// The raw loop body before stream separation — input to the
+    /// loop-identification and stream-separation phase kernels.
+    raw: Dfg,
+    /// Separated but not yet CCA-mapped — input to the CCA-mapping and
+    /// hint-decode phase kernels.
+    sep: Dfg,
     dfg: Dfg,
     summary: StreamSummary,
     mii: u32,
@@ -403,6 +90,19 @@ fn env_usize(key: &str, default: usize) -> usize {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+/// Minimum wall-clock nanos over `passes` runs of `f`. Taking the best of N
+/// passes filters scheduler/frequency noise out of each sample; it is applied
+/// identically to both arms so the speedup ratio stays unbiased.
+fn min_ns(passes: usize, mut f: impl FnMut()) -> u128 {
+    let mut best = u128::MAX;
+    for _ in 0..passes {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_nanos());
+    }
+    best
 }
 
 /// Parses `--trace-out <path>` from argv; `None` when absent.
@@ -435,6 +135,7 @@ fn prep_suite(apps: &[veal::workloads::Application], config: &AcceleratorConfig)
             if config.check_streams(summary).is_err() {
                 continue;
             }
+            let sep_dfg = sep.dfg.clone();
             let mut dfg = sep.dfg;
             veal::cca::map_cca(&mut dfg, &spec, &mut meter);
             let mii = res_mii(&dfg, config, summary, &mut meter).max(rec_mii(
@@ -447,6 +148,8 @@ fn prep_suite(apps: &[veal::workloads::Application], config: &AcceleratorConfig)
             }
             out.push(Prepped {
                 name: format!("{}#{i}", app.name),
+                raw: l.raw.body.dfg.clone(),
+                sep: sep_dfg,
                 dfg,
                 summary,
                 mii,
@@ -464,7 +167,7 @@ fn old_prio_and_sched(
     ii: u32,
 ) -> (
     Vec<OpId>,
-    Result<reference::RefSchedule, ScheduleError>,
+    Result<ModuloSchedule, ScheduleError>,
     PhaseBreakdown,
 ) {
     let mut meter = CostMeter::new();
@@ -494,7 +197,7 @@ fn new_prio_and_sched(
 /// same failure): same II, same op→time map, same op→unit map.
 fn assert_same_schedule(
     name: &str,
-    old: &Result<reference::RefSchedule, ScheduleError>,
+    old: &Result<ModuloSchedule, ScheduleError>,
     new: &Result<ModuloSchedule, ScheduleError>,
 ) {
     match (old, new) {
@@ -532,13 +235,15 @@ fn main() {
     let max_apps = env_usize("VEAL_BENCH_APPS", usize::MAX);
     apps.truncate(max_apps);
     let reps = env_usize("VEAL_BENCH_REPS", 5).max(1) as u32;
+    let passes = env_usize("VEAL_BENCH_PASSES", 3).max(1);
     let config = AcceleratorConfig::paper_design();
     let prepped = prep_suite(&apps, &config);
     println!(
-        "bench_translate: {} apps, {} schedulable loops, {} reps/loop",
+        "bench_translate: {} apps, {} schedulable loops, {} reps/loop, best of {} passes",
         apps.len(),
         prepped.len(),
-        reps
+        reps,
+        passes
     );
 
     // --- priority + scheduling, old vs new kernel ------------------------
@@ -563,44 +268,226 @@ fn main() {
             assert_same_schedule(&p.name, &sched_o, &sched_n);
             assert_eq!(bd_o, bd_n, "{}@{ii}: phase breakdown diverged", p.name);
 
-            let t = Instant::now();
-            for _ in 0..reps {
-                let mut meter = CostMeter::new();
-                std::hint::black_box(reference::swing_order(
-                    &p.dfg,
-                    &config.latencies,
-                    ii,
-                    &mut meter,
-                ));
-            }
-            old_prio_ns += t.elapsed().as_nanos();
-            let t = Instant::now();
-            for _ in 0..reps {
-                let mut meter = CostMeter::new();
-                let _ = std::hint::black_box(reference::list_schedule(
-                    &p.dfg, &config, &order_n, ii, p.summary, &mut meter,
-                ));
-            }
-            old_sched_ns += t.elapsed().as_nanos();
+            old_prio_ns += min_ns(passes, || {
+                for _ in 0..reps {
+                    let mut meter = CostMeter::new();
+                    std::hint::black_box(reference::swing_order(
+                        &p.dfg,
+                        &config.latencies,
+                        ii,
+                        &mut meter,
+                    ));
+                }
+            });
+            old_sched_ns += min_ns(passes, || {
+                for _ in 0..reps {
+                    let mut meter = CostMeter::new();
+                    let _ = std::hint::black_box(reference::list_schedule(
+                        &p.dfg, &config, &order_n, ii, p.summary, &mut meter,
+                    ));
+                }
+            });
 
-            let t = Instant::now();
-            for _ in 0..reps {
-                let mut meter = CostMeter::new();
-                std::hint::black_box(swing_order(&p.dfg, &config.latencies, ii, &mut meter));
-            }
-            new_prio_ns += t.elapsed().as_nanos();
-            let t = Instant::now();
-            for _ in 0..reps {
-                let mut meter = CostMeter::new();
-                let _ = std::hint::black_box(list_schedule(
-                    &p.dfg, &config, &order_n, ii, p.summary, &mut meter,
-                ));
-            }
-            new_sched_ns += t.elapsed().as_nanos();
+            new_prio_ns += min_ns(passes, || {
+                for _ in 0..reps {
+                    let mut meter = CostMeter::new();
+                    std::hint::black_box(swing_order(&p.dfg, &config.latencies, ii, &mut meter));
+                }
+            });
+            new_sched_ns += min_ns(passes, || {
+                for _ in 0..reps {
+                    let mut meter = CostMeter::new();
+                    let _ = std::hint::black_box(list_schedule(
+                        &p.dfg, &config, &order_n, ii, p.summary, &mut meter,
+                    ));
+                }
+            });
         }
     }
 
-    // --- end-to-end translate, naive vs parametric MinDist ---------------
+    // --- per-phase breakdown, old vs new ---------------------------------
+    // One wall-clock entry per `Phase`, timing that phase's kernel in
+    // isolation over every schedulable loop. Phases whose kernels dispatch
+    // on the data-oriented toggle are timed under both arms and asserted
+    // bit-identical; phases untouched by the sweep run the same code twice.
+    let spec = CcaSpec::paper();
+    let mut ph_old = [0u128; 9];
+    let mut ph_new = [0u128; 9];
+    assert_eq!(ALL_PHASES.len(), 9);
+    let fold_ref = |r: &RefDfg| {
+        let ok = r.verify().is_ok();
+        let n_sccs = r.sccs().len();
+        r.content_hash() ^ u64::from(ok) ^ (n_sccs as u64) << 1
+    };
+    for p in &prepped {
+        // loop-ident: re-derive every structural analysis (adjacency,
+        // verification, SCCs, content hash) from the raw node/edge lists —
+        // push-built `Vec<Vec<u32>>` adjacency vs the CSR arena build.
+        {
+            let r = RefDfg::from_dfg(&p.raw);
+            assert_eq!(
+                fold_ref(&r),
+                p.raw.reanalyze(),
+                "{}: loop-ident analyses diverged",
+                p.name
+            );
+            let i = Phase::LoopIdent as usize;
+            ph_old[i] += min_ns(passes, || {
+                for _ in 0..reps {
+                    let r = RefDfg::from_dfg(&p.raw);
+                    std::hint::black_box(fold_ref(&r));
+                }
+            });
+            ph_new[i] += min_ns(passes, || {
+                for _ in 0..reps {
+                    std::hint::black_box(p.raw.reanalyze());
+                }
+            });
+        }
+
+        // stream-sep: the full separation pass, reference vs single-pass.
+        {
+            set_data_oriented(false);
+            let mut m_o = CostMeter::new();
+            let out_o = separate(&p.raw, &mut m_o).expect("prepped loop separates");
+            set_data_oriented(true);
+            let mut m_n = CostMeter::new();
+            let out_n = separate(&p.raw, &mut m_n).expect("prepped loop separates");
+            assert_eq!(
+                out_o.dfg.content_hash(),
+                out_n.dfg.content_hash(),
+                "{}: separation diverged",
+                p.name
+            );
+            assert_eq!(
+                m_o.breakdown(),
+                m_n.breakdown(),
+                "{}: separation charges diverged",
+                p.name
+            );
+            let i = Phase::StreamSep as usize;
+            for (arm, acc) in [(false, &mut ph_old[i]), (true, &mut ph_new[i])] {
+                set_data_oriented(arm);
+                *acc += min_ns(passes, || {
+                    for _ in 0..reps {
+                        let mut meter = CostMeter::new();
+                        let _ = std::hint::black_box(separate(&p.raw, &mut meter));
+                    }
+                });
+            }
+        }
+
+        // cca-mapping: the greedy seed-and-grow mapper plus group commit.
+        {
+            set_data_oriented(false);
+            let mut m_o = CostMeter::new();
+            let mut d_o = p.sep.clone();
+            let g_o = veal::cca::map_cca(&mut d_o, &spec, &mut m_o);
+            set_data_oriented(true);
+            let mut m_n = CostMeter::new();
+            let mut d_n = p.sep.clone();
+            let g_n = veal::cca::map_cca(&mut d_n, &spec, &mut m_n);
+            assert_eq!(g_o, g_n, "{}: CCA groups diverged", p.name);
+            assert_eq!(
+                d_o.content_hash(),
+                d_n.content_hash(),
+                "{}: CCA-mapped graph diverged",
+                p.name
+            );
+            assert_eq!(
+                m_o.breakdown(),
+                m_n.breakdown(),
+                "{}: CCA charges diverged",
+                p.name
+            );
+            let i = Phase::CcaMapping as usize;
+            for (arm, acc) in [(false, &mut ph_old[i]), (true, &mut ph_new[i])] {
+                set_data_oriented(arm);
+                *acc += min_ns(passes, || {
+                    for _ in 0..reps {
+                        let mut meter = CostMeter::new();
+                        let mut d = p.sep.clone();
+                        std::hint::black_box(veal::cca::map_cca(&mut d, &spec, &mut meter));
+                    }
+                });
+            }
+        }
+
+        // res-mii / rec-mii: unchanged kernels, same code under both arms.
+        {
+            let i = Phase::ResMii as usize;
+            for (arm, acc) in [(false, &mut ph_old[i]), (true, &mut ph_new[i])] {
+                set_data_oriented(arm);
+                *acc += min_ns(passes, || {
+                    for _ in 0..reps {
+                        let mut meter = CostMeter::new();
+                        std::hint::black_box(res_mii(&p.dfg, &config, p.summary, &mut meter));
+                    }
+                });
+            }
+        }
+        {
+            let i = Phase::RecMii as usize;
+            for (arm, acc) in [(false, &mut ph_old[i]), (true, &mut ph_new[i])] {
+                set_data_oriented(arm);
+                *acc += min_ns(passes, || {
+                    for _ in 0..reps {
+                        let mut meter = CostMeter::new();
+                        std::hint::black_box(rec_mii(&p.dfg, &config.latencies, &mut meter));
+                    }
+                });
+            }
+        }
+
+        // reg-assign: unchanged kernel over the new scheduler's output.
+        set_data_oriented(true);
+        if let (_, Ok(sched), _) = new_prio_and_sched(p, &config, p.mii) {
+            let i = Phase::RegAssign as usize;
+            for (arm, acc) in [(false, &mut ph_old[i]), (true, &mut ph_new[i])] {
+                set_data_oriented(arm);
+                *acc += min_ns(passes, || {
+                    for _ in 0..reps {
+                        let mut meter = CostMeter::new();
+                        let _ = std::hint::black_box(assign_registers(
+                            &p.dfg, &sched, &config, &mut meter,
+                        ));
+                    }
+                });
+            }
+        }
+
+        // hint-decode: re-verify and re-apply the mapper's groups as if
+        // they had arrived as static hints.
+        {
+            set_data_oriented(true);
+            let mut meter = CostMeter::new();
+            let groups: Vec<Vec<OpId>> = veal::cca::identify_groups(&p.sep, &spec, &mut meter)
+                .into_iter()
+                .map(|g| g.members)
+                .collect();
+            let i = Phase::HintDecode as usize;
+            for (arm, acc) in [(false, &mut ph_old[i]), (true, &mut ph_new[i])] {
+                set_data_oriented(arm);
+                *acc += min_ns(passes, || {
+                    for _ in 0..reps {
+                        let mut meter = CostMeter::new();
+                        let mut d = p.sep.clone();
+                        let _ = std::hint::black_box(verify_and_apply_cca(
+                            &mut d, &spec, &groups, &mut meter,
+                        ));
+                    }
+                });
+            }
+        }
+    }
+    set_data_oriented(true);
+    // priority / scheduling: measured by the (loop, II) section above.
+    ph_old[Phase::Priority as usize] = old_prio_ns;
+    ph_new[Phase::Priority as usize] = new_prio_ns;
+    ph_old[Phase::Scheduling as usize] = old_sched_ns;
+    ph_new[Phase::Scheduling as usize] = new_sched_ns;
+
+    // --- end-to-end translate, old arm vs new arm ------------------------
     let translator = Translator::new(
         config.clone(),
         Some(CcaSpec::paper()),
@@ -611,13 +498,15 @@ fn main() {
         .iter()
         .flat_map(|a| a.loops.iter().map(|l| &l.raw.body))
         .collect();
-    let mut naive_e2e_ns = 0u128;
-    let mut param_e2e_ns = 0u128;
+    let mut old_e2e_ns = 0u128;
+    let mut new_e2e_ns = 0u128;
     for (key, body) in bodies.iter().enumerate() {
         let key = key as u64;
         set_parametric_enabled(false);
+        set_data_oriented(false);
         let out_n = translator.translate(body, &hints);
         set_parametric_enabled(true);
+        set_data_oriented(true);
         trace.emit(|| Event::TranslateStart {
             key,
             loop_hash: body.content_hash(),
@@ -653,16 +542,18 @@ fn main() {
             "{}: translate result diverged",
             body.name
         );
-        for (parametric, e2e_ns) in [(false, &mut naive_e2e_ns), (true, &mut param_e2e_ns)] {
-            set_parametric_enabled(parametric);
-            let t = Instant::now();
-            for _ in 0..reps {
-                std::hint::black_box(translator.translate(body, &hints));
-            }
-            *e2e_ns += t.elapsed().as_nanos();
+        for (new_arm, e2e_ns) in [(false, &mut old_e2e_ns), (true, &mut new_e2e_ns)] {
+            set_parametric_enabled(new_arm);
+            set_data_oriented(new_arm);
+            *e2e_ns += min_ns(passes, || {
+                for _ in 0..reps {
+                    std::hint::black_box(translator.translate(body, &hints));
+                }
+            });
         }
     }
     set_parametric_enabled(true);
+    set_data_oriented(true);
 
     let ms = |ns: u128| ns as f64 / 1e6;
     println!("priority+sched measured over {points} (loop, II) points");
@@ -671,32 +562,43 @@ fn main() {
     let prio_speedup = ms(old_prio_ns) / ms(new_prio_ns).max(1e-9);
     let sched_speedup = ms(old_sched_ns) / ms(new_sched_ns).max(1e-9);
     let ps_speedup = old_ps / new_ps.max(1e-9);
-    let e2e_speedup = ms(naive_e2e_ns) / ms(param_e2e_ns).max(1e-9);
+    let e2e_speedup = ms(old_e2e_ns) / ms(new_e2e_ns).max(1e-9);
+    println!("per-phase kernels (old vs new):");
+    for &p in ALL_PHASES {
+        let i = p as usize;
+        let (o, n) = (ms(ph_old[i]), ms(ph_new[i]));
+        println!(
+            "  {:<12} : old {o:>9.1} ms  new {n:>9.1} ms  ({:.2}x)",
+            p.name(),
+            o / n.max(1e-9)
+        );
+    }
     println!(
-        "priority         : old {:>9.1} ms  new {:>9.1} ms  ({prio_speedup:.2}x)",
-        ms(old_prio_ns),
-        ms(new_prio_ns)
-    );
-    println!(
-        "scheduling       : old {:>9.1} ms  new {:>9.1} ms  ({sched_speedup:.2}x)",
-        ms(old_sched_ns),
-        ms(new_sched_ns)
-    );
-    println!("priority+sched   : old {old_ps:>9.1} ms  new {new_ps:>9.1} ms  ({ps_speedup:.2}x)");
-    println!(
-        "translate e2e    : naive-mindist {:>9.1} ms  parametric {:>9.1} ms  ({e2e_speedup:.2}x)",
-        ms(naive_e2e_ns),
-        ms(param_e2e_ns)
+        "translate e2e    : old {:>9.1} ms  new {:>9.1} ms  ({e2e_speedup:.2}x)",
+        ms(old_e2e_ns),
+        ms(new_e2e_ns)
     );
     println!("outputs          : bit-identical across both kernels");
 
+    let mut phases_json = String::new();
+    for (k, &p) in ALL_PHASES.iter().enumerate() {
+        let i = p as usize;
+        let (o, n) = (ms(ph_old[i]), ms(ph_new[i]));
+        phases_json.push_str(&format!(
+            "    \"{}\": {{ \"old_ms\": {o:.3}, \"new_ms\": {n:.3}, \"speedup\": {:.3} }}{}\n",
+            p.name(),
+            o / n.max(1e-9),
+            if k + 1 < ALL_PHASES.len() { "," } else { "" }
+        ));
+    }
     let json = format!(
         "{{\n  \"suite\": \"full\",\n  \"apps\": {},\n  \"loops_schedulable\": {},\n  \
          \"ii_points\": {},\n  \"reps_per_point\": {},\n  \"old_priority_ms\": {:.3},\n  \
          \"new_priority_ms\": {:.3},\n  \"old_scheduling_ms\": {:.3},\n  \
          \"new_scheduling_ms\": {:.3},\n  \"priority_speedup\": {:.3},\n  \
          \"scheduling_speedup\": {:.3},\n  \"priority_scheduling_speedup\": {:.3},\n  \
-         \"naive_translate_ms\": {:.3},\n  \"param_translate_ms\": {:.3},\n  \
+         \"phases\": {{\n{}  }},\n  \
+         \"old_translate_ms\": {:.3},\n  \"new_translate_ms\": {:.3},\n  \
          \"translate_speedup\": {:.3},\n  \"bit_identical\": true\n}}\n",
         apps.len(),
         prepped.len(),
@@ -709,8 +611,9 @@ fn main() {
         prio_speedup,
         sched_speedup,
         ps_speedup,
-        ms(naive_e2e_ns),
-        ms(param_e2e_ns),
+        phases_json,
+        ms(old_e2e_ns),
+        ms(new_e2e_ns),
         e2e_speedup,
     );
     if let Err(e) = std::fs::write("BENCH_translate.json", json) {
@@ -721,5 +624,15 @@ fn main() {
     if let Err(e) = trace.flush() {
         eprintln!("bench_translate: failed to flush trace: {e}");
         std::process::exit(1);
+    }
+    if let Some(floor) = std::env::var("VEAL_BENCH_MIN_SPEEDUP")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+    {
+        if e2e_speedup < floor {
+            eprintln!("bench_translate: translate_speedup {e2e_speedup:.3} below floor {floor:.3}");
+            std::process::exit(1);
+        }
+        println!("translate_speedup {e2e_speedup:.3} >= floor {floor:.3}");
     }
 }

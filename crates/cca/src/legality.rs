@@ -6,10 +6,25 @@
 //! over node slots and convexity reads the graph's cached distance-0
 //! reachability closure ([`Condensation`]) instead of re-running a BFS
 //! per query.
+//!
+//! Two implementations coexist, selected by
+//! [`veal_ir::data_oriented_enabled`]:
+//!
+//! * the **reference** path (`*_reference`) allocates its masks and
+//!   per-member tables fresh on every query and resolves member indices
+//!   by linear scan — the pre-sweep behavior, retained as the executable
+//!   specification and as the old arm of `bench_translate`;
+//! * the **fast** path (`*_in`) threads a [`LegalityScratch`] of
+//!   arena-backed buffers through every query and reads the graph through
+//!   its CSR [`veal_ir::Adjacency`], so a legality trial in the mapper's
+//!   inner loop allocates nothing.
+//!
+//! Both produce identical verdicts (pinned by the equivalence corpus in
+//! `crates/ir/tests/soa_equivalence.rs` and the cca property tests).
 
 use crate::spec::CcaSpec;
 use std::collections::VecDeque;
-use veal_ir::{Condensation, Dfg, OpId};
+use veal_ir::{data_oriented_enabled, with_arena, Condensation, Dfg, OpId, Opcode};
 
 /// Packed membership mask over node slots (`words` = `⌈len/64⌉`).
 fn mask_of(group: &[OpId], words: usize) -> Vec<u64> {
@@ -34,6 +49,88 @@ fn count_ones(mask: &[u64]) -> usize {
     mask.iter().map(|w| w.count_ones() as usize).sum()
 }
 
+/// Reusable buffers for the fast legality kernels.
+///
+/// One scratch serves any number of queries against graphs of any size —
+/// each kernel resizes what it touches. The buffers come from the shared
+/// [`veal_ir::DfgArena`] pool and return to it on drop, so constructing a
+/// scratch in steady state allocates nothing either.
+#[derive(Debug)]
+pub struct LegalityScratch {
+    /// Member mask over node slots.
+    set: Vec<u64>,
+    /// Producers mask / convexity out-reach / BFS visited.
+    wa: Vec<u64>,
+    /// Outputs mask.
+    wb: Vec<u64>,
+    /// Node slot -> index within the current group (stale outside the
+    /// current group's slots; always guarded by `set`).
+    pos: Vec<u32>,
+    /// Per-member intra-group in-degree.
+    indeg: Vec<u32>,
+    /// Topological work queue over member indices.
+    queue: Vec<u32>,
+    /// Per-member assigned row (`u32::MAX` = unplaced).
+    row_of: Vec<u32>,
+    /// Per-row occupancy.
+    row_load: Vec<u32>,
+    /// DFS work stack of node slots.
+    work: Vec<u32>,
+}
+
+impl LegalityScratch {
+    /// Checks buffers out of the arena pool.
+    #[must_use]
+    pub fn new() -> Self {
+        with_arena(|a| LegalityScratch {
+            set: a.take_u64(),
+            wa: a.take_u64(),
+            wb: a.take_u64(),
+            pos: a.take_u32(),
+            indeg: a.take_u32(),
+            queue: a.take_u32(),
+            row_of: a.take_u32(),
+            row_load: a.take_u32(),
+            work: a.take_u32(),
+        })
+    }
+
+    /// Rebuilds the member mask and position table for `group` over a
+    /// graph of `n` slots.
+    fn load_group(&mut self, group: &[OpId], n: usize) {
+        let words = n.div_ceil(64);
+        self.set.clear();
+        self.set.resize(words, 0);
+        self.pos.resize(n.max(self.pos.len()), 0);
+        for (i, &g) in group.iter().enumerate() {
+            self.set[g.index() / 64] |= 1u64 << (g.index() % 64);
+            self.pos[g.index()] = i as u32;
+        }
+    }
+}
+
+impl Default for LegalityScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for LegalityScratch {
+    fn drop(&mut self) {
+        with_arena(|a| {
+            a.give_u64(std::mem::take(&mut self.set));
+            a.give_u64(std::mem::take(&mut self.wa));
+            a.give_u64(std::mem::take(&mut self.wb));
+            a.give_u32(std::mem::take(&mut self.pos));
+            a.give_u32(std::mem::take(&mut self.indeg));
+            a.give_u32(std::mem::take(&mut self.queue));
+            a.give_u32(std::mem::take(&mut self.row_of));
+            a.give_u32(std::mem::take(&mut self.row_load));
+            a.give_u32(std::mem::take(&mut self.work));
+        });
+    }
+}
+
 /// The row each member of a legal group occupies.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RowAssignment {
@@ -54,6 +151,16 @@ pub struct GroupIo {
 /// Counts the external inputs and outputs a group would need.
 #[must_use]
 pub fn group_io(dfg: &Dfg, group: &[OpId]) -> GroupIo {
+    if data_oriented_enabled() {
+        group_io_in(dfg, group, &mut LegalityScratch::new())
+    } else {
+        group_io_reference(dfg, group)
+    }
+}
+
+/// Allocation-per-call [`group_io`], retained as the reference.
+#[must_use]
+pub fn group_io_reference(dfg: &Dfg, group: &[OpId]) -> GroupIo {
     let words = dfg.len().div_ceil(64);
     let set = mask_of(group, words);
     let mut producers = vec![0u64; words];
@@ -81,6 +188,40 @@ pub fn group_io(dfg: &Dfg, group: &[OpId]) -> GroupIo {
     }
 }
 
+/// [`group_io`] over the CSR adjacency and a caller-owned scratch.
+#[must_use]
+pub fn group_io_in(dfg: &Dfg, group: &[OpId], s: &mut LegalityScratch) -> GroupIo {
+    let adj = dfg.adjacency();
+    let edges = dfg.edges();
+    let words = adj.len().div_ceil(64);
+    s.load_group(group, adj.len());
+    s.wa.clear();
+    s.wa.resize(words, 0);
+    s.wb.clear();
+    s.wb.resize(words, 0);
+    for &m in group {
+        for &ei in adj.pred_edge_ids(m.index()) {
+            let e = &edges[ei as usize];
+            if !bit(&s.set, e.src.index()) || e.distance > 0 {
+                set_bit(&mut s.wa, e.src.index());
+            }
+        }
+        for &ei in adj.succ_edge_ids(m.index()) {
+            let e = &edges[ei as usize];
+            if !bit(&s.set, e.dst.index()) || e.distance > 0 {
+                set_bit(&mut s.wb, m.index());
+            }
+        }
+        if dfg.node(m).live_out {
+            set_bit(&mut s.wb, m.index());
+        }
+    }
+    GroupIo {
+        inputs: count_ones(&s.wa),
+        outputs: count_ones(&s.wb),
+    }
+}
+
 /// Assigns each member to a CCA row, or `None` if the group is too deep or
 /// too wide.
 ///
@@ -90,6 +231,17 @@ pub fn group_io(dfg: &Dfg, group: &[OpId]) -> GroupIo {
 /// per-row capacity.
 #[must_use]
 pub fn assign_rows(dfg: &Dfg, spec: &CcaSpec, group: &[OpId]) -> Option<RowAssignment> {
+    if data_oriented_enabled() {
+        assign_rows_in(dfg, spec, group, &mut LegalityScratch::new())
+    } else {
+        assign_rows_reference(dfg, spec, group)
+    }
+}
+
+/// Allocation-per-call [`assign_rows`] with linear-scan member lookup,
+/// retained as the reference.
+#[must_use]
+pub fn assign_rows_reference(dfg: &Dfg, spec: &CcaSpec, group: &[OpId]) -> Option<RowAssignment> {
     let words = dfg.len().div_ceil(64);
     let set = mask_of(group, words);
     if group.len() > spec.max_ops() {
@@ -162,6 +314,123 @@ pub fn assign_rows(dfg: &Dfg, spec: &CcaSpec, group: &[OpId]) -> Option<RowAssig
     })
 }
 
+/// [`assign_rows`] over the CSR adjacency with O(1) member lookup through
+/// the scratch position table.
+#[must_use]
+pub fn assign_rows_in(
+    dfg: &Dfg,
+    spec: &CcaSpec,
+    group: &[OpId],
+    s: &mut LegalityScratch,
+) -> Option<RowAssignment> {
+    if !assign_rows_fill_in(dfg, spec, group, s) {
+        return None;
+    }
+    Some(RowAssignment {
+        rows: group
+            .iter()
+            .enumerate()
+            .map(|(i, &m)| (m, s.row_of[i] as usize))
+            .collect(),
+    })
+}
+
+/// Core placement behind [`assign_rows_in`]: fills `s.row_of` and reports
+/// feasibility without materializing a [`RowAssignment`] — the legality
+/// predicates only ask whether the group fits.
+#[must_use]
+pub(crate) fn assign_rows_fill_in(
+    dfg: &Dfg,
+    spec: &CcaSpec,
+    group: &[OpId],
+    s: &mut LegalityScratch,
+) -> bool {
+    if group.len() > spec.max_ops() {
+        return false;
+    }
+    let adj = dfg.adjacency();
+    let edges = dfg.edges();
+    let opcs = adj.opcodes();
+    s.load_group(group, adj.len());
+
+    // Topological order within the group over distance-0 edges; the queue
+    // buffer doubles as the order (FIFO head never outruns the tail).
+    s.indeg.clear();
+    s.queue.clear();
+    for &m in group {
+        let d = adj
+            .pred_edge_ids(m.index())
+            .iter()
+            .filter(|&&ei| {
+                let e = &edges[ei as usize];
+                e.distance == 0 && bit(&s.set, e.src.index())
+            })
+            .count();
+        s.indeg.push(d as u32);
+    }
+    for i in 0..group.len() {
+        if s.indeg[i] == 0 {
+            s.queue.push(i as u32);
+        }
+    }
+    let mut head = 0usize;
+    while head < s.queue.len() {
+        let i = s.queue[head] as usize;
+        head += 1;
+        for &ei in adj.succ_edge_ids(group[i].index()) {
+            let e = &edges[ei as usize];
+            if e.distance == 0 && bit(&s.set, e.dst.index()) {
+                let j = s.pos[e.dst.index()] as usize;
+                s.indeg[j] -= 1;
+                if s.indeg[j] == 0 {
+                    s.queue.push(j as u32);
+                }
+            }
+        }
+    }
+    if s.queue.len() != group.len() {
+        return false; // distance-0 cycle inside the group
+    }
+
+    const UNPLACED: u32 = u32::MAX;
+    s.row_of.clear();
+    s.row_of.resize(group.len(), UNPLACED);
+    s.row_load.clear();
+    s.row_load.resize(spec.depth(), 0);
+    for qi in 0..s.queue.len() {
+        let i = s.queue[qi] as usize;
+        let m = group[i];
+        let mut min_row = 0usize;
+        for &ei in adj.pred_edge_ids(m.index()) {
+            let e = &edges[ei as usize];
+            if e.distance == 0 && bit(&s.set, e.src.index()) {
+                let r = s.row_of[s.pos[e.src.index()] as usize] as usize + 1;
+                min_row = min_row.max(r);
+            }
+        }
+        let needs_arith = Opcode::decode(opcs[m.index()])
+            .expect("member is an op")
+            .cca_arithmetic();
+        let mut placed = false;
+        for r in min_row..spec.depth() {
+            if needs_arith && !spec.row_supports_arith(r) {
+                continue;
+            }
+            if s.row_load[r] as usize >= spec.row_caps[r] {
+                continue;
+            }
+            s.row_of[i] = r as u32;
+            s.row_load[r] += 1;
+            placed = true;
+            break;
+        }
+        if !placed {
+            return false;
+        }
+    }
+    true
+}
+
 /// Whether `group` is convex: no distance-0 path leaves the group and
 /// re-enters it. A non-convex group cannot execute atomically because an
 /// external op would need a group output before the group finishes.
@@ -173,6 +442,16 @@ pub fn assign_rows(dfg: &Dfg, spec: &CcaSpec, group: &[OpId]) -> Option<RowAssig
 /// external segments are the escape and the re-entry).
 #[must_use]
 pub fn is_convex(cond: &Condensation, group: &[OpId]) -> bool {
+    if data_oriented_enabled() {
+        is_convex_in(cond, group, &mut LegalityScratch::new())
+    } else {
+        is_convex_reference(cond, group)
+    }
+}
+
+/// Allocation-per-call [`is_convex`], retained as the reference.
+#[must_use]
+pub fn is_convex_reference(cond: &Condensation, group: &[OpId]) -> bool {
     let words = cond.reach0().words_per_row();
     if words == 0 {
         return true;
@@ -202,6 +481,41 @@ pub fn is_convex(cond: &Condensation, group: &[OpId]) -> bool {
     true
 }
 
+/// [`is_convex`] over a caller-owned scratch.
+#[must_use]
+pub fn is_convex_in(cond: &Condensation, group: &[OpId], s: &mut LegalityScratch) -> bool {
+    let words = cond.reach0().words_per_row();
+    if words == 0 {
+        return true;
+    }
+    s.set.clear();
+    s.set.resize(words, 0);
+    for &g in group {
+        set_bit(&mut s.set, g.index());
+    }
+    s.wa.clear();
+    s.wa.resize(words, 0);
+    for &m in group {
+        for (o, &r) in s.wa.iter_mut().zip(cond.reach0_row(m)) {
+            *o |= r;
+        }
+    }
+    for (o, &m) in s.wa.iter_mut().zip(&s.set) {
+        *o &= !m;
+    }
+    for w in 0..words {
+        let mut word = s.wa[w];
+        while word != 0 {
+            let x = w * 64 + word.trailing_zeros() as usize;
+            word &= word - 1;
+            if cond.reach0().row_intersects(x, &s.set) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
 /// Whether collapsing `group` avoids lengthening any recurrence cycle.
 ///
 /// A group's ops execute in [`CcaSpec::latency`] cycles total. If the group
@@ -214,6 +528,21 @@ pub fn is_convex(cond: &Condensation, group: &[OpId]) -> bool {
 /// ([`Dfg::condensation`]); only cyclic components matter.
 #[must_use]
 pub fn recurrences_ok(dfg: &Dfg, spec: &CcaSpec, group: &[OpId], cond: &Condensation) -> bool {
+    if data_oriented_enabled() {
+        recurrences_ok_in(dfg, spec, group, cond, &mut LegalityScratch::new())
+    } else {
+        recurrences_ok_reference(dfg, spec, group, cond)
+    }
+}
+
+/// Allocation-per-call [`recurrences_ok`], retained as the reference.
+#[must_use]
+pub fn recurrences_ok_reference(
+    dfg: &Dfg,
+    spec: &CcaSpec,
+    group: &[OpId],
+    cond: &Condensation,
+) -> bool {
     let words = dfg.len().div_ceil(64);
     let set = mask_of(group, words);
     for (ci, scc) in cond.comps().iter().enumerate() {
@@ -234,14 +563,63 @@ pub fn recurrences_ok(dfg: &Dfg, spec: &CcaSpec, group: &[OpId], cond: &Condensa
         }
         // And they must be contiguous (weakly connected via distance-0 edges
         // within the group ∩ SCC) so the cycle passes through the CCA once.
-        if !weakly_connected(dfg, &inside) {
+        if !weakly_connected_reference(dfg, &inside) {
             return false;
         }
     }
     true
 }
 
-fn weakly_connected(dfg: &Dfg, nodes: &[OpId]) -> bool {
+/// [`recurrences_ok`] over a caller-owned scratch.
+#[must_use]
+pub fn recurrences_ok_in(
+    dfg: &Dfg,
+    spec: &CcaSpec,
+    group: &[OpId],
+    cond: &Condensation,
+    s: &mut LegalityScratch,
+) -> bool {
+    recurrences_ok_parts(dfg, spec, group, cond.comps(), cond.cyclic_flags(), s)
+}
+
+/// The recurrence rule against an explicit SCC partition, for callers that
+/// computed components without a full [`Condensation`] (see
+/// [`is_legal_group_current`]).
+fn recurrences_ok_parts(
+    dfg: &Dfg,
+    spec: &CcaSpec,
+    group: &[OpId],
+    comps: &[Vec<OpId>],
+    cyclic: &[bool],
+    s: &mut LegalityScratch,
+) -> bool {
+    let adj = dfg.adjacency();
+    s.load_group(group, adj.len());
+    for (ci, scc) in comps.iter().enumerate() {
+        if !cyclic[ci] {
+            continue;
+        }
+        // group ∩ scc, collected into the work buffer.
+        s.work.clear();
+        for &m in scc {
+            if bit(&s.set, m.index()) {
+                s.work.push(m.index() as u32);
+            }
+        }
+        if s.work.is_empty() {
+            continue;
+        }
+        if (s.work.len() as u32) < spec.latency {
+            return false;
+        }
+        if !weakly_connected_in(dfg, s) {
+            return false;
+        }
+    }
+    true
+}
+
+fn weakly_connected_reference(dfg: &Dfg, nodes: &[OpId]) -> bool {
     if nodes.len() <= 1 {
         return true;
     }
@@ -269,10 +647,122 @@ fn weakly_connected(dfg: &Dfg, nodes: &[OpId]) -> bool {
     count_ones(&visited) == nodes.len()
 }
 
+/// Whether the node slots in `s.work` are weakly connected via distance-0
+/// edges among themselves. Consumes `s.work` as the membership list and
+/// DFS stack; uses `s.wa`/`s.wb` as the member and visited masks.
+fn weakly_connected_in(dfg: &Dfg, s: &mut LegalityScratch) -> bool {
+    let n_nodes = s.work.len();
+    if n_nodes <= 1 {
+        return true;
+    }
+    let adj = dfg.adjacency();
+    let edges = dfg.edges();
+    let words = adj.len().div_ceil(64);
+    s.wa.clear();
+    s.wa.resize(words, 0);
+    for &v in &s.work {
+        set_bit(&mut s.wa, v as usize);
+    }
+    s.wb.clear();
+    s.wb.resize(words, 0);
+    let start = s.work[0];
+    s.work.clear();
+    s.work.push(start);
+    set_bit(&mut s.wb, start as usize);
+    let mut reached = 1usize;
+    while let Some(x) = s.work.pop() {
+        for &ei in adj.succ_edge_ids(x as usize) {
+            let e = &edges[ei as usize];
+            let d = e.dst.index();
+            if e.distance == 0 && bit(&s.wa, d) && !bit(&s.wb, d) {
+                set_bit(&mut s.wb, d);
+                reached += 1;
+                s.work.push(d as u32);
+            }
+        }
+        for &ei in adj.pred_edge_ids(x as usize) {
+            let e = &edges[ei as usize];
+            let src = e.src.index();
+            if e.distance == 0 && bit(&s.wa, src) && !bit(&s.wb, src) {
+                set_bit(&mut s.wb, src);
+                reached += 1;
+                s.work.push(src as u32);
+            }
+        }
+    }
+    reached == n_nodes
+}
+
+/// [`is_convex`] by direct search, without the reachability closure: BFS
+/// forward over distance-0 edges from the members' *external* successors,
+/// staying on external nodes; the group is non-convex exactly when the
+/// search re-enters a member. (Split any closure witness `u ∈ G ⇝ x ∉ G ⇝
+/// v ∈ G` at the last member before `x` and the first member after it —
+/// the segments between are external-only, so this BFS finds them.)
+///
+/// For the thousands of trials the identify phase runs per graph the
+/// cached closure amortizes and wins; for a single query against a
+/// transient graph this O(V + E) walk wins.
+#[must_use]
+pub fn is_convex_bfs(dfg: &Dfg, group: &[OpId], s: &mut LegalityScratch) -> bool {
+    let adj = dfg.adjacency();
+    let edges = dfg.edges();
+    let words = adj.len().div_ceil(64);
+    s.load_group(group, adj.len());
+    s.wa.clear();
+    s.wa.resize(words, 0);
+    s.work.clear();
+    for &m in group {
+        for &ei in adj.succ_edge_ids(m.index()) {
+            let e = &edges[ei as usize];
+            let d = e.dst.index();
+            if e.distance == 0 && !bit(&s.set, d) && !adj.is_dead(d) && !bit(&s.wa, d) {
+                set_bit(&mut s.wa, d);
+                s.work.push(d as u32);
+            }
+        }
+    }
+    while let Some(x) = s.work.pop() {
+        for &ei in adj.succ_edge_ids(x as usize) {
+            let e = &edges[ei as usize];
+            if e.distance != 0 {
+                continue;
+            }
+            let d = e.dst.index();
+            if adj.is_dead(d) {
+                continue;
+            }
+            if bit(&s.set, d) {
+                return false; // escaped path re-enters the group
+            }
+            if !bit(&s.wa, d) {
+                set_bit(&mut s.wa, d);
+                s.work.push(d as u32);
+            }
+        }
+    }
+    true
+}
+
 /// Full legality check for a candidate group: every member CCA-supported,
 /// row-assignable, within the IO budget, convex, and recurrence-safe.
 #[must_use]
 pub fn is_legal_group(dfg: &Dfg, spec: &CcaSpec, group: &[OpId], cond: &Condensation) -> bool {
+    if data_oriented_enabled() {
+        is_legal_group_in(dfg, spec, group, cond, &mut LegalityScratch::new())
+    } else {
+        is_legal_group_reference(dfg, spec, group, cond)
+    }
+}
+
+/// Allocation-per-call [`is_legal_group`], retained as the reference.
+#[must_use]
+pub fn is_legal_group_reference(
+    dfg: &Dfg,
+    spec: &CcaSpec,
+    group: &[OpId],
+    cond: &Condensation,
+) -> bool {
     if group.is_empty() {
         return false;
     }
@@ -285,23 +775,135 @@ pub fn is_legal_group(dfg: &Dfg, spec: &CcaSpec, group: &[OpId], cond: &Condensa
             return false;
         }
     }
-    let io = group_io(dfg, group);
+    let io = group_io_reference(dfg, group);
     if io.inputs > spec.inputs || io.outputs > spec.outputs {
         return false;
     }
-    if assign_rows(dfg, spec, group).is_none() {
+    if assign_rows_reference(dfg, spec, group).is_none() {
         return false;
     }
-    if !is_convex(cond, group) {
+    if !is_convex_reference(cond, group) {
         return false;
     }
-    recurrences_ok(dfg, spec, group, cond)
+    recurrences_ok_reference(dfg, spec, group, cond)
+}
+
+/// [`is_legal_group`] over a caller-owned scratch: the mapper's inner loop
+/// runs this thousands of times per graph without allocating.
+#[must_use]
+pub fn is_legal_group_in(
+    dfg: &Dfg,
+    spec: &CcaSpec,
+    group: &[OpId],
+    cond: &Condensation,
+    s: &mut LegalityScratch,
+) -> bool {
+    if group.is_empty() {
+        return false;
+    }
+    let opcs = dfg.adjacency().opcodes();
+    for &m in group {
+        // `NO_OP` covers pseudo nodes and tombstones in one byte probe.
+        let ok = Opcode::decode(opcs[m.index()]).is_some_and(|op| op.cca_supported());
+        if !ok {
+            return false;
+        }
+    }
+    let io = group_io_in(dfg, group, s);
+    if io.inputs > spec.inputs || io.outputs > spec.outputs {
+        return false;
+    }
+    if !assign_rows_fill_in(dfg, spec, group, s) {
+        return false;
+    }
+    if !is_convex_in(cond, group, s) {
+        return false;
+    }
+    recurrences_ok_in(dfg, spec, group, cond, s)
+}
+
+/// [`is_legal_group`] against a transient graph, with no cached
+/// [`Condensation`] available: convexity runs as [`is_convex_bfs`] and the
+/// recurrence rule against the graph's cached SCC membership
+/// ([`veal_ir::Dfg::scc_view`]). Verdicts are identical to
+/// [`is_legal_group`] on the same graph — the mapper's commit loop uses
+/// this to re-validate each group against the evolving graph, where it
+/// asks exactly one legality question per collapse and rebuilding the
+/// closure would dwarf the query.
+#[must_use]
+pub fn is_legal_group_current(
+    dfg: &Dfg,
+    spec: &CcaSpec,
+    group: &[OpId],
+    s: &mut LegalityScratch,
+) -> bool {
+    if group.is_empty() {
+        return false;
+    }
+    let opcs = dfg.adjacency().opcodes();
+    for &m in group {
+        let ok = Opcode::decode(opcs[m.index()]).is_some_and(|op| op.cca_supported());
+        if !ok {
+            return false;
+        }
+    }
+    let io = group_io_in(dfg, group, s);
+    if io.inputs > spec.inputs || io.outputs > spec.outputs {
+        return false;
+    }
+    if !assign_rows_fill_in(dfg, spec, group, s) {
+        return false;
+    }
+    if !is_convex_bfs(dfg, group, s) {
+        return false;
+    }
+    let scc_view = dfg.scc_view();
+    recurrences_ok_membership(dfg, spec, group, &scc_view.comp_of, &scc_view.cyclic, s)
+}
+
+/// The recurrence rule against an SCC membership map (see
+/// [`veal_ir::scc_membership`]) instead of materialized component lists.
+/// Each recurrence intersecting the group is checked once: its group
+/// members (ascending id, since `group` is sorted) must number at least
+/// the CCA latency and be weakly connected — the same predicate as
+/// [`recurrences_ok`], just without touching recurrences the group does
+/// not meet.
+fn recurrences_ok_membership(
+    dfg: &Dfg,
+    spec: &CcaSpec,
+    group: &[OpId],
+    comp_of: &[u32],
+    cyclic: &[u64],
+    s: &mut LegalityScratch,
+) -> bool {
+    for (i, &m) in group.iter().enumerate() {
+        let c = comp_of[m.index()] as usize;
+        if cyclic[c / 64] >> (c % 64) & 1 == 0 {
+            continue;
+        }
+        if group[..i].iter().any(|&p| comp_of[p.index()] as usize == c) {
+            continue; // this recurrence already checked
+        }
+        s.work.clear();
+        for &g in group {
+            if comp_of[g.index()] as usize == c {
+                s.work.push(g.index() as u32);
+            }
+        }
+        if (s.work.len() as u32) < spec.latency {
+            return false;
+        }
+        if !weakly_connected_in(dfg, s) {
+            return false;
+        }
+    }
+    true
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use veal_ir::{DfgBuilder, Opcode};
+    use veal_ir::{set_data_oriented, DfgBuilder, Opcode};
 
     #[test]
     fn io_counts_distinct_producers() {
@@ -453,5 +1055,64 @@ mod tests {
             &[a, c, d, e],
             &cond
         ));
+    }
+
+    /// Fast and reference paths agree on a mixed bag of random groups.
+    #[test]
+    fn fast_and_reference_paths_agree() {
+        let mut rng = veal_ir::rng::Rng64::new(0xCCA);
+        for _ in 0..60 {
+            let mut b = DfgBuilder::new();
+            let mut vals = vec![b.live_in()];
+            let ops = [
+                Opcode::And,
+                Opcode::Or,
+                Opcode::Xor,
+                Opcode::Add,
+                Opcode::Sub,
+                Opcode::Shl,
+                Opcode::Mul,
+            ];
+            for _ in 0..rng.gen_range(4, 14) {
+                let op = ops[rng.gen_range(0, ops.len())];
+                let a = vals[rng.gen_range(0, vals.len())];
+                let c = vals[rng.gen_range(0, vals.len())];
+                vals.push(b.op(op, &[a, c]));
+            }
+            if vals.len() > 2 && rng.gen_bool(0.5) {
+                let src = vals[vals.len() - 1];
+                let dst = vals[1];
+                b.loop_carried(src, dst, 1);
+            }
+            let last = *vals.last().unwrap();
+            b.mark_live_out(last);
+            let dfg = b.finish();
+            let cond = dfg.condensation();
+            let spec = CcaSpec::paper();
+            let mut s = LegalityScratch::new();
+            for _ in 0..8 {
+                let mut group: Vec<OpId> =
+                    vals.iter().copied().filter(|_| rng.gen_bool(0.4)).collect();
+                group.sort();
+                group.dedup();
+                let fast = is_legal_group_in(&dfg, &spec, &group, &cond, &mut s);
+                let prev = set_data_oriented(false);
+                let slow = is_legal_group(&dfg, &spec, &group, &cond);
+                set_data_oriented(prev);
+                assert_eq!(fast, slow, "verdict mismatch on group {group:?}");
+                assert_eq!(
+                    group_io_in(&dfg, &group, &mut s),
+                    group_io_reference(&dfg, &group)
+                );
+                // `assign_rows` is only defined over op members (both
+                // implementations unwrap the opcode).
+                if group.iter().all(|&m| dfg.node(m).opcode().is_some()) {
+                    assert_eq!(
+                        assign_rows_in(&dfg, &spec, &group, &mut s),
+                        assign_rows_reference(&dfg, &spec, &group)
+                    );
+                }
+            }
+        }
     }
 }

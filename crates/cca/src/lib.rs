@@ -38,7 +38,10 @@ pub mod mapper;
 pub mod optimal;
 pub mod spec;
 
-pub use legality::{group_io, is_legal_group, GroupIo, RowAssignment};
+pub use legality::{
+    group_io, is_legal_group, is_legal_group_current, is_legal_group_in, is_legal_group_reference,
+    GroupIo, LegalityScratch, RowAssignment,
+};
 pub use mapper::{identify_groups, map_cca, CcaGroup};
 pub use optimal::{coverage, optimal_groups};
 pub use spec::CcaSpec;

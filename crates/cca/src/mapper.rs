@@ -1,9 +1,19 @@
 //! The greedy seed-and-grow CCA subgraph mapper (paper §4.1).
+//!
+//! Like the legality layer, the mapper has a reference implementation
+//! (`HashSet` taken-set, clone-and-sort growth trials — the pre-sweep
+//! code) and a data-oriented one (bitset taken-set, binary-search
+//! membership, one [`LegalityScratch`] threaded through every trial),
+//! selected by [`veal_ir::data_oriented_enabled`]. Both walk candidates in
+//! the same order and charge the [`CostMeter`] at the same sites, so the
+//! groups *and* the phase breakdown are identical.
 
-use crate::legality::is_legal_group;
+use crate::legality::{
+    is_legal_group, is_legal_group_in, is_legal_group_reference, LegalityScratch,
+};
 use crate::spec::CcaSpec;
 use std::collections::HashSet;
-use veal_ir::{CostMeter, Dfg, OpId, Phase};
+use veal_ir::{data_oriented_enabled, with_arena, CostMeter, Dfg, OpId, Opcode, Phase};
 
 /// One committed CCA subgraph.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -29,6 +39,20 @@ pub struct CcaGroup {
 /// discarded (a single-op "group" gains nothing).
 #[must_use]
 pub fn identify_groups(dfg: &Dfg, spec: &CcaSpec, meter: &mut CostMeter) -> Vec<CcaGroup> {
+    if data_oriented_enabled() {
+        identify_groups_fast(dfg, spec, meter)
+    } else {
+        identify_groups_reference(dfg, spec, meter)
+    }
+}
+
+/// The pre-sweep mapper, retained as the reference implementation.
+#[must_use]
+pub fn identify_groups_reference(
+    dfg: &Dfg,
+    spec: &CcaSpec,
+    meter: &mut CostMeter,
+) -> Vec<CcaGroup> {
     let cond = dfg.condensation();
     meter.charge(Phase::CcaMapping, (dfg.len() as u64) * 10);
     let mut taken: HashSet<OpId> = HashSet::new();
@@ -46,7 +70,7 @@ pub fn identify_groups(dfg: &Dfg, spec: &CcaSpec, meter: &mut CostMeter) -> Vec<
         }
         meter.charge(Phase::CcaMapping, 4);
         let mut group = vec![seed];
-        if !is_legal_group(dfg, spec, &group, &cond) {
+        if !is_legal_group_reference(dfg, spec, &group, &cond) {
             // A seed alone can be illegal only through the recurrence rule;
             // try pairing it with a same-recurrence neighbour below anyway.
             meter.charge(Phase::CcaMapping, group.len() as u64);
@@ -79,8 +103,8 @@ pub fn identify_groups(dfg: &Dfg, spec: &CcaSpec, meter: &mut CostMeter) -> Vec<
                 // convexity BFS, and the recurrence rule — several dozen
                 // instructions per member.
                 meter.charge(Phase::CcaMapping, 100 + (trial.len() as u64) * 80);
-                if is_legal_group(dfg, spec, &trial, &cond)
-                    || provisional_ok(dfg, spec, &trial, &cond)
+                if is_legal_group_reference(dfg, spec, &trial, &cond)
+                    || provisional_ok_reference(dfg, spec, &trial, &cond)
                 {
                     group = trial;
                     grew = true;
@@ -94,7 +118,7 @@ pub fn identify_groups(dfg: &Dfg, spec: &CcaSpec, meter: &mut CostMeter) -> Vec<
         group.sort();
         // Commit only groups that are legal as a whole and large enough to
         // pay off.
-        if group.len() >= 2 && is_legal_group(dfg, spec, &group, &cond) {
+        if group.len() >= 2 && is_legal_group_reference(dfg, spec, &group, &cond) {
             for &m in &group {
                 taken.insert(m);
             }
@@ -107,16 +131,115 @@ pub fn identify_groups(dfg: &Dfg, spec: &CcaSpec, meter: &mut CostMeter) -> Vec<
     groups
 }
 
+/// The data-oriented mapper: same walk, same charges, zero steady-state
+/// allocation. The taken set is a `u64` bitset from the arena pool, the
+/// current group stays sorted so membership is a binary search, growth
+/// trials reuse one buffer (sorted insertion instead of clone-and-sort),
+/// and every legality query runs through one [`LegalityScratch`].
+fn identify_groups_fast(dfg: &Dfg, spec: &CcaSpec, meter: &mut CostMeter) -> Vec<CcaGroup> {
+    let cond = dfg.condensation();
+    meter.charge(Phase::CcaMapping, (dfg.len() as u64) * 10);
+    let adj = dfg.adjacency();
+    let opcs = adj.opcodes();
+    let edges = dfg.edges();
+    let words = dfg.len().div_ceil(64);
+    let mut s = LegalityScratch::new();
+    let mut taken = with_arena(veal_ir::DfgArena::take_u64);
+    taken.resize(words, 0);
+
+    let mut groups = Vec::new();
+    let mut candidates: Vec<OpId> = Vec::new();
+    let mut trial: Vec<OpId> = Vec::new();
+
+    // `opcs` is NO_OP for pseudo and dead slots, so the non-NO_OP slots in
+    // ascending id order are exactly the reference's sorted seed list.
+    for i in 0..opcs.len() {
+        let supported = Opcode::decode(opcs[i]).is_some_and(|op| op.cca_supported());
+        if !supported {
+            continue;
+        }
+        if taken[i / 64] >> (i % 64) & 1 != 0 {
+            continue;
+        }
+        let seed = OpId::new(i);
+        meter.charge(Phase::CcaMapping, 4);
+        let mut group = vec![seed];
+        if !is_legal_group_in(dfg, spec, &group, &cond, &mut s) {
+            // A seed alone can be illegal only through the recurrence rule;
+            // try pairing it with a same-recurrence neighbour below anyway.
+            meter.charge(Phase::CcaMapping, group.len() as u64);
+        }
+        // Grow until no candidate can be admitted.
+        loop {
+            candidates.clear();
+            for &m in &group {
+                let pred = adj.pred_edge_ids(m.index());
+                let succ = adj.succ_edge_ids(m.index());
+                for &ei in pred.iter().chain(succ) {
+                    let e = &edges[ei as usize];
+                    let n = if e.src == m { e.dst } else { e.src };
+                    meter.charge(Phase::CcaMapping, 2);
+                    let ni = n.index();
+                    if taken[ni / 64] >> (ni % 64) & 1 != 0
+                        || group.binary_search(&n).is_ok()
+                        || !Opcode::decode(opcs[ni]).is_some_and(|op| op.cca_supported())
+                    {
+                        continue;
+                    }
+                    if !candidates.contains(&n) {
+                        candidates.push(n);
+                    }
+                }
+            }
+            candidates.sort();
+            let mut grew = false;
+            for &c in &candidates {
+                trial.clear();
+                trial.extend_from_slice(&group);
+                let at = trial.binary_search(&c).unwrap_err();
+                trial.insert(at, c);
+                meter.charge(Phase::CcaMapping, 100 + (trial.len() as u64) * 80);
+                if is_legal_group_in(dfg, spec, &trial, &cond, &mut s)
+                    || provisional_ok_fast(dfg, spec, &trial, &cond, &mut s)
+                {
+                    std::mem::swap(&mut group, &mut trial);
+                    grew = true;
+                    break;
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+        if group.len() >= 2 && is_legal_group_in(dfg, spec, &group, &cond, &mut s) {
+            for &m in &group {
+                taken[m.index() / 64] |= 1u64 << (m.index() % 64);
+            }
+            groups.push(CcaGroup {
+                node: None,
+                members: group,
+            });
+        }
+    }
+    with_arena(|a| a.give_u64(taken));
+    groups
+}
+
 /// During growth a group may transiently violate only the recurrence rule
 /// (e.g. the seed itself lies on a recurrence and its partner has not been
 /// admitted yet). Such a group may keep growing; commit re-checks strictly.
-fn provisional_ok(dfg: &Dfg, spec: &CcaSpec, group: &[OpId], cond: &veal_ir::Condensation) -> bool {
-    use crate::legality::{assign_rows, group_io, is_convex};
-    let io = group_io(dfg, group);
+fn provisional_ok_reference(
+    dfg: &Dfg,
+    spec: &CcaSpec,
+    group: &[OpId],
+    cond: &veal_ir::Condensation,
+) -> bool {
+    use crate::legality::{assign_rows_reference, group_io_reference, is_convex_reference};
+    let io = group_io_reference(dfg, group);
     if io.inputs > spec.inputs || io.outputs > spec.outputs {
         return false;
     }
-    if assign_rows(dfg, spec, group).is_none() || !is_convex(cond, group) {
+    if assign_rows_reference(dfg, spec, group).is_none() || !is_convex_reference(cond, group) {
         return false;
     }
     // Relaxed recurrence rule: every cyclic SCC present in the group must
@@ -140,6 +263,46 @@ fn provisional_ok(dfg: &Dfg, spec: &CcaSpec, group: &[OpId], cond: &veal_ir::Con
     true
 }
 
+/// [`provisional_ok_reference`] over the scratch and the flat opcode array.
+fn provisional_ok_fast(
+    dfg: &Dfg,
+    spec: &CcaSpec,
+    group: &[OpId],
+    cond: &veal_ir::Condensation,
+    s: &mut LegalityScratch,
+) -> bool {
+    use crate::legality::{assign_rows_fill_in, group_io_in, is_convex_in};
+    let io = group_io_in(dfg, group, s);
+    if io.inputs > spec.inputs || io.outputs > spec.outputs {
+        return false;
+    }
+    if !assign_rows_fill_in(dfg, spec, group, s) || !is_convex_in(cond, group, s) {
+        return false;
+    }
+    let opcs = dfg.adjacency().opcodes();
+    // `group` is sorted, so membership is a binary search.
+    for (ci, scc) in cond.comps().iter().enumerate() {
+        if !cond.is_cyclic(ci) {
+            continue;
+        }
+        let inside = scc
+            .iter()
+            .filter(|m| group.binary_search(m).is_ok())
+            .count();
+        if inside == 0 || inside as u32 >= spec.latency {
+            continue;
+        }
+        let completable = scc.iter().any(|&m| {
+            group.binary_search(&m).is_err()
+                && Opcode::decode(opcs[m.index()]).is_some_and(|op| op.cca_supported())
+        });
+        if !completable {
+            return false;
+        }
+    }
+    true
+}
+
 /// Identifies CCA subgraphs and collapses each into a [`veal_ir::Opcode::Cca`]
 /// pseudo-node, returning the committed groups with their new node ids.
 ///
@@ -148,15 +311,32 @@ fn provisional_ok(dfg: &Dfg, spec: &CcaSpec, group: &[OpId], cond: &veal_ir::Con
 /// See the crate-level example.
 pub fn map_cca(dfg: &mut Dfg, spec: &CcaSpec, meter: &mut CostMeter) -> Vec<CcaGroup> {
     let groups = identify_groups(dfg, spec, meter);
+    let mut scratch = data_oriented_enabled().then(LegalityScratch::new);
     let mut committed = Vec::new();
     for g in groups {
         meter.charge(Phase::CcaMapping, 20 + (g.members.len() as u64) * 12);
         // Groups were identified against the original graph; two groups that
         // feed each other would deadlock as atomic units, so re-validate
         // each against the evolving graph (earlier collapses are single
-        // nodes now) and skip any that became illegal.
-        let cond = dfg.condensation();
-        if !is_legal_group(dfg, spec, &g.members, &cond) {
+        // nodes now) and skip any that became illegal. Until the first
+        // collapse the graph is still the one identification analyzed, so
+        // its cached condensation answers directly; after that the fast
+        // path asks this one question per group without rebuilding the
+        // condensation (and its reach0 closure) after every collapse,
+        // while the reference path is the pre-sweep rebuild. Verdicts are
+        // identical across all three.
+        let legal = match scratch.as_mut() {
+            Some(s) if committed.is_empty() => {
+                let cond = dfg.condensation();
+                crate::legality::is_legal_group_in(dfg, spec, &g.members, &cond, s)
+            }
+            Some(s) => crate::legality::is_legal_group_current(dfg, spec, &g.members, s),
+            None => {
+                let cond = dfg.condensation();
+                is_legal_group(dfg, spec, &g.members, &cond)
+            }
+        };
+        if !legal {
             continue;
         }
         let node = dfg.collapse(&g.members);
@@ -171,7 +351,7 @@ pub fn map_cca(dfg: &mut Dfg, spec: &CcaSpec, meter: &mut CostMeter) -> Vec<CcaG
 #[cfg(test)]
 mod tests {
     use super::*;
-    use veal_ir::{verify_dfg, DfgBuilder, Opcode};
+    use veal_ir::{set_data_oriented, verify_dfg, DfgBuilder, Opcode};
 
     #[test]
     fn maps_simple_logic_chain() {
@@ -295,5 +475,50 @@ mod tests {
         let narrow = identify_groups(&dfg, &CcaSpec::narrow(), &mut m);
         assert_eq!(wide[0].members.len(), 4);
         assert!(narrow.is_empty() || narrow[0].members.len() <= 2);
+    }
+
+    /// Fast and reference mappers agree on groups *and* on meter charges
+    /// over a random corpus.
+    #[test]
+    fn fast_and_reference_mappers_agree() {
+        let mut rng = veal_ir::rng::Rng64::new(0x5EED);
+        let ops = [
+            Opcode::And,
+            Opcode::Or,
+            Opcode::Xor,
+            Opcode::Add,
+            Opcode::Sub,
+            Opcode::Shl,
+            Opcode::Mul,
+        ];
+        for _ in 0..40 {
+            let mut b = DfgBuilder::new();
+            let mut vals = vec![b.live_in()];
+            for _ in 0..rng.gen_range(4, 20) {
+                let op = ops[rng.gen_range(0, ops.len())];
+                let a = vals[rng.gen_range(0, vals.len())];
+                let c = vals[rng.gen_range(0, vals.len())];
+                vals.push(b.op(op, &[a, c]));
+            }
+            if rng.gen_bool(0.5) {
+                let src = *vals.last().unwrap();
+                let dst = vals[1];
+                b.loop_carried(src, dst, 1);
+            }
+            let last = *vals.last().unwrap();
+            b.mark_live_out(last);
+            let dfg = b.finish();
+            let spec = CcaSpec::paper();
+
+            let mut m_fast = CostMeter::new();
+            let fast = identify_groups(&dfg, &spec, &mut m_fast);
+            let prev = set_data_oriented(false);
+            let mut m_ref = CostMeter::new();
+            let reference = identify_groups(&dfg, &spec, &mut m_ref);
+            set_data_oriented(prev);
+
+            assert_eq!(fast, reference);
+            assert_eq!(m_fast.breakdown(), m_ref.breakdown());
+        }
     }
 }

@@ -8,10 +8,10 @@
 //! (`veal-bench --bin ablation`) and the property tests use it to bound
 //! the greedy mapper's loss.
 
-use crate::legality::is_legal_group;
+use crate::legality::{is_legal_group_in, is_legal_group_reference, LegalityScratch};
 use crate::mapper::CcaGroup;
 use crate::spec::CcaSpec;
-use veal_ir::{CostMeter, Dfg, OpId, Phase};
+use veal_ir::{data_oriented_enabled, CostMeter, Dfg, OpId, Phase};
 
 /// Upper bound on CCA-supported candidate ops before [`optimal_groups`]
 /// refuses to run (the search is exponential).
@@ -49,19 +49,67 @@ pub fn optimal_groups(dfg: &Dfg, spec: &CcaSpec, meter: &mut CostMeter) -> Optio
     // mask's popcount (identical to the old per-member count) before any
     // materialization happens.
     let mut members: Vec<OpId> = Vec::with_capacity(n);
-    for mask in 1u32..(1 << n) {
-        if mask.count_ones() < 2 {
-            continue;
+    if data_oriented_enabled() {
+        // Word-parallel recurrence prefilter: project each cyclic SCC onto
+        // candidate-index bit positions. `recurrences_ok` rejects any group
+        // holding more than zero but fewer than `latency` ops of a cyclic
+        // SCC, so a subset mask failing that popcount test is illegal no
+        // matter what the other checks say — skip it with two ALU ops
+        // instead of a full legality run. (The converse is not prunable:
+        // convexity is not monotone, so only this rule is applied.)
+        let mut scc_masks: Vec<u32> = Vec::new();
+        for (ci, scc) in cond.comps().iter().enumerate() {
+            if !cond.is_cyclic(ci) {
+                continue;
+            }
+            let mut m = 0u32;
+            for (i, c) in candidates.iter().enumerate() {
+                if scc.binary_search(c).is_ok() {
+                    m |= 1 << i;
+                }
+            }
+            if m != 0 {
+                scc_masks.push(m);
+            }
         }
-        meter.charge(Phase::CcaMapping, u64::from(mask.count_ones()) * 4);
-        members.clear();
-        members.extend(
-            (0..n)
-                .filter(|&i| mask & (1 << i) != 0)
-                .map(|i| candidates[i]),
-        );
-        if is_legal_group(dfg, spec, &members, &cond) {
-            legal.push((mask, members.clone()));
+        let mut s = LegalityScratch::new();
+        for mask in 1u32..(1 << n) {
+            if mask.count_ones() < 2 {
+                continue;
+            }
+            meter.charge(Phase::CcaMapping, u64::from(mask.count_ones()) * 4);
+            let doomed = scc_masks.iter().any(|&sm| {
+                let inside = (mask & sm).count_ones();
+                inside > 0 && inside < spec.latency
+            });
+            if doomed {
+                continue;
+            }
+            members.clear();
+            members.extend(
+                (0..n)
+                    .filter(|&i| mask & (1 << i) != 0)
+                    .map(|i| candidates[i]),
+            );
+            if is_legal_group_in(dfg, spec, &members, &cond, &mut s) {
+                legal.push((mask, members.clone()));
+            }
+        }
+    } else {
+        for mask in 1u32..(1 << n) {
+            if mask.count_ones() < 2 {
+                continue;
+            }
+            meter.charge(Phase::CcaMapping, u64::from(mask.count_ones()) * 4);
+            members.clear();
+            members.extend(
+                (0..n)
+                    .filter(|&i| mask & (1 << i) != 0)
+                    .map(|i| candidates[i]),
+            );
+            if is_legal_group_reference(dfg, spec, &members, &cond) {
+                legal.push((mask, members.clone()));
+            }
         }
     }
 
@@ -177,6 +225,50 @@ mod tests {
         assert!(optimal_groups(&dfg, &CcaSpec::paper(), &mut CostMeter::new()).is_none());
     }
 
+    /// The prefiltered fast enumeration returns the same optimum (and the
+    /// same meter charges) as the reference enumeration.
+    #[test]
+    fn prefilter_preserves_optimum_and_charges() {
+        use veal_ir::set_data_oriented;
+        let mut rng = veal_ir::rng::Rng64::new(0x0917);
+        let ops = [
+            Opcode::And,
+            Opcode::Or,
+            Opcode::Xor,
+            Opcode::Add,
+            Opcode::Shl,
+        ];
+        for _ in 0..12 {
+            let mut b = DfgBuilder::new();
+            let mut vals = vec![b.live_in()];
+            for _ in 0..rng.gen_range(4, 10) {
+                let op = ops[rng.gen_range(0, ops.len())];
+                let a = vals[rng.gen_range(0, vals.len())];
+                let c = vals[rng.gen_range(0, vals.len())];
+                vals.push(b.op(op, &[a, c]));
+            }
+            if rng.gen_bool(0.6) {
+                let src = *vals.last().unwrap();
+                let dst = vals[1];
+                b.loop_carried(src, dst, 1);
+            }
+            let last = *vals.last().unwrap();
+            b.mark_live_out(last);
+            let dfg = b.finish();
+            let spec = CcaSpec::paper();
+
+            let mut m_fast = CostMeter::new();
+            let fast = optimal_groups(&dfg, &spec, &mut m_fast);
+            let prev = set_data_oriented(false);
+            let mut m_ref = CostMeter::new();
+            let reference = optimal_groups(&dfg, &spec, &mut m_ref);
+            set_data_oriented(prev);
+
+            assert_eq!(fast, reference);
+            assert_eq!(m_fast.breakdown(), m_ref.breakdown());
+        }
+    }
+
     #[test]
     fn optimal_groups_are_disjoint_and_legal() {
         let mut b = DfgBuilder::new();
@@ -193,7 +285,7 @@ mod tests {
         let cond = dfg.condensation();
         let mut seen = std::collections::HashSet::new();
         for g in &groups {
-            assert!(is_legal_group(&dfg, &spec, &g.members, &cond));
+            assert!(crate::is_legal_group(&dfg, &spec, &g.members, &cond));
             for &m in &g.members {
                 assert!(seen.insert(m), "{m} in two groups");
             }

@@ -1,0 +1,181 @@
+//! Reusable scratch buffers for graph analyses.
+//!
+//! Every structural version of a [`crate::Dfg`] builds a CSR adjacency, and
+//! every condensation runs a Tarjan plus a Kahn sort — all of which need a
+//! handful of index and bitset buffers sized by the graph. A [`DfgArena`]
+//! bundles those buffers so repeated translations (the sweep engine's memo
+//! miss path, `veal-serve` workers) stop round-tripping the allocator: a
+//! buffer freed by one translation is handed to the next.
+//!
+//! Arenas live in a global pool guarded by a [`Mutex`]. Like the sweep
+//! memo's locks, every acquisition goes through
+//! [`PoisonError::into_inner`]: a panicked translation (e.g. an ill-formed
+//! body assert under `veal-serve` single-flight) must not wedge the pool
+//! for every other worker. The RAII guard in [`with_arena`] returns the
+//! arena to the pool even when the closure unwinds; buffers checked out at
+//! the moment of the panic are simply dropped, never re-parked dirty.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+/// How many arenas the global pool keeps parked.
+const POOL_DEPTH: usize = 8;
+
+/// How many buffers of each width one arena parks.
+const BUFS_PER_ARENA: usize = 16;
+
+/// Buffers whose capacity exceeds this are dropped instead of parked, so a
+/// single huge graph cannot pin its high-water memory forever.
+const MAX_PARKED_CAP: usize = 1 << 20;
+
+/// A bundle of recycled scratch buffers for graph analyses.
+///
+/// Obtain one with [`with_arena`]; `take_*` hands out a cleared buffer
+/// (recycled when possible), `give_*` parks a no-longer-needed buffer for
+/// the next taker.
+#[derive(Debug, Default)]
+pub struct DfgArena {
+    u8s: Vec<Vec<u8>>,
+    u32s: Vec<Vec<u32>>,
+    u64s: Vec<Vec<u64>>,
+}
+
+impl DfgArena {
+    /// A cleared `u8` buffer (flat per-node tags), recycled if one is
+    /// parked.
+    pub fn take_u8(&mut self) -> Vec<u8> {
+        self.u8s.pop().unwrap_or_default()
+    }
+
+    /// Parks a `u8` buffer for reuse.
+    pub fn give_u8(&mut self, mut v: Vec<u8>) {
+        if self.u8s.len() < BUFS_PER_ARENA && v.capacity() > 0 && v.capacity() <= MAX_PARKED_CAP {
+            v.clear();
+            self.u8s.push(v);
+        }
+    }
+
+    /// A cleared `u32` buffer, recycled if one is parked.
+    pub fn take_u32(&mut self) -> Vec<u32> {
+        self.u32s.pop().unwrap_or_default()
+    }
+
+    /// Parks a `u32` buffer for reuse.
+    pub fn give_u32(&mut self, mut v: Vec<u32>) {
+        if self.u32s.len() < BUFS_PER_ARENA && v.capacity() > 0 && v.capacity() <= MAX_PARKED_CAP {
+            v.clear();
+            self.u32s.push(v);
+        }
+    }
+
+    /// A cleared `u64` buffer (bitset words), recycled if one is parked.
+    pub fn take_u64(&mut self) -> Vec<u64> {
+        self.u64s.pop().unwrap_or_default()
+    }
+
+    /// Parks a `u64` buffer for reuse.
+    pub fn give_u64(&mut self, mut v: Vec<u64>) {
+        if self.u64s.len() < BUFS_PER_ARENA && v.capacity() > 0 && v.capacity() <= MAX_PARKED_CAP {
+            v.clear();
+            self.u64s.push(v);
+        }
+    }
+}
+
+static POOL: Mutex<Vec<DfgArena>> = Mutex::new(Vec::new());
+static REUSES: AtomicU64 = AtomicU64::new(0);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+/// `(reuses, allocs)` of pooled arenas, summed across threads. A healthy
+/// steady state reuses on almost every acquisition.
+#[must_use]
+pub fn arena_stats() -> (u64, u64) {
+    (
+        REUSES.load(Ordering::Relaxed),
+        ALLOCS.load(Ordering::Relaxed),
+    )
+}
+
+/// Runs `f` with a pooled [`DfgArena`], returning the arena to the global
+/// pool afterwards — including when `f` panics (the pool is poison-safe;
+/// see the module docs).
+pub fn with_arena<R>(f: impl FnOnce(&mut DfgArena) -> R) -> R {
+    struct Guard(Option<DfgArena>);
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            if let Some(arena) = self.0.take() {
+                let mut pool = POOL.lock().unwrap_or_else(PoisonError::into_inner);
+                if pool.len() < POOL_DEPTH {
+                    pool.push(arena);
+                }
+            }
+        }
+    }
+
+    let recycled = POOL.lock().unwrap_or_else(PoisonError::into_inner).pop();
+    match &recycled {
+        Some(_) => REUSES.fetch_add(1, Ordering::Relaxed),
+        None => ALLOCS.fetch_add(1, Ordering::Relaxed),
+    };
+    let mut guard = Guard(Some(recycled.unwrap_or_default()));
+    f(guard.0.as_mut().expect("arena present until drop"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_recycle_through_the_arena() {
+        with_arena(|a| {
+            let mut v = a.take_u32();
+            v.extend_from_slice(&[1, 2, 3]);
+            let cap = v.capacity();
+            a.give_u32(v);
+            let v2 = a.take_u32();
+            assert!(v2.is_empty());
+            assert_eq!(v2.capacity(), cap);
+            a.give_u32(v2);
+        });
+    }
+
+    #[test]
+    fn panicked_user_does_not_wedge_the_pool() {
+        // A panic inside `with_arena` must neither poison the pool mutex
+        // nor lose the arena: the next acquisition still succeeds and can
+        // reuse parked buffers.
+        let _ = std::panic::catch_unwind(|| {
+            with_arena(|a| {
+                let v = a.take_u64();
+                a.give_u64(v);
+                let mut w = a.take_u64();
+                w.resize(4, 0);
+                a.give_u64(w);
+                panic!("translation blew up mid-analysis");
+            })
+        });
+        // Pool still serviceable afterwards.
+        let got = with_arena(|a| {
+            let v = a.take_u64();
+            let ok = v.is_empty();
+            a.give_u64(v);
+            ok
+        });
+        assert!(got);
+        let (reuses, allocs) = arena_stats();
+        assert!(reuses + allocs >= 2);
+    }
+
+    #[test]
+    fn oversized_buffers_are_not_parked() {
+        with_arena(|a| {
+            let mut huge = Vec::with_capacity(MAX_PARKED_CAP + 1);
+            huge.push(0u32);
+            a.give_u32(huge);
+            // Whatever we take next, it is not the over-cap buffer.
+            let v = a.take_u32();
+            assert!(v.capacity() <= MAX_PARKED_CAP);
+            a.give_u32(v);
+        });
+    }
+}

@@ -17,12 +17,16 @@
 //! condensation only changes how fast the host arrives at the same
 //! numbers.
 
+use crate::arena::{with_arena, DfgArena};
 use crate::dfg::Dfg;
 use crate::types::OpId;
 
 /// A dense row-major bit matrix: `n` rows of `n` columns packed into
 /// `u64` words. Row `i` is the reachability (or adjacency) set of node
 /// `i`, so set algebra over whole rows is a word-wise loop.
+///
+/// The word storage is recycled through the shared [`DfgArena`] pool:
+/// `new` reclaims a parked buffer and `Drop` parks it again.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BitMatrix {
     n: usize,
@@ -30,15 +34,26 @@ pub struct BitMatrix {
     bits: Vec<u64>,
 }
 
+impl Drop for BitMatrix {
+    fn drop(&mut self) {
+        let bits = std::mem::take(&mut self.bits);
+        if bits.capacity() > 0 {
+            with_arena(|a| a.give_u64(bits));
+        }
+    }
+}
+
 impl BitMatrix {
     /// An `n` × `n` matrix of zeroes.
     #[must_use]
     pub fn new(n: usize) -> Self {
         let words_per_row = n.div_ceil(64);
+        let mut bits = with_arena(DfgArena::take_u64);
+        bits.resize(n * words_per_row, 0);
         BitMatrix {
             n,
             words_per_row,
-            bits: vec![0; n * words_per_row],
+            bits,
         }
     }
 
@@ -114,13 +129,155 @@ impl BitMatrix {
 ///
 /// Dead (tombstoned) nodes belong to no component and have empty
 /// `reach0` rows.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug)]
 pub struct Condensation {
     comp_of: Vec<u32>,
     comps: Vec<Vec<OpId>>,
     cyclic: Vec<bool>,
-    reach0: BitMatrix,
+    /// The closure, once someone has asked for it (see `reach0_src`).
+    reach0: std::sync::OnceLock<BitMatrix>,
+    /// On the data-oriented path the n×n closure is computed *lazily*:
+    /// only CCA convexity reads it, so graphs that go straight to the
+    /// scheduler (every post-mapping graph) never pay the O(n²) sweep.
+    /// The build captures a compact CSR snapshot of the live distance-0
+    /// successor lists instead — the condensation must stay valid even
+    /// after the graph mutates, so it cannot reach back into the `Dfg`.
+    /// `None` means the closure was computed eagerly (reference path).
+    reach0_src: Option<Reach0Source>,
     topo0: Option<Vec<OpId>>,
+}
+
+impl Clone for Condensation {
+    fn clone(&self) -> Self {
+        Condensation {
+            comp_of: self.comp_of.clone(),
+            comps: self.comps.clone(),
+            cyclic: self.cyclic.clone(),
+            reach0: match self.reach0.get() {
+                Some(m) => std::sync::OnceLock::from(m.clone()),
+                None => std::sync::OnceLock::new(),
+            },
+            reach0_src: self.reach0_src.clone(),
+            topo0: self.topo0.clone(),
+        }
+    }
+}
+
+impl PartialEq for Condensation {
+    /// Equality over the *semantic* fields; comparing forces the closure
+    /// on both sides, so a lazy and an eager condensation of the same
+    /// graph compare equal.
+    fn eq(&self, other: &Self) -> bool {
+        self.comp_of == other.comp_of
+            && self.comps == other.comps
+            && self.cyclic == other.cyclic
+            && self.topo0 == other.topo0
+            && self.reach0() == other.reach0()
+    }
+}
+
+impl Eq for Condensation {}
+
+/// The captured distance-0 successor CSR a lazy closure is computed from
+/// (live endpoints only). Buffers are pooled through the [`DfgArena`].
+#[derive(Debug)]
+struct Reach0Source {
+    n: usize,
+    offsets: Vec<u32>,
+    targets: Vec<u32>,
+}
+
+impl Clone for Reach0Source {
+    fn clone(&self) -> Self {
+        Reach0Source {
+            n: self.n,
+            offsets: self.offsets.clone(),
+            targets: self.targets.clone(),
+        }
+    }
+}
+
+impl Drop for Reach0Source {
+    fn drop(&mut self) {
+        with_arena(|a| {
+            a.give_u32(std::mem::take(&mut self.offsets));
+            a.give_u32(std::mem::take(&mut self.targets));
+        });
+    }
+}
+
+impl Reach0Source {
+    fn capture(dfg: &Dfg) -> Self {
+        let n = dfg.len();
+        let adj = dfg.adjacency();
+        let edges = dfg.edges();
+        let (mut offsets, mut targets) = with_arena(|a| (a.take_u32(), a.take_u32()));
+        offsets.reserve(n + 1);
+        offsets.push(0);
+        for v in 0..n {
+            if !adj.is_dead(v) {
+                for &e in adj.succ_edge_ids(v) {
+                    let edge = &edges[e as usize];
+                    if edge.distance == 0 && !adj.is_dead(edge.dst.index()) {
+                        targets.push(edge.dst.index() as u32);
+                    }
+                }
+            }
+            offsets.push(targets.len() as u32);
+        }
+        Reach0Source {
+            n,
+            offsets,
+            targets,
+        }
+    }
+
+    fn succs(&self, v: usize) -> &[u32] {
+        &self.targets[self.offsets[v] as usize..self.offsets[v + 1] as usize]
+    }
+
+    /// The same closure [`reach0_closure_fast`] computes, from the
+    /// snapshot: one reverse-topological OR sweep, or per-node BFS when
+    /// the distance-0 subgraph was cyclic. Bit-for-bit identical rows —
+    /// OR is commutative, so sweep order only affects how the bits
+    /// arrive, not where they land.
+    fn compute(&self, topo0: Option<&[OpId]>, comp_of: &[u32]) -> BitMatrix {
+        let mut m = BitMatrix::new(self.n);
+        match topo0 {
+            Some(order) => {
+                for &v in order.iter().rev() {
+                    let vi = v.index();
+                    m.set(vi, vi);
+                    for &w in self.succs(vi) {
+                        m.or_row_into(w as usize, vi);
+                    }
+                }
+            }
+            None => {
+                with_arena(|a| {
+                    let mut queue = a.take_u32();
+                    for (vi, &c) in comp_of.iter().enumerate().take(self.n) {
+                        if c == NO_COMP {
+                            continue; // dead slot
+                        }
+                        m.set(vi, vi);
+                        queue.clear();
+                        queue.push(vi as u32);
+                        while let Some(u) = queue.pop() {
+                            for &w in self.succs(u as usize) {
+                                if !m.get(vi, w as usize) {
+                                    m.set(vi, w as usize);
+                                    queue.push(w);
+                                }
+                            }
+                        }
+                    }
+                    a.give_u32(queue);
+                });
+            }
+        }
+        m
+    }
 }
 
 const NO_COMP: u32 = u32::MAX;
@@ -128,20 +285,69 @@ const NO_COMP: u32 = u32::MAX;
 impl Condensation {
     /// Builds the condensation of `dfg`. Prefer the cached
     /// [`Dfg::condensation`](crate::Dfg::condensation) accessor.
+    ///
+    /// Dispatches between the data-oriented builder (CSR adjacency walks,
+    /// pooled scratch, no per-node allocation) and the retained reference
+    /// builder on [`crate::tuning::data_oriented_enabled`]; both produce
+    /// identical values, field for field.
     #[must_use]
     pub fn build(dfg: &Dfg) -> Self {
-        let (comps, comp_of) = tarjan(dfg);
+        if crate::tuning::data_oriented_enabled() {
+            Self::build_fast(dfg)
+        } else {
+            Self::build_reference(dfg)
+        }
+    }
+
+    /// The original builder, retained verbatim as the reference
+    /// implementation: iterator-based Tarjan (`nth` skip per DFS step) and
+    /// a reach0 sweep that collects each node's successor list.
+    #[must_use]
+    pub fn build_reference(dfg: &Dfg) -> Self {
+        let (comps, comp_of) = tarjan_reference(dfg);
         let cyclic = comps
             .iter()
             .map(|c| c.len() > 1 || dfg.succ_edges(c[0]).any(|e| e.dst == c[0]))
             .collect();
         let topo0 = dfg.topo_order().ok();
-        let reach0 = reach0_closure(dfg, topo0.as_deref());
+        // The reference path computes the closure eagerly, as it always
+        // did; only the data-oriented build defers it.
+        let reach0 = std::sync::OnceLock::from(reach0_closure_reference(dfg, topo0.as_deref()));
         Condensation {
             comp_of,
             comps,
             cyclic,
             reach0,
+            reach0_src: None,
+            topo0,
+        }
+    }
+
+    /// The data-oriented builder: the same three passes running on the
+    /// graph's CSR [`crate::dfg::Adjacency`] with [`DfgArena`]-pooled
+    /// scratch.
+    #[must_use]
+    pub fn build_fast(dfg: &Dfg) -> Self {
+        let (comps, comp_of) = with_arena(|a| tarjan_fast(dfg, a));
+        let adj = dfg.adjacency();
+        let edges = dfg.edges();
+        let cyclic = comps
+            .iter()
+            .map(|c| {
+                c.len() > 1
+                    || adj
+                        .succ_edge_ids(c[0].index())
+                        .iter()
+                        .any(|&e| edges[e as usize].dst == c[0])
+            })
+            .collect();
+        let topo0 = dfg.topo_order().ok();
+        Condensation {
+            comp_of,
+            comps,
+            cyclic,
+            reach0: std::sync::OnceLock::new(),
+            reach0_src: Some(Reach0Source::capture(dfg)),
             topo0,
         }
     }
@@ -185,32 +391,182 @@ impl Condensation {
         self.cyclic[c]
     }
 
+    /// The per-component cyclic flags, indexed like [`Self::comps`].
+    #[must_use]
+    pub fn cyclic_flags(&self) -> &[bool] {
+        &self.cyclic
+    }
+
     /// Whether a distance-0 dependence path (possibly empty) leads from
     /// `from` to `to`.
     #[must_use]
     pub fn reaches0(&self, from: OpId, to: OpId) -> bool {
-        self.reach0.get(from.index(), to.index())
+        self.reach0().get(from.index(), to.index())
     }
 
     /// The packed distance-0 reachability row of `id` (one bit per node
     /// slot in the graph, including dead slots, which are never set).
     #[must_use]
     pub fn reach0_row(&self, id: OpId) -> &[u64] {
-        self.reach0.row(id.index())
+        self.reach0().row(id.index())
     }
 
-    /// The full distance-0 reachability closure.
+    /// The full distance-0 reachability closure. On the data-oriented
+    /// path the first call computes it from the captured successor
+    /// snapshot; subsequent calls (and all reference-path calls) return
+    /// the stored matrix.
     #[must_use]
     pub fn reach0(&self) -> &BitMatrix {
-        &self.reach0
+        self.reach0.get_or_init(|| {
+            let src = self
+                .reach0_src
+                .as_ref()
+                .expect("empty closure cell implies a captured source");
+            src.compute(self.topo0.as_deref(), &self.comp_of)
+        })
     }
+}
+
+/// Cached result of [`scc_membership`]: the per-slot component map and the
+/// cyclic-component bitset, without member lists or reachability. This is
+/// the shape every per-loop recurrence query needs (RecMII, the Swing
+/// ordering's recurrence sets, the commit-path legality re-check), so
+/// [`crate::Dfg::scc_view`] memoizes one per graph version and the
+/// consumers share it instead of re-running Tarjan back to back.
+#[derive(Debug, Clone)]
+pub struct SccView {
+    /// Component index per node slot (`u32::MAX` for dead slots).
+    pub comp_of: Vec<u32>,
+    /// Bit `c` marks component `c` as a recurrence (more than one member,
+    /// or a self-edge on its lone member).
+    pub cyclic: Vec<u64>,
+    /// Total number of components.
+    pub n_comps: usize,
+}
+
+impl SccView {
+    /// Whether component `c` is cyclic.
+    #[must_use]
+    pub fn is_cyclic(&self, c: u32) -> bool {
+        self.cyclic[c as usize / 64] >> (c as usize % 64) & 1 != 0
+    }
+}
+
+/// Writes the SCC membership of `dfg` into caller-owned buffers, without
+/// materializing per-component member lists, the reach0 closure, or the
+/// topological order: on return `comp_of[slot]` is the component index of
+/// each live node (`u32::MAX` for dead slots) and bit `c` of `cyclic`
+/// marks component `c` as a recurrence. Returns the component count.
+/// Component numbering matches [`Condensation::comps`] (reverse
+/// topological emission order).
+///
+/// One Tarjan pass over CSR slices with pooled scratch — the cheapest
+/// possible answer to "which recurrence is this node on?" for a
+/// *transient* graph. The CCA mapper's commit loop asks once per
+/// collapse; building (and immediately discarding) a full condensation
+/// there would dwarf the single query it serves.
+pub fn scc_membership(dfg: &Dfg, comp_of: &mut Vec<u32>, cyclic: &mut Vec<u64>) -> usize {
+    const UNVISITED: u32 = u32::MAX;
+    let n = dfg.len();
+    let adj = dfg.adjacency();
+    let edges = dfg.edges();
+    comp_of.clear();
+    comp_of.resize(n, NO_COMP);
+    cyclic.clear();
+    cyclic.resize(n.div_ceil(64), 0);
+    let mut n_comps = 0usize;
+    with_arena(|a| {
+        let mut index = a.take_u32();
+        index.resize(n, UNVISITED);
+        let mut low = a.take_u32();
+        low.resize(n, 0);
+        let mut on_stack = a.take_u64();
+        on_stack.resize(n.div_ceil(64), 0);
+        let mut stack = a.take_u32();
+        let mut cs_node = a.take_u32();
+        let mut cs_pos = a.take_u32();
+        let mut next_index = 0u32;
+
+        for start in 0..n {
+            if adj.is_dead(start) || index[start] != UNVISITED {
+                continue;
+            }
+            cs_node.push(start as u32);
+            cs_pos.push(0);
+            index[start] = next_index;
+            low[start] = next_index;
+            next_index += 1;
+            stack.push(start as u32);
+            on_stack[start / 64] |= 1 << (start % 64);
+
+            while let Some(&v) = cs_node.last() {
+                let v_usize = v as usize;
+                let succs = adj.succ_edge_ids(v_usize);
+                let pos = cs_pos.last_mut().expect("cursor stack tracks node stack");
+                if let Some(&e) = succs.get(*pos as usize) {
+                    *pos += 1;
+                    let w = edges[e as usize].dst.index();
+                    if !adj.is_dead(w) {
+                        if index[w] == UNVISITED {
+                            index[w] = next_index;
+                            low[w] = next_index;
+                            next_index += 1;
+                            stack.push(w as u32);
+                            on_stack[w / 64] |= 1 << (w % 64);
+                            cs_node.push(w as u32);
+                            cs_pos.push(0);
+                        } else if on_stack[w / 64] >> (w % 64) & 1 != 0 {
+                            low[v_usize] = low[v_usize].min(index[w]);
+                        }
+                    }
+                    continue;
+                }
+                cs_node.pop();
+                cs_pos.pop();
+                if let Some(&parent) = cs_node.last() {
+                    let p = parent as usize;
+                    low[p] = low[p].min(low[v_usize]);
+                }
+                if low[v_usize] == index[v_usize] {
+                    let comp_idx = n_comps as u32;
+                    let mut size = 0usize;
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w as usize / 64] &= !(1 << (w as usize % 64));
+                        comp_of[w as usize] = comp_idx;
+                        size += 1;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    let self_loop = || {
+                        adj.succ_edge_ids(v_usize)
+                            .iter()
+                            .any(|&e| edges[e as usize].dst.index() == v_usize)
+                    };
+                    if size > 1 || self_loop() {
+                        cyclic[n_comps / 64] |= 1 << (n_comps % 64);
+                    }
+                    n_comps += 1;
+                }
+            }
+        }
+        a.give_u32(index);
+        a.give_u32(low);
+        a.give_u64(on_stack);
+        a.give_u32(stack);
+        a.give_u32(cs_node);
+        a.give_u32(cs_pos);
+    });
+    n_comps
 }
 
 /// Iterative Tarjan over all edges, excluding dead nodes. Produces the
 /// exact component list [`Dfg::sccs`] has always produced (reverse
 /// topological emission order, members sorted), plus the node→component
-/// map.
-fn tarjan(dfg: &Dfg) -> (Vec<Vec<OpId>>, Vec<u32>) {
+/// map. Reference version: each DFS step restarts the successor iterator
+/// and `nth`-skips to the cursor, quadratic in node degree.
+fn tarjan_reference(dfg: &Dfg) -> (Vec<Vec<OpId>>, Vec<u32>) {
     const UNVISITED: u32 = u32::MAX;
     let n = dfg.len();
     let mut index = vec![UNVISITED; n];
@@ -282,11 +638,103 @@ fn tarjan(dfg: &Dfg) -> (Vec<Vec<OpId>>, Vec<u32>) {
     (comps, comp_of)
 }
 
+/// Same DFS as [`tarjan_reference`], walking CSR slices with a plain
+/// cursor (O(V + E) total) and keeping every piece of per-node state in
+/// pooled buffers — `on_stack` as bitset words, the explicit call stack as
+/// two parallel `u32` arrays. Visit order, and therefore component
+/// emission order, is identical to the reference.
+fn tarjan_fast(dfg: &Dfg, a: &mut DfgArena) -> (Vec<Vec<OpId>>, Vec<u32>) {
+    const UNVISITED: u32 = u32::MAX;
+    let n = dfg.len();
+    let adj = dfg.adjacency();
+    let edges = dfg.edges();
+    let mut index = a.take_u32();
+    index.resize(n, UNVISITED);
+    let mut low = a.take_u32();
+    low.resize(n, 0);
+    let mut on_stack = a.take_u64();
+    on_stack.resize(n.div_ceil(64), 0);
+    let mut stack = a.take_u32();
+    // Explicit DFS state machine as parallel arrays: node and successor
+    // cursor.
+    let mut cs_node = a.take_u32();
+    let mut cs_pos = a.take_u32();
+    let mut next_index = 0u32;
+    let mut comps: Vec<Vec<OpId>> = Vec::new();
+    let mut comp_of = vec![NO_COMP; n];
+
+    for start in 0..n {
+        if adj.is_dead(start) || index[start] != UNVISITED {
+            continue;
+        }
+        cs_node.push(start as u32);
+        cs_pos.push(0);
+        index[start] = next_index;
+        low[start] = next_index;
+        next_index += 1;
+        stack.push(start as u32);
+        on_stack[start / 64] |= 1 << (start % 64);
+
+        while let Some(&v) = cs_node.last() {
+            let v_usize = v as usize;
+            let succs = adj.succ_edge_ids(v_usize);
+            let pos = cs_pos.last_mut().expect("cursor stack tracks node stack");
+            if let Some(&e) = succs.get(*pos as usize) {
+                *pos += 1;
+                let w = edges[e as usize].dst.index();
+                if !adj.is_dead(w) {
+                    if index[w] == UNVISITED {
+                        index[w] = next_index;
+                        low[w] = next_index;
+                        next_index += 1;
+                        stack.push(w as u32);
+                        on_stack[w / 64] |= 1 << (w % 64);
+                        cs_node.push(w as u32);
+                        cs_pos.push(0);
+                    } else if on_stack[w / 64] >> (w % 64) & 1 != 0 {
+                        low[v_usize] = low[v_usize].min(index[w]);
+                    }
+                }
+                continue;
+            }
+            cs_node.pop();
+            cs_pos.pop();
+            if let Some(&parent) = cs_node.last() {
+                let p = parent as usize;
+                low[p] = low[p].min(low[v_usize]);
+            }
+            if low[v_usize] == index[v_usize] {
+                let comp_idx = comps.len() as u32;
+                let mut component = Vec::new();
+                loop {
+                    let w = stack.pop().expect("tarjan stack underflow");
+                    on_stack[w as usize / 64] &= !(1 << (w as usize % 64));
+                    comp_of[w as usize] = comp_idx;
+                    component.push(OpId::new(w as usize));
+                    if w == v {
+                        break;
+                    }
+                }
+                component.sort();
+                comps.push(component);
+            }
+        }
+    }
+    a.give_u32(index);
+    a.give_u32(low);
+    a.give_u64(on_stack);
+    a.give_u32(stack);
+    a.give_u32(cs_node);
+    a.give_u32(cs_pos);
+    (comps, comp_of)
+}
+
 /// Reflexive-transitive closure over distance-0 edges. The distance-0
 /// subgraph of a well-formed loop body is acyclic, so a single reverse
 /// topological sweep suffices; ill-formed bodies (intra-iteration cycles)
-/// fall back to per-node BFS, which is correct regardless.
-fn reach0_closure(dfg: &Dfg, topo0: Option<&[OpId]>) -> BitMatrix {
+/// fall back to per-node BFS, which is correct regardless. Reference
+/// version: collects each node's successor list into a fresh `Vec`.
+fn reach0_closure_reference(dfg: &Dfg, topo0: Option<&[OpId]>) -> BitMatrix {
     let n = dfg.len();
     let mut m = BitMatrix::new(n);
     match topo0 {

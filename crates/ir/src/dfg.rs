@@ -9,6 +9,7 @@
 //! Recurrences — the cycles that bound the achievable initiation interval —
 //! are exactly the non-trivial strongly connected components of this graph.
 
+use crate::arena::{with_arena, DfgArena};
 use crate::condense::Condensation;
 use crate::opcode::{FuClass, Opcode};
 use crate::types::OpId;
@@ -66,11 +67,11 @@ pub struct DfgNode {
     /// (read from the memory-mapped register file on completion).
     pub live_out: bool,
     /// Tombstone flag set when the node was collapsed into a CCA op.
-    dead: bool,
+    pub(crate) dead: bool,
 }
 
 impl DfgNode {
-    fn new(kind: NodeKind) -> Self {
+    pub(crate) fn new(kind: NodeKind) -> Self {
         DfgNode {
             kind,
             stream: None,
@@ -104,6 +105,191 @@ impl DfgNode {
     }
 }
 
+/// The struct-of-arrays view of a [`Dfg`]'s structure: CSR adjacency plus
+/// flat per-node arrays, rebuilt lazily per structural version of the
+/// graph (see [`Dfg::adjacency`]).
+///
+/// * `succ_edge_ids(v)` / `pred_edge_ids(v)` are the indices into
+///   [`Dfg::edges`] of `v`'s outgoing/incoming edges, **in edge insertion
+///   order** — byte-for-byte the order the old per-node `Vec<u32>`
+///   adjacency lists produced, which is what keeps downstream iteration
+///   (and therefore schedules and memo fingerprints) bit-stable.
+/// * `dead_words()` / `sched_words()` are `u64` bitsets over node slots
+///   (bit `i` of word `i / 64`): tombstoned nodes and schedulable ops.
+/// * `opcodes()` is a flat per-node array of [`Opcode::encode`] values,
+///   [`Adjacency::NO_OP`] for pseudo nodes and dead slots — so hot
+///   classification loops touch one byte per node instead of a
+///   [`NodeKind`] (which drags the node's `cca_members` vector into
+///   cache).
+///
+/// All buffers come from the shared [`DfgArena`] pool and return to it on
+/// drop, so steady-state translation builds adjacency with ~zero
+/// allocator traffic.
+#[derive(Debug)]
+pub struct Adjacency {
+    n: usize,
+    succ_off: Vec<u32>,
+    succ_edge: Vec<u32>,
+    pred_off: Vec<u32>,
+    pred_edge: Vec<u32>,
+    dead: Vec<u64>,
+    sched: Vec<u64>,
+    opc: Vec<u8>,
+    any_dead: bool,
+}
+
+impl Adjacency {
+    /// The `opcodes()` value of a node that is not a live operation.
+    pub const NO_OP: u8 = u8::MAX;
+
+    fn build(nodes: &[DfgNode], edges: &[DfgEdge], a: &mut DfgArena) -> Self {
+        let n = nodes.len();
+        let m = edges.len();
+        let mut succ_off = a.take_u32();
+        succ_off.resize(n + 1, 0);
+        let mut pred_off = a.take_u32();
+        pred_off.resize(n + 1, 0);
+        for e in edges {
+            succ_off[e.src.index() + 1] += 1;
+            pred_off[e.dst.index() + 1] += 1;
+        }
+        for i in 0..n {
+            succ_off[i + 1] += succ_off[i];
+            pred_off[i + 1] += pred_off[i];
+        }
+        let mut succ_edge = a.take_u32();
+        succ_edge.resize(m, 0);
+        let mut pred_edge = a.take_u32();
+        pred_edge.resize(m, 0);
+        let mut next_s = a.take_u32();
+        next_s.extend_from_slice(&succ_off[..n]);
+        let mut next_p = a.take_u32();
+        next_p.extend_from_slice(&pred_off[..n]);
+        // Stable counting sort: filling in edge-index order preserves the
+        // per-node insertion order of the old push-based lists.
+        for (i, e) in edges.iter().enumerate() {
+            let s = e.src.index();
+            succ_edge[next_s[s] as usize] = i as u32;
+            next_s[s] += 1;
+            let d = e.dst.index();
+            pred_edge[next_p[d] as usize] = i as u32;
+            next_p[d] += 1;
+        }
+        a.give_u32(next_s);
+        a.give_u32(next_p);
+
+        let words = n.div_ceil(64);
+        let mut dead = a.take_u64();
+        dead.resize(words, 0);
+        let mut sched = a.take_u64();
+        sched.resize(words, 0);
+        let mut opc = a.take_u8();
+        opc.resize(n, Self::NO_OP);
+        let mut any_dead = false;
+        for (i, node) in nodes.iter().enumerate() {
+            if node.dead {
+                dead[i / 64] |= 1 << (i % 64);
+                any_dead = true;
+            } else if let NodeKind::Op(op) = node.kind {
+                sched[i / 64] |= 1 << (i % 64);
+                opc[i] = op.encode();
+            }
+        }
+        Adjacency {
+            n,
+            succ_off,
+            succ_edge,
+            pred_off,
+            pred_edge,
+            dead,
+            sched,
+            opc,
+            any_dead,
+        }
+    }
+
+    /// Number of node slots covered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the graph has no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Indices into [`Dfg::edges`] of node `v`'s outgoing edges, in
+    /// insertion order.
+    #[must_use]
+    #[inline]
+    pub fn succ_edge_ids(&self, v: usize) -> &[u32] {
+        &self.succ_edge[self.succ_off[v] as usize..self.succ_off[v + 1] as usize]
+    }
+
+    /// Indices into [`Dfg::edges`] of node `v`'s incoming edges, in
+    /// insertion order.
+    #[must_use]
+    #[inline]
+    pub fn pred_edge_ids(&self, v: usize) -> &[u32] {
+        &self.pred_edge[self.pred_off[v] as usize..self.pred_off[v + 1] as usize]
+    }
+
+    /// The tombstone bitset (bit per node slot).
+    #[must_use]
+    pub fn dead_words(&self) -> &[u64] {
+        &self.dead
+    }
+
+    /// The schedulable-op bitset (bit per node slot).
+    #[must_use]
+    pub fn sched_words(&self) -> &[u64] {
+        &self.sched
+    }
+
+    /// Whether any node is tombstoned (fast gate for dead-endpoint scans).
+    #[must_use]
+    pub fn any_dead(&self) -> bool {
+        self.any_dead
+    }
+
+    /// Whether node `v` is tombstoned.
+    #[must_use]
+    #[inline]
+    pub fn is_dead(&self, v: usize) -> bool {
+        self.dead[v / 64] >> (v % 64) & 1 != 0
+    }
+
+    /// Whether node `v` is a live operation (occupies a schedule slot).
+    #[must_use]
+    #[inline]
+    pub fn is_schedulable(&self, v: usize) -> bool {
+        self.sched[v / 64] >> (v % 64) & 1 != 0
+    }
+
+    /// Flat per-node [`Opcode::encode`] values ([`Adjacency::NO_OP`] for
+    /// pseudo/dead slots).
+    #[must_use]
+    pub fn opcodes(&self) -> &[u8] {
+        &self.opc
+    }
+}
+
+impl Drop for Adjacency {
+    fn drop(&mut self) {
+        with_arena(|a| {
+            a.give_u32(std::mem::take(&mut self.succ_off));
+            a.give_u32(std::mem::take(&mut self.succ_edge));
+            a.give_u32(std::mem::take(&mut self.pred_off));
+            a.give_u32(std::mem::take(&mut self.pred_edge));
+            a.give_u64(std::mem::take(&mut self.dead));
+            a.give_u64(std::mem::take(&mut self.sched));
+            a.give_u8(std::mem::take(&mut self.opc));
+        });
+    }
+}
+
 /// The dataflow graph of one innermost loop body.
 ///
 /// Constructed through [`crate::DfgBuilder`]; mutated only by the CCA mapper
@@ -123,10 +309,12 @@ impl DfgNode {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Dfg {
-    nodes: Vec<DfgNode>,
-    edges: Vec<DfgEdge>,
-    succ: Vec<Vec<u32>>,
-    pred: Vec<Vec<u32>>,
+    pub(crate) nodes: Vec<DfgNode>,
+    pub(crate) edges: Vec<DfgEdge>,
+    /// Lazily built CSR adjacency + flat node arrays (see
+    /// [`Dfg::adjacency`]). Like `cond`, cloning shares the cached value
+    /// and structural mutation clears it.
+    adj: OnceLock<Arc<Adjacency>>,
     /// Lazily built SCC condensation + reachability (see
     /// [`Dfg::condensation`]). Cloning a graph shares the cached value;
     /// structural mutation clears it. Not part of the graph's identity:
@@ -136,6 +324,10 @@ pub struct Dfg {
     /// including [`Dfg::node_mut`] (stream/live-out annotations are part
     /// of the hashed identity even though they don't affect `cond`).
     hash: OnceLock<u64>,
+    /// Lazily computed SCC membership (see [`Dfg::scc_view`]): the
+    /// cheapest recurrence answer, shared by RecMII, the Swing ordering,
+    /// and the commit-path legality checks. Same lifecycle as `cond`.
+    scc: OnceLock<Arc<crate::condense::SccView>>,
 }
 
 impl PartialEq for Dfg {
@@ -157,12 +349,9 @@ impl Dfg {
 
     /// Adds a node and returns its id.
     pub fn add_node(&mut self, kind: NodeKind) -> OpId {
-        self.cond = OnceLock::new();
-        self.hash = OnceLock::new();
+        self.invalidate_structure();
         let id = OpId::new(self.nodes.len());
         self.nodes.push(DfgNode::new(kind));
-        self.succ.push(Vec::new());
-        self.pred.push(Vec::new());
         id
     }
 
@@ -172,19 +361,85 @@ impl Dfg {
     ///
     /// Panics if either endpoint is out of range.
     pub fn add_edge(&mut self, src: OpId, dst: OpId, distance: u32, kind: EdgeKind) {
-        self.cond = OnceLock::new();
-        self.hash = OnceLock::new();
+        self.invalidate_structure();
         assert!(src.index() < self.nodes.len(), "src out of range");
         assert!(dst.index() < self.nodes.len(), "dst out of range");
-        let idx = self.edges.len() as u32;
         self.edges.push(DfgEdge {
             src,
             dst,
             distance,
             kind,
         });
-        self.succ[src.index()].push(idx);
-        self.pred[dst.index()].push(idx);
+    }
+
+    /// Clears every cache derived from the graph's structure.
+    pub(crate) fn invalidate_structure(&mut self) {
+        self.adj = OnceLock::new();
+        self.cond = OnceLock::new();
+        self.hash = OnceLock::new();
+        self.scc = OnceLock::new();
+    }
+
+    /// Assembles a graph directly from parts (the fused single-pass
+    /// separation uses this to skip the clone-then-rebuild round trip).
+    pub(crate) fn from_parts(nodes: Vec<DfgNode>, edges: Vec<DfgEdge>) -> Self {
+        Dfg {
+            nodes,
+            edges,
+            adj: OnceLock::new(),
+            cond: OnceLock::new(),
+            hash: OnceLock::new(),
+            scc: OnceLock::new(),
+        }
+    }
+
+    /// The cached SCC membership view: `comp_of` per slot plus the cyclic
+    /// bitset, computed by one allocation-free Tarjan pass
+    /// ([`crate::scc_membership`]) on first use. Shared by clones and
+    /// invalidated by structural mutation, like [`Dfg::adjacency`]. The
+    /// per-loop recurrence consumers (RecMII, the Swing ordering, the
+    /// hint-verify legality path) all ask the same question of the same
+    /// graph version — this answers it once.
+    #[must_use]
+    pub fn scc_view(&self) -> Arc<crate::condense::SccView> {
+        Arc::clone(self.scc.get_or_init(|| {
+            let mut comp_of = Vec::new();
+            let mut cyclic = Vec::new();
+            let n_comps = crate::condense::scc_membership(self, &mut comp_of, &mut cyclic);
+            Arc::new(crate::condense::SccView {
+                comp_of,
+                cyclic,
+                n_comps,
+            })
+        }))
+    }
+
+    /// Re-derives every cached analysis — adjacency, structural
+    /// verification, SCC condensation, content hash — on a copy with cold
+    /// caches, folding the results into one value so none of the work can
+    /// be optimized away. Bench support: `bench_translate` times this
+    /// against the same pass over a [`crate::RefDfg`] to quantify the
+    /// layout change on the DFG/loop-identification phase.
+    #[must_use]
+    pub fn reanalyze(&self) -> u64 {
+        let fresh = Dfg::from_parts(self.nodes.clone(), self.edges.clone());
+        let ok = crate::verify::verify_dfg(&fresh).is_ok();
+        let n_sccs = fresh.sccs().len();
+        fresh.content_hash() ^ u64::from(ok) ^ (n_sccs as u64) << 1
+    }
+
+    /// The cached struct-of-arrays view of the graph: CSR adjacency, dead
+    /// and schedulable bitsets, and the flat opcode array. Built on first
+    /// use from pooled [`DfgArena`] buffers, shared by clones, and
+    /// invalidated by any structural mutation — the same lifecycle as
+    /// [`Dfg::condensation`].
+    #[must_use]
+    pub fn adjacency(&self) -> &Adjacency {
+        self.adj.get_or_init(|| {
+            Arc::new(with_arena(|a| {
+                Adjacency::build(&self.nodes, &self.edges, a)
+            }))
+        })
     }
 
     /// Total number of node slots (including dead nodes).
@@ -247,16 +502,18 @@ impl Dfg {
         &self.edges
     }
 
-    /// Outgoing edges of `id`.
+    /// Outgoing edges of `id`, in insertion order.
     pub fn succ_edges(&self, id: OpId) -> impl Iterator<Item = &DfgEdge> + '_ {
-        self.succ[id.index()]
+        self.adjacency()
+            .succ_edge_ids(id.index())
             .iter()
             .map(|&e| &self.edges[e as usize])
     }
 
-    /// Incoming edges of `id`.
+    /// Incoming edges of `id`, in insertion order.
     pub fn pred_edges(&self, id: OpId) -> impl Iterator<Item = &DfgEdge> + '_ {
-        self.pred[id.index()]
+        self.adjacency()
+            .pred_edge_ids(id.index())
             .iter()
             .map(|&e| &self.edges[e as usize])
     }
@@ -328,48 +585,60 @@ impl Dfg {
     /// dependence cycle cannot execute).
     pub fn topo_order(&self) -> Result<Vec<OpId>, Vec<OpId>> {
         let n = self.nodes.len();
-        let mut indeg = vec![0usize; n];
-        let mut live = 0usize;
-        for (i, node) in self.nodes.iter().enumerate() {
-            if node.dead {
-                continue;
-            }
-            live += 1;
-            indeg[i] = self.pred[i]
-                .iter()
-                .filter(|&&e| {
-                    let edge = &self.edges[e as usize];
-                    edge.distance == 0 && !self.nodes[edge.src.index()].dead
-                })
-                .count();
-        }
-        let mut queue: Vec<usize> = (0..n)
-            .filter(|&i| !self.nodes[i].dead && indeg[i] == 0)
-            .collect();
-        let mut order = Vec::with_capacity(live);
-        while let Some(v) = queue.pop() {
-            order.push(OpId::new(v));
-            for &e in &self.succ[v] {
-                let edge = &self.edges[e as usize];
-                if edge.distance != 0 || self.nodes[edge.dst.index()].dead {
+        let adj = self.adjacency();
+        with_arena(|a| {
+            let mut indeg = a.take_u32();
+            indeg.resize(n, 0);
+            let mut live = 0usize;
+            for (i, d) in indeg.iter_mut().enumerate() {
+                if adj.is_dead(i) {
                     continue;
                 }
-                let w = edge.dst.index();
-                indeg[w] -= 1;
-                if indeg[w] == 0 {
-                    queue.push(w);
+                live += 1;
+                *d = adj
+                    .pred_edge_ids(i)
+                    .iter()
+                    .filter(|&&e| {
+                        let edge = &self.edges[e as usize];
+                        edge.distance == 0 && !adj.is_dead(edge.src.index())
+                    })
+                    .count() as u32;
+            }
+            // Same Kahn worklist as the original per-node-`Vec` version
+            // (seed in ascending id order, LIFO pop): the emitted order is
+            // bit-identical.
+            let mut queue = a.take_u32();
+            queue.extend(
+                (0..n as u32).filter(|&i| !adj.is_dead(i as usize) && indeg[i as usize] == 0),
+            );
+            let mut order = Vec::with_capacity(live);
+            while let Some(v) = queue.pop() {
+                order.push(OpId::new(v as usize));
+                for &e in adj.succ_edge_ids(v as usize) {
+                    let edge = &self.edges[e as usize];
+                    if edge.distance != 0 || adj.is_dead(edge.dst.index()) {
+                        continue;
+                    }
+                    let w = edge.dst.index();
+                    indeg[w] -= 1;
+                    if indeg[w] == 0 {
+                        queue.push(w as u32);
+                    }
                 }
             }
-        }
-        if order.len() == live {
-            Ok(order)
-        } else {
-            let stuck: Vec<OpId> = (0..n)
-                .filter(|&i| !self.nodes[i].dead && indeg[i] > 0)
-                .map(OpId::new)
-                .collect();
-            Err(stuck)
-        }
+            let result = if order.len() == live {
+                Ok(order)
+            } else {
+                let stuck: Vec<OpId> = (0..n)
+                    .filter(|&i| !adj.is_dead(i) && indeg[i] > 0)
+                    .map(OpId::new)
+                    .collect();
+                Err(stuck)
+            };
+            a.give_u32(indeg);
+            a.give_u32(queue);
+            result
+        })
     }
 
     /// Collapses `members` into a single [`Opcode::Cca`] pseudo-node,
@@ -388,8 +657,18 @@ impl Dfg {
     /// node.
     pub fn collapse(&mut self, members: &[OpId]) -> OpId {
         assert!(!members.is_empty(), "cannot collapse an empty member set");
-        let member_set: std::collections::HashSet<OpId> = members.iter().copied().collect();
+        // Membership as a bitset over pre-collapse node slots: the edge
+        // rewiring loop below probes it twice per edge, and a HashSet
+        // probe (hash + indirection) is the dominant cost for the small
+        // member sets the mapper commits.
+        let words = self.nodes.len().div_ceil(64);
+        let mut member_bits = with_arena(|a| {
+            let mut w = a.take_u64();
+            w.resize(words, 0);
+            w
+        });
         for &m in members {
+            member_bits[m.index() / 64] |= 1 << (m.index() % 64);
             let node = &self.nodes[m.index()];
             assert!(!node.dead, "member {m} already dead");
             assert!(
@@ -397,47 +676,93 @@ impl Dfg {
                 "member {m} is not a CCA-supported op"
             );
         }
+        let in_members = |id: OpId| member_bits[id.index() / 64] >> (id.index() % 64) & 1 != 0;
         let cca = self.add_node(NodeKind::Op(Opcode::Cca));
         self.nodes[cca.index()].cca_members = members.to_vec();
         self.nodes[cca.index()].live_out = members.iter().any(|&m| self.nodes[m.index()].live_out);
 
-        // Rewire external edges. Collect first to satisfy the borrow checker.
-        let mut new_edges: Vec<DfgEdge> = Vec::new();
-        for e in &self.edges {
-            let src_in = member_set.contains(&e.src);
-            let dst_in = member_set.contains(&e.dst);
+        // Rewire in one retain pass: member-touching edges leave the array
+        // (redirected copies and internal loop-carried self-edges collect
+        // in `rewired`), dead-endpoint edges drop out. Removing elements
+        // from the canonically sorted pre-collapse array leaves the
+        // retained run sorted, so the adaptive sort below only pays for
+        // merging the short rewired tail. The canonical sort orders
+        // distinct edges by their full field tuple and dedup removes exact
+        // ties, so the final edge array is identical to the
+        // collect-then-refilter construction this replaces.
+        self.invalidate_structure();
+        let nodes = &self.nodes;
+        let mut edges = std::mem::take(&mut self.edges);
+        let mut rewired: Vec<DfgEdge> = Vec::new();
+        edges.retain(|e| {
+            let src_in = in_members(e.src);
+            let dst_in = in_members(e.dst);
             if src_in && dst_in {
                 if e.distance > 0 {
-                    new_edges.push(DfgEdge {
+                    rewired.push(DfgEdge {
                         src: cca,
                         dst: cca,
                         distance: e.distance,
                         kind: e.kind,
                     });
                 }
-                continue;
+            } else if src_in {
+                if !nodes[e.dst.index()].dead {
+                    rewired.push(DfgEdge {
+                        src: cca,
+                        dst: e.dst,
+                        distance: e.distance,
+                        kind: e.kind,
+                    });
+                }
+            } else if dst_in {
+                if !nodes[e.src.index()].dead {
+                    rewired.push(DfgEdge {
+                        src: e.src,
+                        dst: cca,
+                        distance: e.distance,
+                        kind: e.kind,
+                    });
+                }
+            } else {
+                return !nodes[e.src.index()].dead && !nodes[e.dst.index()].dead;
             }
-            if src_in && !self.nodes[e.dst.index()].dead {
-                new_edges.push(DfgEdge {
-                    src: cca,
-                    dst: e.dst,
-                    distance: e.distance,
-                    kind: e.kind,
-                });
-            } else if dst_in && !self.nodes[e.src.index()].dead {
-                new_edges.push(DfgEdge {
-                    src: e.src,
-                    dst: cca,
-                    distance: e.distance,
-                    kind: e.kind,
-                });
-            }
-        }
+            false
+        });
+        with_arena(|a| a.give_u64(member_bits));
         // Tombstone members and drop their adjacency.
         for &m in members {
             self.nodes[m.index()].dead = true;
         }
-        self.rebuild_edges_excluding_dead(new_edges);
+        // Hot-path merge: a canonical pre-collapse array is strictly
+        // sorted (sorted and duplicate-free), and `retain` preserves that
+        // for the kept run. Every rewired edge references `cca` — a node
+        // id no retained edge can mention — so no duplicate straddles the
+        // two runs, and backward-merging the sorted-deduped tail yields
+        // byte-for-byte the array the full sort+dedup would. Non-canonical
+        // arrays (builder graphs that never went through a structural
+        // rewrite) take the full sort below, exactly as before.
+        let key = |e: &DfgEdge| (e.src, e.dst, e.distance, e.kind as u8);
+        if edges.is_sorted_by(|a, b| key(a) < key(b)) {
+            Self::sort_dedup_edges(&mut rewired);
+            let old_len = edges.len();
+            edges.extend_from_slice(&rewired);
+            let (mut i, mut j, mut k) = (old_len, rewired.len(), edges.len());
+            while j > 0 {
+                if i > 0 && key(&edges[i - 1]) > key(&rewired[j - 1]) {
+                    edges[k - 1] = edges[i - 1];
+                    i -= 1;
+                } else {
+                    edges[k - 1] = rewired[j - 1];
+                    j -= 1;
+                }
+                k -= 1;
+            }
+        } else {
+            edges.append(&mut rewired);
+            Self::sort_dedup_edges(&mut edges);
+        }
+        self.edges = edges;
         cca
     }
 
@@ -451,34 +776,34 @@ impl Dfg {
         self.rebuild_edges_excluding_dead(Vec::new());
     }
 
-    fn rebuild_edges_excluding_dead(&mut self, extra: Vec<DfgEdge>) {
-        self.cond = OnceLock::new();
-        self.hash = OnceLock::new();
-        let mut kept: Vec<DfgEdge> = self
-            .edges
-            .iter()
-            .copied()
-            .filter(|e| !self.nodes[e.src.index()].dead && !self.nodes[e.dst.index()].dead)
-            .collect();
+    pub(crate) fn rebuild_edges_excluding_dead(&mut self, extra: Vec<DfgEdge>) {
+        self.invalidate_structure();
+        let nodes = &self.nodes;
+        let mut kept = std::mem::take(&mut self.edges);
+        kept.retain(|e| !nodes[e.src.index()].dead && !nodes[e.dst.index()].dead);
         kept.extend(
             extra
                 .into_iter()
-                .filter(|e| !self.nodes[e.src.index()].dead && !self.nodes[e.dst.index()].dead),
+                .filter(|e| !nodes[e.src.index()].dead && !nodes[e.dst.index()].dead),
         );
-        // Deduplicate identical edges introduced by rewiring.
-        kept.sort_by_key(|e| (e.src, e.dst, e.distance, e.kind as u8));
-        kept.dedup();
+        // Deduplicate identical edges introduced by rewiring. The sort is
+        // part of the graph's observable edge order (and thus its content
+        // hash); adjacency is rebuilt lazily on next use. A strictly
+        // sorted array (canonical input, nothing appended) is already in
+        // that form, so the re-sort is skipped.
+        let key = |e: &DfgEdge| (e.src, e.dst, e.distance, e.kind as u8);
+        if !kept.is_sorted_by(|a, b| key(a) < key(b)) {
+            Self::sort_dedup_edges(&mut kept);
+        }
         self.edges = kept;
-        for s in &mut self.succ {
-            s.clear();
-        }
-        for p in &mut self.pred {
-            p.clear();
-        }
-        for (i, e) in self.edges.iter().enumerate() {
-            self.succ[e.src.index()].push(i as u32);
-            self.pred[e.dst.index()].push(i as u32);
-        }
+    }
+
+    /// The canonical edge ordering applied after structural rewrites
+    /// ([`Dfg::collapse`], [`Dfg::remove_nodes`]): sort by
+    /// `(src, dst, distance, kind)` and drop exact duplicates.
+    pub(crate) fn sort_dedup_edges(edges: &mut Vec<DfgEdge>) {
+        edges.sort_by_key(|e| (e.src, e.dst, e.distance, e.kind as u8));
+        edges.dedup();
     }
 
     /// The ids of scalar live-in nodes.
@@ -753,6 +1078,110 @@ mod tests {
         let mut dfg = b.finish();
         let cca = dfg.collapse(&[x, y]);
         assert!(dfg.node(cca).live_out);
+    }
+
+    #[test]
+    fn adjacency_matches_nodes_and_preserves_insertion_order() {
+        use crate::rng::Rng64;
+        let mut rng = Rng64::new(0xad7);
+        for _ in 0..50 {
+            let n = rng.gen_range(1, 24);
+            let mut dfg = Dfg::new();
+            let ids: Vec<OpId> = (0..n)
+                .map(|_| dfg.add_node(NodeKind::Op(Opcode::Add)))
+                .collect();
+            for _ in 0..rng.gen_range(0, 4 * n) {
+                let a = rng.gen_range(0, n);
+                let b = rng.gen_range(0, n);
+                dfg.add_edge(ids[a], ids[b], rng.gen_range(0, 2) as u32, EdgeKind::Data);
+            }
+            // Reference adjacency: push-based per-node lists.
+            let mut succ = vec![Vec::new(); n];
+            let mut pred = vec![Vec::new(); n];
+            for (i, e) in dfg.edges().iter().enumerate() {
+                succ[e.src.index()].push(i as u32);
+                pred[e.dst.index()].push(i as u32);
+            }
+            let adj = dfg.adjacency();
+            for i in 0..n {
+                assert_eq!(adj.succ_edge_ids(i), succ[i].as_slice(), "succ of {i}");
+                assert_eq!(adj.pred_edge_ids(i), pred[i].as_slice(), "pred of {i}");
+                assert!(adj.is_schedulable(i) && !adj.is_dead(i));
+                assert_eq!(adj.opcodes()[i], Opcode::Add.encode());
+            }
+        }
+    }
+
+    #[test]
+    fn collapse_bitset_matches_hashset_reference() {
+        // Satellite regression for the `HashSet<OpId>` membership check
+        // that `collapse` used to build per call: random graphs, random
+        // member sets, edges compared against a HashSet-driven rewiring
+        // reference.
+        use crate::rng::Rng64;
+        use std::collections::HashSet;
+        let mut rng = Rng64::new(0xc0117);
+        for _ in 0..100 {
+            let n = rng.gen_range(2, 20);
+            let mut dfg = Dfg::new();
+            let ids: Vec<OpId> = (0..n)
+                .map(|_| dfg.add_node(NodeKind::Op(Opcode::Add)))
+                .collect();
+            for _ in 0..rng.gen_range(0, 3 * n) {
+                let a = rng.gen_range(0, n);
+                let b = rng.gen_range(0, n);
+                dfg.add_edge(ids[a], ids[b], rng.gen_range(0, 3) as u32, EdgeKind::Data);
+            }
+            let mut members: Vec<OpId> =
+                ids.iter().copied().filter(|_| rng.gen_bool(0.4)).collect();
+            if members.is_empty() {
+                members.push(ids[rng.gen_range(0, n)]);
+            }
+            // HashSet reference over the pre-collapse graph.
+            let member_set: HashSet<OpId> = members.iter().copied().collect();
+            let pre_edges = dfg.edges().to_vec();
+            let cca_expected = OpId::new(n);
+            let mut expected: Vec<DfgEdge> = pre_edges
+                .iter()
+                .filter(|e| !member_set.contains(&e.src) || !member_set.contains(&e.dst))
+                .map(|e| DfgEdge {
+                    src: if member_set.contains(&e.src) {
+                        cca_expected
+                    } else {
+                        e.src
+                    },
+                    dst: if member_set.contains(&e.dst) {
+                        cca_expected
+                    } else {
+                        e.dst
+                    },
+                    distance: e.distance,
+                    kind: e.kind,
+                })
+                .chain(
+                    pre_edges
+                        .iter()
+                        .filter(|e| {
+                            member_set.contains(&e.src)
+                                && member_set.contains(&e.dst)
+                                && e.distance > 0
+                        })
+                        .map(|e| DfgEdge {
+                            src: cca_expected,
+                            dst: cca_expected,
+                            distance: e.distance,
+                            kind: e.kind,
+                        }),
+                )
+                .collect();
+            Dfg::sort_dedup_edges(&mut expected);
+            let cca = dfg.collapse(&members);
+            assert_eq!(cca, cca_expected);
+            assert_eq!(dfg.edges(), expected.as_slice());
+            for &m in &members {
+                assert!(dfg.node(m).is_dead());
+            }
+        }
     }
 
     #[test]

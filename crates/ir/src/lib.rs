@@ -29,6 +29,7 @@
 //! assert!(!dfg.sccs().is_empty());
 //! ```
 
+pub mod arena;
 pub mod asm;
 pub mod builder;
 pub mod cfg;
@@ -41,21 +42,26 @@ pub mod loops;
 pub mod meter;
 pub mod opcode;
 pub mod pretty;
+pub mod refgraph;
 pub mod rng;
 pub mod streams;
+pub mod tuning;
 pub mod types;
 pub mod verify;
 
+pub use arena::{with_arena, DfgArena};
 pub use builder::{DfgBuilder, FunctionBuilder};
 pub use cfg::{BasicBlock, Function, NaturalLoop};
 pub use classify::{classify_loop, LoopClass};
-pub use condense::{BitMatrix, Condensation};
-pub use dfg::{Dfg, DfgEdge, DfgNode, EdgeKind};
+pub use condense::{scc_membership, BitMatrix, Condensation, SccView};
+pub use dfg::{Adjacency, Dfg, DfgEdge, DfgNode, EdgeKind};
 pub use instr::{Instruction, Operand};
 pub use interp::{interpret, ExecResult, Inputs, Value};
 pub use loops::{LoopBody, LoopProfile};
 pub use meter::{CostMeter, Phase, PhaseBreakdown};
 pub use opcode::{FuClass, Opcode};
+pub use refgraph::RefDfg;
 pub use streams::{MemStream, StreamDir, StreamSummary};
+pub use tuning::{data_oriented_enabled, set_data_oriented};
 pub use types::{BlockId, FuncId, OpId, VReg};
 pub use verify::{verify_dfg, VerifyError};

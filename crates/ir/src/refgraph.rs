@@ -1,0 +1,298 @@
+//! The retained reference adjacency representation.
+//!
+//! Before the data-oriented sweep, [`Dfg`] kept per-node `Vec<u32>` edge
+//! lists built by pushing on every `add_edge`. [`RefDfg`] preserves that
+//! representation — push-built adjacency, the original Kahn topological
+//! sort over those lists, the original iterator-`nth` Tarjan, the same
+//! content-hash serialization, and the original structural verifier — as
+//! an executable specification. The property corpus
+//! (`crates/ir/tests/soa_equivalence.rs`) asserts the CSR-backed [`Dfg`]
+//! matches it on succ/pred iteration order, SCC condensation, content
+//! hash, and verify verdicts; `bench_translate` times it to quantify the
+//! layout win on the DFG/loop-identification phase.
+
+use crate::dfg::{Dfg, DfgEdge, DfgNode, NodeKind};
+use crate::opcode::Opcode;
+use crate::types::OpId;
+use crate::verify::VerifyError;
+
+/// A dataflow graph in the pre-sweep representation: array-of-`Vec`
+/// adjacency, no caches.
+#[derive(Debug, Clone)]
+pub struct RefDfg {
+    nodes: Vec<DfgNode>,
+    edges: Vec<DfgEdge>,
+    succ: Vec<Vec<u32>>,
+    pred: Vec<Vec<u32>>,
+}
+
+impl RefDfg {
+    /// Rebuilds `dfg` in the reference representation, replaying every
+    /// edge through the original push-based adjacency construction.
+    #[must_use]
+    pub fn from_dfg(dfg: &Dfg) -> Self {
+        let nodes = dfg.nodes.clone();
+        let edges = dfg.edges.clone();
+        let mut succ = vec![Vec::new(); nodes.len()];
+        let mut pred = vec![Vec::new(); nodes.len()];
+        for (i, e) in edges.iter().enumerate() {
+            succ[e.src.index()].push(i as u32);
+            pred[e.dst.index()].push(i as u32);
+        }
+        RefDfg {
+            nodes,
+            edges,
+            succ,
+            pred,
+        }
+    }
+
+    /// Total number of node slots.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph has no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Immutable access to a node.
+    #[must_use]
+    pub fn node(&self, id: OpId) -> &DfgNode {
+        &self.nodes[id.index()]
+    }
+
+    /// All edges.
+    #[must_use]
+    pub fn edges(&self) -> &[DfgEdge] {
+        &self.edges
+    }
+
+    /// Outgoing edges of `id`, in insertion order.
+    pub fn succ_edges(&self, id: OpId) -> impl Iterator<Item = &DfgEdge> + '_ {
+        self.succ[id.index()]
+            .iter()
+            .map(|&e| &self.edges[e as usize])
+    }
+
+    /// Incoming edges of `id`, in insertion order.
+    pub fn pred_edges(&self, id: OpId) -> impl Iterator<Item = &DfgEdge> + '_ {
+        self.pred[id.index()]
+            .iter()
+            .map(|&e| &self.edges[e as usize])
+    }
+
+    /// Live node ids.
+    pub fn live_ids(&self) -> impl Iterator<Item = OpId> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| !n.is_dead())
+            .map(|(i, _)| OpId::new(i))
+    }
+
+    /// The original Kahn topological sort over distance-0 edges (seed in
+    /// ascending id order, LIFO pop).
+    ///
+    /// # Errors
+    ///
+    /// Returns the ids stuck in a distance-0 cycle, exactly like
+    /// [`Dfg::topo_order`].
+    pub fn topo_order(&self) -> Result<Vec<OpId>, Vec<OpId>> {
+        let n = self.nodes.len();
+        let mut indeg = vec![0usize; n];
+        let mut live = 0usize;
+        for (i, node) in self.nodes.iter().enumerate() {
+            if node.is_dead() {
+                continue;
+            }
+            live += 1;
+            indeg[i] = self.pred[i]
+                .iter()
+                .filter(|&&e| {
+                    let edge = &self.edges[e as usize];
+                    edge.distance == 0 && !self.nodes[edge.src.index()].is_dead()
+                })
+                .count();
+        }
+        let mut queue: Vec<usize> = (0..n)
+            .filter(|&i| !self.nodes[i].is_dead() && indeg[i] == 0)
+            .collect();
+        let mut order = Vec::with_capacity(live);
+        while let Some(v) = queue.pop() {
+            order.push(OpId::new(v));
+            for &e in &self.succ[v] {
+                let edge = &self.edges[e as usize];
+                if edge.distance != 0 || self.nodes[edge.dst.index()].is_dead() {
+                    continue;
+                }
+                let w = edge.dst.index();
+                indeg[w] -= 1;
+                if indeg[w] == 0 {
+                    queue.push(w);
+                }
+            }
+        }
+        if order.len() == live {
+            Ok(order)
+        } else {
+            let stuck: Vec<OpId> = (0..n)
+                .filter(|&i| !self.nodes[i].is_dead() && indeg[i] > 0)
+                .map(OpId::new)
+                .collect();
+            Err(stuck)
+        }
+    }
+
+    /// The original iterative Tarjan over all edges (iterator + `nth`
+    /// cursor), emitting components in reverse topological order with
+    /// members sorted — the exact list [`Dfg::sccs`] produces.
+    #[must_use]
+    pub fn sccs(&self) -> Vec<Vec<OpId>> {
+        const UNVISITED: u32 = u32::MAX;
+        let n = self.len();
+        let mut index = vec![UNVISITED; n];
+        let mut low = vec![0u32; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<u32> = Vec::new();
+        let mut next_index = 0u32;
+        let mut comps: Vec<Vec<OpId>> = Vec::new();
+
+        let mut call_stack: Vec<(u32, usize)> = Vec::new();
+        for start in 0..n {
+            if self.nodes[start].is_dead() || index[start] != UNVISITED {
+                continue;
+            }
+            call_stack.push((start as u32, 0));
+            index[start] = next_index;
+            low[start] = next_index;
+            next_index += 1;
+            stack.push(start as u32);
+            on_stack[start] = true;
+
+            while let Some(&mut (v, ref mut pos)) = call_stack.last_mut() {
+                let v_usize = v as usize;
+                let mut advanced = false;
+                if let Some(edge) = self.succ_edges(OpId::new(v_usize)).nth(*pos) {
+                    *pos += 1;
+                    advanced = true;
+                    let w = edge.dst.index();
+                    if !self.nodes[w].is_dead() {
+                        if index[w] == UNVISITED {
+                            index[w] = next_index;
+                            low[w] = next_index;
+                            next_index += 1;
+                            stack.push(w as u32);
+                            on_stack[w] = true;
+                            call_stack.push((w as u32, 0));
+                        } else if on_stack[w] {
+                            low[v_usize] = low[v_usize].min(index[w]);
+                        }
+                    }
+                }
+                if advanced {
+                    continue;
+                }
+                call_stack.pop();
+                if let Some(&mut (parent, _)) = call_stack.last_mut() {
+                    let p = parent as usize;
+                    low[p] = low[p].min(low[v_usize]);
+                }
+                if low[v_usize] == index[v_usize] {
+                    let mut component = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w as usize] = false;
+                        component.push(OpId::new(w as usize));
+                        if w == v {
+                            break;
+                        }
+                    }
+                    component.sort();
+                    comps.push(component);
+                }
+            }
+        }
+        comps
+    }
+
+    /// The original content-hash serialization — identical byte stream,
+    /// and therefore identical fingerprint, to [`Dfg::content_hash`].
+    #[must_use]
+    pub fn content_hash(&self) -> u64 {
+        let mut h = crate::rng::Fnv64::new();
+        h.write_u64(self.nodes.len() as u64);
+        for n in &self.nodes {
+            match &n.kind {
+                NodeKind::Op(op) => {
+                    h.write_u8(1);
+                    h.write_u64(*op as u64);
+                }
+                NodeKind::LiveIn => h.write_u8(2),
+                NodeKind::Const(v) => {
+                    h.write_u8(3);
+                    h.write_u64(*v as u64);
+                }
+            }
+            h.write_u64(n.stream.map_or(u64::MAX, u64::from));
+            h.write_u8(u8::from(n.live_out) | (u8::from(n.is_dead()) << 1));
+            h.write_u64(n.cca_members.len() as u64);
+            for m in &n.cca_members {
+                h.write_u64(m.index() as u64);
+            }
+        }
+        h.write_u64(self.edges.len() as u64);
+        for e in &self.edges {
+            h.write_u64(e.src.index() as u64);
+            h.write_u64(e.dst.index() as u64);
+            h.write_u64(u64::from(e.distance));
+            h.write_u8(match e.kind {
+                crate::dfg::EdgeKind::Data => 0,
+                crate::dfg::EdgeKind::Mem => 1,
+            });
+        }
+        h.finish()
+    }
+
+    /// The original structural verifier, error for error identical to
+    /// [`crate::verify_dfg`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`VerifyError`] found.
+    pub fn verify(&self) -> Result<(), VerifyError> {
+        for e in &self.edges {
+            if self.node(e.src).is_dead() || self.node(e.dst).is_dead() {
+                return Err(VerifyError::EdgeToDeadNode {
+                    src: e.src,
+                    dst: e.dst,
+                });
+            }
+        }
+        for id in self.live_ids() {
+            let node = self.node(id);
+            match &node.kind {
+                NodeKind::LiveIn | NodeKind::Const(_) => {
+                    if self.pred_edges(id).next().is_some() {
+                        return Err(VerifyError::PseudoNodeHasInputs(id));
+                    }
+                }
+                NodeKind::Op(op) => {
+                    if op.is_mem() && node.stream.is_none() && self.pred_edges(id).next().is_none()
+                    {
+                        return Err(VerifyError::DanglingMemoryOp(id));
+                    }
+                    if *op == Opcode::Cca && node.cca_members.is_empty() {
+                        return Err(VerifyError::EmptyCca(id));
+                    }
+                }
+            }
+        }
+        self.topo_order()
+            .map_err(VerifyError::IntraIterationCycle)?;
+        Ok(())
+    }
+}

@@ -220,6 +220,18 @@ fn stride_of(dfg: &Dfg, id: OpId) -> i64 {
 /// assert_eq!(sep.dfg.schedulable_ops().count(), 3); // ld, mul, str
 /// ```
 pub fn separate(dfg: &Dfg, meter: &mut CostMeter) -> Result<SeparatedLoop, SeparationError> {
+    if crate::tuning::data_oriented_enabled() {
+        separate_fast(dfg, meter)
+    } else {
+        separate_reference(dfg, meter)
+    }
+}
+
+/// The original separation pass, retained as the reference
+/// implementation: three iterator walks over the node list plus a
+/// clone-then-`remove_nodes` output construction. Outputs, errors, and
+/// abstract charges are identical to [`separate_fast`].
+fn separate_reference(dfg: &Dfg, meter: &mut CostMeter) -> Result<SeparatedLoop, SeparationError> {
     // --- 1. Find the loop's control slice. ---------------------------------
     let mut branches = Vec::new();
     for id in dfg.schedulable_ops() {
@@ -368,6 +380,205 @@ pub fn separate(dfg: &Dfg, meter: &mut CostMeter) -> Result<SeparatedLoop, Separ
     let mut removed: Vec<OpId> = control_ops.clone();
     removed.extend(addr_ops.iter().copied());
     out.remove_nodes(&removed);
+    meter.charge(Phase::StreamSep, removed.len() as u64 * 2);
+
+    Ok(SeparatedLoop {
+        dfg: out,
+        streams,
+        control_ops,
+        addr_ops,
+    })
+}
+
+/// The data-oriented separation pass: classification runs over the flat
+/// opcode array of the CSR [`crate::dfg::Adjacency`] (one byte per node
+/// instead of a [`NodeKind`] dereference), and the output graph is
+/// assembled in a single fused pass — annotate, tombstone, filter —
+/// instead of cloning and then rebuilding. Charge sites mirror
+/// [`separate_reference`] one for one, including on every error path, so
+/// the per-phase breakdown is byte-identical.
+fn separate_fast(dfg: &Dfg, meter: &mut CostMeter) -> Result<SeparatedLoop, SeparationError> {
+    let adj = dfg.adjacency();
+    let opcs = adj.opcodes();
+    let edges = dfg.edges();
+    let no_op = crate::dfg::Adjacency::NO_OP;
+    let enc_br = Opcode::Br.encode();
+    let enc_brcond = Opcode::BrCond.encode();
+    let enc_call = Opcode::Call.encode();
+
+    // --- 1. Find the loop's control slice. ---------------------------------
+    let mut branch = None;
+    let mut num_branches = 0usize;
+    for (i, &o) in opcs.iter().enumerate() {
+        if o == no_op {
+            continue;
+        }
+        meter.charge(Phase::StreamSep, 1);
+        if o == enc_brcond || o == enc_br {
+            num_branches += 1;
+            if branch.is_none() {
+                branch = Some(OpId::new(i));
+            }
+        } else if o == enc_call {
+            return Err(SeparationError::CallInLoop);
+        }
+    }
+
+    let Some(branch) = branch else {
+        // Pre-separated graph: accept as-is if every memory op already has a
+        // stream; otherwise the address pattern is unanalyzable.
+        for (i, &o) in opcs.iter().enumerate() {
+            if o == no_op {
+                continue;
+            }
+            let id = OpId::new(i);
+            if Opcode::decode(o).is_some_and(Opcode::is_mem) && dfg.node(id).stream.is_none() {
+                return Err(SeparationError::ComplexAddress(id));
+            }
+        }
+        let streams = collect_existing_streams(dfg);
+        return Ok(SeparatedLoop {
+            dfg: dfg.clone(),
+            streams,
+            control_ops: Vec::new(),
+            addr_ops: Vec::new(),
+        });
+    };
+    if num_branches > 1 {
+        return Err(SeparationError::MultipleBranches);
+    }
+    if opcs[branch.index()] != enc_brcond {
+        return Err(SeparationError::NoBackBranch);
+    }
+
+    // Follow the backward slice of the branch: BrCond <- Cmp <- induction.
+    let mut cmp = None;
+    for &e in adj.pred_edge_ids(branch.index()) {
+        meter.charge(Phase::StreamSep, 1);
+        let src = edges[e as usize].src;
+        let op = dfg.node(src).opcode();
+        if matches!(
+            op,
+            Some(Opcode::CmpEq | Opcode::CmpNe | Opcode::CmpLt | Opcode::CmpLe)
+        ) {
+            if cmp.is_some() {
+                return Err(SeparationError::ComplexControl);
+            }
+            cmp = Some(src);
+        } else {
+            return Err(SeparationError::ComplexControl);
+        }
+    }
+    let cmp = cmp.ok_or(SeparationError::ComplexControl)?;
+
+    // The compare reads the induction variable and a bound.
+    let mut induction = None;
+    for &e in adj.pred_edge_ids(cmp.index()) {
+        meter.charge(Phase::StreamSep, 1);
+        let src = edges[e as usize].src;
+        match &dfg.node(src).kind {
+            NodeKind::Const(_) | NodeKind::LiveIn => {}
+            NodeKind::Op(_) if is_addr_generator(dfg, src) => {
+                if induction.replace(src).is_some() {
+                    return Err(SeparationError::ComplexControl);
+                }
+            }
+            NodeKind::Op(_) => return Err(SeparationError::ComplexControl),
+        }
+    }
+    let induction = induction.ok_or(SeparationError::ComplexControl)?;
+
+    let mut control_ops = vec![branch, cmp];
+    // The induction increment moves to the loop-control hardware only if the
+    // computation does not read it.
+    let induction_feeds_compute = adj
+        .succ_edge_ids(induction.index())
+        .iter()
+        .any(|&e| edges[e as usize].dst != induction && edges[e as usize].dst != cmp);
+    if !induction_feeds_compute {
+        control_ops.push(induction);
+    }
+
+    // --- 2. Identify memory streams. ---------------------------------------
+    let mut streams = Vec::new();
+    let mut addr_ops: Vec<OpId> = Vec::new();
+    // Stream annotations applied to the output nodes in the fused
+    // construction below.
+    let mut annotations: Vec<(u32, u16)> = Vec::new();
+    for (i, &o) in opcs.iter().enumerate() {
+        if o == no_op {
+            continue;
+        }
+        meter.charge(Phase::StreamSep, 1);
+        let op = Opcode::decode(o).expect("schedulable slot has a valid opcode");
+        if !op.is_mem() {
+            continue;
+        }
+        let id = OpId::new(i);
+        let dir = if op == Opcode::Load {
+            StreamDir::Load
+        } else {
+            StreamDir::Store
+        };
+        if dfg.node(id).stream.is_some() {
+            // Already annotated (pre-separated kernels mixed into a full
+            // graph): give the access its own entry in the unified table.
+            let idx = streams.len() as u16;
+            streams.push(MemStream {
+                dir,
+                stride: 1,
+                addr_node: id,
+            });
+            annotations.push((i as u32, idx));
+            continue;
+        }
+        let addr = adj
+            .pred_edge_ids(i)
+            .iter()
+            .map(|&e| edges[e as usize].src)
+            .find(|&p| is_addr_generator(dfg, p))
+            .ok_or(SeparationError::ComplexAddress(id))?;
+        meter.charge(Phase::StreamSep, 4);
+        let stream_idx = streams.len() as u16;
+        streams.push(MemStream {
+            dir,
+            stride: stride_of(dfg, addr),
+            addr_node: addr,
+        });
+        annotations.push((i as u32, stream_idx));
+        if !addr_ops.contains(&addr) {
+            addr_ops.push(addr);
+        }
+    }
+
+    // Address generators must only feed memory ports, themselves, or the
+    // control compare; otherwise they are also compute values and must stay.
+    addr_ops.retain(|&a| {
+        adj.succ_edge_ids(a.index()).iter().all(|&e| {
+            let dst = edges[e as usize].dst;
+            dst == a || dst == cmp || Opcode::decode(opcs[dst.index()]).is_some_and(Opcode::is_mem)
+        })
+    });
+
+    // Fused output construction: annotate streams, tombstone the separated
+    // nodes, and drop/canonicalize their edges in one pass — semantically
+    // the clone + `node_mut` + `remove_nodes` sequence of the reference.
+    let mut removed: Vec<OpId> = control_ops.clone();
+    removed.extend(addr_ops.iter().copied());
+    let mut nodes = dfg.nodes.clone();
+    for &(i, s) in &annotations {
+        nodes[i as usize].stream = Some(s);
+    }
+    for &r in &removed {
+        nodes[r.index()].dead = true;
+    }
+    let mut out_edges: Vec<crate::dfg::DfgEdge> = edges
+        .iter()
+        .copied()
+        .filter(|e| !nodes[e.src.index()].dead && !nodes[e.dst.index()].dead)
+        .collect();
+    Dfg::sort_dedup_edges(&mut out_edges);
+    let out = Dfg::from_parts(nodes, out_edges);
     meter.charge(Phase::StreamSep, removed.len() as u64 * 2);
 
     Ok(SeparatedLoop {

@@ -1,0 +1,36 @@
+//! Host-side kernel selection knobs.
+//!
+//! The translation pipeline keeps two host implementations of its hot
+//! analysis kernels: the original, allocation-heavy reference versions
+//! (per-node `Vec` walks, `HashSet` membership, per-call Tarjan state) and
+//! the data-oriented versions that run on the CSR adjacency and `u64`
+//! bitset words (see [`crate::dfg::Adjacency`]). Both produce bit-identical
+//! results and charge the abstract [`crate::CostMeter`] identically — the
+//! toggle only changes how fast the *host* arrives at the same numbers,
+//! mirroring [`veal_sched::set_parametric_enabled`] for the MinDist kernel.
+//!
+//! `bench_translate` pins the toggle per measurement arm to quantify the
+//! win per phase; property tests flip it to pit the two implementations
+//! against each other.
+//!
+//! [`veal_sched::set_parametric_enabled`]: https://docs.rs/veal-sched
+
+use std::cell::Cell;
+
+thread_local! {
+    static DATA_ORIENTED: Cell<bool> = const { Cell::new(true) };
+}
+
+/// Whether the data-oriented kernels (CSR adjacency sweeps, bitset
+/// legality, arena-backed condensation) are in effect on this thread
+/// (the default).
+#[must_use]
+pub fn data_oriented_enabled() -> bool {
+    DATA_ORIENTED.with(Cell::get)
+}
+
+/// Enables/disables the data-oriented kernels on this thread, returning
+/// the previous setting. Results are bit-identical either way.
+pub fn set_data_oriented(on: bool) -> bool {
+    DATA_ORIENTED.with(|c| c.replace(on))
+}

@@ -63,6 +63,21 @@ impl std::error::Error for VerifyError {}
 /// assert!(verify_dfg(&b.finish()).is_ok());
 /// ```
 pub fn verify_dfg(dfg: &Dfg) -> Result<(), VerifyError> {
+    if crate::tuning::data_oriented_enabled() {
+        verify_dfg_fast(dfg)
+    } else {
+        verify_dfg_reference(dfg)
+    }
+}
+
+/// The original verifier, retained as the reference implementation:
+/// per-edge node dereferences and per-node predecessor iterators.
+///
+/// # Errors
+///
+/// Returns the first [`VerifyError`] found, in the same scan order as
+/// [`verify_dfg`].
+pub fn verify_dfg_reference(dfg: &Dfg) -> Result<(), VerifyError> {
     for e in dfg.edges() {
         if dfg.node(e.src).is_dead() || dfg.node(e.dst).is_dead() {
             return Err(VerifyError::EdgeToDeadNode {
@@ -87,6 +102,50 @@ pub fn verify_dfg(dfg: &Dfg) -> Result<(), VerifyError> {
                     return Err(VerifyError::EmptyCca(id));
                 }
             }
+        }
+    }
+    dfg.topo_order().map_err(VerifyError::IntraIterationCycle)?;
+    Ok(())
+}
+
+/// Vectorized verifier over the CSR adjacency: the dead-endpoint edge scan
+/// runs only when the dead bitset has any bit set (decode-time graphs
+/// normally have none, so the whole pass is a handful of word reads), and
+/// the per-node checks read CSR offsets instead of constructing
+/// predecessor iterators. Scan order, and therefore the first error
+/// reported, matches [`verify_dfg_reference`] exactly.
+fn verify_dfg_fast(dfg: &Dfg) -> Result<(), VerifyError> {
+    let adj = dfg.adjacency();
+    // A dead endpoint requires a dead node; word-parallel gate first.
+    if adj.any_dead() {
+        for e in dfg.edges() {
+            if adj.is_dead(e.src.index()) || adj.is_dead(e.dst.index()) {
+                return Err(VerifyError::EdgeToDeadNode {
+                    src: e.src,
+                    dst: e.dst,
+                });
+            }
+        }
+    }
+    for i in 0..adj.len() {
+        if adj.is_dead(i) {
+            continue;
+        }
+        let id = OpId::new(i);
+        if !adj.is_schedulable(i) {
+            // Live but not an op: a pseudo node (live-in or constant).
+            if !adj.pred_edge_ids(i).is_empty() {
+                return Err(VerifyError::PseudoNodeHasInputs(id));
+            }
+            continue;
+        }
+        let opc = adj.opcodes()[i];
+        let op = Opcode::decode(opc).expect("schedulable slot has a valid opcode");
+        if op.is_mem() && dfg.node(id).stream.is_none() && adj.pred_edge_ids(i).is_empty() {
+            return Err(VerifyError::DanglingMemoryOp(id));
+        }
+        if op == Opcode::Cca && dfg.node(id).cca_members.is_empty() {
+            return Err(VerifyError::EmptyCca(id));
         }
     }
     dfg.topo_order().map_err(VerifyError::IntraIterationCycle)?;

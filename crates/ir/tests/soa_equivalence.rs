@@ -1,0 +1,218 @@
+//! SoA-vs-reference equivalence corpus for the data-oriented DFG layout.
+//!
+//! The arena-backed CSR [`Dfg`] must be observationally identical to the
+//! straightforward push-built [`RefDfg`] — not just "same answers" but the
+//! same *iteration order* everywhere, because downstream kernels (swing
+//! priority, the greedy CCA mapper) are order-sensitive and the whole
+//! data-oriented sweep is gated on bit-identity with the old arm.
+//!
+//! Each seed draws one random well-formed loop body from the in-repo
+//! deterministic [`Rng64`]; failures reproduce by seed with no external
+//! test framework. The corpus checks, per graph:
+//!
+//! - successor/predecessor edge iteration order (exact edge sequences),
+//! - SCC partition and fast-vs-reference [`Condensation`] equality,
+//! - the memoized [`Dfg::scc_view`] membership against `sccs()`,
+//! - content hash against the reference fold,
+//! - verifier verdicts under both arms of the data-oriented toggle,
+//! - stream separation outputs *and* per-phase meter charges under both
+//!   arms.
+
+use veal_ir::dfg::NodeKind;
+use veal_ir::rng::Rng64;
+use veal_ir::streams::separate;
+use veal_ir::{
+    set_data_oriented, verify_dfg, Condensation, CostMeter, Dfg, EdgeKind, OpId, Opcode, RefDfg,
+};
+
+/// Ops safe for random placement (value-producing, non-control).
+const SAFE_OPS: &[Opcode] = &[
+    Opcode::Add,
+    Opcode::Sub,
+    Opcode::And,
+    Opcode::Or,
+    Opcode::Xor,
+    Opcode::Min,
+    Opcode::Max,
+    Opcode::Shl,
+    Opcode::Shr,
+    Opcode::Mul,
+    Opcode::FAdd,
+    Opcode::FMul,
+];
+
+/// Draws one random loop DFG. Distance-0 edges always run forward so the
+/// iteration body stays acyclic; loop-carried edges go anywhere, which is
+/// what makes the SCC checks interesting.
+fn arb_dfg(rng: &mut Rng64) -> Dfg {
+    let n = rng.gen_range(2, 40);
+    let n_loads = rng.gen_range(1, 5);
+    let mut dfg = Dfg::new();
+    let mut loads = Vec::new();
+    for i in 0..n_loads {
+        let id = dfg.add_node(NodeKind::Op(Opcode::Load));
+        dfg.node_mut(id).stream = Some(i as u16);
+        loads.push(id);
+    }
+    let nodes: Vec<OpId> = (0..n)
+        .map(|_| dfg.add_node(NodeKind::Op(SAFE_OPS[rng.gen_range(0, SAFE_OPS.len())])))
+        .collect();
+    for (i, &v) in nodes.iter().enumerate() {
+        dfg.add_edge(loads[i % loads.len()], v, 0, EdgeKind::Data);
+    }
+    for _ in 0..rng.gen_range(0, n * 2) {
+        let a = rng.gen_range(0, n);
+        let b = rng.gen_range(0, n);
+        let d = rng.gen_range(0, 3) as u32;
+        if d == 0 {
+            if a < b {
+                dfg.add_edge(nodes[a], nodes[b], 0, EdgeKind::Data);
+            }
+        } else {
+            dfg.add_edge(nodes[a], nodes[b], d, EdgeKind::Data);
+        }
+    }
+    for _ in 0..rng.gen_range(1, 4) {
+        let v = nodes[rng.gen_range(0, n)];
+        dfg.node_mut(v).live_out = true;
+    }
+    // Occasionally tombstone a node so the dead-slot paths (compaction in
+    // the CSR build, `u32::MAX` components) get exercised too.
+    if rng.gen_bool(0.3) {
+        let v = nodes[rng.gen_range(0, n)];
+        if !dfg.node(v).live_out {
+            dfg.remove_nodes(&[v]);
+        }
+    }
+    dfg
+}
+
+const CASES: u64 = 256;
+
+fn for_each_graph(mut check: impl FnMut(u64, &Dfg)) {
+    for seed in 0..CASES {
+        let mut rng = Rng64::new(seed.wrapping_mul(0x9E37_79B9) ^ 0xD1B5_4A32);
+        let dfg = arb_dfg(&mut rng);
+        check(seed, &dfg);
+    }
+}
+
+#[test]
+fn succ_and_pred_iteration_order_matches_reference() {
+    for_each_graph(|seed, dfg| {
+        let r = RefDfg::from_dfg(dfg);
+        assert_eq!(dfg.len(), r.len(), "seed {seed}");
+        for v in dfg.live_ids() {
+            let succ_soa: Vec<_> = dfg.succ_edges(v).cloned().collect();
+            let succ_ref: Vec<_> = r.succ_edges(v).cloned().collect();
+            assert_eq!(succ_soa, succ_ref, "seed {seed}: succ order of {v}");
+            let pred_soa: Vec<_> = dfg.pred_edges(v).cloned().collect();
+            let pred_ref: Vec<_> = r.pred_edges(v).cloned().collect();
+            assert_eq!(pred_soa, pred_ref, "seed {seed}: pred order of {v}");
+        }
+    });
+}
+
+#[test]
+fn scc_condensation_matches_reference() {
+    for_each_graph(|seed, dfg| {
+        let r = RefDfg::from_dfg(dfg);
+        assert_eq!(dfg.sccs(), r.sccs(), "seed {seed}: SCC partition");
+        assert_eq!(
+            Condensation::build_fast(dfg),
+            Condensation::build_reference(dfg),
+            "seed {seed}: condensation"
+        );
+    });
+}
+
+#[test]
+fn scc_view_membership_agrees_with_sccs() {
+    for_each_graph(|seed, dfg| {
+        let view = dfg.scc_view();
+        let sccs = dfg.sccs();
+        for (c, scc) in sccs.iter().enumerate() {
+            for &v in scc {
+                assert_eq!(
+                    view.comp_of[v.index()] as usize,
+                    c,
+                    "seed {seed}: {v} component"
+                );
+            }
+            let has_self_loop = scc
+                .iter()
+                .any(|&v| dfg.succ_edges(v).any(|e| e.dst == v && e.distance > 0));
+            let cyclic = scc.len() > 1 || has_self_loop;
+            assert_eq!(
+                view.is_cyclic(c as u32),
+                cyclic,
+                "seed {seed}: component {c} cyclicity"
+            );
+        }
+        // Dead slots carry the sentinel, never a component id.
+        for i in 0..dfg.len() {
+            let dead = dfg.node(OpId::new(i)).is_dead();
+            assert_eq!(view.comp_of[i] == u32::MAX, dead, "seed {seed}: slot {i}");
+        }
+    });
+}
+
+#[test]
+fn content_hash_matches_reference() {
+    for_each_graph(|seed, dfg| {
+        let r = RefDfg::from_dfg(dfg);
+        assert_eq!(dfg.content_hash(), r.content_hash(), "seed {seed}");
+    });
+}
+
+#[test]
+fn verify_verdict_matches_reference_under_both_arms() {
+    for_each_graph(|seed, dfg| {
+        let r = RefDfg::from_dfg(dfg);
+        let want = r.verify();
+        for arm in [false, true] {
+            set_data_oriented(arm);
+            assert_eq!(verify_dfg(dfg), want, "seed {seed}: arm {arm}");
+        }
+        set_data_oriented(true);
+    });
+}
+
+#[test]
+fn separation_outputs_and_charges_match_across_arms() {
+    for_each_graph(|seed, dfg| {
+        set_data_oriented(false);
+        let mut m_old = CostMeter::new();
+        let old = separate(dfg, &mut m_old);
+        set_data_oriented(true);
+        let mut m_new = CostMeter::new();
+        let new = separate(dfg, &mut m_new);
+        match (&old, &new) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(
+                    a.dfg.content_hash(),
+                    b.dfg.content_hash(),
+                    "seed {seed}: separated graph"
+                );
+                assert_eq!(a.streams, b.streams, "seed {seed}: streams");
+                assert_eq!(a.control_ops, b.control_ops, "seed {seed}: control ops");
+                assert_eq!(a.addr_ops, b.addr_ops, "seed {seed}: addr ops");
+            }
+            (Err(a), Err(b)) => assert_eq!(a, b, "seed {seed}: separation error"),
+            _ => panic!("seed {seed}: arms disagree on separability"),
+        }
+        assert_eq!(
+            m_old.breakdown(),
+            m_new.breakdown(),
+            "seed {seed}: separation charges"
+        );
+    });
+}
+
+#[test]
+fn topo_order_matches_reference() {
+    for_each_graph(|seed, dfg| {
+        let r = RefDfg::from_dfg(dfg);
+        assert_eq!(dfg.topo_order(), r.topo_order(), "seed {seed}");
+    });
+}

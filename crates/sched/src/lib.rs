@@ -47,6 +47,7 @@ pub mod mindist;
 pub mod mrt;
 pub mod param;
 pub mod priority;
+pub mod reference;
 pub mod regalloc;
 pub mod scheduler;
 pub mod verify;

@@ -13,7 +13,7 @@
 
 use veal_accel::{AcceleratorConfig, LatencyModel, ResourceKind};
 use veal_ir::streams::StreamSummary;
-use veal_ir::{CostMeter, Dfg, OpId, Phase};
+use veal_ir::{with_arena, CostMeter, Dfg, OpId, Phase};
 
 /// Resource-constrained minimum II.
 ///
@@ -95,6 +95,88 @@ pub fn rec_mii(dfg: &Dfg, lat: &LatencyModel, meter: &mut CostMeter) -> u32 {
     // the per-SCC binary search + Bellman–Ford below — the paper's ~1.25k
     // instructions); the host merely reads the SCC list and cyclic flags
     // off the graph's cached condensation instead of re-running Tarjan.
+    if !veal_ir::data_oriented_enabled() {
+        return rec_mii_reference(dfg, lat, meter);
+    }
+    // Only the cyclic SCCs matter, and RecMII is a max over them, so the
+    // full condensation (component lists in reverse-topo order, topo order,
+    // reachability snapshot) is overkill — an SCC membership map suffices.
+    // Each cyclic component's members collect in ascending slot order,
+    // matching the sorted component lists the reference scans, so the
+    // compacted edge lists (and with them every metered relaxation round)
+    // are identical.
+    let adj = dfg.adjacency();
+    let edges = dfg.edges();
+    meter.charge(Phase::RecMii, dfg.len() as u64);
+    let scc_view = dfg.scc_view();
+    let mut packed = with_arena(veal_ir::DfgArena::take_u64);
+    // Members of cyclic components as `(comp << 32) | slot`: sorting groups
+    // them by component with slots ascending inside each run.
+    packed.clear();
+    for v in 0..dfg.len() {
+        let c = scc_view.comp_of[v];
+        if c != u32::MAX && scc_view.is_cyclic(c) {
+            packed.push(u64::from(c) << 32 | v as u64);
+        }
+    }
+    packed.sort_unstable();
+
+    let mut mii = 1u32;
+    // Reused across SCCs: the compacted subgraph and the Bellman–Ford
+    // distance column.
+    let mut sedges: Vec<(u32, u32, i64, i64)> = Vec::new();
+    let mut dist: Vec<i64> = Vec::new();
+    let mut start = 0usize;
+    while start < packed.len() {
+        let c = packed[start] >> 32;
+        let mut end = start + 1;
+        while end < packed.len() && packed[end] >> 32 == c {
+            end += 1;
+        }
+        let scc = &packed[start..end];
+        // Compact the SCC subgraph once — `(src index, dst index, src
+        // latency, distance)` in the exact order the reference relaxation
+        // scans it — so each Bellman–Ford pass below runs over a flat
+        // array instead of re-walking adjacency, re-resolving member
+        // indices, and re-reading latencies per relaxation.
+        sedges.clear();
+        let mut lat_sum = 0u32;
+        for (i, &pv) in scc.iter().enumerate() {
+            let v = OpId::new((pv & 0xffff_ffff) as usize);
+            let l = dfg.node(v).opcode().map_or(0, |op| lat.latency(op));
+            lat_sum += l;
+            for &ei in adj.succ_edge_ids(v.index()) {
+                let e = &edges[ei as usize];
+                // In-SCC targets share the packed high word, so the search
+                // key is just the packed (comp, dst) pair.
+                if let Ok(j) = scc.binary_search(&(c << 32 | e.dst.index() as u64)) {
+                    sedges.push((i as u32, j as u32, i64::from(l), i64::from(e.distance)));
+                }
+            }
+        }
+        // Upper bound: the sum of latencies around the component.
+        let mut lo = 1u32;
+        let mut hi = lat_sum.max(1);
+        // Binary search the smallest II with no positive cycle in the SCC.
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if has_positive_cycle_fast(&sedges, scc.len(), mid, &mut dist, meter) {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        mii = mii.max(lo);
+        start = end;
+    }
+    with_arena(|a| a.give_u64(packed));
+    mii
+}
+
+/// The pre-sweep [`rec_mii`], retained as the reference: every relaxation
+/// re-walks the graph's successor lists and re-resolves SCC indices.
+#[must_use]
+pub fn rec_mii_reference(dfg: &Dfg, lat: &LatencyModel, meter: &mut CostMeter) -> u32 {
     let cond = dfg.condensation();
     meter.charge(Phase::RecMii, dfg.len() as u64);
     let mut mii = 1u32;
@@ -136,6 +218,44 @@ pub fn rec_mii(dfg: &Dfg, lat: &LatencyModel, meter: &mut CostMeter) -> u32 {
 #[must_use]
 pub fn rec_mii_from_frontier(dfg: &Dfg, lat: &LatencyModel) -> u32 {
     crate::param::cached(dfg, lat).rec_mii()
+}
+
+/// [`has_positive_cycle`] over a pre-compacted SCC edge list
+/// `(src index, dst index, src latency, distance)`.
+///
+/// The list is built in the reference's scan order (SCC member order ×
+/// successor-edge insertion order), so relaxations fire in the same order,
+/// `changed` flips on the same rounds, and the early-exit round count —
+/// hence the metered charge total (one unit per in-SCC edge per executed
+/// round, batched here into one call per round) — is identical.
+fn has_positive_cycle_fast(
+    sedges: &[(u32, u32, i64, i64)],
+    n: usize,
+    ii: u32,
+    dist: &mut Vec<i64>,
+    meter: &mut CostMeter,
+) -> bool {
+    dist.clear();
+    dist.resize(n, 0);
+    for round in 0..=n {
+        meter.charge(Phase::RecMii, sedges.len() as u64);
+        let mut changed = false;
+        for &(i, j, l, d) in sedges {
+            let w = l - i64::from(ii) * d;
+            let cand = dist[i as usize] + w;
+            if cand > dist[j as usize] {
+                dist[j as usize] = cand;
+                changed = true;
+            }
+        }
+        if !changed {
+            return false;
+        }
+        if round == n {
+            return true;
+        }
+    }
+    true
 }
 
 /// Bellman–Ford style positive-cycle detection on the SCC subgraph with

@@ -165,6 +165,9 @@ fn scc_criticality(md: &SelfDist, scc: &[OpId]) -> i64 {
 /// `ii` is the II the MinDist matrix is computed at (normally the MII).
 #[must_use]
 pub fn swing_order(dfg: &Dfg, lat: &LatencyModel, ii: u32, meter: &mut CostMeter) -> Vec<OpId> {
+    if !veal_ir::data_oriented_enabled() {
+        return crate::reference::swing_order(dfg, lat, ii, meter);
+    }
     // Same dispatch as `MinDist::compute`, but via the diagonal-only
     // `SelfDist` view (the ordering never reads off-diagonal cells).
     let ii = ii.max(1);
@@ -203,19 +206,48 @@ pub fn swing_order(dfg: &Dfg, lat: &LatencyModel, ii: u32, meter: &mut CostMeter
         }
     };
 
-    // Partition into recurrence sets and rank them. The cached
-    // condensation is borrowed directly — no per-call deep clone of the
-    // component lists.
-    let cond = dfg.condensation();
+    // Partition into recurrence sets and rank them. Only cyclic-SCC
+    // membership matters here, so the allocation-free Tarjan suffices —
+    // the full cached `Condensation` (per-component lists plus the reach0
+    // snapshot) is never forced on the scheduling graph. Members are
+    // collected in ascending id order, exactly the sorted component lists
+    // the condensation would hand out, and `scc_membership`'s cyclic test
+    // (size > 1, or a self-edge on the lone member) is the same predicate
+    // the component filter used to apply inline.
     meter.charge(Phase::Priority, (dfg.len() as u64) * 2);
-    let mut rec_sets: Vec<&Vec<OpId>> = cond
-        .comps()
-        .iter()
-        .filter(|scc| {
-            scc.iter().all(|&v| dfg.node(v).is_schedulable())
-                && (scc.len() > 1 || dfg.succ_edges(scc[0]).any(|e| e.dst == scc[0]))
-        })
-        .collect();
+    let scc_view = dfg.scc_view();
+    let mut packed = veal_ir::with_arena(veal_ir::DfgArena::take_u64);
+    packed.clear();
+    for (v, &c) in scc_view.comp_of.iter().enumerate() {
+        if c != u32::MAX && scc_view.is_cyclic(c) {
+            packed.push(u64::from(c) << 32 | v as u64);
+        }
+    }
+    packed.sort_unstable();
+    let mut members: Vec<OpId> = Vec::new();
+    let mut set_bounds: Vec<(usize, usize)> = Vec::new();
+    let mut i = 0usize;
+    while i < packed.len() {
+        let c = packed[i] >> 32;
+        let start = members.len();
+        let mut all_sched = true;
+        while i < packed.len() && packed[i] >> 32 == c {
+            let v = OpId::new((packed[i] & 0xffff_ffff) as usize);
+            all_sched &= dfg.node(v).is_schedulable();
+            members.push(v);
+            i += 1;
+        }
+        if all_sched {
+            set_bounds.push((start, members.len()));
+        } else {
+            members.truncate(start);
+        }
+    }
+    veal_ir::with_arena(|a| a.give_u64(packed));
+    let mut rec_sets: Vec<&[OpId]> = set_bounds.iter().map(|&(s, e)| &members[s..e]).collect();
+    // Component ids are assigned in Tarjan emission order, so the
+    // pre-sort order matches the old comps() iteration; the key is total
+    // anyway (distinct sets differ in their smallest member).
     rec_sets.sort_by_key(|scc| {
         (
             std::cmp::Reverse(scc_criticality(&md, scc)),
@@ -228,21 +260,27 @@ pub fn swing_order(dfg: &Dfg, lat: &LatencyModel, ii: u32, meter: &mut CostMeter
     // loop (and its per-iteration charge of `remaining.len()`) is
     // unchanged; the selection key is a total order (it ends in the op
     // id), so the produced order is identical to the HashSet version.
+    // "Adjacent to something placed" is monotone (the placed set only
+    // grows), so instead of rescanning every pending node's edge lists
+    // each round, a bitset of placed-adjacent nodes is updated once per
+    // placement from the CSR adjacency.
+    let adj = dfg.adjacency();
+    let edges = dfg.edges();
     let words = dfg.len().div_ceil(64);
     let mut order: Vec<OpId> = Vec::new();
     let mut placed = vec![0u64; words];
-    let mut candidates: Vec<OpId> = Vec::new();
+    let mut adjacent = vec![0u64; words];
+    let mut remaining = vec![0u64; words];
+    let mut pending: Vec<OpId> = Vec::new();
 
     let mut emit_set = |set: &[OpId], order: &mut Vec<OpId>, placed: &mut Vec<u64>| {
-        let pending: Vec<OpId> = set
-            .iter()
-            .copied()
-            .filter(|v| !bit_get(placed, v.index()))
-            .collect();
+        pending.clear();
+        pending.extend(set.iter().copied().filter(|v| !bit_get(placed, v.index())));
         if pending.is_empty() {
             return;
         }
-        let mut remaining = vec![0u64; words];
+        // `remaining` drains to all-zero by the end of each call, so the
+        // buffer is reusable without re-clearing.
         for &v in &pending {
             bit_set(&mut remaining, v.index());
         }
@@ -251,32 +289,39 @@ pub fn swing_order(dfg: &Dfg, lat: &LatencyModel, ii: u32, meter: &mut CostMeter
             meter.charge(Phase::Priority, remaining_count as u64);
             // Prefer nodes adjacent to something already ordered (either
             // direction); among those, minimal mobility-ish key: highest
-            // depth+height sum (most critical), then lowest id.
-            candidates.clear();
-            candidates.extend(pending.iter().copied().filter(|&v| {
-                bit_get(&remaining, v.index())
-                    && (dfg.pred_edges(v).any(|e| bit_get(placed, e.src.index()))
-                        || dfg.succ_edges(v).any(|e| bit_get(placed, e.dst.index())))
-            }));
-            if candidates.is_empty() {
-                candidates.extend(
-                    pending
-                        .iter()
-                        .copied()
-                        .filter(|v| bit_get(&remaining, v.index())),
-                );
-            }
-            candidates.sort_by_key(|&v| {
-                (
+            // depth+height sum (most critical), then lowest id. Only the
+            // minimum is ever used, so a single scan tracking the best
+            // adjacent and best overall key replaces materializing and
+            // sorting the candidate list — same total order, same choice.
+            type Key = (std::cmp::Reverse<u32>, u32, OpId);
+            let mut best_adj: Option<Key> = None;
+            let mut best_any: Option<Key> = None;
+            for &v in &pending {
+                if !bit_get(&remaining, v.index()) {
+                    continue;
+                }
+                let k = (
                     std::cmp::Reverse(d[v.index()] + h[v.index()]),
                     d[v.index()], // producers before consumers on ties
                     v,
-                )
-            });
-            let chosen = candidates[0];
+                );
+                if best_any.is_none_or(|b| k < b) {
+                    best_any = Some(k);
+                }
+                if bit_get(&adjacent, v.index()) && best_adj.is_none_or(|b| k < b) {
+                    best_adj = Some(k);
+                }
+            }
+            let chosen = best_adj.or(best_any).expect("remaining_count > 0").2;
             bit_clear(&mut remaining, chosen.index());
             remaining_count -= 1;
             bit_set(placed, chosen.index());
+            for &ei in adj.pred_edge_ids(chosen.index()) {
+                bit_set(&mut adjacent, edges[ei as usize].src.index());
+            }
+            for &ei in adj.succ_edge_ids(chosen.index()) {
+                bit_set(&mut adjacent, edges[ei as usize].dst.index());
+            }
             order.push(chosen);
         }
     };

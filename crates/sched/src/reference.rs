@@ -1,0 +1,343 @@
+//! The retained pre-optimization priority and scheduling kernels.
+//!
+//! Before the data-oriented sweep these were *the* implementations:
+//! [`swing_order`] runs a full naive Θ(n³) Floyd–Warshall MinDist per call
+//! and keeps its pending/placed bookkeeping in hash sets;
+//! [`list_schedule`] keeps every per-op table (times, units, worklist) in
+//! hash maps keyed by [`OpId`]. They are preserved verbatim — same
+//! algorithm, same iteration order, same [`CostMeter`] charges — as the
+//! "old" arm of the translation benchmark and as the implementations the
+//! public [`crate::swing_order`] / [`crate::list_schedule`] dispatch to
+//! when [`veal_ir::data_oriented_enabled`] is off, so an end-to-end
+//! translate under the old arm runs the genuine old pipeline.
+//!
+//! The abstract cost model describes the *algorithmic* work of the paper's
+//! translator, not the host-side data structures, so both arms charge the
+//! meter at the same sites and the phase breakdowns are bit-identical
+//! (asserted by `bench_translate` and the cross-arm tests).
+
+use crate::mindist::MinDist;
+use crate::mrt::ModuloReservationTable;
+use crate::priority::{depths, heights};
+use crate::scheduler::{ModuloSchedule, ScheduleError, UNSCHEDULED};
+use std::collections::{HashMap, HashSet, VecDeque};
+use veal_accel::{AcceleratorConfig, LatencyModel, ResourceKind};
+use veal_ir::streams::StreamSummary;
+use veal_ir::{CostMeter, Dfg, OpId, Phase};
+
+/// The old per-SCC criticality: the SCC's own RecMII recomputed from
+/// MinDist self distances.
+fn scc_criticality(md: &MinDist, scc: &[OpId]) -> i64 {
+    scc.iter()
+        .filter_map(|&v| md.get(v, v))
+        .max()
+        .unwrap_or(i64::MIN)
+}
+
+/// The old Swing ordering: a full naive Floyd–Warshall per call, hash
+/// sets for the pending/placed bookkeeping.
+#[must_use]
+pub fn swing_order(dfg: &Dfg, lat: &LatencyModel, ii: u32, meter: &mut CostMeter) -> Vec<OpId> {
+    let md = MinDist::compute_naive(dfg, lat, ii.max(1), meter);
+    let d = depths(dfg, lat, meter, Phase::Priority);
+    let h = heights(dfg, lat, meter, Phase::Priority);
+
+    let sccs = dfg.sccs();
+    meter.charge(Phase::Priority, (dfg.len() as u64) * 2);
+    let mut rec_sets: Vec<&Vec<OpId>> = sccs
+        .iter()
+        .filter(|scc| {
+            scc.iter().all(|&v| dfg.node(v).is_schedulable())
+                && (scc.len() > 1 || dfg.succ_edges(scc[0]).any(|e| e.dst == scc[0]))
+        })
+        .collect();
+    rec_sets.sort_by_key(|scc| {
+        (
+            std::cmp::Reverse(scc_criticality(&md, scc)),
+            std::cmp::Reverse(scc.len()),
+            scc[0],
+        )
+    });
+
+    let mut order: Vec<OpId> = Vec::new();
+    let mut placed: HashSet<OpId> = HashSet::new();
+
+    let mut emit_set = |set: Vec<OpId>, order: &mut Vec<OpId>, placed: &mut HashSet<OpId>| {
+        let pending: Vec<OpId> = set
+            .iter()
+            .copied()
+            .filter(|v| !placed.contains(v))
+            .collect();
+        if pending.is_empty() {
+            return;
+        }
+        let mut remaining: HashSet<OpId> = pending.iter().copied().collect();
+        while !remaining.is_empty() {
+            meter.charge(Phase::Priority, remaining.len() as u64);
+            let mut candidates: Vec<OpId> = remaining
+                .iter()
+                .copied()
+                .filter(|&v| {
+                    dfg.pred_edges(v).any(|e| placed.contains(&e.src))
+                        || dfg.succ_edges(v).any(|e| placed.contains(&e.dst))
+                })
+                .collect();
+            if candidates.is_empty() {
+                candidates = remaining.iter().copied().collect();
+            }
+            candidates.sort_by_key(|&v| {
+                (
+                    std::cmp::Reverse(d[v.index()] + h[v.index()]),
+                    d[v.index()],
+                    v,
+                )
+            });
+            let chosen = candidates[0];
+            remaining.remove(&chosen);
+            placed.insert(chosen);
+            order.push(chosen);
+        }
+    };
+
+    for scc in rec_sets {
+        emit_set(scc.clone(), &mut order, &mut placed);
+    }
+    let rest: Vec<OpId> = dfg
+        .schedulable_ops()
+        .filter(|v| !placed.contains(v))
+        .collect();
+    emit_set(rest, &mut order, &mut placed);
+    order
+}
+
+/// The old scheduler's per-attempt state: hash maps keyed by op id.
+struct RefScratch {
+    mrt: ModuloReservationTable,
+    times: HashMap<OpId, i64>,
+    units: HashMap<OpId, (ResourceKind, usize)>,
+    queue: VecDeque<OpId>,
+}
+
+impl RefScratch {
+    fn new(ii: u32, config: &AcceleratorConfig, ops: usize) -> Self {
+        RefScratch {
+            mrt: ModuloReservationTable::with_unit_cap(ii, config, ops.max(1)),
+            times: HashMap::with_capacity(ops),
+            units: HashMap::with_capacity(ops),
+            queue: VecDeque::with_capacity(ops),
+        }
+    }
+
+    fn reset(&mut self, ii: u32, config: &AcceleratorConfig, ops: usize) {
+        self.mrt.reset(ii, config, ops.max(1));
+        self.times.clear();
+        self.units.clear();
+        self.queue.clear();
+    }
+}
+
+/// The old modulo list scheduler: identical window/ejection logic to the
+/// current one, but all per-op state lives in hash maps. The finished
+/// schedule is emitted as a [`ModuloSchedule`] (same times, same units)
+/// so callers are representation-agnostic.
+///
+/// # Errors
+///
+/// [`ScheduleError::NoSchedule`] if no II ≤ `config.max_ii` works.
+pub fn list_schedule(
+    dfg: &Dfg,
+    config: &AcceleratorConfig,
+    order: &[OpId],
+    mii: u32,
+    streams: StreamSummary,
+    meter: &mut CostMeter,
+) -> Result<ModuloSchedule, ScheduleError> {
+    let lat = &config.latencies;
+    let d = depths(dfg, lat, meter, Phase::Scheduling);
+    let start_ii = mii.max(config.min_ii_for_streams(streams)).max(1);
+    let last_ii = config.max_ii.min(start_ii.saturating_add(63));
+    let mut scratch = RefScratch::new(start_ii, config, order.len());
+    for ii in start_ii..=last_ii {
+        meter.charge(Phase::Scheduling, 4);
+        if let Some(schedule) = try_schedule(dfg, config, order, ii, &d, &mut scratch, meter) {
+            return Ok(schedule);
+        }
+    }
+    Err(ScheduleError::NoSchedule {
+        tried_up_to: last_ii,
+    })
+}
+
+fn try_schedule(
+    dfg: &Dfg,
+    config: &AcceleratorConfig,
+    order: &[OpId],
+    ii: u32,
+    depth: &[u32],
+    scratch: &mut RefScratch,
+    meter: &mut CostMeter,
+) -> Option<ModuloSchedule> {
+    let lat = &config.latencies;
+    scratch.reset(ii, config, order.len());
+    let RefScratch {
+        mrt,
+        times,
+        units,
+        queue,
+    } = scratch;
+
+    queue.extend(order.iter().copied());
+    let mut ejections = 32 * order.len() as u64 + 64;
+
+    while let Some(v) = queue.pop_front() {
+        let op = dfg.node(v).opcode().expect("order contains only ops");
+        let span = if op.pipelined() { 1 } else { lat.latency(op) };
+
+        let mut early: Option<i64> = None;
+        let mut late: Option<i64> = None;
+        for e in dfg.pred_edges(v) {
+            meter.charge(Phase::Scheduling, 1);
+            if e.src == v {
+                continue;
+            }
+            if let Some(&tp) = times.get(&e.src) {
+                let lp = i64::from(dfg.node(e.src).opcode().map_or(0, |o| lat.latency(o)));
+                let bound = tp + lp - i64::from(ii) * i64::from(e.distance);
+                early = Some(early.map_or(bound, |b: i64| b.max(bound)));
+            }
+        }
+        for e in dfg.succ_edges(v) {
+            meter.charge(Phase::Scheduling, 1);
+            if e.dst == v {
+                continue;
+            }
+            if let Some(&ts) = times.get(&e.dst) {
+                let lv = i64::from(lat.latency(op));
+                let bound = ts - lv + i64::from(ii) * i64::from(e.distance);
+                late = Some(late.map_or(bound, |b: i64| b.min(bound)));
+            }
+        }
+
+        let slot = match (early, late) {
+            (Some(e0), Some(l0)) if e0 > l0 => None,
+            (Some(e0), Some(l0)) => scan_up(
+                mrt,
+                resource(op),
+                e0,
+                l0.min(e0 + i64::from(ii) - 1),
+                span,
+                meter,
+            ),
+            (Some(e0), None) => scan_up(mrt, resource(op), e0, e0 + i64::from(ii) - 1, span, meter),
+            (None, Some(l0)) => {
+                scan_down(mrt, resource(op), l0, l0 - i64::from(ii) + 1, span, meter)
+            }
+            (None, None) => {
+                let e0 = i64::from(depth[v.index()]);
+                scan_up(mrt, resource(op), e0, e0 + i64::from(ii) - 1, span, meter)
+            }
+        };
+        let slot = match slot {
+            Some(s) => s,
+            None => {
+                if late.is_none() || ejections == 0 {
+                    return None;
+                }
+                ejections -= 1;
+                meter.charge(Phase::Scheduling, 4);
+                let victims: Vec<OpId> = dfg
+                    .succ_edges(v)
+                    .filter(|e| e.dst != v && times.contains_key(&e.dst))
+                    .map(|e| e.dst)
+                    .collect();
+                if victims.is_empty() {
+                    return None;
+                }
+                for w in victims {
+                    if let Some(tw) = times.remove(&w) {
+                        if let Some((kind, u)) = units.remove(&w) {
+                            let wop = dfg.node(w).opcode().expect("scheduled op");
+                            let wspan = if wop.pipelined() { 1 } else { lat.latency(wop) };
+                            mrt.release(kind, u, tw, wspan);
+                        }
+                        queue.push_back(w);
+                    }
+                }
+                queue.push_front(v);
+                continue;
+            }
+        };
+        let (t, unit_choice) = slot;
+        if let Some((kind, u)) = unit_choice {
+            mrt.reserve(kind, u, t, span);
+            units.insert(v, (kind, u));
+        }
+        times.insert(v, t);
+    }
+
+    let min_t = times.values().copied().min().unwrap_or(0);
+    let shift = min_t.rem_euclid(i64::from(ii)) - min_t;
+    for t in times.values_mut() {
+        *t += shift;
+    }
+    for &v in order {
+        units.entry(v).or_insert((ResourceKind::Int, usize::MAX));
+    }
+
+    // Emit in the dense representation: same times, same units, so the
+    // output is indistinguishable from the current scheduler's.
+    let n = dfg.len();
+    let mut tvec = vec![UNSCHEDULED; n];
+    let mut uvec = vec![(ResourceKind::Int, usize::MAX); n];
+    for (&op, &t) in times.iter() {
+        tvec[op.index()] = t;
+    }
+    for (&op, &u) in units.iter() {
+        uvec[op.index()] = u;
+    }
+    Some(ModuloSchedule::from_parts(ii, tvec, uvec))
+}
+
+fn resource(op: veal_ir::Opcode) -> ResourceKind {
+    ResourceKind::for_opcode(op).unwrap_or(ResourceKind::Int)
+}
+
+type Slot = (i64, Option<(ResourceKind, usize)>);
+
+fn scan_up(
+    mrt: &ModuloReservationTable,
+    kind: ResourceKind,
+    from: i64,
+    to: i64,
+    span: u32,
+    meter: &mut CostMeter,
+) -> Option<Slot> {
+    let mut t = from;
+    while t <= to {
+        meter.charge(Phase::Scheduling, 1);
+        if let Some(u) = mrt.find_unit(kind, t, span) {
+            return Some((t, Some((kind, u))));
+        }
+        t += 1;
+    }
+    None
+}
+
+fn scan_down(
+    mrt: &ModuloReservationTable,
+    kind: ResourceKind,
+    from: i64,
+    to: i64,
+    span: u32,
+    meter: &mut CostMeter,
+) -> Option<Slot> {
+    let mut t = from;
+    while t >= to {
+        meter.charge(Phase::Scheduling, 1);
+        if let Some(u) = mrt.find_unit(kind, t, span) {
+            return Some((t, Some((kind, u))));
+        }
+        t -= 1;
+    }
+    None
+}

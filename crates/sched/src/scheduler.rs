@@ -10,7 +10,7 @@ use veal_ir::{CostMeter, Dfg, OpId, Phase};
 
 /// Sentinel in the dense time table for ops without a scheduled time
 /// (non-schedulable nodes, or slots of another attempt).
-const UNSCHEDULED: i64 = i64::MIN;
+pub(crate) const UNSCHEDULED: i64 = i64::MIN;
 
 /// A completed modulo schedule.
 #[derive(Debug, Clone)]
@@ -26,6 +26,13 @@ pub struct ModuloSchedule {
 }
 
 impl ModuloSchedule {
+    /// Assembles a schedule from dense parts. Used by the retained
+    /// reference scheduler (`crate::reference`) to emit its hash-map state
+    /// in the common representation.
+    pub(crate) fn from_parts(ii: u32, times: Vec<i64>, units: Vec<(ResourceKind, usize)>) -> Self {
+        ModuloSchedule { ii, times, units }
+    }
+
     /// Schedule time of `op`, if it was scheduled.
     #[must_use]
     pub fn time(&self, op: OpId) -> Option<i64> {
@@ -167,6 +174,9 @@ pub fn list_schedule(
     streams: StreamSummary,
     meter: &mut CostMeter,
 ) -> Result<ModuloSchedule, ScheduleError> {
+    if !veal_ir::data_oriented_enabled() {
+        return crate::reference::list_schedule(dfg, config, order, mii, streams, meter);
+    }
     let lat = &config.latencies;
     // Depths depend only on (dfg, lat); when the parametric MinDist is
     // enabled its cache already memoizes them (the translator warms it
@@ -205,6 +215,7 @@ pub fn list_schedule(
     let mut scratch = SCRATCH_POOL
         .with(|p| p.borrow_mut().take())
         .unwrap_or_else(|| SchedScratch::new(start_ii, config, order.len(), dfg.len()));
+    scratch.load_latencies(dfg, lat);
     let mut result = Err(ScheduleError::NoSchedule {
         tried_up_to: last_ii,
     });
@@ -247,6 +258,13 @@ struct SchedScratch {
     times: Vec<i64>,
     units: Vec<(ResourceKind, usize)>,
     queue: VecDeque<OpId>,
+    /// Per-slot operation latency (0 for non-ops); filled once per
+    /// `list_schedule` call, shared by every II attempt.
+    lat_of: Vec<u32>,
+    /// Per-slot reservation span (1 for pipelined ops).
+    span_of: Vec<u32>,
+    /// Ejection victim buffer.
+    victims: Vec<OpId>,
 }
 
 /// Dense-unit sentinel for slots with no reservation (and the default for
@@ -260,6 +278,27 @@ impl SchedScratch {
             times: vec![UNSCHEDULED; nodes],
             units: vec![NO_UNIT; nodes],
             queue: VecDeque::with_capacity(ops),
+            lat_of: Vec::with_capacity(nodes),
+            span_of: Vec::with_capacity(nodes),
+            victims: Vec::new(),
+        }
+    }
+
+    /// Rebuilds the per-slot latency/span tables for `dfg`.
+    fn load_latencies(&mut self, dfg: &Dfg, lat: &veal_accel::LatencyModel) {
+        let opcs = dfg.adjacency().opcodes();
+        self.lat_of.clear();
+        self.span_of.clear();
+        for &enc in opcs {
+            let (l, sp) = match veal_ir::Opcode::decode(enc) {
+                Some(op) => {
+                    let l = lat.latency(op);
+                    (l, if op.pipelined() { 1 } else { l })
+                }
+                None => (0, 1),
+            };
+            self.lat_of.push(l);
+            self.span_of.push(sp);
         }
     }
 
@@ -271,6 +310,7 @@ impl SchedScratch {
         self.units.clear();
         self.units.resize(nodes, NO_UNIT);
         self.queue.clear();
+        self.victims.clear();
     }
 }
 
@@ -283,14 +323,19 @@ fn try_schedule(
     scratch: &mut SchedScratch,
     meter: &mut CostMeter,
 ) -> Option<ModuloSchedule> {
-    let lat = &config.latencies;
     scratch.reset(ii, config, order.len(), dfg.len());
     let SchedScratch {
         mrt,
         times,
         units,
         queue,
+        lat_of,
+        span_of,
+        victims,
     } = scratch;
+    let adj = dfg.adjacency();
+    let edges = dfg.edges();
+    let opcs = adj.opcodes();
 
     // Worklist form of the list scheduler with a bounded ejection fallback
     // (Rau-style iterative scheduling): when an op's two-sided window is
@@ -302,36 +347,39 @@ fn try_schedule(
     let mut ejections = 32 * order.len() as u64 + 64;
 
     while let Some(v) = queue.pop_front() {
-        let op = dfg.node(v).opcode().expect("order contains only ops");
-        let span = if op.pipelined() { 1 } else { lat.latency(op) };
+        let op = veal_ir::Opcode::decode(opcs[v.index()]).expect("order contains only ops");
+        let span = span_of[v.index()];
 
         // Earliest from placed predecessors, latest from placed successors.
         // The cost model charges one unit per adjacent edge; the count is
         // accumulated in a register and charged in bulk after the loops
         // (identical totals, no memory read-modify-write per edge).
+        // Latencies come from the precomputed per-slot table.
         let mut edge_charges = 0u64;
         let mut early: Option<i64> = None;
         let mut late: Option<i64> = None;
-        for e in dfg.pred_edges(v) {
+        for &ei in adj.pred_edge_ids(v.index()) {
+            let e = &edges[ei as usize];
             edge_charges += 1;
             if e.src == v {
                 continue; // self edge: handled by the II >= RecMII bound
             }
             let tp = times[e.src.index()];
             if tp != UNSCHEDULED {
-                let lp = i64::from(dfg.node(e.src).opcode().map_or(0, |o| lat.latency(o)));
+                let lp = i64::from(lat_of[e.src.index()]);
                 let bound = tp + lp - i64::from(ii) * i64::from(e.distance);
                 early = Some(early.map_or(bound, |b: i64| b.max(bound)));
             }
         }
-        for e in dfg.succ_edges(v) {
+        for &ei in adj.succ_edge_ids(v.index()) {
+            let e = &edges[ei as usize];
             edge_charges += 1;
             if e.dst == v {
                 continue;
             }
             let ts = times[e.dst.index()];
             if ts != UNSCHEDULED {
-                let lv = i64::from(lat.latency(op));
+                let lv = i64::from(lat_of[v.index()]);
                 let bound = ts - lv + i64::from(ii) * i64::from(e.distance);
                 late = Some(late.map_or(bound, |b: i64| b.min(bound)));
             }
@@ -366,7 +414,8 @@ fn try_schedule(
         let slot = match slot {
             Some(s) => s,
             None => {
-                if std::env::var_os("VEAL_SCHED_DEBUG").is_some() {
+                static SCHED_DEBUG: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+                if *SCHED_DEBUG.get_or_init(|| std::env::var_os("VEAL_SCHED_DEBUG").is_some()) {
                     eprintln!("stuck {v} ({op}) early={early:?} late={late:?} ii={ii}");
                 }
                 if late.is_none() || ejections == 0 {
@@ -376,22 +425,22 @@ fn try_schedule(
                 }
                 ejections -= 1;
                 meter.charge(Phase::Scheduling, 4);
-                let victims: Vec<OpId> = dfg
-                    .succ_edges(v)
-                    .filter(|e| e.dst != v && times[e.dst.index()] != UNSCHEDULED)
-                    .map(|e| e.dst)
-                    .collect();
+                victims.clear();
+                for &ei in adj.succ_edge_ids(v.index()) {
+                    let e = &edges[ei as usize];
+                    if e.dst != v && times[e.dst.index()] != UNSCHEDULED {
+                        victims.push(e.dst);
+                    }
+                }
                 if victims.is_empty() {
                     return None;
                 }
-                for w in victims {
+                for w in victims.drain(..) {
                     let tw = std::mem::replace(&mut times[w.index()], UNSCHEDULED);
                     if tw != UNSCHEDULED {
                         let (kind, u) = std::mem::replace(&mut units[w.index()], NO_UNIT);
                         if u != usize::MAX {
-                            let wop = dfg.node(w).opcode().expect("scheduled op");
-                            let wspan = if wop.pipelined() { 1 } else { lat.latency(wop) };
-                            mrt.release(kind, u, tw, wspan);
+                            mrt.release(kind, u, tw, span_of[w.index()]);
                         }
                         queue.push_back(w);
                     }

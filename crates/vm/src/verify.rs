@@ -27,9 +27,9 @@
 
 use std::collections::HashSet;
 use std::fmt;
-use veal_cca::{is_legal_group, CcaSpec};
+use veal_cca::{is_legal_group, is_legal_group_current, CcaSpec, LegalityScratch};
 use veal_ir::dfg::Dfg;
-use veal_ir::{CostMeter, OpId, Phase};
+use veal_ir::{data_oriented_enabled, CostMeter, OpId, Phase};
 
 /// Why a hint failed validation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -178,6 +178,11 @@ pub fn verify_and_apply_cca(
     // Decoding the procedural abstraction is a linear pass.
     meter.charge(Phase::HintDecode, dfg.len() as u64 + 4);
     let mut probe = dfg.clone();
+    // Same legality verdict either way (see `is_legal_group_current`); the
+    // scratch-based path skips rebuilding the probe's condensation after
+    // every collapse. Neither kernel touches the meter, so charges stay
+    // byte-identical across arms.
+    let mut scratch = data_oriented_enabled().then(LegalityScratch::new);
     for (gi, g) in groups.iter().enumerate() {
         meter.charge(Phase::HintDecode, g.len() as u64);
         if g.is_empty() {
@@ -195,17 +200,23 @@ pub fn verify_and_apply_cca(
                 return Err(HintError::CcaDuplicateMember(m));
             }
         }
-        let cond = probe.condensation();
-        if !is_legal_group(&probe, spec, g, &cond) {
+        let legal = match scratch.as_mut() {
+            Some(s) => is_legal_group_current(&probe, spec, g, s),
+            None => {
+                let cond = probe.condensation();
+                is_legal_group(&probe, spec, g, &cond)
+            }
+        };
+        if !legal {
             return Err(HintError::CcaIllegalGroup { group: gi });
         }
         probe.collapse(g);
     }
-    // Every group vetted: replay on the real graph. The probe already paid
-    // the structural work; this is the same sequence of collapses.
-    for g in groups {
-        dfg.collapse(g);
-    }
+    // Every group vetted. The probe went through exactly the collapse
+    // sequence the caller asked for (collapse is deterministic and the
+    // legality checks only read), so it IS the post-apply graph — move it
+    // in rather than replaying the collapses a second time.
+    *dfg = probe;
     Ok(groups.len())
 }
 
