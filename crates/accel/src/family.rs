@@ -1,0 +1,309 @@
+//! Accelerator *families*: axis-aligned boxes of configurations sharing
+//! one latency model, over which a symbolic translation is valid.
+//!
+//! A symbolic translation (see `veal-sched`'s `symbolic` module and the
+//! VM's family-keyed memo) hoists every configuration-independent phase of
+//! the pipeline — loop identification, stream separation, CCA mapping,
+//! hint verification, RecMII, priority — out of the per-configuration
+//! path. The prefix is valid for any configuration that (a) uses the same
+//! [`LatencyModel`] (latencies feed RecMII, priority, and scheduling
+//! windows) and (b) agrees on whether a CCA exists at all (`cca_units > 0`
+//! decides whether CCA subgraphs collapse, which changes the scheduled
+//! graph itself). A family captures exactly that validity domain: per-axis
+//! inclusive ranges over the unit/register/stream/II counts, a fixed
+//! latency model, and a CCA-presence bit implied by the `cca_units` range
+//! never straddling zero.
+
+use crate::config::AcceleratorConfig;
+use crate::latency::LatencyModel;
+use std::fmt;
+use veal_ir::rng::Fnv64;
+
+/// An inclusive `[lo, hi]` range over one configuration axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AxisRange {
+    /// Smallest admitted value.
+    pub lo: usize,
+    /// Largest admitted value.
+    pub hi: usize,
+}
+
+impl AxisRange {
+    /// The degenerate range holding exactly `v`.
+    #[must_use]
+    pub fn point(v: usize) -> Self {
+        AxisRange { lo: v, hi: v }
+    }
+
+    /// Whether `v` falls inside the range.
+    #[must_use]
+    pub fn contains(&self, v: usize) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    fn widen(&mut self, v: usize) {
+        self.lo = self.lo.min(v);
+        self.hi = self.hi.max(v);
+    }
+}
+
+impl fmt::Display for AxisRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.lo == self.hi {
+            write!(f, "{}", self.lo)
+        } else {
+            write!(f, "{}..={}", self.lo, self.hi)
+        }
+    }
+}
+
+/// A family of [`AcceleratorConfig`]s: per-axis ranges plus one fixed
+/// [`LatencyModel`].
+///
+/// Families key the VM's symbolic-translation memo: one symbolic schedule
+/// is stored per `(loop, translator-family, hints)` and concretized per
+/// member configuration, so a 10-point DSE sweep or a fleet of LA SKUs
+/// shares one entry where the point-keyed memo stored ten.
+///
+/// # Example
+///
+/// ```
+/// use veal_accel::{AcceleratorConfig, AcceleratorFamily};
+///
+/// let points: Vec<_> = (1..=4)
+///     .map(|n| AcceleratorConfig::builder().int_units(n).build())
+///     .collect();
+/// let fam = AcceleratorFamily::spanning(&points).expect("same latencies");
+/// assert!(fam.contains(&points[0]));
+/// assert!(fam.contains(&points[3]));
+/// assert!(!fam.contains(&AcceleratorConfig::builder().int_units(8).build()));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AcceleratorFamily {
+    /// Integer-unit range.
+    pub int_units: AxisRange,
+    /// FP-unit range.
+    pub fp_units: AxisRange,
+    /// CCA-unit range; never straddles zero (CCA presence changes the
+    /// translated graph, so it must be uniform across the family).
+    pub cca_units: AxisRange,
+    /// Integer-register range.
+    pub int_regs: AxisRange,
+    /// FP-register range.
+    pub fp_regs: AxisRange,
+    /// Load-stream range.
+    pub load_streams: AxisRange,
+    /// Store-stream range.
+    pub store_streams: AxisRange,
+    /// Load address-generator range.
+    pub load_addr_gens: AxisRange,
+    /// Store address-generator range.
+    pub store_addr_gens: AxisRange,
+    /// Maximum-II range.
+    pub max_ii: AxisRange,
+    /// The latency model every member shares.
+    pub latencies: LatencyModel,
+}
+
+impl AcceleratorFamily {
+    /// The degenerate family containing exactly `config`.
+    #[must_use]
+    pub fn point(config: &AcceleratorConfig) -> Self {
+        AcceleratorFamily {
+            int_units: AxisRange::point(config.int_units),
+            fp_units: AxisRange::point(config.fp_units),
+            cca_units: AxisRange::point(config.cca_units),
+            int_regs: AxisRange::point(config.int_regs),
+            fp_regs: AxisRange::point(config.fp_regs),
+            load_streams: AxisRange::point(config.load_streams),
+            store_streams: AxisRange::point(config.store_streams),
+            load_addr_gens: AxisRange::point(config.load_addr_gens),
+            store_addr_gens: AxisRange::point(config.store_addr_gens),
+            max_ii: AxisRange::point(config.max_ii as usize),
+            latencies: config.latencies.clone(),
+        }
+    }
+
+    /// The smallest family containing every configuration in `configs`
+    /// (their axis-aligned bounding box).
+    ///
+    /// Returns `None` when the set is empty, when the configurations
+    /// disagree on the latency model, or when they disagree on CCA
+    /// *presence* (`cca_units == 0` vs `> 0`) — those differences change
+    /// the configuration-independent prefix, so no single symbolic
+    /// translation can cover them.
+    #[must_use]
+    pub fn spanning(configs: &[AcceleratorConfig]) -> Option<Self> {
+        let (first, rest) = configs.split_first()?;
+        let mut fam = Self::point(first);
+        for c in rest {
+            if c.latencies != fam.latencies {
+                return None;
+            }
+            if (c.cca_units == 0) != (fam.cca_units.hi == 0) {
+                return None;
+            }
+            fam.int_units.widen(c.int_units);
+            fam.fp_units.widen(c.fp_units);
+            fam.cca_units.widen(c.cca_units);
+            fam.int_regs.widen(c.int_regs);
+            fam.fp_regs.widen(c.fp_regs);
+            fam.load_streams.widen(c.load_streams);
+            fam.store_streams.widen(c.store_streams);
+            fam.load_addr_gens.widen(c.load_addr_gens);
+            fam.store_addr_gens.widen(c.store_addr_gens);
+            fam.max_ii.widen(c.max_ii as usize);
+        }
+        Some(fam)
+    }
+
+    /// Whether `config` is a member: every axis in range and the same
+    /// latency model.
+    #[must_use]
+    pub fn contains(&self, config: &AcceleratorConfig) -> bool {
+        self.int_units.contains(config.int_units)
+            && self.fp_units.contains(config.fp_units)
+            && self.cca_units.contains(config.cca_units)
+            && self.int_regs.contains(config.int_regs)
+            && self.fp_regs.contains(config.fp_regs)
+            && self.load_streams.contains(config.load_streams)
+            && self.store_streams.contains(config.store_streams)
+            && self.load_addr_gens.contains(config.load_addr_gens)
+            && self.store_addr_gens.contains(config.store_addr_gens)
+            && self.max_ii.contains(config.max_ii as usize)
+            && self.latencies == config.latencies
+    }
+
+    /// Whether every member has a CCA (the ranges guarantee this is
+    /// uniform across the family).
+    #[must_use]
+    pub fn has_cca(&self) -> bool {
+        self.cca_units.lo > 0
+    }
+
+    /// Stable fingerprint over every range and the latency model. Two
+    /// families with equal fingerprints admit the same members and share
+    /// every configuration-independent translation decision, so the
+    /// fingerprint keys family-memoized symbolic translations (in place of
+    /// [`AcceleratorConfig::fingerprint`] in the translator fingerprint).
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv64::new();
+        for r in [
+            self.int_units,
+            self.fp_units,
+            self.cca_units,
+            self.int_regs,
+            self.fp_regs,
+            self.load_streams,
+            self.store_streams,
+            self.load_addr_gens,
+            self.store_addr_gens,
+            self.max_ii,
+        ] {
+            h.write_u64(r.lo as u64);
+            h.write_u64(r.hi as u64);
+        }
+        h.write_u64(self.latencies.fingerprint());
+        h.finish()
+    }
+}
+
+impl fmt::Display for AcceleratorFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "LA-family[{} CCA, {} int, {} fp, {}i/{}f regs, {} ld / {} st streams ({}+{} agens), max II {}]",
+            self.cca_units,
+            self.int_units,
+            self.fp_units,
+            self.int_regs,
+            self.fp_regs,
+            self.load_streams,
+            self.store_streams,
+            self.load_addr_gens,
+            self.store_addr_gens,
+            self.max_ii
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int_sweep() -> Vec<AcceleratorConfig> {
+        (1..=4)
+            .map(|n| AcceleratorConfig::builder().int_units(n).build())
+            .collect()
+    }
+
+    #[test]
+    fn point_family_contains_exactly_its_point() {
+        let la = AcceleratorConfig::paper_design();
+        let fam = AcceleratorFamily::point(&la);
+        assert!(fam.contains(&la));
+        assert!(!fam.contains(&AcceleratorConfig::builder().int_units(3).build()));
+    }
+
+    #[test]
+    fn spanning_is_the_bounding_box() {
+        let fam = AcceleratorFamily::spanning(&int_sweep()).unwrap();
+        assert_eq!(fam.int_units, AxisRange { lo: 1, hi: 4 });
+        for c in int_sweep() {
+            assert!(fam.contains(&c));
+        }
+        // Interior points are members too (the box, not the point set).
+        assert!(fam.contains(&AcceleratorConfig::builder().int_units(3).build()));
+        assert!(!fam.contains(&AcceleratorConfig::builder().int_units(5).build()));
+    }
+
+    #[test]
+    fn spanning_rejects_mixed_cca_presence() {
+        let with = AcceleratorConfig::paper_design();
+        let without = AcceleratorConfig::builder().cca_units(0).build();
+        assert!(AcceleratorFamily::spanning(&[with.clone(), without]).is_none());
+        assert!(AcceleratorFamily::spanning(&[with]).is_some());
+        assert!(AcceleratorFamily::spanning(&[]).is_none());
+    }
+
+    #[test]
+    fn spanning_rejects_mixed_latencies() {
+        let a = AcceleratorConfig::paper_design();
+        let mut lat = LatencyModel::new();
+        lat.set(veal_ir::Opcode::Mul, 9);
+        let b = AcceleratorConfig::builder().latencies(lat).build();
+        assert!(AcceleratorFamily::spanning(&[a, b]).is_none());
+    }
+
+    #[test]
+    fn contains_requires_matching_latencies() {
+        let fam = AcceleratorFamily::spanning(&int_sweep()).unwrap();
+        let mut lat = LatencyModel::new();
+        lat.set(veal_ir::Opcode::Mul, 9);
+        let odd = AcceleratorConfig::builder()
+            .int_units(2)
+            .latencies(lat)
+            .build();
+        assert!(!fam.contains(&odd));
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_families() {
+        let a = AcceleratorFamily::spanning(&int_sweep()).unwrap();
+        let b = AcceleratorFamily::spanning(&int_sweep()[..2]).unwrap();
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        let again = AcceleratorFamily::spanning(&int_sweep()).unwrap();
+        assert_eq!(a.fingerprint(), again.fingerprint());
+        // A family is never confused with its corner point's config.
+        let point = AcceleratorFamily::point(&AcceleratorConfig::paper_design());
+        assert_ne!(a.fingerprint(), point.fingerprint());
+    }
+
+    #[test]
+    fn display_mentions_ranges() {
+        let fam = AcceleratorFamily::spanning(&int_sweep()).unwrap();
+        let s = fam.to_string();
+        assert!(s.contains("1..=4 int"), "{s}");
+    }
+}

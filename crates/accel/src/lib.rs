@@ -25,12 +25,14 @@
 
 pub mod area;
 pub mod config;
+pub mod family;
 pub mod latency;
 pub mod presets;
 pub mod resources;
 
 pub use area::{AreaBreakdown, AreaModel, ARM11_AREA_MM2, CORTEX_A8_AREA_MM2, QUAD_ISSUE_AREA_MM2};
 pub use config::{AcceleratorConfig, AcceleratorConfigBuilder, CapabilityError};
+pub use family::{AcceleratorFamily, AxisRange};
 pub use latency::LatencyModel;
 pub use presets::{mathew_davis_like, rsvp_like, scaled_design};
 pub use resources::ResourceKind;

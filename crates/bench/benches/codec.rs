@@ -10,6 +10,7 @@ use veal_workloads::kernels;
 
 fn module(with_hints: bool) -> BinaryModule {
     let la = AcceleratorConfig::paper_design();
+    let family_hint = with_hints.then(|| veal::AcceleratorFamily::point(&la).fingerprint());
     let bodies = vec![
         kernels::adpcm_step(),
         kernels::idct_row(),
@@ -31,6 +32,7 @@ fn module(with_hints: bool) -> BinaryModule {
                     body,
                     priority_hint: hints.priority,
                     cca_hint: hints.cca_groups,
+                    family_hint,
                 }
             })
             .collect(),

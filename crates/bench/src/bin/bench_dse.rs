@@ -2,19 +2,25 @@
 //! integer-unit sweep evaluated through the pre-sweep serial API
 //! (`veal::sim::dse::fraction_of_infinite`, which recomputes the
 //! infinite-resource baseline at every point and memoizes nothing) against
-//! [`veal::SweepContext`] (parallel across points, shared translation memo,
-//! baseline computed once), asserting the two produce bit-identical
-//! fractions. A third pass re-runs the sweep on the warm context to show
-//! the memo's steady-state cost (what `all_figures` pays when several
+//! [`veal::SweepContext`] in **symbolic family mode** (parallel across
+//! points, one family-keyed symbolic translation per loop concretized per
+//! point, baseline computed once), asserting the two produce bit-identical
+//! fractions — the serial arm is the differential reference for the
+//! symbolic path. A third pass re-runs the sweep on the warm context to
+//! show the memo's steady-state cost (what `all_figures` pays when several
 //! figures share a suite).
 //!
 //! Results are printed and written to `BENCH_dse.json` in the current
 //! directory: wall-clock per arm, the suite's abstract-instruction
-//! translation totals, memo hit/miss counters, and the speedup ratios.
+//! translation totals, memo/family counters (`family_entries`,
+//! `family_hits`, `concretizations`, `concretize_ms`), and the speedup
+//! ratios.
 //!
-//! Knobs for the CI smoke job: `VEAL_BENCH_APPS` truncates the suite and
+//! Knobs for the CI smoke job: `VEAL_BENCH_APPS` truncates the suite,
 //! `VEAL_BENCH_POINTS` truncates the unit-count sweep (both default to the
-//! full set; the committed `BENCH_dse.json` must come from a full run).
+//! full set; the committed `BENCH_dse.json` must come from a full run),
+//! and `VEAL_BENCH_MIN_FAMILY_HIT_RATE` (a float in `[0, 1]`) makes the
+//! run fail unless the warm family-memo hit rate reaches the floor.
 //!
 //! `--trace-out <path>` attaches a [`veal::JsonlSink`] to the sweep-engine
 //! arms and writes the structured event stream (validated by `vealc
@@ -23,7 +29,10 @@
 
 use std::sync::Arc;
 use std::time::Instant;
-use veal::{AcceleratorConfig, CcaSpec, CpuModel, JsonlSink, SweepContext, Trace};
+use veal::{
+    AcceleratorConfig, AcceleratorFamily, CcaSpec, CpuModel, JsonlSink, NullSink, SweepContext,
+    Trace,
+};
 
 /// The Figure 3(a) x-axis: integer-unit budgets swept over the suite.
 const UNIT_COUNTS: [usize; 10] = [1, 2, 3, 4, 6, 8, 12, 16, 24, 32];
@@ -110,9 +119,24 @@ fn main() {
         .collect();
     let serial_ms = t0.elapsed().as_secs_f64() * 1e3;
 
-    // Arm 2: the sweep engine — points fan out across the thread budget,
-    // translations land in the shared memo, the baseline is computed once.
-    let ctx = SweepContext::new(apps.clone(), cpu.clone()).with_trace(trace.clone());
+    // Arm 2: the sweep engine in symbolic family mode — points fan out
+    // across the thread budget, each loop is translated symbolically ONCE
+    // under the family fingerprint and concretized per point, and the
+    // baseline is computed once. The family spans every swept point plus
+    // the infinite-resource baseline, so all evaluations share entries.
+    let family_points: Vec<AcceleratorConfig> = unit_counts
+        .iter()
+        .map(|&n| point_config(n))
+        .chain([AcceleratorConfig::infinite()])
+        .collect();
+    let family =
+        Arc::new(AcceleratorFamily::spanning(&family_points).expect("uniform latencies and CCA"));
+    let concretize_calls = veal::obs::metrics::counter("vm.translate.concretizations");
+    let concretize_wall = veal::obs::metrics::histogram("vm.concretize.wall_ns");
+    let calls_before = concretize_calls.get();
+    let ctx = SweepContext::new(apps.clone(), cpu.clone())
+        .with_family(Arc::clone(&family))
+        .with_trace(trace.clone());
     let t0 = Instant::now();
     let _ = ctx.infinite_mean();
     let swept = ctx.eval_points(&unit_counts, |c, &n| {
@@ -143,6 +167,18 @@ fn main() {
     for (a, b) in swept.iter().zip(&again) {
         assert_eq!(a.to_bits(), b.to_bits(), "warm re-sweep diverged");
     }
+    let concretizations = concretize_calls.get() - calls_before;
+
+    // Telemetry pass: re-run the sweep with an enabled (discarding) trace
+    // so the per-call concretize wall timer records, and read the
+    // histogram delta. Runs outside the timed arms; numbers stay
+    // bit-identical (asserted above for the same closure).
+    let telem_ctx = ctx.clone().with_trace(Trace::new(Arc::new(NullSink)));
+    let wall_before = concretize_wall.sum();
+    let _ = telem_ctx.eval_points(&unit_counts, |c, &n| {
+        c.fraction_of_infinite(&point_config(n), Some(&CcaSpec::paper()))
+    });
+    let concretize_ms = (concretize_wall.sum() - wall_before) as f64 / 1e6;
 
     // Abstract-instruction totals are a property of the simulated VM, not
     // the host: the memo replays them, so one point's total characterizes
@@ -151,21 +187,37 @@ fn main() {
 
     let speedup = serial_ms / sweep_ms.max(1e-9);
     let warm_speedup = serial_ms / warm_ms.max(1e-9);
+    let family_hit_rate = warm.hits as f64 / (warm.hits + warm.misses).max(1) as f64;
     println!("serial / no memo : {serial_ms:>10.1} ms  (baseline recomputed per point)");
-    println!("sweep engine     : {sweep_ms:>10.1} ms  ({speedup:.2}x, cold memo)");
-    println!("warm re-sweep    : {warm_ms:>10.1} ms  ({warm_speedup:.2}x, all memo hits)");
+    println!("sweep engine     : {sweep_ms:>10.1} ms  ({speedup:.2}x, cold family memo)");
+    println!("warm re-sweep    : {warm_ms:>10.1} ms  ({warm_speedup:.2}x, all family hits)");
     println!(
-        "memo             : cold {}/{} hit/miss, warm {}/{}; {} entries",
-        cold.hits, cold.misses, warm.hits, warm.misses, warm.entries
+        "family memo      : cold {}/{} hit/miss, warm {}/{}; {} entries ({:.3} hit rate)",
+        cold.hits, cold.misses, warm.hits, warm.misses, warm.entries, family_hit_rate
     );
+    println!("concretize       : {concretizations} concretizations, {concretize_ms:.1} ms/sweep");
     println!("abstract instrs  : {abstract_per_eval} per suite evaluation");
     println!("outputs          : bit-identical across all three arms");
+
+    if let Ok(v) = std::env::var("VEAL_BENCH_MIN_FAMILY_HIT_RATE") {
+        let floor: f64 = v.parse().unwrap_or_else(|_| {
+            eprintln!("bench_dse: VEAL_BENCH_MIN_FAMILY_HIT_RATE must be a float, got {v:?}");
+            std::process::exit(2);
+        });
+        if family_hit_rate < floor {
+            eprintln!("bench_dse: family hit rate {family_hit_rate:.3} below floor {floor:.3}");
+            std::process::exit(1);
+        }
+        println!("family hit rate  : {family_hit_rate:.3} >= floor {floor:.3}");
+    }
 
     let json = format!(
         "{{\n  \"sweep\": \"fig3a_int_units\",\n  \"apps\": {},\n  \"points\": {},\n  \
          \"threads\": {},\n  \"serial_no_memo_ms\": {:.3},\n  \"sweep_engine_ms\": {:.3},\n  \
          \"warm_resweep_ms\": {:.3},\n  \"speedup\": {:.3},\n  \"warm_speedup\": {:.3},\n  \
          \"memo_hits\": {},\n  \"memo_misses\": {},\n  \"memo_entries\": {},\n  \
+         \"family_entries\": {},\n  \"family_hits\": {},\n  \"family_hit_rate\": {:.4},\n  \
+         \"concretizations\": {},\n  \"concretize_ms\": {:.3},\n  \
          \"abstract_instructions_per_eval\": {},\n  \"bit_identical\": true\n}}\n",
         apps.len(),
         unit_counts.len(),
@@ -178,6 +230,11 @@ fn main() {
         warm.hits,
         warm.misses,
         warm.entries,
+        warm.entries,
+        warm.hits,
+        family_hit_rate,
+        concretizations,
+        concretize_ms,
         abstract_per_eval,
     );
     if let Err(e) = std::fs::write("BENCH_dse.json", json) {

@@ -22,7 +22,10 @@ use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
 use veal::serve::{generate, percentile, LaneReport, LoadSpec};
-use veal::{JsonlSink, ServeConfig, ServeReport, Trace, TranslationService, VmStats};
+use veal::{
+    AcceleratorFamily, JsonlSink, NullSink, ServeConfig, ServeReport, Trace, TranslationService,
+    VmStats,
+};
 
 fn env_usize(key: &str, default: usize) -> usize {
     std::env::var(key)
@@ -90,7 +93,11 @@ fn main() {
         .collect();
     let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
 
-    let base = ServeConfig::paper();
+    // Symbolic serving: the fleet shares family-keyed symbolic entries and
+    // every tenant concretizes locally — the memoized artifact is now
+    // reusable across any design point the family covers.
+    let mut base = ServeConfig::paper();
+    base.family = Some(Arc::new(AcceleratorFamily::point(&base.config)));
     let stream = generate(&spec, &base.config, base.cca.as_ref());
     println!(
         "bench_serve: {} requests, {} tenants, threads {:?}, {} host core(s)",
@@ -170,6 +177,22 @@ fn main() {
     let report = last_report.expect("at least one thread count");
     let duplicates = report.stats.duplicate_translations;
 
+    // Telemetry run (untimed): an enabled discarding trace lets the
+    // per-call concretize wall timer record; read the histogram delta.
+    let concretize_wall = veal::obs::metrics::histogram("vm.concretize.wall_ns");
+    let wall_before = concretize_wall.sum();
+    let telem = TranslationService::new(ServeConfig {
+        threads: 1,
+        ..base.clone()
+    })
+    .with_trace(Trace::new(Arc::new(NullSink)))
+    .run_windowed(&stream, spec.tenants * base.queue_capacity);
+    let concretize_ms = (concretize_wall.sum() - wall_before) as f64 / 1e6;
+    assert!(
+        telem.stats.concretizations >= telem.stats.completed.min(1),
+        "family-mode serving must concretize"
+    );
+
     // The paper-style figure: the same dispatch policy in abstract
     // cycles. Simulated lanes cost nothing, so the sweep is fixed —
     // shrinking the wall-clock arms for CI never hides the 4-lane check.
@@ -212,6 +235,13 @@ fn main() {
         report.stats.coalesced,
         duplicates
     );
+    println!(
+        "family: {} entries, {} concretizations ({} units), {:.2} ms/run",
+        report.stats.memo.entries,
+        report.stats.concretizations,
+        report.stats.concretize_units,
+        concretize_ms
+    );
     println!("code caches: {cache_hits} hits / {cache_misses} misses");
 
     let mut json = String::from("{\n");
@@ -249,6 +279,19 @@ fn main() {
     let _ = writeln!(json, "  \"computes\": {},", report.stats.computes);
     let _ = writeln!(json, "  \"coalesced\": {},", report.stats.coalesced);
     let _ = writeln!(json, "  \"duplicate_translations\": {duplicates},");
+    let _ = writeln!(json, "  \"family_entries\": {},", report.stats.memo.entries);
+    let _ = writeln!(json, "  \"family_hits\": {},", report.stats.memo.hits);
+    let _ = writeln!(
+        json,
+        "  \"concretizations\": {},",
+        report.stats.concretizations
+    );
+    let _ = writeln!(
+        json,
+        "  \"concretize_units\": {},",
+        report.stats.concretize_units
+    );
+    let _ = writeln!(json, "  \"concretize_ms\": {concretize_ms:.3},");
     let _ = writeln!(json, "  \"cache_hits\": {cache_hits},");
     let _ = writeln!(json, "  \"cache_misses\": {cache_misses},");
     let _ = writeln!(json, "  \"shed\": {},", report.stats.shed);

@@ -20,12 +20,16 @@
 //!   Θ(n³) Floyd–Warshall per point and the new one evaluates the cached
 //!   Pareto frontiers in O(n²·k).
 //! * **per-phase breakdown** — one old-vs-new wall-clock entry for each
-//!   of the nine [`veal::ir::Phase`]s, timing that phase's kernel in
-//!   isolation: DFG analyses (`RefDfg` push-adjacency vs CSR), stream
-//!   separation, CCA mapping, MIIs, priority/scheduling (from the section
-//!   above), register assignment, and hint decoding. Phases whose
-//!   implementation did not change in the data-oriented sweep time the
-//!   same code under both arms and report ≈1.0x.
+//!   [`veal::ir::Phase`], timing that phase's kernel in isolation: DFG
+//!   analyses (`RefDfg` push-adjacency vs CSR), stream separation, CCA
+//!   mapping, MIIs, priority/scheduling (from the section above), register
+//!   assignment, and hint decoding. Phases whose implementation did not
+//!   change in the data-oriented sweep time the same code under both arms
+//!   and report ≈1.0x. The `concretize` row is the symbolic-translation
+//!   differential: "old" is a direct point `translate`, "new" is
+//!   `Translator::concretize` of a prebuilt symbolic translation — the
+//!   work a family-memo hit pays instead of a full retranslation — with
+//!   the outcomes asserted bit-identical first.
 //! * **end-to-end translate** — the whole `Translator::translate`
 //!   pipeline on the raw loop body. The old arm disables *both* runtime
 //!   toggles (`set_parametric_enabled(false)` +
@@ -311,9 +315,9 @@ fn main() {
     // on the data-oriented toggle are timed under both arms and asserted
     // bit-identical; phases untouched by the sweep run the same code twice.
     let spec = CcaSpec::paper();
-    let mut ph_old = [0u128; 9];
-    let mut ph_new = [0u128; 9];
-    assert_eq!(ALL_PHASES.len(), 9);
+    let mut ph_old = [0u128; 10];
+    let mut ph_new = [0u128; 10];
+    assert_eq!(ALL_PHASES.len(), 10);
     let fold_ref = |r: &RefDfg| {
         let ok = r.verify().is_ok();
         let n_sccs = r.sccs().len();
@@ -555,6 +559,57 @@ fn main() {
     set_parametric_enabled(true);
     set_data_oriented(true);
 
+    // --- symbolic concretize vs direct translate -------------------------
+    // The family-memoization differential: one symbolic translation per
+    // loop, concretized at the design point, must be bit-identical to a
+    // direct point translation — result, per-phase charges, verdict. The
+    // timing pair fills the `concretize` phase row: "old" pays the full
+    // pipeline (what a family hit would otherwise recompute), "new" pays
+    // only concretization.
+    for body in &bodies {
+        let sym = translator.translate_symbolic(body, &hints);
+        let direct = translator.translate(body, &hints);
+        let mut cm = CostMeter::new();
+        let conc = translator.concretize(&sym, &mut cm);
+        assert_eq!(
+            direct.breakdown, conc.breakdown,
+            "{}: concretize breakdown diverged",
+            body.name
+        );
+        assert_eq!(
+            direct.verdict, conc.verdict,
+            "{}: concretize verdict diverged",
+            body.name
+        );
+        let sig = |r: &Result<veal::vm::TranslatedLoop, veal::vm::TranslationError>| match r {
+            Ok(t) => format!(
+                "{}|{}|{}|{}",
+                t.scheduled.schedule, t.control_words, t.cca_groups, t.accel_ops
+            ),
+            Err(e) => format!("ERR {e}"),
+        };
+        assert_eq!(
+            sig(&direct.result),
+            sig(&conc.result),
+            "{}: concretize result diverged",
+            body.name
+        );
+        let i = Phase::Concretize as usize;
+        ph_old[i] += min_ns(passes, || {
+            for _ in 0..reps {
+                std::hint::black_box(translator.translate(body, &hints));
+            }
+        });
+        ph_new[i] += min_ns(passes, || {
+            for _ in 0..reps {
+                let mut cm = CostMeter::new();
+                std::hint::black_box(translator.concretize(&sym, &mut cm));
+            }
+        });
+    }
+    let concretize_speedup = ph_old[Phase::Concretize as usize] as f64
+        / ph_new[Phase::Concretize as usize].max(1) as f64;
+
     let ms = |ns: u128| ns as f64 / 1e6;
     println!("priority+sched measured over {points} (loop, II) points");
     let old_ps = ms(old_prio_ns + old_sched_ns);
@@ -599,7 +654,8 @@ fn main() {
          \"scheduling_speedup\": {:.3},\n  \"priority_scheduling_speedup\": {:.3},\n  \
          \"phases\": {{\n{}  }},\n  \
          \"old_translate_ms\": {:.3},\n  \"new_translate_ms\": {:.3},\n  \
-         \"translate_speedup\": {:.3},\n  \"bit_identical\": true\n}}\n",
+         \"translate_speedup\": {:.3},\n  \"symbolic_concretize_speedup\": {:.3},\n  \
+         \"bit_identical\": true\n}}\n",
         apps.len(),
         prepped.len(),
         points,
@@ -615,6 +671,7 @@ fn main() {
         ms(old_e2e_ns),
         ms(new_e2e_ns),
         e2e_speedup,
+        concretize_speedup,
     );
     if let Err(e) = std::fs::write("BENCH_translate.json", json) {
         eprintln!("bench_translate: failed to write BENCH_translate.json: {e}");

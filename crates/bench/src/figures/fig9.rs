@@ -45,6 +45,7 @@ pub fn run() {
             body,
             priority_hint: hints.priority,
             cca_hint: hints.cca_groups,
+            family_hint: None,
         }],
     };
     let bytes = veal::encode_module(&module);

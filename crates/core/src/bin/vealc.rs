@@ -181,6 +181,9 @@ fn pack(rest: &[String]) -> Result<(), String> {
             body,
             priority_hint: hints.priority,
             cca_hint: hints.cca_groups,
+            // Hinted binaries declare the family their hints were tuned
+            // for, so a family-keyed VM knows the payload matches its memo.
+            family_hint: with_hints.then(|| veal::AcceleratorFamily::point(&config).fingerprint()),
         });
     }
     let bytes = veal::encode_module(&module);

@@ -56,7 +56,7 @@ pub use paper_example::{figure5_loop, Figure5Ids};
 pub use system::System;
 
 // The names a user reaches for first, re-exported flat.
-pub use veal_accel::{AcceleratorConfig, LatencyModel};
+pub use veal_accel::{AcceleratorConfig, AcceleratorFamily, AxisRange, LatencyModel};
 pub use veal_cca::CcaSpec;
 pub use veal_ir::{
     classify_loop, CostMeter, Dfg, DfgBuilder, LoopBody, LoopClass, LoopProfile, OpId, Opcode,

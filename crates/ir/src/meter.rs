@@ -32,6 +32,12 @@ pub enum Phase {
     /// Decoding static hints from the binary (replaces Priority/CcaMapping
     /// when hints are present).
     HintDecode,
+    /// Instantiating a symbolic (family-keyed) translation at one concrete
+    /// accelerator configuration. Charged to the session-level concretize
+    /// meter, never into a translation's own breakdown — point translations
+    /// have no such step, and family-mode outcomes must stay bit-identical
+    /// to them.
+    Concretize,
 }
 
 /// Every phase, in display order.
@@ -45,6 +51,7 @@ pub const ALL_PHASES: &[Phase] = &[
     Phase::Scheduling,
     Phase::RegAssign,
     Phase::HintDecode,
+    Phase::Concretize,
 ];
 
 impl Phase {
@@ -61,6 +68,7 @@ impl Phase {
             Phase::Scheduling => "scheduling",
             Phase::RegAssign => "reg-assign",
             Phase::HintDecode => "hint-decode",
+            Phase::Concretize => "concretize",
         }
     }
 

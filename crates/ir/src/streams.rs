@@ -500,11 +500,12 @@ fn separate_fast(dfg: &Dfg, meter: &mut CostMeter) -> Result<SeparatedLoop, Sepa
     }
 
     // --- 2. Identify memory streams. ---------------------------------------
+    // The output node table is cloned up front so stream annotations land
+    // directly on it (the reference annotates its cloned graph the same
+    // way); an error return simply drops the clone.
+    let mut nodes = dfg.nodes.clone();
     let mut streams = Vec::new();
     let mut addr_ops: Vec<OpId> = Vec::new();
-    // Stream annotations applied to the output nodes in the fused
-    // construction below.
-    let mut annotations: Vec<(u32, u16)> = Vec::new();
     for (i, &o) in opcs.iter().enumerate() {
         if o == no_op {
             continue;
@@ -520,7 +521,7 @@ fn separate_fast(dfg: &Dfg, meter: &mut CostMeter) -> Result<SeparatedLoop, Sepa
         } else {
             StreamDir::Store
         };
-        if dfg.node(id).stream.is_some() {
+        if nodes[i].stream.is_some() {
             // Already annotated (pre-separated kernels mixed into a full
             // graph): give the access its own entry in the unified table.
             let idx = streams.len() as u16;
@@ -529,7 +530,7 @@ fn separate_fast(dfg: &Dfg, meter: &mut CostMeter) -> Result<SeparatedLoop, Sepa
                 stride: 1,
                 addr_node: id,
             });
-            annotations.push((i as u32, idx));
+            nodes[i].stream = Some(idx);
             continue;
         }
         let addr = adj
@@ -545,7 +546,7 @@ fn separate_fast(dfg: &Dfg, meter: &mut CostMeter) -> Result<SeparatedLoop, Sepa
             stride: stride_of(dfg, addr),
             addr_node: addr,
         });
-        annotations.push((i as u32, stream_idx));
+        nodes[i].stream = Some(stream_idx);
         if !addr_ops.contains(&addr) {
             addr_ops.push(addr);
         }
@@ -560,24 +561,29 @@ fn separate_fast(dfg: &Dfg, meter: &mut CostMeter) -> Result<SeparatedLoop, Sepa
         })
     });
 
-    // Fused output construction: annotate streams, tombstone the separated
-    // nodes, and drop/canonicalize their edges in one pass — semantically
-    // the clone + `node_mut` + `remove_nodes` sequence of the reference.
+    // Fused output construction: tombstone the separated nodes and
+    // drop/canonicalize their edges in one pass — semantically the
+    // clone + `node_mut` + `remove_nodes` sequence of the reference.
     let mut removed: Vec<OpId> = control_ops.clone();
     removed.extend(addr_ops.iter().copied());
-    let mut nodes = dfg.nodes.clone();
-    for &(i, s) in &annotations {
-        nodes[i as usize].stream = Some(s);
-    }
     for &r in &removed {
         nodes[r.index()].dead = true;
     }
-    let mut out_edges: Vec<crate::dfg::DfgEdge> = edges
-        .iter()
-        .copied()
-        .filter(|e| !nodes[e.src.index()].dead && !nodes[e.dst.index()].dead)
-        .collect();
-    Dfg::sort_dedup_edges(&mut out_edges);
+    let mut out_edges: Vec<crate::dfg::DfgEdge> = Vec::with_capacity(edges.len());
+    out_edges.extend(
+        edges
+            .iter()
+            .copied()
+            .filter(|e| !nodes[e.src.index()].dead && !nodes[e.dst.index()].dead),
+    );
+    // A filtered subset of the canonically sorted input edge array is still
+    // strictly sorted, so the re-sort is skipped exactly as in the
+    // reference's `rebuild_edges_excluding_dead` (which this fused pass
+    // mirrors); only a non-canonical input pays the sort.
+    let key = |e: &crate::dfg::DfgEdge| (e.src, e.dst, e.distance, e.kind as u8);
+    if !out_edges.is_sorted_by(|a, b| key(a) < key(b)) {
+        Dfg::sort_dedup_edges(&mut out_edges);
+    }
     let out = Dfg::from_parts(nodes, out_edges);
     meter.charge(Phase::StreamSep, removed.len() as u64 * 2);
 

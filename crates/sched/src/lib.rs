@@ -50,6 +50,7 @@ pub mod priority;
 pub mod reference;
 pub mod regalloc;
 pub mod scheduler;
+pub mod symbolic;
 pub mod verify;
 
 pub use display::render_mrt;
@@ -60,6 +61,7 @@ pub use param::MinDistParam;
 pub use priority::{height_order, swing_order, PriorityKind};
 pub use regalloc::{assign_registers, RegisterAssignment, RegisterPressure};
 pub use scheduler::{list_schedule, ModuloSchedule, ScheduleError};
+pub use symbolic::{concretize, SymbolicSchedule};
 pub use verify::{verify_schedule, ScheduleDefect};
 
 use veal_accel::AcceleratorConfig;

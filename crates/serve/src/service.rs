@@ -17,13 +17,13 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock, PoisonError};
 use std::time::Instant;
-use veal_accel::AcceleratorConfig;
+use veal_accel::{AcceleratorConfig, AcceleratorFamily};
 use veal_cca::CcaSpec;
 use veal_ir::LoopBody;
 use veal_obs::{metrics, Counter, Histogram, Trace};
 use veal_vm::{
-    CacheStats, CodeCache, MemoBackend, MemoStats, ShardedMemo, StaticHints, TranslatedLoop,
-    TranslationPolicy, Translator, VmSession, VmStats,
+    CacheStats, CodeCache, ConcretizeStats, MemoBackend, MemoStats, ShardedMemo, StaticHints,
+    TranslatedLoop, TranslationPolicy, Translator, VmSession, VmStats,
 };
 
 /// Process-global serve-path meters (PR 4 rule: the service increments,
@@ -91,6 +91,13 @@ pub struct ServeConfig {
     pub cca: Option<CcaSpec>,
     /// Translation policy (hint consumption vs. fully dynamic).
     pub policy: TranslationPolicy,
+    /// Optional accelerator family for symbolic serving: when present and
+    /// it contains [`ServeConfig::config`], tenant sessions memoize one
+    /// [`veal_vm::SymbolicTranslation`] per loop under the family
+    /// fingerprint and concretize per request (see
+    /// [`veal_vm::VmSession::with_family`]). Tenant-visible statistics are
+    /// bit-identical to point-keyed serving.
+    pub family: Option<Arc<AcceleratorFamily>>,
 }
 
 impl ServeConfig {
@@ -110,6 +117,7 @@ impl ServeConfig {
             config: AcceleratorConfig::paper_design(),
             cca: Some(CcaSpec::paper()),
             policy: TranslationPolicy::static_hints(),
+            family: None,
         }
     }
 
@@ -161,6 +169,11 @@ pub struct ServeStats {
     /// Redundant translations this run (`computes` minus new memo
     /// entries); 0 under single-flight.
     pub duplicate_translations: u64,
+    /// Family-mode concretizations across all tenants this run (0 when
+    /// [`ServeConfig::family`] is unset).
+    pub concretizations: u64,
+    /// Host work charged to those concretizations, in abstract units.
+    pub concretize_units: u64,
     /// Shared-memo counters at the end of the run (cumulative across runs
     /// on the same service).
     pub memo: MemoStats,
@@ -192,6 +205,8 @@ pub struct TenantReport {
     pub stats: VmStats,
     /// The session's code-cache statistics.
     pub cache: CacheStats,
+    /// Family-mode concretization counters (zeroes outside family mode).
+    pub concretize: ConcretizeStats,
     /// Completed requests in processing order.
     pub outcomes: Vec<RequestOutcome>,
 }
@@ -349,6 +364,9 @@ impl TranslationService {
                 session = session
                     .with_memo_backend(Arc::clone(&self.memo) as Arc<dyn MemoBackend>)
                     .with_trace(self.trace.clone());
+                if let Some(family) = &self.config.family {
+                    session = session.with_family(Arc::clone(family));
+                }
                 Mutex::new(TenantState {
                     session,
                     queue: VecDeque::new(),
@@ -397,7 +415,7 @@ impl TranslationService {
         stats.memo = MemoBackend::stats(&*self.memo);
         stats.wall_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
 
-        let tenants = tenants
+        let tenants: Vec<TenantReport> = tenants
             .into_iter()
             .enumerate()
             .map(|(i, t)| {
@@ -407,10 +425,15 @@ impl TranslationService {
                     tenant: i,
                     stats: t.session.stats().clone(),
                     cache: t.session.cache_stats(),
+                    concretize: t.session.concretize_stats(),
                     outcomes: t.outcomes,
                 }
             })
             .collect();
+        // Concretize counters are session-lifetime; windowed runs reuse the
+        // sessions across windows, so per-run totals are exact here.
+        stats.concretizations = tenants.iter().map(|t| t.concretize.concretizations).sum();
+        stats.concretize_units = tenants.iter().map(|t| t.concretize.units).sum();
         ServeReport { stats, tenants }
     }
 
@@ -601,6 +624,42 @@ mod tests {
         let report = service.run_windowed(&stream, 12);
         assert_eq!(report.stats.shed, 0);
         assert_eq!(report.stats.completed, 90);
+    }
+
+    #[test]
+    fn family_mode_serving_is_bit_identical_under_contention() {
+        // 8 workers hammering a shared symbolic memo: tenant stats must
+        // equal point-keyed serving's exactly, single-flight must still
+        // dedupe leaders, and every request pays a local concretization.
+        let (mut cfg, stream) = small_stream(96);
+        cfg.threads = 8;
+        let point = TranslationService::new(cfg.clone()).run(&stream);
+        cfg.family = Some(Arc::new(AcceleratorFamily::point(&cfg.config)));
+        let service = TranslationService::new(cfg);
+        let family = service.run(&stream);
+
+        assert_eq!(family.stats.completed, point.stats.completed);
+        assert_eq!(family.stats.duplicate_translations, 0);
+        let translate_attempts: u64 = family.tenants.iter().map(|t| t.stats.translations).sum();
+        assert_eq!(
+            family.stats.concretizations, translate_attempts,
+            "every code-cache-missing invocation concretizes its family entry"
+        );
+        assert!(family.stats.concretize_units > 0);
+        assert_eq!(point.stats.concretizations, 0);
+        for (p, f) in point.tenants.iter().zip(&family.tenants) {
+            assert_eq!(p.stats, f.stats, "tenant {}", p.tenant);
+            for (a, b) in p.outcomes.iter().zip(&f.outcomes) {
+                assert_eq!(a.seq, b.seq);
+                assert_eq!(a.translation_cycles, b.translation_cycles);
+            }
+        }
+        // Warm family run: zero computes, same stats again.
+        let warm = service.run(&stream);
+        assert_eq!(warm.stats.computes, 0);
+        for (p, w) in point.tenants.iter().zip(&warm.tenants) {
+            assert_eq!(p.stats, w.stats);
+        }
     }
 
     #[test]

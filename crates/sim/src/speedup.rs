@@ -4,7 +4,7 @@ use crate::accel_time::accel_invocation_cycles;
 use crate::cpu::CpuModel;
 use std::collections::HashMap;
 use std::sync::Arc;
-use veal_accel::AcceleratorConfig;
+use veal_accel::{AcceleratorConfig, AcceleratorFamily};
 use veal_cca::CcaSpec;
 use veal_ir::{classify_loop, LoopClass, PhaseBreakdown};
 use veal_obs::Trace;
@@ -40,6 +40,13 @@ pub struct AccelSetup {
     /// translate once per process. Simulated numbers are unchanged — memo
     /// hits replay the original cost (see [`veal_vm::VmSession::with_memo`]).
     pub memo: Option<Arc<TranslationMemo>>,
+    /// Optional accelerator family for symbolic translation: when present
+    /// and it contains [`AccelSetup::config`], sessions memoize one
+    /// [`veal_vm::SymbolicTranslation`] per loop under the **family**
+    /// fingerprint and concretize per point (see
+    /// [`veal_vm::VmSession::with_family`]). Simulated numbers are
+    /// unchanged — concretization replays the exact point outcome.
+    pub family: Option<Arc<AcceleratorFamily>>,
     /// Observability handle passed to every [`VmSession`] this setup
     /// creates. Disabled by default; never alters simulated numbers.
     pub trace: Trace,
@@ -60,6 +67,7 @@ impl AccelSetup {
             static_transforms: true,
             cache_entries: 16,
             memo: None,
+            family: None,
             trace: Trace::null(),
         }
     }
@@ -68,6 +76,13 @@ impl AccelSetup {
     #[must_use]
     pub fn with_memo(mut self, memo: Arc<TranslationMemo>) -> Self {
         self.memo = Some(memo);
+        self
+    }
+
+    /// Attaches an accelerator family (see [`AccelSetup::family`]).
+    #[must_use]
+    pub fn with_family(mut self, family: Arc<AcceleratorFamily>) -> Self {
+        self.family = Some(family);
         self
     }
 
@@ -124,6 +139,10 @@ pub struct AppRun {
     pub breakdown: PhaseBreakdown,
     /// Code-cache statistics.
     pub cache: CacheStats,
+    /// Family-mode concretizations performed (0 outside family mode).
+    pub concretizations: u64,
+    /// Host work charged to those concretizations, in abstract units.
+    pub concretize_units: u64,
     /// Per-loop details.
     pub loops: Vec<LoopRun>,
     /// Baseline cycles in acyclic code.
@@ -166,6 +185,9 @@ pub fn run_application(app: &Application, cpu: &CpuModel, setup: &AccelSetup) ->
         .with_trace(setup.trace.clone());
     if let Some(memo) = &setup.memo {
         session = session.with_memo(Arc::clone(memo));
+    }
+    if let Some(family) = &setup.family {
+        session = session.with_family(Arc::clone(family));
     }
     let limits = TransformLimits {
         max_load_streams: setup.config.load_streams,
@@ -256,6 +278,7 @@ pub fn run_application(app: &Application, cpu: &CpuModel, setup: &AccelSetup) ->
     system += acyclic;
 
     let stats = session.stats();
+    let concretize = session.concretize_stats();
     AppRun {
         name: app.name.clone(),
         cpu_only_cycles: cpu_only,
@@ -264,6 +287,8 @@ pub fn run_application(app: &Application, cpu: &CpuModel, setup: &AccelSetup) ->
         translations: stats.translations,
         breakdown: stats.breakdown,
         cache: session.cache_stats(),
+        concretizations: concretize.concretizations,
+        concretize_units: concretize.units,
         loops,
         acyclic_cycles: acyclic,
     }

@@ -27,7 +27,7 @@
 use crate::cpu::CpuModel;
 use crate::speedup::{run_application, AccelSetup, AppRun};
 use std::sync::{Arc, OnceLock};
-use veal_accel::AcceleratorConfig;
+use veal_accel::{AcceleratorConfig, AcceleratorFamily};
 use veal_cca::CcaSpec;
 use veal_obs::{metrics, Event, Histogram, Trace};
 use veal_vm::{MemoStats, TranslationMemo, TranslationPolicy};
@@ -53,6 +53,7 @@ pub fn dse_setup(config: AcceleratorConfig, cca: Option<CcaSpec>) -> AccelSetup 
         static_transforms: true,
         cache_entries: 1 << 20,
         memo: None,
+        family: None,
         trace: Trace::null(),
     }
 }
@@ -82,6 +83,7 @@ pub struct SweepContext {
     apps: Arc<Vec<Application>>,
     cpu: CpuModel,
     memo: Option<Arc<TranslationMemo>>,
+    family: Option<Arc<AcceleratorFamily>>,
     threads: usize,
     infinite: Arc<OnceLock<f64>>,
     trace: Trace,
@@ -96,6 +98,7 @@ impl SweepContext {
             apps: Arc::new(apps),
             cpu,
             memo: Some(Arc::new(TranslationMemo::new())),
+            family: None,
             threads: veal_par::thread_count(),
             infinite: Arc::new(OnceLock::new()),
             trace: Trace::null(),
@@ -125,6 +128,18 @@ impl SweepContext {
     #[must_use]
     pub fn without_memo(mut self) -> Self {
         self.memo = None;
+        self
+    }
+
+    /// Switches the sweep to **symbolic family mode**: every point whose
+    /// configuration lies inside `family` shares one family-keyed memo
+    /// entry per loop and concretizes it locally, collapsing the memo-miss
+    /// count from `points × loops` to `loops`. Points outside the family
+    /// (and contexts without a memo) keep the point-keyed path. Reported
+    /// numbers are bit-identical either way.
+    #[must_use]
+    pub fn with_family(mut self, family: Arc<AcceleratorFamily>) -> Self {
+        self.family = Some(family);
         self
     }
 
@@ -158,6 +173,7 @@ impl SweepContext {
     pub fn setup(&self, config: &AcceleratorConfig, cca: Option<&CcaSpec>) -> AccelSetup {
         let mut setup = dse_setup(config.clone(), cca.cloned());
         setup.memo = self.memo.clone();
+        setup.family = self.family.clone();
         setup.trace = self.trace.clone();
         setup
     }
@@ -301,6 +317,36 @@ mod tests {
             assert_eq!(a.translations, b.translations);
             assert_eq!(a.breakdown, b.breakdown);
         }
+    }
+
+    #[test]
+    fn family_mode_matches_point_mode_and_collapses_misses() {
+        let points = configs();
+        let family = Arc::new(AcceleratorFamily::spanning(&points).unwrap());
+
+        let point_ctx = SweepContext::new(small_suite(), CpuModel::arm11()).with_threads(1);
+        let family_ctx = SweepContext::new(small_suite(), CpuModel::arm11())
+            .with_threads(1)
+            .with_family(Arc::clone(&family));
+        for config in &points {
+            let a = point_ctx.mean_speedup(config, Some(&CcaSpec::paper()));
+            let b = family_ctx.mean_speedup(config, Some(&CcaSpec::paper()));
+            assert_eq!(a.to_bits(), b.to_bits(), "config {config}");
+        }
+        let point_stats = point_ctx.memo_stats();
+        let family_stats = family_ctx.memo_stats();
+        // Point mode pays one miss per (loop, config); family mode pays one
+        // per loop and answers the other configs with hits + concretize.
+        assert!(
+            family_stats.misses * 2 <= point_stats.misses,
+            "family {family_stats:?} vs point {point_stats:?}"
+        );
+        assert!(family_stats.hits > point_stats.hits);
+
+        // The per-app runs record the concretizations that replaced those
+        // misses (first config's run concretizes on its own misses too).
+        let runs = family_ctx.run_suite(&family_ctx.setup(&points[1], Some(&CcaSpec::paper())));
+        assert!(runs.iter().map(|r| r.concretizations).sum::<u64>() > 0);
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! The binary module format.
 //!
 //! Applications are shipped as modules of loop bodies expressed in the
-//! baseline instruction set. Two optional, *advisory* hint sections encode
-//! the statically computed translation results the paper recommends
+//! baseline instruction set. Three optional, *advisory* hint sections
+//! encode the statically computed translation results the paper recommends
 //! off-loading (§4.2):
 //!
 //! * **priority** — "placing a single number for each operation in a data
@@ -10,7 +10,13 @@
 //!   loop's op ids;
 //! * **CCA groups** — procedural abstraction (Figure 9b): each statically
 //!   identified subgraph recorded as a member list (standing in for the
-//!   `Brl`-delimited mini-function).
+//!   `Brl`-delimited mini-function);
+//! * **family** — the fingerprint of the accelerator family
+//!   (`veal_accel::AcceleratorFamily::fingerprint`) the producer computed
+//!   the hints under. A VM serving symbolic family-keyed translations
+//!   compares it against its own family to decide whether the shipped
+//!   payload keys straight into its memo; any mismatch simply means the
+//!   hints are re-derived, never that the loop fails to load.
 //!
 //! A decoder that ignores both sections still reconstructs exactly the same
 //! loop — that is the binary-compatibility property the paper's abstraction
@@ -35,7 +41,7 @@
 //! Layout (little endian): magic `VEAL`, version u16, loop count u32, then
 //! per loop: name, and a section stream `tag u8, len u32, checksum u64,
 //! payload` terminated by [`SEC_END`]. Known tags are [`SEC_NODES`],
-//! [`SEC_EDGES`], [`SEC_PRIORITY`], [`SEC_CCA`].
+//! [`SEC_EDGES`], [`SEC_PRIORITY`], [`SEC_CCA`], [`SEC_FAMILY`].
 
 use std::fmt;
 use std::ops::Range;
@@ -58,6 +64,9 @@ pub const SEC_EDGES: u8 = 2;
 pub const SEC_PRIORITY: u8 = 3;
 /// CCA subgraph hint section (Figure 9b, optional).
 pub const SEC_CCA: u8 = 4;
+/// Accelerator-family fingerprint hint section (optional): the family the
+/// static hints were computed under, for symbolic-memo key matching.
+pub const SEC_FAMILY: u8 = 5;
 
 /// One loop as it appears in a binary module.
 #[derive(Debug, Clone)]
@@ -68,6 +77,12 @@ pub struct EncodedLoop {
     pub priority_hint: Option<Vec<OpId>>,
     /// Static CCA subgraph hint: member lists.
     pub cca_hint: Option<Vec<Vec<OpId>>>,
+    /// Advisory fingerprint of the accelerator family
+    /// (`veal_accel::AcceleratorFamily::fingerprint`) the producer computed
+    /// the hints under; `None` for point-tuned or legacy modules. Not part
+    /// of [`StaticHints`](crate::hints::StaticHints), so its presence or
+    /// absence never changes a hint fingerprint or a translation.
+    pub family_hint: Option<u64>,
 }
 
 impl EncodedLoop {
@@ -78,6 +93,15 @@ impl EncodedLoop {
             priority: self.priority_hint.clone(),
             cca_groups: self.cca_hint.clone(),
         }
+    }
+
+    /// Whether the shipped family hint matches `family` — i.e. whether
+    /// this loop's static hints were produced under exactly the family a
+    /// symbolic-memo consumer is about to key them with. `false` when no
+    /// hint was shipped.
+    #[must_use]
+    pub fn family_hint_matches(&self, family: &veal_accel::AcceleratorFamily) -> bool {
+        self.family_hint == Some(family.fingerprint())
     }
 }
 
@@ -314,6 +338,7 @@ fn encode_edges(dfg: &Dfg) -> Vec<u8> {
 ///         body: LoopBody::new("copy", b.finish()),
 ///         priority_hint: None,
 ///         cca_hint: None,
+///         family_hint: None,
 ///     }],
 /// };
 /// let bytes = encode_module(&module);
@@ -352,6 +377,11 @@ pub fn encode_module(module: &BinaryModule) -> Vec<u8> {
                 }
             }
             w.section(SEC_CCA, &p.buf);
+        }
+        if let Some(fp) = l.family_hint {
+            let mut p = Writer::new();
+            p.u64(fp);
+            w.section(SEC_FAMILY, &p.buf);
         }
         w.u8(SEC_END);
     }
@@ -443,6 +473,15 @@ fn decode_priority(payload: &[u8]) -> Result<Vec<OpId>, DecodeError> {
     Ok(order)
 }
 
+fn decode_family(payload: &[u8]) -> Result<u64, DecodeError> {
+    let mut r = Reader::new(payload);
+    let fp = r.u64()?;
+    if !r.is_done() {
+        return Err(DecodeError::SectionTrailing(SEC_FAMILY));
+    }
+    Ok(fp)
+}
+
 fn decode_cca(payload: &[u8], nnodes: usize) -> Result<Vec<Vec<OpId>>, DecodeError> {
     let mut r = Reader::new(payload);
     let g = r.u32()? as usize;
@@ -497,7 +536,7 @@ pub fn decode_module(bytes: &[u8]) -> Result<BinaryModule, DecodeError> {
         let name = r.str()?;
         // Scan the section stream: verify checksums, slot the known tags,
         // skip unknown ones (forward compatibility).
-        let mut slots: [Option<&[u8]>; 4] = [None; 4];
+        let mut slots: [Option<&[u8]>; 5] = [None; 5];
         loop {
             let tag = r.u8()?;
             if tag == SEC_END {
@@ -509,7 +548,7 @@ pub fn decode_module(bytes: &[u8]) -> Result<BinaryModule, DecodeError> {
             if section_checksum(payload) != checksum {
                 return Err(DecodeError::SectionChecksum(tag));
             }
-            if (SEC_NODES..=SEC_CCA).contains(&tag) {
+            if (SEC_NODES..=SEC_FAMILY).contains(&tag) {
                 let slot = &mut slots[(tag - 1) as usize];
                 if slot.is_some() {
                     return Err(DecodeError::DuplicateSection(tag));
@@ -531,6 +570,7 @@ pub fn decode_module(bytes: &[u8]) -> Result<BinaryModule, DecodeError> {
         veal_ir::verify_dfg(&dfg).map_err(DecodeError::BadGraph)?;
         let priority_hint = slots[2].map(decode_priority).transpose()?;
         let cca_hint = slots[3].map(|p| decode_cca(p, nnodes)).transpose()?;
+        let family_hint = slots[4].map(decode_family).transpose()?;
 
         // A priority order may reference the pseudo-ops created by
         // collapsing the CCA hint groups: each group adds exactly one node
@@ -546,6 +586,7 @@ pub fn decode_module(bytes: &[u8]) -> Result<BinaryModule, DecodeError> {
             body: LoopBody::new(name, dfg),
             priority_hint,
             cca_hint,
+            family_hint,
         });
     }
     Ok(BinaryModule { loops })
@@ -624,7 +665,12 @@ pub fn reseal_section(bytes: &mut [u8], section: &SectionRange) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use veal_accel::{AcceleratorConfig, AcceleratorFamily};
     use veal_ir::DfgBuilder;
+
+    fn paper_family() -> AcceleratorFamily {
+        AcceleratorFamily::point(&AcceleratorConfig::paper_design())
+    }
 
     fn sample_loop() -> LoopBody {
         let mut b = DfgBuilder::new();
@@ -645,6 +691,7 @@ mod tests {
                 body: sample_loop(),
                 priority_hint: Some(vec![OpId::new(4), OpId::new(3)]),
                 cca_hint: Some(vec![vec![OpId::new(3), OpId::new(4)]]),
+                family_hint: Some(paper_family().fingerprint()),
             }],
         }
     }
@@ -660,6 +707,7 @@ mod tests {
                 body: sample_loop(),
                 priority_hint: None,
                 cca_hint: None,
+                family_hint: None,
             }],
         };
         let back = round_trip(&m);
@@ -683,6 +731,72 @@ mod tests {
             Some(vec![OpId::new(4), OpId::new(3)])
         );
         assert_eq!(back.loops[0].cca_hint.as_ref().unwrap()[0].len(), 2);
+        assert_eq!(
+            back.loops[0].family_hint,
+            Some(paper_family().fingerprint())
+        );
+        assert!(back.loops[0].family_hint_matches(&paper_family()));
+    }
+
+    #[test]
+    fn family_hint_is_optional_and_outside_static_hints() {
+        // A module without the family section decodes with family_hint
+        // None, emits no SEC_FAMILY frame, and produces the same
+        // StaticHints as one that ships the section: the fingerprint is
+        // advisory memo metadata, never translation input.
+        let mut with = hinted_module();
+        let mut without = hinted_module();
+        without.loops[0].family_hint = None;
+        let bytes = encode_module(&without);
+        let sections = section_ranges(&bytes).expect("framing walks");
+        assert!(sections.iter().all(|s| s.tag != SEC_FAMILY));
+        let back = decode_module(&bytes).expect("decodes");
+        assert_eq!(back.loops[0].family_hint, None);
+        assert!(!back.loops[0].family_hint_matches(&paper_family()));
+        let a = round_trip(&with).loops[0].hints();
+        let b = back.loops[0].hints();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // Mismatched families do not "match" either.
+        let other = AcceleratorFamily::point(&AcceleratorConfig::infinite());
+        with.loops[0].family_hint = Some(other.fingerprint());
+        let mismatched = round_trip(&with);
+        assert!(!mismatched.loops[0].family_hint_matches(&paper_family()));
+        assert!(mismatched.loops[0].family_hint_matches(&other));
+    }
+
+    #[test]
+    fn family_section_corruption_detected() {
+        let mut bytes = encode_module(&hinted_module());
+        let sections = section_ranges(&bytes).expect("framing walks");
+        let fam = sections
+            .iter()
+            .find(|s| s.tag == SEC_FAMILY)
+            .expect("family section present")
+            .clone();
+        bytes[fam.payload.start] ^= 0x01;
+        assert_eq!(
+            decode_module(&bytes).unwrap_err(),
+            DecodeError::SectionChecksum(SEC_FAMILY)
+        );
+        // Resealed wrong-size payload: transport passes, the sub-decoder
+        // refuses the trailing bytes.
+        let mut bytes = encode_module(&hinted_module());
+        let mut sections = section_ranges(&bytes).expect("framing walks");
+        let fam = sections
+            .iter_mut()
+            .find(|s| s.tag == SEC_FAMILY)
+            .expect("family section present")
+            .clone();
+        bytes.insert(fam.payload.end, 0xAB);
+        let len_at = fam.frame.start + 1;
+        bytes[len_at..len_at + 4].copy_from_slice(&9u32.to_le_bytes());
+        let mut grown = fam.clone();
+        grown.payload = fam.payload.start..fam.payload.end + 1;
+        reseal_section(&mut bytes, &grown);
+        assert_eq!(
+            decode_module(&bytes).unwrap_err(),
+            DecodeError::SectionTrailing(SEC_FAMILY)
+        );
     }
 
     #[test]
@@ -694,6 +808,7 @@ mod tests {
                 body: sample_loop(),
                 priority_hint: Some(vec![OpId::new(0)]),
                 cca_hint: None,
+                family_hint: None,
             }],
         };
         let without = BinaryModule {
@@ -701,6 +816,7 @@ mod tests {
                 body: sample_loop(),
                 priority_hint: None,
                 cca_hint: None,
+                family_hint: None,
             }],
         };
         let a = round_trip(&with);
@@ -739,6 +855,7 @@ mod tests {
                 body: sample_loop(),
                 priority_hint: Some(vec![OpId::new(9999)]),
                 cca_hint: None,
+                family_hint: None,
             }],
         };
         let bytes = encode_module(&m);
@@ -752,6 +869,7 @@ mod tests {
                 body: sample_loop(),
                 priority_hint: None,
                 cca_hint: Some(vec![vec![OpId::new(9999)]]),
+                family_hint: None,
             }],
         };
         let bytes = encode_module(&m);
@@ -942,6 +1060,7 @@ mod tests {
                 body: LoopBody::new("cyclic", dfg),
                 priority_hint: None,
                 cca_hint: None,
+                family_hint: None,
             }],
         };
         let bytes = encode_module(&m);

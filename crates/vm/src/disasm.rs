@@ -21,6 +21,7 @@ use veal_ir::asm::to_asm;
 ///         body: LoopBody::new("copy", b.finish()),
 ///         priority_hint: None,
 ///         cca_hint: None,
+///         family_hint: None,
 ///     }],
 /// };
 /// let text = disassemble(&m);
@@ -40,6 +41,9 @@ pub fn disassemble(module: &BinaryModule) -> String {
                 let ids: Vec<String> = g.iter().map(|o| format!("%{}", o.index())).collect();
                 let _ = writeln!(out, ";; .cca {}", ids.join(" "));
             }
+        }
+        if let Some(fp) = l.family_hint {
+            let _ = writeln!(out, ";; .family {fp:#018x}");
         }
         let _ = write!(out, "{}", to_asm(&l.body));
         let _ = writeln!(out);
@@ -64,11 +68,13 @@ mod tests {
                 body: LoopBody::new("l", b.finish()),
                 priority_hint: Some(vec![OpId::new(1), OpId::new(0), OpId::new(2)]),
                 cca_hint: Some(vec![vec![OpId::new(1)]]),
+                family_hint: Some(0xFA51),
             }],
         };
         let text = disassemble(&m);
         assert!(text.contains(";; .priority %1 %0 %2"));
         assert!(text.contains(";; .cca %1"));
+        assert!(text.contains(";; .family 0x000000000000fa51"));
         assert!(text.contains("add"));
     }
 
@@ -84,6 +90,7 @@ mod tests {
                 body: body.clone(),
                 priority_hint: None,
                 cca_hint: None,
+                family_hint: None,
             }],
         };
         let text = disassemble(&m);

@@ -382,6 +382,7 @@ mod tests {
             loops: vec![EncodedLoop {
                 priority_hint: hints.priority,
                 cca_hint: hints.cca_groups,
+                family_hint: None,
                 body,
             }],
         })

@@ -67,9 +67,12 @@ pub use cache::{CacheStats, CodeCache};
 pub use disasm::disassemble;
 pub use faults::{check_degradation, exposed_translator, FaultVerdict, HintFuzzer};
 pub use hints::{compute_hints, StaticHints};
-pub use memo::{MemoBackend, MemoKey, MemoStats, MemoizedOutcome, ShardedMemo, TranslationMemo};
-pub use session::{fold_vm_stats, VmSession, VmStats};
+pub use memo::{
+    MemoBackend, MemoEntry, MemoKey, MemoStats, MemoizedOutcome, ShardedMemo, TranslationMemo,
+};
+pub use session::{fold_vm_stats, ConcretizeStats, VmSession, VmStats};
 pub use translator::{
-    TranslatedLoop, TranslationError, TranslationOutcome, TranslationPolicy, Translator,
+    SymbolicTranslation, TranslatedLoop, TranslationError, TranslationOutcome, TranslationPolicy,
+    Translator,
 };
 pub use verify::{DegradeReason, HintError, HintVerdict};

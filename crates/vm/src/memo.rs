@@ -15,7 +15,7 @@
 //! exactly as a fresh translation would — so memoized runs produce
 //! bit-identical simulated numbers.
 
-use crate::translator::{TranslatedLoop, TranslationError};
+use crate::translator::{SymbolicTranslation, TranslatedLoop, TranslationError};
 use crate::verify::HintVerdict;
 use std::collections::HashMap;
 use std::fmt;
@@ -62,6 +62,24 @@ pub struct MemoizedOutcome {
     pub verdict: HintVerdict,
 }
 
+/// What a memo slot stores: a concrete outcome at one exact configuration
+/// (the classic point entry), or a family-keyed symbolic translation that
+/// each session concretizes at its own configuration.
+///
+/// The two kinds can never collide on a key: point keys carry
+/// [`crate::Translator::fingerprint`] and family keys carry
+/// [`crate::Translator::family_fingerprint`], which hash disjoint domains
+/// (the family fingerprint leads with a domain tag).
+#[derive(Debug, Clone)]
+pub enum MemoEntry {
+    /// A concrete outcome at one configuration.
+    Point(MemoizedOutcome),
+    /// One symbolic translation shared by every configuration in a family;
+    /// `Arc` because concurrent sessions concretize it in place (its
+    /// RecMII/priority caches are internally synchronized).
+    Family(Arc<SymbolicTranslation>),
+}
+
 /// Hit/miss counters of a memo table, snapshot at a point in time.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MemoStats {
@@ -86,13 +104,13 @@ impl MemoStats {
     }
 }
 
-/// Thread-safe memo table mapping [`MemoKey`] → [`MemoizedOutcome`].
+/// Thread-safe memo table mapping [`MemoKey`] → [`MemoEntry`].
 ///
 /// Shared across sessions (and worker threads) via `Arc`; see
 /// [`crate::VmSession::with_memo`].
 #[derive(Debug, Default)]
 pub struct TranslationMemo {
-    map: Mutex<HashMap<MemoKey, MemoizedOutcome>>,
+    map: Mutex<HashMap<MemoKey, MemoEntry>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -111,7 +129,7 @@ impl TranslationMemo {
     /// a sweep worker that panicked mid-translation can never have left the
     /// map half-updated — the surviving threads keep the memo.
     #[must_use]
-    pub fn get(&self, key: &MemoKey) -> Option<MemoizedOutcome> {
+    pub fn get(&self, key: &MemoKey) -> Option<MemoEntry> {
         let found = self
             .map
             .lock()
@@ -133,7 +151,7 @@ impl TranslationMemo {
     /// the single-flight layer to re-check the table after the counted
     /// lookup already missed, so one logical lookup is counted exactly once.
     #[must_use]
-    pub fn peek(&self, key: &MemoKey) -> Option<MemoizedOutcome> {
+    pub fn peek(&self, key: &MemoKey) -> Option<MemoEntry> {
         self.map
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
@@ -141,9 +159,9 @@ impl TranslationMemo {
             .cloned()
     }
 
-    /// Stores an outcome. First writer wins on a racing key (both computed
+    /// Stores an entry. First writer wins on a racing key (both computed
     /// the same deterministic result, so either is correct).
-    pub fn insert(&self, key: MemoKey, outcome: MemoizedOutcome) {
+    pub fn insert(&self, key: MemoKey, outcome: MemoEntry) {
         self.map
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
@@ -176,10 +194,10 @@ impl TranslationMemo {
 /// backends never changes a session's statistics.
 pub trait MemoBackend: fmt::Debug + Send + Sync {
     /// Looks up `key`, counting a hit or miss.
-    fn get(&self, key: &MemoKey) -> Option<MemoizedOutcome>;
+    fn get(&self, key: &MemoKey) -> Option<MemoEntry>;
 
-    /// Stores an outcome; first writer wins on a racing key.
-    fn insert(&self, key: MemoKey, outcome: MemoizedOutcome);
+    /// Stores an entry; first writer wins on a racing key.
+    fn insert(&self, key: MemoKey, outcome: MemoEntry);
 
     /// Aggregate hit/miss/size counters.
     fn stats(&self) -> MemoStats;
@@ -192,8 +210,8 @@ pub trait MemoBackend: fmt::Debug + Send + Sync {
     fn get_or_insert_with(
         &self,
         key: &MemoKey,
-        compute: &mut dyn FnMut() -> MemoizedOutcome,
-    ) -> (MemoizedOutcome, bool) {
+        compute: &mut dyn FnMut() -> MemoEntry,
+    ) -> (MemoEntry, bool) {
         if let Some(hit) = self.get(key) {
             return (hit, true);
         }
@@ -204,11 +222,11 @@ pub trait MemoBackend: fmt::Debug + Send + Sync {
 }
 
 impl MemoBackend for TranslationMemo {
-    fn get(&self, key: &MemoKey) -> Option<MemoizedOutcome> {
+    fn get(&self, key: &MemoKey) -> Option<MemoEntry> {
         TranslationMemo::get(self, key)
     }
 
-    fn insert(&self, key: MemoKey, outcome: MemoizedOutcome) {
+    fn insert(&self, key: MemoKey, outcome: MemoEntry) {
         TranslationMemo::insert(self, key, outcome);
     }
 
@@ -235,8 +253,8 @@ fn flight_counters() -> (&'static Counter, &'static Counter) {
 enum FlightState {
     /// The leader is still computing.
     Pending,
-    /// The leader finished; waiters take the stored outcome.
-    Ready(MemoizedOutcome),
+    /// The leader finished; waiters take the stored entry.
+    Ready(MemoEntry),
     /// The leader panicked before publishing; waiters re-elect.
     Abandoned,
 }
@@ -364,7 +382,7 @@ struct LeaderGuard<'a> {
     shard: &'a Shard,
     key: MemoKey,
     flight: Arc<InFlight>,
-    outcome: Option<MemoizedOutcome>,
+    outcome: Option<MemoEntry>,
 }
 
 impl Drop for LeaderGuard<'_> {
@@ -391,11 +409,11 @@ impl Drop for LeaderGuard<'_> {
 }
 
 impl MemoBackend for ShardedMemo {
-    fn get(&self, key: &MemoKey) -> Option<MemoizedOutcome> {
+    fn get(&self, key: &MemoKey) -> Option<MemoEntry> {
         self.shard(key).memo.get(key)
     }
 
-    fn insert(&self, key: MemoKey, outcome: MemoizedOutcome) {
+    fn insert(&self, key: MemoKey, outcome: MemoEntry) {
         self.shard(&key).memo.insert(key, outcome);
     }
 
@@ -415,8 +433,8 @@ impl MemoBackend for ShardedMemo {
     fn get_or_insert_with(
         &self,
         key: &MemoKey,
-        compute: &mut dyn FnMut() -> MemoizedOutcome,
-    ) -> (MemoizedOutcome, bool) {
+        compute: &mut dyn FnMut() -> MemoEntry,
+    ) -> (MemoEntry, bool) {
         let shard = self.shard(key);
         // Counted lookup, identical to the unsharded fast path.
         if let Some(hit) = shard.memo.get(key) {
@@ -513,14 +531,18 @@ mod tests {
         }
     }
 
-    fn failed_outcome() -> MemoizedOutcome {
-        MemoizedOutcome {
+    fn failed_outcome() -> MemoEntry {
+        MemoEntry::Point(MemoizedOutcome {
             result: Err(crate::TranslationError::Unsupported(
                 veal_ir::streams::SeparationError::CallInLoop,
             )),
             breakdown: PhaseBreakdown::default(),
             verdict: HintVerdict::default(),
-        }
+        })
+    }
+
+    fn is_failed(entry: &MemoEntry) -> bool {
+        matches!(entry, MemoEntry::Point(m) if m.result.is_err())
     }
 
     #[test]
@@ -638,7 +660,7 @@ mod tests {
                         std::thread::sleep(std::time::Duration::from_millis(20));
                         failed_outcome()
                     });
-                    assert!(out.result.is_err());
+                    assert!(is_failed(&out));
                 });
             }
         });
@@ -657,7 +679,7 @@ mod tests {
         // The key is not wedged: the next caller becomes the leader.
         let (out, hit) = memo.get_or_insert_with(&key(3), &mut failed_outcome);
         assert!(!hit);
-        assert!(out.result.is_err());
+        assert!(is_failed(&out));
         assert_eq!(memo.computes(), 1);
         assert_eq!(MemoBackend::stats(&memo).entries, 1);
     }
@@ -689,7 +711,7 @@ mod tests {
             barrier.wait();
             let (out, hit) = memo.get_or_insert_with(&key(9), &mut failed_outcome);
             assert!(!hit);
-            assert!(out.result.is_err());
+            assert!(is_failed(&out));
         });
         assert_eq!(memo.computes(), 1, "the re-elected follower computed");
         assert_eq!(memo.coalesced(), 0, "no outcome was ever received");

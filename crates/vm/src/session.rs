@@ -2,13 +2,14 @@
 
 use crate::cache::{CacheStats, CodeCache};
 use crate::hints::StaticHints;
-use crate::memo::{MemoBackend, MemoKey, MemoizedOutcome, TranslationMemo};
+use crate::memo::{MemoBackend, MemoEntry, MemoKey, MemoizedOutcome, TranslationMemo};
 use crate::translator::{TranslatedLoop, TranslationOutcome, Translator};
 use crate::verify::DegradeReason;
 use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, OnceLock};
+use veal_accel::AcceleratorFamily;
 use veal_ir::meter::ALL_PHASES;
-use veal_ir::{CostMeter, LoopBody, PhaseBreakdown};
+use veal_ir::{CostMeter, LoopBody, Phase, PhaseBreakdown};
 use veal_obs::{metrics, Event, HintKind, Histogram, Trace, TranslateStatus};
 
 fn invoke_wall_ns() -> &'static Histogram {
@@ -61,6 +62,19 @@ impl VmStats {
     }
 }
 
+/// Host-side cost of family-mode dispatch, metered separately from
+/// [`VmStats`]: concretization is real work this process does, but the
+/// *simulated* machine's translation story must stay bit-identical to the
+/// point-keyed path (point translations have no concretize step), so these
+/// units never enter a session's breakdown or translation counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConcretizeStats {
+    /// Family entries instantiated at this session's configuration.
+    pub concretizations: u64,
+    /// Abstract [`Phase::Concretize`] units charged for them.
+    pub units: u64,
+}
+
 /// One loop invocation's outcome as seen by the VM.
 #[derive(Debug, Clone)]
 pub struct Invocation {
@@ -88,6 +102,15 @@ pub struct VmSession {
     /// Optional cross-session translation memo (sweep engine, serving
     /// path). `None` keeps the session fully self-contained.
     memo: Option<Arc<dyn MemoBackend>>,
+    /// Family mode: when set (and a memo is attached), misses are keyed on
+    /// [`Translator::family_fingerprint`] and store one symbolic
+    /// translation per `(loop, family, hints)`, concretized locally at this
+    /// session's configuration.
+    family: Option<Arc<AcceleratorFamily>>,
+    /// Cached family fingerprint for the attached family.
+    family_fp: u64,
+    /// Session-level concretize meter (see [`ConcretizeStats`]).
+    concretize: ConcretizeStats,
     /// Optional translation budget: a translation whose total cost exceeds
     /// this many abstract units is abandoned and the loop pinned to the CPU
     /// (watchdog against adversarial hints that inflate validation or
@@ -124,6 +147,9 @@ impl VmSession {
             rejected: HashSet::new(),
             stats: VmStats::default(),
             memo: None,
+            family: None,
+            family_fp: 0,
+            concretize: ConcretizeStats::default(),
             budget: None,
             hint_failures: HashMap::new(),
             quarantined: HashMap::new(),
@@ -174,10 +200,36 @@ impl VmSession {
         self
     }
 
+    /// Switches the memo path to **family mode**: misses store one
+    /// symbolic translation under the family fingerprint, and every lookup
+    /// (hit or miss) concretizes it at this session's configuration —
+    /// so N member configurations share one memo entry instead of N.
+    ///
+    /// Outcomes and [`VmStats`] stay bit-identical to the point-keyed path;
+    /// the real host cost of concretization is metered separately in
+    /// [`VmSession::concretize_stats`]. A translator whose configuration is
+    /// not a member of `family` (different latency model, out-of-range
+    /// axis) keeps the point-keyed path — a symbolic translation would not
+    /// be valid for it.
+    #[must_use]
+    pub fn with_family(mut self, family: Arc<AcceleratorFamily>) -> Self {
+        if family.contains(self.translator.config()) {
+            self.family_fp = self.translator.family_fingerprint(&family);
+            self.family = Some(family);
+        }
+        self
+    }
+
     /// The translator in use.
     #[must_use]
     pub fn translator(&self) -> &Translator {
         &self.translator
+    }
+
+    /// Family-mode concretization telemetry (zero outside family mode).
+    #[must_use]
+    pub fn concretize_stats(&self) -> ConcretizeStats {
+        self.concretize
     }
 
     /// Handles one invocation of the loop identified by `key`.
@@ -241,22 +293,34 @@ impl VmSession {
         // backend may coalesce concurrent misses onto one translation
         // (single-flight); the stored outcome replays identically either
         // way.
-        let translator = &self.translator;
-        let outcome: MemoizedOutcome = match &self.memo {
+        let outcome: MemoizedOutcome = match self.memo.clone() {
             Some(memo) => {
+                let translator = &self.translator;
+                let family_mode = self.family.is_some();
                 let mkey = MemoKey {
                     loop_hash: body.content_hash(),
-                    translator_fp: self.translator_fp,
+                    translator_fp: if family_mode {
+                        self.family_fp
+                    } else {
+                        self.translator_fp
+                    },
                     hints_fp,
                 };
                 let mut computed_here = false;
-                let (outcome, hit) = memo.get_or_insert_with(&mkey, &mut || {
+                let (entry, hit) = memo.get_or_insert_with(&mkey, &mut || {
                     computed_here = true;
-                    let fresh: TranslationOutcome = translator.translate(body, hints);
-                    MemoizedOutcome {
-                        result: fresh.result.map(Arc::new),
-                        breakdown: fresh.breakdown,
-                        verdict: fresh.verdict,
+                    if family_mode {
+                        // One symbolic translation per (loop, family,
+                        // hints); every member configuration concretizes
+                        // it below.
+                        MemoEntry::Family(Arc::new(translator.translate_symbolic(body, hints)))
+                    } else {
+                        let fresh: TranslationOutcome = translator.translate(body, hints);
+                        MemoEntry::Point(MemoizedOutcome {
+                            result: fresh.result.map(Arc::new),
+                            breakdown: fresh.breakdown,
+                            verdict: fresh.verdict,
+                        })
                     }
                 });
                 // `hit` answers "did the table answer directly"; a coalesced
@@ -267,10 +331,27 @@ impl VmSession {
                 } else {
                     self.trace.emit(|| Event::MemoMiss { key });
                 }
-                outcome
+                match entry {
+                    MemoEntry::Point(m) => m,
+                    MemoEntry::Family(sym) => {
+                        // Hit or miss, the family entry is instantiated at
+                        // this session's configuration. The outcome is
+                        // bit-identical to a direct translation; the real
+                        // host work lands on the concretize meter only.
+                        let mut cm = CostMeter::new();
+                        let fresh = self.translator.concretize(&sym, &mut cm);
+                        self.concretize.concretizations += 1;
+                        self.concretize.units += cm.breakdown().get(Phase::Concretize);
+                        MemoizedOutcome {
+                            result: fresh.result.map(Arc::new),
+                            breakdown: fresh.breakdown,
+                            verdict: fresh.verdict,
+                        }
+                    }
+                }
             }
             None => {
-                let fresh: TranslationOutcome = translator.translate(body, hints);
+                let fresh: TranslationOutcome = self.translator.translate(body, hints);
                 MemoizedOutcome {
                     result: fresh.result.map(Arc::new),
                     breakdown: fresh.breakdown,

@@ -4,14 +4,16 @@ use crate::hints::StaticHints;
 use crate::verify::{verify_and_apply_cca, verify_priority, HintVerdict};
 use std::fmt;
 use std::sync::OnceLock;
-use veal_accel::AcceleratorConfig;
+use veal_accel::{AcceleratorConfig, AcceleratorFamily};
 use veal_cca::{map_cca, CcaSpec};
 use veal_ir::dfg::Dfg;
 use veal_ir::meter::ALL_PHASES;
 use veal_ir::streams::{separate, SeparationError, StreamSummary};
-use veal_ir::{CostMeter, LoopBody, Phase, PhaseBreakdown};
+use veal_ir::{CostMeter, LoopBody, OpId, Phase, PhaseBreakdown};
 use veal_obs::{metrics, Counter, Histogram, Trace};
-use veal_sched::{modulo_schedule, PriorityKind, ScheduleError, ScheduleOptions, ScheduledLoop};
+use veal_sched::{
+    modulo_schedule, PriorityKind, ScheduleError, ScheduleOptions, ScheduledLoop, SymbolicSchedule,
+};
 
 /// Wall-clock per [`Translator::translate`] call. Wall time lives only in
 /// the metrics registry — never in trace events — and is only measured
@@ -30,8 +32,8 @@ fn translate_units_hist() -> &'static Histogram {
 /// Cumulative abstract units per phase, in [`ALL_PHASES`] order. These are
 /// always on (one relaxed add per non-zero phase per translation); they
 /// read the finished meter and never feed it.
-fn phase_unit_counters() -> &'static [&'static Counter; 9] {
-    static C: OnceLock<[&'static Counter; 9]> = OnceLock::new();
+fn phase_unit_counters() -> &'static [&'static Counter; 10] {
+    static C: OnceLock<[&'static Counter; 10]> = OnceLock::new();
     C.get_or_init(|| {
         [
             metrics::counter("vm.translate.units.loop-ident"),
@@ -43,8 +45,22 @@ fn phase_unit_counters() -> &'static [&'static Counter; 9] {
             metrics::counter("vm.translate.units.scheduling"),
             metrics::counter("vm.translate.units.reg-assign"),
             metrics::counter("vm.translate.units.hint-decode"),
+            metrics::counter("vm.translate.units.concretize"),
         ]
     })
+}
+
+/// Wall-clock per [`Translator::concretize`] call (family-mode dispatch).
+fn concretize_wall_ns() -> &'static Histogram {
+    static H: OnceLock<&'static Histogram> = OnceLock::new();
+    H.get_or_init(|| metrics::histogram("vm.concretize.wall_ns"))
+}
+
+/// Process-global count of [`Translator::concretize`] calls, always on
+/// (benchmarks read the delta around a family-mode arm).
+fn concretize_calls() -> &'static Counter {
+    static C: OnceLock<&'static Counter> = OnceLock::new();
+    C.get_or_init(|| metrics::counter("vm.translate.concretizations"))
 }
 
 fn record_phase_units(breakdown: &PhaseBreakdown) {
@@ -178,6 +194,62 @@ impl TranslationOutcome {
     }
 }
 
+/// The configuration-independent prefix of one loop's translation, valid
+/// for every member of an [`AcceleratorFamily`]: the separated (and
+/// CCA-collapsed) graph, the hint verdict, the verified static order, the
+/// exact charges the prefix made, and the [`SymbolicSchedule`] whose caches
+/// answer RecMII and priority per concretization.
+///
+/// Built once per `(loop, family, hints)` by
+/// [`Translator::translate_symbolic`] and stored in the family-keyed memo
+/// ([`crate::memo::MemoEntry::Family`]); every session dispatching on a
+/// member configuration turns it into a concrete [`TranslationOutcome`]
+/// with [`Translator::concretize`], bit-identical to what
+/// [`Translator::translate`] would have produced directly.
+#[derive(Debug)]
+pub struct SymbolicTranslation {
+    /// Ops in the original (pre-separation) body; drives the deterministic
+    /// concretize charge.
+    loop_len: usize,
+    /// Exact charges of the shared prefix (loop identification through
+    /// hint verification) — replayed verbatim into every concretization.
+    prefix: PhaseBreakdown,
+    /// The original hint verdict (hint validation is config-independent).
+    verdict: HintVerdict,
+    /// Prefix products, or the separation error that ended translation.
+    body: Result<SymbolicBody, SeparationError>,
+}
+
+#[derive(Debug)]
+struct SymbolicBody {
+    dfg: Dfg,
+    summary: StreamSummary,
+    cca_groups: usize,
+    static_order: Option<Vec<OpId>>,
+    sym: SymbolicSchedule,
+}
+
+impl SymbolicTranslation {
+    /// Whether the prefix succeeded (a failed separation concretizes to the
+    /// same `Unsupported` outcome at every configuration).
+    #[must_use]
+    pub fn is_separable(&self) -> bool {
+        self.body.is_ok()
+    }
+
+    /// Distinct priority orders cached so far (one per MII observed across
+    /// concretizations; telemetry).
+    #[must_use]
+    pub fn cached_orders(&self) -> usize {
+        self.body.as_ref().map_or(0, |b| b.sym.cached_orders())
+    }
+}
+
+/// Everything the configuration-independent prefix produces: the separated
+/// compute graph, its stream summary, the CCA group count, the hint-decoded
+/// priority order (when the policy accepted one), and the hint verdict.
+type PrefixParts = (Dfg, StreamSummary, usize, Option<Vec<OpId>>, HintVerdict);
+
 /// The VM's loop translator for one accelerator configuration.
 #[derive(Debug, Clone)]
 pub struct Translator {
@@ -257,31 +329,23 @@ impl Translator {
         h.finish()
     }
 
-    /// Translates one loop body, charging every phase to a fresh meter.
-    ///
-    /// The pipeline mirrors Figure 5's walkthrough: loop identification,
-    /// control/stream separation, CCA mapping (decoded from hints when the
-    /// policy and binary allow, recomputed otherwise), MII, priority
-    /// (likewise), scheduling, register assignment.
-    #[must_use]
-    pub fn translate(&self, body: &LoopBody, hints: &StaticHints) -> TranslationOutcome {
-        let _wall = self.trace.timer(translate_wall_ns());
-        let mut meter = CostMeter::new();
+    /// Runs the configuration-independent prefix of the pipeline: loop
+    /// identification, control/stream separation, CCA mapping (decoded from
+    /// hints when the policy and binary allow, recomputed otherwise), and
+    /// static-priority verification. Within a family fixing the latency
+    /// model and CCA presence, nothing here reads unit/register/II counts —
+    /// which is what makes [`Translator::translate_symbolic`] sound.
+    fn prefix(
+        &self,
+        body: &LoopBody,
+        hints: &StaticHints,
+        meter: &mut CostMeter,
+    ) -> Result<PrefixParts, SeparationError> {
         // Loop identification: linear scan of the loop's instructions
         // (region formation already found the backward branch).
         meter.charge(Phase::LoopIdent, body.dfg.len() as u64 + 8);
 
-        let sep = match separate(&body.dfg, &mut meter) {
-            Ok(sep) => sep,
-            Err(e) => {
-                record_phase_units(meter.breakdown());
-                return TranslationOutcome {
-                    result: Err(TranslationError::Unsupported(e)),
-                    breakdown: *meter.breakdown(),
-                    verdict: HintVerdict::default(),
-                };
-            }
-        };
+        let sep = separate(&body.dfg, meter)?;
         let summary = sep.summary();
         let mut dfg = sep.dfg;
         let mut verdict = HintVerdict::default();
@@ -298,29 +362,29 @@ impl Translator {
                     // identifier, exactly the fully-dynamic path (paper
                     // §4.2's compatibility story), and is recorded in the
                     // verdict.
-                    match verify_and_apply_cca(&mut dfg, spec, groups, &mut meter) {
+                    match verify_and_apply_cca(&mut dfg, spec, groups, meter) {
                         Ok(n) => {
                             cca_groups = n;
                             verdict.cca = Some(Ok(()));
                         }
                         Err(e) => {
                             verdict.cca = Some(Err(e));
-                            cca_groups = map_cca(&mut dfg, spec, &mut meter).len();
+                            cca_groups = map_cca(&mut dfg, spec, meter).len();
                         }
                     }
                 }
                 // No hints in the binary: a legacy binary under a static
                 // policy leaves the CCA idle for this loop.
             } else {
-                let groups = map_cca(&mut dfg, spec, &mut meter);
+                let groups = map_cca(&mut dfg, spec, meter);
                 cca_groups = groups.len();
             }
         }
 
-        // --- Priority / scheduling / registers ---------------------------
+        // --- Static priority ---------------------------------------------
         let static_order = if self.policy.static_priority {
             match &hints.priority {
-                Some(order) => match verify_priority(&dfg, order, &mut meter) {
+                Some(order) => match verify_priority(&dfg, order, meter) {
                     Ok(()) => {
                         verdict.priority = Some(Ok(()));
                         Some(order.clone())
@@ -338,6 +402,32 @@ impl Translator {
         } else {
             None
         };
+
+        Ok((dfg, summary, cca_groups, static_order, verdict))
+    }
+
+    /// Translates one loop body, charging every phase to a fresh meter.
+    ///
+    /// The pipeline mirrors Figure 5's walkthrough: loop identification,
+    /// control/stream separation, CCA mapping (decoded from hints when the
+    /// policy and binary allow, recomputed otherwise), MII, priority
+    /// (likewise), scheduling, register assignment.
+    #[must_use]
+    pub fn translate(&self, body: &LoopBody, hints: &StaticHints) -> TranslationOutcome {
+        let _wall = self.trace.timer(translate_wall_ns());
+        let mut meter = CostMeter::new();
+        let (dfg, summary, cca_groups, static_order, verdict) =
+            match self.prefix(body, hints, &mut meter) {
+                Ok(p) => p,
+                Err(e) => {
+                    record_phase_units(meter.breakdown());
+                    return TranslationOutcome {
+                        result: Err(TranslationError::Unsupported(e)),
+                        breakdown: *meter.breakdown(),
+                        verdict: HintVerdict::default(),
+                    };
+                }
+            };
 
         let options = ScheduleOptions {
             priority: self.policy.priority,
@@ -364,6 +454,130 @@ impl Translator {
             breakdown: *meter.breakdown(),
             verdict,
         }
+    }
+
+    /// Runs the configuration-independent prefix once and packages it as a
+    /// [`SymbolicTranslation`], reusable across every configuration of a
+    /// family that shares this translator's latency model and CCA presence.
+    ///
+    /// The suffix (ResMII, scheduling, register assignment) is *not* run —
+    /// [`Translator::concretize`] runs it per member configuration, and the
+    /// combined outcome is bit-identical to [`Translator::translate`].
+    #[must_use]
+    pub fn translate_symbolic(&self, body: &LoopBody, hints: &StaticHints) -> SymbolicTranslation {
+        let mut meter = CostMeter::new();
+        match self.prefix(body, hints, &mut meter) {
+            Ok((dfg, summary, cca_groups, static_order, verdict)) => SymbolicTranslation {
+                loop_len: body.dfg.len(),
+                prefix: *meter.breakdown(),
+                verdict,
+                body: Ok(SymbolicBody {
+                    dfg,
+                    summary,
+                    cca_groups,
+                    static_order,
+                    sym: SymbolicSchedule::new(),
+                }),
+            },
+            Err(e) => SymbolicTranslation {
+                loop_len: body.dfg.len(),
+                prefix: *meter.breakdown(),
+                verdict: HintVerdict::default(),
+                body: Err(e),
+            },
+        }
+    }
+
+    /// Instantiates a symbolic translation at this translator's concrete
+    /// configuration: replays the prefix charges verbatim, answers RecMII
+    /// and priority from the symbolic caches, and runs only the
+    /// configuration-dependent suffix for real (O(ops), on the scheduler's
+    /// thread-local scratch pool).
+    ///
+    /// The returned outcome — result, breakdown, verdict — is bit-identical
+    /// to [`Translator::translate`] on the same `(body, hints)`. The real
+    /// host work of concretization is charged as [`Phase::Concretize`] to
+    /// `concretize_meter` (the session-level meter), never into the
+    /// outcome's own breakdown: point translations have no such step, and
+    /// family-mode statistics must replay exactly.
+    #[must_use]
+    pub fn concretize(
+        &self,
+        sym: &SymbolicTranslation,
+        concretize_meter: &mut CostMeter,
+    ) -> TranslationOutcome {
+        let _wall = self.trace.timer(concretize_wall_ns());
+        // Deterministic concretize charge: one pass over the loop plus
+        // fixed per-phase bookkeeping.
+        let units = sym.loop_len as u64 + ALL_PHASES.len() as u64;
+        concretize_meter.charge(Phase::Concretize, units);
+        phase_unit_counters()[ALL_PHASES.len() - 1].add(units);
+        concretize_calls().inc();
+
+        let mut meter = CostMeter::new();
+        for &p in ALL_PHASES {
+            let c = sym.prefix.get(p);
+            if c != 0 {
+                meter.charge(p, c);
+            }
+        }
+        let result = match &sym.body {
+            Err(e) => Err(TranslationError::Unsupported(e.clone())),
+            Ok(b) => {
+                let options = ScheduleOptions {
+                    priority: self.policy.priority,
+                    static_order: b.static_order.clone(),
+                    streams: Some(b.summary),
+                };
+                match veal_sched::concretize(&b.sym, &b.dfg, &self.config, &options, &mut meter) {
+                    Ok(scheduled) => {
+                        let control_words = scheduled.schedule.control_words(&self.config);
+                        Ok(TranslatedLoop {
+                            accel_ops: b.dfg.schedulable_ops().count(),
+                            scheduled,
+                            streams: b.summary,
+                            control_words,
+                            cca_groups: b.cca_groups,
+                            dfg: b.dfg.clone(),
+                        })
+                    }
+                    Err(e) => Err(TranslationError::Schedule(e)),
+                }
+            }
+        };
+        TranslationOutcome {
+            result,
+            breakdown: *meter.breakdown(),
+            verdict: sym.verdict.clone(),
+        }
+    }
+
+    /// Family analogue of [`Translator::fingerprint`]: stable over
+    /// everything that determines a *symbolic* translation for a given
+    /// `(body, hints)` pair — the family's axis ranges and latency model,
+    /// the CCA shape, and the policy bits. A leading domain tag keeps
+    /// family keys disjoint from point keys even for a degenerate
+    /// single-point family, so the two entry kinds can never coalesce in a
+    /// shared memo.
+    #[must_use]
+    pub fn family_fingerprint(&self, family: &AcceleratorFamily) -> u64 {
+        let mut h = veal_ir::rng::Fnv64::new();
+        h.write_u8(0xFA);
+        h.write_u64(family.fingerprint());
+        match &self.cca {
+            None => h.write_u8(0),
+            Some(spec) => {
+                h.write_u8(1);
+                h.write_u64(spec.fingerprint());
+            }
+        }
+        h.write_u8(u8::from(self.policy.static_cca));
+        h.write_u8(u8::from(self.policy.static_priority));
+        h.write_u8(match self.policy.priority {
+            PriorityKind::Swing => 0,
+            PriorityKind::Height => 1,
+        });
+        h.finish()
     }
 }
 

@@ -31,6 +31,7 @@ fn decoded_binaries_translate_identically() {
                 body: part.body,
                 priority_hint: hints.priority,
                 cca_hint: hints.cca_groups,
+                family_hint: None,
             });
         }
     }
@@ -97,6 +98,7 @@ fn hint_stripped_binary_still_runs_everywhere() {
                 body: part.body,
                 priority_hint: None,
                 cca_hint: None,
+                family_hint: None,
             });
         }
     }

@@ -41,6 +41,7 @@ fn random_loops_round_trip() {
                 body: body.clone(),
                 priority_hint: None,
                 cca_hint: None,
+                family_hint: None,
             }],
         };
         let back = decode_module(&encode_module(&module)).expect("round trip");
@@ -82,11 +83,13 @@ fn hinted_loops_round_trip() {
                 body,
                 priority_hint: hints.priority.clone(),
                 cca_hint: hints.cca_groups.clone(),
+                family_hint: Some(case),
             }],
         };
         let back = decode_module(&encode_module(&module)).expect("round trip");
         assert_eq!(&back.loops[0].priority_hint, &hints.priority, "case {case}");
         assert_eq!(&back.loops[0].cca_hint, &hints.cca_groups, "case {case}");
+        assert_eq!(back.loops[0].family_hint, Some(case), "case {case}");
     });
 }
 
@@ -99,6 +102,7 @@ fn truncation_never_panics() {
                 body,
                 priority_hint: None,
                 cca_hint: None,
+                family_hint: None,
             }],
         };
         let bytes = encode_module(&module);
@@ -118,6 +122,7 @@ fn byte_corruption_never_panics() {
                 body,
                 priority_hint: None,
                 cca_hint: None,
+                family_hint: None,
             }],
         };
         let mut bytes = encode_module(&module);
@@ -145,6 +150,7 @@ fn every_prefix_of_every_module_yields_a_clean_decode_error() {
                 body,
                 priority_hint: hints.priority,
                 cca_hint: hints.cca_groups,
+                family_hint: None,
             }],
         };
         let bytes = encode_module(&module);
@@ -171,6 +177,7 @@ fn multi_loop_modules_preserve_order() {
                     }),
                     priority_hint: None,
                     cca_hint: None,
+                    family_hint: None,
                 })
                 .collect(),
         };

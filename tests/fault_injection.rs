@@ -53,6 +53,7 @@ fn hinted_case(case: u64, salt: u64) -> (veal_ir::LoopBody, veal_vm::StaticHints
         loops: vec![EncodedLoop {
             priority_hint: hints.priority.clone(),
             cca_hint: hints.cca_groups.clone(),
+            family_hint: None,
             body: body.clone(),
         }],
     });

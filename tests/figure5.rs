@@ -58,6 +58,7 @@ fn figure9_static_encodings_round_trip_for_figure5() {
             body: body.clone(),
             priority_hint: hints.priority.clone(),
             cca_hint: hints.cca_groups.clone(),
+            family_hint: None,
         }],
     };
     let decoded = veal::decode_module(&veal::encode_module(&module)).expect("decodes");
