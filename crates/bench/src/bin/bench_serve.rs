@@ -193,6 +193,47 @@ fn main() {
         "family-mode serving must concretize"
     );
 
+    // Restart arm: warm a service, snapshot it, "crash" (drop it), revive
+    // a fresh one from the snapshot, and serve the same stream — the
+    // cold-start tax a deployment avoids by persisting warm state
+    // (DESIGN.md §14). The revived run must compute nothing and stay
+    // bit-identical to the cold reference per tenant.
+    let window = spec.tenants * base.queue_capacity;
+    let restart_cfg = ServeConfig {
+        threads: 1,
+        ..base.clone()
+    };
+    let origin = TranslationService::new(restart_cfg.clone());
+    let t0 = Instant::now();
+    let restart_cold = origin.run_windowed(&stream, window);
+    let restart_cold_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let snapshot = origin.save_snapshot();
+    drop(origin);
+
+    let revived = TranslationService::new(restart_cfg);
+    let t0 = Instant::now();
+    let restore = revived.restore_snapshot(&snapshot);
+    let restore_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t0 = Instant::now();
+    let restart_warm = revived.run_windowed(&stream, window);
+    let restart_warm_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        restore.salvaged + restore.rejected,
+        0,
+        "a pristine snapshot must restore in full"
+    );
+    assert_eq!(
+        restart_warm.stats.computes, 0,
+        "restored memo must absorb every translation"
+    );
+    for (c, w) in restart_cold.tenants.iter().zip(&restart_warm.tenants) {
+        assert_eq!(
+            c.stats, w.stats,
+            "restored tenant {} diverged from the cold run",
+            c.tenant
+        );
+    }
+
     // The paper-style figure: the same dispatch policy in abstract
     // cycles. Simulated lanes cost nothing, so the sweep is fixed —
     // shrinking the wall-clock arms for CI never hides the 4-lane check.
@@ -243,6 +284,14 @@ fn main() {
         concretize_ms
     );
     println!("code caches: {cache_hits} hits / {cache_misses} misses");
+    println!(
+        "restart: cold {:.1} ms, restore {:.3} ms ({} bytes, {} entries), warm {:.1} ms",
+        restart_cold_ms,
+        restore_ms,
+        snapshot.len(),
+        restore.restored(),
+        restart_warm_ms
+    );
 
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"bench\": \"serve\",");
@@ -294,6 +343,18 @@ fn main() {
     let _ = writeln!(json, "  \"concretize_ms\": {concretize_ms:.3},");
     let _ = writeln!(json, "  \"cache_hits\": {cache_hits},");
     let _ = writeln!(json, "  \"cache_misses\": {cache_misses},");
+    let _ = writeln!(
+        json,
+        "  \"restart\": {{\"snapshot_bytes\": {}, \"cold_ms\": {:.3}, \"restore_ms\": {:.3}, \
+         \"warm_ms\": {:.3}, \"restored\": {}, \"salvaged\": {}, \"rejected\": {}}},",
+        snapshot.len(),
+        restart_cold_ms,
+        restore_ms,
+        restart_warm_ms,
+        restore.restored(),
+        restore.salvaged,
+        restore.rejected
+    );
     let _ = writeln!(json, "  \"shed\": {},", report.stats.shed);
     json.push_str("  \"bit_identical\": true\n}\n");
 

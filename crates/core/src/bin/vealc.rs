@@ -7,6 +7,9 @@
 //! vealc suite [--policy ...]                     # run the benchmark suite
 //! vealc stats <trace.jsonl>                      # summarize a --trace-out file
 //! vealc serve [--requests N] [--tenants T] [--threads K] [--trace-out F]
+//! vealc snapshot save <out.vsnp> [--requests N] [--tenants T]
+//! vealc snapshot inspect <file.vsnp>
+//! vealc snapshot restore <file.vsnp> [--requests N] [--tenants T]
 //! ```
 //!
 //! Loop files use the textual assembly format of `veal::ir::asm` (see the
@@ -21,7 +24,7 @@ use veal::{compute_hints, AcceleratorConfig, CcaSpec, StaticHints, System, Trans
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
-        eprintln!("usage: vealc <translate|pack|dump|suite|stats|serve> ...");
+        eprintln!("usage: vealc <translate|pack|dump|suite|stats|serve|snapshot> ...");
         return ExitCode::FAILURE;
     };
     let rest = &args[1..];
@@ -32,6 +35,7 @@ fn main() -> ExitCode {
         "suite" => suite(rest),
         "stats" => stats(rest),
         "serve" => serve(rest),
+        "snapshot" => snapshot(rest),
         other => Err(format!("unknown command `{other}`")),
     };
     match result {
@@ -281,6 +285,148 @@ fn serve(rest: &[String]) -> Result<(), String> {
         );
     }
     trace.flush().map_err(|e| format!("trace: {e}"))?;
+    Ok(())
+}
+
+/// `vealc snapshot save|inspect|restore` — the command-line face of the
+/// warm-state persistence layer (`veal::vm::snapshot`). `save` warms a
+/// service over the seeded load-generator stream and writes its memo to
+/// disk atomically; `inspect` decodes a snapshot without restoring it;
+/// `restore` revives a fresh service from (untrusted) snapshot bytes,
+/// reports per-entry salvage, and re-serves the same stream to show the
+/// warm-start effect. This is the CI smoke path: restore must report
+/// `computes=0`, `duplicate_translations=0`, and `bit-identical: yes`.
+fn snapshot(rest: &[String]) -> Result<(), String> {
+    let sub = rest.first().ok_or("snapshot needs save|inspect|restore")?;
+    let rest = &rest[1..];
+    match sub.as_str() {
+        "save" => snapshot_save(rest),
+        "inspect" => snapshot_inspect(rest),
+        "restore" => snapshot_restore(rest),
+        other => Err(format!("unknown snapshot subcommand `{other}`")),
+    }
+}
+
+/// The first argument that is neither a flag nor a flag's value.
+fn snapshot_path(rest: &[String]) -> Result<&String, String> {
+    let mut skip_next = false;
+    for a in rest {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if a == "--requests" || a == "--tenants" {
+            skip_next = true;
+            continue;
+        }
+        if a.starts_with("--") {
+            continue;
+        }
+        return Ok(a);
+    }
+    Err("snapshot needs a .vsnp path".into())
+}
+
+/// The same seeded stream `save` and `restore` both serve, so a restored
+/// service's warm behaviour is directly comparable to the saved one's.
+fn snapshot_stream(
+    rest: &[String],
+) -> Result<(veal::ServeConfig, Vec<veal::serve::Request>), String> {
+    let flag = |name: &str| -> Result<Option<usize>, String> {
+        match rest.iter().position(|a| a == name) {
+            None => Ok(None),
+            Some(i) => rest
+                .get(i + 1)
+                .and_then(|v| v.parse().ok())
+                .map(Some)
+                .ok_or_else(|| format!("{name} expects a number")),
+        }
+    };
+    let spec = veal::LoadSpec {
+        requests: flag("--requests")?.unwrap_or(128),
+        tenants: flag("--tenants")?.unwrap_or(4).max(1),
+        ..veal::LoadSpec::default()
+    };
+    let config = veal::ServeConfig::paper();
+    let stream = veal::serve::generate(&spec, &config.config, config.cca.as_ref());
+    Ok((config, stream))
+}
+
+fn snapshot_save(rest: &[String]) -> Result<(), String> {
+    let path = snapshot_path(rest)?;
+    let (config, stream) = snapshot_stream(rest)?;
+    let service = veal::TranslationService::new(config);
+    let report = service.run(&stream);
+    let bytes = service.save_snapshot();
+    veal::save_atomic(std::path::Path::new(path), &bytes).map_err(|e| format!("{path}: {e}"))?;
+    println!(
+        "warmed over {} request(s) ({} computed); wrote {} bytes to {path}",
+        report.stats.completed,
+        report.stats.computes,
+        bytes.len()
+    );
+    Ok(())
+}
+
+fn snapshot_inspect(rest: &[String]) -> Result<(), String> {
+    let path = snapshot_path(rest)?;
+    let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    let info = veal::inspect_snapshot(&bytes).map_err(|e| e.to_string())?;
+    println!("{path}: {} bytes", info.total_bytes);
+    match &info.meta {
+        Some(m) => {
+            println!(
+                "  translator fp {:#018x}, family fp {}",
+                m.translator_fp,
+                match m.family_fp {
+                    Some(fp) => format!("{fp:#018x}"),
+                    None => "none".into(),
+                }
+            );
+            println!(
+                "  declared: {} point(s), {} famil(ies), {} cache entr(ies)",
+                m.points, m.families, m.cache_entries
+            );
+        }
+        None => println!("  no meta section"),
+    }
+    println!(
+        "  present: {} point(s), {} famil(ies), {} cache entr(ies)",
+        info.points, info.families, info.cache_entries
+    );
+    println!(
+        "  damage: {} unknown section(s), {} bad checksum(s), torn: {}",
+        info.unknown,
+        info.bad_sections,
+        if info.torn { "yes" } else { "no" }
+    );
+    Ok(())
+}
+
+fn snapshot_restore(rest: &[String]) -> Result<(), String> {
+    let path = snapshot_path(rest)?;
+    let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    let (config, stream) = snapshot_stream(rest)?;
+    let service = veal::TranslationService::new(config);
+    let report = service.restore_snapshot(&bytes);
+    println!(
+        "restored {} entr(ies) from {path}: {} point(s), {} famil(ies), {} cached; \
+         {} salvaged, {} rejected{}",
+        report.restored(),
+        report.points,
+        report.families,
+        report.cache_entries,
+        report.salvaged,
+        report.rejected,
+        if report.torn { " (torn stream)" } else { "" }
+    );
+    let identical = service.save_snapshot() == bytes;
+    let run = service.run(&stream);
+    println!(
+        "served {} request(s): computes={} duplicate_translations={}",
+        run.stats.completed, run.stats.computes, run.stats.duplicate_translations
+    );
+    println!("bit-identical: {}", if identical { "yes" } else { "no" });
     Ok(())
 }
 

@@ -776,6 +776,20 @@ impl Dfg {
         self.rebuild_edges_excluding_dead(Vec::new());
     }
 
+    /// Tombstones one node *without* rebuilding edges. Deserializers use
+    /// this to reproduce a post-rewrite graph slot-for-slot, dead kinds and
+    /// all (the edge array they restore was already rebuilt before
+    /// serialization, so nothing touches the dead slot; if untrusted input
+    /// does add such an edge, [`crate::verify_dfg`] rejects the graph).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn mark_dead(&mut self, id: OpId) {
+        self.invalidate_structure();
+        self.nodes[id.index()].dead = true;
+    }
+
     pub(crate) fn rebuild_edges_excluding_dead(&mut self, extra: Vec<DfgEdge>) {
         self.invalidate_structure();
         let nodes = &self.nodes;

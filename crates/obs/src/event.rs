@@ -164,6 +164,22 @@ pub enum Event {
         /// Index of the point in the sweep's input order.
         index: u64,
     },
+    /// Warm state was restored from a snapshot.
+    SnapshotRestore {
+        /// Entries that entered the live stores.
+        restored: u64,
+        /// Sections skipped for checksum damage or unknown tags.
+        salvaged: u64,
+        /// Sections that decoded but failed re-validation.
+        rejected: u64,
+    },
+    /// A warm-state checkpoint was written to disk.
+    CheckpointWrite {
+        /// Snapshot size in bytes.
+        bytes: u64,
+        /// Write attempts beyond the first (bounded retry on I/O failure).
+        retries: u64,
+    },
 }
 
 impl Event {
@@ -183,6 +199,8 @@ impl Event {
             Event::MemoMiss { .. } => "memo_miss",
             Event::PointStart { .. } => "point_start",
             Event::PointEnd { .. } => "point_end",
+            Event::SnapshotRestore { .. } => "snapshot_restore",
+            Event::CheckpointWrite { .. } => "checkpoint_write",
         }
     }
 
@@ -236,6 +254,19 @@ impl Event {
             }
             Event::PointStart { index } | Event::PointEnd { index } => {
                 push_num(&mut out, "index", *index);
+            }
+            Event::SnapshotRestore {
+                restored,
+                salvaged,
+                rejected,
+            } => {
+                push_num(&mut out, "restored", *restored);
+                push_num(&mut out, "salvaged", *salvaged);
+                push_num(&mut out, "rejected", *rejected);
+            }
+            Event::CheckpointWrite { bytes, retries } => {
+                push_num(&mut out, "bytes", *bytes);
+                push_num(&mut out, "retries", *retries);
             }
         }
         out.push('}');
@@ -303,6 +334,15 @@ impl Event {
             }),
             "point_end" => Ok(Event::PointEnd {
                 index: num_field(&v, "index")?,
+            }),
+            "snapshot_restore" => Ok(Event::SnapshotRestore {
+                restored: num_field(&v, "restored")?,
+                salvaged: num_field(&v, "salvaged")?,
+                rejected: num_field(&v, "rejected")?,
+            }),
+            "checkpoint_write" => Ok(Event::CheckpointWrite {
+                bytes: num_field(&v, "bytes")?,
+                retries: num_field(&v, "retries")?,
             }),
             other => Err(format!("unknown event {other:?}")),
         }
@@ -479,6 +519,15 @@ mod tests {
             Event::MemoMiss { key: 5 },
             Event::PointStart { index: 0 },
             Event::PointEnd { index: 0 },
+            Event::SnapshotRestore {
+                restored: 12,
+                salvaged: 1,
+                rejected: 2,
+            },
+            Event::CheckpointWrite {
+                bytes: 4096,
+                retries: 1,
+            },
         ];
         for e in &events {
             let line = e.to_json();

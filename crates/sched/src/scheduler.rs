@@ -98,6 +98,38 @@ impl ModuloSchedule {
         let agens = config.load_addr_gens + config.store_addr_gens;
         (fus + agens) * self.ii as usize + 2 * (config.load_streams + config.store_streams)
     }
+
+    /// The dense per-slot representation: `(ii, times, units)`. Slots with
+    /// no scheduled op carry [`Self::raw_unscheduled`] in `times`; their
+    /// `units` entry is meaningless. Used by serializers (warm-state
+    /// snapshots) that need the exact placement, not just the
+    /// [`Self::entries`] view.
+    #[must_use]
+    pub fn raw_parts(&self) -> (u32, &[i64], &[(ResourceKind, usize)]) {
+        (self.ii, &self.times, &self.units)
+    }
+
+    /// The `times` sentinel marking an unscheduled slot in
+    /// [`Self::raw_parts`].
+    #[must_use]
+    pub fn raw_unscheduled() -> i64 {
+        UNSCHEDULED
+    }
+
+    /// Reassembles a schedule from [`Self::raw_parts`] data. The caller
+    /// owns validity: a schedule built from untrusted parts must be checked
+    /// with [`crate::verify_schedule`] before use. `ii` is clamped to ≥ 1
+    /// and `units` is resized to `times.len()` so the accessors never
+    /// index out of bounds or divide by zero, whatever the input.
+    #[must_use]
+    pub fn from_raw_parts(ii: u32, times: Vec<i64>, mut units: Vec<(ResourceKind, usize)>) -> Self {
+        units.resize(times.len(), (ResourceKind::Int, usize::MAX));
+        ModuloSchedule {
+            ii: ii.max(1),
+            times,
+            units,
+        }
+    }
 }
 
 impl fmt::Display for ModuloSchedule {

@@ -38,5 +38,6 @@ pub mod service;
 pub use lanes::{percentile, simulate_lanes, LaneReport, DISPATCH_OVERHEAD_CYCLES};
 pub use loadgen::{generate, LoadSpec};
 pub use service::{
-    Request, RequestOutcome, ServeConfig, ServeReport, ServeStats, TenantReport, TranslationService,
+    CheckpointPolicy, Request, RequestOutcome, ServeConfig, ServeReport, ServeStats, TenantReport,
+    TranslationService,
 };

@@ -14,16 +14,18 @@
 
 use crate::lanes::{simulate_lanes, LaneReport};
 use std::collections::VecDeque;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock, PoisonError};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use veal_accel::{AcceleratorConfig, AcceleratorFamily};
 use veal_cca::CcaSpec;
 use veal_ir::LoopBody;
-use veal_obs::{metrics, Counter, Histogram, Trace};
+use veal_obs::{metrics, Counter, Event, Histogram, Trace};
 use veal_vm::{
-    CacheStats, CodeCache, ConcretizeStats, MemoBackend, MemoStats, ShardedMemo, StaticHints,
-    TranslatedLoop, TranslationPolicy, Translator, VmSession, VmStats,
+    encode_warm_state, restore_warm_state, save_atomic, CacheStats, CodeCache, ConcretizeStats,
+    MemoBackend, MemoStats, RestoreReport, ShardedMemo, StaticHints, TranslatedLoop,
+    TranslationPolicy, Translator, VmSession, VmStats,
 };
 
 /// Process-global serve-path meters (PR 4 rule: the service increments,
@@ -34,6 +36,9 @@ struct ServeMeters {
     completed: &'static Counter,
     batches: &'static Counter,
     latency_ns: &'static Histogram,
+    checkpoints: &'static Counter,
+    checkpoint_retries: &'static Counter,
+    checkpoint_failures: &'static Counter,
 }
 
 fn meters() -> &'static ServeMeters {
@@ -44,6 +49,9 @@ fn meters() -> &'static ServeMeters {
         completed: metrics::counter("serve.requests.completed"),
         batches: metrics::counter("serve.batches"),
         latency_ns: metrics::histogram("serve.request.wall_ns"),
+        checkpoints: metrics::counter("serve.checkpoints"),
+        checkpoint_retries: metrics::counter("serve.checkpoint.retries"),
+        checkpoint_failures: metrics::counter("serve.checkpoint.failures"),
     })
 }
 
@@ -151,6 +159,42 @@ impl Default for ServeConfig {
     }
 }
 
+/// Periodic warm-state checkpointing for crash recovery.
+///
+/// When attached ([`TranslationService::with_checkpoints`]), the service
+/// writes the shared memo to `path` with [`veal_vm::save_atomic`] after
+/// every `every_windows` windows of a [`TranslationService::run_windowed`]
+/// call, plus once at the end of every run (the shutdown snapshot). Writes
+/// never block correctness: a failing write is retried with doubling
+/// backoff up to `max_retries` times, then abandoned — the previous
+/// on-disk checkpoint survives intact either way, because the write is
+/// temp-file-plus-rename.
+#[derive(Debug, Clone)]
+pub struct CheckpointPolicy {
+    /// Snapshot destination; the parent directory must exist.
+    pub path: PathBuf,
+    /// Checkpoint cadence in windows (0 = shutdown snapshot only).
+    pub every_windows: usize,
+    /// Write attempts beyond the first before a checkpoint is abandoned.
+    pub max_retries: u32,
+    /// Sleep before the first retry; doubles on each subsequent one.
+    pub backoff: Duration,
+}
+
+impl CheckpointPolicy {
+    /// A policy with serving defaults: checkpoint every 4 windows, 3
+    /// retries, 10 ms initial backoff.
+    #[must_use]
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        CheckpointPolicy {
+            path: path.into(),
+            every_windows: 4,
+            max_retries: 3,
+            backoff: Duration::from_millis(10),
+        }
+    }
+}
+
 /// Counters of one [`TranslationService::run`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServeStats {
@@ -177,6 +221,11 @@ pub struct ServeStats {
     /// Shared-memo counters at the end of the run (cumulative across runs
     /// on the same service).
     pub memo: MemoStats,
+    /// Checkpoints written to disk this run (periodic + shutdown).
+    pub checkpoints: u64,
+    /// Checkpoint write attempts beyond the first, summed over the run
+    /// (nonzero means the filesystem pushed back).
+    pub checkpoint_retries: u64,
     /// Host wall time of the run.
     pub wall_ns: u64,
 }
@@ -297,6 +346,7 @@ pub struct TranslationService {
     config: ServeConfig,
     memo: Arc<ShardedMemo>,
     trace: Trace,
+    checkpoint: Option<CheckpointPolicy>,
 }
 
 impl TranslationService {
@@ -310,6 +360,7 @@ impl TranslationService {
             config,
             memo,
             trace: Trace::null(),
+            checkpoint: None,
         }
     }
 
@@ -319,6 +370,14 @@ impl TranslationService {
     #[must_use]
     pub fn with_trace(mut self, trace: Trace) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// Attaches a checkpoint policy: [`TranslationService::run_windowed`]
+    /// persists the shared memo periodically and at the end of each run.
+    #[must_use]
+    pub fn with_checkpoints(mut self, policy: CheckpointPolicy) -> Self {
+        self.checkpoint = Some(policy);
         self
     }
 
@@ -333,6 +392,78 @@ impl TranslationService {
     #[must_use]
     pub fn memo(&self) -> &Arc<ShardedMemo> {
         &self.memo
+    }
+
+    /// Serializes the service's warm state — the shared memo — into the
+    /// [`veal_vm::snapshot`] wire format. Tenant code caches are per-run
+    /// state and are not captured; a restored service rebuilds them from
+    /// the memo at full fidelity (cached cycles replay from the entries).
+    #[must_use]
+    pub fn save_snapshot(&self) -> Vec<u8> {
+        let translator = self.config.translator();
+        let family_fp = self
+            .config
+            .family
+            .as_ref()
+            .map(|f| translator.family_fingerprint(f));
+        encode_warm_state(
+            translator.fingerprint(),
+            family_fp,
+            &self.memo.export_entries(),
+            &[],
+        )
+    }
+
+    /// Restores warm state from untrusted snapshot bytes into the shared
+    /// memo. Every entry is re-validated against this service's translator
+    /// and family fingerprints; damaged or stale entries are skipped and
+    /// counted, and arbitrary bytes at worst leave the service cold — this
+    /// never fails and never panics.
+    pub fn restore_snapshot(&self, bytes: &[u8]) -> RestoreReport {
+        let translator = self.config.translator();
+        let family_fp = self
+            .config
+            .family
+            .as_ref()
+            .map(|f| translator.family_fingerprint(f));
+        let report = restore_warm_state(bytes, &translator, family_fp, Some(&*self.memo), None);
+        self.trace.emit(|| Event::SnapshotRestore {
+            restored: report.restored(),
+            salvaged: report.salvaged,
+            rejected: report.rejected,
+        });
+        report
+    }
+
+    /// Writes one checkpoint under the policy's retry budget. Returns the
+    /// retries spent; failure is absorbed (counted, never propagated).
+    fn write_checkpoint(&self, policy: &CheckpointPolicy, stats: &mut ServeStats) {
+        let bytes = self.save_snapshot();
+        let mut retries = 0u64;
+        loop {
+            match save_atomic(&policy.path, &bytes) {
+                Ok(()) => {
+                    stats.checkpoints += 1;
+                    meters().checkpoints.inc();
+                    self.trace.emit(|| Event::CheckpointWrite {
+                        bytes: bytes.len() as u64,
+                        retries,
+                    });
+                    return;
+                }
+                Err(_) if retries < u64::from(policy.max_retries) => {
+                    stats.checkpoint_retries += 1;
+                    meters().checkpoint_retries.inc();
+                    let exp = u32::try_from(retries).unwrap_or(u32::MAX).min(16);
+                    std::thread::sleep(policy.backoff.saturating_mul(1 << exp));
+                    retries += 1;
+                }
+                Err(_) => {
+                    meters().checkpoint_failures.inc();
+                    return;
+                }
+            }
+        }
     }
 
     /// Serves the whole stream open-loop: every request is admitted up
@@ -380,6 +511,7 @@ impl TranslationService {
             ..ServeStats::default()
         };
         let mut base = 0usize;
+        let mut windows = 0usize;
         for chunk in requests.chunks(window.min(requests.len().max(1))) {
             // Admission is single-threaded and precedes the drain, so which
             // requests survive the queue bound is a pure function of the
@@ -405,6 +537,17 @@ impl TranslationService {
             }
             base += chunk.len();
             stats.batches += self.drain(&tenants);
+            windows += 1;
+            if let Some(policy) = &self.checkpoint {
+                if policy.every_windows > 0 && windows.is_multiple_of(policy.every_windows) {
+                    self.write_checkpoint(policy, &mut stats);
+                }
+            }
+        }
+        // The shutdown snapshot: every run ends with the warm state on
+        // disk, so a crash between runs costs nothing.
+        if let Some(policy) = &self.checkpoint {
+            self.write_checkpoint(policy, &mut stats);
         }
 
         stats.completed = stats.offered - stats.shed;
@@ -660,6 +803,109 @@ mod tests {
         for (p, w) in point.tenants.iter().zip(&warm.tenants) {
             assert_eq!(p.stats, w.stats);
         }
+    }
+
+    #[test]
+    fn a_restored_service_serves_warm_and_bit_identical() {
+        let (cfg, stream) = small_stream(60);
+        let origin = TranslationService::new(cfg.clone());
+        let cold = origin.run(&stream);
+        let snapshot = origin.save_snapshot();
+        drop(origin); // the "crash"
+
+        let revived = TranslationService::new(cfg);
+        let report = revived.restore_snapshot(&snapshot);
+        assert!(report.restored() > 0);
+        assert_eq!(report.salvaged, 0);
+        assert_eq!(report.rejected, 0);
+        let warm = revived.run(&stream);
+        assert_eq!(warm.stats.computes, 0, "restored memo must absorb all work");
+        assert_eq!(warm.stats.duplicate_translations, 0);
+        for (c, w) in cold.tenants.iter().zip(&warm.tenants) {
+            assert_eq!(c.stats, w.stats, "tenant {}", c.tenant);
+            for (a, b) in c.outcomes.iter().zip(&w.outcomes) {
+                assert_eq!(a.seq, b.seq);
+                assert_eq!(a.translation_cycles, b.translation_cycles);
+            }
+        }
+        // The restored memo re-encodes to the very bytes it came from.
+        assert_eq!(revived.save_snapshot(), snapshot);
+    }
+
+    #[test]
+    fn family_mode_snapshots_restore_the_symbolic_entries() {
+        // Regression: family entries are memo-keyed under the translator's
+        // *family fingerprint* (config axes folded in), not the family's
+        // own fingerprint — a snapshot keyed on the wrong one restores
+        // nothing.
+        let (mut cfg, stream) = small_stream(48);
+        cfg.family = Some(Arc::new(AcceleratorFamily::point(&cfg.config)));
+        let origin = TranslationService::new(cfg.clone());
+        let cold = origin.run(&stream);
+        let snapshot = origin.save_snapshot();
+        let revived = TranslationService::new(cfg);
+        let report = revived.restore_snapshot(&snapshot);
+        assert!(report.families > 0, "symbolic entries must land");
+        assert_eq!(report.salvaged + report.rejected, 0);
+        let warm = revived.run(&stream);
+        assert_eq!(warm.stats.computes, 0);
+        assert!(warm.stats.concretizations > 0, "family mode still serves");
+        for (c, w) in cold.tenants.iter().zip(&warm.tenants) {
+            assert_eq!(c.stats, w.stats, "tenant {}", c.tenant);
+        }
+    }
+
+    #[test]
+    fn garbage_snapshots_leave_a_service_cold_but_working() {
+        let (cfg, stream) = small_stream(30);
+        let service = TranslationService::new(cfg);
+        let report = service.restore_snapshot(b"not a snapshot at all");
+        assert!(report.is_cold());
+        let run = service.run(&stream);
+        assert_eq!(run.stats.completed, 30);
+        assert!(run.stats.computes > 0);
+    }
+
+    #[test]
+    fn windowed_runs_checkpoint_on_cadence_plus_shutdown() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("veal-serve-ckpt-{}.vsnp", std::process::id()));
+        let (cfg, stream) = small_stream(60);
+        let policy = CheckpointPolicy {
+            path: path.clone(),
+            every_windows: 2,
+            max_retries: 0,
+            backoff: Duration::ZERO,
+        };
+        let service = TranslationService::new(cfg.clone()).with_checkpoints(policy);
+        // 60 requests in windows of 10 = 6 windows: periodic checkpoints
+        // after windows 2, 4, 6, plus the shutdown snapshot.
+        let report = service.run_windowed(&stream, 10);
+        assert_eq!(report.stats.checkpoints, 4);
+        assert_eq!(report.stats.checkpoint_retries, 0);
+
+        // The shutdown snapshot on disk revives a fresh service warm.
+        let bytes = std::fs::read(&path).expect("shutdown checkpoint exists");
+        std::fs::remove_file(&path).ok();
+        let revived = TranslationService::new(cfg);
+        assert!(revived.restore_snapshot(&bytes).restored() > 0);
+        assert_eq!(revived.run(&stream).stats.computes, 0);
+    }
+
+    #[test]
+    fn checkpoint_write_failure_is_bounded_and_absorbed() {
+        let (cfg, stream) = small_stream(20);
+        let policy = CheckpointPolicy {
+            path: PathBuf::from("/nonexistent-veal-dir/ckpt.vsnp"),
+            every_windows: 0, // shutdown snapshot only
+            max_retries: 2,
+            backoff: Duration::ZERO,
+        };
+        let service = TranslationService::new(cfg).with_checkpoints(policy);
+        let report = service.run_windowed(&stream, 10);
+        assert_eq!(report.stats.completed, 20, "serving must not be harmed");
+        assert_eq!(report.stats.checkpoints, 0);
+        assert_eq!(report.stats.checkpoint_retries, 2);
     }
 
     #[test]

@@ -183,35 +183,37 @@ pub fn section_checksum(payload: &[u8]) -> u64 {
     h.finish()
 }
 
-struct Writer {
-    buf: Vec<u8>,
+/// Little-endian byte-stream writer shared by the module encoder and the
+/// warm-state snapshot encoder (`crate::snapshot`).
+pub(crate) struct Writer {
+    pub(crate) buf: Vec<u8>,
 }
 
 impl Writer {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Writer { buf: Vec::new() }
     }
-    fn u8(&mut self, v: u8) {
+    pub(crate) fn u8(&mut self, v: u8) {
         self.buf.push(v);
     }
-    fn u16(&mut self, v: u16) {
+    pub(crate) fn u16(&mut self, v: u16) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
-    fn u32(&mut self, v: u32) {
+    pub(crate) fn u32(&mut self, v: u32) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
-    fn u64(&mut self, v: u64) {
+    pub(crate) fn u64(&mut self, v: u64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
-    fn i64(&mut self, v: i64) {
+    pub(crate) fn i64(&mut self, v: i64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
-    fn str(&mut self, s: &str) {
+    pub(crate) fn str(&mut self, s: &str) {
         self.u32(s.len() as u32);
         self.buf.extend_from_slice(s.as_bytes());
     }
     /// Appends a checksummed section frame.
-    fn section(&mut self, tag: u8, payload: &[u8]) {
+    pub(crate) fn section(&mut self, tag: u8, payload: &[u8]) {
         self.u8(tag);
         self.u32(payload.len() as u32);
         self.u64(section_checksum(payload));
@@ -219,22 +221,24 @@ impl Writer {
     }
 }
 
-struct Reader<'a> {
+/// Bounds-checked little-endian reader; every over-read is a typed
+/// [`DecodeError::Truncated`], never a panic.
+pub(crate) struct Reader<'a> {
     buf: &'a [u8],
-    pos: usize,
+    pub(crate) pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn new(buf: &'a [u8]) -> Self {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
         Reader { buf, pos: 0 }
     }
-    fn remaining(&self) -> usize {
+    pub(crate) fn remaining(&self) -> usize {
         self.buf.len() - self.pos
     }
-    fn is_done(&self) -> bool {
+    pub(crate) fn is_done(&self) -> bool {
         self.pos == self.buf.len()
     }
-    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
         let end = self.pos.checked_add(n).ok_or(DecodeError::Truncated)?;
         if end > self.buf.len() {
             return Err(DecodeError::Truncated);
@@ -243,27 +247,27 @@ impl<'a> Reader<'a> {
         self.pos = end;
         Ok(s)
     }
-    fn u8(&mut self) -> Result<u8, DecodeError> {
+    pub(crate) fn u8(&mut self) -> Result<u8, DecodeError> {
         Ok(self.take(1)?[0])
     }
-    fn u16(&mut self) -> Result<u16, DecodeError> {
+    pub(crate) fn u16(&mut self) -> Result<u16, DecodeError> {
         let b = self.take(2)?;
         Ok(u16::from_le_bytes([b[0], b[1]]))
     }
-    fn u32(&mut self) -> Result<u32, DecodeError> {
+    pub(crate) fn u32(&mut self) -> Result<u32, DecodeError> {
         let b = self.take(4)?;
         Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
-    fn u64(&mut self) -> Result<u64, DecodeError> {
+    pub(crate) fn u64(&mut self) -> Result<u64, DecodeError> {
         let b = self.take(8)?;
         Ok(u64::from_le_bytes([
             b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
         ]))
     }
-    fn i64(&mut self) -> Result<i64, DecodeError> {
+    pub(crate) fn i64(&mut self) -> Result<i64, DecodeError> {
         Ok(self.u64()? as i64)
     }
-    fn str(&mut self) -> Result<String, DecodeError> {
+    pub(crate) fn str(&mut self) -> Result<String, DecodeError> {
         let n = self.u32()? as usize;
         let bytes = self.take(n)?;
         String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::BadString)

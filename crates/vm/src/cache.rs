@@ -208,6 +208,20 @@ impl<T> CodeCache<T> {
     pub fn stats(&self) -> CacheStats {
         self.stats
     }
+
+    /// Every resident entry as `(key, value, bytes)`, sorted by key so two
+    /// snapshots of the same state serialize byte-identically. Recency and
+    /// statistics are untouched — this is a serializer's read, not a use.
+    #[must_use]
+    pub fn export_entries(&self) -> Vec<(u64, &T, usize)> {
+        let mut out: Vec<(u64, &T, usize)> = self
+            .entries
+            .iter()
+            .map(|(&k, (v, _, bytes))| (k, v, *bytes))
+            .collect();
+        out.sort_by_key(|&(k, _, _)| k);
+        out
+    }
 }
 
 #[cfg(test)]
@@ -368,6 +382,24 @@ mod tests {
         assert_eq!(c.len(), 1, "single-entry cache evicts on the second key");
         assert!(c.contains(2));
         assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn export_entries_is_sorted_and_leaves_stats_alone() {
+        let mut c: CodeCache<u32> = CodeCache::new(8);
+        for k in [9u64, 2, 7, 4] {
+            c.insert_sized(k, k as u32 * 10, 3);
+        }
+        let before = c.stats();
+        let exported = c.export_entries();
+        assert_eq!(
+            exported.iter().map(|&(k, _, _)| k).collect::<Vec<_>>(),
+            vec![2, 4, 7, 9]
+        );
+        assert!(exported
+            .iter()
+            .all(|&(k, &v, b)| v == k as u32 * 10 && b == 3));
+        assert_eq!(c.stats(), before, "export must not count as lookups");
     }
 
     #[test]

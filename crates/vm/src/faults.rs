@@ -21,13 +21,23 @@
 //!   fidelity (the [`veal_ir::interp`] golden checksums) is asserted by
 //!   the integration harness in `tests/fault_injection.rs`, which owns the
 //!   workload fixtures.
+//!
+//! The same discipline extends to warm-state persistence: [`SnapshotFuzzer`]
+//! corrupts snapshot streams (transport faults, truncations, resealed
+//! forgeries, cross-version and cross-fingerprint splices) and
+//! [`check_restore`] is the restore-side oracle — whatever a hostile
+//! snapshot smuggles past the checksums must still re-verify as valid
+//! state, or the restore must have refused it.
 
-use crate::binfmt::{section_ranges, SectionRange, SEC_CCA, SEC_PRIORITY};
+use crate::binfmt::{reseal_section, section_ranges, SectionRange, SEC_CCA, SEC_PRIORITY};
+use crate::cache::CodeCache;
 use crate::hints::StaticHints;
+use crate::memo::{MemoEntry, TranslationMemo};
+use crate::snapshot::{restore_warm_state, snapshot_section_ranges, RestoreReport};
 use crate::translator::{TranslationError, TranslationPolicy, Translator};
-use crate::verify::HintVerdict;
+use crate::verify::{verify_priority, HintVerdict};
 use veal_ir::rng::Rng64;
-use veal_ir::{LoopBody, OpId};
+use veal_ir::{verify_dfg, CostMeter, LoopBody, OpId};
 use veal_sched::verify_schedule;
 
 /// How a corrupted module's loop was ultimately disposed of. Every fuzz
@@ -68,42 +78,7 @@ impl HintFuzzer {
     /// One of: single-bit flip, byte overwrite, range zeroing, truncation,
     /// range duplication, or a splice of one random range over another.
     pub fn corrupt_bytes(&mut self, bytes: &[u8]) -> Vec<u8> {
-        let mut out = bytes.to_vec();
-        if out.is_empty() {
-            return out;
-        }
-        match self.rng.gen_range(0, 6) {
-            0 => {
-                let i = self.rng.gen_range(0, out.len());
-                out[i] ^= 1 << self.rng.gen_range(0, 8);
-            }
-            1 => {
-                let i = self.rng.gen_range(0, out.len());
-                out[i] = (self.rng.next_u64() & 0xFF) as u8;
-            }
-            2 => {
-                let start = self.rng.gen_range(0, out.len());
-                let end = (start + self.rng.gen_range(1, 9)).min(out.len());
-                out[start..end].fill(0);
-            }
-            3 => {
-                out.truncate(self.rng.gen_range(0, out.len()));
-            }
-            4 => {
-                let start = self.rng.gen_range(0, out.len());
-                let end = (start + self.rng.gen_range(1, 17)).min(out.len());
-                let dup: Vec<u8> = out[start..end].to_vec();
-                out.splice(end..end, dup);
-            }
-            _ => {
-                let a = self.rng.gen_range(0, out.len());
-                let b = self.rng.gen_range(0, out.len());
-                let n = self.rng.gen_range(1, 9).min(out.len() - a.max(b));
-                let src: Vec<u8> = out[b..b + n].to_vec();
-                out[a..a + n].copy_from_slice(&src);
-            }
-        }
-        out
+        transport_fault(&mut self.rng, bytes)
     }
 
     /// Semantic fault that forges transport integrity: corrupts bytes
@@ -247,6 +222,226 @@ impl HintFuzzer {
         }
         out
     }
+}
+
+/// The six transport-fault modes shared by the module and snapshot
+/// fuzzers: bit flip, byte overwrite, range zeroing, truncation, range
+/// duplication, range splice.
+fn transport_fault(rng: &mut Rng64, bytes: &[u8]) -> Vec<u8> {
+    let mut out = bytes.to_vec();
+    if out.is_empty() {
+        return out;
+    }
+    match rng.gen_range(0, 6) {
+        0 => {
+            let i = rng.gen_range(0, out.len());
+            out[i] ^= 1 << rng.gen_range(0, 8);
+        }
+        1 => {
+            let i = rng.gen_range(0, out.len());
+            out[i] = (rng.next_u64() & 0xFF) as u8;
+        }
+        2 => {
+            let start = rng.gen_range(0, out.len());
+            let end = (start + rng.gen_range(1, 9)).min(out.len());
+            out[start..end].fill(0);
+        }
+        3 => {
+            out.truncate(rng.gen_range(0, out.len()));
+        }
+        4 => {
+            let start = rng.gen_range(0, out.len());
+            let end = (start + rng.gen_range(1, 17)).min(out.len());
+            let dup: Vec<u8> = out[start..end].to_vec();
+            out.splice(end..end, dup);
+        }
+        _ => {
+            let a = rng.gen_range(0, out.len());
+            let b = rng.gen_range(0, out.len());
+            let n = rng.gen_range(1, 9).min(out.len() - a.max(b));
+            let src: Vec<u8> = out[b..b + n].to_vec();
+            out[a..a + n].copy_from_slice(&src);
+        }
+    }
+    out
+}
+
+/// Deterministic corruption engine for warm-state snapshots
+/// ([`crate::snapshot`]). Four prongs, mirroring what disks, crashes, and
+/// adversaries actually do to a checkpoint file:
+///
+/// * [`SnapshotFuzzer::corrupt_bytes`] — transport faults anywhere in the
+///   stream (the checksums must catch these);
+/// * [`SnapshotFuzzer::truncate`] — a crash mid-write (the restore must
+///   salvage the intact prefix and flag the tear);
+/// * [`SnapshotFuzzer::reseal_forgery`] — payload corruption with the
+///   section checksum recomputed, so it *passes* transport integrity and
+///   the semantic re-validators must hold the line;
+/// * [`SnapshotFuzzer::splice`] — cross-version and cross-snapshot
+///   surgery: a stamped-over version, or a section frame transplanted from
+///   a snapshot taken under a different translator (the fingerprint gate's
+///   job).
+#[derive(Debug)]
+pub struct SnapshotFuzzer {
+    rng: Rng64,
+}
+
+impl SnapshotFuzzer {
+    /// Creates a fuzzer from a seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        SnapshotFuzzer {
+            rng: Rng64::new(seed),
+        }
+    }
+
+    /// Arbitrary transport fault (same six modes as [`HintFuzzer`]).
+    pub fn corrupt_bytes(&mut self, bytes: &[u8]) -> Vec<u8> {
+        transport_fault(&mut self.rng, bytes)
+    }
+
+    /// A crash mid-write: some prefix of the stream.
+    pub fn truncate(&mut self, bytes: &[u8]) -> Vec<u8> {
+        bytes[..self.rng.gen_range(0, bytes.len() + 1)].to_vec()
+    }
+
+    /// Corrupts bytes inside one section's payload, then reseals that
+    /// section's checksum so the damage passes transport integrity and
+    /// reaches the semantic re-validators. `None` if the framing is
+    /// unwalkable or there is no non-empty section.
+    pub fn reseal_forgery(&mut self, bytes: &[u8]) -> Option<Vec<u8>> {
+        let sections: Vec<SectionRange> = snapshot_section_ranges(bytes)
+            .ok()?
+            .into_iter()
+            .filter(|s| !s.payload.is_empty())
+            .collect();
+        if sections.is_empty() {
+            return None;
+        }
+        let target = sections[self.rng.gen_range(0, sections.len())].clone();
+        let mut out = bytes.to_vec();
+        let hits = self.rng.gen_range(1, 4);
+        for _ in 0..hits {
+            let i = target.payload.start + self.rng.gen_range(0, target.payload.len());
+            match self.rng.gen_range(0, 3) {
+                0 => out[i] ^= 1 << self.rng.gen_range(0, 8),
+                1 => out[i] = (self.rng.next_u64() & 0xFF) as u8,
+                _ => out[i] = 0,
+            }
+        }
+        reseal_section(&mut out, &target);
+        Some(out)
+    }
+
+    /// Cross-version / cross-snapshot surgery. Half the time the version
+    /// stamp is rewritten (the restore must treat the file as not-a-
+    /// snapshot); otherwise a whole section frame from `donor` — a
+    /// snapshot taken under a *different* translator — replaces one of
+    /// ours, checksums intact, so only the fingerprint gate stands between
+    /// it and the memo. `None` if either framing is unwalkable.
+    pub fn splice(&mut self, bytes: &[u8], donor: &[u8]) -> Option<Vec<u8>> {
+        if self.rng.gen_bool(0.5) {
+            let mut out = bytes.to_vec();
+            if out.len() < 6 {
+                return None;
+            }
+            out[4] = out[4].wrapping_add(1 + (self.rng.next_u64() & 0x7F) as u8);
+            return Some(out);
+        }
+        let ours = snapshot_section_ranges(bytes).ok()?;
+        let theirs: Vec<SectionRange> = snapshot_section_ranges(donor)
+            .ok()?
+            .into_iter()
+            .filter(|s| !s.payload.is_empty())
+            .collect();
+        if ours.is_empty() || theirs.is_empty() {
+            return None;
+        }
+        let dst = &ours[self.rng.gen_range(0, ours.len())];
+        let src = &theirs[self.rng.gen_range(0, theirs.len())];
+        let mut out = Vec::with_capacity(bytes.len());
+        out.extend_from_slice(&bytes[..dst.frame.start]);
+        out.extend_from_slice(&donor[src.frame.clone()]);
+        out.extend_from_slice(&bytes[dst.frame.end..]);
+        Some(out)
+    }
+}
+
+/// Differential oracle for one corrupted-snapshot fuzz case: restores
+/// `bytes` into fresh stores and audits **everything** that got through.
+/// Every restored point/cache translation must re-pass [`verify_dfg`] and
+/// [`verify_schedule`] with zero defects and carry accounting recomputed
+/// from its own structure; every restored family body must re-pass
+/// [`verify_dfg`] and [`verify_priority`]; every entry must sit behind the
+/// right fingerprint gate. The restore path already enforces all of this —
+/// the oracle re-derives it independently so a regression cannot hide.
+///
+/// # Errors
+///
+/// A human-readable description of the first accepted forgery — any `Err`
+/// is a hole in the snapshot trust boundary, and fuzz harnesses treat it
+/// as fatal.
+pub fn check_restore(
+    bytes: &[u8],
+    t: &Translator,
+    family_fp: Option<u64>,
+) -> Result<RestoreReport, String> {
+    let memo = TranslationMemo::new();
+    let mut cache = CodeCache::with_byte_budget(16, 48 * 1024);
+    let report = restore_warm_state(bytes, t, family_fp, Some(&memo), Some(&mut cache));
+
+    let audit_translated = |tl: &crate::translator::TranslatedLoop| -> Result<(), String> {
+        verify_dfg(&tl.dfg).map_err(|e| format!("restored graph fails verify_dfg: {e:?}"))?;
+        let defects = verify_schedule(&tl.dfg, &tl.scheduled.schedule, t.config());
+        if !defects.is_empty() {
+            return Err(format!("restored schedule has defects: {defects:?}"));
+        }
+        if tl.control_words != tl.scheduled.schedule.control_words(t.config()) {
+            return Err("restored control_words not recomputed from schedule".into());
+        }
+        if tl.accel_ops != tl.dfg.schedulable_ops().count() {
+            return Err("restored accel_ops not recomputed from graph".into());
+        }
+        Ok(())
+    };
+
+    for (key, entry) in memo.export_entries() {
+        match entry {
+            MemoEntry::Point(m) => {
+                if key.translator_fp != t.fingerprint() {
+                    return Err("point entry breached the translator fingerprint gate".into());
+                }
+                if let Ok(tl) = &m.result {
+                    audit_translated(tl)?;
+                }
+            }
+            MemoEntry::Family(f) => {
+                if key.translator_fp != family_fp.unwrap_or(0) {
+                    return Err("family entry breached the family fingerprint gate".into());
+                }
+                if let Ok(b) = &f.body {
+                    verify_dfg(&b.dfg)
+                        .map_err(|e| format!("restored family graph fails verify_dfg: {e:?}"))?;
+                    if let Some(order) = &b.static_order {
+                        verify_priority(&b.dfg, order, &mut CostMeter::new())
+                            .map_err(|e| format!("restored static order invalid: {e}"))?;
+                    }
+                }
+            }
+        }
+    }
+    let mut cached_bytes = 0;
+    for (_, tl, charged) in cache.export_entries() {
+        audit_translated(tl)?;
+        if charged != tl.control_words * 4 {
+            return Err("restored cache entry charged bytes it does not occupy".into());
+        }
+        cached_bytes += charged;
+    }
+    if cached_bytes > 48 * 1024 {
+        return Err(format!("cache budget overcommitted: {cached_bytes} bytes"));
+    }
+    Ok(report)
 }
 
 /// The reference translation a degraded one must match: same translator,
@@ -441,5 +636,100 @@ mod tests {
             let mutated = f.mutate_hints(&hints, Some(&donor));
             check_degradation(&t, &body, &mutated).unwrap_or_else(|e| panic!("case {i}: {e}"));
         }
+    }
+
+    fn warm_snapshot(t: &Translator) -> Vec<u8> {
+        let memo = TranslationMemo::new();
+        let mut cache = CodeCache::new(16);
+        let body = media_loop("snap");
+        let hints = StaticHints::none();
+        let out = t.translate(&body, &hints);
+        let key = crate::memo::MemoKey {
+            loop_hash: body.dfg.content_hash(),
+            translator_fp: t.fingerprint(),
+            hints_fp: hints.fingerprint(),
+        };
+        if let Ok(tl) = &out.result {
+            let arc = std::sync::Arc::new(tl.clone());
+            let bytes = arc.control_words * 4;
+            cache.insert_sized(key.loop_hash, arc, bytes);
+        }
+        memo.insert(
+            key,
+            MemoEntry::Point(crate::memo::MemoizedOutcome {
+                result: out.result.map(std::sync::Arc::new),
+                breakdown: out.breakdown,
+                verdict: out.verdict,
+            }),
+        );
+        crate::snapshot::encode_warm_state(
+            t.fingerprint(),
+            None,
+            &memo.export_entries(),
+            &cache.export_entries(),
+        )
+    }
+
+    #[test]
+    fn snapshot_fuzzer_is_deterministic() {
+        let t = exposed_translator();
+        let bytes = warm_snapshot(&t);
+        let run = |seed| -> Vec<Vec<u8>> {
+            let mut f = SnapshotFuzzer::new(seed);
+            (0..16)
+                .flat_map(|_| {
+                    [
+                        f.corrupt_bytes(&bytes),
+                        f.truncate(&bytes),
+                        f.reseal_forgery(&bytes).unwrap_or_default(),
+                    ]
+                })
+                .collect()
+        };
+        assert_eq!(run(11), run(11));
+        assert!(run(11).iter().any(|c| c != &bytes));
+    }
+
+    #[test]
+    fn restore_oracle_holds_under_every_prong() {
+        let t = exposed_translator();
+        let stale = Translator::new(
+            t.config().clone(),
+            t.cca().cloned(),
+            TranslationPolicy::fully_dynamic(),
+        );
+        let bytes = warm_snapshot(&t);
+        let donor = warm_snapshot(&stale);
+        let mut f = SnapshotFuzzer::new(5);
+        for i in 0..64 {
+            for corrupted in [
+                Some(f.corrupt_bytes(&bytes)),
+                Some(f.truncate(&bytes)),
+                f.reseal_forgery(&bytes),
+                f.splice(&bytes, &donor),
+            ]
+            .into_iter()
+            .flatten()
+            {
+                check_restore(&corrupted, &t, None).unwrap_or_else(|e| panic!("case {i}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn spliced_stale_sections_are_rejected_by_the_fingerprint_gate() {
+        let t = exposed_translator();
+        let stale = Translator::new(
+            t.config().clone(),
+            t.cca().cloned(),
+            TranslationPolicy::fully_dynamic(),
+        );
+        assert_ne!(t.fingerprint(), stale.fingerprint());
+        // A donor snapshot restored wholesale under the wrong translator:
+        // every entry is stale, none may land.
+        let donor = warm_snapshot(&stale);
+        let report = check_restore(&donor, &t, None).expect("oracle holds");
+        assert!(report.is_cold());
+        assert_eq!(report.rejected, 2, "point + cache entry, both stale");
     }
 }

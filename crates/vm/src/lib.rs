@@ -24,6 +24,8 @@
 //! * [`faults`] — a seeded fault-injection harness (byte corruption,
 //!   structural hint mutation) with a differential oracle against the
 //!   [`veal_ir::interp`] reference semantics.
+//! * [`snapshot`] — crash-safe persistence of warm state (memo + code
+//!   cache) with untrusted-snapshot re-validation and per-entry salvage.
 //!
 //! # Example
 //!
@@ -56,6 +58,7 @@ pub mod faults;
 pub mod hints;
 pub mod memo;
 pub mod session;
+pub mod snapshot;
 pub mod translator;
 pub mod verify;
 
@@ -65,12 +68,18 @@ pub use binfmt::{
 };
 pub use cache::{CacheStats, CodeCache};
 pub use disasm::disassemble;
-pub use faults::{check_degradation, exposed_translator, FaultVerdict, HintFuzzer};
+pub use faults::{
+    check_degradation, check_restore, exposed_translator, FaultVerdict, HintFuzzer, SnapshotFuzzer,
+};
 pub use hints::{compute_hints, StaticHints};
 pub use memo::{
     MemoBackend, MemoEntry, MemoKey, MemoStats, MemoizedOutcome, ShardedMemo, TranslationMemo,
 };
 pub use session::{fold_vm_stats, ConcretizeStats, VmSession, VmStats};
+pub use snapshot::{
+    encode_warm_state, inspect_snapshot, restore_warm_state, save_atomic, snapshot_section_ranges,
+    EntryReject, RestoreReport, SnapshotInfo, SnapshotMeta,
+};
 pub use translator::{
     SymbolicTranslation, TranslatedLoop, TranslationError, TranslationOutcome, TranslationPolicy,
     Translator,

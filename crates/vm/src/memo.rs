@@ -182,6 +182,22 @@ impl TranslationMemo {
                 .len(),
         }
     }
+
+    /// Snapshot of every entry, sorted by key for a deterministic order
+    /// (serializers depend on it: two snapshots of the same state must be
+    /// byte-identical). Entries are cheap clones (`Arc` payloads).
+    #[must_use]
+    pub fn export_entries(&self) -> Vec<(MemoKey, MemoEntry)> {
+        let mut out: Vec<(MemoKey, MemoEntry)> = self
+            .map
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|(k, v)| (*k, v.clone()))
+            .collect();
+        out.sort_by_key(|(k, _)| (k.loop_hash, k.translator_fp, k.hints_fp));
+        out
+    }
 }
 
 /// Storage abstraction behind [`crate::VmSession`]'s memo slot.
@@ -201,6 +217,10 @@ pub trait MemoBackend: fmt::Debug + Send + Sync {
 
     /// Aggregate hit/miss/size counters.
     fn stats(&self) -> MemoStats;
+
+    /// Snapshot of every entry in deterministic (key-sorted) order, for
+    /// warm-state serialization.
+    fn export_entries(&self) -> Vec<(MemoKey, MemoEntry)>;
 
     /// Returns the outcome for `key`, running `compute` on a miss and
     /// publishing its result. The flag is `true` when the table answered
@@ -232,6 +252,10 @@ impl MemoBackend for TranslationMemo {
 
     fn stats(&self) -> MemoStats {
         TranslationMemo::stats(self)
+    }
+
+    fn export_entries(&self) -> Vec<(MemoKey, MemoEntry)> {
+        TranslationMemo::export_entries(self)
     }
 }
 
@@ -299,10 +323,12 @@ pub struct ShardedMemo {
 
 impl ShardedMemo {
     /// Creates a memo striped over `shards` locks (rounded up to a power of
-    /// two, at least one), with single-flight enabled.
+    /// two, clamped to `1..=65536` — zero is a configuration accident that
+    /// must not panic, and a count near `usize::MAX` would overflow
+    /// `next_power_of_two`), with single-flight enabled.
     #[must_use]
     pub fn new(shards: usize) -> Self {
-        let n = shards.max(1).next_power_of_two();
+        let n = shards.clamp(1, 1 << 16).next_power_of_two();
         ShardedMemo {
             shards: (0..n)
                 .map(|_| Shard {
@@ -428,6 +454,18 @@ impl MemoBackend for ShardedMemo {
             folded.entries += st.entries;
         }
         folded
+    }
+
+    /// Folds the per-shard maps into one key-sorted export, so the striping
+    /// layout never leaks into a snapshot's byte stream.
+    fn export_entries(&self) -> Vec<(MemoKey, MemoEntry)> {
+        let mut out: Vec<(MemoKey, MemoEntry)> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.memo.export_entries())
+            .collect();
+        out.sort_by_key(|(k, _)| (k.loop_hash, k.translator_fp, k.hints_fp));
+        out
     }
 
     fn get_or_insert_with(
@@ -645,6 +683,34 @@ mod tests {
         assert_eq!(ShardedMemo::new(0).shard_count(), 1);
         assert_eq!(ShardedMemo::new(5).shard_count(), 8);
         assert_eq!(ShardedMemo::new(16).shard_count(), 16);
+    }
+
+    #[test]
+    fn absurd_shard_counts_clamp_instead_of_overflowing() {
+        // `usize::MAX.next_power_of_two()` panics in debug and wraps to 0
+        // in release (a zero mask would alias every key to shard 0 after an
+        // underflow); the constructor must clamp, not propagate.
+        assert_eq!(ShardedMemo::new(usize::MAX).shard_count(), 1 << 16);
+        assert_eq!(ShardedMemo::new((1 << 16) + 1).shard_count(), 1 << 16);
+    }
+
+    #[test]
+    fn hit_rate_with_zero_lookups_is_finite() {
+        let s = MemoStats::default();
+        assert_eq!(s.hit_rate(), 0.0);
+        assert!(s.hit_rate().is_finite());
+    }
+
+    #[test]
+    fn export_entries_is_sorted_and_complete() {
+        let sharded = ShardedMemo::new(4);
+        for i in [9u64, 2, 7, 4, 0] {
+            MemoBackend::insert(&sharded, key(i), failed_outcome());
+        }
+        let entries = MemoBackend::export_entries(&sharded);
+        assert_eq!(entries.len(), 5);
+        let hashes: Vec<u64> = entries.iter().map(|(k, _)| k.loop_hash).collect();
+        assert_eq!(hashes, vec![0, 2, 4, 7, 9]);
     }
 
     #[test]

@@ -483,6 +483,44 @@ impl VmSession {
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
     }
+
+    /// Serializes this session's warm state — every memo entry (if a memo
+    /// is attached) and every resident code-cache translation — into a
+    /// snapshot byte stream (see [`crate::snapshot`]).
+    #[must_use]
+    pub fn save_warm_state(&self) -> Vec<u8> {
+        let memo_entries = self
+            .memo
+            .as_deref()
+            .map(MemoBackend::export_entries)
+            .unwrap_or_default();
+        crate::snapshot::encode_warm_state(
+            self.translator_fp,
+            self.family.is_some().then_some(self.family_fp),
+            &memo_entries,
+            &self.cache.export_entries(),
+        )
+    }
+
+    /// Restores warm state from untrusted snapshot bytes into this
+    /// session's memo and code cache. Never fails: corrupt or stale
+    /// entries are salvaged per entry, and a wholly bad snapshot leaves
+    /// the session cold (see [`crate::snapshot::restore_warm_state`]).
+    pub fn restore_warm_state(&mut self, bytes: &[u8]) -> crate::snapshot::RestoreReport {
+        let report = crate::snapshot::restore_warm_state(
+            bytes,
+            &self.translator,
+            self.family.is_some().then_some(self.family_fp),
+            self.memo.as_deref(),
+            Some(&mut self.cache),
+        );
+        self.trace.emit(|| Event::SnapshotRestore {
+            restored: report.restored(),
+            salvaged: report.salvaged,
+            rejected: report.rejected,
+        });
+        report
+    }
 }
 
 /// Reconstructs a [`VmStats`] by folding a session's event stream.
@@ -955,5 +993,86 @@ mod tests {
         assert_eq!(a.priority_degradations, b.priority_degradations);
         assert_eq!(a.cca_degradations, b.cca_degradations);
         assert_eq!(a.breakdown, b.breakdown);
+    }
+
+    #[test]
+    fn restored_session_is_indistinguishable_from_a_continuing_one() {
+        // Warm up a memoized session, snapshot it, restore into a fresh
+        // process-alike session, then drive both through the same second
+        // window. The differential contract: identical stat deltas and
+        // bit-identical schedules, with the restored side recomputing
+        // nothing.
+        let bodies: Vec<LoopBody> = (0..4).map(|i| simple_loop(&format!("w{i}"))).collect();
+        let memo_a = Arc::new(TranslationMemo::new());
+        let mut warm = session().with_memo(Arc::clone(&memo_a));
+        for (i, b) in bodies.iter().enumerate() {
+            warm.invoke(i as u64, b, &StaticHints::none());
+        }
+        let bytes = warm.save_warm_state();
+
+        let memo_b = Arc::new(TranslationMemo::new());
+        let mut restored = session().with_memo(Arc::clone(&memo_b));
+        let report = restored.restore_warm_state(&bytes);
+        assert_eq!(report.restored() as usize, bodies.len() * 2);
+        assert_eq!(report.rejected, 0);
+
+        let before_warm = warm.stats().clone();
+        let before_restored = restored.stats().clone();
+        let misses_before = memo_b.stats().misses;
+        for (i, b) in bodies.iter().enumerate() {
+            let a = warm.invoke(i as u64, b, &StaticHints::none());
+            let r = restored.invoke(i as u64, b, &StaticHints::none());
+            // The warm session hits its code cache at zero cost; the
+            // restored one restored that cache too, so both do.
+            assert_eq!(a.translation_cycles, r.translation_cycles);
+            let (at, rt) = (a.translated.unwrap(), r.translated.unwrap());
+            assert_eq!(at.dfg.content_hash(), rt.dfg.content_hash());
+            assert_eq!(at.scheduled.schedule.ii, rt.scheduled.schedule.ii);
+            assert_eq!(
+                at.scheduled.schedule.raw_parts().1,
+                rt.scheduled.schedule.raw_parts().1
+            );
+            assert_eq!(at.control_words, rt.control_words);
+            assert_eq!(at.accel_ops, rt.accel_ops);
+        }
+        let delta = |after: &VmStats, before: &VmStats| {
+            (
+                after.translations - before.translations,
+                after.translation_units - before.translation_units,
+                after.failures - before.failures,
+            )
+        };
+        assert_eq!(
+            delta(warm.stats(), &before_warm),
+            delta(restored.stats(), &before_restored)
+        );
+        // Nothing was recomputed on the restored side: no new memo misses.
+        assert_eq!(memo_b.stats().misses, misses_before);
+    }
+
+    #[test]
+    fn restore_without_memo_still_warms_the_code_cache() {
+        let mut warm = session();
+        let body = simple_loop("solo");
+        warm.invoke(1, &body, &StaticHints::none());
+        let bytes = warm.save_warm_state();
+
+        let mut restored = session();
+        let report = restored.restore_warm_state(&bytes);
+        assert_eq!(report.cache_entries, 1);
+        let inv = restored.invoke(1, &body, &StaticHints::none());
+        assert!(inv.translated.is_some());
+        assert_eq!(inv.translation_cycles, 0, "cache hit, nothing recomputed");
+        assert_eq!(restored.stats().translations, 0);
+    }
+
+    #[test]
+    fn restoring_garbage_leaves_a_session_cold_but_working() {
+        let mut s = session();
+        let report = s.restore_warm_state(b"definitely not a snapshot");
+        assert!(report.is_cold());
+        let inv = s.invoke(1, &simple_loop("l"), &StaticHints::none());
+        assert!(inv.translated.is_some());
+        assert!(inv.translation_cycles > 0);
     }
 }

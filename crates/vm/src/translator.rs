@@ -210,23 +210,23 @@ impl TranslationOutcome {
 pub struct SymbolicTranslation {
     /// Ops in the original (pre-separation) body; drives the deterministic
     /// concretize charge.
-    loop_len: usize,
+    pub(crate) loop_len: usize,
     /// Exact charges of the shared prefix (loop identification through
     /// hint verification) — replayed verbatim into every concretization.
-    prefix: PhaseBreakdown,
+    pub(crate) prefix: PhaseBreakdown,
     /// The original hint verdict (hint validation is config-independent).
-    verdict: HintVerdict,
+    pub(crate) verdict: HintVerdict,
     /// Prefix products, or the separation error that ended translation.
-    body: Result<SymbolicBody, SeparationError>,
+    pub(crate) body: Result<SymbolicBody, SeparationError>,
 }
 
 #[derive(Debug)]
-struct SymbolicBody {
-    dfg: Dfg,
-    summary: StreamSummary,
-    cca_groups: usize,
-    static_order: Option<Vec<OpId>>,
-    sym: SymbolicSchedule,
+pub(crate) struct SymbolicBody {
+    pub(crate) dfg: Dfg,
+    pub(crate) summary: StreamSummary,
+    pub(crate) cca_groups: usize,
+    pub(crate) static_order: Option<Vec<OpId>>,
+    pub(crate) sym: SymbolicSchedule,
 }
 
 impl SymbolicTranslation {
