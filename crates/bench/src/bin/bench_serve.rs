@@ -207,7 +207,7 @@ fn main() {
     let t0 = Instant::now();
     let restart_cold = origin.run_windowed(&stream, window);
     let restart_cold_ms = t0.elapsed().as_secs_f64() * 1e3;
-    let snapshot = origin.save_snapshot();
+    let snapshot = origin.save_snapshot().expect("warm state encodes");
     drop(origin);
 
     let revived = TranslationService::new(restart_cfg);
@@ -233,6 +233,62 @@ fn main() {
             c.tenant
         );
     }
+
+    // Network arm: the same stream over a loopback socket (DESIGN.md §15).
+    // One connection per tenant, driven lock-step — wire framing, frame
+    // checksums, the module decode gauntlet, and client-side schedule
+    // re-verification are all on the measured path. Per-tenant statistics
+    // must still be bit-identical to the in-process cold run.
+    let net_cfg = ServeConfig {
+        threads: 1,
+        ..base.clone()
+    };
+    let net_accel = net_cfg.config.clone();
+    let net_family_fp = net_cfg.family.as_ref().map(|f| f.fingerprint());
+    let net_service = TranslationService::new(net_cfg);
+    let server = veal::NetServer::bind(net_service, veal::NetConfig::default())
+        .expect("bind loopback server");
+    let addr = server.local_addr().expect("bound address").to_string();
+    let server_thread = std::thread::spawn(move || server.run());
+    let t0 = Instant::now();
+    let mut clients: Vec<Option<veal::WireClient>> = (0..spec.tenants).map(|_| None).collect();
+    for req in &stream {
+        let c = clients[req.tenant].get_or_insert_with(|| {
+            veal::WireClient::connect(
+                &addr,
+                u32::try_from(req.tenant).expect("small tenant index"),
+                net_family_fp,
+                net_accel.clone(),
+            )
+            .expect("connect to loopback server")
+        });
+        let outcome = c
+            .request(req.key, &req.body, &req.hints)
+            .expect("network request");
+        assert!(outcome.error.is_none(), "calm stream must not be refused");
+    }
+    let network_ms = t0.elapsed().as_secs_f64() * 1e3;
+    clients
+        .into_iter()
+        .flatten()
+        .next()
+        .expect("at least one connection")
+        .shutdown()
+        .expect("graceful shutdown");
+    let net_report = server_thread.join().expect("server thread");
+    assert_eq!(
+        net_report.stats.completed,
+        stream.len() as u64,
+        "every request must complete over the wire"
+    );
+    for (c, n) in restart_cold.tenants.iter().zip(&net_report.tenants) {
+        assert_eq!(
+            c.stats, n.stats,
+            "network tenant {} diverged from the in-process run",
+            c.tenant
+        );
+    }
+    let network_rps = stream.len() as f64 / (network_ms.max(1e-9) / 1e3);
 
     // The paper-style figure: the same dispatch policy in abstract
     // cycles. Simulated lanes cost nothing, so the sweep is fixed —
@@ -291,6 +347,10 @@ fn main() {
         snapshot.len(),
         restore.restored(),
         restart_warm_ms
+    );
+    println!(
+        "network: {:.1} ms ({:.0} req/s) over {} connection(s), {} frame(s), {} reject(s)",
+        network_ms, network_rps, net_report.accepted, net_report.frames, net_report.decode_rejects
     );
 
     let mut json = String::from("{\n");
@@ -354,6 +414,17 @@ fn main() {
         restore.restored(),
         restore.salvaged,
         restore.rejected
+    );
+    let _ = writeln!(
+        json,
+        "  \"network\": {{\"wall_ms\": {:.3}, \"rps\": {:.1}, \"connections\": {}, \
+         \"frames\": {}, \"decode_rejects\": {}, \"completed\": {}}},",
+        network_ms,
+        network_rps,
+        net_report.accepted,
+        net_report.frames,
+        net_report.decode_rejects,
+        net_report.stats.completed
     );
     let _ = writeln!(json, "  \"shed\": {},", report.stats.shed);
     json.push_str("  \"bit_identical\": true\n}\n");

@@ -7,6 +7,8 @@
 //! vealc suite [--policy ...]                     # run the benchmark suite
 //! vealc stats <trace.jsonl>                      # summarize a --trace-out file
 //! vealc serve [--requests N] [--tenants T] [--threads K] [--trace-out F]
+//! vealc serve --listen <addr> [--threads K] [--trace-out F] [--checkpoint F] [--idle-ms MS]
+//! vealc client <addr> [--requests N] [--tenants T] [--shutdown]
 //! vealc snapshot save <out.vsnp> [--requests N] [--tenants T]
 //! vealc snapshot inspect <file.vsnp>
 //! vealc snapshot restore <file.vsnp> [--requests N] [--tenants T]
@@ -35,6 +37,7 @@ fn main() -> ExitCode {
         "suite" => suite(rest),
         "stats" => stats(rest),
         "serve" => serve(rest),
+        "client" => client(rest),
         "snapshot" => snapshot(rest),
         other => Err(format!("unknown command `{other}`")),
     };
@@ -222,6 +225,9 @@ fn suite(rest: &[String]) -> Result<(), String> {
 /// the command-line face of the serving subsystem, and a quick way to
 /// watch the shared memo absorb cross-tenant duplication.
 fn serve(rest: &[String]) -> Result<(), String> {
+    if rest.iter().any(|a| a == "--listen") {
+        return serve_listen(rest);
+    }
     let flag = |name: &str| -> Result<Option<usize>, String> {
         match rest.iter().position(|a| a == name) {
             None => Ok(None),
@@ -285,6 +291,154 @@ fn serve(rest: &[String]) -> Result<(), String> {
         );
     }
     trace.flush().map_err(|e| format!("trace: {e}"))?;
+    Ok(())
+}
+
+/// `vealc serve --listen <addr>` — the service behind the TCP front door
+/// (`veal::serve::net`). Runs until a client sends the shutdown frame;
+/// with `--checkpoint`, the drain writes a final warm-state snapshot
+/// before the farewell goes out.
+fn serve_listen(rest: &[String]) -> Result<(), String> {
+    let str_flag = |name: &str| -> Result<Option<&String>, String> {
+        match rest.iter().position(|a| a == name) {
+            None => Ok(None),
+            Some(i) => rest
+                .get(i + 1)
+                .map(Some)
+                .ok_or_else(|| format!("{name} expects a value")),
+        }
+    };
+    let num_flag = |name: &str| -> Result<Option<u64>, String> {
+        match str_flag(name)? {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("{name} expects a number")),
+        }
+    };
+
+    let addr = str_flag("--listen")?.ok_or("--listen expects an address")?;
+    let mut config = veal::ServeConfig::paper();
+    if let Some(threads) = num_flag("--threads")? {
+        config.threads = usize::try_from(threads).unwrap_or(1).max(1);
+    }
+    let trace = match str_flag("--trace-out")? {
+        None => veal::Trace::null(),
+        Some(path) => {
+            let sink = veal::JsonlSink::create(std::path::Path::new(path))
+                .map_err(|e| format!("{path}: {e}"))?;
+            veal::Trace::new(std::sync::Arc::new(sink))
+        }
+    };
+    let mut service = veal::TranslationService::new(config).with_trace(trace.clone());
+    if let Some(path) = str_flag("--checkpoint")? {
+        service = service.with_checkpoints(veal::CheckpointPolicy::new(path));
+    }
+    let mut net = veal::NetConfig {
+        addr: addr.clone(),
+        ..veal::NetConfig::default()
+    };
+    if let Some(ms) = num_flag("--idle-ms")? {
+        net.idle_timeout = std::time::Duration::from_millis(ms);
+    }
+    let server = veal::NetServer::bind(service, net).map_err(|e| format!("{addr}: {e}"))?;
+    let bound = server.local_addr().map_err(|e| e.to_string())?;
+    println!("listening on {bound}");
+    let report = server.run();
+    println!(
+        "served {} of {} request(s) over {} connection(s) ({} shed)",
+        report.stats.completed, report.stats.offered, report.accepted, report.stats.shed
+    );
+    println!(
+        "frames: {} processed, {} rejected, {} response(s); {} idle-evicted, {} fatal close(s)",
+        report.frames,
+        report.decode_rejects,
+        report.responses,
+        report.idle_evicted,
+        report.fatal_closes
+    );
+    for t in &report.tenants {
+        println!(
+            "  tenant {}: {} translation(s), cache {} hit / {} miss",
+            t.tenant, t.stats.translations, t.cache.hits, t.cache.misses
+        );
+    }
+    trace.flush().map_err(|e| format!("trace: {e}"))?;
+    Ok(())
+}
+
+/// `vealc client <addr>` — drives the seeded load-generator stream at a
+/// listening server, one connection per tenant, and reports what came
+/// back. `--shutdown` asks the server to drain and exit afterwards.
+fn client(rest: &[String]) -> Result<(), String> {
+    let addr = rest
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("client needs a server address")?;
+    let flag = |name: &str| -> Result<Option<usize>, String> {
+        match rest.iter().position(|a| a == name) {
+            None => Ok(None),
+            Some(i) => rest
+                .get(i + 1)
+                .and_then(|v| v.parse().ok())
+                .map(Some)
+                .ok_or_else(|| format!("{name} expects a number")),
+        }
+    };
+    let spec = veal::LoadSpec {
+        requests: flag("--requests")?.unwrap_or(64),
+        tenants: flag("--tenants")?.unwrap_or(2).max(1),
+        ..veal::LoadSpec::default()
+    };
+    let config = veal::ServeConfig::paper();
+    let stream = veal::serve::generate(&spec, &config.config, config.cca.as_ref());
+
+    let mut clients: Vec<Option<veal::WireClient>> = (0..spec.tenants).map(|_| None).collect();
+    let (mut ok, mut translated, mut errors) = (0u64, 0u64, 0u64);
+    let mut cycles = 0u64;
+    for req in &stream {
+        let slot = &mut clients[req.tenant];
+        if slot.is_none() {
+            let tenant = u32::try_from(req.tenant).map_err(|_| "tenant index overflow")?;
+            *slot = Some(
+                veal::WireClient::connect(addr, tenant, None, config.config.clone())
+                    .map_err(|e| format!("{addr}: {e}"))?,
+            );
+        }
+        let c = slot.as_mut().expect("connected above");
+        let outcome = c
+            .request(req.key, &req.body, &req.hints)
+            .map_err(|e| format!("request: {e}"))?;
+        match outcome.error {
+            None => {
+                ok += 1;
+                cycles += outcome.translation_cycles;
+                if outcome.translated.is_some() {
+                    translated += 1;
+                }
+            }
+            Some(_) => errors += 1,
+        }
+    }
+    println!(
+        "{} request(s) over {} connection(s): {} ok ({} mapped), {} refused, {} cycle(s)",
+        stream.len(),
+        clients.iter().flatten().count(),
+        ok,
+        translated,
+        errors,
+        cycles
+    );
+    if rest.iter().any(|a| a == "--shutdown") {
+        let c = clients
+            .into_iter()
+            .flatten()
+            .next()
+            .ok_or("no connection to send shutdown on")?;
+        c.shutdown().map_err(|e| format!("shutdown: {e}"))?;
+        println!("server acknowledged shutdown");
+    }
     Ok(())
 }
 
@@ -357,7 +511,9 @@ fn snapshot_save(rest: &[String]) -> Result<(), String> {
     let (config, stream) = snapshot_stream(rest)?;
     let service = veal::TranslationService::new(config);
     let report = service.run(&stream);
-    let bytes = service.save_snapshot();
+    let bytes = service
+        .save_snapshot()
+        .map_err(|e| format!("snapshot encode: {e}"))?;
     veal::save_atomic(std::path::Path::new(path), &bytes).map_err(|e| format!("{path}: {e}"))?;
     println!(
         "warmed over {} request(s) ({} computed); wrote {} bytes to {path}",
@@ -420,7 +576,7 @@ fn snapshot_restore(rest: &[String]) -> Result<(), String> {
         report.rejected,
         if report.torn { " (torn stream)" } else { "" }
     );
-    let identical = service.save_snapshot() == bytes;
+    let identical = service.save_snapshot().as_deref() == Ok(bytes.as_slice());
     let run = service.run(&stream);
     println!(
         "served {} request(s): computes={} duplicate_translations={}",

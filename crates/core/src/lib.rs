@@ -65,12 +65,16 @@ pub use veal_ir::{
 pub use veal_obs::{parse_jsonl, Event, JsonlSink, NullSink, RingSink, Trace, TraceSink};
 pub use veal_opt::{legalize, RawLoop, TransformLimits};
 pub use veal_sched::{modulo_schedule, ScheduleOptions, ScheduledLoop};
-pub use veal_serve::{CheckpointPolicy, LoadSpec, ServeConfig, ServeReport, TranslationService};
+pub use veal_serve::{
+    CheckpointPolicy, ClientOutcome, LoadSpec, NetConfig, NetReport, NetServer, ServeConfig,
+    ServeReport, TranslationService, WireClient,
+};
 pub use veal_sim::{run_application, AccelSetup, AppRun, CpuModel, SweepContext};
 pub use veal_vm::{
-    check_degradation, check_restore, compute_hints, decode_module, encode_module,
-    encode_warm_state, exposed_translator, fold_vm_stats, inspect_snapshot, restore_warm_state,
-    save_atomic, section_ranges, snapshot_section_ranges, BinaryModule, DecodeError, DegradeReason,
-    EncodedLoop, FaultVerdict, HintError, HintFuzzer, HintVerdict, RestoreReport, SnapshotFuzzer,
-    SnapshotInfo, StaticHints, TranslationPolicy, Translator, VmSession, VmStats,
+    check_degradation, check_restore, compute_hints, decode_module, decode_translated_loop,
+    encode_module, encode_translated_loop, encode_warm_state, exposed_translator, fold_vm_stats,
+    inspect_snapshot, restore_warm_state, save_atomic, section_ranges, snapshot_section_ranges,
+    BinaryModule, DecodeError, DegradeReason, EncodeError, EncodedLoop, FaultVerdict, HintError,
+    HintFuzzer, HintVerdict, RestoreReport, SnapshotFuzzer, SnapshotInfo, StaticHints,
+    TranslationPolicy, Translator, VmSession, VmStats,
 };

@@ -180,6 +180,26 @@ pub enum Event {
         /// Write attempts beyond the first (bounded retry on I/O failure).
         retries: u64,
     },
+    /// The network reactor accepted a client connection.
+    ConnOpen {
+        /// Reactor-assigned connection slot (dense, reused after close).
+        conn: u64,
+    },
+    /// A client connection closed (by either side, or by idle eviction).
+    ConnClose {
+        /// Reactor-assigned connection slot.
+        conn: u64,
+        /// Well-formed frames the connection delivered over its lifetime.
+        frames: u64,
+    },
+    /// An inbound wire frame was rejected (bad checksum, unknown tag, or a
+    /// payload that failed decode/verification); the connection survives.
+    FrameReject {
+        /// Reactor-assigned connection slot.
+        conn: u64,
+        /// Validator verdict, human-readable.
+        reason: String,
+    },
 }
 
 impl Event {
@@ -201,6 +221,9 @@ impl Event {
             Event::PointEnd { .. } => "point_end",
             Event::SnapshotRestore { .. } => "snapshot_restore",
             Event::CheckpointWrite { .. } => "checkpoint_write",
+            Event::ConnOpen { .. } => "conn_open",
+            Event::ConnClose { .. } => "conn_close",
+            Event::FrameReject { .. } => "frame_reject",
         }
     }
 
@@ -267,6 +290,17 @@ impl Event {
             Event::CheckpointWrite { bytes, retries } => {
                 push_num(&mut out, "bytes", *bytes);
                 push_num(&mut out, "retries", *retries);
+            }
+            Event::ConnOpen { conn } => {
+                push_num(&mut out, "conn", *conn);
+            }
+            Event::ConnClose { conn, frames } => {
+                push_num(&mut out, "conn", *conn);
+                push_num(&mut out, "frames", *frames);
+            }
+            Event::FrameReject { conn, reason } => {
+                push_num(&mut out, "conn", *conn);
+                push_str(&mut out, "reason", reason);
             }
         }
         out.push('}');
@@ -343,6 +377,17 @@ impl Event {
             "checkpoint_write" => Ok(Event::CheckpointWrite {
                 bytes: num_field(&v, "bytes")?,
                 retries: num_field(&v, "retries")?,
+            }),
+            "conn_open" => Ok(Event::ConnOpen {
+                conn: num_field(&v, "conn")?,
+            }),
+            "conn_close" => Ok(Event::ConnClose {
+                conn: num_field(&v, "conn")?,
+                frames: num_field(&v, "frames")?,
+            }),
+            "frame_reject" => Ok(Event::FrameReject {
+                conn: num_field(&v, "conn")?,
+                reason: str_field(&v, "reason")?.to_string(),
             }),
             other => Err(format!("unknown event {other:?}")),
         }
@@ -527,6 +572,15 @@ mod tests {
             Event::CheckpointWrite {
                 bytes: 4096,
                 retries: 1,
+            },
+            Event::ConnOpen { conn: 7 },
+            Event::ConnClose {
+                conn: 7,
+                frames: 42,
+            },
+            Event::FrameReject {
+                conn: 7,
+                reason: "section 2 checksum mismatch".into(),
             },
         ];
         for e in &events {

@@ -4,9 +4,13 @@
 //! (processes, binaries) stream loop-translation requests at a shared
 //! backend, which must amortize duplicate work across tenants without ever
 //! changing what any single tenant observes. This crate is that backend,
-//! in-process (the container has no network): a seeded load generator
+//! behind two front doors: in-process (a seeded load generator
 //! ([`LoadSpec`]) produces a deterministic request stream, and a
-//! [`TranslationService`] batches it across tenants onto a worker pool.
+//! [`TranslationService`] batches it across tenants onto a worker pool),
+//! and over TCP ([`net`]) — a zero-dependency loopback server speaking the
+//! length-prefixed, checksummed wire protocol of [`wire`] (DESIGN.md §15),
+//! with every inbound module re-verified through the untrusted-bytes
+//! gauntlet before any session sees it.
 //!
 //! The architecture (DESIGN.md §11):
 //!
@@ -33,11 +37,15 @@
 
 pub mod lanes;
 pub mod loadgen;
+pub mod net;
 pub mod service;
+pub mod wire;
 
 pub use lanes::{percentile, simulate_lanes, LaneReport, DISPATCH_OVERHEAD_CYCLES};
 pub use loadgen::{generate, LoadSpec};
+pub use net::{ClientOutcome, NetConfig, NetReport, NetServer, WireClient};
 pub use service::{
-    CheckpointPolicy, Request, RequestOutcome, ServeConfig, ServeReport, ServeStats, TenantReport,
-    TranslationService,
+    CheckpointPolicy, Request, RequestOutcome, ServeConfig, ServeReport, ServeStats, SessionPool,
+    TenantReport, TranslationService,
 };
+pub use wire::{decode_frame, encode_frame, ErrorCode, FrameStatus, WireFrame, WIRE_VERSION};

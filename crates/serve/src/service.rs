@@ -24,7 +24,7 @@ use veal_ir::LoopBody;
 use veal_obs::{metrics, Counter, Event, Histogram, Trace};
 use veal_vm::{
     encode_warm_state, restore_warm_state, save_atomic, CacheStats, CodeCache, ConcretizeStats,
-    MemoBackend, MemoStats, RestoreReport, ShardedMemo, StaticHints, TranslatedLoop,
+    EncodeError, MemoBackend, MemoStats, RestoreReport, ShardedMemo, StaticHints, TranslatedLoop,
     TranslationPolicy, Translator, VmSession, VmStats,
 };
 
@@ -329,6 +329,15 @@ impl TenantState {
     }
 }
 
+/// Doubling backoff for the `retry`-th (0-based) checkpoint retry. The
+/// exponent is clamped before the shift: `1u32 << retry` overflows (debug
+/// panic, release wrap-to-tiny) once a generous retry budget pushes
+/// `retry ≥ 32`, and past 2^20 doublings the multiply saturates anyway.
+fn retry_backoff(base: Duration, retry: u64) -> Duration {
+    let exp = u32::try_from(retry).unwrap_or(u32::MAX).min(20);
+    base.saturating_mul(1u32 << exp)
+}
+
 /// Worker coordination for one drain phase.
 struct Dispatch {
     /// Tenant indices with queued work and no worker attached.
@@ -398,8 +407,13 @@ impl TranslationService {
     /// [`veal_vm::snapshot`] wire format. Tenant code caches are per-run
     /// state and are not captured; a restored service rebuilds them from
     /// the memo at full fidelity (cached cycles replay from the entries).
-    #[must_use]
-    pub fn save_snapshot(&self) -> Vec<u8> {
+    ///
+    /// # Errors
+    ///
+    /// [`EncodeError`] when a count or id overflows the format's
+    /// fixed-width fields (implausibly oversized state; never silently
+    /// truncated).
+    pub fn save_snapshot(&self) -> Result<Vec<u8>, EncodeError> {
         let translator = self.config.translator();
         let family_fp = self
             .config
@@ -435,10 +449,14 @@ impl TranslationService {
         report
     }
 
-    /// Writes one checkpoint under the policy's retry budget. Returns the
-    /// retries spent; failure is absorbed (counted, never propagated).
-    fn write_checkpoint(&self, policy: &CheckpointPolicy, stats: &mut ServeStats) {
-        let bytes = self.save_snapshot();
+    /// Writes one checkpoint under the policy's retry budget. Failure —
+    /// including un-encodable warm state — is absorbed (counted, never
+    /// propagated); the previous on-disk checkpoint survives intact.
+    pub(crate) fn write_checkpoint(&self, policy: &CheckpointPolicy, stats: &mut ServeStats) {
+        let Ok(bytes) = self.save_snapshot() else {
+            meters().checkpoint_failures.inc();
+            return;
+        };
         let mut retries = 0u64;
         loop {
             match save_atomic(&policy.path, &bytes) {
@@ -454,8 +472,7 @@ impl TranslationService {
                 Err(_) if retries < u64::from(policy.max_retries) => {
                     stats.checkpoint_retries += 1;
                     meters().checkpoint_retries.inc();
-                    let exp = u32::try_from(retries).unwrap_or(u32::MAX).min(16);
-                    std::thread::sleep(policy.backoff.saturating_mul(1 << exp));
+                    std::thread::sleep(retry_backoff(policy.backoff, retries));
                     retries += 1;
                 }
                 Err(_) => {
@@ -463,6 +480,55 @@ impl TranslationService {
                     return;
                 }
             }
+        }
+    }
+
+    /// The attached checkpoint policy, if any (graceful-shutdown paths
+    /// outside this module write the final snapshot through it).
+    pub(crate) fn checkpoint_policy(&self) -> Option<&CheckpointPolicy> {
+        self.checkpoint.as_ref()
+    }
+
+    /// The attached trace handle (the network reactor emits its
+    /// connection-lifecycle events into the same stream the sessions use).
+    pub(crate) fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// One tenant's serving state, configured exactly like
+    /// [`ServeConfig::solo_session`] plus the shared memo and trace — the
+    /// construction both [`TranslationService::run_windowed`] and
+    /// [`TranslationService::session_pool`] use, so the bit-identity
+    /// invariant holds for either entry point.
+    fn tenant_state(&self) -> TenantState {
+        let mut session = self
+            .config
+            .solo_session()
+            .with_memo_backend(Arc::clone(&self.memo) as Arc<dyn MemoBackend>)
+            .with_trace(self.trace.clone());
+        if let Some(family) = &self.config.family {
+            session = session.with_family(Arc::clone(family));
+        }
+        TenantState {
+            session,
+            queue: VecDeque::new(),
+            outcomes: Vec::new(),
+        }
+    }
+
+    /// Creates a [`SessionPool`]: persistent per-tenant sessions for
+    /// callers that feed requests incrementally (the network reactor in
+    /// [`crate::net`]) instead of as one pre-materialized stream. The pool
+    /// borrows the service, so it shares the memo, trace, and config.
+    #[must_use]
+    pub fn session_pool(&self, tenant_count: usize) -> SessionPool<'_> {
+        SessionPool {
+            service: self,
+            tenants: (0..tenant_count)
+                .map(|_| Mutex::new(self.tenant_state()))
+                .collect(),
+            queue_capacity: self.config.queue_capacity,
+            stats: ServeStats::default(),
         }
     }
 
@@ -490,20 +556,7 @@ impl TranslationService {
 
         let tenant_count = requests.iter().map(|r| r.tenant + 1).max().unwrap_or(0);
         let tenants: Vec<Mutex<TenantState>> = (0..tenant_count)
-            .map(|_| {
-                let mut session = self.config.solo_session();
-                session = session
-                    .with_memo_backend(Arc::clone(&self.memo) as Arc<dyn MemoBackend>)
-                    .with_trace(self.trace.clone());
-                if let Some(family) = &self.config.family {
-                    session = session.with_family(Arc::clone(family));
-                }
-                Mutex::new(TenantState {
-                    session,
-                    queue: VecDeque::new(),
-                    outcomes: Vec::new(),
-                })
-            })
+            .map(|_| Mutex::new(self.tenant_state()))
             .collect();
 
         let mut stats = ServeStats {
@@ -522,7 +575,11 @@ impl TranslationService {
                 let mut tenant = tenants[r.tenant]
                     .lock()
                     .unwrap_or_else(PoisonError::into_inner);
-                if tenant.queue.len() == self.config.queue_capacity.max(1) {
+                // `>=`, not `==`: if the queue is ever *over* the bound
+                // (e.g. the capacity shrank between windows), every excess
+                // request is shed, not just one — an equality check would
+                // leave the queue permanently over bound.
+                while tenant.queue.len() >= self.config.queue_capacity.max(1) {
                     tenant.queue.pop_front();
                     stats.shed += 1;
                     meters().shed.inc();
@@ -674,6 +731,126 @@ impl TranslationService {
     }
 }
 
+/// Persistent per-tenant sessions behind the same admission, shedding, and
+/// dispatch machinery as [`TranslationService::run_windowed`], for callers
+/// that feed requests incrementally — the network reactor in [`crate::net`]
+/// — rather than as one pre-materialized stream.
+///
+/// The serving invariant carries over unchanged: admission happens on the
+/// caller's single thread (deterministic shed-oldest under the queue
+/// bound), at most one worker drains a tenant at a time, and a tenant's
+/// outcomes land in admission order — so per-tenant statistics and
+/// schedules are bit-identical to a solo replay of that tenant's request
+/// order.
+///
+/// Each admitted request carries a caller-chosen `token` (surfaced as
+/// [`RequestOutcome::seq`]); the reactor packs a connection slot and a
+/// client sequence number into it to route completed work back to the
+/// right socket.
+pub struct SessionPool<'a> {
+    service: &'a TranslationService,
+    tenants: Vec<Mutex<TenantState>>,
+    queue_capacity: usize,
+    stats: ServeStats,
+}
+
+impl SessionPool<'_> {
+    /// Queues one request for `tenant`, growing the pool if the tenant is
+    /// new, and returns the tokens of any requests shed to keep the queue
+    /// within the current capacity (oldest first). Admission is
+    /// caller-threaded, so shedding stays a pure function of the admission
+    /// order.
+    pub fn admit(
+        &mut self,
+        tenant: usize,
+        token: usize,
+        key: u64,
+        body: Arc<LoopBody>,
+        hints: Arc<StaticHints>,
+    ) -> Vec<usize> {
+        while self.tenants.len() <= tenant {
+            self.tenants.push(Mutex::new(self.service.tenant_state()));
+        }
+        self.stats.offered += 1;
+        meters().offered.inc();
+        let mut state = self.tenants[tenant]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let mut shed = Vec::new();
+        // `>=` sheds *all* overflow: after a capacity shrink the queue may
+        // sit above the new bound, and every excess entry must go.
+        while state.queue.len() >= self.queue_capacity.max(1) {
+            let old = state.queue.pop_front().expect("len checked above");
+            shed.push(old.seq);
+            self.stats.shed += 1;
+            meters().shed.inc();
+        }
+        state.queue.push_back(Admitted {
+            seq: token,
+            key,
+            body,
+            hints,
+            admitted_at: Instant::now(),
+        });
+        shed
+    }
+
+    /// Rebounds the per-tenant admission queues from the next `admit` on.
+    /// Queues already over the new bound shed down to it at that point.
+    pub fn set_queue_capacity(&mut self, capacity: usize) {
+        self.queue_capacity = capacity;
+    }
+
+    /// Drains every queued request through the worker pool; returns the
+    /// dispatch turns taken.
+    pub fn drain(&mut self) -> u64 {
+        let batches = self.service.drain(&self.tenants);
+        self.stats.batches += batches;
+        batches
+    }
+
+    /// Removes and returns `tenant`'s completed outcomes, in processing
+    /// (= admission) order. Empty for an unknown tenant or between drains.
+    pub fn take_outcomes(&mut self, tenant: usize) -> Vec<RequestOutcome> {
+        let outcomes = self.tenants.get(tenant).map_or_else(Vec::new, |t| {
+            std::mem::take(&mut t.lock().unwrap_or_else(PoisonError::into_inner).outcomes)
+        });
+        // Local completion accounting: the process-global meter already
+        // ticks inside `TenantState::process`.
+        self.stats.completed += outcomes.len() as u64;
+        outcomes
+    }
+
+    /// Pool-level counters (offered / shed / completed / batches)
+    /// accumulated so far; `completed` counts outcomes already handed back
+    /// through [`SessionPool::take_outcomes`].
+    #[must_use]
+    pub fn stats(&self) -> &ServeStats {
+        &self.stats
+    }
+
+    /// Tears the pool down into per-tenant reports. Outcomes already
+    /// removed by [`SessionPool::take_outcomes`] are not replayed here —
+    /// only the sessions' cumulative statistics and anything not yet taken.
+    #[must_use]
+    pub fn into_reports(self) -> Vec<TenantReport> {
+        self.tenants
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let t = t.into_inner().unwrap_or_else(PoisonError::into_inner);
+                TenantReport {
+                    tenant: i,
+                    stats: t.session.stats().clone(),
+                    cache: t.session.cache_stats(),
+                    concretize: t.session.concretize_stats(),
+                    outcomes: t.outcomes,
+                }
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -810,7 +987,7 @@ mod tests {
         let (cfg, stream) = small_stream(60);
         let origin = TranslationService::new(cfg.clone());
         let cold = origin.run(&stream);
-        let snapshot = origin.save_snapshot();
+        let snapshot = origin.save_snapshot().expect("snapshot encodes");
         drop(origin); // the "crash"
 
         let revived = TranslationService::new(cfg);
@@ -829,7 +1006,7 @@ mod tests {
             }
         }
         // The restored memo re-encodes to the very bytes it came from.
-        assert_eq!(revived.save_snapshot(), snapshot);
+        assert_eq!(revived.save_snapshot().expect("snapshot encodes"), snapshot);
     }
 
     #[test]
@@ -842,7 +1019,7 @@ mod tests {
         cfg.family = Some(Arc::new(AcceleratorFamily::point(&cfg.config)));
         let origin = TranslationService::new(cfg.clone());
         let cold = origin.run(&stream);
-        let snapshot = origin.save_snapshot();
+        let snapshot = origin.save_snapshot().expect("snapshot encodes");
         let revived = TranslationService::new(cfg);
         let report = revived.restore_snapshot(&snapshot);
         assert!(report.families > 0, "symbolic entries must land");
@@ -906,6 +1083,77 @@ mod tests {
         assert_eq!(report.stats.completed, 20, "serving must not be harmed");
         assert_eq!(report.stats.checkpoints, 0);
         assert_eq!(report.stats.checkpoint_retries, 2);
+    }
+
+    #[test]
+    fn retry_backoff_clamps_the_exponent_for_any_retry_budget() {
+        let base = Duration::from_millis(10);
+        assert_eq!(retry_backoff(base, 0), base);
+        assert_eq!(retry_backoff(base, 1), base * 2);
+        assert_eq!(retry_backoff(base, 3), base * 8);
+        // Past the clamp the backoff plateaus instead of overflowing the
+        // shift (`1u32 << 32` was a debug panic / release wrap-to-tiny).
+        let plateau = retry_backoff(base, 20);
+        assert_eq!(plateau, base * (1 << 20));
+        for retry in [21, 31, 32, 33, 63, 64, 1_000, u64::from(u32::MAX), u64::MAX] {
+            assert_eq!(retry_backoff(base, retry), plateau, "retry {retry}");
+        }
+        // Saturation, not overflow, when base × 2^20 exceeds Duration.
+        assert_eq!(
+            retry_backoff(Duration::from_secs(u64::MAX / 2), u64::MAX),
+            Duration::MAX
+        );
+    }
+
+    #[test]
+    fn a_large_retry_budget_survives_past_the_shift_width() {
+        // Regression for the unclamped `1 << exp` shift: a retry budget
+        // past 32 walks the real retry loop through exponents that used to
+        // overflow. Zero base backoff keeps the walk instant.
+        let (cfg, stream) = small_stream(10);
+        let policy = CheckpointPolicy {
+            path: PathBuf::from("/nonexistent-veal-dir/ckpt.vsnp"),
+            every_windows: 0, // shutdown snapshot only
+            max_retries: 40,
+            backoff: Duration::ZERO,
+        };
+        let service = TranslationService::new(cfg).with_checkpoints(policy);
+        let report = service.run_windowed(&stream, 10);
+        assert_eq!(report.stats.completed, 10, "serving must not be harmed");
+        assert_eq!(report.stats.checkpoints, 0);
+        assert_eq!(report.stats.checkpoint_retries, 40);
+    }
+
+    #[test]
+    fn a_shrunk_queue_capacity_sheds_the_backlog_down_to_bound() {
+        // Regression for the `==` admission check: with the queue already
+        // over a *shrunk* bound, equality never fires and the queue stays
+        // over capacity forever. `>=` sheds every excess entry.
+        let (cfg, stream) = small_stream(30);
+        let service = TranslationService::new(cfg);
+        let mut pool = service.session_pool(1);
+        pool.set_queue_capacity(8);
+        let mut shed = Vec::new();
+        for (i, r) in stream.iter().take(6).enumerate() {
+            shed.extend(pool.admit(0, i, r.key, Arc::clone(&r.body), Arc::clone(&r.hints)));
+        }
+        assert!(shed.is_empty(), "six queued under a bound of eight");
+        // Capacity shrinks mid-run; the next admission must shed the
+        // entire overflow (tokens 0..=4), keep the newest survivor, and
+        // leave the queue exactly at the new bound.
+        pool.set_queue_capacity(2);
+        let r = &stream[6];
+        let shed_now = pool.admit(0, 6, r.key, Arc::clone(&r.body), Arc::clone(&r.hints));
+        assert_eq!(shed_now, vec![0, 1, 2, 3, 4], "oldest first, all overflow");
+        pool.drain();
+        let outcomes = pool.take_outcomes(0);
+        assert_eq!(
+            outcomes.iter().map(|o| o.seq).collect::<Vec<_>>(),
+            vec![5, 6],
+            "exactly the bounded queue survived, in admission order"
+        );
+        assert_eq!(pool.stats().offered, 7);
+        assert_eq!(pool.stats().shed, 5);
     }
 
     #[test]

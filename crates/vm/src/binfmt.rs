@@ -183,62 +183,104 @@ pub fn section_checksum(payload: &[u8]) -> u64 {
     h.finish()
 }
 
-/// Little-endian byte-stream writer shared by the module encoder and the
-/// warm-state snapshot encoder (`crate::snapshot`).
-pub(crate) struct Writer {
+/// Little-endian byte-stream writer shared by the module encoder, the
+/// warm-state snapshot encoder (`crate::snapshot`), and the serving wire
+/// protocol (`veal-serve`), so every on-disk and on-wire artifact speaks
+/// the same framing dialect.
+pub struct Writer {
     pub(crate) buf: Vec<u8>,
 }
 
+impl Default for Writer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl Writer {
-    pub(crate) fn new() -> Self {
+    /// An empty writer.
+    #[must_use]
+    pub fn new() -> Self {
         Writer { buf: Vec::new() }
     }
-    pub(crate) fn u8(&mut self, v: u8) {
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
         self.buf.push(v);
     }
-    pub(crate) fn u16(&mut self, v: u16) {
+    /// Appends a little-endian u16.
+    pub fn u16(&mut self, v: u16) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
-    pub(crate) fn u32(&mut self, v: u32) {
+    /// Appends a little-endian u32.
+    pub fn u32(&mut self, v: u32) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
-    pub(crate) fn u64(&mut self, v: u64) {
+    /// Appends a little-endian u64.
+    pub fn u64(&mut self, v: u64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
-    pub(crate) fn i64(&mut self, v: i64) {
+    /// Appends a little-endian i64.
+    pub fn i64(&mut self, v: i64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
-    pub(crate) fn str(&mut self, s: &str) {
+    /// Appends a u32-length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
         self.u32(s.len() as u32);
         self.buf.extend_from_slice(s.as_bytes());
     }
-    /// Appends a checksummed section frame.
-    pub(crate) fn section(&mut self, tag: u8, payload: &[u8]) {
+    /// Appends raw bytes verbatim.
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+    /// Appends a checksummed section frame: `tag u8, len u32,
+    /// checksum u64, payload`.
+    pub fn section(&mut self, tag: u8, payload: &[u8]) {
         self.u8(tag);
         self.u32(payload.len() as u32);
         self.u64(section_checksum(payload));
         self.buf.extend_from_slice(payload);
     }
+    /// The bytes written so far.
+    #[must_use]
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+    /// Consumes the writer, yielding its bytes.
+    #[must_use]
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
 }
 
 /// Bounds-checked little-endian reader; every over-read is a typed
 /// [`DecodeError::Truncated`], never a panic.
-pub(crate) struct Reader<'a> {
+pub struct Reader<'a> {
     buf: &'a [u8],
     pub(crate) pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    pub(crate) fn new(buf: &'a [u8]) -> Self {
+    /// A reader over `buf`, positioned at its start.
+    #[must_use]
+    pub fn new(buf: &'a [u8]) -> Self {
         Reader { buf, pos: 0 }
     }
-    pub(crate) fn remaining(&self) -> usize {
+    /// Bytes left to read.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
         self.buf.len() - self.pos
     }
-    pub(crate) fn is_done(&self) -> bool {
+    /// Whether every byte has been consumed.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
         self.pos == self.buf.len()
     }
-    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+    /// Consumes and returns the next `n` bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::Truncated`] when fewer than `n` bytes remain.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
         let end = self.pos.checked_add(n).ok_or(DecodeError::Truncated)?;
         if end > self.buf.len() {
             return Err(DecodeError::Truncated);
@@ -247,27 +289,57 @@ impl<'a> Reader<'a> {
         self.pos = end;
         Ok(s)
     }
-    pub(crate) fn u8(&mut self) -> Result<u8, DecodeError> {
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::Truncated`] at end of input.
+    pub fn u8(&mut self) -> Result<u8, DecodeError> {
         Ok(self.take(1)?[0])
     }
-    pub(crate) fn u16(&mut self) -> Result<u16, DecodeError> {
+    /// Reads a little-endian u16.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::Truncated`] at end of input.
+    pub fn u16(&mut self) -> Result<u16, DecodeError> {
         let b = self.take(2)?;
         Ok(u16::from_le_bytes([b[0], b[1]]))
     }
-    pub(crate) fn u32(&mut self) -> Result<u32, DecodeError> {
+    /// Reads a little-endian u32.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::Truncated`] at end of input.
+    pub fn u32(&mut self) -> Result<u32, DecodeError> {
         let b = self.take(4)?;
         Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
-    pub(crate) fn u64(&mut self) -> Result<u64, DecodeError> {
+    /// Reads a little-endian u64.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::Truncated`] at end of input.
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
         let b = self.take(8)?;
         Ok(u64::from_le_bytes([
             b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
         ]))
     }
-    pub(crate) fn i64(&mut self) -> Result<i64, DecodeError> {
+    /// Reads a little-endian i64.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::Truncated`] at end of input.
+    pub fn i64(&mut self) -> Result<i64, DecodeError> {
         Ok(self.u64()? as i64)
     }
-    pub(crate) fn str(&mut self) -> Result<String, DecodeError> {
+    /// Reads a u32-length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::Truncated`] or [`DecodeError::BadString`].
+    pub fn str(&mut self) -> Result<String, DecodeError> {
         let n = self.u32()? as usize;
         let bytes = self.take(n)?;
         String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::BadString)

@@ -267,7 +267,7 @@ fn transport_fault(rng: &mut Rng64, bytes: &[u8]) -> Vec<u8> {
 }
 
 /// Deterministic corruption engine for warm-state snapshots
-/// ([`crate::snapshot`]). Four prongs, mirroring what disks, crashes, and
+/// ([`crate::snapshot`]). Five prongs, mirroring what disks, crashes, and
 /// adversaries actually do to a checkpoint file:
 ///
 /// * [`SnapshotFuzzer::corrupt_bytes`] — transport faults anywhere in the
@@ -280,7 +280,11 @@ fn transport_fault(rng: &mut Rng64, bytes: &[u8]) -> Vec<u8> {
 /// * [`SnapshotFuzzer::splice`] — cross-version and cross-snapshot
 ///   surgery: a stamped-over version, or a section frame transplanted from
 ///   a snapshot taken under a different translator (the fingerprint gate's
-///   job).
+///   job);
+/// * [`SnapshotFuzzer::boundary_counts`] — a resealed 32-bit count/id field
+///   stamped to a boundary value (`u32::MAX`, a sign-bit pattern, a huge
+///   length), probing for unchecked-allocation and cast-aliasing holes in
+///   the decoders.
 #[derive(Debug)]
 pub struct SnapshotFuzzer {
     rng: Rng64,
@@ -363,6 +367,43 @@ impl SnapshotFuzzer {
         out.extend_from_slice(&bytes[..dst.frame.start]);
         out.extend_from_slice(&donor[src.frame.clone()]);
         out.extend_from_slice(&bytes[dst.frame.end..]);
+        Some(out)
+    }
+
+    /// Stamps a boundary value over an aligned 4-byte window inside one
+    /// section's payload and reseals the checksum. Counts and ids in the
+    /// snapshot codec are 32-bit little-endian fields, so this reliably
+    /// lands on one and forges `u32::MAX`-element graphs, sign-bit op ids,
+    /// and megabyte string lengths that transport integrity will vouch
+    /// for — the decoders' bounds checks are all that stands between the
+    /// forged count and an unchecked allocation. `None` if the framing is
+    /// unwalkable or no section has room for a 4-byte window.
+    pub fn boundary_counts(&mut self, bytes: &[u8]) -> Option<Vec<u8>> {
+        const BOUNDARIES: [u32; 6] = [
+            u32::MAX,
+            u32::MAX - 1,
+            0x8000_0000, // sign bit: `as usize`/`as i32` confusion probe
+            0x0100_0000, // plausible-looking but unpayable allocation
+            0x0001_0000,
+            0,
+        ];
+        let sections: Vec<SectionRange> = snapshot_section_ranges(bytes)
+            .ok()?
+            .into_iter()
+            .filter(|s| s.payload.len() >= 4)
+            .collect();
+        if sections.is_empty() {
+            return None;
+        }
+        let target = sections[self.rng.gen_range(0, sections.len())].clone();
+        let mut out = bytes.to_vec();
+        let value = BOUNDARIES[self.rng.gen_range(0, BOUNDARIES.len())];
+        // Word-align the window within the payload: the codec writes
+        // whole little-endian words, so aligned stamps hit real fields.
+        let words = target.payload.len() / 4;
+        let at = target.payload.start + 4 * self.rng.gen_range(0, words);
+        out[at..at + 4].copy_from_slice(&value.to_le_bytes());
+        reseal_section(&mut out, &target);
         Some(out)
     }
 }
@@ -668,6 +709,7 @@ mod tests {
             &memo.export_entries(),
             &cache.export_entries(),
         )
+        .expect("warm state encodes")
     }
 
     #[test]
@@ -682,6 +724,7 @@ mod tests {
                         f.corrupt_bytes(&bytes),
                         f.truncate(&bytes),
                         f.reseal_forgery(&bytes).unwrap_or_default(),
+                        f.boundary_counts(&bytes).unwrap_or_default(),
                     ]
                 })
                 .collect()
@@ -707,6 +750,7 @@ mod tests {
                 Some(f.truncate(&bytes)),
                 f.reseal_forgery(&bytes),
                 f.splice(&bytes, &donor),
+                f.boundary_counts(&bytes),
             ]
             .into_iter()
             .flatten()

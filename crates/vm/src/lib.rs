@@ -64,7 +64,7 @@ pub mod verify;
 
 pub use binfmt::{
     decode_module, encode_module, reseal_section, section_checksum, section_ranges, BinaryModule,
-    DecodeError, EncodedLoop, SectionRange,
+    DecodeError, EncodedLoop, Reader, SectionRange, Writer,
 };
 pub use cache::{CacheStats, CodeCache};
 pub use disasm::disassemble;
@@ -77,8 +77,9 @@ pub use memo::{
 };
 pub use session::{fold_vm_stats, ConcretizeStats, VmSession, VmStats};
 pub use snapshot::{
-    encode_warm_state, inspect_snapshot, restore_warm_state, save_atomic, snapshot_section_ranges,
-    EntryReject, RestoreReport, SnapshotInfo, SnapshotMeta,
+    decode_translated_loop, encode_translated_loop, encode_warm_state, inspect_snapshot,
+    restore_warm_state, save_atomic, snapshot_section_ranges, EncodeError, EntryReject,
+    RestoreReport, SnapshotInfo, SnapshotMeta,
 };
 pub use translator::{
     SymbolicTranslation, TranslatedLoop, TranslationError, TranslationOutcome, TranslationPolicy,

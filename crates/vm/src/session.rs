@@ -487,8 +487,13 @@ impl VmSession {
     /// Serializes this session's warm state — every memo entry (if a memo
     /// is attached) and every resident code-cache translation — into a
     /// snapshot byte stream (see [`crate::snapshot`]).
-    #[must_use]
-    pub fn save_warm_state(&self) -> Vec<u8> {
+    ///
+    /// # Errors
+    ///
+    /// [`crate::snapshot::EncodeError`] when a count or id overflows the
+    /// format's fixed-width fields (implausibly oversized state; never
+    /// silently truncated).
+    pub fn save_warm_state(&self) -> Result<Vec<u8>, crate::snapshot::EncodeError> {
         let memo_entries = self
             .memo
             .as_deref()
@@ -1008,7 +1013,7 @@ mod tests {
         for (i, b) in bodies.iter().enumerate() {
             warm.invoke(i as u64, b, &StaticHints::none());
         }
-        let bytes = warm.save_warm_state();
+        let bytes = warm.save_warm_state().expect("warm state encodes");
 
         let memo_b = Arc::new(TranslationMemo::new());
         let mut restored = session().with_memo(Arc::clone(&memo_b));
@@ -1055,7 +1060,7 @@ mod tests {
         let mut warm = session();
         let body = simple_loop("solo");
         warm.invoke(1, &body, &StaticHints::none());
-        let bytes = warm.save_warm_state();
+        let bytes = warm.save_warm_state().expect("warm state encodes");
 
         let mut restored = session();
         let report = restored.restore_warm_state(&bytes);

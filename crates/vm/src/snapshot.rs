@@ -101,6 +101,38 @@ pub const SNAP_CACHE: u8 = 4;
 /// would otherwise inflate replayed cost accounting without bound).
 const MAX_LOOP_LEN: u64 = 1 << 24;
 
+/// Why warm state could not be serialized: a structural count or id does
+/// not fit the format's fixed-width fields.
+///
+/// Encoding only fails on implausibly oversized state — a graph or memo
+/// with more than `u32::MAX` elements — but a silent truncating cast there
+/// would alias `OpId`s across the wrap and corrupt the snapshot
+/// undetectably (the per-section checksum seals the *truncated* bytes), so
+/// the bound is checked and the failure typed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EncodeError {
+    /// Which field overflowed.
+    pub what: &'static str,
+    /// The value that does not fit.
+    pub value: u64,
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} does not fit in u32", self.what, self.value)
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+/// Checked `usize -> u32` narrowing for the fixed-width count/id fields.
+fn fit_u32(what: &'static str, v: usize) -> Result<u32, EncodeError> {
+    u32::try_from(v).map_err(|_| EncodeError {
+        what,
+        value: v as u64,
+    })
+}
+
 /// Why one snapshot entry was refused (the restore itself continues).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EntryReject {
@@ -286,7 +318,8 @@ fn decode_key(r: &mut Reader) -> Result<MemoKey, EntryReject> {
     })
 }
 
-fn encode_hint_error(w: &mut Writer, e: &HintError) {
+fn encode_hint_error(w: &mut Writer, e: &HintError) -> Result<(), EncodeError> {
+    let op = |id: &OpId| fit_u32("diagnostic op id", id.index());
     match e {
         HintError::PriorityWrongLength { expected, got } => {
             w.u8(0);
@@ -295,30 +328,31 @@ fn encode_hint_error(w: &mut Writer, e: &HintError) {
         }
         HintError::PriorityUnknownOp(id) => {
             w.u8(1);
-            w.u32(id.index() as u32);
+            w.u32(op(id)?);
         }
         HintError::PriorityDuplicate(id) => {
             w.u8(2);
-            w.u32(id.index() as u32);
+            w.u32(op(id)?);
         }
         HintError::CcaEmptyGroup => w.u8(3),
         HintError::CcaMemberOutOfRange(id) => {
             w.u8(4);
-            w.u32(id.index() as u32);
+            w.u32(op(id)?);
         }
         HintError::CcaMemberNotSchedulable(id) => {
             w.u8(5);
-            w.u32(id.index() as u32);
+            w.u32(op(id)?);
         }
         HintError::CcaDuplicateMember(id) => {
             w.u8(6);
-            w.u32(id.index() as u32);
+            w.u32(op(id)?);
         }
         HintError::CcaIllegalGroup { group } => {
             w.u8(7);
             w.u64(*group as u64);
         }
     }
+    Ok(())
 }
 
 fn decode_hint_error(r: &mut Reader) -> Result<HintError, EntryReject> {
@@ -342,15 +376,16 @@ fn decode_hint_error(r: &mut Reader) -> Result<HintError, EntryReject> {
     })
 }
 
-fn encode_check(w: &mut Writer, c: &Option<Result<(), HintError>>) {
+fn encode_check(w: &mut Writer, c: &Option<Result<(), HintError>>) -> Result<(), EncodeError> {
     match c {
         None => w.u8(0),
         Some(Ok(())) => w.u8(1),
         Some(Err(e)) => {
             w.u8(2);
-            encode_hint_error(w, e);
+            encode_hint_error(w, e)?;
         }
     }
+    Ok(())
 }
 
 fn decode_check(r: &mut Reader) -> Result<Option<Result<(), HintError>>, EntryReject> {
@@ -362,9 +397,9 @@ fn decode_check(r: &mut Reader) -> Result<Option<Result<(), HintError>>, EntryRe
     })
 }
 
-fn encode_verdict(w: &mut Writer, v: &HintVerdict) {
-    encode_check(w, &v.priority);
-    encode_check(w, &v.cca);
+fn encode_verdict(w: &mut Writer, v: &HintVerdict) -> Result<(), EncodeError> {
+    encode_check(w, &v.priority)?;
+    encode_check(w, &v.cca)
 }
 
 fn decode_verdict(r: &mut Reader) -> Result<HintVerdict, EntryReject> {
@@ -374,17 +409,18 @@ fn decode_verdict(r: &mut Reader) -> Result<HintVerdict, EntryReject> {
     })
 }
 
-fn encode_separation_error(w: &mut Writer, e: &SeparationError) {
+fn encode_separation_error(w: &mut Writer, e: &SeparationError) -> Result<(), EncodeError> {
     match e {
         SeparationError::NoBackBranch => w.u8(0),
         SeparationError::MultipleBranches => w.u8(1),
         SeparationError::ComplexControl => w.u8(2),
         SeparationError::ComplexAddress(id) => {
             w.u8(3);
-            w.u32(id.index() as u32);
+            w.u32(fit_u32("diagnostic op id", id.index())?);
         }
         SeparationError::CallInLoop => w.u8(4),
     }
+    Ok(())
 }
 
 fn decode_separation_error(r: &mut Reader) -> Result<SeparationError, EntryReject> {
@@ -476,8 +512,8 @@ fn decode_schedule_error(r: &mut Reader) -> Result<ScheduleError, EntryReject> {
 /// re-derives); a snapshot must reproduce the post-rewrite graph
 /// slot-for-slot or the memo's content hashes stop matching, so it carries
 /// its own.
-fn encode_dfg(w: &mut Writer, dfg: &Dfg) {
-    w.u32(dfg.len() as u32);
+fn encode_dfg(w: &mut Writer, dfg: &Dfg) -> Result<(), EncodeError> {
+    w.u32(fit_u32("graph node count", dfg.len())?);
     for i in 0..dfg.len() {
         let n = dfg.node(OpId::new(i));
         match n.kind {
@@ -500,15 +536,15 @@ fn encode_dfg(w: &mut Writer, dfg: &Dfg) {
             flags |= 2;
         }
         w.u8(flags);
-        w.u32(n.cca_members.len() as u32);
+        w.u32(fit_u32("cca member count", n.cca_members.len())?);
         for &m in &n.cca_members {
-            w.u32(m.index() as u32);
+            w.u32(fit_u32("cca member id", m.index())?);
         }
     }
-    w.u32(dfg.edges().len() as u32);
+    w.u32(fit_u32("graph edge count", dfg.edges().len())?);
     for e in dfg.edges() {
-        w.u32(e.src.index() as u32);
-        w.u32(e.dst.index() as u32);
+        w.u32(fit_u32("edge source id", e.src.index())?);
+        w.u32(fit_u32("edge target id", e.dst.index())?);
         w.u32(e.distance);
         w.u8(match e.kind {
             EdgeKind::Data => 0,
@@ -516,6 +552,7 @@ fn encode_dfg(w: &mut Writer, dfg: &Dfg) {
         });
     }
     w.u64(dfg.content_hash());
+    Ok(())
 }
 
 fn decode_dfg(r: &mut Reader) -> Result<Dfg, EntryReject> {
@@ -593,15 +630,16 @@ fn decode_dfg(r: &mut Reader) -> Result<Dfg, EntryReject> {
     Ok(dfg)
 }
 
-fn encode_schedule(w: &mut Writer, s: &ModuloSchedule) {
+fn encode_schedule(w: &mut Writer, s: &ModuloSchedule) -> Result<(), EncodeError> {
     let (ii, times, units) = s.raw_parts();
     w.u32(ii);
-    w.u32(times.len() as u32);
+    w.u32(fit_u32("schedule slot count", times.len())?);
     for (&t, &(kind, unit)) in times.iter().zip(units) {
         w.i64(t);
         w.u8(kind.index() as u8);
         w.u64(unit as u64);
     }
+    Ok(())
 }
 
 fn decode_schedule(
@@ -638,21 +676,21 @@ fn decode_schedule(
     Ok(schedule)
 }
 
-fn encode_registers(w: &mut Writer, ra: &RegisterAssignment) {
+fn encode_registers(w: &mut Writer, ra: &RegisterAssignment) -> Result<(), EncodeError> {
     encode_pressure(w, &ra.pressure);
     w.u64(ra.pinned_int as u64);
     w.u64(ra.pinned_fp as u64);
-    let mut pairs: Vec<(u32, u16)> = ra
-        .assignment
-        .iter()
-        .map(|(&id, &reg)| (id.index() as u32, reg))
-        .collect();
+    let mut pairs = Vec::with_capacity(ra.assignment.len());
+    for (&id, &reg) in &ra.assignment {
+        pairs.push((fit_u32("register op id", id.index())?, reg));
+    }
     pairs.sort_unstable();
-    w.u32(pairs.len() as u32);
+    w.u32(fit_u32("register map size", pairs.len())?);
     for (i, reg) in pairs {
         w.u32(i);
         w.u16(reg);
     }
+    Ok(())
 }
 
 fn decode_registers(r: &mut Reader, bound: usize) -> Result<RegisterAssignment, EntryReject> {
@@ -680,14 +718,15 @@ fn decode_registers(r: &mut Reader, bound: usize) -> Result<RegisterAssignment, 
     })
 }
 
-fn encode_translated(w: &mut Writer, t: &TranslatedLoop) {
-    encode_dfg(w, &t.dfg);
-    w.u32(t.cca_groups as u32);
-    encode_schedule(w, &t.scheduled.schedule);
-    encode_registers(w, &t.scheduled.registers);
+fn encode_translated(w: &mut Writer, t: &TranslatedLoop) -> Result<(), EncodeError> {
+    encode_dfg(w, &t.dfg)?;
+    w.u32(fit_u32("cca group count", t.cca_groups)?);
+    encode_schedule(w, &t.scheduled.schedule)?;
+    encode_registers(w, &t.scheduled.registers)?;
     w.u32(t.scheduled.mii);
-    w.u32(t.streams.loads as u32);
-    w.u32(t.streams.stores as u32);
+    w.u32(fit_u32("load stream count", t.streams.loads)?);
+    w.u32(fit_u32("store stream count", t.streams.stores)?);
+    Ok(())
 }
 
 fn decode_translated(
@@ -721,24 +760,25 @@ fn decode_translated(
     })
 }
 
-fn encode_point(w: &mut Writer, key: &MemoKey, m: &MemoizedOutcome) {
+fn encode_point(w: &mut Writer, key: &MemoKey, m: &MemoizedOutcome) -> Result<(), EncodeError> {
     encode_key(w, key);
     encode_breakdown(w, &m.breakdown);
-    encode_verdict(w, &m.verdict);
+    encode_verdict(w, &m.verdict)?;
     match &m.result {
         Ok(t) => {
             w.u8(0);
-            encode_translated(w, t);
+            encode_translated(w, t)?;
         }
         Err(TranslationError::Unsupported(e)) => {
             w.u8(1);
-            encode_separation_error(w, e);
+            encode_separation_error(w, e)?;
         }
         Err(TranslationError::Schedule(e)) => {
             w.u8(2);
             encode_schedule_error(w, e);
         }
     }
+    Ok(())
 }
 
 fn decode_point(
@@ -771,34 +811,39 @@ fn decode_point(
     ))
 }
 
-fn encode_family(w: &mut Writer, key: &MemoKey, f: &SymbolicTranslation) {
+fn encode_family(
+    w: &mut Writer,
+    key: &MemoKey,
+    f: &SymbolicTranslation,
+) -> Result<(), EncodeError> {
     encode_key(w, key);
     w.u64(f.loop_len as u64);
     encode_breakdown(w, &f.prefix);
-    encode_verdict(w, &f.verdict);
+    encode_verdict(w, &f.verdict)?;
     match &f.body {
         Ok(b) => {
             w.u8(0);
-            encode_dfg(w, &b.dfg);
-            w.u32(b.summary.loads as u32);
-            w.u32(b.summary.stores as u32);
-            w.u32(b.cca_groups as u32);
+            encode_dfg(w, &b.dfg)?;
+            w.u32(fit_u32("load stream count", b.summary.loads)?);
+            w.u32(fit_u32("store stream count", b.summary.stores)?);
+            w.u32(fit_u32("cca group count", b.cca_groups)?);
             match &b.static_order {
                 None => w.u8(0),
                 Some(order) => {
                     w.u8(1);
-                    w.u32(order.len() as u32);
+                    w.u32(fit_u32("static order length", order.len())?);
                     for &id in order {
-                        w.u32(id.index() as u32);
+                        w.u32(fit_u32("static order op id", id.index())?);
                     }
                 }
             }
         }
         Err(e) => {
             w.u8(1);
-            encode_separation_error(w, e);
+            encode_separation_error(w, e)?;
         }
     }
+    Ok(())
 }
 
 fn decode_family(r: &mut Reader, live_family_fp: u64) -> Result<(MemoKey, MemoEntry), EntryReject> {
@@ -872,10 +917,15 @@ fn decode_family(r: &mut Reader, live_family_fp: u64) -> Result<(MemoKey, MemoEn
     ))
 }
 
-fn encode_cache_entry(w: &mut Writer, key: u64, translator_fp: u64, t: &TranslatedLoop) {
+fn encode_cache_entry(
+    w: &mut Writer,
+    key: u64,
+    translator_fp: u64,
+    t: &TranslatedLoop,
+) -> Result<(), EncodeError> {
     w.u64(key);
     w.u64(translator_fp);
-    encode_translated(w, t);
+    encode_translated(w, t)
 }
 
 fn decode_cache_entry(
@@ -923,18 +973,24 @@ fn decode_meta(r: &mut Reader) -> Result<SnapshotMeta, EntryReject> {
 /// `memo_entries` and `cache_entries` come from the stores' sorted
 /// `export_entries` accessors, so two snapshots of the same logical state
 /// are byte-identical regardless of shard striping or insertion order.
-#[must_use]
+///
+/// # Errors
+///
+/// [`EncodeError`] when a count or id does not fit the format's
+/// fixed-width fields — only possible on implausibly oversized state,
+/// but typed rather than silently truncated (see [`EncodeError`]).
 pub fn encode_warm_state(
     translator_fp: u64,
     family_fp: Option<u64>,
     memo_entries: &[(MemoKey, MemoEntry)],
     cache_entries: &[(u64, &Arc<TranslatedLoop>, usize)],
-) -> Vec<u8> {
+) -> Result<Vec<u8>, EncodeError> {
     let points = memo_entries
         .iter()
         .filter(|(_, e)| matches!(e, MemoEntry::Point(_)))
-        .count() as u32;
-    let families = memo_entries.len() as u32 - points;
+        .count();
+    let points = fit_u32("memo point count", points)?;
+    let families = fit_u32("memo entry count", memo_entries.len())? - points;
     let mut w = Writer::new();
     w.buf.extend_from_slice(SNAP_MAGIC);
     w.u16(SNAP_VERSION);
@@ -946,7 +1002,7 @@ pub fn encode_warm_state(
             family_fp,
             points,
             families,
-            cache_entries: cache_entries.len() as u32,
+            cache_entries: fit_u32("cache entry count", cache_entries.len())?,
         },
     );
     w.section(SNAP_META, &p.buf);
@@ -954,22 +1010,56 @@ pub fn encode_warm_state(
         let mut p = Writer::new();
         match entry {
             MemoEntry::Point(m) => {
-                encode_point(&mut p, key, m);
+                encode_point(&mut p, key, m)?;
                 w.section(SNAP_POINT, &p.buf);
             }
             MemoEntry::Family(f) => {
-                encode_family(&mut p, key, f);
+                encode_family(&mut p, key, f)?;
                 w.section(SNAP_FAMILY, &p.buf);
             }
         }
     }
     for &(key, t, _bytes) in cache_entries {
         let mut p = Writer::new();
-        encode_cache_entry(&mut p, key, translator_fp, t);
+        encode_cache_entry(&mut p, key, translator_fp, t)?;
         w.section(SNAP_CACHE, &p.buf);
     }
     w.u8(SNAP_END);
-    w.buf
+    Ok(w.buf)
+}
+
+/// Serializes one translated loop in the snapshot's full-fidelity codec —
+/// the payload a serving response carries over the wire.
+///
+/// # Errors
+///
+/// [`EncodeError`] when a count or id overflows the fixed-width fields.
+pub fn encode_translated_loop(t: &TranslatedLoop) -> Result<Vec<u8>, EncodeError> {
+    let mut w = Writer::new();
+    encode_translated(&mut w, t)?;
+    Ok(w.buf)
+}
+
+/// Decodes one translated loop from **untrusted** bytes, re-running the
+/// full verification gauntlet a snapshot entry passes: [`verify_dfg`] plus
+/// a content-hash cross-check, [`verify_schedule`] against `config` with
+/// zero defects, register bounds checks, and recomputed accounting. A
+/// network client uses this on response payloads so a compromised or
+/// corrupted server can never hand it an invalid schedule.
+///
+/// # Errors
+///
+/// A typed [`EntryReject`] naming the first check the bytes failed.
+pub fn decode_translated_loop(
+    bytes: &[u8],
+    config: &AcceleratorConfig,
+) -> Result<TranslatedLoop, EntryReject> {
+    let mut r = Reader::new(bytes);
+    let t = decode_translated(&mut r, config)?;
+    if !r.is_done() {
+        return Err(DecodeError::SectionTrailing(0).into());
+    }
+    Ok(t)
 }
 
 /// Restores a snapshot into live stores, treating every byte as hostile.
@@ -1170,13 +1260,15 @@ pub fn snapshot_section_ranges(bytes: &[u8]) -> Result<Vec<SectionRange>, Decode
 }
 
 /// Writes `bytes` to `path` crash-safely: a same-directory temp file is
-/// written and fsynced, then renamed over the target, so a reader never
-/// observes a half-written snapshot — it sees the old file or the new one.
+/// written and fsynced, then renamed over the target and the parent
+/// directory fsynced, so a reader never observes a half-written snapshot —
+/// it sees the old file or the new one — and the rename itself survives a
+/// crash (the directory entry is durable, not just the file contents).
 ///
 /// # Errors
 ///
-/// Any I/O error from create/write/sync/rename; the temp file is removed
-/// on failure.
+/// Any I/O error from create/write/sync/rename/dir-sync; the temp file is
+/// removed on failure.
 pub fn save_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
     let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
     let name = path.file_name().map_or_else(
@@ -1193,7 +1285,16 @@ pub fn save_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
         f.write_all(bytes)?;
         f.sync_all()?;
         drop(f);
-        fs::rename(&tmp, path)
+        fs::rename(&tmp, path)?;
+        // Durability of the rename itself: fsync the directory so a crash
+        // after this call can't resurrect the old entry (or lose the new
+        // one). Some platforms refuse to fsync a directory handle; treat
+        // that as best-effort rather than failing a completed rename.
+        let dir_handle = fs::File::open(dir.unwrap_or_else(|| Path::new(".")))?;
+        match dir_handle.sync_all() {
+            Err(e) if e.kind() != io::ErrorKind::Unsupported => Err(e),
+            _ => Ok(()),
+        }
     })();
     if result.is_err() {
         let _ = fs::remove_file(&tmp);
@@ -1296,7 +1397,8 @@ mod tests {
             Some(family_fp),
             &memo.export_entries(),
             &cache.export_entries(),
-        );
+        )
+        .expect("warm state fits the format");
         (bytes, family_fp)
     }
 
@@ -1325,7 +1427,8 @@ mod tests {
             Some(family_fp),
             &memo2.export_entries(),
             &cache2.export_entries(),
-        );
+        )
+        .expect("restored state re-encodes");
         assert_eq!(bytes, bytes2);
     }
 
@@ -1532,12 +1635,78 @@ mod tests {
     fn save_atomic_round_trips_and_replaces() {
         let t = translator();
         let (bytes, _) = snapshot_of(&t);
-        let path = std::env::temp_dir().join(format!("veal-snap-test-{}.vsnp", std::process::id()));
+        // A dedicated subdirectory so the parent-directory fsync after the
+        // rename runs against a real `Some(dir)` parent, not the cwd
+        // fallback.
+        let dir = std::env::temp_dir().join(format!("veal-snap-test-{}", std::process::id()));
+        fs::create_dir_all(&dir).expect("test dir");
+        let path = dir.join("state.vsnp");
         save_atomic(&path, b"old contents").expect("first write");
+        assert_eq!(fs::read(&path).expect("reopen old"), b"old contents");
+        // Replace, then reopen through a fresh handle: the reader must see
+        // the complete new stream, never a blend of old and new.
         save_atomic(&path, &bytes).expect("replace");
         let read_back = fs::read(&path).expect("read back");
-        let _ = fs::remove_file(&path);
         assert_eq!(read_back, bytes);
         inspect_snapshot(&read_back).expect("saved file is a valid snapshot");
+        // And replacing the replacement still round-trips.
+        save_atomic(&path, b"third generation").expect("second replace");
+        assert_eq!(fs::read(&path).expect("reopen third"), b"third generation");
+        // No temp-file debris left behind.
+        let stray: Vec<_> = fs::read_dir(&dir)
+            .expect("list dir")
+            .filter_map(|e| e.ok().map(|e| e.file_name()))
+            .filter(|n| n != "state.vsnp")
+            .collect();
+        let _ = fs::remove_dir_all(&dir);
+        assert!(stray.is_empty(), "leftover temp files: {stray:?}");
+    }
+
+    #[cfg(target_pointer_width = "64")]
+    #[test]
+    fn oversized_counts_are_a_typed_encode_error_not_a_truncation() {
+        // A count past u32::MAX would silently alias under the old
+        // `as u32` cast — and the per-section checksum would then seal the
+        // corrupted bytes, making the damage undetectable on restore. Every
+        // count/id field now narrows through `fit_u32`, which must refuse.
+        // (Ids are `OpId`-backed and bounded at u32 by construction, so the
+        // checked narrowing is the single gate a collection length passes.)
+        let over = u32::MAX as usize + 1;
+        let err = fit_u32("graph node count", over).expect_err("must not narrow");
+        assert_eq!(err.what, "graph node count");
+        assert_eq!(err.value, u64::from(u32::MAX) + 1);
+        assert!(err.to_string().contains("does not fit"));
+        // Boundary: exactly u32::MAX still fits; one past does not.
+        assert_eq!(fit_u32("n", u32::MAX as usize), Ok(u32::MAX));
+        assert!(fit_u32("n", over + 12345).is_err());
+    }
+
+    #[test]
+    fn translated_loop_codec_round_trips_and_reverifies() {
+        let t = translator();
+        let outcome = t.translate(&simple_loop("wire"), &StaticHints::none());
+        let original = outcome.result.expect("simple loop translates");
+        let bytes = encode_translated_loop(&original).expect("encodes");
+        let decoded = decode_translated_loop(&bytes, t.config()).expect("decodes");
+        // Byte-identity of the re-encoding is the equality oracle.
+        assert_eq!(encode_translated_loop(&decoded).expect("re-encodes"), bytes);
+        // Derived accounting is recomputed, not trusted, and must agree.
+        assert_eq!(decoded.control_words, original.control_words);
+        assert_eq!(decoded.accel_ops, original.accel_ops);
+
+        // Trailing bytes are not tolerated: a frame must be exactly one loop.
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(decode_translated_loop(&padded, t.config()).is_err());
+
+        // Any single flipped byte is caught by decode or re-verification.
+        for i in 0..bytes.len() {
+            let mut dirty = bytes.clone();
+            dirty[i] ^= 0x20;
+            if let Ok(tl) = decode_translated_loop(&dirty, t.config()) {
+                verify_dfg(&tl.dfg).expect("admitted graph verifies");
+                assert!(verify_schedule(&tl.dfg, &tl.scheduled.schedule, t.config()).is_empty());
+            }
+        }
     }
 }

@@ -81,7 +81,7 @@ fn warm_session(case: u64, salt: u64, t: Translator) -> (VmSession, Vec<u8>, Vec
     for (k, b) in bodies.iter().enumerate() {
         session.invoke(k as u64, b, &StaticHints::none());
     }
-    let bytes = session.save_warm_state();
+    let bytes = session.save_warm_state().expect("warm state encodes");
     (session, bytes, bodies)
 }
 
@@ -235,7 +235,11 @@ fn untampered_snapshots_restore_bit_identically() {
         assert_eq!(report.rejected, 0, "case {case}");
         assert!(!report.torn, "case {case}");
         // Re-encoding the restored state reproduces the input stream.
-        assert_eq!(revived.save_warm_state(), bytes, "case {case}");
+        assert_eq!(
+            revived.save_warm_state().as_deref(),
+            Ok(bytes.as_slice()),
+            "case {case}"
+        );
         // Second window: accelerated loops replay identically (restored
         // cache, zero cycles, same schedule). Rejected loops differ once
         // by design — the pin set is derived state, not snapshotted, so
@@ -290,7 +294,7 @@ fn a_restored_service_replays_the_cold_run_bit_identically() {
         let stream = veal::serve::generate(&spec, &cfg.config, cfg.cca.as_ref());
         let origin = TranslationService::new(cfg.clone());
         let cold = origin.run(&stream);
-        let snapshot = origin.save_snapshot();
+        let snapshot = origin.save_snapshot().expect("warm state encodes");
         drop(origin); // the crash
 
         let revived = TranslationService::new(cfg);
