@@ -4,6 +4,8 @@
 //! vealc translate <loop.vasm> [--policy dynamic|height|static] [--no-cca]
 //! vealc pack <loop.vasm>... -o <module.veal>     # encode, with hints
 //! vealc dump <module.veal>                       # disassemble a module
+//! vealc run <module.veal> [--lanes W] [--trips N] [--policy ...]
+//!                                                # execute on the LoopVM backend
 //! vealc suite [--policy ...]                     # run the benchmark suite
 //! vealc stats <trace.jsonl>                      # summarize a --trace-out file
 //! vealc serve [--requests N] [--tenants T] [--threads K] [--trace-out F]
@@ -26,7 +28,7 @@ use veal::{compute_hints, AcceleratorConfig, CcaSpec, StaticHints, System, Trans
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
-        eprintln!("usage: vealc <translate|pack|dump|suite|stats|serve|snapshot> ...");
+        eprintln!("usage: vealc <translate|pack|dump|run|suite|stats|serve|snapshot> ...");
         return ExitCode::FAILURE;
     };
     let rest = &args[1..];
@@ -34,6 +36,7 @@ fn main() -> ExitCode {
         "translate" => translate(rest),
         "pack" => pack(rest),
         "dump" => dump(rest),
+        "run" => run(rest),
         "suite" => suite(rest),
         "stats" => stats(rest),
         "serve" => serve(rest),
@@ -209,6 +212,81 @@ fn dump(rest: &[String]) -> Result<(), String> {
     let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
     let module = veal::decode_module(&bytes).map_err(|e| e.to_string())?;
     print!("{}", veal::vm::disassemble(&module));
+    Ok(())
+}
+
+/// `vealc run <module.veal>` — executes every loop of a packed module on
+/// the LoopVM host backend (`veal::exec`) over the golden fixture
+/// inputs, differentially against the reference interpreter: for each
+/// loop the interpreter, scalar LoopVM, and lane-mode checksums must
+/// agree, or the command fails. The command-line face of the measured
+/// (as opposed to analytic) execution path.
+fn run(rest: &[String]) -> Result<(), String> {
+    let path = rest
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("run needs a .veal module")?;
+    let num_flag = |name: &str| -> Result<Option<u64>, String> {
+        match rest.iter().position(|a| a == name) {
+            None => Ok(None),
+            Some(i) => rest
+                .get(i + 1)
+                .and_then(|v| v.parse().ok())
+                .map(Some)
+                .ok_or_else(|| format!("{name} expects a number")),
+        }
+    };
+    let trips = num_flag("--trips")?.unwrap_or(veal::workloads::FIXTURE_ITERATIONS);
+    let lanes = usize::try_from(num_flag("--lanes")?.unwrap_or(veal::DEFAULT_LANES as u64))
+        .map_err(|_| "--lanes out of range")?
+        .max(1);
+    let policy = policy_from(rest)?;
+
+    let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    let module = veal::decode_module(&bytes).map_err(|e| e.to_string())?;
+    let translator = veal::vm::Translator::new(
+        AcceleratorConfig::paper_design(),
+        Some(CcaSpec::paper()),
+        policy,
+    );
+
+    let mut disagreements = 0usize;
+    for (i, l) in module.loops.iter().enumerate() {
+        let hints = StaticHints {
+            priority: l.priority_hint.clone(),
+            cca_groups: l.cca_hint.clone(),
+        };
+        let mapped = translator.translate(&l.body, &hints).result.is_ok();
+        let exe = match translator.compile_executable(&l.body, &hints) {
+            Ok(exe) => exe,
+            Err(e) => {
+                println!("loop {i} ({}): not executable ({e})", l.body.name);
+                continue;
+            }
+        };
+        let inputs = veal::workloads::fixture_inputs(&l.body);
+        let interp = veal::ir::interp::interpret(&l.body.dfg, trips, &inputs)
+            .map_err(|e| format!("loop {i}: interp: {e} (but LoopVM compiled it)"))?;
+        let want = veal::workloads::fold_checksum(&interp);
+        let scalar = veal::workloads::fold_checksum(&exe.run(trips, &inputs));
+        let lane = veal::workloads::fold_checksum(&exe.run_lanes(trips, &inputs, lanes));
+        let agree = scalar == want && lane == want;
+        disagreements += usize::from(!agree);
+        println!(
+            "loop {i} ({}): {} instrs, {} trips, {} — interp {want:#018x} loopvm {scalar:#018x} lanes(W={lanes}) {lane:#018x} [{}]",
+            l.body.name,
+            exe.instruction_count(),
+            trips,
+            if mapped { "mapped" } else { "cpu" },
+            if agree { "agree" } else { "DISAGREE" },
+        );
+    }
+    if disagreements > 0 {
+        return Err(format!(
+            "{disagreements} loop(s) diverged from the reference interpreter"
+        ));
+    }
+    println!("checksums_identical: true");
     Ok(())
 }
 

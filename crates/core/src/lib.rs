@@ -19,6 +19,7 @@
 //! | [`cca`] | the combinational compute accelerator and its mapper |
 //! | [`accel`] | loop-accelerator machine descriptions and area model |
 //! | [`sched`] | Swing/height modulo scheduling, register assignment |
+//! | [`exec`] | LoopVM: the native host execution backend (scalar + lane-vectorized) |
 //! | [`vm`] | binary format, hints, code cache, dynamic translator |
 //! | [`sim`] | CPU/LA timing models and the speedup engine |
 //! | [`workloads`] | the 27-application benchmark suite |
@@ -40,6 +41,7 @@
 
 pub use veal_accel as accel;
 pub use veal_cca as cca;
+pub use veal_exec as exec;
 pub use veal_ir as ir;
 pub use veal_obs as obs;
 pub use veal_opt as opt;
@@ -58,6 +60,7 @@ pub use system::System;
 // The names a user reaches for first, re-exported flat.
 pub use veal_accel::{AcceleratorConfig, AcceleratorFamily, AxisRange, LatencyModel};
 pub use veal_cca::CcaSpec;
+pub use veal_exec::{ExecutableLoop, DEFAULT_LANES};
 pub use veal_ir::{
     classify_loop, CostMeter, Dfg, DfgBuilder, LoopBody, LoopClass, LoopProfile, OpId, Opcode,
     Phase,

@@ -1,0 +1,287 @@
+//! Lowering a loop-body [`Dfg`] to LoopVM bytecode.
+//!
+//! The compiler walks the graph once to refuse what the interpreter
+//! refuses (same errors, same first-offender order), then emits the
+//! instruction stream in *schedule order*: a Kahn topological sort of the
+//! distance-0 subgraph whose tie-break is the op's modulo-schedule time.
+//! Any valid d0-topological order computes the same values; following the
+//! schedule keeps the bytecode congruent with the accelerator's issue
+//! order and exercises the same overlap the lane mode models.
+//!
+//! Two orders matter and they are *different*:
+//!
+//! * **evaluation order** (above) only has to respect d0 edges;
+//! * **store commit order** must replay the interpreter's — stores to the
+//!   same stream push in `dfg.topo_order()` position within each
+//!   iteration, so the compiler records every store site's topo position
+//!   and the executors stage values and commit them in that order.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use veal_ir::interp::reads_operands;
+use veal_ir::{Dfg, OpId, Opcode};
+use veal_sched::ModuloSchedule;
+
+use crate::{CompileError, ExecOp, ExecutableLoop, LaneGroup};
+
+fn exec_op(op: Opcode) -> ExecOp {
+    use Opcode::*;
+    match op {
+        Add => ExecOp::Add,
+        Sub => ExecOp::Sub,
+        And => ExecOp::And,
+        Or => ExecOp::Or,
+        Xor => ExecOp::Xor,
+        Not => ExecOp::Not,
+        Neg => ExecOp::Neg,
+        Min => ExecOp::Min,
+        Max => ExecOp::Max,
+        Abs => ExecOp::Abs,
+        CmpEq => ExecOp::CmpEq,
+        CmpNe => ExecOp::CmpNe,
+        CmpLt => ExecOp::CmpLt,
+        CmpLe => ExecOp::CmpLe,
+        Select => ExecOp::Select,
+        Mov => ExecOp::Mov,
+        Shl => ExecOp::Shl,
+        Shr => ExecOp::Shr,
+        Sra => ExecOp::Sra,
+        Mul => ExecOp::Mul,
+        Div => ExecOp::Div,
+        Rem => ExecOp::Rem,
+        FAdd => ExecOp::FAdd,
+        FSub => ExecOp::FSub,
+        FMul => ExecOp::FMul,
+        FDiv => ExecOp::FDiv,
+        FNeg => ExecOp::FNeg,
+        FAbs => ExecOp::FAbs,
+        FMin => ExecOp::FMin,
+        FMax => ExecOp::FMax,
+        FCmpLt => ExecOp::FCmpLt,
+        ItoF => ExecOp::ItoF,
+        FtoI => ExecOp::FtoI,
+        FMac => ExecOp::FMac,
+        FSqrt => ExecOp::FSqrt,
+        Store => ExecOp::Store,
+        LoadImm | Br | BrCond | Ret => ExecOp::Zero,
+        // Refused before emission; Load is split by addressing mode at
+        // the emission site.
+        Load | Call | Cca => unreachable!("handled before exec_op"),
+    }
+}
+
+/// Emission order: Kahn over distance-0 edges among live op nodes, the
+/// ready heap keyed by `(schedule time, node id)`. Unscheduled ops sink
+/// to the end of their ready window but still respect dependences.
+fn schedule_order(dfg: &Dfg, schedule: Option<&ModuloSchedule>) -> Vec<OpId> {
+    let n = dfg.len();
+    let is_instr =
+        |id: OpId| -> bool { !dfg.node(id).is_dead() && dfg.node(id).opcode().is_some() };
+    let mut indeg = vec![0u32; n];
+    for e in dfg.edges() {
+        if e.distance == 0 && is_instr(e.src) && is_instr(e.dst) {
+            indeg[e.dst.index()] += 1;
+        }
+    }
+    let prio = |id: OpId| -> i64 { schedule.and_then(|s| s.time(id)).unwrap_or(i64::MAX) };
+    let mut heap: BinaryHeap<Reverse<(i64, usize)>> = BinaryHeap::new();
+    for (i, &deg) in indeg.iter().enumerate() {
+        let id = OpId::new(i);
+        if is_instr(id) && deg == 0 {
+            heap.push(Reverse((prio(id), i)));
+        }
+    }
+    let mut order = Vec::with_capacity(n);
+    while let Some(Reverse((_, i))) = heap.pop() {
+        let v = OpId::new(i);
+        order.push(v);
+        for e in dfg.succ_edges(v) {
+            if e.distance == 0 && is_instr(e.dst) {
+                indeg[e.dst.index()] -= 1;
+                if indeg[e.dst.index()] == 0 {
+                    heap.push(Reverse((prio(e.dst), e.dst.index())));
+                }
+            }
+        }
+    }
+    order
+}
+
+/// Lane plan: strongly-connected components of the *full* dependence
+/// graph (all distances), topologically ordered over the component DAG.
+/// A trivial component has no recurrence — its lanes are independent
+/// given earlier groups — and a single-member self-recurrence sweeps in
+/// lane order; only a multi-member cycle must run each lane serially.
+/// Cross-component edges of any distance are acyclic by construction, so
+/// "every group before me has finished all lanes" is exactly the
+/// guarantee a lane read needs.
+fn lane_plan(dfg: &Dfg, instr_index: &[u32]) -> Vec<LaneGroup> {
+    let cond = dfg.condensation();
+    let nc = cond.num_comps();
+    let mut indeg = vec![0u32; nc];
+    for e in dfg.edges() {
+        let (Some(cs), Some(cd)) = (cond.comp_of(e.src), cond.comp_of(e.dst)) else {
+            continue;
+        };
+        if cs != cd {
+            indeg[cd] += 1;
+        }
+    }
+    let mut heap: BinaryHeap<Reverse<usize>> =
+        (0..nc).filter(|&c| indeg[c] == 0).map(Reverse).collect();
+    let mut plan = Vec::new();
+    let mut emitted = vec![false; nc];
+    while let Some(Reverse(c)) = heap.pop() {
+        if emitted[c] {
+            continue;
+        }
+        emitted[c] = true;
+        let mut members: Vec<u32> = cond.comps()[c]
+            .iter()
+            .filter(|&&id| instr_index[id.index()] != u32::MAX)
+            .map(|&id| instr_index[id.index()])
+            .collect();
+        if !members.is_empty() {
+            // Within a lane, members must evaluate in a d0-valid order;
+            // the global instruction order is one.
+            members.sort_unstable();
+            // A single-member recurrence (a self-edge, e.g. an
+            // accumulator) still sweeps: the sweep visits lanes in
+            // ascending iteration order and writes each lane's ring row
+            // before the next lane reads, so a distance-d self read
+            // always finds lane−d already computed. Only a cycle
+            // *through other instructions* forces lane-serial order.
+            let serial = cond.is_cyclic(c) && members.len() > 1;
+            plan.push(LaneGroup { members, serial });
+        }
+        for &id in &cond.comps()[c] {
+            for e in dfg.succ_edges(id) {
+                if let Some(cd) = cond.comp_of(e.dst) {
+                    if cd != c {
+                        indeg[cd] -= 1;
+                        if indeg[cd] == 0 {
+                            heap.push(Reverse(cd));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    plan
+}
+
+pub(crate) fn compile(
+    dfg: &Dfg,
+    schedule: Option<&ModuloSchedule>,
+) -> Result<ExecutableLoop, CompileError> {
+    let topo = dfg.topo_order().map_err(|_| CompileError::Cyclic)?;
+
+    // Refuse what the interpreter refuses, at the same first offender:
+    // topo order is its evaluation order, and per node the opaque check
+    // precedes the arity check.
+    for &v in &topo {
+        let Some(op) = dfg.node(v).opcode() else {
+            continue;
+        };
+        if matches!(op, Opcode::Call | Opcode::Cca) {
+            return Err(CompileError::Opaque(v));
+        }
+        if reads_operands(dfg, v, op) && dfg.pred_edges(v).next().is_none() {
+            return Err(CompileError::Arity(v));
+        }
+    }
+
+    // Interpreter commit position per node: stores to one stream push in
+    // this order within an iteration.
+    let n = dfg.len();
+    let mut topo_pos = vec![u32::MAX; n];
+    for (pos, &v) in topo.iter().enumerate() {
+        topo_pos[v.index()] = pos as u32;
+    }
+
+    let order = schedule_order(dfg, schedule);
+    let max_dist = dfg.edges().iter().map(|e| e.distance).max().unwrap_or(0) as usize;
+
+    let mut exe = ExecutableLoop {
+        n_slots: n,
+        max_dist,
+        ops: Vec::with_capacity(order.len()),
+        dest: Vec::with_capacity(order.len()),
+        payload: Vec::with_capacity(order.len()),
+        arg_base: Vec::with_capacity(order.len() + 1),
+        arg_src: Vec::new(),
+        arg_dist: Vec::new(),
+        load_streams: Vec::new(),
+        store_streams: Vec::new(),
+        store_slot: Vec::new(),
+        out_streams: Vec::new(),
+        store_commit: Vec::new(),
+        load_salts: Vec::new(),
+        consts: Vec::new(),
+        live_ins: Vec::new(),
+        live_outs: Vec::new(),
+        lane_plan: Vec::new(),
+    };
+
+    // instr_index[node] = instruction position, u32::MAX for pseudo nodes.
+    let mut instr_index = vec![u32::MAX; n];
+    // (interpreter topo position, site) per store, for the commit order.
+    let mut store_sites: Vec<(u32, u32)> = Vec::new();
+
+    for &v in &order {
+        let op = dfg.node(v).opcode().expect("order holds op nodes only");
+        instr_index[v.index()] = exe.ops.len() as u32;
+        exe.arg_base.push(exe.arg_src.len() as u32);
+        for e in dfg.pred_edges(v) {
+            exe.arg_src.push(e.src.index() as u32);
+            exe.arg_dist.push(e.distance);
+        }
+        let (eop, payload) = match op {
+            Opcode::Load => {
+                if let Some(s) = dfg.node(v).stream {
+                    exe.load_streams.push(s);
+                    (ExecOp::LoadStream, exe.load_streams.len() as u32 - 1)
+                } else {
+                    exe.load_salts.push(v.index() as i64 * 17);
+                    (ExecOp::LoadAddr, exe.load_salts.len() as u32 - 1)
+                }
+            }
+            Opcode::Store => {
+                let site = exe.store_streams.len() as u32;
+                exe.store_streams
+                    .push(dfg.node(v).stream.unwrap_or(u16::MAX));
+                store_sites.push((topo_pos[v.index()], site));
+                (ExecOp::Store, site)
+            }
+            other => (exec_op(other), 0),
+        };
+        exe.ops.push(eop);
+        exe.dest.push(v.index() as u32);
+        exe.payload.push(payload);
+    }
+    exe.arg_base.push(exe.arg_src.len() as u32);
+
+    // Dense output vectors: one per distinct store stream, commit order by
+    // interpreter topo position.
+    exe.out_streams = exe.store_streams.clone();
+    exe.out_streams.sort_unstable();
+    exe.out_streams.dedup();
+    exe.store_slot = exe
+        .store_streams
+        .iter()
+        .map(|s| exe.out_streams.binary_search(s).expect("dense stream") as u32)
+        .collect();
+    store_sites.sort_unstable();
+    exe.store_commit = store_sites.into_iter().map(|(_, site)| site).collect();
+
+    for id in dfg.const_ids() {
+        if let veal_ir::dfg::NodeKind::Const(c) = dfg.node(id).kind {
+            exe.consts.push((id.index() as u32, c));
+        }
+    }
+    exe.live_ins = dfg.live_in_ids().collect();
+    exe.live_outs = dfg.live_out_ids().collect();
+    exe.lane_plan = lane_plan(dfg, &instr_index);
+    Ok(exe)
+}

@@ -1,0 +1,129 @@
+//! Differential gate: LoopVM (scalar and lane modes) must reproduce the
+//! reference interpreter bit for bit on the entire kernel library, on
+//! the same fixture the golden `semantic_checksum` pins are stated in.
+
+use veal_accel::AcceleratorConfig;
+use veal_exec::{CompileError, ExecutableLoop};
+use veal_ir::interp::{interpret, InterpError};
+use veal_ir::{CostMeter, LoopBody};
+use veal_sched::{modulo_schedule, ModuloSchedule, ScheduleOptions};
+use veal_workloads::{
+    fixture_inputs, fold_checksum, kernels, semantic_checksum, FIXTURE_ITERATIONS,
+};
+
+fn kernel_library() -> Vec<(&'static str, LoopBody)> {
+    vec![
+        ("dot_product", kernels::dot_product()),
+        ("daxpy", kernels::daxpy()),
+        ("fir8", kernels::fir(8)),
+        ("adpcm_step", kernels::adpcm_step()),
+        ("idct_row", kernels::idct_row()),
+        ("autocorr", kernels::autocorr()),
+        ("viterbi_acs", kernels::viterbi_acs()),
+        ("quantize", kernels::quantize()),
+        ("stencil3", kernels::stencil3()),
+        ("crypto4", kernels::crypto_round(4)),
+        ("swim_stencil", kernels::swim_stencil()),
+        ("mgrid27", kernels::mgrid_resid(27)),
+        ("fp_recurrence", kernels::fp_recurrence()),
+        ("color_convert", kernels::color_convert()),
+        ("bit_unpack", kernels::bit_unpack()),
+        ("sobel3", kernels::sobel3()),
+        ("alpha_blend", kernels::alpha_blend()),
+        ("rgb_to_gray", kernels::rgb_to_gray()),
+        ("bit_pack", kernels::bit_pack()),
+        ("matmul_tile", kernels::matmul_tile()),
+        ("lms_adapt", kernels::lms_adapt()),
+        ("median3", kernels::median3()),
+        ("while_scan", kernels::while_scan()),
+    ]
+}
+
+fn try_schedule(body: &LoopBody) -> Option<ModuloSchedule> {
+    modulo_schedule(
+        &body.dfg,
+        &AcceleratorConfig::paper_design(),
+        &ScheduleOptions::default(),
+        &mut CostMeter::new(),
+    )
+    .ok()
+    .map(|s| s.schedule)
+}
+
+#[test]
+fn loopvm_reproduces_interp_on_every_kernel() {
+    for (name, body) in kernel_library() {
+        let inputs = fixture_inputs(&body);
+        let golden = interpret(&body.dfg, FIXTURE_ITERATIONS, &inputs)
+            .unwrap_or_else(|e| panic!("{name}: interp failed: {e}"));
+        let schedule = try_schedule(&body);
+        for (mode, sched) in [("topo", None), ("schedule", schedule.as_ref())] {
+            let exe = ExecutableLoop::compile(&body.dfg, sched)
+                .unwrap_or_else(|e| panic!("{name} ({mode}): compile failed: {e}"));
+            let scalar = exe.run(FIXTURE_ITERATIONS, &inputs);
+            assert_eq!(scalar, golden, "{name} ({mode}): scalar output diverged");
+            for width in [1usize, 4, 8] {
+                let lanes = exe.run_lanes(FIXTURE_ITERATIONS, &inputs, width);
+                assert_eq!(lanes, golden, "{name} ({mode}): lanes W={width} diverged");
+            }
+        }
+    }
+}
+
+#[test]
+fn loopvm_checksums_match_the_golden_pins() {
+    for (name, body) in kernel_library() {
+        let Some(pin) = semantic_checksum(&body) else {
+            continue;
+        };
+        let inputs = fixture_inputs(&body);
+        let exe = ExecutableLoop::compile(&body.dfg, None).expect("compiles");
+        assert_eq!(
+            fold_checksum(&exe.run(FIXTURE_ITERATIONS, &inputs)),
+            pin,
+            "{name}: scalar checksum off the golden pin"
+        );
+        assert_eq!(
+            fold_checksum(&exe.run_lanes(FIXTURE_ITERATIONS, &inputs, 8)),
+            pin,
+            "{name}: lane checksum off the golden pin"
+        );
+    }
+}
+
+#[test]
+fn opaque_bodies_are_refused_like_the_interpreter() {
+    let body = kernels::call_loop();
+    let err = interpret(&body.dfg, 1, &fixture_inputs(&body)).unwrap_err();
+    let InterpError::Opaque(op) = err else {
+        panic!("interp refuses call_loop with Opaque, got {err}");
+    };
+    assert_eq!(
+        ExecutableLoop::compile(&body.dfg, None).unwrap_err(),
+        CompileError::Opaque(op),
+        "LoopVM must refuse the same op the interpreter refuses"
+    );
+}
+
+#[test]
+fn zero_and_short_runs_match() {
+    for (name, body) in kernel_library() {
+        let inputs = fixture_inputs(&body);
+        let exe = ExecutableLoop::compile(&body.dfg, None).expect("compiles");
+        for iterations in [0u64, 1, 2, 3, 7] {
+            let golden = interpret(&body.dfg, iterations, &inputs).expect("interp");
+            assert_eq!(
+                exe.run(iterations, &inputs),
+                golden,
+                "{name}: scalar diverged at {iterations} iterations"
+            );
+            for width in [4usize, 8] {
+                assert_eq!(
+                    exe.run_lanes(iterations, &inputs, width),
+                    golden,
+                    "{name}: lanes W={width} diverged at {iterations} iterations"
+                );
+            }
+        }
+    }
+}

@@ -91,6 +91,12 @@ pub enum InterpError {
     /// (`Call` into an unknown callee, or a collapsed `Cca` whose member
     /// subgraph no longer exists).
     Opaque(OpId),
+    /// An op that reads operands has none: the DFG is arity-malformed.
+    /// Trailing operands still default to `Int(0)` (compare-against-zero
+    /// and accumulate-from-zero idioms rely on it), but an op with *no*
+    /// inputs at all can only be a broken graph, and silently evaluating
+    /// it would produce a plausible-but-wrong result.
+    Arity(OpId),
 }
 
 impl fmt::Display for InterpError {
@@ -98,11 +104,34 @@ impl fmt::Display for InterpError {
         match self {
             InterpError::CyclicGraph => write!(f, "distance-0 subgraph is cyclic"),
             InterpError::Opaque(op) => write!(f, "{op} has no interpretable semantics"),
+            InterpError::Arity(op) => write!(f, "{op} reads operands but has none"),
         }
     }
 }
 
 impl std::error::Error for InterpError {}
+
+/// Whether `op` at node `v` reads its operand list at all. Ops that
+/// ignore operands (immediates, control transfers, stream-engine loads
+/// whose address comes from the hardware cursor) may legitimately have
+/// none; anything else with an empty operand list is a malformed graph.
+/// `Call`/`Cca` are excluded so [`InterpError::Opaque`] keeps precedence.
+///
+/// Public so executable backends (`veal-exec`) reject arity-malformed
+/// graphs with exactly the same rule instead of a drifting copy.
+#[must_use]
+pub fn reads_operands(dfg: &Dfg, v: OpId, op: Opcode) -> bool {
+    match op {
+        Opcode::LoadImm
+        | Opcode::Br
+        | Opcode::BrCond
+        | Opcode::Ret
+        | Opcode::Call
+        | Opcode::Cca => false,
+        Opcode::Load => dfg.node(v).stream.is_none(),
+        _ => true,
+    }
+}
 
 /// Interprets `dfg` for `iterations` iterations.
 ///
@@ -203,6 +232,9 @@ fn eval(
     inputs: &Inputs,
     result: &mut ExecResult,
 ) -> Result<Value, InterpError> {
+    if args.is_empty() && reads_operands(dfg, v, op) {
+        return Err(InterpError::Arity(v));
+    }
     let a = |i: usize| args.get(i).copied().unwrap_or(Value::Int(0));
     let ai = |i: usize| a(i).as_int();
     let af = |i: usize| a(i).as_fp();
@@ -397,6 +429,51 @@ mod tests {
             interpret(&dfg, 1, &Inputs::default()).unwrap_err(),
             InterpError::Opaque(c)
         );
+    }
+
+    #[test]
+    fn truncated_operands_are_an_arity_error() {
+        // An `Add` with no inputs at all used to evaluate as 0 + 0 and
+        // fold into a plausible checksum; now it is a typed error.
+        let mut b = DfgBuilder::new();
+        let a = b.op(Opcode::Add, &[]);
+        b.mark_live_out(a);
+        let dfg = b.finish();
+        assert_eq!(
+            interpret(&dfg, 1, &Inputs::default()).unwrap_err(),
+            InterpError::Arity(a)
+        );
+    }
+
+    #[test]
+    fn trailing_operand_defaults_still_apply() {
+        // One operand present, second defaults to zero: cmp-against-zero
+        // idiom used by the kernel library must keep working.
+        let mut b = DfgBuilder::new();
+        let x = b.load_stream(0);
+        let c = b.op(Opcode::CmpLt, &[x]);
+        b.mark_live_out(c);
+        let dfg = b.finish();
+        let mut inputs = Inputs::default();
+        inputs.streams.insert(0, ints(&[-3]));
+        let out = interpret(&dfg, 1, &inputs).unwrap();
+        assert_eq!(out.live_outs[&c], Value::Int(1));
+    }
+
+    #[test]
+    fn operand_free_ops_are_not_arity_errors() {
+        // Stream loads, immediates and control ops legitimately read no
+        // operands; they must not trip the arity check.
+        let mut b = DfgBuilder::new();
+        let x = b.load_stream(0);
+        let imm = b.op(Opcode::LoadImm, &[]);
+        let s = b.op(Opcode::Add, &[x, imm]);
+        b.mark_live_out(s);
+        let dfg = b.finish();
+        let mut inputs = Inputs::default();
+        inputs.streams.insert(0, ints(&[41]));
+        let out = interpret(&dfg, 1, &inputs).unwrap();
+        assert_eq!(out.live_outs[&s], Value::Int(41));
     }
 
     #[test]

@@ -147,13 +147,20 @@ type BodyRegistry = HashMap<(u64, u64), (Arc<LoopBody>, Arc<StaticHints>)>;
 
 /// Packs a connection slot and a client sequence number into the pool
 /// token ([`crate::service::RequestOutcome::seq`]) for response routing.
+///
+/// Packed through `u64` so the shift is well-defined regardless of the
+/// platform's `usize` width; on a 32-bit target a token that cannot be
+/// represented fails loudly instead of silently routing the response to
+/// connection slot 0.
 fn pack_token(slot: usize, seq: u32) -> usize {
-    debug_assert!(slot < (1 << 31), "connection slot fits the token");
-    (slot << 32) | seq as usize
+    let packed = ((slot as u64) << 32) | u64::from(seq);
+    debug_assert_eq!(packed >> 32, slot as u64, "connection slot fits the token");
+    usize::try_from(packed).expect("pool token fits usize")
 }
 
 fn unpack_token(token: usize) -> (usize, u32) {
-    (token >> 32, (token & 0xFFFF_FFFF) as u32)
+    let token = token as u64;
+    ((token >> 32) as usize, (token & 0xFFFF_FFFF) as u32)
 }
 
 /// The TCP server: a [`TranslationService`] behind the wire protocol.
@@ -917,6 +924,24 @@ impl WireClient {
                         format!("server sent a malformed frame: {reason}"),
                     ));
                 }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{pack_token, unpack_token};
+
+    #[test]
+    fn token_round_trips_at_boundary_values() {
+        // The old packing shifted a `usize` by 32, which overflows on a
+        // 32-bit target; the u64 path must round-trip every boundary.
+        let max_slot = (1usize << 32) - 1;
+        for &slot in &[0usize, 1, 0x7FFF_FFFF, 0x8000_0000, max_slot] {
+            for &seq in &[0u32, 1, 0x7FFF_FFFF, u32::MAX] {
+                let token = pack_token(slot, seq);
+                assert_eq!(unpack_token(token), (slot, seq), "slot={slot} seq={seq}");
             }
         }
     }

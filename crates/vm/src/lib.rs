@@ -86,3 +86,6 @@ pub use translator::{
     Translator,
 };
 pub use verify::{DegradeReason, HintError, HintVerdict};
+// The host execution backend, re-exported so VM users reach the artifact
+// type its session APIs hand out.
+pub use veal_exec::{CompileError as ExecCompileError, ExecutableLoop, DEFAULT_LANES};

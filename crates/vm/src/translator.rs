@@ -456,6 +456,34 @@ impl Translator {
         }
     }
 
+    /// Lowers `body` all the way to a host-executable LoopVM artifact
+    /// (see [`veal_exec`]): translate, then compile the **original**
+    /// graph in schedule order. The original graph is what the golden
+    /// semantics are stated over — the separated/collapsed view
+    /// re-annotates streams and may hold opaque `Cca` nodes — while the
+    /// schedule shares its id space, so it can still order the bytecode.
+    ///
+    /// Loops the accelerator rejects compile anyway (topological order):
+    /// the host backend executes everything the reference interpreter
+    /// can, whether or not the LA maps it.
+    ///
+    /// # Errors
+    ///
+    /// [`veal_exec::CompileError`] when the body itself is not
+    /// executable (opaque call, cyclic distance-0 subgraph, or an
+    /// arity-malformed op).
+    pub fn compile_executable(
+        &self,
+        body: &LoopBody,
+        hints: &StaticHints,
+    ) -> Result<veal_exec::ExecutableLoop, veal_exec::CompileError> {
+        let schedule = match self.translate(body, hints).result {
+            Ok(t) => Some(t.scheduled.schedule),
+            Err(_) => None,
+        };
+        veal_exec::ExecutableLoop::compile(&body.dfg, schedule.as_ref())
+    }
+
     /// Runs the configuration-independent prefix once and packages it as a
     /// [`SymbolicTranslation`], reusable across every configuration of a
     /// family that shares this translator's latency model and CCA presence.

@@ -5,19 +5,23 @@
 //! *meaning* (as opposed to its timing) fails these pins — which matters
 //! because the calibration in `EXPERIMENTS.md` is stated per kernel shape.
 
-use veal_ir::interp::{interpret, Inputs, Value};
+use veal_ir::interp::{interpret, ExecResult, Inputs, Value};
 use veal_ir::LoopBody;
 
-/// Executes `body` on the standard fixture inputs and folds every store
-/// and live-out into an order-stable FNV-1a checksum. Returns `None` for
-/// uninterpretable bodies (opaque calls).
+/// The fixed iteration count of the golden fixture.
+pub const FIXTURE_ITERATIONS: u64 = 24;
+
+/// The standard fixture inputs every golden checksum is computed on: 40
+/// deterministic 24-element streams and every live-in pinned to 5.
+/// Shared by the interpreter pins here and by the differential gates in
+/// `veal-exec`/`bench_exec`, which must feed all executors identically.
 #[must_use]
-pub fn semantic_checksum(body: &LoopBody) -> Option<u64> {
+pub fn fixture_inputs(body: &LoopBody) -> Inputs {
     let mut inputs = Inputs::default();
     for s in 0..40u16 {
         inputs.streams.insert(
             s,
-            (0..24)
+            (0..FIXTURE_ITERATIONS)
                 .map(|i| Value::Int((i as i64 * 7 + i64::from(s) * 13 + 3) % 101 - 50))
                 .collect(),
         );
@@ -25,7 +29,15 @@ pub fn semantic_checksum(body: &LoopBody) -> Option<u64> {
     for id in body.dfg.live_in_ids() {
         inputs.live_ins.insert(id, Value::Int(5));
     }
-    let out = interpret(&body.dfg, 24, &inputs).ok()?;
+    inputs
+}
+
+/// Folds an execution result into the order-stable FNV-1a checksum the
+/// golden pins are stated in: stores (stream id, then values in push
+/// order), then live-outs (node id, then value), floats via their bit
+/// pattern.
+#[must_use]
+pub fn fold_checksum(out: &ExecResult) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     let mut mix = |v: i64| {
         h ^= v as u64;
@@ -47,7 +59,17 @@ pub fn semantic_checksum(body: &LoopBody) -> Option<u64> {
             Value::Fp(f) => mix(f.to_bits() as i64),
         }
     }
-    Some(h)
+    h
+}
+
+/// Executes `body` on the standard fixture inputs and folds every store
+/// and live-out into an order-stable FNV-1a checksum. Returns `None` for
+/// uninterpretable bodies (opaque calls).
+#[must_use]
+pub fn semantic_checksum(body: &LoopBody) -> Option<u64> {
+    let inputs = fixture_inputs(body);
+    let out = interpret(&body.dfg, FIXTURE_ITERATIONS, &inputs).ok()?;
+    Some(fold_checksum(&out))
 }
 
 #[cfg(test)]

@@ -27,7 +27,7 @@ pub mod suite;
 pub mod synth;
 
 pub use app::{AppLoop, Application};
-pub use golden::semantic_checksum;
+pub use golden::{fixture_inputs, fold_checksum, semantic_checksum, FIXTURE_ITERATIONS};
 pub use kernels::KernelCtx;
 pub use suite::{application, full_suite, media_fp_suite, SUITE_NAMES};
 pub use synth::{synth_loop, SynthSpec};
